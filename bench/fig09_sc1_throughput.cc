@@ -1,0 +1,110 @@
+// Reproduces Figure 9: slowest (9a) and overall (9b) data throughput for
+// workload scenario SC1, windowed join and windowed aggregation queries,
+// AStream vs. the query-at-a-time baseline ("Flink").
+//
+// Paper-reported anchors (4-/8-node cluster, 1000 s runs):
+//   single query:  Flink slightly ahead of AStream (sharing overhead <~10%),
+//                  e.g. agg 8-node: Flink 2.15M/s vs AStream 1.95M/s.
+//   multi query:   Flink FAILS (cannot sustain ad-hoc workloads);
+//                  AStream's slowest throughput decreases with query count
+//                  (join 4-node: 104K @20qp -> 34K @1000qp) while overall
+//                  throughput grows into the millions (up to 6.1M/s).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace astream::bench {
+namespace {
+
+using core::QueryKind;
+using harness::FormatCount;
+
+struct Config {
+  const char* label;
+  const char* paper_label;
+  bool astream;
+  double rate_qps;    // scaled query creation rate
+  size_t max_qp;      // scaled query parallelism
+  TimestampMs duration_ms;
+};
+
+void Run() {
+  harness::PrintBanner(
+      "Figure 9 — SC1 data throughput (slowest & overall)",
+      "AStream vs. query-at-a-time baseline; join and aggregation "
+      "queries; 'n q/s m qp' = n queries/second until m active.",
+      std::string(kClusterScaling) +
+          "; SC1 grid: 20qp/60qp kept, 1000qp -> join 60 / agg 200");
+
+  const Config configs[] = {
+      {"AStream single query", "single query", true, 50, 1, 2200},
+      {"Flink single query", "single query", false, 50, 1, 2200},
+      {"AStream 1q/s 20qp", "1 q/s, 20 qp", true, 10, 20, 3400},
+      {"AStream 10q/s 60qp", "10 q/s, 60 qp", true, 60, 60, 3000},
+      {"AStream 100q/s 1000qp*", "100 q/s, 1000 qp", true, 400, 0, 3000},
+      {"Flink 1q/s 20qp", "1 q/s, 20 qp", false, 10, 20, 2500},
+  };
+
+  for (QueryKind kind : {QueryKind::kJoin, QueryKind::kAggregation}) {
+    for (int par : {2, 4}) {
+      const char* cluster = par == 2 ? "4-node" : "8-node";
+      harness::Table table({"config (scaled)", "paper cfg",
+                            "slowest tput/s (9a)", "overall tput/s (9b)",
+                            "avg qp", "sustainable"});
+      for (const Config& cfg : configs) {
+        size_t max_qp = cfg.max_qp;
+        if (max_qp == 0) {  // the 1000qp row, scaled by kind
+          max_qp = kind == QueryKind::kJoin ? 60 : 200;
+        }
+        std::unique_ptr<harness::StreamSut> sut;
+        if (cfg.astream) {
+          sut = MakeAStream(TopologyFor(kind), par);
+        } else {
+          sut = MakeFlink(par);
+        }
+        if (!sut->Start().ok()) continue;
+        workload::Sc1Scenario scenario(cfg.rate_qps, max_qp);
+        // Warmup covers deployments/ramp so rates reflect steady state.
+        const TimestampMs warmup = max_qp == 1 ? 600 : 1200;
+        auto factory = max_qp == 1 ? SingleQueryFactory(kind)
+                                   : QueryFactory(kind, 42);
+        // Joins are offered a bounded rate: their result volume is
+        // quadratic per window, so an unbounded firehose just builds
+        // minutes of un-triggerable slice state (the paper's sustainable
+        // throughput methodology also offers fixed rates).
+        const double rate = kind == QueryKind::kJoin ? 250'000 : 0;
+        const auto report = RunScenario(
+            sut.get(), &scenario, std::move(factory), cfg.duration_ms,
+            kind == QueryKind::kJoin, rate, /*sample=*/0, warmup,
+            /*drain_at_end=*/false);
+        const bool sustainable = LooksSustainable(report);
+        table.AddRow(
+            {cfg.label, cfg.paper_label,
+             FormatCount(report.input_rate_per_sec),
+             FormatCount(report.overall_rate_per_sec),
+             harness::FormatDouble(report.avg_active_queries, 1),
+             sustainable ? "yes" : "FAIL"});
+        sut->Stop();
+      }
+      std::printf("%s queries, %s cluster (parallelism %d):\n",
+                  KindLabel(kind), cluster, par);
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "Expected shape vs. paper: single-query AStream within ~10%% of "
+      "Flink; Flink unsustainable beyond a handful of ad-hoc queries; "
+      "AStream slowest throughput decreases (sub-linearly) with qp while "
+      "overall throughput = slowest x qp grows by orders of magnitude.\n");
+}
+
+}  // namespace
+}  // namespace astream::bench
+
+int main() {
+  astream::bench::BenchInit();
+  astream::bench::Run();
+  return 0;
+}

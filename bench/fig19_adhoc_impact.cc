@@ -1,0 +1,111 @@
+// Reproduces Figure 19: the effect of newly added ad-hoc join queries on
+// the performance of existing long-running queries (4-node cluster).
+//
+// Paper anchors: with many running queries (100q), adding 10-50 ad-hoc
+// queries barely moves throughput; with few (10q), the relative impact is
+// larger; SC1 (long-running) is more susceptible than SC2 (periodic
+// churn keeps query-sets small).
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace astream::bench {
+namespace {
+
+/// Scenario: `base` long-running queries from the start; `adhoc` more at
+/// half time. SC2 variant recycles the ad-hoc batch every second.
+class ImpactScenario : public workload::Scenario {
+ public:
+  ImpactScenario(size_t base, size_t adhoc, bool sc2, TimestampMs half_ms)
+      : base_(base), adhoc_(adhoc), sc2_(sc2), half_ms_(half_ms) {}
+
+  workload::ScenarioActions Tick(TimestampMs now, size_t active) override {
+    workload::ScenarioActions a;
+    if (!base_created_) {
+      base_created_ = true;
+      a.create = static_cast<int>(base_);
+      return a;
+    }
+    if (now < half_ms_) return a;
+    if (!sc2_) {
+      if (!adhoc_created_) {
+        adhoc_created_ = true;
+        a.create = static_cast<int>(adhoc_);
+      }
+      return a;
+    }
+    // SC2 flavor: recycle the ad-hoc batch every second.
+    const int64_t period = (now - half_ms_) / 1000;
+    if (period >= next_period_) {
+      next_period_ = period + 1;
+      if (active > base_) {
+        for (size_t i = base_; i < active; ++i) a.delete_ranks.push_back(i);
+      }
+      a.create = static_cast<int>(adhoc_);
+    }
+    return a;
+  }
+
+ private:
+  size_t base_, adhoc_;
+  bool sc2_;
+  TimestampMs half_ms_;
+  bool base_created_ = false;
+  bool adhoc_created_ = false;
+  int64_t next_period_ = 0;
+};
+
+void Run() {
+  harness::PrintBanner(
+      "Figure 19 — impact of ad-hoc join queries on existing queries",
+      "x-axis: number of long-running queries and scenario; bars: 0/10/"
+      "20/50 added ad-hoc queries. Metric: data throughput after the "
+      "ad-hoc queries join (steady state).",
+      std::string(kClusterScaling) +
+          "; long-running 10/50/100 -> 10/30/60; 4-node only (paper)");
+
+  for (bool sc2 : {false, true}) {
+    for (size_t base : {10u, 30u, 60u}) {
+      harness::Table table({"added ad-hoc", "throughput after add (K/s)",
+                            "vs 0 added"});
+      double baseline_tput = 0;
+      for (size_t adhoc : {0u, 10u, 20u, 50u}) {
+        auto sut = MakeAStream(core::AStreamJob::TopologyKind::kJoin, 2);
+        if (!sut->Start().ok()) continue;
+        const TimestampMs half = 1200;
+        ImpactScenario scenario(base, adhoc, sc2, half);
+        // Measure only after the ad-hoc queries are added.
+        const auto report = RunScenario(
+            sut.get(), &scenario, QueryFactory(core::QueryKind::kJoin, 37),
+            /*duration_ms=*/2800, /*push_b=*/true, /*rate=*/150'000,
+            /*sample=*/0, /*warmup=*/half + 600, /*drain_at_end=*/false);
+        sut->Stop();
+        const double tput = report.input_rate_per_sec;
+        if (adhoc == 0) baseline_tput = tput;
+        table.AddRow(
+            {std::to_string(adhoc), harness::FormatCount(tput),
+             baseline_tput > 0
+                 ? harness::FormatDouble(100 * tput / baseline_tput, 0) + "%"
+                 : "-"});
+      }
+      std::printf("%zu long-running queries, %s:\n", base,
+                  sc2 ? "SC2" : "SC1");
+      table.Print();
+      std::printf("\n");
+    }
+  }
+  std::printf(
+      "Expected shape vs. paper (Fig. 19): the more long-running queries "
+      "already exist, the smaller the relative throughput drop from "
+      "adding ad-hoc queries; SC2 is less susceptible than SC1.\n");
+}
+
+}  // namespace
+}  // namespace astream::bench
+
+int main() {
+  astream::bench::BenchInit();
+  astream::bench::Run();
+  return 0;
+}

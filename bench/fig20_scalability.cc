@@ -1,0 +1,85 @@
+// Reproduces Figure 20: sustainable ad-hoc queries vs. cluster size, at a
+// constant data rate, for SC1 and SC2.
+//
+// Paper anchors: the sustainable query count grows with node count
+// (SC1: ~100 -> ~300; SC2 scales better: ~150 -> ~430) because SC2's
+// churn keeps the active set and the bitsets small.
+//
+// IMPORTANT CAVEAT (documented in EXPERIMENTS.md): this harness simulates
+// "nodes" as operator parallelism inside ONE process. On a single-core
+// machine additional parallelism adds no compute, so the absolute scaling
+// with node count cannot reproduce; the SC2-above-SC1 ordering is the
+// shape this bench demonstrates. On a multi-core box the node scaling
+// re-emerges.
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+namespace astream::bench {
+namespace {
+
+/// True if the system sustains `qp` concurrent join queries at the fixed
+/// data rate: queues bounded, deployment latency not growing, and the
+/// offered rate actually absorbed.
+bool Sustains(int par, size_t qp, double rate, bool sc2) {
+  auto sut = MakeAStream(core::AStreamJob::TopologyKind::kJoin, par);
+  if (!sut->Start().ok()) return false;
+  std::unique_ptr<workload::Scenario> scenario;
+  if (sc2) {
+    scenario = std::make_unique<workload::Sc2Scenario>(qp / 2 + 1,
+                                                       /*period_ms=*/1000);
+  } else {
+    scenario = std::make_unique<workload::Sc1Scenario>(
+        /*rate_per_sec=*/400, qp);
+  }
+  const auto report = RunScenario(
+      sut.get(), scenario.get(), QueryFactory(core::QueryKind::kJoin, 41),
+      /*duration_ms=*/1800, /*push_b=*/true, rate, /*sample=*/0,
+      /*warmup=*/800, /*drain_at_end=*/false);
+  sut->Stop();
+  if (!LooksSustainable(report)) return false;
+  // Absorbed at least 80% of the offered rate?
+  return report.input_rate_per_sec >= 0.8 * rate;
+}
+
+void Run() {
+  harness::PrintBanner(
+      "Figure 20 — sustainable ad-hoc queries vs. node count",
+      "Constant data rate (20K tuples/s); the reported number is the "
+      "largest tested query parallelism the system sustains.",
+      std::string(kClusterScaling) +
+          "; node counts {2,4,8} -> parallelism {1,2,4}; "
+          "single-core host: see caveat in the bench header");
+
+  const double rate = 20'000;
+  harness::Table table(
+      {"node count (paper)", "parallelism (sim)", "SC1 sustainable qp",
+       "SC2 sustainable qp"});
+  for (int par : {1, 2, 4}) {
+    size_t sc1_best = 0, sc2_best = 0;
+    for (size_t qp : {10u, 20u, 40u}) {
+      if (Sustains(par, qp, rate, /*sc2=*/false)) sc1_best = qp;
+    }
+    for (size_t qp : {10u, 20u, 40u}) {
+      if (Sustains(par, qp, rate, /*sc2=*/true)) sc2_best = qp;
+    }
+    table.AddRow({std::to_string(par * 2), std::to_string(par),
+                  std::to_string(sc1_best), std::to_string(sc2_best)});
+  }
+  table.Print();
+  std::printf(
+      "\nExpected shape vs. paper (Fig. 20): SC2 sustains at least as "
+      "many ad-hoc queries as SC1 at every size (churn keeps bitsets "
+      "small). Node-count scaling itself requires real cores; on this "
+      "host the curve saturates by design.\n");
+}
+
+}  // namespace
+}  // namespace astream::bench
+
+int main() {
+  astream::bench::BenchInit();
+  astream::bench::Run();
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Micro benchmarks of the changelog-set table (Eq. 1): the memoized
+// dynamic program vs. the naive AND-over-span, justifying the paper's
+// "compute overlapping parts of a window via dynamic programming".
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/cl_table.h"
+
+namespace astream::core {
+namespace {
+
+std::vector<QuerySet> MakeDeltas(int n, int slots, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<QuerySet> deltas;
+  deltas.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    QuerySet d = QuerySet::AllSet(slots);
+    for (int b = 0; b < slots; ++b) {
+      if (rng.Bernoulli(0.1)) d.Reset(b);
+    }
+    deltas.push_back(std::move(d));
+  }
+  return deltas;
+}
+
+/// Memoized DP (the paper's approach): querying all (i, j) spans.
+void BM_ClTableMemoizedAllSpans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int slots = 64;
+  const auto deltas = MakeDeltas(n, slots, 42);
+  for (auto _ : state) {
+    state.PauseTiming();
+    ClTable table;
+    for (int i = 0; i < n; ++i) table.AddSlice(i, deltas[i], slots);
+    state.ResumeTiming();
+    uint64_t sink = 0;
+    for (int j = 0; j < n; ++j) {
+      for (int i = j; i < n; ++i) {
+        sink += table.Mask(i, j).Count();
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n + 1) / 2);
+}
+BENCHMARK(BM_ClTableMemoizedAllSpans)->Arg(16)->Arg(64)->Arg(128);
+
+/// Naive recomputation for every span (what the DP avoids).
+void BM_ClTableNaiveAllSpans(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const int slots = 64;
+  const auto deltas = MakeDeltas(n, slots, 42);
+  for (auto _ : state) {
+    uint64_t sink = 0;
+    for (int j = 0; j < n; ++j) {
+      QuerySet acc = QuerySet::AllSet(slots);
+      for (int i = j; i < n; ++i) {
+        if (i > j) acc &= deltas[i];
+        sink += acc.Count();
+      }
+    }
+    benchmark::DoNotOptimize(sink);
+  }
+  state.SetItemsProcessed(state.iterations() * n * (n + 1) / 2);
+}
+BENCHMARK(BM_ClTableNaiveAllSpans)->Arg(16)->Arg(64)->Arg(128);
+
+/// Random-access span queries (the join's actual access pattern): the memo
+/// pays off most here.
+void BM_ClTableRandomSpans(benchmark::State& state) {
+  const int n = 256;
+  const int slots = 64;
+  const auto deltas = MakeDeltas(n, slots, 7);
+  ClTable table;
+  for (int i = 0; i < n; ++i) table.AddSlice(i, deltas[i], slots);
+  Rng rng(99);
+  for (auto _ : state) {
+    const int64_t a = rng.UniformInt(0, n - 1);
+    const int64_t b = rng.UniformInt(0, n - 1);
+    benchmark::DoNotOptimize(table.Mask(a, b).Count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ClTableRandomSpans);
+
+}  // namespace
+}  // namespace astream::core
+
+BENCHMARK_MAIN();

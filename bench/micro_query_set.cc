@@ -1,0 +1,91 @@
+// Micro benchmarks of the query-set data structure (Sec. 2.1.1): the
+// bitwise operations every shared operator performs per tuple.
+
+#include <benchmark/benchmark.h>
+
+#include "common/bitset.h"
+#include "common/rng.h"
+
+namespace astream {
+namespace {
+
+DynamicBitset RandomSet(size_t bits, double density, uint64_t seed) {
+  Rng rng(seed);
+  DynamicBitset b(bits);
+  for (size_t i = 0; i < bits; ++i) {
+    if (rng.Bernoulli(density)) b.Set(i);
+  }
+  return b;
+}
+
+void BM_QuerySetAnd(benchmark::State& state) {
+  const auto bits = static_cast<size_t>(state.range(0));
+  const DynamicBitset a = RandomSet(bits, 0.5, 1);
+  const DynamicBitset b = RandomSet(bits, 0.5, 2);
+  for (auto _ : state) {
+    DynamicBitset c = a & b;
+    benchmark::DoNotOptimize(c);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySetAnd)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QuerySetIntersects(benchmark::State& state) {
+  const auto bits = static_cast<size_t>(state.range(0));
+  const DynamicBitset a = RandomSet(bits, 0.1, 3);
+  const DynamicBitset b = RandomSet(bits, 0.1, 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Intersects(b));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySetIntersects)->Arg(16)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_QuerySetSetReset(benchmark::State& state) {
+  const auto bits = static_cast<size_t>(state.range(0));
+  DynamicBitset b(bits);
+  size_t i = 0;
+  for (auto _ : state) {
+    b.Set(i % bits);
+    b.Reset((i + bits / 2) % bits);
+    ++i;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySetSetReset)->Arg(64)->Arg(1024);
+
+void BM_QuerySetCount(benchmark::State& state) {
+  const auto bits = static_cast<size_t>(state.range(0));
+  const DynamicBitset a = RandomSet(bits, 0.5, 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Count());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySetCount)->Arg(64)->Arg(1024);
+
+void BM_QuerySetForEachSetBit(benchmark::State& state) {
+  const auto bits = static_cast<size_t>(state.range(0));
+  const DynamicBitset a = RandomSet(bits, 0.3, 6);
+  for (auto _ : state) {
+    size_t sum = 0;
+    a.ForEachSetBit([&](size_t bit) { sum += bit; });
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_QuerySetForEachSetBit)->Arg(64)->Arg(1024);
+
+void BM_QuerySetHash(benchmark::State& state) {
+  const auto bits = static_cast<size_t>(state.range(0));
+  const DynamicBitset a = RandomSet(bits, 0.5, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.Hash());
+  }
+}
+BENCHMARK(BM_QuerySetHash)->Arg(64)->Arg(1024);
+
+}  // namespace
+}  // namespace astream
+
+BENCHMARK_MAIN();

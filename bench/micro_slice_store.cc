@@ -1,0 +1,120 @@
+// Micro benchmark / ablation of the adaptive slice data structure
+// (Sec. 3.1.4 + 3.2.3): grouped-by-query-set vs. flat-list layout across
+// query counts. The paper's heuristic: with more than ~10 concurrent
+// queries most groups hold a single tuple and the list wins.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "core/slice_store.h"
+#include "core/slicing.h"
+
+namespace astream::core {
+namespace {
+
+using spe::Row;
+
+TupleStore FillStore(StoreMode mode, int tuples, int queries, int keys,
+                     uint64_t seed) {
+  Rng rng(seed);
+  TupleStore store(mode);
+  for (int i = 0; i < tuples; ++i) {
+    Row row{rng.UniformInt(0, keys - 1), rng.UniformInt(0, 999)};
+    QuerySet tags;
+    for (int q = 0; q < queries; ++q) {
+      // Each query matches ~half the tuples (random predicates).
+      if (rng.Bernoulli(0.5)) tags.Set(q);
+    }
+    if (tags.None()) tags.Set(static_cast<size_t>(
+        rng.UniformInt(0, queries - 1)));
+    store.Insert(row, tags);
+  }
+  return store;
+}
+
+void RunJoin(benchmark::State& state, StoreMode mode) {
+  const int queries = static_cast<int>(state.range(0));
+  const int tuples = 512;
+  const TupleStore a = FillStore(mode, tuples, queries, 32, 1);
+  const TupleStore b = FillStore(mode, tuples, queries, 32, 2);
+  const QuerySet mask = QuerySet::AllSet(queries);
+  for (auto _ : state) {
+    int64_t results = 0;
+    TupleStore::Join(a, b, mask,
+                     [&](const Row&, const Row&, QuerySet) { ++results; });
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() * tuples);
+  state.counters["avg_group_size"] = a.AvgGroupSize();
+}
+
+void BM_SliceJoinGrouped(benchmark::State& state) {
+  RunJoin(state, StoreMode::kGrouped);
+}
+BENCHMARK(BM_SliceJoinGrouped)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_SliceJoinList(benchmark::State& state) {
+  RunJoin(state, StoreMode::kList);
+}
+BENCHMARK(BM_SliceJoinList)->Arg(2)->Arg(4)->Arg(8)->Arg(16)->Arg(64);
+
+void BM_StoreInsertGrouped(benchmark::State& state) {
+  Rng rng(3);
+  const int queries = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TupleStore store(StoreMode::kGrouped);
+    state.ResumeTiming();
+    for (int i = 0; i < 256; ++i) {
+      Row row{rng.UniformInt(0, 31), i};
+      QuerySet tags;
+      for (int q = 0; q < queries; ++q) {
+        if (rng.Bernoulli(0.5)) tags.Set(q);
+      }
+      store.Insert(row, tags);
+    }
+    benchmark::DoNotOptimize(store.NumTuples());
+  }
+  state.SetItemsProcessed(state.iterations() * 256);
+}
+BENCHMARK(BM_StoreInsertGrouped)->Arg(4)->Arg(64);
+
+void BM_StoreConvert(benchmark::State& state) {
+  const int queries = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    TupleStore store =
+        FillStore(StoreMode::kGrouped, 1024, queries, 32, 11);
+    state.ResumeTiming();
+    store.ConvertTo(StoreMode::kList);
+    benchmark::DoNotOptimize(store.NumTuples());
+  }
+  state.SetItemsProcessed(state.iterations() * 1024);
+}
+BENCHMARK(BM_StoreConvert)->Arg(8)->Arg(64);
+
+void BM_SliceTrackerSliceFor(benchmark::State& state) {
+  SliceTracker tracker;
+  tracker.SetNumSlots(16);
+  tracker.CutAt(0, QuerySet::AllSet(16));
+  Rng rng(5);
+  for (int slot = 0; slot < 16; ++slot) {
+    tracker.AddQuery(slot, 0,
+                     spe::WindowSpec::Sliding(
+                         rng.UniformInt(400, 1200),
+                         rng.UniformInt(150, 400)));
+  }
+  TimestampMs t = 0;
+  for (auto _ : state) {
+    t += 3;
+    benchmark::DoNotOptimize(tracker.SliceFor(t).index);
+    if (t % 10'000 == 0) tracker.EvictBefore(t - 2000);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SliceTrackerSliceFor);
+
+}  // namespace
+}  // namespace astream::core
+
+BENCHMARK_MAIN();

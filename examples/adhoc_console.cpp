@@ -1,0 +1,218 @@
+// An ad-hoc query console: drive a live shared AStream job with text
+// commands while synthetic data streams through it — the "hundreds of
+// analysts firing ad-hoc queries at a live stream" experience of the
+// paper's introduction, in miniature.
+//
+//   ./build/examples/adhoc_console                # scripted demo
+//   ./build/examples/adhoc_console --interactive  # type commands yourself
+//
+// Commands:
+//   agg <window_ms> [col <c>] [where <col> <op> <val>]   submit aggregation
+//   sel <col> <op> <val>                                  submit selection
+//   del <query_id>                                        cancel a query
+//   stats                                                 QoS snapshot
+//   run <ms>                                              stream data
+//   quit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/astream.h"
+
+namespace {
+
+using astream::ManualClock;
+using astream::Rng;
+using astream::core::AStreamJob;
+using astream::core::CmpOp;
+using astream::core::Predicate;
+using astream::core::QueryDescriptor;
+using astream::core::QueryId;
+using astream::core::QueryKind;
+using astream::spe::Row;
+
+bool ParseOp(const std::string& s, CmpOp* op) {
+  if (s == "<") *op = CmpOp::kLt;
+  else if (s == ">") *op = CmpOp::kGt;
+  else if (s == "==") *op = CmpOp::kEq;
+  else if (s == "<=") *op = CmpOp::kLe;
+  else if (s == ">=") *op = CmpOp::kGe;
+  else return false;
+  return true;
+}
+
+class Console {
+ public:
+  Console() {
+    AStreamJob::Options options;
+    options.topology = AStreamJob::TopologyKind::kAggregation;
+    options.parallelism = 2;
+    options.clock = &clock_;
+    options.session.batch_size = 1;
+    job_ = std::move(AStreamJob::Create(options)).value();
+    job_->Start().ok();
+    job_->SetResultCallback([this](QueryId q, const astream::spe::Record& r) {
+      if (echo_results_ && printed_ < 8) {
+        std::printf("    -> [Q%lld @%lld] %s\n", (long long)q,
+                    (long long)r.event_time, r.row.ToString().c_str());
+        ++printed_;
+      }
+    });
+  }
+
+  void Execute(const std::string& line) {
+    std::printf("astream> %s\n", line.c_str());
+    std::istringstream in(line);
+    std::string cmd;
+    in >> cmd;
+    if (cmd == "agg") {
+      long window = 0;
+      in >> window;
+      QueryDescriptor d;
+      d.kind = QueryKind::kAggregation;
+      d.window = astream::spe::WindowSpec::Tumbling(window);
+      d.agg = {astream::spe::AggKind::kSum, 1};
+      std::string kw;
+      while (in >> kw) {
+        if (kw == "col") {
+          in >> d.agg.column;
+        } else if (kw == "where" && !ParseWhere(in, &d.select_a)) {
+          std::printf("  bad where clause\n");
+          return;
+        }
+      }
+      Submit(d);
+    } else if (cmd == "sel") {
+      QueryDescriptor d;
+      d.kind = QueryKind::kSelection;
+      if (!ParsePredicateArgs(in, &d.select_a)) {
+        std::printf("  usage: sel <col> <op> <val>\n");
+        return;
+      }
+      Submit(d);
+    } else if (cmd == "del") {
+      long long id = 0;
+      in >> id;
+      const auto s = job_->Cancel(id);
+      job_->Pump(true);
+      std::printf("  %s\n", s.ok() ? "cancelled" : s.ToString().c_str());
+    } else if (cmd == "stats") {
+      PrintStats();
+    } else if (cmd == "run") {
+      long ms = 0;
+      in >> ms;
+      Stream(ms);
+    } else if (cmd == "quit") {
+      quit_ = true;
+    } else if (!cmd.empty()) {
+      std::printf("  unknown command '%s'\n", cmd.c_str());
+    }
+  }
+
+  void Finish() {
+    job_->FinishAndWait();
+    PrintStats();
+  }
+
+  bool quit() const { return quit_; }
+
+ private:
+  static bool ParsePredicateArgs(std::istream& in,
+                                 std::vector<Predicate>* out) {
+    Predicate p;
+    std::string op;
+    if (!(in >> p.column >> op >> p.constant)) return false;
+    if (!ParseOp(op, &p.op)) return false;
+    out->push_back(p);
+    return true;
+  }
+  static bool ParseWhere(std::istream& in, std::vector<Predicate>* out) {
+    return ParsePredicateArgs(in, out);
+  }
+
+  void Submit(const QueryDescriptor& d) {
+    auto id = job_->Submit(d);
+    if (!id.ok()) {
+      std::printf("  rejected: %s\n", id.status().ToString().c_str());
+      return;
+    }
+    job_->Pump(true);
+    std::printf("  live as Q%lld (%s)\n", (long long)*id,
+                d.ToString().c_str());
+  }
+
+  void Stream(long ms) {
+    printed_ = 0;
+    echo_results_ = true;
+    const auto until = now_ + ms;
+    while (now_ < until) {
+      now_ += 2;
+      clock_.SetMs(now_);
+      job_->PushA(now_, Row{rng_.UniformInt(0, 9),
+                            rng_.UniformInt(0, 99),
+                            rng_.UniformInt(0, 99)});
+      if (now_ % 100 == 0) job_->PushWatermark(now_);
+    }
+    echo_results_ = false;
+    std::printf("  streamed %ldms of data (t=%lld), sample results above\n",
+                ms, (long long)now_);
+  }
+
+  void PrintStats() {
+    const auto snap = job_->qos().TakeSnapshot();
+    std::printf(
+        "  outputs=%lld  event-latency mean=%.0fms  deploys=%lld "
+        "(mean %.0fms)\n",
+        (long long)snap.total_outputs, snap.event_time_latency.mean(),
+        (long long)snap.deployment_latency.count(),
+        snap.deployment_latency.mean());
+    for (const auto& [q, n] : snap.outputs_per_query) {
+      std::printf("    Q%lld: %lld rows\n", (long long)q, (long long)n);
+    }
+  }
+
+  ManualClock clock_;
+  std::unique_ptr<AStreamJob> job_;
+  Rng rng_{2025};
+  astream::TimestampMs now_ = 0;
+  bool quit_ = false;
+  bool echo_results_ = false;
+  int printed_ = 0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Console console;
+  const bool interactive =
+      argc > 1 && std::strcmp(argv[1], "--interactive") == 0;
+  if (interactive) {
+    std::string line;
+    std::printf("astream ad-hoc console — 'quit' to exit\n");
+    while (!console.quit() && std::getline(std::cin, line)) {
+      console.Execute(line);
+    }
+  } else {
+    // Scripted demo of the ad-hoc lifecycle.
+    for (const char* line : {
+             "agg 500",
+             "run 1200",
+             "sel 1 < 20",
+             "agg 300 col 2 where 1 >= 50",
+             "run 1500",
+             "stats",
+             "del 2",
+             "run 800",
+             "stats",
+         }) {
+      console.Execute(line);
+    }
+  }
+  console.Finish();
+  return 0;
+}

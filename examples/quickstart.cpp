@@ -1,0 +1,96 @@
+// Quickstart: one shared AStream job, two ad-hoc queries created at
+// runtime, results printed per query.
+//
+// Build & run:
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "core/astream.h"
+
+using astream::core::AStreamJob;
+using astream::core::CmpOp;
+using astream::core::Predicate;
+using astream::core::QueryDescriptor;
+using astream::core::QueryId;
+using astream::core::QueryKind;
+using astream::spe::AggKind;
+using astream::spe::Row;
+using astream::spe::WindowSpec;
+
+int main() {
+  // A deterministic clock keeps this example reproducible; real
+  // deployments simply omit `options.clock` to use the wall clock.
+  astream::ManualClock clock;
+
+  AStreamJob::Options options;
+  options.topology = AStreamJob::TopologyKind::kAggregation;
+  options.parallelism = 2;
+  options.clock = &clock;
+
+  auto job_or = AStreamJob::Create(options);
+  if (!job_or.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 job_or.status().ToString().c_str());
+    return 1;
+  }
+  auto job = std::move(job_or).value();
+  if (auto s = job->Start(); !s.ok()) {
+    std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+
+  job->SetResultCallback([](QueryId query, const astream::spe::Record& r) {
+    std::printf("  [Q%lld @t=%lld] %s\n",
+                static_cast<long long>(query),
+                static_cast<long long>(r.event_time),
+                r.row.ToString().c_str());
+  });
+
+  // --- Ad-hoc query #1: a selection. "Give me every event whose first
+  // field is below 50" — think of it as a live debugging tap.
+  QueryDescriptor tap;
+  tap.kind = QueryKind::kSelection;
+  tap.select_a = {Predicate{1, CmpOp::kLt, 50}};
+  const QueryId q_tap = *job->Submit(tap);
+
+  // --- Ad-hoc query #2: a windowed aggregation. "Per key, the sum of
+  // field 1 over 1-second tumbling windows."
+  QueryDescriptor sums;
+  sums.kind = QueryKind::kAggregation;
+  sums.window = WindowSpec::Tumbling(1000);
+  sums.agg = {AggKind::kSum, 1};
+  const QueryId q_sums = *job->Submit(sums);
+
+  job->Pump(/*force=*/true);  // flush the session batch -> both go live
+  std::printf("submitted tap=Q%lld and sums=Q%lld\n\n",
+              static_cast<long long>(q_tap),
+              static_cast<long long>(q_sums));
+
+  // --- Stream some data. Event times are milliseconds.
+  std::printf("results as they stream:\n");
+  for (int t = 10; t < 2500; t += 10) {
+    clock.SetMs(t);
+    job->PushA(t, Row{/*key=*/t % 3, /*field1=*/t % 97});
+    if (t % 250 == 0) job->PushWatermark(t);
+  }
+
+  // The tap can be removed at any time — no redeployment, the sums query
+  // keeps running undisturbed.
+  clock.SetMs(2500);
+  job->Cancel(q_tap).ok();
+  job->Pump(true);
+  std::printf("\ncancelled the tap; streaming more data...\n");
+  for (int t = 2510; t < 3200; t += 10) {
+    clock.SetMs(t);
+    job->PushA(t, Row{t % 3, t % 97});
+    if (t % 250 == 0) job->PushWatermark(t);
+  }
+
+  job->FinishAndWait();
+  std::printf("\ntap results: %lld rows, sums results: %lld rows\n",
+              static_cast<long long>(job->qos().OutputsOf(q_tap)),
+              static_cast<long long>(job->qos().OutputsOf(q_sums)));
+  return 0;
+}

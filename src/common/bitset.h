@@ -1,0 +1,225 @@
+#ifndef ASTREAM_COMMON_BITSET_H_
+#define ASTREAM_COMMON_BITSET_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace astream {
+
+/// Dynamically sized bitset used for query-sets and changelog-sets
+/// (Sec. 2.1 of the AStream paper). Optimized for the common case of at
+/// most 64 concurrent queries: a single inline word, no heap allocation.
+/// Grows transparently; all binary operations accept operands of different
+/// sizes (missing high bits are treated as zero).
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+
+  /// Creates a bitset with at least `num_bits` capacity, all zero.
+  explicit DynamicBitset(size_t num_bits) { Reserve(num_bits); }
+
+  /// A bitset with bits [0, num_bits) all set.
+  static DynamicBitset AllSet(size_t num_bits) {
+    DynamicBitset b(num_bits);
+    for (size_t i = 0; i < num_bits; ++i) b.Set(i);
+    return b;
+  }
+
+  /// A bitset with exactly one bit set.
+  static DynamicBitset Single(size_t bit) {
+    DynamicBitset b;
+    b.Set(bit);
+    return b;
+  }
+
+  /// Number of addressable bits (a multiple of 64).
+  size_t capacity() const { return NumWords() * 64; }
+
+  void Set(size_t bit) {
+    Reserve(bit + 1);
+    WordFor(bit) |= (uint64_t{1} << (bit & 63));
+  }
+
+  void Reset(size_t bit) {
+    if (bit >= capacity()) return;
+    WordFor(bit) &= ~(uint64_t{1} << (bit & 63));
+  }
+
+  void SetTo(size_t bit, bool value) {
+    if (value) {
+      Set(bit);
+    } else {
+      Reset(bit);
+    }
+  }
+
+  bool Test(size_t bit) const {
+    if (bit >= capacity()) return false;
+    return (Word(bit / 64) >> (bit & 63)) & 1;
+  }
+
+  /// True if no bit is set.
+  bool None() const {
+    for (size_t i = 0; i < NumWords(); ++i) {
+      if (Word(i) != 0) return false;
+    }
+    return true;
+  }
+
+  bool Any() const { return !None(); }
+
+  /// Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (size_t i = 0; i < NumWords(); ++i) n += __builtin_popcountll(Word(i));
+    return n;
+  }
+
+  /// Index of the highest set bit, or -1 if none.
+  int HighestBit() const {
+    for (size_t i = NumWords(); i-- > 0;) {
+      if (Word(i) != 0) {
+        return static_cast<int>(i * 64 + 63 - __builtin_clzll(Word(i)));
+      }
+    }
+    return -1;
+  }
+
+  /// True if (*this & other) has any set bit — the paper's sharing test:
+  /// two tuples are combined iff their query-sets intersect.
+  bool Intersects(const DynamicBitset& other) const {
+    const size_t n = std::min(NumWords(), other.NumWords());
+    for (size_t i = 0; i < n; ++i) {
+      if ((Word(i) & other.Word(i)) != 0) return true;
+    }
+    return false;
+  }
+
+  /// In-place AND. Bits beyond `other`'s capacity become zero.
+  DynamicBitset& operator&=(const DynamicBitset& other) {
+    for (size_t i = 0; i < NumWords(); ++i) {
+      WordRef(i) &= (i < other.NumWords()) ? other.Word(i) : 0;
+    }
+    return *this;
+  }
+
+  /// In-place OR. Grows to `other`'s capacity.
+  DynamicBitset& operator|=(const DynamicBitset& other) {
+    Reserve(other.capacity());
+    for (size_t i = 0; i < other.NumWords(); ++i) {
+      WordRef(i) |= other.Word(i);
+    }
+    return *this;
+  }
+
+  /// In-place AND-NOT (clears bits set in `other`).
+  DynamicBitset& AndNot(const DynamicBitset& other) {
+    const size_t n = std::min(NumWords(), other.NumWords());
+    for (size_t i = 0; i < n; ++i) WordRef(i) &= ~other.Word(i);
+    return *this;
+  }
+
+  friend DynamicBitset operator&(DynamicBitset a, const DynamicBitset& b) {
+    a &= b;
+    return a;
+  }
+  friend DynamicBitset operator|(DynamicBitset a, const DynamicBitset& b) {
+    a |= b;
+    return a;
+  }
+
+  /// Equality compares set bits (capacity is irrelevant).
+  bool operator==(const DynamicBitset& other) const {
+    const size_t n = std::max(NumWords(), other.NumWords());
+    for (size_t i = 0; i < n; ++i) {
+      const uint64_t a = i < NumWords() ? Word(i) : 0;
+      const uint64_t b = i < other.NumWords() ? other.Word(i) : 0;
+      if (a != b) return false;
+    }
+    return true;
+  }
+  bool operator!=(const DynamicBitset& other) const {
+    return !(*this == other);
+  }
+
+  /// Calls `fn(bit_index)` for every set bit, in increasing order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t i = 0; i < NumWords(); ++i) {
+      uint64_t w = Word(i);
+      while (w != 0) {
+        const int b = __builtin_ctzll(w);
+        fn(i * 64 + static_cast<size_t>(b));
+        w &= w - 1;
+      }
+    }
+  }
+
+  /// Hash of the set-bit content (used by grouped slice stores keyed by
+  /// query-set).
+  size_t Hash() const {
+    uint64_t h = 0xcbf29ce484222325ULL;
+    // Skip trailing zero words so equal sets of different capacity match.
+    size_t n = NumWords();
+    while (n > 0 && Word(n - 1) == 0) --n;
+    for (size_t i = 0; i < n; ++i) {
+      h ^= Word(i);
+      h *= 0x100000001b3ULL;
+    }
+    return static_cast<size_t>(h);
+  }
+
+  /// Bits as a string, lowest bit first, e.g. "1010".
+  std::string ToString(size_t num_bits) const {
+    std::string s;
+    s.reserve(num_bits);
+    for (size_t i = 0; i < num_bits; ++i) s.push_back(Test(i) ? '1' : '0');
+    return s;
+  }
+
+  /// Serialization helpers (checkpointing).
+  size_t NumWords() const { return words_.empty() ? 1 : words_.size(); }
+  uint64_t Word(size_t i) const {
+    return words_.empty() ? (i == 0 ? inline_word_ : 0) : words_[i];
+  }
+  void FromWords(const std::vector<uint64_t>& words) {
+    if (words.size() <= 1) {
+      words_.clear();
+      inline_word_ = words.empty() ? 0 : words[0];
+    } else {
+      words_ = words;
+      inline_word_ = 0;
+    }
+  }
+
+ private:
+  void Reserve(size_t num_bits) {
+    const size_t need = (num_bits + 63) / 64;
+    if (need <= NumWords()) return;
+    if (words_.empty()) {
+      words_.resize(need, 0);
+      words_[0] = inline_word_;
+    } else {
+      words_.resize(need, 0);
+    }
+  }
+
+  uint64_t& WordRef(size_t i) {
+    return words_.empty() ? inline_word_ : words_[i];
+  }
+  uint64_t& WordFor(size_t bit) { return WordRef(bit / 64); }
+
+  // Inline fast path: used while the set fits in 64 bits (words_ empty).
+  uint64_t inline_word_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct DynamicBitsetHash {
+  size_t operator()(const DynamicBitset& b) const { return b.Hash(); }
+};
+
+}  // namespace astream
+
+#endif  // ASTREAM_COMMON_BITSET_H_

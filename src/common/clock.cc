@@ -1,0 +1,20 @@
+#include "common/clock.h"
+
+#include <chrono>
+
+namespace astream {
+
+TimestampMs WallClock::NowMs() const { return NowMicros() / 1000; }
+
+int64_t WallClock::NowMicros() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+WallClock* WallClock::Default() {
+  static WallClock clock;
+  return &clock;
+}
+
+}  // namespace astream

@@ -1,0 +1,65 @@
+#ifndef ASTREAM_COMMON_CLOCK_H_
+#define ASTREAM_COMMON_CLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace astream {
+
+/// Milliseconds since an arbitrary epoch. All stream timestamps (event time,
+/// watermarks, changelog times) use this unit.
+using TimestampMs = int64_t;
+
+/// Sentinel for "no timestamp yet" / minimal watermark.
+inline constexpr TimestampMs kMinTimestamp = INT64_MIN;
+/// Sentinel watermark signalling end-of-stream (flushes all windows).
+inline constexpr TimestampMs kMaxTimestamp = INT64_MAX;
+
+/// Time source abstraction so tests and deterministic runs can drive time
+/// manually while production code uses the wall clock.
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in milliseconds.
+  virtual TimestampMs NowMs() const = 0;
+  /// Current time in microseconds (for fine-grained latency sampling).
+  virtual int64_t NowMicros() const = 0;
+};
+
+/// Monotonic wall clock (steady_clock based).
+class WallClock : public Clock {
+ public:
+  TimestampMs NowMs() const override;
+  int64_t NowMicros() const override;
+
+  /// Process-wide shared instance.
+  static WallClock* Default();
+};
+
+/// Manually advanced clock for deterministic tests.
+class ManualClock : public Clock {
+ public:
+  explicit ManualClock(TimestampMs start_ms = 0)
+      : micros_(start_ms * 1000) {}
+
+  TimestampMs NowMs() const override {
+    return micros_.load(std::memory_order_relaxed) / 1000;
+  }
+  int64_t NowMicros() const override {
+    return micros_.load(std::memory_order_relaxed);
+  }
+
+  void AdvanceMs(TimestampMs delta_ms) {
+    micros_.fetch_add(delta_ms * 1000, std::memory_order_relaxed);
+  }
+  void SetMs(TimestampMs now_ms) {
+    micros_.store(now_ms * 1000, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> micros_;
+};
+
+}  // namespace astream
+
+#endif  // ASTREAM_COMMON_CLOCK_H_

@@ -1,0 +1,63 @@
+#ifndef ASTREAM_COMMON_LOGGING_H_
+#define ASTREAM_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace astream {
+
+/// Severity levels for the process-wide logger.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarn = 2,
+  kError = 3,
+  kOff = 4,
+};
+
+/// Minimal thread-safe leveled logger writing to stderr. Benchmarks raise
+/// the level to kWarn so measurement loops stay quiet.
+class Logger {
+ public:
+  /// Sets the minimum level that is emitted (process-wide).
+  static void SetLevel(LogLevel level);
+  static LogLevel GetLevel();
+
+  /// Emits one line "LEVEL [tag] message" if `level` passes the filter.
+  static void Log(LogLevel level, const std::string& tag,
+                  const std::string& message);
+};
+
+namespace internal_logging {
+
+/// Stream-style builder used by the ASTREAM_LOG macro; flushes on
+/// destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* tag) : level_(level), tag_(tag) {}
+  ~LogMessage() { Logger::Log(level_, tag_, stream_.str()); }
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    stream_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* tag_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace astream
+
+/// Usage: ASTREAM_LOG(kInfo, "executor") << "started " << n << " tasks";
+#define ASTREAM_LOG(level, tag)                       \
+  ::astream::internal_logging::LogMessage(            \
+      ::astream::LogLevel::level, (tag))
+
+#endif  // ASTREAM_COMMON_LOGGING_H_

@@ -1,0 +1,33 @@
+#ifndef ASTREAM_COMMON_RNG_H_
+#define ASTREAM_COMMON_RNG_H_
+
+#include <cstdint>
+
+namespace astream {
+
+/// Deterministic, fast pseudo-random generator (xoshiro256**), seeded via
+/// SplitMix64. Every experiment takes an explicit seed so runs are
+/// reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform 64-bit value.
+  uint64_t NextU64();
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Uniform double in [0, 1).
+  double UniformDouble();
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace astream
+
+#endif  // ASTREAM_COMMON_RNG_H_

@@ -1,0 +1,143 @@
+#ifndef ASTREAM_COMMON_STATUS_H_
+#define ASTREAM_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace astream {
+
+/// Error codes used across the library. Mirrors the RocksDB/Arrow idiom:
+/// no exceptions; fallible functions return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kAborted,
+  kInternal,
+  kUnimplemented,
+};
+
+/// Human-readable name of a status code ("OK", "InvalidArgument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on the success path (no
+/// allocation); carries a message only on error.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// errored Result is a programming error (asserts in debug builds).
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value and from Status, so `return value;` and
+  /// `return Status::...;` both work in functions returning Result<T>.
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the contained value or `fallback` if errored.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+/// Propagates a non-OK Status to the caller.
+#define ASTREAM_RETURN_IF_ERROR(expr)          \
+  do {                                         \
+    ::astream::Status _st = (expr);            \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+/// Evaluates an expression returning Result<T>; on error propagates the
+/// Status, otherwise assigns the value to `lhs`.
+#define ASTREAM_ASSIGN_OR_RETURN(lhs, expr)    \
+  auto _res_##__LINE__ = (expr);               \
+  if (!_res_##__LINE__.ok()) return _res_##__LINE__.status(); \
+  lhs = std::move(_res_##__LINE__).value()
+
+}  // namespace astream
+
+#endif  // ASTREAM_COMMON_STATUS_H_

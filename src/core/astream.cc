@@ -1,0 +1,562 @@
+#include "core/astream.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+#include "spe/operators.h"
+
+namespace astream::core {
+
+AStreamJob::AStreamJob(Options options)
+    : options_(options),
+      clock_(options.clock != nullptr ? options.clock
+                                      : WallClock::Default()),
+      session_(options.session) {}
+
+AStreamJob::~AStreamJob() { Stop(); }
+
+Result<std::unique_ptr<AStreamJob>> AStreamJob::Create(Options options) {
+  if (options.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (options.max_join_stages < 1 ||
+      options.max_join_stages > kMaxJoinDepth) {
+    return Status::InvalidArgument("max_join_stages out of range");
+  }
+  return std::unique_ptr<AStreamJob>(new AStreamJob(options));
+}
+
+spe::TopologySpec AStreamJob::BuildTopology() {
+  spe::TopologySpec spec;
+  const int par = options_.parallelism;
+  const bool overhead = options_.measure_overhead;
+
+  auto selection_factory = [this, overhead](StreamSide side) {
+    return [this, side, overhead](int) -> std::unique_ptr<spe::Operator> {
+      SharedSelection::Config cfg;
+      cfg.side = side;
+      cfg.measure_overhead = overhead;
+      cfg.use_predicate_index = options_.use_predicate_index;
+      auto op = std::make_unique<SharedSelection>(cfg);
+      {
+        std::lock_guard<std::mutex> lock(ops_mutex_);
+        selections_.push_back(op.get());
+      }
+      return op;
+    };
+  };
+
+  auto shared_config = [this](std::function<bool(const ActiveQuery&)> hosts) {
+    SharedOperatorConfig cfg;
+    cfg.hosts = std::move(hosts);
+    cfg.initial_mode = options_.initial_mode;
+    cfg.adaptive_mode = options_.adaptive_mode;
+    return cfg;
+  };
+
+  switch (options_.topology) {
+    case TopologyKind::kAggregation: {
+      spe::StageSpec sel;
+      sel.name = "shared-selection-a";
+      sel.parallelism = par;
+      sel.factory = selection_factory(StreamSide::kA);
+      const int s_sel = spec.AddStage(std::move(sel));
+      input_a_ = spec.AddExternalInput(
+          {"stream-a", s_sel, 0, spe::Partitioning::kHash});
+
+      spe::StageSpec agg;
+      agg.name = "shared-aggregation";
+      agg.parallelism = par;
+      agg.factory = [this](int) -> std::unique_ptr<spe::Operator> {
+        SharedAggregation::AggConfig cfg;
+        cfg.shared.hosts = [](const ActiveQuery& q) {
+          return q.desc.kind == QueryKind::kAggregation;
+        };
+        cfg.shared.initial_mode = options_.initial_mode;
+        cfg.shared.adaptive_mode = options_.adaptive_mode;
+        cfg.num_ports = 1;
+        auto op = std::make_unique<SharedAggregation>(std::move(cfg));
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          aggregations_.push_back(op.get());
+        }
+        return op;
+      };
+      agg.inputs = {{s_sel, 0, spe::Partitioning::kHash}};
+      const int s_agg = spec.AddStage(std::move(agg));
+
+      spe::StageSpec router;
+      router.name = "router";
+      router.parallelism = par;
+      router.num_ports = 2;
+      router.is_sink = true;
+      router.factory = [this, overhead](int) -> std::unique_ptr<spe::Operator> {
+        RouterOperator::Config cfg;
+        cfg.num_ports = 2;
+        cfg.measure_overhead = overhead;
+        cfg.routes_raw = [](const ActiveQuery& q, int port) {
+          return port == 0 && q.desc.kind == QueryKind::kSelection;
+        };
+        auto op = std::make_unique<RouterOperator>(std::move(cfg));
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          routers_.push_back(op.get());
+        }
+        return op;
+      };
+      router.inputs = {{s_sel, 0, spe::Partitioning::kHash},
+                       {s_agg, 1, spe::Partitioning::kHash}};
+      stage_router_ = spec.AddStage(std::move(router));
+      break;
+    }
+    case TopologyKind::kJoin: {
+      spe::StageSpec sel_a;
+      sel_a.name = "shared-selection-a";
+      sel_a.parallelism = par;
+      sel_a.factory = selection_factory(StreamSide::kA);
+      const int s_sel_a = spec.AddStage(std::move(sel_a));
+      input_a_ = spec.AddExternalInput(
+          {"stream-a", s_sel_a, 0, spe::Partitioning::kHash});
+
+      spe::StageSpec sel_b;
+      sel_b.name = "shared-selection-b";
+      sel_b.parallelism = par;
+      sel_b.factory = selection_factory(StreamSide::kB);
+      const int s_sel_b = spec.AddStage(std::move(sel_b));
+      input_b_ = spec.AddExternalInput(
+          {"stream-b", s_sel_b, 0, spe::Partitioning::kHash});
+
+      spe::StageSpec join;
+      join.name = "shared-join";
+      join.parallelism = par;
+      join.num_ports = 2;
+      join.factory = [this, shared_config](int)
+          -> std::unique_ptr<spe::Operator> {
+        auto op = std::make_unique<SharedJoin>(
+            shared_config([](const ActiveQuery& q) {
+              return q.desc.kind == QueryKind::kJoin;
+            }));
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          joins_.push_back(op.get());
+        }
+        return op;
+      };
+      join.inputs = {{s_sel_a, 0, spe::Partitioning::kHash},
+                     {s_sel_b, 1, spe::Partitioning::kHash}};
+      const int s_join = spec.AddStage(std::move(join));
+
+      spe::StageSpec router;
+      router.name = "router";
+      router.parallelism = par;
+      router.num_ports = 2;
+      router.is_sink = true;
+      router.factory = [this, overhead](int) -> std::unique_ptr<spe::Operator> {
+        RouterOperator::Config cfg;
+        cfg.num_ports = 2;
+        cfg.measure_overhead = overhead;
+        cfg.routes_raw = [](const ActiveQuery& q, int port) {
+          if (port == 0) return q.desc.kind == QueryKind::kSelection;
+          return q.desc.kind == QueryKind::kJoin;
+        };
+        auto op = std::make_unique<RouterOperator>(std::move(cfg));
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          routers_.push_back(op.get());
+        }
+        return op;
+      };
+      router.inputs = {{s_sel_a, 0, spe::Partitioning::kHash},
+                       {s_join, 1, spe::Partitioning::kHash}};
+      stage_router_ = spec.AddStage(std::move(router));
+      break;
+    }
+    case TopologyKind::kComplex: {
+      const int stages = options_.max_join_stages;
+      spe::StageSpec sel_a;
+      sel_a.name = "shared-selection-a";
+      sel_a.parallelism = par;
+      sel_a.factory = selection_factory(StreamSide::kA);
+      const int s_sel_a = spec.AddStage(std::move(sel_a));
+      input_a_ = spec.AddExternalInput(
+          {"stream-a", s_sel_a, 0, spe::Partitioning::kHash});
+
+      spe::StageSpec sel_b;
+      sel_b.name = "shared-selection-b";
+      sel_b.parallelism = par;
+      sel_b.factory = selection_factory(StreamSide::kB);
+      const int s_sel_b = spec.AddStage(std::move(sel_b));
+      input_b_ = spec.AddExternalInput(
+          {"stream-b", s_sel_b, 0, spe::Partitioning::kHash});
+
+      std::vector<int> join_stages;
+      int left_input = s_sel_a;
+      for (int k = 1; k <= stages; ++k) {
+        spe::StageSpec join;
+        join.name = "shared-join-" + std::to_string(k);
+        join.parallelism = par;
+        join.num_ports = 2;
+        join.factory = [this, shared_config, k](int)
+            -> std::unique_ptr<spe::Operator> {
+          auto op = std::make_unique<SharedJoin>(
+              shared_config([k](const ActiveQuery& q) {
+                return q.desc.kind == QueryKind::kComplex &&
+                       q.desc.join_depth >= k;
+              }));
+          {
+            std::lock_guard<std::mutex> lock(ops_mutex_);
+            joins_.push_back(op.get());
+          }
+          return op;
+        };
+        join.inputs = {{left_input, 0, spe::Partitioning::kHash},
+                       {s_sel_b, 1, spe::Partitioning::kHash}};
+        const int s_join = spec.AddStage(std::move(join));
+        join_stages.push_back(s_join);
+        left_input = s_join;
+      }
+
+      spe::StageSpec agg;
+      agg.name = "shared-aggregation";
+      agg.parallelism = par;
+      agg.num_ports = stages;
+      agg.factory = [this, stages](int) -> std::unique_ptr<spe::Operator> {
+        SharedAggregation::AggConfig cfg;
+        cfg.shared.hosts = [](const ActiveQuery& q) {
+          return q.desc.kind == QueryKind::kComplex;
+        };
+        cfg.shared.initial_mode = options_.initial_mode;
+        cfg.shared.adaptive_mode = options_.adaptive_mode;
+        cfg.num_ports = stages;
+        cfg.port_filter = [](const ActiveQuery& q, int port) {
+          return q.desc.join_depth == port + 1;
+        };
+        auto op = std::make_unique<SharedAggregation>(std::move(cfg));
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          aggregations_.push_back(op.get());
+        }
+        return op;
+      };
+      for (int k = 0; k < stages; ++k) {
+        agg.inputs.push_back(
+            {join_stages[k], k, spe::Partitioning::kHash});
+      }
+      const int s_agg = spec.AddStage(std::move(agg));
+
+      spe::StageSpec router;
+      router.name = "router";
+      router.parallelism = par;
+      router.num_ports = 2;
+      router.is_sink = true;
+      router.factory = [this, overhead](int) -> std::unique_ptr<spe::Operator> {
+        RouterOperator::Config cfg;
+        cfg.num_ports = 2;
+        cfg.measure_overhead = overhead;
+        cfg.routes_raw = [](const ActiveQuery& q, int port) {
+          return port == 0 && q.desc.kind == QueryKind::kSelection;
+        };
+        auto op = std::make_unique<RouterOperator>(std::move(cfg));
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          routers_.push_back(op.get());
+        }
+        return op;
+      };
+      router.inputs = {{s_sel_a, 0, spe::Partitioning::kHash},
+                       {s_agg, 1, spe::Partitioning::kHash}};
+      stage_router_ = spec.AddStage(std::move(router));
+      break;
+    }
+  }
+
+  total_instances_ = 0;
+  for (const auto& s : spec.stages()) total_instances_ += s.parallelism;
+  return spec;
+}
+
+Status AStreamJob::Start() {
+  if (started_) return Status::FailedPrecondition("already started");
+  spe::TopologySpec spec = BuildTopology();
+  auto sink = [this](int stage, int instance, const spe::StreamElement& el) {
+    HandleSink(stage, instance, el);
+  };
+  auto snapshot = [this](int64_t id, int stage, int instance,
+                         std::vector<uint8_t> state) {
+    checkpoint_store_.AddOperatorState(id, stage, instance,
+                                       std::move(state));
+    // +1: the shared session's control-plane snapshot (stage -1).
+    checkpoint_store_.MaybeComplete(id, total_instances_ + 1);
+  };
+  if (options_.threaded) {
+    runner_ = std::make_unique<spe::ThreadedRunner>(
+        std::move(spec), sink, snapshot, options_.channel_capacity);
+  } else {
+    runner_ = std::make_unique<spe::SyncRunner>(std::move(spec), sink,
+                                                snapshot);
+  }
+  ASTREAM_RETURN_IF_ERROR(runner_->Start());
+  started_ = true;
+  return Status::OK();
+}
+
+void AStreamJob::HandleSink(int stage, int instance,
+                            const spe::StreamElement& el) {
+  (void)stage;
+  (void)instance;
+  switch (el.kind) {
+    case spe::ElementKind::kRecord: {
+      const spe::Record& record = el.record;
+      if (record.channel < 0) return;  // unrouted (should not happen)
+      qos_.RecordOutput(record.channel, record.event_time,
+                        clock_->NowMs());
+      ResultCallback cb;
+      {
+        std::lock_guard<std::mutex> lock(callback_mutex_);
+        cb = result_callback_;
+      }
+      if (cb) cb(record.channel, record);
+      break;
+    }
+    case spe::ElementKind::kMarker: {
+      if (el.marker.kind != spe::MarkerKind::kChangelog) return;
+      std::vector<std::pair<QueryId, TimestampMs>> latencies;
+      {
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        const int acks = ++epoch_acks_[el.marker.epoch];
+        if (acks < options_.parallelism) return;
+        epoch_acks_.erase(el.marker.epoch);
+        session_.OnEpochDeployed(el.marker.epoch, clock_->NowMs(),
+                                 &latencies);
+      }
+      for (const auto& [id, latency] : latencies) {
+        qos_.RecordDeployment(id, latency);
+      }
+      ack_cv_.notify_all();
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+TimestampMs AStreamJob::ClampToMarkers(TimestampMs event_time) {
+  // A tuple pushed after a changelog marker must not sort before it in
+  // event time (the alignment invariant operators rely on). Markers are
+  // stamped at wall-time + 1, so a tuple generated in the same millisecond
+  // is nudged onto the marker's time.
+  std::lock_guard<std::mutex> lock(session_mutex_);
+  return std::max(event_time, session_.last_marker_time());
+}
+
+bool AStreamJob::PushA(TimestampMs event_time, spe::Row row) {
+  return runner_->Push(
+      input_a_, spe::StreamElement::MakeRecord(ClampToMarkers(event_time),
+                                               std::move(row)));
+}
+
+bool AStreamJob::PushB(TimestampMs event_time, spe::Row row) {
+  if (input_b_ < 0) return false;
+  return runner_->Push(
+      input_b_, spe::StreamElement::MakeRecord(ClampToMarkers(event_time),
+                                               std::move(row)));
+}
+
+void AStreamJob::PushWatermark(TimestampMs watermark) {
+  runner_->Push(input_a_, spe::StreamElement::MakeWatermark(watermark));
+  if (input_b_ >= 0) {
+    runner_->Push(input_b_, spe::StreamElement::MakeWatermark(watermark));
+  }
+}
+
+Status AStreamJob::ValidateQuery(const QueryDescriptor& desc) const {
+  switch (options_.topology) {
+    case TopologyKind::kAggregation:
+      if (desc.kind != QueryKind::kSelection &&
+          desc.kind != QueryKind::kAggregation) {
+        return Status::InvalidArgument(
+            "aggregation topology accepts selection/aggregation queries");
+      }
+      break;
+    case TopologyKind::kJoin:
+      if (desc.kind != QueryKind::kSelection &&
+          desc.kind != QueryKind::kJoin) {
+        return Status::InvalidArgument(
+            "join topology accepts selection/join queries");
+      }
+      if (desc.kind == QueryKind::kJoin && !desc.window.IsTimeWindow()) {
+        return Status::InvalidArgument(
+            "windowed joins require time windows");
+      }
+      break;
+    case TopologyKind::kComplex:
+      if (desc.kind != QueryKind::kSelection &&
+          desc.kind != QueryKind::kComplex) {
+        return Status::InvalidArgument(
+            "complex topology accepts selection/complex queries");
+      }
+      if (desc.kind == QueryKind::kComplex) {
+        if (!desc.window.IsTimeWindow()) {
+          return Status::InvalidArgument(
+              "complex queries require time windows");
+        }
+        if (desc.join_depth < 1 ||
+            desc.join_depth > options_.max_join_stages) {
+          return Status::InvalidArgument("join_depth out of range");
+        }
+      }
+      break;
+  }
+  if (desc.HasWindow() && desc.window.IsTimeWindow()) {
+    if (desc.window.length <= 0 || desc.window.slide <= 0 ||
+        desc.window.slide > desc.window.length) {
+      return Status::InvalidArgument("bad window length/slide");
+    }
+  }
+  if (desc.HasWindow() && !desc.window.IsTimeWindow() &&
+      desc.window.gap <= 0) {
+    return Status::InvalidArgument("bad session gap");
+  }
+  return Status::OK();
+}
+
+Result<QueryId> AStreamJob::Submit(const QueryDescriptor& desc) {
+  ASTREAM_RETURN_IF_ERROR(ValidateQuery(desc));
+  QueryId id;
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    id = session_.Submit(desc, clock_->NowMs());
+  }
+  Pump(false);
+  return id;
+}
+
+Status AStreamJob::Cancel(QueryId id) {
+  Status s;
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    s = session_.Cancel(id, clock_->NowMs());
+  }
+  if (s.ok()) Pump(false);
+  return s;
+}
+
+int AStreamJob::Pump(bool force) {
+  int injected = 0;
+  while (true) {
+    std::shared_ptr<const Changelog> log;
+    std::optional<StoreMode> mode_switch;
+    {
+      std::lock_guard<std::mutex> lock(session_mutex_);
+      log = session_.MaybeFlush(clock_->NowMs(), force);
+      if (log != nullptr) mode_switch = session_.TakeModeSwitch();
+    }
+    if (log == nullptr) break;
+    runner_->InjectMarker(Changelog::MakeMarker(log));
+    ++injected;
+    if (mode_switch.has_value()) {
+      auto payload = std::make_shared<ModeSwitchPayload>();
+      payload->mode = *mode_switch;
+      spe::ControlMarker marker;
+      marker.kind = spe::MarkerKind::kModeSwitch;
+      marker.epoch = next_mode_epoch_++;
+      marker.time = log->time;
+      marker.payload = std::move(payload);
+      runner_->InjectMarker(marker);
+    }
+  }
+  return injected;
+}
+
+bool AStreamJob::WaitForDeployment(TimestampMs timeout_ms) {
+  std::unique_lock<std::mutex> lock(session_mutex_);
+  return ack_cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                          [&] { return epoch_acks_.empty(); });
+}
+
+int64_t AStreamJob::TriggerCheckpoint() {
+  const int64_t id = next_checkpoint_epoch_++;
+  std::map<int, int64_t> offsets;  // recorded by the harness source log
+  checkpoint_store_.BeginCheckpoint(id, std::move(offsets));
+  // Control-plane snapshot: the shared session's slot allocator and id /
+  // epoch counters, taken atomically with the barrier injection so no
+  // changelog can slip between them.
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    spe::StateWriter writer;
+    session_.Serialize(&writer);
+    checkpoint_store_.AddOperatorState(id, kSessionStateStage, 0,
+                                       writer.TakeBuffer());
+    checkpoint_store_.MaybeComplete(id, total_instances_ + 1);
+    spe::ControlMarker marker;
+    marker.kind = spe::MarkerKind::kCheckpointBarrier;
+    marker.epoch = id;
+    marker.time = clock_->NowMs();
+    runner_->InjectMarker(marker);
+  }
+  return id;
+}
+
+Status AStreamJob::RestoreFrom(
+    const spe::CheckpointStore::Checkpoint& checkpoint) {
+  auto it = checkpoint.operator_state.find(
+      spe::CheckpointStore::StateKey(kSessionStateStage, 0));
+  if (it != checkpoint.operator_state.end()) {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    spe::StateReader reader(it->second);
+    ASTREAM_RETURN_IF_ERROR(session_.Restore(&reader));
+  }
+  return runner_->Restore(checkpoint);
+}
+
+void AStreamJob::FinishAndWait() {
+  if (!started_ || finished_) return;
+  Pump(true);
+  runner_->FinishAndWait();
+  finished_ = true;
+}
+
+void AStreamJob::Stop() {
+  if (!started_ || finished_) return;
+  runner_->Cancel();
+  finished_ = true;
+}
+
+void AStreamJob::SetResultCallback(ResultCallback callback) {
+  std::lock_guard<std::mutex> lock(callback_mutex_);
+  result_callback_ = std::move(callback);
+}
+
+AStreamJob::OperatorStats AStreamJob::CollectStats() const {
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  OperatorStats s;
+  for (const SharedSelection* sel : selections_) {
+    s.queryset_nanos += sel->queryset_nanos();
+  }
+  for (const RouterOperator* r : routers_) {
+    s.copy_nanos += r->copy_nanos();
+    s.router_records_out += r->records_routed();
+  }
+  for (const SharedJoin* j : joins_) {
+    s.bitset_ops += j->bitset_ops();
+    s.join_pairs_computed += j->pairs_computed();
+    s.join_pairs_reused += j->pairs_reused();
+    s.records_late += j->records_late();
+  }
+  for (const SharedAggregation* a : aggregations_) {
+    s.bitset_ops += a->bitset_ops();
+    s.records_late += a->records_late();
+  }
+  if (runner_ != nullptr) {
+    s.selection_records_in = runner_->StageRecordsIn(0);
+    s.selection_records_out = runner_->StageRecordsOut(0);
+  }
+  return s;
+}
+
+size_t AStreamJob::QueuedElements() const {
+  auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());
+  return threaded == nullptr ? 0 : threaded->TotalQueuedElements();
+}
+
+}  // namespace astream::core

@@ -1,0 +1,174 @@
+#ifndef ASTREAM_CORE_ASTREAM_H_
+#define ASTREAM_CORE_ASTREAM_H_
+
+#include <condition_variable>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/qos.h"
+#include "core/query.h"
+#include "core/router.h"
+#include "core/shared_aggregation.h"
+#include "core/shared_join.h"
+#include "core/shared_selection.h"
+#include "core/shared_session.h"
+#include "spe/runner.h"
+
+namespace astream::core {
+
+/// The public entry point of the AStream library: one *shared* streaming
+/// job that hosts an arbitrary, changing set of ad-hoc queries (Fig. 2).
+///
+/// Lifecycle:
+///   1. Create(options) — pick a topology family and parallelism.
+///   2. Start().
+///   3. From ONE control thread: Push*/PushWatermark data in event-time
+///      order, Submit/Cancel queries, and Pump() to flush session batches
+///      (markers are woven into the streams).
+///   4. Results arrive on the result callback (sink threads in threaded
+///      mode, inline in sync mode), tagged with their query id.
+///   5. FinishAndWait() or Stop().
+class AStreamJob {
+ public:
+  /// The three shared-topology families (Sec. 4: aggregation queries, join
+  /// queries, and complex pipelines of n-ary joins + aggregation).
+  enum class TopologyKind { kAggregation, kJoin, kComplex };
+
+  struct Options {
+    TopologyKind topology = TopologyKind::kAggregation;
+    /// Instances per shared operator — the "cluster node" equivalent.
+    int parallelism = 1;
+    /// Threaded runner (benchmarks) vs. deterministic sync runner (tests).
+    bool threaded = false;
+    SharedSession::Config session;
+    StoreMode initial_mode = StoreMode::kGrouped;
+    bool adaptive_mode = true;
+    /// Enable Fig. 18 overhead instrumentation.
+    bool measure_overhead = false;
+    /// Share predicate evaluation across queries via the selection's
+    /// predicate index (see SharedSelection::Config).
+    bool use_predicate_index = true;
+    size_t channel_capacity = 1024;
+    /// Join-stage count available for complex queries (1..kMaxJoinDepth).
+    int max_join_stages = kMaxJoinDepth;
+    Clock* clock = nullptr;  // defaults to WallClock
+  };
+
+  using ResultCallback =
+      std::function<void(QueryId, const spe::Record& record)>;
+
+  static Result<std::unique_ptr<AStreamJob>> Create(Options options);
+  ~AStreamJob();
+
+  AStreamJob(const AStreamJob&) = delete;
+  AStreamJob& operator=(const AStreamJob&) = delete;
+
+  Status Start();
+
+  /// Data input (event-time order per stream). Stream B exists only for
+  /// join/complex topologies.
+  bool PushA(TimestampMs event_time, spe::Row row);
+  bool PushB(TimestampMs event_time, spe::Row row);
+  /// Advances the watermark on all input streams.
+  void PushWatermark(TimestampMs watermark);
+
+  /// Submits an ad-hoc query (must match the topology family). The query
+  /// goes live when its changelog batch deploys.
+  Result<QueryId> Submit(const QueryDescriptor& desc);
+  Status Cancel(QueryId id);
+
+  /// Flushes due session batches into the streams; returns the number of
+  /// changelogs injected. Call regularly from the control thread.
+  int Pump(bool force = false);
+
+  /// Blocks until every flushed changelog has been applied by all router
+  /// instances (the driver's ACK, Fig. 5). Sync mode: immediate.
+  bool WaitForDeployment(TimestampMs timeout_ms = 10'000);
+
+  /// Injects a checkpoint barrier; returns its id. State lands in
+  /// checkpoints() once every instance snapshotted. The shared session's
+  /// control-plane state (slot allocator, id/epoch counters) is captured
+  /// too, so query ids stay consistent after recovery.
+  int64_t TriggerCheckpoint();
+  /// Restores all operator AND session state from a completed checkpoint
+  /// (call after Start, before any data).
+  Status RestoreFrom(const spe::CheckpointStore::Checkpoint& checkpoint);
+
+  /// Pseudo-stage index under which the session snapshot is stored.
+  static constexpr int kSessionStateStage = -1;
+  spe::CheckpointStore& checkpoints() { return checkpoint_store_; }
+
+  /// End-of-stream: flush pending batches, drain, join all tasks.
+  void FinishAndWait();
+  /// Hard cancel.
+  void Stop();
+
+  void SetResultCallback(ResultCallback callback);
+
+  QosMonitor& qos() { return qos_; }
+  const SharedSession& session() const { return session_; }
+
+  /// Aggregated operator instrumentation (Fig. 18 and observability).
+  struct OperatorStats {
+    int64_t queryset_nanos = 0;   // shared selections
+    int64_t copy_nanos = 0;       // routers
+    int64_t bitset_ops = 0;       // shared joins + aggregations
+    int64_t join_pairs_computed = 0;
+    int64_t join_pairs_reused = 0;
+    int64_t records_late = 0;
+    int64_t selection_records_in = 0;
+    int64_t selection_records_out = 0;
+    int64_t router_records_out = 0;
+  };
+  OperatorStats CollectStats() const;
+
+  /// Backpressure probe (threaded mode): queued elements across channels.
+  size_t QueuedElements() const;
+
+ private:
+  explicit AStreamJob(Options options);
+
+  spe::TopologySpec BuildTopology();
+  void HandleSink(int stage, int instance, const spe::StreamElement& el);
+  Status ValidateQuery(const QueryDescriptor& desc) const;
+  TimestampMs ClampToMarkers(TimestampMs event_time);
+
+  Options options_;
+  Clock* clock_;
+  SharedSession session_;
+  QosMonitor qos_;
+  spe::CheckpointStore checkpoint_store_;
+  std::unique_ptr<spe::Runner> runner_;
+
+  // Stage indices (filled by BuildTopology).
+  int stage_router_ = -1;
+  int input_a_ = -1;
+  int input_b_ = -1;
+  size_t total_instances_ = 0;
+
+  // Raw operator pointers for stats; valid while runner_ lives.
+  mutable std::mutex ops_mutex_;
+  std::vector<SharedSelection*> selections_;
+  std::vector<SharedJoin*> joins_;
+  std::vector<SharedAggregation*> aggregations_;
+  std::vector<RouterOperator*> routers_;
+
+  // Session + deployment ack state.
+  std::mutex session_mutex_;
+  std::condition_variable ack_cv_;
+  std::map<int64_t, int> epoch_acks_;  // changelog epoch -> router acks
+  int64_t next_mode_epoch_ = 1;
+  int64_t next_checkpoint_epoch_ = 1;
+
+  std::mutex callback_mutex_;
+  ResultCallback result_callback_;
+
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_ASTREAM_H_

@@ -1,0 +1,92 @@
+#include "core/cl_table.h"
+
+#include <cassert>
+
+namespace astream::core {
+
+void ClTable::AddSlice(int64_t index, QuerySet delta, size_t num_slots) {
+  if (deltas_.empty()) {
+    first_index_ = index;
+  } else {
+    assert(index == first_index_ + Size() && "slice indices must be dense");
+  }
+  deltas_.push_back(SliceEntry{std::move(delta), num_slots});
+}
+
+const QuerySet& ClTable::Mask(int64_t i, int64_t j) {
+  if (j > i) std::swap(i, j);
+  assert(j >= first_index_ && i <= last_index() && "slice evicted/unknown");
+  return ComputeMask(i, j);
+}
+
+const QuerySet& ClTable::ComputeMask(int64_t i, int64_t j) {
+  // Eq. 1, memoized. CL[j][j] is all-ones over the slot universe that
+  // existed when slice j was created; CL[i][j] = CL[i-1][j] & delta[i].
+  auto hit = memo_.find(MemoKey(i, j));
+  if (hit != memo_.end()) return hit->second;
+  if (i == j) {
+    auto [it, inserted] = memo_.try_emplace(
+        MemoKey(i, j),
+        QuerySet::AllSet(deltas_[i - first_index_].num_slots));
+    (void)inserted;
+    return it->second;
+  }
+  // Find the longest memoized prefix CL[k-1][j], then extend to i.
+  int64_t k = i;
+  while (k > j && memo_.find(MemoKey(k - 1, j)) == memo_.end()) --k;
+  QuerySet acc;
+  if (k == j) {
+    acc = QuerySet::AllSet(deltas_[j - first_index_].num_slots);
+  } else {
+    acc = memo_.at(MemoKey(k - 1, j));
+    acc &= deltas_[k - first_index_].delta;
+    memo_.emplace(MemoKey(k, j), acc);
+  }
+  for (int64_t m = k + 1; m <= i; ++m) {
+    acc &= deltas_[m - first_index_].delta;
+    memo_.emplace(MemoKey(m, j), acc);
+  }
+  return memo_.at(MemoKey(i, j));
+}
+
+void ClTable::EvictBelow(int64_t min_index) {
+  while (!deltas_.empty() && first_index_ < min_index) {
+    deltas_.pop_front();
+    ++first_index_;
+  }
+  // Drop memo entries touching evicted slices.
+  for (auto it = memo_.begin(); it != memo_.end();) {
+    const int64_t j = static_cast<int32_t>(it->first & 0xffffffff);
+    if (j < min_index) {
+      it = memo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void ClTable::Serialize(spe::StateWriter* writer) const {
+  writer->WriteI64(first_index_);
+  writer->WriteU64(deltas_.size());
+  for (const SliceEntry& e : deltas_) {
+    writer->WriteBitset(e.delta);
+    writer->WriteU64(e.num_slots);
+  }
+}
+
+Status ClTable::Restore(spe::StateReader* reader) {
+  deltas_.clear();
+  memo_.clear();
+  first_index_ = reader->ReadI64();
+  const uint64_t n = reader->ReadU64();
+  for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
+    SliceEntry e;
+    e.delta = reader->ReadBitset();
+    e.num_slots = reader->ReadU64();
+    deltas_.push_back(std::move(e));
+  }
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad ClTable snapshot");
+}
+
+}  // namespace astream::core

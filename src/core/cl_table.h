@@ -1,0 +1,79 @@
+#ifndef ASTREAM_CORE_CL_TABLE_H_
+#define ASTREAM_CORE_CL_TABLE_H_
+
+#include <cstdint>
+#include <deque>
+#include <unordered_map>
+
+#include "core/query.h"
+
+namespace astream::core {
+
+/// Changelog-set table over window slices (Sec. 2.1.2, Eq. 1).
+///
+/// Every slice i carries a delta mask: the changelog-set between slice i-1
+/// and slice i (all-ones when no query changed at that boundary). The mask
+/// between two slices j <= i is
+///
+///     CL[i][j] = 1                         if i == j
+///     CL[i][j] = CL[i-1][j] & delta[i]     if i >  j        (Eq. 1)
+///
+/// i.e. bit q survives iff slot q was never touched by a changelog in the
+/// span (j, i]. Combining tuples/partials from slices i and j is valid for
+/// query slot q only if CL[i][j] has bit q — this is what makes bitwise
+/// operations between tuples born under different query populations
+/// consistent, including after slot reuse.
+///
+/// The table memoizes rows with the paper's dynamic program and evicts
+/// rows/deltas when slices are evicted.
+class ClTable {
+ public:
+  /// Registers slice `index` (consecutive, increasing) with the delta mask
+  /// at its left boundary and the slot-universe size at creation time.
+  /// `delta` must be all-ones over the universe if no changelog occurred
+  /// at the boundary.
+  void AddSlice(int64_t index, QuerySet delta, size_t num_slots);
+
+  /// CL mask between slices i and j (order-insensitive). Both slices must
+  /// be registered and not evicted.
+  const QuerySet& Mask(int64_t i, int64_t j);
+
+  /// Convenience: Mask(i, j).Test(slot).
+  bool SlotUnchanged(int64_t i, int64_t j, int slot) {
+    return Mask(i, j).Test(slot);
+  }
+
+  /// Drops all state for slices with index < min_index.
+  void EvictBelow(int64_t min_index);
+
+  int64_t first_index() const { return first_index_; }
+  int64_t last_index() const { return first_index_ + Size() - 1; }
+  int64_t Size() const { return static_cast<int64_t>(deltas_.size()); }
+
+  /// Number of memoized masks currently held (observability/tests).
+  size_t MemoSize() const { return memo_.size(); }
+
+  /// Checkpointing: deltas and indices only (the memo is recomputable).
+  void Serialize(spe::StateWriter* writer) const;
+  Status Restore(spe::StateReader* reader);
+
+ private:
+  const QuerySet& ComputeMask(int64_t i, int64_t j);
+
+  static uint64_t MemoKey(int64_t i, int64_t j) {
+    return (static_cast<uint64_t>(i) << 32) | static_cast<uint32_t>(j);
+  }
+
+  struct SliceEntry {
+    QuerySet delta;
+    size_t num_slots = 0;
+  };
+
+  int64_t first_index_ = 0;
+  std::deque<SliceEntry> deltas_;
+  std::unordered_map<uint64_t, QuerySet> memo_;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_CL_TABLE_H_

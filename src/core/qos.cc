@@ -1,0 +1,76 @@
+#include "core/qos.h"
+
+#include <algorithm>
+
+namespace astream::core {
+
+void LatencyStats::Add(int64_t value) {
+  if (count_ == 0) {
+    min_ = value;
+    max_ = value;
+  } else {
+    min_ = std::min(min_, value);
+    max_ = std::max(max_, value);
+  }
+  sum_ += value;
+  if (count_ % stride_ == 0) {
+    if (samples_.size() >= kMaxSamples) {
+      // Thin the buffer: keep every other sample, double the stride.
+      std::vector<int64_t> thinned;
+      thinned.reserve(samples_.size() / 2);
+      for (size_t i = 0; i < samples_.size(); i += 2) {
+        thinned.push_back(samples_[i]);
+      }
+      samples_ = std::move(thinned);
+      stride_ *= 2;
+    }
+    samples_.push_back(value);
+  }
+  ++count_;
+}
+
+int64_t LatencyStats::Percentile(double p) const {
+  if (samples_.empty()) return 0;
+  std::sort(samples_.begin(), samples_.end());
+  const double rank = p / 100.0 * (samples_.size() - 1);
+  const size_t idx = static_cast<size_t>(rank);
+  return samples_[std::min(idx, samples_.size() - 1)];
+}
+
+void QosMonitor::RecordOutput(QueryId query, TimestampMs event_time,
+                              TimestampMs now) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  event_time_latency_.Add(now - event_time);
+  ++total_outputs_;
+  ++outputs_per_query_[query];
+}
+
+void QosMonitor::RecordDeployment(QueryId query, TimestampMs latency) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  deployment_latency_.Add(latency);
+  deployment_events_.emplace_back(query, latency);
+}
+
+QosMonitor::Snapshot QosMonitor::TakeSnapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Snapshot s;
+  s.event_time_latency = event_time_latency_;
+  s.deployment_latency = deployment_latency_;
+  s.total_outputs = total_outputs_;
+  s.outputs_per_query = outputs_per_query_;
+  s.deployment_events = deployment_events_;
+  return s;
+}
+
+int64_t QosMonitor::total_outputs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_outputs_;
+}
+
+int64_t QosMonitor::OutputsOf(QueryId query) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = outputs_per_query_.find(query);
+  return it == outputs_per_query_.end() ? 0 : it->second;
+}
+
+}  // namespace astream::core

@@ -1,0 +1,112 @@
+#ifndef ASTREAM_CORE_QUERY_H_
+#define ASTREAM_CORE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "spe/aggregate.h"
+#include "spe/row.h"
+#include "spe/state.h"
+#include "spe/window.h"
+
+namespace astream::core {
+
+/// A query-set: the set of queries (by slot index) interested in a tuple
+/// (Sec. 2.1.1). Encoded as a bitset; slots of deleted queries are reused
+/// for new queries (Fig. 3c).
+using QuerySet = DynamicBitset;
+
+/// Globally unique, never reused query identity. Slots (bit positions) are
+/// reused; ids are not.
+using QueryId = int64_t;
+
+/// Comparison operators of generated selection predicates (Sec. 4.2.2).
+enum class CmpOp : uint8_t { kLt, kGt, kEq, kLe, kGe };
+
+const char* CmpOpName(CmpOp op);
+
+/// One comparison `row[column] op constant`.
+struct Predicate {
+  int column = 1;
+  CmpOp op = CmpOp::kLt;
+  spe::Value constant = 0;
+
+  bool Eval(const spe::Row& row) const {
+    const spe::Value v = row.At(column);
+    switch (op) {
+      case CmpOp::kLt:
+        return v < constant;
+      case CmpOp::kGt:
+        return v > constant;
+      case CmpOp::kEq:
+        return v == constant;
+      case CmpOp::kLe:
+        return v <= constant;
+      case CmpOp::kGe:
+        return v >= constant;
+    }
+    return false;
+  }
+
+  std::string ToString() const;
+
+  bool operator==(const Predicate& o) const {
+    return column == o.column && op == o.op && constant == o.constant;
+  }
+  bool operator<(const Predicate& o) const {
+    if (column != o.column) return column < o.column;
+    if (op != o.op) return op < o.op;
+    return constant < o.constant;
+  }
+};
+
+/// True iff all predicates hold (conjunction; empty list accepts all).
+bool EvalConjunction(const std::vector<Predicate>& predicates,
+                     const spe::Row& row);
+
+/// Query families supported by AStream (Sec. 1.3): selections, windowed
+/// aggregations, windowed joins, and complex pipelines of n-ary joins
+/// followed by an aggregation (Sec. 4.7).
+enum class QueryKind : uint8_t {
+  kSelection,
+  kAggregation,
+  kJoin,
+  kComplex,
+};
+
+const char* QueryKindName(QueryKind kind);
+
+/// Full description of one user query. Immutable once submitted.
+struct QueryDescriptor {
+  QueryKind kind = QueryKind::kSelection;
+  /// Selection predicates on stream A (all kinds) and stream B (joins).
+  std::vector<Predicate> select_a;
+  std::vector<Predicate> select_b;
+  /// Window of the aggregation / join stages (ignored for selections).
+  spe::WindowSpec window;
+  /// Aggregation (kAggregation and kComplex).
+  spe::AggSpec agg;
+  /// Number of chained join stages for kComplex (1..kMaxJoinDepth).
+  int join_depth = 1;
+
+  bool HasWindow() const { return kind != QueryKind::kSelection; }
+  bool HasJoin() const {
+    return kind == QueryKind::kJoin || kind == QueryKind::kComplex;
+  }
+  bool HasAgg() const {
+    return kind == QueryKind::kAggregation || kind == QueryKind::kComplex;
+  }
+
+  std::string ToString() const;
+
+  void Serialize(spe::StateWriter* writer) const;
+  static QueryDescriptor Deserialize(spe::StateReader* reader);
+};
+
+/// Maximum join chain length of complex queries (Sec. 4.7: 1 <= n <= 5).
+inline constexpr int kMaxJoinDepth = 5;
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_QUERY_H_

@@ -1,0 +1,40 @@
+#ifndef ASTREAM_CORE_REGISTRY_H_
+#define ASTREAM_CORE_REGISTRY_H_
+
+#include <set>
+
+#include "core/changelog.h"
+
+namespace astream::core {
+
+/// Session-side slot bookkeeping. Reuses slots of deleted queries so
+/// query-sets stay compact (Fig. 3c); grows the universe only when no free
+/// slot exists. Lowest free slot first, which keeps the assignment
+/// deterministic and replayable.
+class SlotAllocator {
+ public:
+  /// Returns the slot for a new query (lowest free, or a fresh one).
+  int Acquire() {
+    if (!free_slots_.empty()) {
+      const int slot = *free_slots_.begin();
+      free_slots_.erase(free_slots_.begin());
+      return slot;
+    }
+    return num_slots_++;
+  }
+
+  /// Releases a slot for reuse.
+  void Release(int slot) { free_slots_.insert(slot); }
+
+  /// Current universe size (highest ever slot + 1).
+  size_t num_slots() const { return static_cast<size_t>(num_slots_); }
+  size_t num_free() const { return free_slots_.size(); }
+
+ private:
+  int num_slots_ = 0;
+  std::set<int> free_slots_;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_REGISTRY_H_

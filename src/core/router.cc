@@ -1,0 +1,82 @@
+#include "core/router.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace astream::core {
+
+RouterOperator::RouterOperator(Config config) : config_(std::move(config)) {
+  if (!config_.routes_raw) {
+    config_.routes_raw = [](const ActiveQuery& q, int port) {
+      (void)port;
+      return q.desc.kind == QueryKind::kSelection;
+    };
+  }
+}
+
+void RouterOperator::ProcessRecord(int port, spe::Record record,
+                                   spe::Collector* out) {
+  std::chrono::steady_clock::time_point start;
+  if (config_.measure_overhead) start = std::chrono::steady_clock::now();
+
+  if (record.channel >= 0) {
+    // Pre-resolved windowed result: ship as-is, keeping the channel stamp.
+    ++records_routed_;
+    spe::StreamElement el;
+    el.kind = spe::ElementKind::kRecord;
+    el.record = std::move(record);
+    out->Emit(std::move(el));
+  } else {
+    // Raw tuple: copy to every subscribed query's channel.
+    record.tags.ForEachSetBit([&](size_t slot) {
+      const ActiveQuery* q = table_.QueryAt(static_cast<int>(slot));
+      if (q == nullptr || !config_.routes_raw(*q, port)) return;
+      spe::Record copy;
+      copy.event_time = record.event_time;
+      copy.row = record.row;  // the data copy (Sec. 3.2.2)
+      copy.tags = QuerySet::Single(slot);
+      copy.channel = q->id;
+      ++records_routed_;
+      spe::StreamElement el;
+      el.kind = spe::ElementKind::kRecord;
+      el.record = std::move(copy);
+      out->Emit(std::move(el));
+    });
+  }
+
+  if (config_.measure_overhead) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    copy_nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count(),
+        std::memory_order_relaxed);
+  }
+}
+
+void RouterOperator::OnMarker(const spe::ControlMarker& marker,
+                              spe::Collector* out) {
+  (void)out;
+  const Changelog* log = Changelog::FromMarker(marker);
+  if (log == nullptr) return;
+  const Status s = table_.Apply(*log);
+  if (!s.ok()) {
+    ASTREAM_LOG(kError, "router")
+        << "changelog apply failed: " << s.ToString();
+  }
+}
+
+Status RouterOperator::SnapshotState(spe::StateWriter* writer) {
+  table_.Serialize(writer);
+  writer->WriteI64(records_routed_);
+  return Status::OK();
+}
+
+Status RouterOperator::RestoreState(spe::StateReader* reader) {
+  ASTREAM_RETURN_IF_ERROR(table_.Restore(reader));
+  records_routed_ = reader->ReadI64();
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad router snapshot");
+}
+
+}  // namespace astream::core

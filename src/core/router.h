@@ -1,0 +1,57 @@
+#ifndef ASTREAM_CORE_ROUTER_H_
+#define ASTREAM_CORE_ROUTER_H_
+
+#include <atomic>
+#include <functional>
+
+#include "core/changelog.h"
+#include "spe/operator.h"
+
+namespace astream::core {
+
+/// The router (Sec. 3.1.6): the terminal shared operator. Every incoming
+/// record is shipped to the output channel of each query encoded in its
+/// query-set — this is the one place AStream copies data (Sec. 3.2.2).
+/// Records that already carry an explicit channel id (results of windowed
+/// queries, stamped by the shared join/aggregation) are forwarded without
+/// slot resolution, which keeps routing correct across slot reuse.
+class RouterOperator : public spe::Operator {
+ public:
+  struct Config {
+    /// Which queries receive *raw* (un-windowed) tuples from `port` — e.g.
+    /// selection-only queries on the raw-tuple port. Defaults to
+    /// selection queries on every port.
+    std::function<bool(const ActiveQuery&, int port)> routes_raw;
+    int num_ports = 1;
+    /// When true, per-record copy time is accumulated (Fig. 18).
+    bool measure_overhead = false;
+  };
+
+  explicit RouterOperator(Config config);
+
+  int num_ports() const override { return config_.num_ports; }
+  void ProcessRecord(int port, spe::Record record,
+                     spe::Collector* out) override;
+  void OnMarker(const spe::ControlMarker& marker,
+                spe::Collector* out) override;
+  Status SnapshotState(spe::StateWriter* writer) override;
+  Status RestoreState(spe::StateReader* reader) override;
+
+  const ActiveQueryTable& table() const { return table_; }
+
+  /// Total nanoseconds spent copying records to query channels.
+  int64_t copy_nanos() const {
+    return copy_nanos_.load(std::memory_order_relaxed);
+  }
+  int64_t records_routed() const { return records_routed_; }
+
+ private:
+  Config config_;
+  ActiveQueryTable table_;
+  int64_t records_routed_ = 0;
+  std::atomic<int64_t> copy_nanos_{0};
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_ROUTER_H_

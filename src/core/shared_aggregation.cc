@@ -1,0 +1,279 @@
+#include "core/shared_aggregation.h"
+
+#include <algorithm>
+
+namespace astream::core {
+
+SharedAggregation::SharedAggregation(AggConfig config)
+    : SharedWindowedOperator(config.shared), config_(std::move(config)) {
+  if (!config_.port_filter) {
+    config_.port_filter = [](const ActiveQuery& q, int port) {
+      (void)q;
+      (void)port;
+      return true;
+    };
+  }
+  port_masks_.resize(config_.num_ports);
+}
+
+void SharedAggregation::OnActiveSetChanged() {
+  slot_info_.assign(table().num_slots(), SlotInfo{});
+  table().ForEach([&](const ActiveQuery& q) {
+    if (!hosted_mask().Test(q.slot)) return;
+    SlotInfo& info = slot_info_[q.slot];
+    info.valid = true;
+    info.session = !q.desc.window.IsTimeWindow();
+    info.agg_column = q.desc.agg.column;
+    info.agg_kind = q.desc.agg.kind;
+  });
+  for (int p = 0; p < config_.num_ports; ++p) {
+    port_masks_[p] = table().SlotsWhere([&](const ActiveQuery& q) {
+      return hosted_mask().Test(q.slot) && config_.port_filter(q, p);
+    });
+  }
+}
+
+void SharedAggregation::OnQueryCreated(const ActiveQuery& query) {
+  if (query.desc.window.IsTimeWindow()) return;
+  SessionQuery sq;
+  sq.id = query.id;
+  sq.slot = query.slot;
+  sq.gap = query.desc.window.gap;
+  sq.agg_kind = query.desc.agg.kind;
+  sq.agg_column = query.desc.agg.column;
+  session_queries_[query.id] = std::move(sq);
+}
+
+void SharedAggregation::OnQueryDeleted(const DrainingQuery& draining) {
+  auto it = session_queries_.find(draining.query.id);
+  if (it == session_queries_.end()) return;
+  SessionQuery& sq = it->second;
+  sq.deleted_at = draining.deleted_at;
+  // Cancel sessions that cannot close by the deletion time.
+  for (auto kit = sq.sessions.begin(); kit != sq.sessions.end();) {
+    auto& sessions = kit->second;
+    sessions.erase(
+        std::remove_if(sessions.begin(), sessions.end(),
+                       [&](const SessionState& s) {
+                         return s.last + sq.gap > sq.deleted_at;
+                       }),
+        sessions.end());
+    kit = sessions.empty() ? sq.sessions.erase(kit) : std::next(kit);
+  }
+  if (sq.sessions.empty()) session_queries_.erase(it);
+}
+
+void SharedAggregation::AddToSession(SessionQuery* sq, spe::Value key,
+                                     TimestampMs t, spe::Value value) {
+  auto& sessions = sq->sessions[key];
+  SessionState merged;
+  merged.start = t;
+  merged.last = t;
+  merged.acc.Add(value);
+  std::vector<SessionState> kept;
+  kept.reserve(sessions.size());
+  for (SessionState& s : sessions) {
+    const bool overlaps = t + sq->gap > s.start && s.last + sq->gap > t;
+    if (overlaps) {
+      merged.start = std::min(merged.start, s.start);
+      merged.last = std::max(merged.last, s.last);
+      merged.acc.Merge(s.acc);
+    } else {
+      kept.push_back(std::move(s));
+    }
+  }
+  kept.push_back(std::move(merged));
+  std::sort(kept.begin(), kept.end(),
+            [](const SessionState& a, const SessionState& b) {
+              return a.start < b.start;
+            });
+  sessions = std::move(kept);
+}
+
+void SharedAggregation::ProcessRecord(int port, spe::Record record,
+                                      spe::Collector* out) {
+  (void)out;
+  NoteEventTime(record.event_time);
+  if (record.event_time < current_watermark()) {
+    ++records_late_;
+    return;
+  }
+  QuerySet tags = record.tags & port_masks_[port];
+  ++bitset_ops_;
+  if (tags.None()) return;
+
+  // Split into time-window slots (slice partials) and session slots.
+  AggStore* store = nullptr;
+  tags.ForEachSetBit([&](size_t slot) {
+    const SlotInfo& info = slot_info_[slot];
+    if (!info.valid) return;
+    const spe::Value v = record.row.At(info.agg_column);
+    if (info.session) {
+      const ActiveQuery* q = table().QueryAt(static_cast<int>(slot));
+      if (q == nullptr) return;
+      auto it = session_queries_.find(q->id);
+      if (it != session_queries_.end()) {
+        AddToSession(&it->second, record.row.key(), record.event_time, v);
+      }
+      return;
+    }
+    if (store == nullptr) {
+      const SliceInfo slice = tracker().SliceFor(record.event_time);
+      store = &stores_[slice.index];
+    }
+    store->Add(record.row.key(), static_cast<int>(slot), v);
+  });
+}
+
+void SharedAggregation::TriggerWindows(
+    TimestampMs start, TimestampMs end,
+    const std::vector<TriggeredQuery>& queries, spe::Collector* out) {
+  const std::vector<SliceInfo> slices = tracker().SlicesIn(start, end);
+  if (slices.empty()) return;
+  const int64_t last_index = slices.back().index;
+  const TimestampMs result_time = end - 1;
+
+  for (const TriggeredQuery& tq : queries) {
+    const ActiveQuery& q = *tq.query;
+    if (!q.desc.window.IsTimeWindow()) continue;
+    // Combine per-key partials across the window's slices, masking slot
+    // validity through the CL table (guards slot reuse).
+    std::map<spe::Value, spe::Accumulator> combined;
+    for (const SliceInfo& s : slices) {
+      auto it = stores_.find(s.index);
+      if (it == stores_.end()) continue;
+      ++bitset_ops_;
+      if (!tracker().cl_table().SlotUnchanged(last_index, s.index, q.slot)) {
+        continue;
+      }
+      it->second.ForEachKey(q.slot,
+                            [&](spe::Value key, const spe::Accumulator& acc) {
+                              combined[key].Merge(acc);
+                            });
+    }
+    for (const auto& [key, acc] : combined) {
+      spe::StreamElement el;
+      el.kind = spe::ElementKind::kRecord;
+      el.record.event_time = result_time;
+      el.record.row = spe::Row{key, acc.Finalize(q.desc.agg.kind)};
+      el.record.tags = QuerySet::Single(q.slot);
+      el.record.channel = q.id;
+      out->Emit(std::move(el));
+    }
+  }
+}
+
+void SharedAggregation::OnWatermarkTail(TimestampMs watermark,
+                                        spe::Collector* out) {
+  // Close expired sessions (and fully drain deleted session queries).
+  for (auto it = session_queries_.begin(); it != session_queries_.end();) {
+    SessionQuery& sq = it->second;
+    for (auto kit = sq.sessions.begin(); kit != sq.sessions.end();) {
+      auto& sessions = kit->second;
+      auto sit = sessions.begin();
+      while (sit != sessions.end() && sit->last + sq.gap <= watermark) {
+        spe::StreamElement el;
+        el.kind = spe::ElementKind::kRecord;
+        el.record.event_time = sit->last + sq.gap - 1;
+        el.record.row =
+            spe::Row{kit->first, sit->acc.Finalize(sq.agg_kind)};
+        el.record.tags = QuerySet::Single(sq.slot);
+        el.record.channel = sq.id;
+        out->Emit(std::move(el));
+        sit = sessions.erase(sit);
+      }
+      kit = sessions.empty() ? sq.sessions.erase(kit) : std::next(kit);
+    }
+    const bool deleted = sq.deleted_at != kMaxTimestamp;
+    if (deleted && sq.sessions.empty()) {
+      it = session_queries_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SharedAggregation::OnSlicesEvicted(const std::vector<int64_t>& indices) {
+  if (indices.empty()) return;
+  const int64_t max_evicted = indices.back();
+  auto it = stores_.begin();
+  while (it != stores_.end() && it->first <= max_evicted) {
+    it = stores_.erase(it);
+  }
+}
+
+Status SharedAggregation::SnapshotState(spe::StateWriter* writer) {
+  SerializeBase(writer);
+  writer->WriteU64(stores_.size());
+  for (const auto& [index, store] : stores_) {
+    writer->WriteI64(index);
+    store.Serialize(writer);
+  }
+  writer->WriteU64(session_queries_.size());
+  for (const auto& [id, sq] : session_queries_) {
+    writer->WriteI64(sq.id);
+    writer->WriteI64(sq.slot);
+    writer->WriteI64(sq.gap);
+    writer->WriteI64(static_cast<int64_t>(sq.agg_kind));
+    writer->WriteI64(sq.agg_column);
+    writer->WriteI64(sq.deleted_at);
+    writer->WriteU64(sq.sessions.size());
+    for (const auto& [key, sessions] : sq.sessions) {
+      writer->WriteI64(key);
+      writer->WriteU64(sessions.size());
+      for (const SessionState& s : sessions) {
+        writer->WriteI64(s.start);
+        writer->WriteI64(s.last);
+        writer->WriteI64(s.acc.sum);
+        writer->WriteI64(s.acc.count);
+        writer->WriteI64(s.acc.min);
+        writer->WriteI64(s.acc.max);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status SharedAggregation::RestoreState(spe::StateReader* reader) {
+  ASTREAM_RETURN_IF_ERROR(RestoreBase(reader));
+  stores_.clear();
+  const uint64_t num_stores = reader->ReadU64();
+  for (uint64_t i = 0; i < num_stores && reader->Ok(); ++i) {
+    const int64_t index = reader->ReadI64();
+    stores_.emplace(index, AggStore::Deserialize(reader));
+  }
+  session_queries_.clear();
+  const uint64_t num_sq = reader->ReadU64();
+  for (uint64_t i = 0; i < num_sq && reader->Ok(); ++i) {
+    SessionQuery sq;
+    sq.id = reader->ReadI64();
+    sq.slot = static_cast<int>(reader->ReadI64());
+    sq.gap = reader->ReadI64();
+    sq.agg_kind = static_cast<spe::AggKind>(reader->ReadI64());
+    sq.agg_column = static_cast<int>(reader->ReadI64());
+    sq.deleted_at = reader->ReadI64();
+    const uint64_t num_keys = reader->ReadU64();
+    for (uint64_t k = 0; k < num_keys && reader->Ok(); ++k) {
+      const spe::Value key = reader->ReadI64();
+      auto& sessions = sq.sessions[key];
+      const uint64_t n = reader->ReadU64();
+      for (uint64_t s = 0; s < n && reader->Ok(); ++s) {
+        SessionState st;
+        st.start = reader->ReadI64();
+        st.last = reader->ReadI64();
+        st.acc.sum = reader->ReadI64();
+        st.acc.count = reader->ReadI64();
+        st.acc.min = reader->ReadI64();
+        st.acc.max = reader->ReadI64();
+        sessions.push_back(st);
+      }
+    }
+    session_queries_[sq.id] = std::move(sq);
+  }
+  // Rebuild derived caches.
+  OnActiveSetChanged();
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad shared-aggregation snapshot");
+}
+
+}  // namespace astream::core

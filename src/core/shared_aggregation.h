@@ -1,0 +1,97 @@
+#ifndef ASTREAM_CORE_SHARED_AGGREGATION_H_
+#define ASTREAM_CORE_SHARED_AGGREGATION_H_
+
+#include <map>
+#include <vector>
+
+#include "core/shared_operator.h"
+
+namespace astream::core {
+
+/// The shared windowed aggregation (Sec. 3.1.5).
+///
+/// Unlike the shared join, tuples are not materialized: each slice keeps,
+/// per key, one partial accumulator per interested query slot; the tuple is
+/// discarded after updating them. A query window combines the partials of
+/// its slices (masked through the CL table) and emits one [key, aggregate]
+/// row per key, stamped with the query's output channel.
+///
+/// Session windows (gap-based) are supported per Sec. 3.1.3: they do not
+/// align to shared slices, so the operator tracks per-(query, key) session
+/// accumulators directly; selection and routing are still shared.
+class SharedAggregation : public SharedWindowedOperator {
+ public:
+  struct AggConfig {
+    SharedOperatorConfig shared;
+    /// Number of input ports (1 for aggregation topologies; one per join
+    /// stage in complex topologies).
+    int num_ports = 1;
+    /// Which queries consume records arriving on `port`. Defaults to
+    /// every hosted query on every port.
+    std::function<bool(const ActiveQuery&, int port)> port_filter;
+  };
+
+  explicit SharedAggregation(AggConfig config);
+
+  int num_ports() const override { return config_.num_ports; }
+  void ProcessRecord(int port, spe::Record record,
+                     spe::Collector* out) override;
+  Status SnapshotState(spe::StateWriter* writer) override;
+  Status RestoreState(spe::StateReader* reader) override;
+
+  int64_t bitset_ops() const { return bitset_ops_; }
+  int64_t records_late() const { return records_late_; }
+
+ protected:
+  void TriggerWindows(TimestampMs start, TimestampMs end,
+                      const std::vector<TriggeredQuery>& queries,
+                      spe::Collector* out) override;
+  void OnSlicesEvicted(const std::vector<int64_t>& indices) override;
+  void OnActiveSetChanged() override;
+  void OnQueryCreated(const ActiveQuery& query) override;
+  void OnQueryDeleted(const DrainingQuery& draining) override;
+  void OnWatermarkTail(TimestampMs watermark, spe::Collector* out) override;
+
+ private:
+  /// Cached per-slot facts, rebuilt on every changelog.
+  struct SlotInfo {
+    bool valid = false;
+    bool session = false;
+    int agg_column = 1;
+    spe::AggKind agg_kind = spe::AggKind::kSum;
+  };
+
+  struct SessionState {
+    TimestampMs start = 0;
+    TimestampMs last = 0;
+    spe::Accumulator acc;
+  };
+
+  /// Session-window bookkeeping of one hosted session query.
+  struct SessionQuery {
+    QueryId id = -1;
+    int slot = -1;
+    TimestampMs gap = 0;
+    spe::AggKind agg_kind = spe::AggKind::kSum;
+    int agg_column = 1;
+    /// Set when the query was deleted: sessions closing after this are
+    /// cancelled; sessions closing at or before it still emit.
+    TimestampMs deleted_at = kMaxTimestamp;
+    std::map<spe::Value, std::vector<SessionState>> sessions;
+  };
+
+  void AddToSession(SessionQuery* sq, spe::Value key, TimestampMs t,
+                    spe::Value value);
+
+  AggConfig config_;
+  std::map<int64_t, AggStore> stores_;  // slice index -> partials
+  std::vector<SlotInfo> slot_info_;
+  std::vector<QuerySet> port_masks_;
+  std::map<QueryId, SessionQuery> session_queries_;
+  int64_t bitset_ops_ = 0;
+  int64_t records_late_ = 0;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_SHARED_AGGREGATION_H_

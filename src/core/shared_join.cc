@@ -1,0 +1,154 @@
+#include "core/shared_join.h"
+
+namespace astream::core {
+
+TupleStore& SharedJoin::StoreFor(int side, int64_t slice_index) {
+  auto it = stores_[side].find(slice_index);
+  if (it == stores_[side].end()) {
+    it = stores_[side]
+             .emplace(slice_index, TupleStore(current_mode()))
+             .first;
+  }
+  return it->second;
+}
+
+void SharedJoin::ProcessRecord(int port, spe::Record record,
+                               spe::Collector* out) {
+  (void)out;
+  NoteEventTime(record.event_time);
+  if (record.event_time < current_watermark()) {
+    ++records_late_;  // cannot be assigned consistently; dropped
+    return;
+  }
+  QuerySet tags = record.tags & hosted_mask();
+  ++bitset_ops_;
+  if (tags.None()) return;
+  const SliceInfo slice = tracker().SliceFor(record.event_time);
+  StoreFor(port, slice.index).Insert(record.row, tags);
+}
+
+const std::vector<SharedJoin::JoinedTuple>& SharedJoin::MemoFor(int64_t a,
+                                                                int64_t b) {
+  const auto key = std::make_pair(a, b);
+  auto it = memo_.find(key);
+  if (it != memo_.end()) {
+    ++pairs_reused_;
+    return it->second;
+  }
+  ++pairs_computed_;
+  auto& results = memo_[key];
+  auto sa = stores_[0].find(a);
+  auto sb = stores_[1].find(b);
+  if (sa != stores_[0].end() && sb != stores_[1].end()) {
+    const QuerySet& mask = tracker().cl_table().Mask(a, b);
+    bitset_ops_ += TupleStore::Join(
+        sa->second, sb->second, mask,
+        [&](const spe::Row& left, const spe::Row& right, QuerySet tags) {
+          JoinedTuple t;
+          t.row = spe::Row::Concat(left, right);
+          t.tags = std::move(tags);
+          results.push_back(std::move(t));
+        });
+  }
+  return results;
+}
+
+void SharedJoin::TriggerWindows(TimestampMs start, TimestampMs end,
+                                const std::vector<TriggeredQuery>& queries,
+                                spe::Collector* out) {
+  QuerySet active_bits;
+  std::vector<std::pair<int, QueryId>> draining;  // (slot, id)
+  for (const TriggeredQuery& tq : queries) {
+    if (tq.draining) {
+      draining.emplace_back(tq.query->slot, tq.query->id);
+    } else {
+      active_bits.Set(tq.query->slot);
+    }
+  }
+
+  const std::vector<SliceInfo> slices = tracker().SlicesIn(start, end);
+  const TimestampMs result_time = end - 1;
+  for (const SliceInfo& a : slices) {
+    for (const SliceInfo& b : slices) {
+      for (const JoinedTuple& t : MemoFor(a.index, b.index)) {
+        QuerySet shared_tags = t.tags & active_bits;
+        ++bitset_ops_;
+        if (shared_tags.Any()) {
+          out->EmitRecord(result_time, t.row, std::move(shared_tags));
+        }
+        for (const auto& [slot, id] : draining) {
+          if (t.tags.Test(slot)) {
+            spe::StreamElement el;
+            el.kind = spe::ElementKind::kRecord;
+            el.record.event_time = result_time;
+            el.record.row = t.row;
+            el.record.tags = QuerySet::Single(slot);
+            el.record.channel = id;
+            out->Emit(std::move(el));
+          }
+        }
+      }
+    }
+  }
+}
+
+void SharedJoin::OnSlicesEvicted(const std::vector<int64_t>& indices) {
+  if (indices.empty()) return;
+  const int64_t max_evicted = indices.back();
+  for (int side = 0; side < 2; ++side) {
+    auto& side_stores = stores_[side];
+    auto it = side_stores.begin();
+    while (it != side_stores.end() && it->first <= max_evicted) {
+      it = side_stores.erase(it);
+    }
+  }
+  auto it = memo_.begin();
+  while (it != memo_.end()) {
+    if (it->first.first <= max_evicted || it->first.second <= max_evicted) {
+      it = memo_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+void SharedJoin::OnModeSwitch(StoreMode mode) {
+  // Sec. 3.2.3: convert the physical layout of all live slices.
+  for (auto& side_stores : stores_) {
+    for (auto& [index, store] : side_stores) store.ConvertTo(mode);
+  }
+}
+
+Status SharedJoin::SnapshotState(spe::StateWriter* writer) {
+  SerializeBase(writer);
+  for (const auto& side_stores : stores_) {
+    writer->WriteU64(side_stores.size());
+    for (const auto& [index, store] : side_stores) {
+      writer->WriteI64(index);
+      store.Serialize(writer);
+    }
+  }
+  // The memo is a cache: recomputed on demand after restore.
+  writer->WriteI64(pairs_computed_);
+  writer->WriteI64(records_late_);
+  return Status::OK();
+}
+
+Status SharedJoin::RestoreState(spe::StateReader* reader) {
+  ASTREAM_RETURN_IF_ERROR(RestoreBase(reader));
+  memo_.clear();
+  for (auto& side_stores : stores_) {
+    side_stores.clear();
+    const uint64_t n = reader->ReadU64();
+    for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
+      const int64_t index = reader->ReadI64();
+      side_stores.emplace(index, TupleStore::Deserialize(reader));
+    }
+  }
+  pairs_computed_ = reader->ReadI64();
+  records_late_ = reader->ReadI64();
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad shared-join snapshot");
+}
+
+}  // namespace astream::core

@@ -1,0 +1,71 @@
+#ifndef ASTREAM_CORE_SHARED_JOIN_H_
+#define ASTREAM_CORE_SHARED_JOIN_H_
+
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "core/shared_operator.h"
+
+namespace astream::core {
+
+/// The shared windowed join (Sec. 3.1.4, Fig. 4f).
+///
+/// Incoming tuples (already tagged by the shared selections) are stored
+/// once per slice and side. When a query window [ws, we) triggers, the
+/// operator joins every A-slice/B-slice pair inside the window — but each
+/// pair is joined exactly once, ever: results are memoized per pair with
+/// their combined query-sets (masked through the CL table) and reused by
+/// every query and window instance that covers the pair. Slices and memo
+/// entries are evicted once no active or draining window can need them.
+///
+/// Join condition: A.key == B.key (Fig. 7's equi-join; the per-stream
+/// selection predicates were applied upstream and live in the tag sets).
+class SharedJoin : public SharedWindowedOperator {
+ public:
+  explicit SharedJoin(SharedOperatorConfig config)
+      : SharedWindowedOperator(std::move(config)) {}
+
+  int num_ports() const override { return 2; }
+  void ProcessRecord(int port, spe::Record record,
+                     spe::Collector* out) override;
+  Status SnapshotState(spe::StateWriter* writer) override;
+  Status RestoreState(spe::StateReader* reader) override;
+
+  /// Observability / Fig. 18 & micro benches.
+  int64_t pairs_computed() const { return pairs_computed_; }
+  int64_t pairs_reused() const { return pairs_reused_; }
+  int64_t bitset_ops() const { return bitset_ops_; }
+  int64_t records_late() const { return records_late_; }
+
+ protected:
+  void TriggerWindows(TimestampMs start, TimestampMs end,
+                      const std::vector<TriggeredQuery>& queries,
+                      spe::Collector* out) override;
+  void OnSlicesEvicted(const std::vector<int64_t>& indices) override;
+  void OnModeSwitch(StoreMode mode) override;
+
+ private:
+  struct JoinedTuple {
+    spe::Row row;
+    QuerySet tags;
+  };
+
+  /// Memoized join of A-slice `a` with B-slice `b` (computed on first use).
+  const std::vector<JoinedTuple>& MemoFor(int64_t a, int64_t b);
+  TupleStore& StoreFor(int side, int64_t slice_index);
+
+  // Per side: slice index -> tuple store.
+  std::map<int64_t, TupleStore> stores_[2];
+  // (a-slice, b-slice) -> joined tuples with combined, CL-masked tags.
+  std::map<std::pair<int64_t, int64_t>, std::vector<JoinedTuple>> memo_;
+
+  int64_t pairs_computed_ = 0;
+  int64_t pairs_reused_ = 0;
+  int64_t bitset_ops_ = 0;
+  int64_t records_late_ = 0;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_SHARED_JOIN_H_

@@ -1,0 +1,136 @@
+#ifndef ASTREAM_CORE_SHARED_OPERATOR_H_
+#define ASTREAM_CORE_SHARED_OPERATOR_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "core/changelog.h"
+#include "core/slice_store.h"
+#include "core/slicing.h"
+#include "core/trigger.h"
+#include "spe/operator.h"
+
+namespace astream::core {
+
+/// Payload of a kModeSwitch marker (Sec. 3.2.3): the shared session tells
+/// downstream shared operators to change their slice data structure.
+struct ModeSwitchPayload : public spe::MarkerPayload {
+  StoreMode mode = StoreMode::kList;
+};
+
+/// Configuration shared by the windowed shared operators.
+struct SharedOperatorConfig {
+  /// Which active queries this operator hosts (contributes windows,
+  /// triggers, and state). E.g. the first join stage of a complex topology
+  /// hosts complex queries with join_depth >= 1; the shared aggregation of
+  /// an aggregation topology hosts kAggregation queries.
+  std::function<bool(const ActiveQuery&)> hosts;
+
+  /// Initial physical layout of slice tuple stores.
+  StoreMode initial_mode = StoreMode::kGrouped;
+
+  /// If true, the layout heuristic of Sec. 3.1.4 runs on every changelog:
+  /// switch to kList when the average group size of the current open
+  /// slices drops below 2, back to kGrouped when grouping would pay again.
+  bool adaptive_mode = true;
+};
+
+/// Base class for SharedJoin and SharedAggregation: owns the active-query
+/// table, the slice tracker + CL table, the trigger queue, the draining
+/// bookkeeping for deleted queries, and slice eviction.
+///
+/// Deletion semantics: a window of query q emits iff its end is at or
+/// before q's deletion time; later windows (including the one in flight at
+/// deletion) are cancelled. Creation semantics: windows are anchored at
+/// the creation time (Fig. 4d).
+class SharedWindowedOperator : public spe::Operator {
+ public:
+  explicit SharedWindowedOperator(SharedOperatorConfig config)
+      : config_(std::move(config)) {}
+
+  void OnMarker(const spe::ControlMarker& marker, spe::Collector* out) final;
+  void OnWatermark(TimestampMs watermark, spe::Collector* out) final;
+
+  const ActiveQueryTable& table() const { return table_; }
+  SliceTracker& tracker() { return tracker_; }
+
+  /// Observability: slices currently alive / total created.
+  size_t NumLiveSlices() const { return tracker_.NumSlices(); }
+
+ protected:
+  struct DrainingQuery {
+    ActiveQuery query;
+    TimestampMs deleted_at = 0;
+  };
+
+  /// One query participating in a triggered window. `draining` queries were
+  /// deleted after this window completed; their results must be emitted
+  /// with an explicit output channel (the slot may already be reused).
+  struct TriggeredQuery {
+    const ActiveQuery* query = nullptr;
+    bool draining = false;
+  };
+
+  /// Subclass hooks -------------------------------------------------------
+
+  /// A hosted query was created (changelog applied, tracker updated).
+  virtual void OnQueryCreated(const ActiveQuery& query) { (void)query; }
+  /// A hosted query was deleted (already moved to draining).
+  virtual void OnQueryDeleted(const DrainingQuery& draining) {
+    (void)draining;
+  }
+  /// Evaluate all windows sharing the same [start, end) interval.
+  /// `queries` is non-empty; every entry is hosted and time-windowed.
+  virtual void TriggerWindows(TimestampMs start, TimestampMs end,
+                              const std::vector<TriggeredQuery>& queries,
+                              spe::Collector* out) = 0;
+  /// Called after every changelog once the active set and hosted mask are
+  /// final (subclasses recompute derived masks/caches here).
+  virtual void OnActiveSetChanged() {}
+  /// Slices were evicted; drop any per-slice state.
+  virtual void OnSlicesEvicted(const std::vector<int64_t>& indices) = 0;
+  /// The store layout changed (mode-switch marker or heuristic).
+  virtual void OnModeSwitch(StoreMode mode) { (void)mode; }
+  /// Watermark advanced past all due triggers (session windows etc.).
+  virtual void OnWatermarkTail(TimestampMs watermark, spe::Collector* out) {
+    (void)watermark;
+    (void)out;
+  }
+
+  /// Helpers for subclasses ------------------------------------------------
+
+  /// Mask of slots hosted by this operator (recomputed per changelog).
+  const QuerySet& hosted_mask() const { return hosted_mask_; }
+  StoreMode current_mode() const { return current_mode_; }
+  TimestampMs max_seen_event_time() const { return max_seen_event_time_; }
+  void NoteEventTime(TimestampMs t) {
+    if (t > max_seen_event_time_) max_seen_event_time_ = t;
+  }
+  TimestampMs current_watermark() const { return current_watermark_; }
+
+  /// Serialization of the base state (call from subclass snapshots).
+  void SerializeBase(spe::StateWriter* writer) const;
+  Status RestoreBase(spe::StateReader* reader);
+
+ private:
+  void ApplyChangelog(const Changelog& log);
+  void EvictExpired(TimestampMs watermark);
+  /// Longest window span any live (active or draining) hosted query needs.
+  TimestampMs MaxWindowSpan() const;
+  void MaybeSwitchMode();
+
+  SharedOperatorConfig config_;
+  ActiveQueryTable table_;
+  SliceTracker tracker_;
+  TriggerQueue triggers_;
+  std::map<QueryId, DrainingQuery> draining_;
+  QuerySet hosted_mask_;
+  StoreMode current_mode_ = StoreMode::kGrouped;
+  TimestampMs max_seen_event_time_ = kMinTimestamp;
+  TimestampMs current_watermark_ = kMinTimestamp;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_SHARED_OPERATOR_H_

@@ -1,0 +1,118 @@
+#include "core/shared_selection.h"
+
+#include <chrono>
+#include <map>
+
+#include "common/logging.h"
+
+namespace astream::core {
+namespace {
+
+bool DefaultHosts(StreamSide side, const ActiveQuery& q) {
+  if (side == StreamSide::kA) return true;
+  return q.desc.HasJoin();
+}
+
+}  // namespace
+
+SharedSelection::SharedSelection(Config config)
+    : config_(std::move(config)) {
+  if (!config_.hosts) {
+    const StreamSide side = config_.side;
+    config_.hosts = [side](const ActiveQuery& q) {
+      return DefaultHosts(side, q);
+    };
+  }
+}
+
+void SharedSelection::RebuildIndex() {
+  hosted_mask_ = table_.SlotsWhere(config_.hosts);
+  index_.clear();
+  if (!config_.use_predicate_index) return;
+  std::map<Predicate, QuerySet> distinct;
+  table_.ForEach([&](const ActiveQuery& q) {
+    if (!config_.hosts(q)) return;
+    for (const Predicate& p : PredicatesOf(q)) {
+      distinct[p].Set(q.slot);
+    }
+  });
+  index_.reserve(distinct.size());
+  for (auto& [predicate, queries] : distinct) {
+    index_.push_back(IndexedPredicate{predicate, std::move(queries)});
+  }
+}
+
+QuerySet SharedSelection::ComputeTags(const spe::Row& row) const {
+  if (config_.use_predicate_index) {
+    // Start from every hosted query; each distinct predicate is evaluated
+    // exactly once and, when it fails, removes the bits of all queries
+    // whose conjunction contains it.
+    QuerySet tags = hosted_mask_;
+    for (const IndexedPredicate& ip : index_) {
+      if (tags.None()) break;
+      if (!ip.predicate.Eval(row)) tags.AndNot(ip.queries);
+    }
+    return tags;
+  }
+  QuerySet tags(table_.num_slots());
+  table_.ForEach([&](const ActiveQuery& q) {
+    if (config_.hosts(q) && EvalConjunction(PredicatesOf(q), row)) {
+      tags.Set(q.slot);
+    }
+  });
+  return tags;
+}
+
+void SharedSelection::ProcessRecord(int port, spe::Record record,
+                                    spe::Collector* out) {
+  (void)port;
+  std::chrono::steady_clock::time_point start;
+  if (config_.measure_overhead) start = std::chrono::steady_clock::now();
+
+  QuerySet tags = ComputeTags(record.row);
+
+  if (config_.measure_overhead) {
+    const auto elapsed = std::chrono::steady_clock::now() - start;
+    queryset_nanos_.fetch_add(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count(),
+        std::memory_order_relaxed);
+  }
+
+  if (tags.None()) {
+    ++records_dropped_;
+    return;
+  }
+  out->EmitRecord(record.event_time, std::move(record.row),
+                  std::move(tags));
+}
+
+void SharedSelection::OnMarker(const spe::ControlMarker& marker,
+                               spe::Collector* out) {
+  (void)out;
+  const Changelog* log = Changelog::FromMarker(marker);
+  if (log == nullptr) return;
+  const Status s = table_.Apply(*log);
+  if (!s.ok()) {
+    ASTREAM_LOG(kError, "shared-selection")
+        << "changelog apply failed: " << s.ToString();
+    return;
+  }
+  RebuildIndex();
+}
+
+Status SharedSelection::SnapshotState(spe::StateWriter* writer) {
+  table_.Serialize(writer);
+  writer->WriteI64(records_dropped_);
+  return Status::OK();
+}
+
+Status SharedSelection::RestoreState(spe::StateReader* reader) {
+  ASTREAM_RETURN_IF_ERROR(table_.Restore(reader));
+  records_dropped_ = reader->ReadI64();
+  RebuildIndex();
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad selection snapshot");
+}
+
+}  // namespace astream::core

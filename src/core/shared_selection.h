@@ -1,0 +1,85 @@
+#ifndef ASTREAM_CORE_SHARED_SELECTION_H_
+#define ASTREAM_CORE_SHARED_SELECTION_H_
+
+#include <atomic>
+#include <functional>
+
+#include "core/changelog.h"
+#include "spe/operator.h"
+
+namespace astream::core {
+
+/// Which side of a two-stream topology a shared selection serves: side A
+/// evaluates each query's `select_a` predicates, side B `select_b`.
+enum class StreamSide : uint8_t { kA, kB };
+
+/// The shared selection operator (Sec. 3.1.2): evaluates the predicates of
+/// every active query against each tuple and appends the resulting
+/// query-set as the tuple's tag column. One operator serves all queries;
+/// the active set updates via changelog markers.
+class SharedSelection : public spe::Operator {
+ public:
+  struct Config {
+    StreamSide side = StreamSide::kA;
+    /// Which queries tag on this stream (e.g. side B only hosts queries
+    /// with a join). Defaults: side A hosts all, side B hosts joins.
+    std::function<bool(const ActiveQuery&)> hosts;
+    /// When true, per-tuple query-set generation time is accumulated
+    /// (Fig. 18 overhead breakdown).
+    bool measure_overhead = false;
+    /// Shared predicate index: each *distinct* predicate is evaluated once
+    /// per tuple and failing predicates subtract their queries' bits —
+    /// queries with identical predicates share the evaluation (the
+    /// paper's future-work direction of grouping similar queries).
+    /// When false, every query's conjunction is evaluated independently.
+    bool use_predicate_index = true;
+  };
+
+  explicit SharedSelection(Config config);
+
+  void ProcessRecord(int port, spe::Record record,
+                     spe::Collector* out) override;
+  void OnMarker(const spe::ControlMarker& marker,
+                spe::Collector* out) override;
+  Status SnapshotState(spe::StateWriter* writer) override;
+  Status RestoreState(spe::StateReader* reader) override;
+
+  const ActiveQueryTable& table() const { return table_; }
+
+  /// Total nanoseconds spent generating query-sets (measure_overhead).
+  int64_t queryset_nanos() const {
+    return queryset_nanos_.load(std::memory_order_relaxed);
+  }
+  int64_t records_dropped() const { return records_dropped_; }
+  /// Distinct predicates in the shared index (observability/tests).
+  size_t IndexSize() const { return index_.size(); }
+
+ private:
+  const std::vector<Predicate>& PredicatesOf(const ActiveQuery& q) const {
+    return config_.side == StreamSide::kA ? q.desc.select_a
+                                          : q.desc.select_b;
+  }
+
+  QuerySet ComputeTags(const spe::Row& row) const;
+  void RebuildIndex();
+
+  Config config_;
+  ActiveQueryTable table_;
+
+  // Shared predicate index: distinct predicate -> bits of the queries
+  // whose conjunction contains it; `hosted_mask_` covers all queries that
+  // tag on this side (those with an empty conjunction always match).
+  struct IndexedPredicate {
+    Predicate predicate;
+    QuerySet queries;
+  };
+  std::vector<IndexedPredicate> index_;
+  QuerySet hosted_mask_;
+
+  int64_t records_dropped_ = 0;
+  std::atomic<int64_t> queryset_nanos_{0};
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_SHARED_SELECTION_H_

@@ -1,0 +1,184 @@
+#include "core/shared_session.h"
+
+#include <algorithm>
+#include <set>
+
+namespace astream::core {
+
+QueryId SharedSession::Submit(QueryDescriptor desc, TimestampMs now) {
+  Request r;
+  r.create = true;
+  r.id = next_query_id_++;
+  r.desc = std::move(desc);
+  r.enqueued_at = now;
+  pending_creates_[r.id] = r.desc;
+  if (!oldest_pending_since_.has_value()) oldest_pending_since_ = now;
+  pending_.push_back(std::move(r));
+  return pending_.back().id;
+}
+
+Status SharedSession::Cancel(QueryId id, TimestampMs now) {
+  // A creation still sitting in the batch is simply dropped.
+  auto pc = pending_creates_.find(id);
+  if (pc != pending_creates_.end()) {
+    pending_creates_.erase(pc);
+    pending_.erase(std::remove_if(pending_.begin(), pending_.end(),
+                                  [&](const Request& r) {
+                                    return r.create && r.id == id;
+                                  }),
+                   pending_.end());
+    if (pending_.empty()) oldest_pending_since_.reset();
+    return Status::OK();
+  }
+  if (!active_.count(id)) {
+    return Status::NotFound("query " + std::to_string(id) +
+                            " is not active");
+  }
+  // Ignore duplicate cancels already buffered.
+  for (const Request& r : pending_) {
+    if (!r.create && r.id == id) return Status::OK();
+  }
+  Request r;
+  r.create = false;
+  r.id = id;
+  r.enqueued_at = now;
+  if (!oldest_pending_since_.has_value()) oldest_pending_since_ = now;
+  pending_.push_back(std::move(r));
+  return Status::OK();
+}
+
+std::shared_ptr<const Changelog> SharedSession::MaybeFlush(TimestampMs now,
+                                                           bool force) {
+  if (pending_.empty()) return nullptr;
+  const bool batch_full = pending_.size() >= config_.batch_size;
+  const bool timed_out =
+      oldest_pending_since_.has_value() &&
+      now - *oldest_pending_since_ >= config_.max_timeout_ms;
+  if (!force && !batch_full && !timed_out) return nullptr;
+
+  auto log = std::make_shared<Changelog>();
+  log->epoch = next_epoch_++;
+  // Strictly after `now`: tuples stamped at `now` and already pushed must
+  // precede the marker in event time (the alignment invariant).
+  log->time = std::max(now + 1, last_marker_time_ + 1);
+  last_marker_time_ = log->time;
+
+  size_t taken = 0;
+  auto& acks = awaiting_ack_[log->epoch];
+  while (!pending_.empty() && taken < config_.batch_size) {
+    Request r = std::move(pending_.front());
+    pending_.pop_front();
+    ++taken;
+    acks.emplace_back(r.id, r.enqueued_at);
+    if (r.create) {
+      QueryActivation a;
+      a.id = r.id;
+      a.slot = slots_.Acquire();
+      a.created_at = log->time;
+      a.desc = std::move(r.desc);
+      active_[a.id] = a.slot;
+      pending_creates_.erase(a.id);
+      log->created.push_back(std::move(a));
+    } else {
+      auto it = active_.find(r.id);
+      if (it == active_.end()) continue;  // already deleted
+      QueryDeactivation d;
+      d.id = r.id;
+      d.slot = it->second;
+      slots_.Release(d.slot);
+      active_.erase(it);
+      log->deleted.push_back(d);
+    }
+  }
+  oldest_pending_since_ =
+      pending_.empty() ? std::nullopt : std::make_optional(now);
+  log->num_slots = slots_.num_slots();
+  log->ComputeChangelogSet();
+
+  // Sec. 3.2.3: advise downstream operators about the better layout when
+  // the active-query count crosses the threshold (either direction).
+  const bool want_list = active_.size() > config_.mode_switch_threshold;
+  if (want_list != advised_list_mode_) {
+    advised_list_mode_ = want_list;
+    pending_mode_switch_ =
+        want_list ? StoreMode::kList : StoreMode::kGrouped;
+  }
+  return log;
+}
+
+std::optional<StoreMode> SharedSession::TakeModeSwitch() {
+  auto m = pending_mode_switch_;
+  pending_mode_switch_.reset();
+  return m;
+}
+
+void SharedSession::OnEpochDeployed(
+    int64_t epoch, TimestampMs now,
+    std::vector<std::pair<QueryId, TimestampMs>>* out) {
+  auto it = awaiting_ack_.find(epoch);
+  if (it == awaiting_ack_.end()) return;
+  if (out != nullptr) {
+    for (const auto& [id, enqueued_at] : it->second) {
+      out->emplace_back(id, now - enqueued_at);
+    }
+  }
+  awaiting_ack_.erase(it);
+}
+
+void SharedSession::Serialize(spe::StateWriter* writer) const {
+  writer->WriteI64(next_query_id_);
+  writer->WriteI64(next_epoch_);
+  writer->WriteI64(last_marker_time_);
+  writer->WriteBool(advised_list_mode_);
+  writer->WriteU64(active_.size());
+  for (const auto& [id, slot] : active_) {
+    writer->WriteI64(id);
+    writer->WriteI64(slot);
+  }
+  writer->WriteU64(slots_.num_slots());
+}
+
+Status SharedSession::Restore(spe::StateReader* reader) {
+  pending_.clear();
+  pending_creates_.clear();
+  awaiting_ack_.clear();
+  active_.clear();
+  oldest_pending_since_.reset();
+  pending_mode_switch_.reset();
+  next_query_id_ = reader->ReadI64();
+  next_epoch_ = reader->ReadI64();
+  last_marker_time_ = reader->ReadI64();
+  advised_list_mode_ = reader->ReadBool();
+  const uint64_t n = reader->ReadU64();
+  std::set<int> used;
+  for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
+    const QueryId id = reader->ReadI64();
+    const int slot = static_cast<int>(reader->ReadI64());
+    active_[id] = slot;
+    used.insert(slot);
+  }
+  const uint64_t num_slots = reader->ReadU64();
+  // Rebuild the allocator: acquire every slot, release the unused ones
+  // (lowest-free-first order is restored exactly).
+  slots_ = SlotAllocator();
+  for (uint64_t s = 0; s < num_slots; ++s) slots_.Acquire();
+  for (uint64_t s = 0; s < num_slots; ++s) {
+    if (!used.count(static_cast<int>(s))) {
+      slots_.Release(static_cast<int>(s));
+    }
+  }
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad session snapshot");
+}
+
+std::vector<QueryId> SharedSession::ActiveIds() const {
+  std::vector<QueryId> ids;
+  ids.reserve(active_.size() + pending_creates_.size());
+  for (const auto& [id, slot] : active_) ids.push_back(id);
+  for (const auto& [id, desc] : pending_creates_) ids.push_back(id);
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  return ids;
+}
+
+}  // namespace astream::core

@@ -1,0 +1,102 @@
+#ifndef ASTREAM_CORE_SHARED_SESSION_H_
+#define ASTREAM_CORE_SHARED_SESSION_H_
+
+#include <deque>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/changelog.h"
+#include "core/registry.h"
+#include "core/slice_store.h"
+
+namespace astream::core {
+
+/// The shared session (Sec. 3.1.1): AStream's client module. User requests
+/// (query creations and deletions) are batched; a changelog is generated
+/// per `batch_size` requests or when `max_timeout_ms` elapses since the
+/// first buffered request — never when idle. Slot assignment reuses freed
+/// positions (Fig. 3c). Not thread-safe: drive it from the single control
+/// thread that also pushes data (markers must be woven into the streams in
+/// one order).
+class SharedSession {
+ public:
+  struct Config {
+    /// Requests per changelog (paper Sec. 4.4: one hundred).
+    size_t batch_size = 100;
+    /// Flush deadline after the first buffered request (paper: 1 s).
+    TimestampMs max_timeout_ms = 1000;
+    /// Active-query count beyond which a mode-switch marker advises
+    /// downstream operators to use the flat-list layout (Sec. 3.2.3).
+    size_t mode_switch_threshold = 10;
+  };
+
+  explicit SharedSession(Config config) : config_(config) {}
+
+  /// Buffers a creation request; the query id is assigned immediately, the
+  /// query becomes live when its changelog is applied.
+  QueryId Submit(QueryDescriptor desc, TimestampMs now);
+
+  /// Buffers a deletion request. A query still waiting in the batch is
+  /// simply dropped from it.
+  Status Cancel(QueryId id, TimestampMs now);
+
+  /// Builds the next changelog if the batch is full, the timeout expired,
+  /// or `force` is set (and the batch is non-empty). `now` becomes the
+  /// changelog's event time (made strictly increasing internally).
+  std::shared_ptr<const Changelog> MaybeFlush(TimestampMs now, bool force);
+
+  /// Non-null when the last flush crossed the mode-switch threshold; the
+  /// caller injects a kModeSwitch marker with this mode.
+  std::optional<StoreMode> TakeModeSwitch();
+
+  /// Records that `epoch`'s changelog finished deploying (applied by every
+  /// router instance). Appends (query id, deployment latency) pairs.
+  void OnEpochDeployed(int64_t epoch, TimestampMs now,
+                       std::vector<std::pair<QueryId, TimestampMs>>* out);
+
+  size_t num_active() const { return active_.size(); }
+  size_t num_pending() const { return pending_.size(); }
+  size_t num_slots() const { return slots_.num_slots(); }
+  int64_t last_epoch() const { return next_epoch_ - 1; }
+  /// Event time of the most recent changelog (kMinTimestamp if none).
+  TimestampMs last_marker_time() const { return last_marker_time_; }
+
+  /// Ids of all currently active (deployed or pending-in-batch) queries.
+  std::vector<QueryId> ActiveIds() const;
+
+  /// Checkpointing of the control plane: slot allocator, active map, id /
+  /// epoch counters. Buffered (unflushed) requests are NOT persisted —
+  /// they have not been acknowledged, so clients re-submit after recovery
+  /// (standard at-least-once request semantics).
+  void Serialize(spe::StateWriter* writer) const;
+  Status Restore(spe::StateReader* reader);
+
+ private:
+  struct Request {
+    bool create = true;
+    QueryId id = -1;
+    QueryDescriptor desc;
+    TimestampMs enqueued_at = 0;
+  };
+
+  Config config_;
+  std::deque<Request> pending_;
+  SlotAllocator slots_;
+  std::map<QueryId, int> active_;  // deployed-or-flushed query -> slot
+  std::map<QueryId, QueryDescriptor> pending_creates_;
+  QueryId next_query_id_ = 1;
+  int64_t next_epoch_ = 1;
+  TimestampMs last_marker_time_ = kMinTimestamp;
+  std::optional<TimestampMs> oldest_pending_since_;
+  std::optional<StoreMode> pending_mode_switch_;
+  bool advised_list_mode_ = false;
+  // epoch -> requests awaiting the deployment ack.
+  std::map<int64_t, std::vector<std::pair<QueryId, TimestampMs>>>
+      awaiting_ack_;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_SHARED_SESSION_H_

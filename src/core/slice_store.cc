@@ -1,0 +1,239 @@
+#include "core/slice_store.h"
+
+namespace astream::core {
+
+void TupleStore::Insert(const spe::Row& row, const QuerySet& tags) {
+  ++num_tuples_;
+  if (mode_ == StoreMode::kGrouped) {
+    groups_[tags][row.key()].push_back(row);
+  } else {
+    list_[row.key()].emplace_back(row, tags);
+  }
+}
+
+void TupleStore::ConvertTo(StoreMode mode) {
+  if (mode == mode_) return;
+  if (mode == StoreMode::kList) {
+    for (auto& [tags, keyed] : groups_) {
+      for (auto& [key, rows] : keyed) {
+        auto& bucket = list_[key];
+        for (auto& row : rows) bucket.emplace_back(std::move(row), tags);
+      }
+    }
+    groups_.clear();
+  } else {
+    for (auto& [key, tagged] : list_) {
+      for (auto& [row, tags] : tagged) {
+        groups_[tags][key].push_back(std::move(row));
+      }
+    }
+    list_.clear();
+  }
+  mode_ = mode;
+}
+
+size_t TupleStore::NumGroups() const {
+  return mode_ == StoreMode::kGrouped ? groups_.size() : num_tuples_;
+}
+
+double TupleStore::AvgGroupSize() const {
+  const size_t g = NumGroups();
+  return g == 0 ? 0.0 : static_cast<double>(num_tuples_) / g;
+}
+
+namespace {
+
+/// Key-level hash join between two keyed-row maps belonging to groups
+/// whose combined tag set `tags` is already known to be non-empty.
+void JoinKeyed(const TupleStore::JoinEmit& emit, const QuerySet& tags,
+               const std::unordered_map<spe::Value, std::vector<spe::Row>>& a,
+               const std::unordered_map<spe::Value, std::vector<spe::Row>>& b) {
+  const bool a_smaller = a.size() <= b.size();
+  const auto& probe = a_smaller ? a : b;
+  const auto& build = a_smaller ? b : a;
+  for (const auto& [key, probe_rows] : probe) {
+    auto hit = build.find(key);
+    if (hit == build.end()) continue;
+    for (const auto& pr : probe_rows) {
+      for (const auto& br : hit->second) {
+        const spe::Row& left = a_smaller ? pr : br;
+        const spe::Row& right = a_smaller ? br : pr;
+        emit(left, right, tags);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+int64_t TupleStore::Join(const TupleStore& a, const TupleStore& b,
+                         const QuerySet& mask, const JoinEmit& emit) {
+  int64_t ops = 0;
+  if (a.num_tuples_ == 0 || b.num_tuples_ == 0 || mask.None()) return ops;
+
+  if (a.mode_ == StoreMode::kGrouped && b.mode_ == StoreMode::kGrouped) {
+    // The paper's group pruning: skip group pairs that share no query.
+    for (const auto& [ga, keyed_a] : a.groups_) {
+      QuerySet ga_masked = ga & mask;
+      ++ops;
+      if (ga_masked.None()) continue;
+      for (const auto& [gb, keyed_b] : b.groups_) {
+        QuerySet combined = ga_masked & gb;
+        ++ops;
+        if (combined.None()) continue;
+        JoinKeyed(emit, combined, keyed_a, keyed_b);
+      }
+    }
+    return ops;
+  }
+
+  // At least one side is a flat list: join per key with per-tuple tag ANDs.
+  // Normalize access through lambdas over both layouts.
+  auto for_each_key_a = [&](auto&& fn) {
+    if (a.mode_ == StoreMode::kList) {
+      for (const auto& [key, tagged] : a.list_) fn(key);
+    } else {
+      // Collect distinct keys across groups.
+      std::unordered_map<spe::Value, bool> seen;
+      for (const auto& [ga, keyed] : a.groups_) {
+        for (const auto& [key, rows] : keyed) {
+          if (!seen.emplace(key, true).second) continue;
+          fn(key);
+        }
+      }
+    }
+  };
+  auto collect = [](const TupleStore& s, spe::Value key,
+                    std::vector<std::pair<const spe::Row*, const QuerySet*>>*
+                        out) {
+    if (s.mode_ == StoreMode::kList) {
+      auto it = s.list_.find(key);
+      if (it == s.list_.end()) return;
+      for (const auto& [row, tags] : it->second) {
+        out->emplace_back(&row, &tags);
+      }
+    } else {
+      for (const auto& [tags, keyed] : s.groups_) {
+        auto it = keyed.find(key);
+        if (it == keyed.end()) continue;
+        for (const auto& row : it->second) out->emplace_back(&row, &tags);
+      }
+    }
+  };
+
+  for_each_key_a([&](spe::Value key) {
+    std::vector<std::pair<const spe::Row*, const QuerySet*>> rows_a;
+    std::vector<std::pair<const spe::Row*, const QuerySet*>> rows_b;
+    collect(a, key, &rows_a);
+    if (rows_a.empty()) return;
+    collect(b, key, &rows_b);
+    if (rows_b.empty()) return;
+    for (const auto& [row_a, tags_a] : rows_a) {
+      QuerySet ta = *tags_a & mask;
+      ++ops;
+      if (ta.None()) continue;
+      for (const auto& [row_b, tags_b] : rows_b) {
+        QuerySet combined = ta & *tags_b;
+        ++ops;
+        if (combined.None()) continue;
+        emit(*row_a, *row_b, std::move(combined));
+      }
+    }
+  });
+  return ops;
+}
+
+void TupleStore::ForEach(
+    const std::function<void(const spe::Row&, const QuerySet&)>& fn) const {
+  if (mode_ == StoreMode::kGrouped) {
+    for (const auto& [tags, keyed] : groups_) {
+      for (const auto& [key, rows] : keyed) {
+        for (const auto& row : rows) fn(row, tags);
+      }
+    }
+  } else {
+    for (const auto& [key, tagged] : list_) {
+      for (const auto& [row, tags] : tagged) fn(row, tags);
+    }
+  }
+}
+
+void TupleStore::Serialize(spe::StateWriter* writer) const {
+  writer->WriteI64(static_cast<int64_t>(mode_));
+  writer->WriteU64(num_tuples_);
+  ForEach([&](const spe::Row& row, const QuerySet& tags) {
+    writer->WriteRow(row);
+    writer->WriteBitset(tags);
+  });
+}
+
+TupleStore TupleStore::Deserialize(spe::StateReader* reader) {
+  const StoreMode mode = static_cast<StoreMode>(reader->ReadI64());
+  TupleStore store(mode);
+  const uint64_t n = reader->ReadU64();
+  for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
+    spe::Row row = reader->ReadRow();
+    QuerySet tags = reader->ReadBitset();
+    store.Insert(row, tags);
+  }
+  return store;
+}
+
+void AggStore::Add(spe::Value key, int slot, spe::Value value) {
+  auto& accs = keys_[key];
+  if (accs.size() <= static_cast<size_t>(slot)) accs.resize(slot + 1);
+  accs[slot].Add(value);
+}
+
+const spe::Accumulator* AggStore::Find(spe::Value key, int slot) const {
+  auto it = keys_.find(key);
+  if (it == keys_.end()) return nullptr;
+  if (static_cast<size_t>(slot) >= it->second.size()) return nullptr;
+  const spe::Accumulator& acc = it->second[slot];
+  return acc.Empty() ? nullptr : &acc;
+}
+
+void AggStore::ForEachKey(
+    int slot,
+    const std::function<void(spe::Value, const spe::Accumulator&)>& fn)
+    const {
+  for (const auto& [key, accs] : keys_) {
+    if (static_cast<size_t>(slot) < accs.size() && !accs[slot].Empty()) {
+      fn(key, accs[slot]);
+    }
+  }
+}
+
+void AggStore::Serialize(spe::StateWriter* writer) const {
+  writer->WriteU64(keys_.size());
+  for (const auto& [key, accs] : keys_) {
+    writer->WriteI64(key);
+    writer->WriteU64(accs.size());
+    for (const spe::Accumulator& acc : accs) {
+      writer->WriteI64(acc.sum);
+      writer->WriteI64(acc.count);
+      writer->WriteI64(acc.min);
+      writer->WriteI64(acc.max);
+    }
+  }
+}
+
+AggStore AggStore::Deserialize(spe::StateReader* reader) {
+  AggStore store;
+  const uint64_t n = reader->ReadU64();
+  for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
+    const spe::Value key = reader->ReadI64();
+    const uint64_t num_slots = reader->ReadU64();
+    auto& accs = store.keys_[key];
+    accs.resize(num_slots);
+    for (uint64_t s = 0; s < num_slots && reader->Ok(); ++s) {
+      accs[s].sum = reader->ReadI64();
+      accs[s].count = reader->ReadI64();
+      accs[s].min = reader->ReadI64();
+      accs[s].max = reader->ReadI64();
+    }
+  }
+  return store;
+}
+
+}  // namespace astream::core

@@ -1,0 +1,106 @@
+#ifndef ASTREAM_CORE_SLICE_STORE_H_
+#define ASTREAM_CORE_SLICE_STORE_H_
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/query.h"
+#include "spe/aggregate.h"
+#include "spe/state.h"
+
+namespace astream::core {
+
+/// Physical layout of a slice's tuples (Sec. 3.1.4 / 3.2.3).
+enum class StoreMode : uint8_t {
+  /// Tuples grouped by their query-set; joining prunes whole group pairs
+  /// whose query-sets do not intersect. Wins with few concurrent queries.
+  kGrouped,
+  /// Flat per-key lists with per-tuple query-sets. Wins once most groups
+  /// would hold a single tuple (> ~10 concurrent queries in the paper's
+  /// experiments).
+  kList,
+};
+
+/// Tuples of one slice of one join side. Each tuple is stored exactly once
+/// (Sec. 3.2.2: no data copy inside slices).
+class TupleStore {
+ public:
+  explicit TupleStore(StoreMode mode) : mode_(mode) {}
+
+  void Insert(const spe::Row& row, const QuerySet& tags);
+
+  /// Converts the physical layout in place (triggered by the shared
+  /// session's mode-switch marker or the adaptive heuristic).
+  void ConvertTo(StoreMode mode);
+
+  StoreMode mode() const { return mode_; }
+  size_t NumTuples() const { return num_tuples_; }
+  /// Number of distinct query-set groups (grouped mode; == NumTuples in
+  /// list mode where grouping is abandoned).
+  size_t NumGroups() const;
+  /// Average tuples per query-set group — the paper's switch heuristic
+  /// ("if the average is less than two ... switch to a list").
+  double AvgGroupSize() const;
+
+  /// Emits every (rowA, rowB, tagsA & tagsB & mask) with rowA from `a`,
+  /// rowB from `b`, equal keys, and a non-empty combined tag set.
+  /// `mask` is the CL-set between the two slices.
+  using JoinEmit = std::function<void(const spe::Row& left,
+                                      const spe::Row& right,
+                                      QuerySet tags)>;
+  /// Returns the number of bitset AND/intersection operations performed
+  /// (Fig. 18 overhead accounting).
+  static int64_t Join(const TupleStore& a, const TupleStore& b,
+                      const QuerySet& mask, const JoinEmit& emit);
+
+  /// Calls fn(row, tags) for every stored tuple.
+  void ForEach(
+      const std::function<void(const spe::Row&, const QuerySet&)>& fn) const;
+
+  void Serialize(spe::StateWriter* writer) const;
+  static TupleStore Deserialize(spe::StateReader* reader);
+
+ private:
+  using KeyedRows = std::unordered_map<spe::Value, std::vector<spe::Row>>;
+  using KeyedTagged = std::unordered_map<
+      spe::Value, std::vector<std::pair<spe::Row, QuerySet>>>;
+
+  StoreMode mode_;
+  size_t num_tuples_ = 0;
+  // kGrouped: query-set -> key -> rows.
+  std::unordered_map<QuerySet, KeyedRows, DynamicBitsetHash> groups_;
+  // kList: key -> (row, tags).
+  KeyedTagged list_;
+};
+
+/// Per-slice intermediate aggregates (Sec. 3.1.5): instead of materializing
+/// tuples, each slice keeps, per key, one accumulator per query slot; the
+/// tuple is discarded after updating every interested query's accumulator.
+class AggStore {
+ public:
+  /// Adds `value` to the accumulator of (key, slot).
+  void Add(spe::Value key, int slot, spe::Value value);
+
+  /// The accumulator for (key, slot), or nullptr if empty.
+  const spe::Accumulator* Find(spe::Value key, int slot) const;
+
+  /// Calls fn(key, accumulator) for every key with data in `slot`.
+  void ForEachKey(int slot,
+                  const std::function<void(spe::Value,
+                                           const spe::Accumulator&)>& fn)
+      const;
+
+  size_t NumKeys() const { return keys_.size(); }
+
+  void Serialize(spe::StateWriter* writer) const;
+  static AggStore Deserialize(spe::StateReader* reader);
+
+ private:
+  // key -> slot-indexed accumulators (count == 0 means empty slot).
+  std::unordered_map<spe::Value, std::vector<spe::Accumulator>> keys_;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_SLICE_STORE_H_

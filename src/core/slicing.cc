@@ -1,0 +1,202 @@
+#include "core/slicing.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace astream::core {
+
+void SliceTracker::AddQuery(int slot, TimestampMs origin,
+                            spe::WindowSpec spec) {
+  if (!spec.IsTimeWindow()) return;  // session windows contribute no edges
+  queries_[slot] = TrackedQuery{origin, spec};
+}
+
+void SliceTracker::RemoveQuery(int slot) { queries_.erase(slot); }
+
+TimestampMs SliceTracker::NextEdgeAfter(TimestampMs t) const {
+  TimestampMs next = kMaxTimestamp;
+  for (const auto& [slot, q] : queries_) {
+    // Next window-start edge strictly after t.
+    TimestampMs start_edge;
+    if (q.origin > t) {
+      start_edge = q.origin;
+    } else {
+      const int64_t k = (t - q.origin) / q.spec.slide + 1;
+      start_edge = q.origin + k * q.spec.slide;
+    }
+    next = std::min(next, start_edge);
+    // Next window-end edge strictly after t.
+    next = std::min(next, q.spec.FirstEndAfter(q.origin, t));
+  }
+  return next;
+}
+
+void SliceTracker::AppendSlice(TimestampMs end, QuerySet delta) {
+  assert(end > frontier_);
+  SliceInfo s;
+  s.start = frontier_;
+  s.end = end;
+  s.index = next_index_++;
+  cl_table_.AddSlice(s.index, std::move(delta), num_slots_);
+  slices_.push_back(s);
+  frontier_ = end;
+}
+
+void SliceTracker::ExtendCovering(TimestampMs t) {
+  assert(initialized_);
+  while (frontier_ <= t) {
+    TimestampMs next = NextEdgeAfter(frontier_);
+    if (next == kMaxTimestamp) {
+      // No windowed query contributes edges; one open-ended filler slice
+      // just past t keeps the tiling invariant. It can never participate
+      // in a trigger, so its extent is inconsequential.
+      next = t + 1;
+    }
+    QuerySet delta = pending_delta_.has_value()
+                         ? std::move(*pending_delta_)
+                         : QuerySet::AllSet(num_slots_);
+    pending_delta_.reset();
+    AppendSlice(next, std::move(delta));
+  }
+}
+
+SliceInfo SliceTracker::SliceFor(TimestampMs t) {
+  assert(initialized_ && "SliceFor before the first changelog cut");
+  if (t >= frontier_) ExtendCovering(t);
+  assert(!slices_.empty() && t >= slices_.front().start &&
+         "tuple older than the eviction horizon");
+  // Binary search for the slice containing t.
+  auto it = std::upper_bound(
+      slices_.begin(), slices_.end(), t,
+      [](TimestampMs v, const SliceInfo& s) { return v < s.end; });
+  assert(it != slices_.end() && it->start <= t && t < it->end);
+  return *it;
+}
+
+std::vector<SliceInfo> SliceTracker::SlicesIn(TimestampMs from,
+                                              TimestampMs to) {
+  std::vector<SliceInfo> out;
+  if (!initialized_ || to <= from) return out;
+  if (to - 1 >= frontier_) ExtendCovering(to - 1);
+  for (const SliceInfo& s : slices_) {
+    if (s.start >= to) break;
+    if (s.start >= from && s.end <= to) out.push_back(s);
+  }
+  return out;
+}
+
+void SliceTracker::CutAt(TimestampMs time, const QuerySet& delta) {
+  if (!initialized_) {
+    initialized_ = true;
+    frontier_ = time;
+    pending_delta_ = delta;
+    return;
+  }
+  assert(time >= last_cut_ && "changelog cuts must not go backwards");
+  last_cut_ = time;
+  if (time > frontier_) {
+    // Materialize the gap using the pre-changelog query set.
+    while (frontier_ < time) {
+      const TimestampMs next =
+          std::min(NextEdgeAfter(frontier_), time);
+      QuerySet d = pending_delta_.has_value()
+                       ? std::move(*pending_delta_)
+                       : QuerySet::AllSet(num_slots_);
+      pending_delta_.reset();
+      AppendSlice(next, std::move(d));
+    }
+    pending_delta_ = delta;
+    return;
+  }
+  if (time == frontier_) {
+    // Boundary already exists; the next slice starts with this delta.
+    // Merge with any pending delta (two batches at one instant).
+    if (pending_delta_.has_value()) {
+      *pending_delta_ &= delta;
+    } else {
+      pending_delta_ = delta;
+    }
+    return;
+  }
+  // time < frontier_: the cut lands inside the still-empty tail slice
+  // (alignment guarantees no tuple at or beyond `time` was processed).
+  assert(!slices_.empty() && slices_.back().start < time &&
+         "changelog cut behind processed data");
+  slices_.back().end = time;
+  frontier_ = time;
+  pending_delta_ = delta;
+}
+
+std::vector<int64_t> SliceTracker::EvictBefore(TimestampMs horizon) {
+  std::vector<int64_t> evicted;
+  while (!slices_.empty() && slices_.front().end <= horizon) {
+    evicted.push_back(slices_.front().index);
+    slices_.pop_front();
+  }
+  if (!evicted.empty()) {
+    cl_table_.EvictBelow(evicted.back() + 1);
+  }
+  return evicted;
+}
+
+void SliceTracker::Serialize(spe::StateWriter* writer) const {
+  writer->WriteU64(num_slots_);
+  writer->WriteBool(initialized_);
+  writer->WriteI64(frontier_);
+  writer->WriteI64(last_cut_);
+  writer->WriteI64(next_index_);
+  writer->WriteU64(slices_.size());
+  for (const SliceInfo& s : slices_) {
+    writer->WriteI64(s.start);
+    writer->WriteI64(s.end);
+    writer->WriteI64(s.index);
+  }
+  writer->WriteU64(queries_.size());
+  for (const auto& [slot, q] : queries_) {
+    writer->WriteI64(slot);
+    writer->WriteI64(q.origin);
+    writer->WriteI64(static_cast<int64_t>(q.spec.type));
+    writer->WriteI64(q.spec.length);
+    writer->WriteI64(q.spec.slide);
+    writer->WriteI64(q.spec.gap);
+  }
+  writer->WriteBool(pending_delta_.has_value());
+  if (pending_delta_.has_value()) writer->WriteBitset(*pending_delta_);
+  cl_table_.Serialize(writer);
+}
+
+Status SliceTracker::Restore(spe::StateReader* reader) {
+  slices_.clear();
+  queries_.clear();
+  pending_delta_.reset();
+  num_slots_ = reader->ReadU64();
+  initialized_ = reader->ReadBool();
+  frontier_ = reader->ReadI64();
+  last_cut_ = reader->ReadI64();
+  next_index_ = reader->ReadI64();
+  const uint64_t num_slices = reader->ReadU64();
+  for (uint64_t i = 0; i < num_slices && reader->Ok(); ++i) {
+    SliceInfo s;
+    s.start = reader->ReadI64();
+    s.end = reader->ReadI64();
+    s.index = reader->ReadI64();
+    slices_.push_back(s);
+  }
+  const uint64_t num_queries = reader->ReadU64();
+  for (uint64_t i = 0; i < num_queries && reader->Ok(); ++i) {
+    const int slot = static_cast<int>(reader->ReadI64());
+    TrackedQuery q;
+    q.origin = reader->ReadI64();
+    q.spec.type = static_cast<spe::WindowType>(reader->ReadI64());
+    q.spec.length = reader->ReadI64();
+    q.spec.slide = reader->ReadI64();
+    q.spec.gap = reader->ReadI64();
+    queries_[slot] = q;
+  }
+  if (reader->ReadBool()) pending_delta_ = reader->ReadBitset();
+  ASTREAM_RETURN_IF_ERROR(cl_table_.Restore(reader));
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad SliceTracker snapshot");
+}
+
+}  // namespace astream::core

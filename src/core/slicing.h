@@ -1,0 +1,110 @@
+#ifndef ASTREAM_CORE_SLICING_H_
+#define ASTREAM_CORE_SLICING_H_
+
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "core/cl_table.h"
+#include "core/query.h"
+
+namespace astream::core {
+
+/// One runtime slice: a half-open interval [start, end) of event time with
+/// a dense, monotonically increasing index.
+struct SliceInfo {
+  TimestampMs start = 0;
+  TimestampMs end = 0;
+  int64_t index = 0;
+};
+
+/// Runtime window slicing (Sec. 3.1.3, Fig. 4e).
+///
+/// Event time is partitioned into slices whose boundaries are (a) the
+/// window start/end edges of all active time-window queries and (b) the
+/// event times of changelogs. Boundaries are materialized lazily: only up
+/// to just past the largest timestamp any caller has asked about, always
+/// using the query set active at materialization time. The runtime's
+/// marker-alignment guarantee (every record processed before a changelog
+/// marker has event time < marker.time) makes this sound: a cut can shrink
+/// at most the still-empty tail slice.
+///
+/// The tracker also owns the ClTable: each slice's left-boundary delta mask
+/// is registered on creation (the changelog-set for cut boundaries,
+/// all-ones otherwise).
+class SliceTracker {
+ public:
+  SliceTracker() = default;
+
+  /// Current slot-universe size; used to size all-ones delta masks.
+  void SetNumSlots(size_t num_slots) { num_slots_ = num_slots; }
+
+  /// Registers an active time-window query whose window edges contribute
+  /// slice boundaries. `origin` is the query's creation time.
+  void AddQuery(int slot, TimestampMs origin, spe::WindowSpec spec);
+
+  /// Unregisters a query's edges (deletion). Draining windows should keep
+  /// the query registered until their last trigger if their edges are
+  /// still needed; in practice edges already materialized stay valid.
+  void RemoveQuery(int slot);
+
+  /// The slice containing event time t. Materializes boundaries as needed.
+  /// t must be >= the first cut (tagged tuples always are).
+  SliceInfo SliceFor(TimestampMs t);
+
+  /// All slices fully inside [from, to), materializing up to `to`.
+  /// `from`/`to` must be slice boundaries (window edges of some active or
+  /// draining query).
+  std::vector<SliceInfo> SlicesIn(TimestampMs from, TimestampMs to);
+
+  /// Cuts a slice boundary at a changelog's event time and registers
+  /// `delta` (the changelog-set) as the new slice's left-boundary mask.
+  /// Must be called with strictly increasing times; `time` must be beyond
+  /// every tuple passed to SliceFor so far (the alignment guarantee).
+  void CutAt(TimestampMs time, const QuerySet& delta);
+
+  /// Evicts slices with end <= horizon. Returns their indices so callers
+  /// drop per-slice state.
+  std::vector<int64_t> EvictBefore(TimestampMs horizon);
+
+  ClTable& cl_table() { return cl_table_; }
+
+  size_t NumSlices() const { return slices_.size(); }
+  bool Initialized() const { return initialized_; }
+  TimestampMs frontier() const { return frontier_; }
+
+  /// Total slices ever created (monotone; observability).
+  int64_t TotalSlicesCreated() const { return next_index_; }
+
+  void Serialize(spe::StateWriter* writer) const;
+  Status Restore(spe::StateReader* reader);
+
+ private:
+  struct TrackedQuery {
+    TimestampMs origin = 0;
+    spe::WindowSpec spec;
+  };
+
+  /// Extends materialized slices until frontier_ > t.
+  void ExtendCovering(TimestampMs t);
+  /// Earliest window edge of any tracked query strictly after t, or
+  /// kMaxTimestamp if none.
+  TimestampMs NextEdgeAfter(TimestampMs t) const;
+  void AppendSlice(TimestampMs end, QuerySet delta);
+
+  size_t num_slots_ = 0;
+  bool initialized_ = false;
+  TimestampMs frontier_ = kMinTimestamp;
+  TimestampMs last_cut_ = kMinTimestamp;
+  int64_t next_index_ = 0;
+  std::deque<SliceInfo> slices_;
+  std::map<int, TrackedQuery> queries_;
+  /// Delta mask for the slice that will start at frontier_ (set by CutAt).
+  std::optional<QuerySet> pending_delta_;
+  ClTable cl_table_;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_SLICING_H_

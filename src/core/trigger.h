@@ -1,0 +1,85 @@
+#ifndef ASTREAM_CORE_TRIGGER_H_
+#define ASTREAM_CORE_TRIGGER_H_
+
+#include <optional>
+#include <queue>
+#include <vector>
+
+#include "core/query.h"
+#include "spe/state.h"
+
+namespace astream::core {
+
+/// A scheduled window evaluation: query `id` (in `slot`) triggers its
+/// window [window_start, window_end) once the watermark reaches
+/// window_end. Each query keeps exactly one in-flight entry (its next
+/// window); the consumer reschedules the following window after firing.
+struct TriggerEntry {
+  TimestampMs window_end = 0;
+  TimestampMs window_start = 0;
+  int slot = -1;
+  QueryId id = -1;
+
+  bool operator>(const TriggerEntry& o) const {
+    // Min-heap by end time; ties broken by slot for determinism.
+    if (window_end != o.window_end) return window_end > o.window_end;
+    if (window_start != o.window_start) return window_start > o.window_start;
+    return slot > o.slot;
+  }
+};
+
+/// Min-heap of per-query next-window triggers.
+class TriggerQueue {
+ public:
+  void Schedule(TriggerEntry entry) { heap_.push(entry); }
+
+  /// Pops the earliest entry whose window end is <= watermark.
+  std::optional<TriggerEntry> PopDue(TimestampMs watermark) {
+    if (heap_.empty() || heap_.top().window_end > watermark) {
+      return std::nullopt;
+    }
+    TriggerEntry e = heap_.top();
+    heap_.pop();
+    return e;
+  }
+
+  size_t Size() const { return heap_.size(); }
+
+  void Serialize(spe::StateWriter* writer) const {
+    // Copy out (priority_queue has no iteration); order is irrelevant.
+    auto copy = heap_;
+    writer->WriteU64(copy.size());
+    while (!copy.empty()) {
+      const TriggerEntry& e = copy.top();
+      writer->WriteI64(e.window_end);
+      writer->WriteI64(e.window_start);
+      writer->WriteI64(e.slot);
+      writer->WriteI64(e.id);
+      copy.pop();
+    }
+  }
+
+  Status Restore(spe::StateReader* reader) {
+    heap_ = {};
+    const uint64_t n = reader->ReadU64();
+    for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
+      TriggerEntry e;
+      e.window_end = reader->ReadI64();
+      e.window_start = reader->ReadI64();
+      e.slot = static_cast<int>(reader->ReadI64());
+      e.id = reader->ReadI64();
+      heap_.push(e);
+    }
+    return reader->Ok() ? Status::OK()
+                        : Status::Internal("bad trigger queue snapshot");
+  }
+
+ private:
+  std::priority_queue<TriggerEntry, std::vector<TriggerEntry>,
+                      std::greater<TriggerEntry>>
+      heap_;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_TRIGGER_H_

@@ -1,0 +1,184 @@
+#include "harness/reference.h"
+
+#include <algorithm>
+
+#include "spe/aggregate.h"
+
+namespace astream::harness {
+namespace {
+
+using core::EvalConjunction;
+using core::QueryKind;
+using spe::Row;
+using spe::TimeWindow;
+using spe::Value;
+using spe::WindowSpec;
+
+struct TimedRow {
+  TimestampMs time = 0;
+  Row row;
+};
+
+/// Tuples of `stream` alive for the query and matching its predicates.
+std::vector<TimedRow> MatchingRows(const QueryLifecycle& q, int stream,
+                                   const std::vector<core::Predicate>& preds,
+                                   const std::vector<InputEvent>& events) {
+  std::vector<TimedRow> out;
+  for (const InputEvent& e : events) {
+    if (e.stream != stream) continue;
+    if (e.time < q.created_at || e.time >= q.deleted_at) continue;
+    if (!EvalConjunction(preds, e.row)) continue;
+    out.push_back(TimedRow{e.time, e.row});
+  }
+  return out;
+}
+
+TimestampMs MaxEventTime(const std::vector<InputEvent>& events) {
+  TimestampMs m = kMinTimestamp;
+  for (const InputEvent& e : events) m = std::max(m, e.time);
+  return m;
+}
+
+/// All window instances of `q` whose evaluation the engine performs:
+/// start <= max_data_time, and (for deleted queries) end <= deleted_at.
+std::vector<TimeWindow> WindowInstances(const QueryLifecycle& q,
+                                        TimestampMs max_data_time) {
+  std::vector<TimeWindow> out;
+  const WindowSpec& w = q.desc.window;
+  for (int64_t k = 0;; ++k) {
+    const TimestampMs ws = q.created_at + k * w.slide;
+    const TimestampMs we = ws + w.length;
+    if (ws > max_data_time) break;
+    if (q.deleted_at != kMaxTimestamp && we > q.deleted_at) break;
+    out.push_back(TimeWindow{ws, we});
+  }
+  return out;
+}
+
+/// One windowed equi-join stage: left x right within each window instance.
+std::vector<TimedRow> JoinStage(const std::vector<TimeWindow>& windows,
+                                const std::vector<TimedRow>& left,
+                                const std::vector<TimedRow>& right) {
+  std::vector<TimedRow> out;
+  for (const TimeWindow& w : windows) {
+    for (const TimedRow& l : left) {
+      if (!w.Contains(l.time)) continue;
+      for (const TimedRow& r : right) {
+        if (!w.Contains(r.time)) continue;
+        if (l.row.key() != r.row.key()) continue;
+        out.push_back(TimedRow{w.end - 1, Row::Concat(l.row, r.row)});
+      }
+    }
+  }
+  return out;
+}
+
+/// Windowed keyed aggregation over `rows`.
+void AggregateInto(const std::vector<TimeWindow>& windows,
+                   const std::vector<TimedRow>& rows,
+                   const spe::AggSpec& agg, RowMultiset* out) {
+  for (const TimeWindow& w : windows) {
+    std::map<Value, spe::Accumulator> per_key;
+    for (const TimedRow& r : rows) {
+      if (!w.Contains(r.time)) continue;
+      per_key[r.row.key()].Add(r.row.At(agg.column));
+    }
+    for (const auto& [key, acc] : per_key) {
+      AddToMultiset(out, w.end - 1, Row{key, acc.Finalize(agg.kind)});
+    }
+  }
+}
+
+/// Session-window aggregation (per key, merge with gap).
+void SessionAggregateInto(const QueryLifecycle& q,
+                          const std::vector<TimedRow>& rows,
+                          RowMultiset* out) {
+  const TimestampMs gap = q.desc.window.gap;
+  std::map<Value, std::vector<TimedRow>> by_key;
+  for (const TimedRow& r : rows) by_key[r.row.key()].push_back(r);
+  for (auto& [key, key_rows] : by_key) {
+    std::sort(key_rows.begin(), key_rows.end(),
+              [](const TimedRow& a, const TimedRow& b) {
+                return a.time < b.time;
+              });
+    size_t i = 0;
+    while (i < key_rows.size()) {
+      spe::Accumulator acc;
+      TimestampMs last = key_rows[i].time;
+      acc.Add(key_rows[i].row.At(q.desc.agg.column));
+      size_t j = i + 1;
+      while (j < key_rows.size() && key_rows[j].time < last + gap) {
+        last = key_rows[j].time;
+        acc.Add(key_rows[j].row.At(q.desc.agg.column));
+        ++j;
+      }
+      const TimestampMs close = last + gap;
+      if (q.deleted_at == kMaxTimestamp || close <= q.deleted_at) {
+        AddToMultiset(out, close - 1,
+                      Row{key, acc.Finalize(q.desc.agg.kind)});
+      }
+      i = j;
+    }
+  }
+}
+
+}  // namespace
+
+void AddToMultiset(RowMultiset* set, TimestampMs event_time,
+                   const spe::Row& row) {
+  std::vector<Value> key;
+  key.reserve(1 + row.NumColumns());
+  key.push_back(event_time);
+  key.insert(key.end(), row.values().begin(), row.values().end());
+  ++(*set)[key];
+}
+
+RowMultiset EvaluateReference(const QueryLifecycle& query,
+                              const std::vector<InputEvent>& events) {
+  RowMultiset out;
+  const auto rows_a =
+      MatchingRows(query, 0, query.desc.select_a, events);
+
+  if (query.desc.kind == QueryKind::kSelection) {
+    for (const TimedRow& r : rows_a) AddToMultiset(&out, r.time, r.row);
+    return out;
+  }
+
+  const TimestampMs max_data = MaxEventTime(events);
+
+  if (query.desc.kind == QueryKind::kAggregation) {
+    if (query.desc.window.IsTimeWindow()) {
+      AggregateInto(WindowInstances(query, max_data), rows_a,
+                    query.desc.agg, &out);
+    } else {
+      SessionAggregateInto(query, rows_a, &out);
+    }
+    return out;
+  }
+
+  const auto rows_b =
+      MatchingRows(query, 1, query.desc.select_b, events);
+  const std::vector<TimeWindow> windows = WindowInstances(query, max_data);
+
+  if (query.desc.kind == QueryKind::kJoin) {
+    for (const TimedRow& r : JoinStage(windows, rows_a, rows_b)) {
+      AddToMultiset(&out, r.time, r.row);
+    }
+    return out;
+  }
+
+  // Complex: n-ary join cascade + aggregation (Sec. 4.7). Later stages see
+  // result event times (window_end - 1) that can exceed the raw input's
+  // maximum, so each stage re-derives its window-enumeration bound.
+  std::vector<TimedRow> left = rows_a;
+  TimestampMs bound = max_data;
+  for (int depth = 0; depth < query.desc.join_depth; ++depth) {
+    for (const TimedRow& l : left) bound = std::max(bound, l.time);
+    left = JoinStage(WindowInstances(query, bound), left, rows_b);
+  }
+  for (const TimedRow& l : left) bound = std::max(bound, l.time);
+  AggregateInto(WindowInstances(query, bound), left, query.desc.agg, &out);
+  return out;
+}
+
+}  // namespace astream::harness

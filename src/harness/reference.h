@@ -1,0 +1,58 @@
+#ifndef ASTREAM_HARNESS_REFERENCE_H_
+#define ASTREAM_HARNESS_REFERENCE_H_
+
+#include <map>
+#include <vector>
+
+#include "core/query.h"
+
+namespace astream::harness {
+
+/// One input tuple of the experiment, as fed to the engine.
+struct InputEvent {
+  int stream = 0;  // 0 = A, 1 = B
+  TimestampMs time = 0;
+  spe::Row row;
+};
+
+/// A query's ad-hoc lifetime: created at `created_at`, deleted at
+/// `deleted_at` (kMaxTimestamp = never deleted).
+struct QueryLifecycle {
+  core::QueryDescriptor desc;
+  TimestampMs created_at = 0;
+  TimestampMs deleted_at = kMaxTimestamp;
+};
+
+/// Multiset of output records keyed by [event_time, column values...].
+/// Order-insensitive comparison between engine output and the reference.
+using RowMultiset = std::map<std::vector<spe::Value>, int64_t>;
+
+/// Inserts one record into a multiset.
+void AddToMultiset(RowMultiset* set, TimestampMs event_time,
+                   const spe::Row& row);
+
+/// Offline reference evaluator: computes, from first principles, exactly
+/// what one ad-hoc query must output given the full input — independent of
+/// slicing, sharing, changelogs, or the engine. This is the oracle for
+/// the paper's Consistency requirement (Sec. 1.2): the shared pipeline
+/// must produce per-query results identical to each query run alone.
+///
+/// Semantics mirrored from the engine (documented in DESIGN.md):
+///  - a tuple belongs to a query iff its event time is in
+///    [created_at, deleted_at) and the stream-side predicates match;
+///  - time windows are anchored at created_at: [created_at + k*slide,
+///    created_at + k*slide + length);
+///  - a window of a deleted query emits iff window_end <= deleted_at;
+///  - session windows merge per key with the gap; a deleted query's
+///    session emits iff (last + gap) <= deleted_at;
+///  - aggregation / join results carry event time window_end - 1 (session:
+///    last + gap - 1); selection results keep the tuple's event time;
+///  - complex queries cascade: n windowed self-keyed joins of (left, B),
+///    then a windowed aggregation, every stage re-windowing by result
+///    event times.
+RowMultiset EvaluateReference(const QueryLifecycle& query,
+                              const std::vector<InputEvent>& events);
+
+}  // namespace astream::harness
+
+#endif  // ASTREAM_HARNESS_REFERENCE_H_

@@ -1,0 +1,42 @@
+#ifndef ASTREAM_HARNESS_REPORT_H_
+#define ASTREAM_HARNESS_REPORT_H_
+
+#include <string>
+#include <vector>
+
+namespace astream::harness {
+
+/// Plain-text aligned table, used by the figure benches to print the
+/// paper-style result rows next to the paper's reported values.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> row) {
+    rows_.push_back(std::move(row));
+  }
+
+  /// Renders with column alignment to stdout.
+  void Print() const;
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// 1234567 -> "1.23M", 12345 -> "12.3K", 123 -> "123".
+std::string FormatCount(double value);
+/// Milliseconds with unit, e.g. "1.24s" / "87ms".
+std::string FormatMs(double ms);
+/// Fixed-precision double.
+std::string FormatDouble(double v, int precision = 2);
+
+/// Prints the standard bench banner: what figure is reproduced, how the
+/// setup was scaled down relative to the paper.
+void PrintBanner(const std::string& figure, const std::string& description,
+                 const std::string& scaling);
+
+}  // namespace astream::harness
+
+#endif  // ASTREAM_HARNESS_REPORT_H_

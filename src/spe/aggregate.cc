@@ -1,0 +1,21 @@
+#include "spe/aggregate.h"
+
+namespace astream::spe {
+
+const char* AggKindName(AggKind kind) {
+  switch (kind) {
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kAvg:
+      return "AVG";
+  }
+  return "?";
+}
+
+}  // namespace astream::spe

@@ -1,0 +1,77 @@
+#ifndef ASTREAM_SPE_AGGREGATE_H_
+#define ASTREAM_SPE_AGGREGATE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "spe/row.h"
+
+namespace astream::spe {
+
+/// Aggregation functions. The paper's template (Fig. 8) uses SUM; the
+/// library supports the usual set.
+enum class AggKind : uint8_t { kSum, kCount, kMin, kMax, kAvg };
+
+const char* AggKindName(AggKind kind);
+
+/// A mergeable partial aggregate. One accumulator supports all AggKinds so
+/// the shared aggregation can store per-query partials uniformly and
+/// per-slice partials stay combinable across slices (Sec. 3.1.5).
+struct Accumulator {
+  int64_t sum = 0;
+  int64_t count = 0;
+  int64_t min = std::numeric_limits<int64_t>::max();
+  int64_t max = std::numeric_limits<int64_t>::min();
+
+  void Add(Value v) {
+    sum += v;
+    ++count;
+    min = std::min(min, v);
+    max = std::max(max, v);
+  }
+
+  void Merge(const Accumulator& other) {
+    sum += other.sum;
+    count += other.count;
+    min = std::min(min, other.min);
+    max = std::max(max, other.max);
+  }
+
+  bool Empty() const { return count == 0; }
+
+  /// Final value under `kind`. AVG is integer division (documented; the
+  /// generated workloads only use integer fields).
+  Value Finalize(AggKind kind) const {
+    switch (kind) {
+      case AggKind::kSum:
+        return sum;
+      case AggKind::kCount:
+        return count;
+      case AggKind::kMin:
+        return min;
+      case AggKind::kMax:
+        return max;
+      case AggKind::kAvg:
+        return count == 0 ? 0 : sum / count;
+    }
+    return 0;
+  }
+};
+
+/// Which input column an aggregation reads.
+struct AggSpec {
+  AggKind kind = AggKind::kSum;
+  /// Column index into the row (payload fields start at column 1).
+  int column = 1;
+
+  std::string ToString() const {
+    return std::string(AggKindName(kind)) + "(col" + std::to_string(column) +
+           ")";
+  }
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_AGGREGATE_H_

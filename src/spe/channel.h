@@ -1,0 +1,100 @@
+#ifndef ASTREAM_SPE_CHANNEL_H_
+#define ASTREAM_SPE_CHANNEL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <optional>
+
+#include "spe/element.h"
+
+namespace astream::spe {
+
+/// An envelope routed between operator instances: the element plus its
+/// provenance (input port of the receiver and global id of the sending
+/// instance). Sender identity is needed for per-sender watermark tracking
+/// and marker alignment on fan-in edges.
+struct Envelope {
+  int port = 0;
+  int sender = 0;
+  StreamElement element;
+};
+
+/// Bounded blocking MPSC queue. Producers block when full — this is the
+/// backpressure mechanism (a slow operator slows its upstreams, and
+/// ultimately the driver, exactly like Fig. 5's queue-waiting latency).
+class Channel {
+ public:
+  explicit Channel(size_t capacity) : capacity_(capacity) {}
+
+  Channel(const Channel&) = delete;
+  Channel& operator=(const Channel&) = delete;
+
+  /// Blocks while full (unless closed). Returns false if the channel was
+  /// closed before the push could complete.
+  bool Push(Envelope envelope) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_full_.wait(lock,
+                   [&] { return queue_.size() < capacity_ || closed_; });
+    if (closed_) return false;
+    queue_.push_back(std::move(envelope));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking push; returns false when full or closed.
+  bool TryPush(Envelope envelope) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (closed_ || queue_.size() >= capacity_) return false;
+    queue_.push_back(std::move(envelope));
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available or the channel is closed and
+  /// drained; std::nullopt signals end of input.
+  std::optional<Envelope> Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
+    if (queue_.empty()) return std::nullopt;
+    Envelope e = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return e;
+  }
+
+  /// Non-blocking pop.
+  std::optional<Envelope> TryPop() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (queue_.empty()) return std::nullopt;
+    Envelope e = std::move(queue_.front());
+    queue_.pop_front();
+    not_full_.notify_one();
+    return e;
+  }
+
+  /// After Close, pushes fail and pops drain the remaining queue.
+  void Close() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<Envelope> queue_;
+  bool closed_ = false;
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_CHANNEL_H_

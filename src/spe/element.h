@@ -1,0 +1,101 @@
+#ifndef ASTREAM_SPE_ELEMENT_H_
+#define ASTREAM_SPE_ELEMENT_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "common/bitset.h"
+#include "common/clock.h"
+#include "spe/row.h"
+
+namespace astream::spe {
+
+/// A data tuple in flight: event time, payload row, and an optional tag-set
+/// column. The substrate treats tags opaquely; the AStream layer uses them
+/// as query-sets (Sec. 2.1.1).
+struct Record {
+  TimestampMs event_time = 0;
+  Row row;
+  DynamicBitset tags;
+  /// Output channel id for demultiplexing at sinks (Flink side-output
+  /// equivalent). The AStream router stamps the target query id here;
+  /// -1 while unrouted.
+  int64_t channel = -1;
+};
+
+/// Marker payloads are defined by higher layers (e.g. the AStream changelog,
+/// Sec. 2.1.2). The substrate only aligns and forwards them.
+struct MarkerPayload {
+  virtual ~MarkerPayload() = default;
+};
+
+/// Categories of control markers woven into the stream.
+enum class MarkerKind : uint8_t {
+  /// AStream query changelog (create/delete batch).
+  kChangelog,
+  /// Checkpoint barrier (exactly-once snapshots, Sec. 3.3).
+  kCheckpointBarrier,
+  /// Data-structure switch hint for slice stores (Sec. 3.2.3).
+  kModeSwitch,
+};
+
+/// A control marker. Markers are broadcast to every operator instance and
+/// aligned on multi-input operators (blocking, Flink style): an operator
+/// processes marker epoch e only after receiving it from all upstream
+/// senders, so every record processed before it has event time < `time`.
+struct ControlMarker {
+  MarkerKind kind = MarkerKind::kChangelog;
+  /// Strictly increasing per kind; used for alignment.
+  int64_t epoch = 0;
+  /// Event time at which the marker takes effect.
+  TimestampMs time = 0;
+  std::shared_ptr<const MarkerPayload> payload;
+};
+
+/// Discriminator for StreamElement. kDone is a runtime-internal signal: a
+/// sender has finished and will emit nothing further.
+enum class ElementKind : uint8_t { kRecord, kWatermark, kMarker, kDone };
+
+/// One unit flowing through a channel: a record, a watermark, or a control
+/// marker. A plain struct rather than std::variant keeps the hot path
+/// simple and branch-predictable.
+struct StreamElement {
+  ElementKind kind = ElementKind::kRecord;
+  Record record;                         // kind == kRecord
+  TimestampMs watermark = kMinTimestamp; // kind == kWatermark
+  ControlMarker marker;                  // kind == kMarker
+
+  static StreamElement MakeRecord(TimestampMs event_time, Row row,
+                                  DynamicBitset tags = {}) {
+    StreamElement e;
+    e.kind = ElementKind::kRecord;
+    e.record.event_time = event_time;
+    e.record.row = std::move(row);
+    e.record.tags = std::move(tags);
+    return e;
+  }
+
+  static StreamElement MakeWatermark(TimestampMs wm) {
+    StreamElement e;
+    e.kind = ElementKind::kWatermark;
+    e.watermark = wm;
+    return e;
+  }
+
+  static StreamElement MakeMarker(ControlMarker marker) {
+    StreamElement e;
+    e.kind = ElementKind::kMarker;
+    e.marker = std::move(marker);
+    return e;
+  }
+
+  static StreamElement MakeDone() {
+    StreamElement e;
+    e.kind = ElementKind::kDone;
+    return e;
+  }
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_ELEMENT_H_

@@ -1,0 +1,299 @@
+#include "spe/operators.h"
+
+#include <algorithm>
+
+namespace astream::spe {
+
+void PassThroughOperator::ProcessRecord(int port, Record record,
+                                        Collector* out) {
+  (void)port;
+  out->Emit(StreamElement::MakeRecord(record.event_time,
+                                      std::move(record.row),
+                                      std::move(record.tags)));
+}
+
+void FilterOperator::ProcessRecord(int port, Record record, Collector* out) {
+  (void)port;
+  if (predicate_(record.row)) {
+    out->Emit(StreamElement::MakeRecord(record.event_time,
+                                        std::move(record.row),
+                                        std::move(record.tags)));
+  }
+}
+
+void MapOperator::ProcessRecord(int port, Record record, Collector* out) {
+  (void)port;
+  out->EmitRecord(record.event_time, fn_(record.row),
+                  std::move(record.tags));
+}
+
+// ---------------------------------------------------------------------------
+// WindowAggregateOperator
+// ---------------------------------------------------------------------------
+
+WindowAggregateOperator::WindowAggregateOperator(WindowSpec window,
+                                                 AggSpec agg,
+                                                 TimestampMs origin)
+    : window_(window), agg_(agg), origin_(origin) {}
+
+Status WindowAggregateOperator::Open(const OperatorContext& ctx) {
+  ASTREAM_RETURN_IF_ERROR(Operator::Open(ctx));
+  if (window_.IsTimeWindow() && window_.length <= 0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  if (!window_.IsTimeWindow() && window_.gap <= 0) {
+    return Status::InvalidArgument("session gap must be positive");
+  }
+  return Status::OK();
+}
+
+void WindowAggregateOperator::ProcessRecord(int port, Record record,
+                                            Collector* out) {
+  (void)port;
+  (void)out;
+  if (record.event_time < origin_) return;  // before the query existed
+  const Value v = record.row.At(agg_.column);
+  if (window_.IsTimeWindow()) {
+    std::vector<TimeWindow> assigned;
+    window_.AssignWindows(origin_, record.event_time, &assigned);
+    for (const TimeWindow& w : assigned) {
+      windows_[w][record.row.key()].Add(v);
+    }
+    return;
+  }
+  // Session windows: merge into / extend an existing session per key.
+  auto& sessions = sessions_[record.row.key()];
+  const TimestampMs t = record.event_time;
+  // Find sessions overlapping [t - gap, t + gap] and merge them.
+  SessionState merged;
+  merged.start = t;
+  merged.last = t;
+  merged.acc.Add(v);
+  std::vector<SessionState> kept;
+  kept.reserve(sessions.size());
+  for (SessionState& s : sessions) {
+    const bool overlaps =
+        t + window_.gap > s.start && s.last + window_.gap > t;
+    if (overlaps) {
+      merged.start = std::min(merged.start, s.start);
+      merged.last = std::max(merged.last, s.last);
+      merged.acc.Merge(s.acc);
+    } else {
+      kept.push_back(std::move(s));
+    }
+  }
+  kept.push_back(std::move(merged));
+  std::sort(kept.begin(), kept.end(),
+            [](const SessionState& a, const SessionState& b) {
+              return a.start < b.start;
+            });
+  sessions = std::move(kept);
+}
+
+void WindowAggregateOperator::EmitWindow(
+    const TimeWindow& w, const std::map<Value, Accumulator>& keys,
+    Collector* out) {
+  for (const auto& [key, acc] : keys) {
+    out->EmitRecord(w.end - 1, Row{key, acc.Finalize(agg_.kind)});
+  }
+}
+
+void WindowAggregateOperator::OnWatermark(TimestampMs watermark,
+                                          Collector* out) {
+  if (window_.IsTimeWindow()) {
+    auto it = windows_.begin();
+    while (it != windows_.end() && it->first.end <= watermark) {
+      EmitWindow(it->first, it->second, out);
+      it = windows_.erase(it);
+    }
+    return;
+  }
+  // Session windows close when the gap has provably passed.
+  for (auto kit = sessions_.begin(); kit != sessions_.end();) {
+    auto& sessions = kit->second;
+    auto sit = sessions.begin();
+    while (sit != sessions.end() &&
+           sit->last + window_.gap <= watermark) {
+      out->EmitRecord(sit->last + window_.gap - 1,
+                      Row{kit->first, sit->acc.Finalize(agg_.kind)});
+      sit = sessions.erase(sit);
+    }
+    kit = sessions.empty() ? sessions_.erase(kit) : std::next(kit);
+  }
+}
+
+Status WindowAggregateOperator::SnapshotState(StateWriter* writer) {
+  writer->WriteU64(windows_.size());
+  for (const auto& [w, keys] : windows_) {
+    writer->WriteI64(w.start);
+    writer->WriteI64(w.end);
+    writer->WriteU64(keys.size());
+    for (const auto& [key, acc] : keys) {
+      writer->WriteI64(key);
+      writer->WriteI64(acc.sum);
+      writer->WriteI64(acc.count);
+      writer->WriteI64(acc.min);
+      writer->WriteI64(acc.max);
+    }
+  }
+  writer->WriteU64(sessions_.size());
+  for (const auto& [key, sessions] : sessions_) {
+    writer->WriteI64(key);
+    writer->WriteU64(sessions.size());
+    for (const SessionState& s : sessions) {
+      writer->WriteI64(s.start);
+      writer->WriteI64(s.last);
+      writer->WriteI64(s.acc.sum);
+      writer->WriteI64(s.acc.count);
+      writer->WriteI64(s.acc.min);
+      writer->WriteI64(s.acc.max);
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowAggregateOperator::RestoreState(StateReader* reader) {
+  windows_.clear();
+  sessions_.clear();
+  const uint64_t num_windows = reader->ReadU64();
+  for (uint64_t i = 0; i < num_windows && reader->Ok(); ++i) {
+    TimeWindow w;
+    w.start = reader->ReadI64();
+    w.end = reader->ReadI64();
+    auto& keys = windows_[w];
+    const uint64_t num_keys = reader->ReadU64();
+    for (uint64_t k = 0; k < num_keys && reader->Ok(); ++k) {
+      const Value key = reader->ReadI64();
+      Accumulator acc;
+      acc.sum = reader->ReadI64();
+      acc.count = reader->ReadI64();
+      acc.min = reader->ReadI64();
+      acc.max = reader->ReadI64();
+      keys[key] = acc;
+    }
+  }
+  const uint64_t num_session_keys = reader->ReadU64();
+  for (uint64_t i = 0; i < num_session_keys && reader->Ok(); ++i) {
+    const Value key = reader->ReadI64();
+    auto& sessions = sessions_[key];
+    const uint64_t n = reader->ReadU64();
+    for (uint64_t s = 0; s < n && reader->Ok(); ++s) {
+      SessionState st;
+      st.start = reader->ReadI64();
+      st.last = reader->ReadI64();
+      st.acc.sum = reader->ReadI64();
+      st.acc.count = reader->ReadI64();
+      st.acc.min = reader->ReadI64();
+      st.acc.max = reader->ReadI64();
+      sessions.push_back(st);
+    }
+  }
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad aggregate snapshot");
+}
+
+// ---------------------------------------------------------------------------
+// WindowJoinOperator
+// ---------------------------------------------------------------------------
+
+WindowJoinOperator::WindowJoinOperator(WindowSpec window, TimestampMs origin)
+    : window_(window), origin_(origin) {}
+
+Status WindowJoinOperator::Open(const OperatorContext& ctx) {
+  ASTREAM_RETURN_IF_ERROR(Operator::Open(ctx));
+  if (!window_.IsTimeWindow()) {
+    return Status::InvalidArgument(
+        "windowed join supports time windows only");
+  }
+  if (window_.length <= 0) {
+    return Status::InvalidArgument("window length must be positive");
+  }
+  return Status::OK();
+}
+
+void WindowJoinOperator::ProcessRecord(int port, Record record,
+                                       Collector* out) {
+  (void)out;
+  if (record.event_time < origin_) return;
+  std::vector<TimeWindow> assigned;
+  window_.AssignWindows(origin_, record.event_time, &assigned);
+  for (const TimeWindow& w : assigned) {
+    side_[port][w][record.row.key()].push_back(record.row);
+  }
+}
+
+void WindowJoinOperator::OnWatermark(TimestampMs watermark, Collector* out) {
+  auto ita = side_[0].begin();
+  while (ita != side_[0].end() && ita->first.end <= watermark) {
+    auto itb = side_[1].find(ita->first);
+    if (itb != side_[1].end()) {
+      // Probe the smaller side.
+      const KeyedRows& a = ita->second;
+      const KeyedRows& b = itb->second;
+      const bool a_smaller = a.size() <= b.size();
+      const KeyedRows& probe = a_smaller ? a : b;
+      const KeyedRows& build = a_smaller ? b : a;
+      for (const auto& [key, probe_rows] : probe) {
+        auto hit = build.find(key);
+        if (hit == build.end()) continue;
+        for (const Row& pr : probe_rows) {
+          for (const Row& br : hit->second) {
+            const Row& left = a_smaller ? pr : br;
+            const Row& right = a_smaller ? br : pr;
+            out->EmitRecord(ita->first.end - 1, Row::Concat(left, right));
+          }
+        }
+      }
+      side_[1].erase(itb);
+    }
+    ita = side_[0].erase(ita);
+  }
+  // Drop expired B-side windows that never saw an A row.
+  auto itb = side_[1].begin();
+  while (itb != side_[1].end() && itb->first.end <= watermark) {
+    itb = side_[1].erase(itb);
+  }
+}
+
+Status WindowJoinOperator::SnapshotState(StateWriter* writer) {
+  for (const auto& side : side_) {
+    writer->WriteU64(side.size());
+    for (const auto& [w, keys] : side) {
+      writer->WriteI64(w.start);
+      writer->WriteI64(w.end);
+      writer->WriteU64(keys.size());
+      for (const auto& [key, rows] : keys) {
+        writer->WriteI64(key);
+        writer->WriteU64(rows.size());
+        for (const Row& r : rows) writer->WriteRow(r);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Status WindowJoinOperator::RestoreState(StateReader* reader) {
+  for (auto& side : side_) {
+    side.clear();
+    const uint64_t num_windows = reader->ReadU64();
+    for (uint64_t i = 0; i < num_windows && reader->Ok(); ++i) {
+      TimeWindow w;
+      w.start = reader->ReadI64();
+      w.end = reader->ReadI64();
+      auto& keys = side[w];
+      const uint64_t num_keys = reader->ReadU64();
+      for (uint64_t k = 0; k < num_keys && reader->Ok(); ++k) {
+        const Value key = reader->ReadI64();
+        auto& rows = keys[key];
+        const uint64_t n = reader->ReadU64();
+        for (uint64_t r = 0; r < n && reader->Ok(); ++r) {
+          rows.push_back(reader->ReadRow());
+        }
+      }
+    }
+  }
+  return reader->Ok() ? Status::OK()
+                      : Status::Internal("bad join snapshot");
+}
+
+}  // namespace astream::spe

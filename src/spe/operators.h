@@ -1,0 +1,112 @@
+#ifndef ASTREAM_SPE_OPERATORS_H_
+#define ASTREAM_SPE_OPERATORS_H_
+
+#include <functional>
+#include <map>
+#include <vector>
+
+#include "spe/aggregate.h"
+#include "spe/operator.h"
+#include "spe/window.h"
+
+namespace astream::spe {
+
+/// Forwards every element unchanged. Used as an explicit source stage so
+/// external inputs have a stage to target.
+class PassThroughOperator : public Operator {
+ public:
+  void ProcessRecord(int port, Record record, Collector* out) override;
+};
+
+/// Stateless selection. The baseline ("query-at-a-time Flink") runs one
+/// FilterOperator per query; AStream replaces this with SharedSelection.
+class FilterOperator : public Operator {
+ public:
+  using PredicateFn = std::function<bool(const Row&)>;
+  explicit FilterOperator(PredicateFn predicate)
+      : predicate_(std::move(predicate)) {}
+
+  void ProcessRecord(int port, Record record, Collector* out) override;
+
+ private:
+  PredicateFn predicate_;
+};
+
+/// Stateless 1:1 transformation.
+class MapOperator : public Operator {
+ public:
+  using MapFn = std::function<Row(const Row&)>;
+  explicit MapOperator(MapFn fn) : fn_(std::move(fn)) {}
+
+  void ProcessRecord(int port, Record record, Collector* out) override;
+
+ private:
+  MapFn fn_;
+};
+
+/// Keyed windowed aggregation for a single query (the baseline engine's
+/// built-in operator; Flink equivalent: keyed window + incremental
+/// AggregateFunction). Supports tumbling, sliding, and session windows.
+/// Emits one row [key, aggregate] per key and window at event time
+/// window.end - 1 when the watermark passes the window end.
+class WindowAggregateOperator : public Operator {
+ public:
+  /// `origin` anchors time-window boundaries (a query's windows start at
+  /// its creation time).
+  WindowAggregateOperator(WindowSpec window, AggSpec agg,
+                          TimestampMs origin);
+
+  Status Open(const OperatorContext& ctx) override;
+  void ProcessRecord(int port, Record record, Collector* out) override;
+  void OnWatermark(TimestampMs watermark, Collector* out) override;
+  Status SnapshotState(StateWriter* writer) override;
+  Status RestoreState(StateReader* reader) override;
+
+ private:
+  struct SessionState {
+    TimestampMs start = 0;
+    TimestampMs last = 0;
+    Accumulator acc;
+  };
+
+  void EmitWindow(const TimeWindow& w,
+                  const std::map<Value, Accumulator>& keys, Collector* out);
+
+  const WindowSpec window_;
+  const AggSpec agg_;
+  const TimestampMs origin_;
+
+  // Time windows: window -> key -> accumulator.
+  std::map<TimeWindow, std::map<Value, Accumulator>> windows_;
+  // Session windows: key -> open sessions ordered by start.
+  std::map<Value, std::vector<SessionState>> sessions_;
+};
+
+/// Keyed windowed equi-join for a single query: A.key == B.key within the
+/// same window instance. Emits Row::Concat(a, b) at event time
+/// window.end - 1 when the watermark passes the window end. Time windows
+/// only (the paper's join template, Fig. 7, uses RANGE/SLICE windows).
+class WindowJoinOperator : public Operator {
+ public:
+  WindowJoinOperator(WindowSpec window, TimestampMs origin);
+
+  int num_ports() const override { return 2; }
+  Status Open(const OperatorContext& ctx) override;
+  void ProcessRecord(int port, Record record, Collector* out) override;
+  void OnWatermark(TimestampMs watermark, Collector* out) override;
+  Status SnapshotState(StateWriter* writer) override;
+  Status RestoreState(StateReader* reader) override;
+
+ private:
+  using KeyedRows = std::map<Value, std::vector<Row>>;
+
+  const WindowSpec window_;
+  const TimestampMs origin_;
+
+  // Per window instance, the buffered rows of each side.
+  std::map<TimeWindow, KeyedRows> side_[2];
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_OPERATORS_H_

@@ -1,0 +1,15 @@
+#include "spe/row.h"
+
+namespace astream::spe {
+
+std::string Row::ToString() const {
+  std::string s = "(";
+  for (size_t i = 0; i < values_.size(); ++i) {
+    if (i > 0) s += ", ";
+    s += std::to_string(values_[i]);
+  }
+  s += ")";
+  return s;
+}
+
+}  // namespace astream::spe

@@ -1,0 +1,54 @@
+#ifndef ASTREAM_SPE_ROW_H_
+#define ASTREAM_SPE_ROW_H_
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+namespace astream::spe {
+
+/// Column value. The workloads of the paper (Sec. 4.2.1) use integer keys
+/// and integer payload fields, so a single integer value type suffices.
+using Value = int64_t;
+
+/// A flat tuple of values. By convention column 0 is the partitioning key.
+/// Join results concatenate the two input rows (left columns first).
+class Row {
+ public:
+  Row() = default;
+  explicit Row(std::vector<Value> values) : values_(std::move(values)) {}
+  Row(std::initializer_list<Value> values) : values_(values) {}
+
+  /// Partitioning key (column 0). Rows in flight always have >= 1 column.
+  Value key() const { return values_.empty() ? 0 : values_[0]; }
+
+  Value At(size_t i) const {
+    assert(i < values_.size());
+    return values_[i];
+  }
+  size_t NumColumns() const { return values_.size(); }
+  const std::vector<Value>& values() const { return values_; }
+  std::vector<Value>& mutable_values() { return values_; }
+
+  /// Left ++ right concatenation (windowed join output, Fig. 7).
+  static Row Concat(const Row& left, const Row& right) {
+    std::vector<Value> v;
+    v.reserve(left.values_.size() + right.values_.size());
+    v.insert(v.end(), left.values_.begin(), left.values_.end());
+    v.insert(v.end(), right.values_.begin(), right.values_.end());
+    return Row(std::move(v));
+  }
+
+  bool operator==(const Row& other) const { return values_ == other.values_; }
+
+  std::string ToString() const;
+
+ private:
+  std::vector<Value> values_;
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_ROW_H_

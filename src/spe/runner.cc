@@ -1,0 +1,594 @@
+#include "spe/runner.h"
+
+#include <cassert>
+
+#include "common/logging.h"
+
+namespace astream::spe {
+namespace internal {
+
+int InstanceForKey(Value key, int parallelism) {
+  uint64_t h = static_cast<uint64_t>(key) * 0x9E3779B97F4A7C15ULL;
+  h ^= h >> 32;
+  return static_cast<int>(h % static_cast<uint64_t>(parallelism));
+}
+
+namespace {
+
+int64_t SenderKey(int port, int sender) {
+  return (static_cast<int64_t>(port) << 32) | static_cast<uint32_t>(sender);
+}
+
+}  // namespace
+
+/// Collector passed to the operator: counts and forwards emitted records.
+class InstanceRuntime::RecordCollector : public Collector {
+ public:
+  explicit RecordCollector(InstanceRuntime* owner) : owner_(owner) {}
+  void Emit(StreamElement element) override {
+    assert(element.kind == ElementKind::kRecord &&
+           "operators may only emit records; the runtime forwards control");
+    owner_->records_out_.fetch_add(1, std::memory_order_relaxed);
+    owner_->emit_record(std::move(element));
+  }
+
+ private:
+  InstanceRuntime* owner_;
+};
+
+InstanceRuntime::InstanceRuntime(int stage, int instance,
+                                 std::unique_ptr<Operator> op)
+    : stage_(stage), instance_(instance), op_(std::move(op)) {
+  collector_ = std::make_unique<RecordCollector>(this);
+}
+
+void InstanceRuntime::AddExpectedSender(int port, int sender_gid) {
+  const auto [it, inserted] =
+      senders_.try_emplace(SenderKey(port, sender_gid));
+  (void)it;
+  assert(inserted && "duplicate (port, sender)");
+  ++total_senders_;
+}
+
+Status InstanceRuntime::Open(const OperatorContext& ctx) {
+  return op_->Open(ctx);
+}
+
+InstanceRuntime::SenderState& InstanceRuntime::GetSender(int port,
+                                                         int sender) {
+  auto it = senders_.find(SenderKey(port, sender));
+  assert(it != senders_.end() && "element from undeclared sender");
+  return it->second;
+}
+
+void InstanceRuntime::Deliver(Envelope env) {
+  SenderState& st = GetSender(env.port, env.sender);
+  if (st.blocked) {
+    st.pending.push_back(std::move(env));
+    return;
+  }
+  Handle(std::move(env));
+  DrainPending();
+}
+
+void InstanceRuntime::Handle(Envelope env) {
+  SenderState& st = GetSender(env.port, env.sender);
+  switch (env.element.kind) {
+    case ElementKind::kRecord:
+      records_in_.fetch_add(1, std::memory_order_relaxed);
+      op_->ProcessRecord(env.port, std::move(env.element.record),
+                         collector_.get());
+      break;
+    case ElementKind::kWatermark:
+      if (env.element.watermark > st.watermark) {
+        st.watermark = env.element.watermark;
+        RecomputeWatermark();
+      }
+      break;
+    case ElementKind::kMarker:
+      HandleMarker(st, env.element.marker);
+      break;
+    case ElementKind::kDone:
+      if (!st.done) {
+        st.done = true;
+        ++done_senders_;
+        st.watermark = kMaxTimestamp;
+        RecomputeWatermark();
+        if (aligning_ && aligned_count_ + done_senders_ >= total_senders_) {
+          FireMarker(aligning_marker_);
+        }
+        CheckAllDone();
+      }
+      break;
+  }
+}
+
+void InstanceRuntime::HandleMarker(SenderState& st,
+                                   const ControlMarker& marker) {
+  if (!aligning_) {
+    aligning_ = true;
+    aligning_marker_ = marker;
+    aligned_count_ = 0;
+  } else {
+    assert(aligning_marker_.kind == marker.kind &&
+           aligning_marker_.epoch == marker.epoch &&
+           "senders must deliver markers in one global order");
+  }
+  st.blocked = true;
+  ++aligned_count_;
+  if (aligned_count_ + done_senders_ >= total_senders_) {
+    FireMarker(aligning_marker_);
+  }
+}
+
+void InstanceRuntime::FireMarker(const ControlMarker& marker) {
+  aligning_ = false;
+  for (auto& [key, st] : senders_) st.blocked = false;
+  if (marker.kind == MarkerKind::kCheckpointBarrier && snapshot) {
+    StateWriter writer;
+    const Status s = op_->SnapshotState(&writer);
+    if (!s.ok()) {
+      ASTREAM_LOG(kError, "runner")
+          << "snapshot failed for stage " << stage_ << "/" << instance_
+          << ": " << s.ToString();
+    } else {
+      snapshot(marker.epoch, stage_, instance_, writer.TakeBuffer());
+    }
+  }
+  op_->OnMarker(marker, collector_.get());
+  forward_control(StreamElement::MakeMarker(marker));
+}
+
+void InstanceRuntime::RecomputeWatermark() {
+  TimestampMs min_wm = kMaxTimestamp;
+  for (const auto& [key, st] : senders_) {
+    if (st.watermark < min_wm) min_wm = st.watermark;
+  }
+  if (min_wm > current_watermark_) {
+    current_watermark_ = min_wm;
+    op_->OnWatermark(min_wm, collector_.get());
+    forward_control(StreamElement::MakeWatermark(min_wm));
+  }
+}
+
+void InstanceRuntime::CheckAllDone() {
+  if (finished_ || done_senders_ < total_senders_) return;
+  op_->Close(collector_.get());
+  forward_control(StreamElement::MakeDone());
+  finished_ = true;
+}
+
+void InstanceRuntime::DrainPending() {
+  if (draining_) return;
+  draining_ = true;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (auto& [key, st] : senders_) {
+      while (!st.blocked && !st.pending.empty()) {
+        Envelope env = std::move(st.pending.front());
+        st.pending.pop_front();
+        Handle(std::move(env));
+        progress = true;
+      }
+    }
+  }
+  draining_ = false;
+}
+
+}  // namespace internal
+
+// ---------------------------------------------------------------------------
+// Shared wiring helpers
+// ---------------------------------------------------------------------------
+
+namespace {
+
+std::vector<std::vector<internal::DownstreamEdge>> BuildDownstream(
+    const TopologySpec& spec) {
+  std::vector<std::vector<internal::DownstreamEdge>> down(
+      spec.stages().size());
+  for (size_t s = 0; s < spec.stages().size(); ++s) {
+    for (const EdgeSpec& e : spec.stages()[s].inputs) {
+      down[e.upstream_stage].push_back(internal::DownstreamEdge{
+          static_cast<int>(s), e.port, e.partitioning});
+    }
+  }
+  return down;
+}
+
+std::vector<int> BuildGidBases(const TopologySpec& spec) {
+  std::vector<int> bases(spec.stages().size());
+  int next = 0;
+  for (size_t s = 0; s < spec.stages().size(); ++s) {
+    bases[s] = next;
+    next += spec.stages()[s].parallelism;
+  }
+  return bases;
+}
+
+int ExternalSenderGid(int input_index) { return -1 - input_index; }
+
+/// Registers all expected senders of one instance.
+void RegisterSenders(internal::InstanceRuntime* rt, const TopologySpec& spec,
+                     const std::vector<int>& gid_base, int stage) {
+  for (const EdgeSpec& e : spec.stages()[stage].inputs) {
+    const StageSpec& up = spec.stages()[e.upstream_stage];
+    for (int u = 0; u < up.parallelism; ++u) {
+      rt->AddExpectedSender(e.port, gid_base[e.upstream_stage] + u);
+    }
+  }
+  for (size_t in = 0; in < spec.external_inputs().size(); ++in) {
+    const ExternalInputSpec& ext = spec.external_inputs()[in];
+    if (ext.target_stage == stage) {
+      rt->AddExpectedSender(ext.port,
+                            ExternalSenderGid(static_cast<int>(in)));
+    }
+  }
+}
+
+OperatorContext MakeContext(const TopologySpec& spec, int stage,
+                            int instance) {
+  OperatorContext ctx;
+  ctx.stage_index = stage;
+  ctx.instance_index = instance;
+  ctx.parallelism = spec.stages()[stage].parallelism;
+  ctx.stage_name = spec.stages()[stage].name;
+  ctx.clock = WallClock::Default();
+  return ctx;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SyncRunner
+// ---------------------------------------------------------------------------
+
+SyncRunner::SyncRunner(TopologySpec spec, SinkFn sink, SnapshotFn snapshot)
+    : spec_(std::move(spec)),
+      sink_(std::move(sink)),
+      snapshot_(std::move(snapshot)) {}
+
+SyncRunner::~SyncRunner() = default;
+
+Status SyncRunner::Start() {
+  ASTREAM_RETURN_IF_ERROR(spec_.Validate());
+  downstream_ = BuildDownstream(spec_);
+  gid_base_ = BuildGidBases(spec_);
+
+  const auto& stages = spec_.stages();
+  instances_.resize(stages.size());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const StageSpec& stage = stages[s];
+    for (int i = 0; i < stage.parallelism; ++i) {
+      auto rt = std::make_unique<internal::InstanceRuntime>(
+          static_cast<int>(s), i, stage.factory(i));
+      RegisterSenders(rt.get(), spec_, gid_base_, static_cast<int>(s));
+      const int stage_index = static_cast<int>(s);
+      const int instance_index = i;
+      rt->emit_record = [this, stage_index,
+                         instance_index](StreamElement&& el) {
+        RouteFromInstance(stage_index, instance_index, el,
+                          /*control=*/false);
+      };
+      rt->forward_control = [this, stage_index,
+                             instance_index](const StreamElement& el) {
+        RouteFromInstance(stage_index, instance_index, el,
+                          /*control=*/true);
+      };
+      if (snapshot_) rt->snapshot = snapshot_;
+      ASTREAM_RETURN_IF_ERROR(
+          rt->Open(MakeContext(spec_, stage_index, instance_index)));
+      instances_[s].push_back(std::move(rt));
+    }
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void SyncRunner::RouteFromInstance(int stage, int instance,
+                                   const StreamElement& el, bool control) {
+  if (spec_.stages()[stage].is_sink && sink_) {
+    sink_(stage, instance, el);
+  }
+  const int sender = gid_base_[stage] + instance;
+  for (const internal::DownstreamEdge& edge : downstream_[stage]) {
+    auto& targets = instances_[edge.target_stage];
+    if (!control && el.kind == ElementKind::kRecord &&
+        edge.partitioning == Partitioning::kHash) {
+      const int i = internal::InstanceForKey(
+          el.record.row.key(), static_cast<int>(targets.size()));
+      targets[i]->Deliver(Envelope{edge.port, sender, el});
+    } else {
+      for (auto& target : targets) {
+        target->Deliver(Envelope{edge.port, sender, el});
+      }
+    }
+  }
+}
+
+bool SyncRunner::Push(int input_index, StreamElement element) {
+  if (cancelled_) return false;
+  RouteExternal(input_index, std::move(element));
+  return true;
+}
+
+void SyncRunner::RouteExternal(int input_index, StreamElement element) {
+  const ExternalInputSpec& ext = spec_.external_inputs()[input_index];
+  auto& targets = instances_[ext.target_stage];
+  const int sender = ExternalSenderGid(input_index);
+  if (element.kind == ElementKind::kRecord &&
+      ext.partitioning == Partitioning::kHash) {
+    const int i = internal::InstanceForKey(
+        element.record.row.key(), static_cast<int>(targets.size()));
+    targets[i]->Deliver(Envelope{ext.port, sender, std::move(element)});
+    return;
+  }
+  for (auto& target : targets) {
+    target->Deliver(Envelope{ext.port, sender, element});
+  }
+}
+
+void SyncRunner::InjectMarker(const ControlMarker& marker) {
+  for (size_t in = 0; in < spec_.external_inputs().size(); ++in) {
+    RouteExternal(static_cast<int>(in), StreamElement::MakeMarker(marker));
+  }
+}
+
+void SyncRunner::FinishAndWait() {
+  if (finished_ || cancelled_) return;
+  for (size_t in = 0; in < spec_.external_inputs().size(); ++in) {
+    RouteExternal(static_cast<int>(in),
+                  StreamElement::MakeWatermark(kMaxTimestamp));
+    RouteExternal(static_cast<int>(in), StreamElement::MakeDone());
+  }
+  finished_ = true;
+}
+
+void SyncRunner::Cancel() { cancelled_ = true; }
+
+Status SyncRunner::Restore(const CheckpointStore::Checkpoint& checkpoint) {
+  for (size_t s = 0; s < instances_.size(); ++s) {
+    for (size_t i = 0; i < instances_[s].size(); ++i) {
+      auto it = checkpoint.operator_state.find(CheckpointStore::StateKey(
+          static_cast<int>(s), static_cast<int>(i)));
+      if (it == checkpoint.operator_state.end()) {
+        return Status::NotFound("missing checkpoint state for stage " +
+                                std::to_string(s) + "/" + std::to_string(i));
+      }
+      StateReader reader(it->second);
+      ASTREAM_RETURN_IF_ERROR(instances_[s][i]->op()->RestoreState(&reader));
+      if (!reader.Ok()) {
+        return Status::Internal("corrupt checkpoint state for stage " +
+                                std::to_string(s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int64_t SyncRunner::StageRecordsIn(int stage) const {
+  int64_t n = 0;
+  for (const auto& i : instances_[stage]) n += i->records_in();
+  return n;
+}
+
+int64_t SyncRunner::StageRecordsOut(int stage) const {
+  int64_t n = 0;
+  for (const auto& i : instances_[stage]) n += i->records_out();
+  return n;
+}
+
+// ---------------------------------------------------------------------------
+// ThreadedRunner
+// ---------------------------------------------------------------------------
+
+ThreadedRunner::ThreadedRunner(TopologySpec spec, SinkFn sink,
+                               SnapshotFn snapshot, size_t channel_capacity)
+    : spec_(std::move(spec)),
+      sink_(std::move(sink)),
+      snapshot_(std::move(snapshot)),
+      channel_capacity_(channel_capacity) {}
+
+ThreadedRunner::~ThreadedRunner() { Cancel(); }
+
+Status ThreadedRunner::Start() {
+  ASTREAM_RETURN_IF_ERROR(spec_.Validate());
+  downstream_ = BuildDownstream(spec_);
+  gid_base_ = BuildGidBases(spec_);
+  for (size_t in = 0; in < spec_.external_inputs().size(); ++in) {
+    input_mutexes_.push_back(std::make_unique<std::mutex>());
+  }
+
+  const auto& stages = spec_.stages();
+  tasks_.resize(stages.size());
+  for (size_t s = 0; s < stages.size(); ++s) {
+    const StageSpec& stage = stages[s];
+    for (int i = 0; i < stage.parallelism; ++i) {
+      auto task = std::make_unique<Task>();
+      task->runtime = std::make_unique<internal::InstanceRuntime>(
+          static_cast<int>(s), i, stage.factory(i));
+      task->channel = std::make_unique<Channel>(channel_capacity_);
+      RegisterSenders(task->runtime.get(), spec_, gid_base_,
+                      static_cast<int>(s));
+      const int stage_index = static_cast<int>(s);
+      const int instance_index = i;
+      task->runtime->emit_record = [this, stage_index,
+                                    instance_index](StreamElement&& el) {
+        RouteFromInstance(stage_index, instance_index, el,
+                          /*control=*/false);
+      };
+      task->runtime->forward_control =
+          [this, stage_index, instance_index](const StreamElement& el) {
+            RouteFromInstance(stage_index, instance_index, el,
+                              /*control=*/true);
+          };
+      if (snapshot_) task->runtime->snapshot = snapshot_;
+      ASTREAM_RETURN_IF_ERROR(
+          task->runtime->Open(MakeContext(spec_, stage_index,
+                                          instance_index)));
+      tasks_[s].push_back(std::move(task));
+    }
+  }
+  // Spawn threads only after all routing state exists.
+  for (auto& stage_tasks : tasks_) {
+    for (auto& task : stage_tasks) {
+      Task* t = task.get();
+      t->thread = std::thread([this, t] { TaskLoop(t); });
+    }
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void ThreadedRunner::TaskLoop(Task* task) {
+  while (true) {
+    std::optional<Envelope> env = task->channel->Pop();
+    if (!env.has_value()) break;  // closed and drained (cancel path)
+    task->runtime->Deliver(std::move(*env));
+    if (task->runtime->Finished()) break;
+  }
+}
+
+void ThreadedRunner::DeliverTo(int stage, int instance, int port, int sender,
+                               StreamElement element) {
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  tasks_[stage][instance]->channel->Push(
+      Envelope{port, sender, std::move(element)});
+}
+
+void ThreadedRunner::RouteFromInstance(int stage, int instance,
+                                       const StreamElement& el,
+                                       bool control) {
+  if (spec_.stages()[stage].is_sink && sink_) {
+    sink_(stage, instance, el);
+  }
+  const int sender = gid_base_[stage] + instance;
+  for (const internal::DownstreamEdge& edge : downstream_[stage]) {
+    const int par = spec_.stages()[edge.target_stage].parallelism;
+    if (!control && el.kind == ElementKind::kRecord &&
+        edge.partitioning == Partitioning::kHash) {
+      const int i = internal::InstanceForKey(el.record.row.key(), par);
+      DeliverTo(edge.target_stage, i, edge.port, sender, el);
+    } else {
+      for (int i = 0; i < par; ++i) {
+        DeliverTo(edge.target_stage, i, edge.port, sender, el);
+      }
+    }
+  }
+}
+
+bool ThreadedRunner::Push(int input_index, StreamElement element) {
+  if (cancelled_.load(std::memory_order_relaxed)) return false;
+  const ExternalInputSpec& ext = spec_.external_inputs()[input_index];
+  const int sender = ExternalSenderGid(input_index);
+  const int par = spec_.stages()[ext.target_stage].parallelism;
+  std::lock_guard<std::mutex> lock(*input_mutexes_[input_index]);
+  if (element.kind == ElementKind::kRecord &&
+      ext.partitioning == Partitioning::kHash) {
+    const int i = internal::InstanceForKey(element.record.row.key(), par);
+    DeliverTo(ext.target_stage, i, ext.port, sender, std::move(element));
+  } else {
+    for (int i = 0; i < par; ++i) {
+      DeliverTo(ext.target_stage, i, ext.port, sender, element);
+    }
+  }
+  return true;
+}
+
+void ThreadedRunner::InjectMarker(const ControlMarker& marker) {
+  std::lock_guard<std::mutex> marker_lock(marker_mutex_);
+  for (size_t in = 0; in < spec_.external_inputs().size(); ++in) {
+    const ExternalInputSpec& ext = spec_.external_inputs()[in];
+    const int sender = ExternalSenderGid(static_cast<int>(in));
+    const int par = spec_.stages()[ext.target_stage].parallelism;
+    std::lock_guard<std::mutex> lock(*input_mutexes_[in]);
+    for (int i = 0; i < par; ++i) {
+      DeliverTo(ext.target_stage, i, ext.port, sender,
+                StreamElement::MakeMarker(marker));
+    }
+  }
+}
+
+void ThreadedRunner::FinishAndWait() {
+  if (finished_ || !started_) return;
+  if (!cancelled_.load()) {
+    for (size_t in = 0; in < spec_.external_inputs().size(); ++in) {
+      const ExternalInputSpec& ext = spec_.external_inputs()[in];
+      const int sender = ExternalSenderGid(static_cast<int>(in));
+      const int par = spec_.stages()[ext.target_stage].parallelism;
+      std::lock_guard<std::mutex> lock(*input_mutexes_[in]);
+      for (int i = 0; i < par; ++i) {
+        DeliverTo(ext.target_stage, i, ext.port, sender,
+                  StreamElement::MakeWatermark(kMaxTimestamp));
+        DeliverTo(ext.target_stage, i, ext.port, sender,
+                  StreamElement::MakeDone());
+      }
+    }
+  }
+  for (auto& stage_tasks : tasks_) {
+    for (auto& task : stage_tasks) {
+      if (task->thread.joinable()) task->thread.join();
+    }
+  }
+  finished_ = true;
+}
+
+void ThreadedRunner::Cancel() {
+  if (!started_ || finished_) return;
+  cancelled_.store(true);
+  for (auto& stage_tasks : tasks_) {
+    for (auto& task : stage_tasks) task->channel->Close();
+  }
+  for (auto& stage_tasks : tasks_) {
+    for (auto& task : stage_tasks) {
+      if (task->thread.joinable()) task->thread.join();
+    }
+  }
+  finished_ = true;
+}
+
+Status ThreadedRunner::Restore(const CheckpointStore::Checkpoint& checkpoint) {
+  // Restore must happen before any element flows; tasks are idle (blocked
+  // on empty channels), so touching operator state here is safe.
+  for (size_t s = 0; s < tasks_.size(); ++s) {
+    for (size_t i = 0; i < tasks_[s].size(); ++i) {
+      auto it = checkpoint.operator_state.find(CheckpointStore::StateKey(
+          static_cast<int>(s), static_cast<int>(i)));
+      if (it == checkpoint.operator_state.end()) {
+        return Status::NotFound("missing checkpoint state for stage " +
+                                std::to_string(s) + "/" + std::to_string(i));
+      }
+      StateReader reader(it->second);
+      ASTREAM_RETURN_IF_ERROR(
+          tasks_[s][i]->runtime->op()->RestoreState(&reader));
+      if (!reader.Ok()) {
+        return Status::Internal("corrupt checkpoint state for stage " +
+                                std::to_string(s));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int64_t ThreadedRunner::StageRecordsIn(int stage) const {
+  int64_t n = 0;
+  for (const auto& t : tasks_[stage]) n += t->runtime->records_in();
+  return n;
+}
+
+int64_t ThreadedRunner::StageRecordsOut(int stage) const {
+  int64_t n = 0;
+  for (const auto& t : tasks_[stage]) n += t->runtime->records_out();
+  return n;
+}
+
+size_t ThreadedRunner::TotalQueuedElements() const {
+  size_t n = 0;
+  for (const auto& stage_tasks : tasks_) {
+    for (const auto& t : stage_tasks) n += t->channel->Size();
+  }
+  return n;
+}
+
+}  // namespace astream::spe

@@ -1,0 +1,249 @@
+#ifndef ASTREAM_SPE_RUNNER_H_
+#define ASTREAM_SPE_RUNNER_H_
+
+#include <atomic>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "spe/channel.h"
+#include "spe/state.h"
+#include "spe/topology.h"
+
+namespace astream::spe {
+
+/// Receives everything emitted by sink stages: records, plus forwarded
+/// watermarks / markers / done signals (so exactly-once sinks can see
+/// checkpoint epochs inline with the data). Invoked from task threads in
+/// threaded mode — implementations must be thread-safe.
+using SinkFn =
+    std::function<void(int stage, int instance, const StreamElement&)>;
+
+/// Receives operator snapshots taken at aligned checkpoint barriers.
+using SnapshotFn = std::function<void(int64_t checkpoint_id, int stage,
+                                      int instance,
+                                      std::vector<uint8_t> state)>;
+
+namespace internal {
+
+/// Per-instance execution wrapper. Owns the operator and implements the
+/// runtime contract documented on Operator: per-sender watermark
+/// minimization, aligned marker delivery with per-sender blocking, done
+/// propagation, and checkpoint snapshots. All methods must be invoked from
+/// one thread at a time.
+class InstanceRuntime {
+ public:
+  InstanceRuntime(int stage, int instance, std::unique_ptr<Operator> op);
+
+  /// Declares an upstream sender feeding `port`. Must be called for every
+  /// (port, sender) pair before the first Deliver.
+  void AddExpectedSender(int port, int sender_gid);
+
+  /// Routing callbacks, set by the runner before the first Deliver.
+  /// Sends a record produced by the operator downstream.
+  std::function<void(StreamElement&&)> emit_record;
+  /// Broadcasts a control element (watermark / marker / done) downstream.
+  std::function<void(const StreamElement&)> forward_control;
+  /// Stores a checkpoint snapshot (may be null).
+  SnapshotFn snapshot;
+
+  Status Open(const OperatorContext& ctx);
+
+  /// Processes one envelope (bookkeeping + operator callbacks).
+  void Deliver(Envelope env);
+
+  /// True once all senders signalled done and the operator was closed.
+  bool Finished() const { return finished_; }
+
+  Operator* op() { return op_.get(); }
+  int stage() const { return stage_; }
+  int instance() const { return instance_; }
+
+  int64_t records_in() const {
+    return records_in_.load(std::memory_order_relaxed);
+  }
+  int64_t records_out() const {
+    return records_out_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct SenderState {
+    TimestampMs watermark = kMinTimestamp;
+    bool done = false;
+    bool blocked = false;
+    std::deque<Envelope> pending;
+  };
+
+  class RecordCollector;
+
+  SenderState& GetSender(int port, int sender);
+  void Handle(Envelope env);
+  void HandleMarker(SenderState& st, const ControlMarker& marker);
+  void FireMarker(const ControlMarker& marker);
+  void RecomputeWatermark();
+  void CheckAllDone();
+  void DrainPending();
+
+  const int stage_;
+  const int instance_;
+  std::unique_ptr<Operator> op_;
+
+  // Key: (port << 32) | low 32 bits of sender gid.
+  std::map<int64_t, SenderState> senders_;
+  size_t total_senders_ = 0;
+  size_t done_senders_ = 0;
+
+  // In-flight marker alignment. Senders deliver markers in identical order,
+  // so at most one marker is aligning at a time.
+  bool aligning_ = false;
+  ControlMarker aligning_marker_;
+  size_t aligned_count_ = 0;
+
+  TimestampMs current_watermark_ = kMinTimestamp;
+  bool finished_ = false;
+  bool draining_ = false;
+
+  std::unique_ptr<Collector> collector_;
+  std::atomic<int64_t> records_in_{0};
+  std::atomic<int64_t> records_out_{0};
+};
+
+/// Routing edge from a stage to one consumer stage/port.
+struct DownstreamEdge {
+  int target_stage = -1;
+  int port = 0;
+  Partitioning partitioning = Partitioning::kHash;
+};
+
+/// Deterministic key → instance routing, identical across stages so that
+/// co-partitioned operators (e.g. the two inputs of a keyed join) agree.
+int InstanceForKey(Value key, int parallelism);
+
+}  // namespace internal
+
+/// Common interface of the two execution modes.
+class Runner {
+ public:
+  virtual ~Runner() = default;
+
+  /// Validates the topology, instantiates and opens all operators.
+  virtual Status Start() = 0;
+
+  /// Pushes a data element (record or watermark) into external input
+  /// `input_index`. Elements per input must be pushed in event-time order.
+  /// Returns false after the job was cancelled.
+  virtual bool Push(int input_index, StreamElement element) = 0;
+
+  /// Pushes a control marker into every external input. All markers must
+  /// be injected in one global order (they are serialized internally).
+  virtual void InjectMarker(const ControlMarker& marker) = 0;
+
+  /// Signals end of input on all external inputs (a +inf watermark
+  /// followed by done), then waits for all operators to finish.
+  virtual void FinishAndWait() = 0;
+
+  /// Hard stop: drops in-flight elements and joins all tasks.
+  virtual void Cancel() = 0;
+
+  /// Restores all operator state from a completed checkpoint. Must be
+  /// called after Start() and before any Push.
+  virtual Status Restore(const CheckpointStore::Checkpoint& checkpoint) = 0;
+
+  /// Total records processed / emitted by a stage (sum over instances).
+  virtual int64_t StageRecordsIn(int stage) const = 0;
+  virtual int64_t StageRecordsOut(int stage) const = 0;
+};
+
+/// Single-threaded, deterministic, depth-first execution. Parallel stage
+/// instances are still honored (hash routing picks an instance; all run on
+/// the caller's thread). Used by tests, reference runs, and examples.
+class SyncRunner : public Runner {
+ public:
+  SyncRunner(TopologySpec spec, SinkFn sink, SnapshotFn snapshot = nullptr);
+  ~SyncRunner() override;
+
+  Status Start() override;
+  bool Push(int input_index, StreamElement element) override;
+  void InjectMarker(const ControlMarker& marker) override;
+  void FinishAndWait() override;
+  void Cancel() override;
+  Status Restore(const CheckpointStore::Checkpoint& checkpoint) override;
+  int64_t StageRecordsIn(int stage) const override;
+  int64_t StageRecordsOut(int stage) const override;
+
+ private:
+  void RouteFromInstance(int stage, int instance, const StreamElement& el,
+                         bool control);
+  void RouteExternal(int input_index, StreamElement element);
+
+  TopologySpec spec_;
+  SinkFn sink_;
+  SnapshotFn snapshot_;
+  // instances_[stage][instance]
+  std::vector<std::vector<std::unique_ptr<internal::InstanceRuntime>>>
+      instances_;
+  std::vector<std::vector<internal::DownstreamEdge>> downstream_;
+  std::vector<int> gid_base_;
+  bool started_ = false;
+  bool cancelled_ = false;
+  bool finished_ = false;
+};
+
+/// Multi-threaded execution: one task thread and one bounded input channel
+/// per operator instance; blocking pushes provide backpressure end to end.
+class ThreadedRunner : public Runner {
+ public:
+  /// `channel_capacity` bounds each instance's input queue.
+  ThreadedRunner(TopologySpec spec, SinkFn sink,
+                 SnapshotFn snapshot = nullptr,
+                 size_t channel_capacity = 1024);
+  ~ThreadedRunner() override;
+
+  Status Start() override;
+  bool Push(int input_index, StreamElement element) override;
+  void InjectMarker(const ControlMarker& marker) override;
+  void FinishAndWait() override;
+  void Cancel() override;
+  Status Restore(const CheckpointStore::Checkpoint& checkpoint) override;
+  int64_t StageRecordsIn(int stage) const override;
+  int64_t StageRecordsOut(int stage) const override;
+
+  /// Sum of queued elements across all instance channels (backpressure /
+  /// sustainability probe).
+  size_t TotalQueuedElements() const;
+
+ private:
+  struct Task {
+    std::unique_ptr<internal::InstanceRuntime> runtime;
+    std::unique_ptr<Channel> channel;
+    std::thread thread;
+  };
+
+  void TaskLoop(Task* task);
+  void RouteFromInstance(int stage, int instance, const StreamElement& el,
+                         bool control);
+  void DeliverTo(int stage, int instance, int port, int sender,
+                 StreamElement element);
+
+  TopologySpec spec_;
+  SinkFn sink_;
+  SnapshotFn snapshot_;
+  const size_t channel_capacity_;
+  std::vector<std::vector<std::unique_ptr<Task>>> tasks_;
+  std::vector<std::vector<internal::DownstreamEdge>> downstream_;
+  std::vector<int> gid_base_;
+  std::vector<std::unique_ptr<std::mutex>> input_mutexes_;
+  std::mutex marker_mutex_;
+  std::atomic<bool> cancelled_{false};
+  bool started_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_RUNNER_H_

@@ -1,0 +1,121 @@
+#include "spe/state.h"
+
+#include <cstring>
+
+namespace astream::spe {
+
+void StateWriter::WriteI64(int64_t v) {
+  WriteBytes(&v, sizeof(v));
+}
+
+void StateWriter::WriteBytes(const void* data, size_t size) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  buffer_.insert(buffer_.end(), p, p + size);
+}
+
+void StateWriter::WriteString(const std::string& s) {
+  WriteU64(s.size());
+  WriteBytes(s.data(), s.size());
+}
+
+void StateWriter::WriteRow(const Row& row) {
+  WriteU64(row.NumColumns());
+  for (size_t i = 0; i < row.NumColumns(); ++i) WriteI64(row.At(i));
+}
+
+void StateWriter::WriteBitset(const DynamicBitset& b) {
+  WriteU64(b.NumWords());
+  for (size_t i = 0; i < b.NumWords(); ++i) WriteU64(b.Word(i));
+}
+
+int64_t StateReader::ReadI64() {
+  if (pos_ + sizeof(int64_t) > buffer_.size()) {
+    failed_ = true;
+    return 0;
+  }
+  int64_t v;
+  std::memcpy(&v, buffer_.data() + pos_, sizeof(v));
+  pos_ += sizeof(v);
+  return v;
+}
+
+std::string StateReader::ReadString() {
+  const uint64_t size = ReadU64();
+  if (failed_ || pos_ + size > buffer_.size()) {
+    failed_ = true;
+    return {};
+  }
+  std::string s(reinterpret_cast<const char*>(buffer_.data() + pos_), size);
+  pos_ += size;
+  return s;
+}
+
+Row StateReader::ReadRow() {
+  const uint64_t n = ReadU64();
+  if (failed_ || n > (buffer_.size() - pos_) / sizeof(int64_t)) {
+    failed_ = true;
+    return Row();
+  }
+  std::vector<Value> values;
+  values.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) values.push_back(ReadI64());
+  return Row(std::move(values));
+}
+
+DynamicBitset StateReader::ReadBitset() {
+  const uint64_t n = ReadU64();
+  if (failed_ || n > (buffer_.size() - pos_) / sizeof(uint64_t)) {
+    failed_ = true;
+    return {};
+  }
+  std::vector<uint64_t> words;
+  words.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) words.push_back(ReadU64());
+  DynamicBitset b;
+  b.FromWords(words);
+  return b;
+}
+
+void CheckpointStore::BeginCheckpoint(int64_t id,
+                                      std::map<int, int64_t> source_offsets) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto cp = std::make_shared<Checkpoint>();
+  cp->id = id;
+  cp->source_offsets = std::move(source_offsets);
+  checkpoints_[id] = std::move(cp);
+}
+
+void CheckpointStore::AddOperatorState(int64_t id, int stage, int instance,
+                                       std::vector<uint8_t> state) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = checkpoints_.find(id);
+  if (it == checkpoints_.end()) return;
+  it->second->operator_state[StateKey(stage, instance)] = std::move(state);
+}
+
+void CheckpointStore::MaybeComplete(int64_t id, size_t expected_states) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = checkpoints_.find(id);
+  if (it == checkpoints_.end()) return;
+  if (it->second->operator_state.size() >= expected_states) {
+    it->second->complete = true;
+  }
+}
+
+std::shared_ptr<const CheckpointStore::Checkpoint>
+CheckpointStore::LatestComplete() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto it = checkpoints_.rbegin(); it != checkpoints_.rend(); ++it) {
+    if (it->second->complete) return it->second;
+  }
+  return nullptr;
+}
+
+std::shared_ptr<const CheckpointStore::Checkpoint> CheckpointStore::Get(
+    int64_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = checkpoints_.find(id);
+  return it == checkpoints_.end() ? nullptr : it->second;
+}
+
+}  // namespace astream::spe

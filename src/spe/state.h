@@ -1,0 +1,97 @@
+#ifndef ASTREAM_SPE_STATE_H_
+#define ASTREAM_SPE_STATE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/bitset.h"
+#include "common/status.h"
+#include "spe/row.h"
+
+namespace astream::spe {
+
+/// Append-only binary encoder for operator state snapshots (Sec. 3.3).
+/// Variable-length framing is intentionally avoided: fixed 64-bit integers
+/// keep the format trivial to audit in tests.
+class StateWriter {
+ public:
+  void WriteI64(int64_t v);
+  void WriteU64(uint64_t v) { WriteI64(static_cast<int64_t>(v)); }
+  void WriteBool(bool v) { WriteI64(v ? 1 : 0); }
+  void WriteBytes(const void* data, size_t size);
+  void WriteString(const std::string& s);
+  void WriteRow(const Row& row);
+  void WriteBitset(const DynamicBitset& b);
+
+  const std::vector<uint8_t>& buffer() const { return buffer_; }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+};
+
+/// Decoder matching StateWriter. Reads past the end return an error status
+/// once and zero values thereafter; callers check Ok() after a batch of
+/// reads (keeps restore code linear, no per-read error plumbing).
+class StateReader {
+ public:
+  explicit StateReader(std::vector<uint8_t> buffer)
+      : buffer_(std::move(buffer)) {}
+
+  int64_t ReadI64();
+  uint64_t ReadU64() { return static_cast<uint64_t>(ReadI64()); }
+  bool ReadBool() { return ReadI64() != 0; }
+  std::string ReadString();
+  Row ReadRow();
+  DynamicBitset ReadBitset();
+
+  bool Ok() const { return !failed_; }
+  bool AtEnd() const { return pos_ == buffer_.size(); }
+
+ private:
+  std::vector<uint8_t> buffer_;
+  size_t pos_ = 0;
+  bool failed_ = false;
+};
+
+/// In-memory store of completed checkpoints: per checkpoint id, a map from
+/// (stage, instance) to the operator's serialized state, plus the source
+/// replay offsets recorded when the barrier was injected.
+class CheckpointStore {
+ public:
+  struct Checkpoint {
+    int64_t id = 0;
+    /// Key: stage_index * 1000003 + instance_index.
+    std::map<int64_t, std::vector<uint8_t>> operator_state;
+    /// Number of elements each external source had pushed before the
+    /// barrier (replay starts here).
+    std::map<int, int64_t> source_offsets;
+    bool complete = false;
+  };
+
+  static int64_t StateKey(int stage, int instance) {
+    return static_cast<int64_t>(stage) * 1000003 + instance;
+  }
+
+  void BeginCheckpoint(int64_t id, std::map<int, int64_t> source_offsets);
+  void AddOperatorState(int64_t id, int stage, int instance,
+                        std::vector<uint8_t> state);
+  /// Marks a checkpoint complete once all `expected_states` snapshots are in.
+  void MaybeComplete(int64_t id, size_t expected_states);
+
+  /// Latest complete checkpoint, or nullptr.
+  std::shared_ptr<const Checkpoint> LatestComplete() const;
+  std::shared_ptr<const Checkpoint> Get(int64_t id) const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<int64_t, std::shared_ptr<Checkpoint>> checkpoints_;
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_STATE_H_

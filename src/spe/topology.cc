@@ -1,0 +1,63 @@
+#include "spe/topology.h"
+
+#include <set>
+
+namespace astream::spe {
+
+Status TopologySpec::Validate() const {
+  if (stages_.empty()) {
+    return Status::InvalidArgument("topology has no stages");
+  }
+  for (size_t s = 0; s < stages_.size(); ++s) {
+    const StageSpec& stage = stages_[s];
+    if (!stage.factory) {
+      return Status::InvalidArgument("stage '" + stage.name +
+                                     "' has no operator factory");
+    }
+    if (stage.parallelism < 1) {
+      return Status::InvalidArgument("stage '" + stage.name +
+                                     "' has parallelism < 1");
+    }
+    std::set<int> fed_ports;
+    for (const EdgeSpec& e : stage.inputs) {
+      if (e.upstream_stage < 0 ||
+          e.upstream_stage >= static_cast<int>(s)) {
+        return Status::InvalidArgument(
+            "stage '" + stage.name +
+            "' has an edge from a non-earlier stage (stages must be added "
+            "in topological order)");
+      }
+      if (e.port < 0 || e.port >= stage.num_ports) {
+        return Status::InvalidArgument("stage '" + stage.name +
+                                       "' edge references bad port");
+      }
+      fed_ports.insert(e.port);
+    }
+    for (const ExternalInputSpec& in : inputs_) {
+      if (in.target_stage == static_cast<int>(s)) {
+        if (in.port < 0 || in.port >= stage.num_ports) {
+          return Status::InvalidArgument("external input '" + in.name +
+                                         "' references bad port");
+        }
+        fed_ports.insert(in.port);
+      }
+    }
+    for (int p = 0; p < stage.num_ports; ++p) {
+      if (!fed_ports.count(p)) {
+        return Status::InvalidArgument(
+            "stage '" + stage.name + "' port " + std::to_string(p) +
+            " has no incoming edge or external input");
+      }
+    }
+  }
+  for (const ExternalInputSpec& in : inputs_) {
+    if (in.target_stage < 0 ||
+        in.target_stage >= static_cast<int>(stages_.size())) {
+      return Status::InvalidArgument("external input '" + in.name +
+                                     "' targets unknown stage");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace astream::spe

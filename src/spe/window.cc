@@ -1,0 +1,77 @@
+#include "spe/window.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace astream::spe {
+
+void WindowSpec::AssignWindows(TimestampMs origin, TimestampMs t,
+                               std::vector<TimeWindow>* out) const {
+  assert(IsTimeWindow());
+  if (t < origin) return;
+  const TimestampMs rel = t - origin;
+  // Last window starting at or before t: k = floor(rel / slide). Earlier
+  // windows [k' * slide, k' * slide + length) contain t while
+  // k' * slide + length > rel.
+  const size_t first = out->size();
+  int64_t k = rel / slide;
+  while (k >= 0 && k * slide + length > rel) {
+    out->push_back(TimeWindow{origin + k * slide,
+                              origin + k * slide + length});
+    --k;
+  }
+  // Emit in start-ascending order (appended entries only).
+  std::reverse(out->begin() + first, out->end());
+}
+
+void WindowSpec::EdgesInRange(TimestampMs origin, TimestampMs after,
+                              TimestampMs upto,
+                              std::vector<TimestampMs>* out) const {
+  assert(IsTimeWindow());
+  if (upto <= origin) return;
+  const size_t first = out->size();
+  // Start edges: origin + k * slide.
+  {
+    int64_t k = after < origin ? 0 : (after - origin) / slide + 1;
+    for (; origin + k * slide <= upto; ++k) {
+      const TimestampMs e = origin + k * slide;
+      if (e > after) out->push_back(e);
+    }
+  }
+  // End edges: origin + k * slide + length.
+  {
+    const TimestampMs first_end = origin + length;
+    int64_t k =
+        after < first_end ? 0 : (after - first_end) / slide + 1;
+    for (; origin + k * slide + length <= upto; ++k) {
+      const TimestampMs e = origin + k * slide + length;
+      if (e > after) out->push_back(e);
+    }
+  }
+  std::sort(out->begin() + first, out->end());
+  out->erase(std::unique(out->begin() + first, out->end()), out->end());
+}
+
+TimestampMs WindowSpec::FirstEndAfter(TimestampMs origin,
+                                      TimestampMs t) const {
+  assert(IsTimeWindow());
+  const TimestampMs first_end = origin + length;
+  if (t < first_end) return first_end;
+  const int64_t k = (t - first_end) / slide + 1;
+  return origin + k * slide + length;
+}
+
+std::string WindowSpec::ToString() const {
+  switch (type) {
+    case WindowType::kTumbling:
+      return "tumbling(" + std::to_string(length) + "ms)";
+    case WindowType::kSliding:
+      return "sliding(" + std::to_string(length) + "ms," +
+             std::to_string(slide) + "ms)";
+    case WindowType::kSession:
+      return "session(gap=" + std::to_string(gap) + "ms)";
+  }
+  return "?";
+}
+
+}  // namespace astream::spe

@@ -1,0 +1,72 @@
+#ifndef ASTREAM_SPE_WINDOW_H_
+#define ASTREAM_SPE_WINDOW_H_
+
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace astream::spe {
+
+/// Window families supported by the substrate and by AStream's shared
+/// operators (Sec. 3.1.3: "time- and session-based windows with different
+/// characteristics (e.g., length, slide, gap)").
+enum class WindowType { kTumbling, kSliding, kSession };
+
+/// A half-open event-time interval [start, end).
+struct TimeWindow {
+  TimestampMs start = 0;
+  TimestampMs end = 0;
+
+  bool Contains(TimestampMs t) const { return t >= start && t < end; }
+  bool operator==(const TimeWindow& o) const {
+    return start == o.start && end == o.end;
+  }
+  bool operator<(const TimeWindow& o) const {
+    return start != o.start ? start < o.start : end < o.end;
+  }
+};
+
+/// Declarative window configuration of one query. Time windows are anchored
+/// at an `origin` timestamp (an ad-hoc query's windows begin at its creation
+/// time, Fig. 4d): instance k covers [origin + k*slide, origin + k*slide +
+/// length).
+struct WindowSpec {
+  WindowType type = WindowType::kTumbling;
+  TimestampMs length = 0;  // time windows
+  TimestampMs slide = 0;   // sliding windows (== length for tumbling)
+  TimestampMs gap = 0;     // session windows
+
+  static WindowSpec Tumbling(TimestampMs length) {
+    return {WindowType::kTumbling, length, length, 0};
+  }
+  static WindowSpec Sliding(TimestampMs length, TimestampMs slide) {
+    return {WindowType::kSliding, length, slide, 0};
+  }
+  static WindowSpec Session(TimestampMs gap) {
+    return {WindowType::kSession, 0, 0, gap};
+  }
+
+  bool IsTimeWindow() const { return type != WindowType::kSession; }
+
+  /// Windows (anchored at `origin`) that contain event time `t`.
+  /// Only valid for time windows; t must be >= origin.
+  void AssignWindows(TimestampMs origin, TimestampMs t,
+                     std::vector<TimeWindow>* out) const;
+
+  /// All window start/end boundaries (anchored at `origin`) in the range
+  /// (after, upto]. Used by AStream's runtime slicing (Fig. 4e). Only for
+  /// time windows.
+  void EdgesInRange(TimestampMs origin, TimestampMs after, TimestampMs upto,
+                    std::vector<TimestampMs>* out) const;
+
+  /// End of the earliest window (anchored at `origin`) ending after `t`.
+  /// Only for time windows.
+  TimestampMs FirstEndAfter(TimestampMs origin, TimestampMs t) const;
+
+  std::string ToString() const;
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_WINDOW_H_

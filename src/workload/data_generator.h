@@ -1,0 +1,45 @@
+#ifndef ASTREAM_WORKLOAD_DATA_GENERATOR_H_
+#define ASTREAM_WORKLOAD_DATA_GENERATOR_H_
+
+#include "common/rng.h"
+#include "spe/row.h"
+
+namespace astream::workload {
+
+/// Input tuple generation per Sec. 4.2.1: each tuple has a key column and
+/// `num_fields` payload fields. Keys round-robin (`key <- key++ % key_max`,
+/// balancing partitions); fields are uniform random in [0, fields_max).
+class DataGenerator {
+ public:
+  struct Config {
+    spe::Value key_max = 1000;  // paper Sec. 4.4: 1000 distinct keys
+    spe::Value fields_max = 1000;
+    int num_fields = 5;  // paper: an array of size 5
+  };
+
+  DataGenerator(Config config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  /// The next tuple: row = [key, f0, .., f{n-1}].
+  spe::Row Next() {
+    std::vector<spe::Value> values;
+    values.reserve(1 + config_.num_fields);
+    values.push_back(next_key_);
+    next_key_ = (next_key_ + 1) % config_.key_max;
+    for (int i = 0; i < config_.num_fields; ++i) {
+      values.push_back(rng_.UniformInt(0, config_.fields_max - 1));
+    }
+    return spe::Row(std::move(values));
+  }
+
+  const Config& config() const { return config_; }
+
+ private:
+  Config config_;
+  Rng rng_;
+  spe::Value next_key_ = 0;
+};
+
+}  // namespace astream::workload
+
+#endif  // ASTREAM_WORKLOAD_DATA_GENERATOR_H_

@@ -1,0 +1,123 @@
+#ifndef ASTREAM_WORKLOAD_QUERY_GENERATOR_H_
+#define ASTREAM_WORKLOAD_QUERY_GENERATOR_H_
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/query.h"
+
+namespace astream::workload {
+
+/// Random query generation per Sec. 4.2.2 / 4.2.3.
+///
+/// Selection predicates: a random field, a random constant, and a random
+/// comparison from {<, >, ==, <=, >=}. Windows: length = random(1,
+/// window_max), slide = random(1, length) (Fig. 7/8's RANGE/SLICE), or a
+/// session gap. Complex queries (Sec. 4.7) pipeline a selection, n-ary
+/// windowed joins (1 <= n <= 5), and a windowed aggregation.
+class QueryGenerator {
+ public:
+  struct Config {
+    int num_fields = 5;
+    spe::Value fields_max = 1000;
+    /// Window length drawn from [window_min, window_max] (ms).
+    TimestampMs window_min = 1;
+    TimestampMs window_max = 10'000;
+    /// Predicates per stream side (conjunction).
+    int predicates_per_side = 1;
+    /// Probability that an aggregation query uses a session window.
+    double session_probability = 0.0;
+    TimestampMs session_gap_max = 2'000;
+    /// Lower bound of slide as a fraction of length. The paper draws
+    /// slide = random(1, length); benches on small machines raise the
+    /// floor to bound trigger density (documented scale-down).
+    double slide_min_frac = 0.0;
+  };
+
+  QueryGenerator(Config config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  core::Predicate RandomPredicate() {
+    core::Predicate p;
+    p.column = 1 + static_cast<int>(
+                       rng_.UniformInt(0, config_.num_fields - 1));
+    p.op = static_cast<core::CmpOp>(rng_.UniformInt(0, 4));
+    p.constant = rng_.UniformInt(0, config_.fields_max - 1);
+    return p;
+  }
+
+  spe::WindowSpec RandomTimeWindow() {
+    const TimestampMs length =
+        rng_.UniformInt(config_.window_min, config_.window_max);
+    const auto floor = std::max<TimestampMs>(
+        1, static_cast<TimestampMs>(config_.slide_min_frac * length));
+    const TimestampMs slide = rng_.UniformInt(floor, length);
+    return spe::WindowSpec::Sliding(length, slide);
+  }
+
+  core::QueryDescriptor Selection() {
+    core::QueryDescriptor d;
+    d.kind = core::QueryKind::kSelection;
+    d.select_a = Predicates();
+    return d;
+  }
+
+  /// Fig. 8: SELECT SUM(A.FIELD1) FROM A [RANGE][SLICE] WHERE .. GROUPBY key.
+  core::QueryDescriptor Aggregation() {
+    core::QueryDescriptor d;
+    d.kind = core::QueryKind::kAggregation;
+    d.select_a = Predicates();
+    if (rng_.Bernoulli(config_.session_probability)) {
+      d.window = spe::WindowSpec::Session(
+          rng_.UniformInt(1, config_.session_gap_max));
+    } else {
+      d.window = RandomTimeWindow();
+    }
+    d.agg.kind = spe::AggKind::kSum;
+    d.agg.column = 1;  // A.FIELD1
+    return d;
+  }
+
+  /// Fig. 7: SELECT * FROM A, B [RANGE][SLICE] WHERE A.KEY = B.KEY AND ...
+  core::QueryDescriptor Join() {
+    core::QueryDescriptor d;
+    d.kind = core::QueryKind::kJoin;
+    d.select_a = Predicates();
+    d.select_b = Predicates();
+    d.window = RandomTimeWindow();
+    return d;
+  }
+
+  /// Sec. 4.7: selection + n-ary windowed joins (1..5) + aggregation.
+  core::QueryDescriptor Complex(int max_depth = core::kMaxJoinDepth) {
+    core::QueryDescriptor d;
+    d.kind = core::QueryKind::kComplex;
+    d.select_a = Predicates();
+    d.select_b = Predicates();
+    d.window = RandomTimeWindow();
+    d.join_depth = static_cast<int>(rng_.UniformInt(1, max_depth));
+    d.agg.kind = spe::AggKind::kSum;
+    d.agg.column = 1;
+    return d;
+  }
+
+  const Config& config() const { return config_; }
+  Rng& rng() { return rng_; }
+
+ private:
+  std::vector<core::Predicate> Predicates() {
+    std::vector<core::Predicate> out;
+    out.reserve(config_.predicates_per_side);
+    for (int i = 0; i < config_.predicates_per_side; ++i) {
+      out.push_back(RandomPredicate());
+    }
+    return out;
+  }
+
+  Config config_;
+  Rng rng_;
+};
+
+}  // namespace astream::workload
+
+#endif  // ASTREAM_WORKLOAD_QUERY_GENERATOR_H_

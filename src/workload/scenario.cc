@@ -1,0 +1,44 @@
+#include "workload/scenario.h"
+
+namespace astream::workload {
+
+size_t ComplexTimelineScenario::TargetAt(double frac) const {
+  // Shape of Fig. 16's bottom panel (query count over time), normalized:
+  //  - sharp jump to 20*s at ~4% and to 60*s at ~15%,
+  //  - gradual decrease to 10*s until ~55%, gradual increase to 70*s
+  //    until ~82%,
+  //  - fluctuation between 30*s and 70*s afterwards.
+  const double s = scale_;
+  if (frac < 0.04) return 0;
+  if (frac < 0.15) return static_cast<size_t>(20 * s);
+  if (frac < 0.30) return static_cast<size_t>(60 * s);
+  if (frac < 0.55) {
+    const double t = (frac - 0.30) / 0.25;  // 60 -> 10
+    return static_cast<size_t>((60 - 50 * t) * s);
+  }
+  if (frac < 0.82) {
+    const double t = (frac - 0.55) / 0.27;  // 10 -> 70
+    return static_cast<size_t>((10 + 60 * t) * s);
+  }
+  // Fluctuate: square wave with ~6 cycles over the remaining time.
+  const double t = (frac - 0.82) / 0.18;
+  const bool high = static_cast<int>(t * 12) % 2 == 0;
+  return static_cast<size_t>((high ? 70 : 30) * s);
+}
+
+ScenarioActions ComplexTimelineScenario::Tick(TimestampMs now_ms,
+                                              size_t active) {
+  ScenarioActions a;
+  const double frac =
+      std::min(1.0, static_cast<double>(now_ms) / duration_);
+  const size_t target = TargetAt(frac);
+  if (target > active) {
+    a.create = static_cast<int>(target - active);
+  } else if (target < active) {
+    const size_t excess = active - target;
+    for (size_t i = 0; i < excess; ++i) a.delete_ranks.push_back(i);
+  }
+  return a;
+}
+
+}  // namespace astream::workload

@@ -1,0 +1,102 @@
+#ifndef ASTREAM_WORKLOAD_SCENARIO_H_
+#define ASTREAM_WORKLOAD_SCENARIO_H_
+
+#include <algorithm>
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "common/clock.h"
+
+namespace astream::workload {
+
+/// What a scenario asks the driver to do at one tick: create some queries
+/// and/or delete some of the currently active ones (by age rank: 0 =
+/// oldest).
+struct ScenarioActions {
+  int create = 0;
+  std::vector<size_t> delete_ranks;
+};
+
+/// A query churn schedule (Fig. 6). The driver calls Tick with the current
+/// experiment-relative time and the number of active queries.
+class Scenario {
+ public:
+  virtual ~Scenario() = default;
+  virtual ScenarioActions Tick(TimestampMs now_ms, size_t active) = 0;
+};
+
+/// SC1 (Sec. 4.4.1): many long-running queries. Creates `rate_per_sec`
+/// queries per second until `max_parallel` are active, then no churn
+/// ("n q/s m qp").
+class Sc1Scenario : public Scenario {
+ public:
+  Sc1Scenario(double rate_per_sec, size_t max_parallel)
+      : rate_per_sec_(rate_per_sec), max_parallel_(max_parallel) {}
+
+  ScenarioActions Tick(TimestampMs now_ms, size_t active) override {
+    ScenarioActions a;
+    const auto target = static_cast<size_t>(
+        std::min<double>(static_cast<double>(max_parallel_),
+                         rate_per_sec_ * now_ms / 1000.0));
+    if (target > created_) {
+      a.create = static_cast<int>(target - created_);
+      created_ = target;
+    }
+    (void)active;
+    return a;
+  }
+
+ private:
+  double rate_per_sec_;
+  size_t max_parallel_;
+  size_t created_ = 0;
+};
+
+/// SC2 (Sec. 4.4.1): high query churn, short-running queries. Every
+/// `period_ms`, deletes the previous batch of `batch` queries and creates
+/// `batch` new ones ("n q / m s").
+class Sc2Scenario : public Scenario {
+ public:
+  Sc2Scenario(size_t batch, TimestampMs period_ms)
+      : batch_(batch), period_ms_(period_ms) {}
+
+  ScenarioActions Tick(TimestampMs now_ms, size_t active) override {
+    ScenarioActions a;
+    const int64_t period = now_ms / period_ms_;
+    if (period >= next_period_) {
+      next_period_ = period + 1;
+      // Delete the oldest `batch` queries (the previous generation).
+      const size_t deletable = std::min(batch_, active);
+      for (size_t i = 0; i < deletable; ++i) a.delete_ranks.push_back(i);
+      a.create = static_cast<int>(batch_);
+    }
+    return a;
+  }
+
+ private:
+  size_t batch_;
+  TimestampMs period_ms_;
+  int64_t next_period_ = 0;
+};
+
+/// The Fig. 16 complex-query schedule: sharp increases, a gradual decrease
+/// and increase, then fluctuation. Times are fractions of `duration_ms` so
+/// the schedule scales with the experiment length.
+class ComplexTimelineScenario : public Scenario {
+ public:
+  explicit ComplexTimelineScenario(TimestampMs duration_ms, double scale = 1.0)
+      : duration_(duration_ms), scale_(scale) {}
+
+  ScenarioActions Tick(TimestampMs now_ms, size_t active) override;
+
+ private:
+  size_t TargetAt(double frac) const;
+
+  TimestampMs duration_;
+  double scale_;
+};
+
+}  // namespace astream::workload
+
+#endif  // ASTREAM_WORKLOAD_SCENARIO_H_

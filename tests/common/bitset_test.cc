@@ -1,0 +1,198 @@
+#include "common/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace astream {
+namespace {
+
+TEST(DynamicBitsetTest, EmptyByDefault) {
+  DynamicBitset b;
+  EXPECT_TRUE(b.None());
+  EXPECT_FALSE(b.Any());
+  EXPECT_EQ(b.Count(), 0u);
+  EXPECT_EQ(b.HighestBit(), -1);
+  EXPECT_FALSE(b.Test(0));
+  EXPECT_FALSE(b.Test(1000));
+}
+
+TEST(DynamicBitsetTest, SetTestReset) {
+  DynamicBitset b;
+  b.Set(3);
+  EXPECT_TRUE(b.Test(3));
+  EXPECT_FALSE(b.Test(2));
+  EXPECT_EQ(b.Count(), 1u);
+  b.Reset(3);
+  EXPECT_TRUE(b.None());
+  // Resetting an out-of-range bit is a no-op.
+  b.Reset(10'000);
+  EXPECT_TRUE(b.None());
+}
+
+TEST(DynamicBitsetTest, GrowsPastOneWord) {
+  DynamicBitset b;
+  b.Set(5);
+  b.Set(100);
+  b.Set(250);
+  EXPECT_TRUE(b.Test(5));
+  EXPECT_TRUE(b.Test(100));
+  EXPECT_TRUE(b.Test(250));
+  EXPECT_FALSE(b.Test(99));
+  EXPECT_EQ(b.Count(), 3u);
+  EXPECT_EQ(b.HighestBit(), 250);
+}
+
+TEST(DynamicBitsetTest, PaperExampleIntersection) {
+  // Fig. 3a: t2 has query-set 10, t3 has 01 — they share no query.
+  DynamicBitset t2 = DynamicBitset::Single(0);
+  DynamicBitset t3 = DynamicBitset::Single(1);
+  EXPECT_FALSE(t2.Intersects(t3));
+  EXPECT_TRUE((t2 & t3).None());
+
+  // t4 (11) shares Q1 with t2 and Q2 with t3.
+  DynamicBitset t4;
+  t4.Set(0);
+  t4.Set(1);
+  EXPECT_TRUE(t4.Intersects(t2));
+  EXPECT_TRUE(t4.Intersects(t3));
+}
+
+TEST(DynamicBitsetTest, AndOrDifferentSizes) {
+  DynamicBitset small = DynamicBitset::Single(1);
+  DynamicBitset big;
+  big.Set(1);
+  big.Set(200);
+
+  DynamicBitset conj = small & big;
+  EXPECT_TRUE(conj.Test(1));
+  EXPECT_FALSE(conj.Test(200));
+  EXPECT_EQ(conj.Count(), 1u);
+
+  DynamicBitset disj = small | big;
+  EXPECT_TRUE(disj.Test(1));
+  EXPECT_TRUE(disj.Test(200));
+  EXPECT_EQ(disj.Count(), 2u);
+}
+
+TEST(DynamicBitsetTest, AndShrinksHighBits) {
+  DynamicBitset a;
+  a.Set(70);
+  DynamicBitset b = DynamicBitset::Single(0);
+  a &= b;
+  EXPECT_TRUE(a.None());
+}
+
+TEST(DynamicBitsetTest, AndNot) {
+  DynamicBitset a = DynamicBitset::AllSet(4);
+  a.AndNot(DynamicBitset::Single(2));
+  EXPECT_TRUE(a.Test(0));
+  EXPECT_TRUE(a.Test(1));
+  EXPECT_FALSE(a.Test(2));
+  EXPECT_TRUE(a.Test(3));
+}
+
+TEST(DynamicBitsetTest, EqualityIgnoresCapacity) {
+  DynamicBitset a = DynamicBitset::Single(3);
+  DynamicBitset b(500);
+  b.Set(3);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(499);
+  EXPECT_NE(a, b);
+}
+
+TEST(DynamicBitsetTest, AllSet) {
+  DynamicBitset b = DynamicBitset::AllSet(130);
+  EXPECT_EQ(b.Count(), 130u);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(130));
+}
+
+TEST(DynamicBitsetTest, ForEachSetBitInOrder) {
+  DynamicBitset b;
+  b.Set(2);
+  b.Set(64);
+  b.Set(129);
+  std::vector<size_t> bits;
+  b.ForEachSetBit([&](size_t i) { bits.push_back(i); });
+  EXPECT_EQ(bits, (std::vector<size_t>{2, 64, 129}));
+}
+
+TEST(DynamicBitsetTest, ToString) {
+  DynamicBitset b;
+  b.Set(1);
+  b.Set(3);
+  EXPECT_EQ(b.ToString(4), "0101");
+}
+
+TEST(DynamicBitsetTest, SerializationRoundTrip) {
+  DynamicBitset b;
+  b.Set(7);
+  b.Set(120);
+  std::vector<uint64_t> words;
+  for (size_t i = 0; i < b.NumWords(); ++i) words.push_back(b.Word(i));
+  DynamicBitset restored;
+  restored.FromWords(words);
+  EXPECT_EQ(b, restored);
+}
+
+/// Property sweep: random operations agree with a reference std::vector<bool>
+/// model across sizes that cross the inline-word boundary.
+class BitsetPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitsetPropertyTest, MatchesReferenceModel) {
+  const int universe = GetParam();
+  Rng rng(1234 + universe);
+  DynamicBitset actual;
+  std::vector<bool> model(universe, false);
+  for (int step = 0; step < 2000; ++step) {
+    const auto bit = static_cast<size_t>(rng.UniformInt(0, universe - 1));
+    if (rng.Bernoulli(0.5)) {
+      actual.Set(bit);
+      model[bit] = true;
+    } else {
+      actual.Reset(bit);
+      model[bit] = false;
+    }
+  }
+  size_t expected_count = 0;
+  int expected_high = -1;
+  for (int i = 0; i < universe; ++i) {
+    EXPECT_EQ(actual.Test(i), model[i]) << "bit " << i;
+    if (model[i]) {
+      ++expected_count;
+      expected_high = i;
+    }
+  }
+  EXPECT_EQ(actual.Count(), expected_count);
+  EXPECT_EQ(actual.HighestBit(), expected_high);
+}
+
+TEST_P(BitsetPropertyTest, AndOrDeMorgan) {
+  const int universe = GetParam();
+  Rng rng(99 + universe);
+  for (int round = 0; round < 50; ++round) {
+    DynamicBitset a, b;
+    for (int i = 0; i < universe; ++i) {
+      if (rng.Bernoulli(0.3)) a.Set(i);
+      if (rng.Bernoulli(0.3)) b.Set(i);
+    }
+    const DynamicBitset conj = a & b;
+    const DynamicBitset disj = a | b;
+    for (int i = 0; i < universe; ++i) {
+      EXPECT_EQ(conj.Test(i), a.Test(i) && b.Test(i));
+      EXPECT_EQ(disj.Test(i), a.Test(i) || b.Test(i));
+    }
+    EXPECT_EQ(conj.Any(), a.Intersects(b));
+    // |A| + |B| == |A&B| + |A|B|.
+    EXPECT_EQ(a.Count() + b.Count(), conj.Count() + disj.Count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitsetPropertyTest,
+                         ::testing::Values(8, 64, 65, 128, 1000));
+
+}  // namespace
+}  // namespace astream

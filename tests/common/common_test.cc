@@ -1,0 +1,121 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/clock.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace astream {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  const Status s = Status::InvalidArgument("bad window");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad window");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int c = 0; c <= static_cast<int>(StatusCode::kUnimplemented); ++c) {
+    EXPECT_STRNE(StatusCodeName(static_cast<StatusCode>(c)), "Unknown");
+  }
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::InvalidArgument("not positive");
+  return v;
+}
+
+TEST(ResultTest, ValueAndErrorPaths) {
+  auto ok = ParsePositive(5);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 5);
+  EXPECT_EQ(ok.value_or(-1), 5);
+
+  auto err = ParsePositive(-2);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(err.value_or(-1), -1);
+}
+
+TEST(ResultTest, MoveOnlyValues) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(123), b(123), c(124);
+  bool all_equal_c = true;
+  for (int i = 0; i < 100; ++i) {
+    const uint64_t va = a.NextU64();
+    EXPECT_EQ(va, b.NextU64());
+    if (va != c.NextU64()) all_equal_c = false;
+  }
+  EXPECT_FALSE(all_equal_c);
+}
+
+TEST(RngTest, UniformIntInRange) {
+  Rng rng(9);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);  // all values hit
+}
+
+TEST(RngTest, UniformIntSingleton) {
+  Rng rng(10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.UniformInt(42, 42), 42);
+}
+
+TEST(RngTest, BernoulliExtremes) {
+  Rng rng(11);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.Bernoulli(0.0));
+    EXPECT_TRUE(rng.Bernoulli(1.0));
+  }
+}
+
+TEST(RngTest, UniformDoubleInUnitInterval) {
+  Rng rng(12);
+  double sum = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.UniformDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10'000, 0.5, 0.02);
+}
+
+TEST(ManualClockTest, AdvanceAndSet) {
+  ManualClock clock(100);
+  EXPECT_EQ(clock.NowMs(), 100);
+  clock.AdvanceMs(50);
+  EXPECT_EQ(clock.NowMs(), 150);
+  clock.SetMs(7);
+  EXPECT_EQ(clock.NowMs(), 7);
+  EXPECT_EQ(clock.NowMicros(), 7000);
+}
+
+TEST(WallClockTest, Monotonic) {
+  WallClock* clock = WallClock::Default();
+  const int64_t a = clock->NowMicros();
+  const int64_t b = clock->NowMicros();
+  EXPECT_LE(a, b);
+}
+
+}  // namespace
+}  // namespace astream

@@ -1,0 +1,145 @@
+#include "core/changelog.h"
+
+#include <gtest/gtest.h>
+
+namespace astream::core {
+namespace {
+
+QueryDescriptor Dummy() {
+  QueryDescriptor d;
+  d.kind = QueryKind::kSelection;
+  d.select_a = {Predicate{1, CmpOp::kLt, 500}};
+  return d;
+}
+
+Changelog MakeLog(int64_t epoch, TimestampMs time,
+                  std::vector<std::pair<QueryId, int>> created,
+                  std::vector<std::pair<QueryId, int>> deleted,
+                  size_t num_slots) {
+  Changelog log;
+  log.epoch = epoch;
+  log.time = time;
+  for (auto [id, slot] : created) {
+    QueryActivation a;
+    a.id = id;
+    a.slot = slot;
+    a.created_at = time;
+    a.desc = Dummy();
+    log.created.push_back(a);
+  }
+  for (auto [id, slot] : deleted) {
+    log.deleted.push_back(QueryDeactivation{id, slot});
+  }
+  log.num_slots = num_slots;
+  log.ComputeChangelogSet();
+  return log;
+}
+
+TEST(ChangelogTest, ChangelogSetPaperFig3c) {
+  // Fig. 3c: Q2 deleted, Q3 placed in its slot. Changelog-set "10": slot 0
+  // (Q1) unchanged, slot 1 changed.
+  const Changelog log =
+      MakeLog(2, 100, {{3, 1}}, {{2, 1}}, /*num_slots=*/2);
+  EXPECT_TRUE(log.changelog_set.Test(0));
+  EXPECT_FALSE(log.changelog_set.Test(1));
+  EXPECT_EQ(log.changelog_set.ToString(2), "10");
+}
+
+TEST(ChangelogTest, ChangelogSetPaperFig4bT5) {
+  // Fig. 4a at T5: Q6 and Q7 created, Q3 deleted. Q6 takes Q3's slot (2),
+  // Q7 gets a new slot (4). Changelog-set 01101 over slots 0..4 — in the
+  // paper's rendering "0110 1": slots 2 and 4 changed... our slot layout:
+  // active before T5: Q5(slot 0 or ...). We reproduce the *structure*:
+  // deleted slot and new slots are unset, others set.
+  const Changelog log = MakeLog(5, 500, {{6, 2}, {7, 4}}, {{3, 2}}, 5);
+  EXPECT_TRUE(log.changelog_set.Test(0));
+  EXPECT_TRUE(log.changelog_set.Test(1));
+  EXPECT_FALSE(log.changelog_set.Test(2));
+  EXPECT_TRUE(log.changelog_set.Test(3));
+  EXPECT_FALSE(log.changelog_set.Test(4));
+}
+
+TEST(ActiveQueryTableTest, ApplyCreateDelete) {
+  ActiveQueryTable table;
+  ASSERT_TRUE(table.Apply(MakeLog(1, 10, {{1, 0}, {2, 1}}, {}, 2)).ok());
+  EXPECT_EQ(table.num_active(), 2u);
+  EXPECT_EQ(table.QueryAt(0)->id, 1);
+  EXPECT_EQ(table.QueryAt(1)->id, 2);
+  EXPECT_EQ(table.QueryAt(0)->created_at, 10);
+
+  // Delete Q2, reuse slot for Q3 (Fig. 3c).
+  ASSERT_TRUE(table.Apply(MakeLog(2, 20, {{3, 1}}, {{2, 1}}, 2)).ok());
+  EXPECT_EQ(table.num_active(), 2u);
+  EXPECT_EQ(table.QueryAt(1)->id, 3);
+  EXPECT_EQ(table.FindById(2), nullptr);
+  EXPECT_EQ(table.FindById(3)->slot, 1);
+}
+
+TEST(ActiveQueryTableTest, RejectsBadDeletion) {
+  ActiveQueryTable table;
+  ASSERT_TRUE(table.Apply(MakeLog(1, 10, {{1, 0}}, {}, 1)).ok());
+  // Wrong id in slot.
+  EXPECT_FALSE(table.Apply(MakeLog(2, 20, {}, {{9, 0}}, 1)).ok());
+  // Empty slot.
+  ActiveQueryTable t2;
+  EXPECT_FALSE(t2.Apply(MakeLog(1, 10, {}, {{1, 0}}, 1)).ok());
+}
+
+TEST(ActiveQueryTableTest, RejectsOccupiedSlotCreation) {
+  ActiveQueryTable table;
+  ASSERT_TRUE(table.Apply(MakeLog(1, 10, {{1, 0}}, {}, 1)).ok());
+  EXPECT_FALSE(table.Apply(MakeLog(2, 20, {{2, 0}}, {}, 1)).ok());
+}
+
+TEST(ActiveQueryTableTest, RejectsReplayedEpoch) {
+  ActiveQueryTable table;
+  ASSERT_TRUE(table.Apply(MakeLog(5, 10, {{1, 0}}, {}, 1)).ok());
+  EXPECT_FALSE(table.Apply(MakeLog(5, 20, {{2, 1}}, {}, 2)).ok());
+  EXPECT_FALSE(table.Apply(MakeLog(4, 20, {{2, 1}}, {}, 2)).ok());
+}
+
+TEST(ActiveQueryTableTest, SlotsWhere) {
+  ActiveQueryTable table;
+  Changelog log = MakeLog(1, 10, {{1, 0}, {2, 1}, {3, 2}}, {}, 3);
+  log.created[1].desc.kind = QueryKind::kAggregation;
+  ASSERT_TRUE(table.Apply(log).ok());
+  const QuerySet aggs = table.SlotsWhere([](const ActiveQuery& q) {
+    return q.desc.kind == QueryKind::kAggregation;
+  });
+  EXPECT_FALSE(aggs.Test(0));
+  EXPECT_TRUE(aggs.Test(1));
+  EXPECT_FALSE(aggs.Test(2));
+}
+
+TEST(ActiveQueryTableTest, SerializeRestoreRoundTrip) {
+  ActiveQueryTable table;
+  ASSERT_TRUE(table.Apply(MakeLog(1, 10, {{1, 0}, {2, 2}}, {}, 3)).ok());
+  spe::StateWriter writer;
+  table.Serialize(&writer);
+  ActiveQueryTable restored;
+  spe::StateReader reader(writer.TakeBuffer());
+  ASSERT_TRUE(restored.Restore(&reader).ok());
+  EXPECT_EQ(restored.num_active(), 2u);
+  EXPECT_EQ(restored.num_slots(), 3u);
+  EXPECT_EQ(restored.QueryAt(2)->id, 2);
+  EXPECT_EQ(restored.last_epoch(), 1);
+  // Epoch continuity is preserved: the next changelog must be epoch >= 2.
+  EXPECT_FALSE(restored.Apply(MakeLog(1, 20, {{3, 1}}, {}, 3)).ok());
+  EXPECT_TRUE(restored.Apply(MakeLog(2, 20, {{3, 1}}, {}, 3)).ok());
+}
+
+TEST(ChangelogTest, SerializeRoundTrip) {
+  Changelog log = MakeLog(7, 123, {{1, 0}, {2, 1}}, {}, 2);
+  spe::StateWriter writer;
+  log.Serialize(&writer);
+  spe::StateReader reader(writer.TakeBuffer());
+  const Changelog restored = Changelog::Deserialize(&reader);
+  EXPECT_EQ(restored.epoch, 7);
+  EXPECT_EQ(restored.time, 123);
+  EXPECT_EQ(restored.created.size(), 2u);
+  EXPECT_EQ(restored.created[1].slot, 1);
+  EXPECT_EQ(restored.changelog_set, log.changelog_set);
+}
+
+}  // namespace
+}  // namespace astream::core

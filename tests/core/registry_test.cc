@@ -1,0 +1,51 @@
+#include "core/registry.h"
+
+#include <gtest/gtest.h>
+
+namespace astream::core {
+namespace {
+
+TEST(SlotAllocatorTest, GrowsWhenNoFreeSlots) {
+  SlotAllocator alloc;
+  EXPECT_EQ(alloc.Acquire(), 0);
+  EXPECT_EQ(alloc.Acquire(), 1);
+  EXPECT_EQ(alloc.Acquire(), 2);
+  EXPECT_EQ(alloc.num_slots(), 3u);
+}
+
+TEST(SlotAllocatorTest, ReusesLowestFreedSlotFirst) {
+  SlotAllocator alloc;
+  for (int i = 0; i < 5; ++i) alloc.Acquire();
+  alloc.Release(3);
+  alloc.Release(1);
+  EXPECT_EQ(alloc.Acquire(), 1);  // lowest first (deterministic)
+  EXPECT_EQ(alloc.Acquire(), 3);
+  EXPECT_EQ(alloc.Acquire(), 5);  // then grow
+  EXPECT_EQ(alloc.num_slots(), 6u);
+}
+
+TEST(SlotAllocatorTest, UniverseNeverShrinks) {
+  SlotAllocator alloc;
+  alloc.Acquire();
+  alloc.Acquire();
+  alloc.Release(0);
+  alloc.Release(1);
+  EXPECT_EQ(alloc.num_slots(), 2u);
+  EXPECT_EQ(alloc.num_free(), 2u);
+}
+
+TEST(SlotAllocatorTest, PaperFig3cSequence) {
+  // Q1+, Q2+ at T1; Q2-, Q3+ at T2: Q3 takes Q2's slot, universe stays 2.
+  SlotAllocator alloc;
+  const int q1 = alloc.Acquire();
+  const int q2 = alloc.Acquire();
+  EXPECT_EQ(q1, 0);
+  EXPECT_EQ(q2, 1);
+  alloc.Release(q2);
+  const int q3 = alloc.Acquire();
+  EXPECT_EQ(q3, q2);
+  EXPECT_EQ(alloc.num_slots(), 2u);
+}
+
+}  // namespace
+}  // namespace astream::core

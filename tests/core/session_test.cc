@@ -1,0 +1,170 @@
+#include "core/shared_session.h"
+
+#include <gtest/gtest.h>
+
+namespace astream::core {
+namespace {
+
+QueryDescriptor Dummy() {
+  QueryDescriptor d;
+  d.kind = QueryKind::kSelection;
+  d.select_a = {Predicate{1, CmpOp::kLt, 500}};
+  return d;
+}
+
+TEST(SharedSessionTest, BatchSizeTriggersFlush) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 3;
+  cfg.max_timeout_ms = 1'000'000;
+  SharedSession session(cfg);
+  session.Submit(Dummy(), 10);
+  session.Submit(Dummy(), 11);
+  EXPECT_EQ(session.MaybeFlush(12, false), nullptr);
+  session.Submit(Dummy(), 12);
+  auto log = session.MaybeFlush(13, false);
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->created.size(), 3u);
+  EXPECT_EQ(log->epoch, 1);
+  EXPECT_GT(log->time, 13);  // strictly after `now`
+  EXPECT_EQ(session.num_active(), 3u);
+}
+
+TEST(SharedSessionTest, TimeoutTriggersFlush) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 100;
+  cfg.max_timeout_ms = 50;
+  SharedSession session(cfg);
+  session.Submit(Dummy(), 10);
+  EXPECT_EQ(session.MaybeFlush(40, false), nullptr);
+  auto log = session.MaybeFlush(60, false);
+  ASSERT_NE(log, nullptr);
+  EXPECT_EQ(log->created.size(), 1u);
+}
+
+TEST(SharedSessionTest, NoChangelogWhenIdle) {
+  SharedSession session({});
+  EXPECT_EQ(session.MaybeFlush(1'000'000, true), nullptr);
+}
+
+TEST(SharedSessionTest, SlotReuseFig3c) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 1;
+  SharedSession session(cfg);
+  const QueryId q1 = session.Submit(Dummy(), 1);
+  auto log1 = session.MaybeFlush(1, true);
+  ASSERT_NE(log1, nullptr);
+  const QueryId q2 = session.Submit(Dummy(), 2);
+  auto log2 = session.MaybeFlush(2, true);
+  ASSERT_NE(log2, nullptr);
+  EXPECT_EQ(log2->created[0].slot, 1);
+
+  // Delete Q2, create Q3: Q3 reuses slot 1 (the paper's Fig. 3c).
+  ASSERT_TRUE(session.Cancel(q2, 3).ok());
+  auto log3 = session.MaybeFlush(3, true);
+  ASSERT_NE(log3, nullptr);
+  EXPECT_EQ(log3->deleted[0].slot, 1);
+  session.Submit(Dummy(), 4);
+  auto log4 = session.MaybeFlush(4, true);
+  ASSERT_NE(log4, nullptr);
+  EXPECT_EQ(log4->created[0].slot, 1);
+  EXPECT_EQ(session.num_slots(), 2u);
+  (void)q1;
+}
+
+TEST(SharedSessionTest, DeleteAndCreateInOneChangelogReusesSlot) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 100;
+  SharedSession session(cfg);
+  const QueryId q1 = session.Submit(Dummy(), 1);
+  session.MaybeFlush(1, true);
+  ASSERT_TRUE(session.Cancel(q1, 2).ok());
+  session.Submit(Dummy(), 2);
+  auto log = session.MaybeFlush(2, true);
+  ASSERT_NE(log, nullptr);
+  ASSERT_EQ(log->deleted.size(), 1u);
+  ASSERT_EQ(log->created.size(), 1u);
+  // Deletion processed first, so the new query reuses slot 0.
+  EXPECT_EQ(log->created[0].slot, 0);
+  EXPECT_FALSE(log->changelog_set.Test(0));
+}
+
+TEST(SharedSessionTest, CancelPendingCreationDropsIt) {
+  SharedSession session({});
+  const QueryId id = session.Submit(Dummy(), 1);
+  ASSERT_TRUE(session.Cancel(id, 2).ok());
+  EXPECT_EQ(session.MaybeFlush(3, true), nullptr);
+  EXPECT_EQ(session.num_active(), 0u);
+}
+
+TEST(SharedSessionTest, CancelUnknownFails) {
+  SharedSession session({});
+  EXPECT_FALSE(session.Cancel(77, 1).ok());
+}
+
+TEST(SharedSessionTest, MarkerTimesStrictlyIncrease) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 1;
+  SharedSession session(cfg);
+  session.Submit(Dummy(), 5);
+  auto log1 = session.MaybeFlush(5, true);
+  session.Submit(Dummy(), 5);
+  auto log2 = session.MaybeFlush(5, true);  // same wall time
+  ASSERT_NE(log1, nullptr);
+  ASSERT_NE(log2, nullptr);
+  EXPECT_GT(log2->time, log1->time);
+}
+
+TEST(SharedSessionTest, DeploymentAckLatency) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 2;
+  SharedSession session(cfg);
+  session.Submit(Dummy(), 100);
+  session.Submit(Dummy(), 110);
+  auto log = session.MaybeFlush(110, false);
+  ASSERT_NE(log, nullptr);
+  std::vector<std::pair<QueryId, TimestampMs>> latencies;
+  session.OnEpochDeployed(log->epoch, 150, &latencies);
+  ASSERT_EQ(latencies.size(), 2u);
+  EXPECT_EQ(latencies[0].second, 50);  // 150 - 100
+  EXPECT_EQ(latencies[1].second, 40);  // 150 - 110
+  // Duplicate acks are ignored.
+  latencies.clear();
+  session.OnEpochDeployed(log->epoch, 200, &latencies);
+  EXPECT_TRUE(latencies.empty());
+}
+
+TEST(SharedSessionTest, ModeSwitchAdviceCrossingThreshold) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 1000;
+  cfg.mode_switch_threshold = 2;
+  SharedSession session(cfg);
+  for (int i = 0; i < 3; ++i) session.Submit(Dummy(), i);
+  auto log = session.MaybeFlush(10, true);
+  ASSERT_NE(log, nullptr);
+  auto mode = session.TakeModeSwitch();
+  ASSERT_TRUE(mode.has_value());
+  EXPECT_EQ(*mode, StoreMode::kList);
+  // No repeated advice while staying above the threshold.
+  session.Submit(Dummy(), 11);
+  session.MaybeFlush(11, true);
+  EXPECT_FALSE(session.TakeModeSwitch().has_value());
+}
+
+TEST(SharedSessionTest, LargeBatchSplitsAcrossFlushes) {
+  SharedSession::Config cfg;
+  cfg.batch_size = 10;
+  SharedSession session(cfg);
+  for (int i = 0; i < 25; ++i) session.Submit(Dummy(), 1);
+  auto log1 = session.MaybeFlush(1, true);
+  ASSERT_NE(log1, nullptr);
+  EXPECT_EQ(log1->created.size(), 10u);
+  auto log2 = session.MaybeFlush(2, true);
+  ASSERT_NE(log2, nullptr);
+  EXPECT_EQ(log2->created.size(), 10u);
+  auto log3 = session.MaybeFlush(3, true);
+  ASSERT_NE(log3, nullptr);
+  EXPECT_EQ(log3->created.size(), 5u);
+}
+
+}  // namespace
+}  // namespace astream::core

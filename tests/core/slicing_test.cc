@@ -1,0 +1,171 @@
+#include "core/slicing.h"
+
+#include <gtest/gtest.h>
+
+namespace astream::core {
+namespace {
+
+TEST(SliceTrackerTest, InitializesAtFirstCut) {
+  SliceTracker t;
+  EXPECT_FALSE(t.Initialized());
+  t.SetNumSlots(1);
+  t.CutAt(100, QuerySet::AllSet(1));
+  EXPECT_TRUE(t.Initialized());
+  t.AddQuery(0, 100, spe::WindowSpec::Tumbling(10));
+  const SliceInfo s = t.SliceFor(105);
+  EXPECT_EQ(s.start, 100);
+  EXPECT_EQ(s.end, 110);
+  EXPECT_EQ(s.index, 0);
+}
+
+TEST(SliceTrackerTest, EdgesFromMultipleQueries) {
+  SliceTracker t;
+  t.SetNumSlots(2);
+  t.CutAt(0, QuerySet::AllSet(2));
+  t.AddQuery(0, 0, spe::WindowSpec::Tumbling(10));
+  t.AddQuery(1, 0, spe::WindowSpec::Tumbling(15));
+  // Boundaries: 10 (q0), 15 (q1), 20 (q0), 30 (both), ...
+  EXPECT_EQ(t.SliceFor(5).end, 10);
+  EXPECT_EQ(t.SliceFor(12).start, 10);
+  EXPECT_EQ(t.SliceFor(12).end, 15);
+  EXPECT_EQ(t.SliceFor(17).start, 15);
+  EXPECT_EQ(t.SliceFor(17).end, 20);
+}
+
+TEST(SliceTrackerTest, SlicesInCoverWindowExactly) {
+  SliceTracker t;
+  t.SetNumSlots(1);
+  t.CutAt(0, QuerySet::AllSet(1));
+  t.AddQuery(0, 0, spe::WindowSpec::Sliding(10, 5));
+  const auto slices = t.SlicesIn(0, 10);
+  ASSERT_EQ(slices.size(), 2u);
+  EXPECT_EQ(slices[0].start, 0);
+  EXPECT_EQ(slices[0].end, 5);
+  EXPECT_EQ(slices[1].start, 5);
+  EXPECT_EQ(slices[1].end, 10);
+}
+
+TEST(SliceTrackerTest, ChangelogCutShrinksEmptyTail) {
+  SliceTracker t;
+  t.SetNumSlots(1);
+  t.CutAt(0, QuerySet::AllSet(1));
+  t.AddQuery(0, 0, spe::WindowSpec::Tumbling(10));
+  // Tuple at 3 materializes slice [0, 10).
+  EXPECT_EQ(t.SliceFor(3).end, 10);
+  // A changelog at 6 cuts the open slice: [0,6) and later [6,10).
+  QuerySet delta = QuerySet::AllSet(2);
+  delta.Reset(1);
+  t.SetNumSlots(2);
+  t.CutAt(6, delta);
+  EXPECT_EQ(t.SliceFor(3).end, 6);
+  const SliceInfo after = t.SliceFor(7);
+  EXPECT_EQ(after.start, 6);
+  EXPECT_EQ(after.end, 10);
+  // The new slice's left-boundary delta is the changelog-set.
+  EXPECT_FALSE(t.cl_table().Mask(after.index, after.index - 1).Test(1));
+  EXPECT_TRUE(t.cl_table().Mask(after.index, after.index - 1).Test(0));
+}
+
+TEST(SliceTrackerTest, CutBeyondFrontierMaterializesGapWithOldEdges) {
+  SliceTracker t;
+  t.SetNumSlots(1);
+  t.CutAt(0, QuerySet::AllSet(1));
+  t.AddQuery(0, 0, spe::WindowSpec::Tumbling(10));
+  t.SliceFor(1);  // frontier -> 10
+  t.CutAt(35, QuerySet::AllSet(1));
+  // Gap slices [10,20), [20,30), [30,35) exist.
+  EXPECT_EQ(t.SliceFor(12).end, 20);
+  EXPECT_EQ(t.SliceFor(31).end, 35);
+  EXPECT_EQ(t.SliceFor(36).start, 35);
+}
+
+TEST(SliceTrackerTest, SlicesPartitionTime) {
+  SliceTracker t;
+  t.SetNumSlots(3);
+  t.CutAt(0, QuerySet::AllSet(3));
+  t.AddQuery(0, 0, spe::WindowSpec::Sliding(12, 5));
+  t.AddQuery(1, 0, spe::WindowSpec::Tumbling(7));
+  t.AddQuery(2, 0, spe::WindowSpec::Sliding(9, 4));
+  TimestampMs prev_end = 0;
+  int64_t prev_index = -1;
+  for (TimestampMs x = 0; x < 100; ++x) {
+    const SliceInfo s = t.SliceFor(x);
+    EXPECT_LE(s.start, x);
+    EXPECT_GT(s.end, x);
+    if (s.index != prev_index) {
+      EXPECT_EQ(s.start, prev_end);
+      EXPECT_EQ(s.index, prev_index + 1);
+      prev_index = s.index;
+      prev_end = s.end;
+    }
+  }
+}
+
+TEST(SliceTrackerTest, WindowIsUnionOfSlices) {
+  SliceTracker t;
+  t.SetNumSlots(2);
+  t.CutAt(0, QuerySet::AllSet(2));
+  t.AddQuery(0, 0, spe::WindowSpec::Sliding(12, 5));
+  t.AddQuery(1, 0, spe::WindowSpec::Tumbling(8));
+  // Query 0's window [10, 22):
+  const auto slices = t.SlicesIn(10, 22);
+  ASSERT_FALSE(slices.empty());
+  EXPECT_EQ(slices.front().start, 10);
+  EXPECT_EQ(slices.back().end, 22);
+  for (size_t i = 1; i < slices.size(); ++i) {
+    EXPECT_EQ(slices[i].start, slices[i - 1].end);
+  }
+}
+
+TEST(SliceTrackerTest, EvictBefore) {
+  SliceTracker t;
+  t.SetNumSlots(1);
+  t.CutAt(0, QuerySet::AllSet(1));
+  t.AddQuery(0, 0, spe::WindowSpec::Tumbling(10));
+  t.SliceFor(45);  // slices [0,10)..[40,50)
+  const size_t before = t.NumSlices();
+  EXPECT_EQ(before, 5u);
+  const auto evicted = t.EvictBefore(30);
+  EXPECT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(t.NumSlices(), 2u);
+  EXPECT_EQ(t.SliceFor(32).index, evicted.back() + 1);
+}
+
+TEST(SliceTrackerTest, QueryDeletionStopsItsEdges) {
+  SliceTracker t;
+  t.SetNumSlots(2);
+  t.CutAt(0, QuerySet::AllSet(2));
+  t.AddQuery(0, 0, spe::WindowSpec::Tumbling(7));
+  t.AddQuery(1, 0, spe::WindowSpec::Tumbling(10));
+  t.SliceFor(5);  // frontier 7
+  // Delete q0 via changelog at t=8.
+  QuerySet delta = QuerySet::AllSet(2);
+  delta.Reset(0);
+  t.CutAt(8, delta);
+  t.RemoveQuery(0);
+  // After 8, only q1's edges (10, 20, ...) cut slices.
+  EXPECT_EQ(t.SliceFor(9).end, 10);
+  EXPECT_EQ(t.SliceFor(11).start, 10);
+  EXPECT_EQ(t.SliceFor(11).end, 20);
+}
+
+TEST(SliceTrackerTest, SerializeRestoreRoundTrip) {
+  SliceTracker t;
+  t.SetNumSlots(2);
+  t.CutAt(0, QuerySet::AllSet(2));
+  t.AddQuery(0, 0, spe::WindowSpec::Sliding(10, 5));
+  t.SliceFor(17);
+  spe::StateWriter writer;
+  t.Serialize(&writer);
+  SliceTracker restored;
+  spe::StateReader reader(writer.TakeBuffer());
+  ASSERT_TRUE(restored.Restore(&reader).ok());
+  EXPECT_EQ(restored.NumSlices(), t.NumSlices());
+  EXPECT_EQ(restored.frontier(), t.frontier());
+  EXPECT_EQ(restored.SliceFor(17).index, t.SliceFor(17).index);
+  // Edges continue correctly after restore.
+  EXPECT_EQ(restored.SliceFor(21).start, 20);
+}
+
+}  // namespace
+}  // namespace astream::core

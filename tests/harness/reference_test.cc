@@ -1,0 +1,167 @@
+#include "harness/reference.h"
+
+#include <gtest/gtest.h>
+
+namespace astream::harness {
+namespace {
+
+using core::CmpOp;
+using core::Predicate;
+using core::QueryDescriptor;
+using core::QueryKind;
+using spe::AggKind;
+using spe::Row;
+using spe::WindowSpec;
+
+std::vector<InputEvent> Events(
+    std::initializer_list<std::tuple<int, TimestampMs, Row>> list) {
+  std::vector<InputEvent> out;
+  for (const auto& [stream, t, row] : list) {
+    out.push_back(InputEvent{stream, t, row});
+  }
+  return out;
+}
+
+RowMultiset Expect(
+    std::initializer_list<std::pair<std::vector<spe::Value>, int64_t>>
+        rows) {
+  RowMultiset m;
+  for (const auto& [key, count] : rows) m[key] = count;
+  return m;
+}
+
+TEST(ReferenceTest, SelectionRespectsLifetimeAndPredicate) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kSelection;
+  q.desc.select_a = {Predicate{1, CmpOp::kLt, 10}};
+  q.created_at = 5;
+  q.deleted_at = 20;
+  const auto events = Events({
+      {0, 3, Row{1, 4}},    // before creation
+      {0, 6, Row{1, 4}},    // in
+      {0, 7, Row{1, 50}},   // predicate fails
+      {1, 8, Row{1, 4}},    // wrong stream
+      {0, 20, Row{1, 4}},   // at deletion (exclusive)
+  });
+  // Output keyed [event_time, columns...].
+  EXPECT_EQ(EvaluateReference(q, events), Expect({{{6, 1, 4}, 1}}));
+}
+
+TEST(ReferenceTest, TumblingAggAnchoredAtCreation) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kAggregation;
+  q.desc.window = WindowSpec::Tumbling(10);
+  q.desc.agg = {AggKind::kSum, 1};
+  q.created_at = 100;
+  const auto events = Events({
+      {0, 102, Row{1, 5}},
+      {0, 109, Row{1, 7}},   // same window [100,110)
+      {0, 110, Row{1, 11}},  // next window [110,120)
+  });
+  EXPECT_EQ(EvaluateReference(q, events),
+            Expect({{{109, 1, 12}, 1}, {{119, 1, 11}, 1}}));
+}
+
+TEST(ReferenceTest, DeletedQueryEmitsOnlyCompletedWindows) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kAggregation;
+  q.desc.window = WindowSpec::Tumbling(10);
+  q.desc.agg = {AggKind::kCount, 1};
+  q.created_at = 0;
+  q.deleted_at = 15;  // window [0,10) completes, [10,20) does not
+  const auto events = Events({
+      {0, 2, Row{1, 0}},
+      {0, 12, Row{1, 0}},
+  });
+  EXPECT_EQ(EvaluateReference(q, events), Expect({{{9, 1, 1}, 1}}));
+}
+
+TEST(ReferenceTest, SessionAggregation) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kAggregation;
+  q.desc.window = WindowSpec::Session(5);
+  q.desc.agg = {AggKind::kSum, 1};
+  q.created_at = 0;
+  const auto events = Events({
+      {0, 10, Row{1, 1}},
+      {0, 13, Row{1, 2}},  // merges (gap 3 < 5)
+      {0, 30, Row{1, 4}},  // new session
+  });
+  // Sessions close at last+gap; event time last+gap-1.
+  EXPECT_EQ(EvaluateReference(q, events),
+            Expect({{{17, 1, 3}, 1}, {{34, 1, 4}, 1}}));
+}
+
+TEST(ReferenceTest, JoinCrossProductPerWindow) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kJoin;
+  q.desc.window = WindowSpec::Tumbling(10);
+  q.created_at = 0;
+  const auto events = Events({
+      {0, 1, Row{7, 1}},
+      {0, 2, Row{7, 2}},
+      {1, 3, Row{7, 3}},
+      {1, 12, Row{7, 4}},  // next window, no A-side partner
+  });
+  EXPECT_EQ(EvaluateReference(q, events),
+            Expect({{{9, 7, 1, 7, 3}, 1}, {{9, 7, 2, 7, 3}, 1}}));
+}
+
+TEST(ReferenceTest, SlidingJoinDuplicatesAcrossWindows) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kJoin;
+  q.desc.window = WindowSpec::Sliding(10, 5);
+  q.created_at = 0;
+  const auto events = Events({
+      {0, 7, Row{1, 1}},
+      {1, 8, Row{1, 2}},
+  });
+  // The pair is in [0,10) and [5,15): two results at 9 and 14.
+  EXPECT_EQ(EvaluateReference(q, events),
+            Expect({{{9, 1, 1, 1, 2}, 1}, {{14, 1, 1, 1, 2}, 1}}));
+}
+
+TEST(ReferenceTest, ComplexCascadesJoinsThenAggregates) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kComplex;
+  q.desc.window = WindowSpec::Tumbling(10);
+  q.desc.join_depth = 1;
+  q.desc.agg = {AggKind::kCount, 1};
+  q.created_at = 0;
+  const auto events = Events({
+      {0, 1, Row{5, 1}},
+      {1, 2, Row{5, 2}},
+      {1, 3, Row{5, 3}},
+  });
+  // Stage 1: two joined tuples at t=9 -> agg window [0,10): count=2 at 9.
+  EXPECT_EQ(EvaluateReference(q, events), Expect({{{9, 5, 2}, 1}}));
+}
+
+TEST(ReferenceTest, ComplexDepthTwoReWindowsResults) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kComplex;
+  q.desc.window = WindowSpec::Tumbling(10);
+  q.desc.join_depth = 2;
+  q.desc.agg = {AggKind::kCount, 1};
+  q.created_at = 0;
+  const auto events = Events({
+      {0, 1, Row{5, 1}},
+      {1, 2, Row{5, 2}},
+  });
+  // J1 emits (5,1,5,2) at t=9 (window [0,10)). J2 joins it with B rows in
+  // the window containing 9 — B row at t=2 is in [0,10): result at 9.
+  // Agg counts it in window [0,10): one row at t=9.
+  EXPECT_EQ(EvaluateReference(q, events),
+            Expect({{{9, 5, 1}, 1}}));
+}
+
+TEST(ReferenceTest, EmptyInputsProduceNothing) {
+  QueryLifecycle q;
+  q.desc.kind = QueryKind::kJoin;
+  q.desc.window = WindowSpec::Tumbling(10);
+  q.created_at = 0;
+  EXPECT_TRUE(EvaluateReference(q, {}).empty());
+}
+
+}  // namespace
+}  // namespace astream::harness

@@ -1,0 +1,86 @@
+#include "spe/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace astream::spe {
+namespace {
+
+Envelope Env(int value) {
+  Envelope e;
+  e.port = 0;
+  e.sender = 0;
+  e.element = StreamElement::MakeRecord(value, Row{value});
+  return e;
+}
+
+TEST(ChannelTest, FifoOrder) {
+  Channel ch(16);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(ch.Push(Env(i)));
+  for (int i = 0; i < 10; ++i) {
+    auto e = ch.Pop();
+    ASSERT_TRUE(e.has_value());
+    EXPECT_EQ(e->element.record.row.key(), i);
+  }
+}
+
+TEST(ChannelTest, TryPushRespectsCapacity) {
+  Channel ch(2);
+  EXPECT_TRUE(ch.TryPush(Env(1)));
+  EXPECT_TRUE(ch.TryPush(Env(2)));
+  EXPECT_FALSE(ch.TryPush(Env(3)));
+  EXPECT_EQ(ch.Size(), 2u);
+  ch.TryPop();
+  EXPECT_TRUE(ch.TryPush(Env(3)));
+}
+
+TEST(ChannelTest, CloseUnblocksConsumersAndDrains) {
+  Channel ch(4);
+  ch.Push(Env(1));
+  ch.Close();
+  EXPECT_FALSE(ch.Push(Env(2)));  // rejected after close
+  auto e = ch.Pop();              // drains the remaining element
+  ASSERT_TRUE(e.has_value());
+  EXPECT_FALSE(ch.Pop().has_value());  // then signals end
+}
+
+TEST(ChannelTest, BlockingPushUnblocksOnPop) {
+  Channel ch(1);
+  ASSERT_TRUE(ch.Push(Env(1)));
+  std::thread producer([&] { EXPECT_TRUE(ch.Push(Env(2))); });
+  // Give the producer a moment to block, then free a slot.
+  while (ch.Size() < 1) {
+  }
+  auto e = ch.Pop();
+  ASSERT_TRUE(e.has_value());
+  producer.join();
+  EXPECT_EQ(ch.Size(), 1u);
+}
+
+TEST(ChannelTest, ManyProducersOneConsumer) {
+  Channel ch(8);
+  constexpr int kPerProducer = 500;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(ch.Push(Env(p * kPerProducer + i)));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  for (int i = 0; i < kProducers * kPerProducer; ++i) {
+    auto e = ch.Pop();
+    ASSERT_TRUE(e.has_value());
+    const auto v = static_cast<size_t>(e->element.record.row.key());
+    EXPECT_FALSE(seen[v]);
+    seen[v] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.Size(), 0u);
+}
+
+}  // namespace
+}  // namespace astream::spe

@@ -1,0 +1,124 @@
+#include "spe/window.h"
+
+#include <gtest/gtest.h>
+
+namespace astream::spe {
+namespace {
+
+TEST(WindowSpecTest, TumblingAssign) {
+  const WindowSpec w = WindowSpec::Tumbling(10);
+  std::vector<TimeWindow> out;
+  w.AssignWindows(0, 0, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (TimeWindow{0, 10}));
+
+  out.clear();
+  w.AssignWindows(0, 9, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (TimeWindow{0, 10}));
+
+  out.clear();
+  w.AssignWindows(0, 10, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (TimeWindow{10, 20}));
+}
+
+TEST(WindowSpecTest, TumblingWithOrigin) {
+  const WindowSpec w = WindowSpec::Tumbling(10);
+  std::vector<TimeWindow> out;
+  w.AssignWindows(100, 104, &out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], (TimeWindow{100, 110}));
+  // Events before the origin are not assigned.
+  out.clear();
+  w.AssignWindows(100, 99, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(WindowSpecTest, SlidingAssign) {
+  const WindowSpec w = WindowSpec::Sliding(10, 5);
+  std::vector<TimeWindow> out;
+  w.AssignWindows(0, 12, &out);
+  // Windows [5,15) and [10,20) contain t=12.
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], (TimeWindow{5, 15}));
+  EXPECT_EQ(out[1], (TimeWindow{10, 20}));
+}
+
+TEST(WindowSpecTest, SlidingSmallSlideManyWindows) {
+  const WindowSpec w = WindowSpec::Sliding(10, 1);
+  std::vector<TimeWindow> out;
+  w.AssignWindows(0, 50, &out);
+  EXPECT_EQ(out.size(), 10u);
+  for (const TimeWindow& tw : out) {
+    EXPECT_TRUE(tw.Contains(50));
+  }
+}
+
+TEST(WindowSpecTest, EdgesInRangeTumbling) {
+  const WindowSpec w = WindowSpec::Tumbling(10);
+  std::vector<TimestampMs> edges;
+  w.EdgesInRange(0, 0, 30, &edges);
+  // Starts 10, 20, 30; ends 10, 20, 30 (dedup).
+  EXPECT_EQ(edges, (std::vector<TimestampMs>{10, 20, 30}));
+}
+
+TEST(WindowSpecTest, EdgesInRangeSliding) {
+  const WindowSpec w = WindowSpec::Sliding(10, 4);
+  std::vector<TimestampMs> edges;
+  w.EdgesInRange(0, 0, 20, &edges);
+  // Starts: 4, 8, 12, 16, 20. Ends: 10, 14, 18.
+  EXPECT_EQ(edges,
+            (std::vector<TimestampMs>{4, 8, 10, 12, 14, 16, 18, 20}));
+}
+
+TEST(WindowSpecTest, FirstEndAfter) {
+  const WindowSpec w = WindowSpec::Sliding(10, 4);
+  EXPECT_EQ(w.FirstEndAfter(0, 0), 10);
+  EXPECT_EQ(w.FirstEndAfter(0, 9), 10);
+  EXPECT_EQ(w.FirstEndAfter(0, 10), 14);  // strictly after
+  EXPECT_EQ(w.FirstEndAfter(0, 13), 14);
+  EXPECT_EQ(w.FirstEndAfter(100, 0), 110);
+}
+
+/// Property: every edge returned by EdgesInRange is the start or end of
+/// some window instance, and window boundaries of assigned windows appear
+/// as edges.
+class WindowEdgeProperty
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(WindowEdgeProperty, EdgesMatchAssignment) {
+  const auto [length, slide] = GetParam();
+  const WindowSpec w = WindowSpec::Sliding(length, slide);
+  const TimestampMs origin = 7;
+  std::vector<TimestampMs> edges;
+  w.EdgesInRange(origin, origin, origin + 200, &edges);
+  for (TimestampMs e : edges) {
+    const TimestampMs rel = e - origin;
+    const bool is_start = rel % slide == 0;
+    const bool is_end = rel >= length && (rel - length) % slide == 0;
+    EXPECT_TRUE(is_start || is_end) << "edge " << e;
+  }
+  // Windows containing t=origin+57 have their boundaries in the edge set
+  // (when within range).
+  std::vector<TimeWindow> assigned;
+  w.AssignWindows(origin, origin + 57, &assigned);
+  for (const TimeWindow& tw : assigned) {
+    if (tw.start > origin && tw.start <= origin + 200) {
+      EXPECT_NE(std::find(edges.begin(), edges.end(), tw.start),
+                edges.end());
+    }
+    if (tw.end <= origin + 200) {
+      EXPECT_NE(std::find(edges.begin(), edges.end(), tw.end), edges.end());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Specs, WindowEdgeProperty,
+    ::testing::Values(std::make_pair(10, 10), std::make_pair(10, 3),
+                      std::make_pair(25, 7), std::make_pair(13, 1),
+                      std::make_pair(40, 40)));
+
+}  // namespace
+}  // namespace astream::spe

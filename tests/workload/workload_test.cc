@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+#include "workload/scenario.h"
+
+namespace astream::workload {
+namespace {
+
+TEST(DataGeneratorTest, KeysRoundRobin) {
+  DataGenerator::Config cfg;
+  cfg.key_max = 5;
+  DataGenerator gen(cfg, 1);
+  for (int round = 0; round < 3; ++round) {
+    for (int k = 0; k < 5; ++k) {
+      EXPECT_EQ(gen.Next().key(), k);
+    }
+  }
+}
+
+TEST(DataGeneratorTest, RowShapeAndFieldRange) {
+  DataGenerator::Config cfg;
+  cfg.num_fields = 5;
+  cfg.fields_max = 100;
+  DataGenerator gen(cfg, 2);
+  for (int i = 0; i < 200; ++i) {
+    const spe::Row row = gen.Next();
+    ASSERT_EQ(row.NumColumns(), 6u);  // key + 5 fields
+    for (int f = 1; f <= 5; ++f) {
+      EXPECT_GE(row.At(f), 0);
+      EXPECT_LT(row.At(f), 100);
+    }
+  }
+}
+
+TEST(DataGeneratorTest, DeterministicPerSeed) {
+  DataGenerator a({}, 7);
+  DataGenerator b({}, 7);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(QueryGeneratorTest, PredicateWithinConfiguredBounds) {
+  QueryGenerator::Config cfg;
+  cfg.num_fields = 3;
+  cfg.fields_max = 50;
+  QueryGenerator gen(cfg, 3);
+  for (int i = 0; i < 100; ++i) {
+    const core::Predicate p = gen.RandomPredicate();
+    EXPECT_GE(p.column, 1);
+    EXPECT_LE(p.column, 3);
+    EXPECT_GE(p.constant, 0);
+    EXPECT_LT(p.constant, 50);
+  }
+}
+
+TEST(QueryGeneratorTest, WindowRangesRespectConfig) {
+  QueryGenerator::Config cfg;
+  cfg.window_min = 10;
+  cfg.window_max = 40;
+  QueryGenerator gen(cfg, 4);
+  for (int i = 0; i < 100; ++i) {
+    const spe::WindowSpec w = gen.RandomTimeWindow();
+    EXPECT_GE(w.length, 10);
+    EXPECT_LE(w.length, 40);
+    EXPECT_GE(w.slide, 1);
+    EXPECT_LE(w.slide, w.length);
+  }
+}
+
+TEST(QueryGeneratorTest, SlideFloorApplies) {
+  QueryGenerator::Config cfg;
+  cfg.window_min = 100;
+  cfg.window_max = 100;
+  cfg.slide_min_frac = 0.5;
+  QueryGenerator gen(cfg, 5);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_GE(gen.RandomTimeWindow().slide, 50);
+  }
+}
+
+TEST(QueryGeneratorTest, KindsMatchTemplates) {
+  QueryGenerator gen({}, 6);
+  const auto sel = gen.Selection();
+  EXPECT_EQ(sel.kind, core::QueryKind::kSelection);
+  EXPECT_FALSE(sel.select_a.empty());
+
+  const auto agg = gen.Aggregation();
+  EXPECT_EQ(agg.kind, core::QueryKind::kAggregation);
+  EXPECT_EQ(agg.agg.kind, spe::AggKind::kSum);  // Fig. 8: SUM(A.FIELD1)
+  EXPECT_EQ(agg.agg.column, 1);
+
+  const auto join = gen.Join();
+  EXPECT_EQ(join.kind, core::QueryKind::kJoin);
+  EXPECT_FALSE(join.select_b.empty());  // both sides filtered (Fig. 7)
+
+  const auto complex = gen.Complex();
+  EXPECT_EQ(complex.kind, core::QueryKind::kComplex);
+  EXPECT_GE(complex.join_depth, 1);
+  EXPECT_LE(complex.join_depth, core::kMaxJoinDepth);
+}
+
+TEST(QueryGeneratorTest, SessionProbability) {
+  QueryGenerator::Config cfg;
+  cfg.session_probability = 1.0;
+  QueryGenerator gen(cfg, 8);
+  const auto agg = gen.Aggregation();
+  EXPECT_EQ(agg.window.type, spe::WindowType::kSession);
+  EXPECT_GT(agg.window.gap, 0);
+}
+
+TEST(Sc1ScenarioTest, RampsToTargetThenStops) {
+  Sc1Scenario sc(/*rate_per_sec=*/10, /*max_parallel=*/5);
+  size_t created = 0;
+  for (TimestampMs t = 0; t <= 2000; t += 100) {
+    const auto a = sc.Tick(t, created);
+    EXPECT_TRUE(a.delete_ranks.empty());  // SC1 never deletes
+    created += a.create;
+  }
+  EXPECT_EQ(created, 5u);
+}
+
+TEST(Sc2ScenarioTest, ChurnsBatchesPeriodically) {
+  Sc2Scenario sc(/*batch=*/3, /*period_ms=*/100);
+  size_t active = 0;
+  size_t total_created = 0;
+  size_t total_deleted = 0;
+  for (TimestampMs t = 0; t <= 500; t += 50) {
+    const auto a = sc.Tick(t, active);
+    total_deleted += a.delete_ranks.size();
+    active -= a.delete_ranks.size();
+    active += a.create;
+    total_created += a.create;
+  }
+  EXPECT_EQ(active, 3u);  // steady state: one batch alive
+  EXPECT_GE(total_created, 15u);
+  EXPECT_EQ(total_deleted, total_created - 3);
+}
+
+TEST(ComplexTimelineScenarioTest, FollowsPaperPhases) {
+  ComplexTimelineScenario sc(/*duration_ms=*/10'000, /*scale=*/1.0);
+  size_t active = 0;
+  std::vector<size_t> trajectory;
+  for (TimestampMs t = 0; t <= 10'000; t += 100) {
+    const auto a = sc.Tick(t, active);
+    active -= a.delete_ranks.size();
+    active += a.create;
+    trajectory.push_back(active);
+  }
+  // Starts empty, hits the 60-level plateau, drains toward 10, climbs to
+  // ~70, then fluctuates.
+  EXPECT_EQ(trajectory.front(), 0u);
+  EXPECT_EQ(*std::max_element(trajectory.begin(), trajectory.end()), 70u);
+  const size_t mid = trajectory[54];  // ~54% through: near the trough
+  EXPECT_LE(mid, 20u);
+}
+
+}  // namespace
+}  // namespace astream::workload
