@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig09_sc1_throughput"
+  "../bench/fig09_sc1_throughput.pdb"
+  "CMakeFiles/fig09_sc1_throughput.dir/fig09_sc1_throughput.cc.o"
+  "CMakeFiles/fig09_sc1_throughput.dir/fig09_sc1_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_sc1_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_deploy_timeline"
+  "../bench/fig10_deploy_timeline.pdb"
+  "CMakeFiles/fig10_deploy_timeline.dir/fig10_deploy_timeline.cc.o"
+  "CMakeFiles/fig10_deploy_timeline.dir/fig10_deploy_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_deploy_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

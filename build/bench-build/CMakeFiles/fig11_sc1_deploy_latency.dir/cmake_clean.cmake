@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig11_sc1_deploy_latency"
+  "../bench/fig11_sc1_deploy_latency.pdb"
+  "CMakeFiles/fig11_sc1_deploy_latency.dir/fig11_sc1_deploy_latency.cc.o"
+  "CMakeFiles/fig11_sc1_deploy_latency.dir/fig11_sc1_deploy_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_sc1_deploy_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig11_sc1_deploy_latency.
+# This may be replaced when dependencies are built.

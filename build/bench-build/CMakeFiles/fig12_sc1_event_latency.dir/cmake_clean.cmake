@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig12_sc1_event_latency"
+  "../bench/fig12_sc1_event_latency.pdb"
+  "CMakeFiles/fig12_sc1_event_latency.dir/fig12_sc1_event_latency.cc.o"
+  "CMakeFiles/fig12_sc1_event_latency.dir/fig12_sc1_event_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_sc1_event_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

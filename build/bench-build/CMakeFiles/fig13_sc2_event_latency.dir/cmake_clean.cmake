@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig13_sc2_event_latency"
+  "../bench/fig13_sc2_event_latency.pdb"
+  "CMakeFiles/fig13_sc2_event_latency.dir/fig13_sc2_event_latency.cc.o"
+  "CMakeFiles/fig13_sc2_event_latency.dir/fig13_sc2_event_latency.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_sc2_event_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

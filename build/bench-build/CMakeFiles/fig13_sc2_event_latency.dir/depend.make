@@ -1,0 +1,2 @@
+# Empty dependencies file for fig13_sc2_event_latency.
+# This may be replaced when dependencies are built.

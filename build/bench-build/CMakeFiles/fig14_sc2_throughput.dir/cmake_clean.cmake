@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig14_sc2_throughput"
+  "../bench/fig14_sc2_throughput.pdb"
+  "CMakeFiles/fig14_sc2_throughput.dir/fig14_sc2_throughput.cc.o"
+  "CMakeFiles/fig14_sc2_throughput.dir/fig14_sc2_throughput.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_sc2_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig16_complex_timeline"
+  "../bench/fig16_complex_timeline.pdb"
+  "CMakeFiles/fig16_complex_timeline.dir/fig16_complex_timeline.cc.o"
+  "CMakeFiles/fig16_complex_timeline.dir/fig16_complex_timeline.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_complex_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig17_parallelism_sweep"
+  "../bench/fig17_parallelism_sweep.pdb"
+  "CMakeFiles/fig17_parallelism_sweep.dir/fig17_parallelism_sweep.cc.o"
+  "CMakeFiles/fig17_parallelism_sweep.dir/fig17_parallelism_sweep.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig17_parallelism_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

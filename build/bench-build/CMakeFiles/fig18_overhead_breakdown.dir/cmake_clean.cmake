@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig18_overhead_breakdown"
+  "../bench/fig18_overhead_breakdown.pdb"
+  "CMakeFiles/fig18_overhead_breakdown.dir/fig18_overhead_breakdown.cc.o"
+  "CMakeFiles/fig18_overhead_breakdown.dir/fig18_overhead_breakdown.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig18_overhead_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig19_adhoc_impact"
+  "../bench/fig19_adhoc_impact.pdb"
+  "CMakeFiles/fig19_adhoc_impact.dir/fig19_adhoc_impact.cc.o"
+  "CMakeFiles/fig19_adhoc_impact.dir/fig19_adhoc_impact.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig19_adhoc_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

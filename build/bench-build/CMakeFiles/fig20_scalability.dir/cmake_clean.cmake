@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig20_scalability"
+  "../bench/fig20_scalability.pdb"
+  "CMakeFiles/fig20_scalability.dir/fig20_scalability.cc.o"
+  "CMakeFiles/fig20_scalability.dir/fig20_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig20_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

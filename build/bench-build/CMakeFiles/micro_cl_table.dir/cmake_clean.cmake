@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_cl_table"
+  "../bench/micro_cl_table.pdb"
+  "CMakeFiles/micro_cl_table.dir/micro_cl_table.cc.o"
+  "CMakeFiles/micro_cl_table.dir/micro_cl_table.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_cl_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_query_set"
+  "../bench/micro_query_set.pdb"
+  "CMakeFiles/micro_query_set.dir/micro_query_set.cc.o"
+  "CMakeFiles/micro_query_set.dir/micro_query_set.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_query_set.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

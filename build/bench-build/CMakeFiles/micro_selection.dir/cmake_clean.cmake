@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_selection"
+  "../bench/micro_selection.pdb"
+  "CMakeFiles/micro_selection.dir/micro_selection.cc.o"
+  "CMakeFiles/micro_selection.dir/micro_selection.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_selection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/micro_slice_store"
+  "../bench/micro_slice_store.pdb"
+  "CMakeFiles/micro_slice_store.dir/micro_slice_store.cc.o"
+  "CMakeFiles/micro_slice_store.dir/micro_slice_store.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/micro_slice_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adhoc_console.dir/adhoc_console.cpp.o"
+  "CMakeFiles/adhoc_console.dir/adhoc_console.cpp.o.d"
+  "adhoc_console"
+  "adhoc_console.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adhoc_console.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gaming_analytics.dir/gaming_analytics.cpp.o"
+  "CMakeFiles/gaming_analytics.dir/gaming_analytics.cpp.o.d"
+  "gaming_analytics"
+  "gaming_analytics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gaming_analytics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

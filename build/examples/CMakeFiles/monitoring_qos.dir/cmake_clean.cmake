@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/monitoring_qos.dir/monitoring_qos.cpp.o"
+  "CMakeFiles/monitoring_qos.dir/monitoring_qos.cpp.o.d"
+  "monitoring_qos"
+  "monitoring_qos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/monitoring_qos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astream_common.dir/clock.cc.o"
+  "CMakeFiles/astream_common.dir/clock.cc.o.d"
+  "CMakeFiles/astream_common.dir/logging.cc.o"
+  "CMakeFiles/astream_common.dir/logging.cc.o.d"
+  "CMakeFiles/astream_common.dir/rng.cc.o"
+  "CMakeFiles/astream_common.dir/rng.cc.o.d"
+  "CMakeFiles/astream_common.dir/status.cc.o"
+  "CMakeFiles/astream_common.dir/status.cc.o.d"
+  "libastream_common.a"
+  "libastream_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astream_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/astream.cc" "src/core/CMakeFiles/astream_core.dir/astream.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/astream.cc.o.d"
+  "/root/repo/src/core/changelog.cc" "src/core/CMakeFiles/astream_core.dir/changelog.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/changelog.cc.o.d"
+  "/root/repo/src/core/cl_table.cc" "src/core/CMakeFiles/astream_core.dir/cl_table.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/cl_table.cc.o.d"
+  "/root/repo/src/core/qos.cc" "src/core/CMakeFiles/astream_core.dir/qos.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/qos.cc.o.d"
+  "/root/repo/src/core/query.cc" "src/core/CMakeFiles/astream_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/query.cc.o.d"
+  "/root/repo/src/core/router.cc" "src/core/CMakeFiles/astream_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/router.cc.o.d"
+  "/root/repo/src/core/shared_aggregation.cc" "src/core/CMakeFiles/astream_core.dir/shared_aggregation.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/shared_aggregation.cc.o.d"
+  "/root/repo/src/core/shared_join.cc" "src/core/CMakeFiles/astream_core.dir/shared_join.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/shared_join.cc.o.d"
+  "/root/repo/src/core/shared_operator.cc" "src/core/CMakeFiles/astream_core.dir/shared_operator.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/shared_operator.cc.o.d"
+  "/root/repo/src/core/shared_selection.cc" "src/core/CMakeFiles/astream_core.dir/shared_selection.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/shared_selection.cc.o.d"
+  "/root/repo/src/core/shared_session.cc" "src/core/CMakeFiles/astream_core.dir/shared_session.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/shared_session.cc.o.d"
+  "/root/repo/src/core/slice_store.cc" "src/core/CMakeFiles/astream_core.dir/slice_store.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/slice_store.cc.o.d"
+  "/root/repo/src/core/slicing.cc" "src/core/CMakeFiles/astream_core.dir/slicing.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/slicing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/spe/CMakeFiles/astream_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/astream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astream_core.dir/astream.cc.o"
+  "CMakeFiles/astream_core.dir/astream.cc.o.d"
+  "CMakeFiles/astream_core.dir/changelog.cc.o"
+  "CMakeFiles/astream_core.dir/changelog.cc.o.d"
+  "CMakeFiles/astream_core.dir/cl_table.cc.o"
+  "CMakeFiles/astream_core.dir/cl_table.cc.o.d"
+  "CMakeFiles/astream_core.dir/qos.cc.o"
+  "CMakeFiles/astream_core.dir/qos.cc.o.d"
+  "CMakeFiles/astream_core.dir/query.cc.o"
+  "CMakeFiles/astream_core.dir/query.cc.o.d"
+  "CMakeFiles/astream_core.dir/router.cc.o"
+  "CMakeFiles/astream_core.dir/router.cc.o.d"
+  "CMakeFiles/astream_core.dir/shared_aggregation.cc.o"
+  "CMakeFiles/astream_core.dir/shared_aggregation.cc.o.d"
+  "CMakeFiles/astream_core.dir/shared_join.cc.o"
+  "CMakeFiles/astream_core.dir/shared_join.cc.o.d"
+  "CMakeFiles/astream_core.dir/shared_operator.cc.o"
+  "CMakeFiles/astream_core.dir/shared_operator.cc.o.d"
+  "CMakeFiles/astream_core.dir/shared_selection.cc.o"
+  "CMakeFiles/astream_core.dir/shared_selection.cc.o.d"
+  "CMakeFiles/astream_core.dir/shared_session.cc.o"
+  "CMakeFiles/astream_core.dir/shared_session.cc.o.d"
+  "CMakeFiles/astream_core.dir/slice_store.cc.o"
+  "CMakeFiles/astream_core.dir/slice_store.cc.o.d"
+  "CMakeFiles/astream_core.dir/slicing.cc.o"
+  "CMakeFiles/astream_core.dir/slicing.cc.o.d"
+  "libastream_core.a"
+  "libastream_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astream_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astream_harness.dir/baseline_sut.cc.o"
+  "CMakeFiles/astream_harness.dir/baseline_sut.cc.o.d"
+  "CMakeFiles/astream_harness.dir/driver.cc.o"
+  "CMakeFiles/astream_harness.dir/driver.cc.o.d"
+  "CMakeFiles/astream_harness.dir/reference.cc.o"
+  "CMakeFiles/astream_harness.dir/reference.cc.o.d"
+  "CMakeFiles/astream_harness.dir/report.cc.o"
+  "CMakeFiles/astream_harness.dir/report.cc.o.d"
+  "libastream_harness.a"
+  "libastream_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astream_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

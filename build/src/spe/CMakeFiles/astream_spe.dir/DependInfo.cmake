@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/spe/aggregate.cc" "src/spe/CMakeFiles/astream_spe.dir/aggregate.cc.o" "gcc" "src/spe/CMakeFiles/astream_spe.dir/aggregate.cc.o.d"
+  "/root/repo/src/spe/operators.cc" "src/spe/CMakeFiles/astream_spe.dir/operators.cc.o" "gcc" "src/spe/CMakeFiles/astream_spe.dir/operators.cc.o.d"
+  "/root/repo/src/spe/row.cc" "src/spe/CMakeFiles/astream_spe.dir/row.cc.o" "gcc" "src/spe/CMakeFiles/astream_spe.dir/row.cc.o.d"
+  "/root/repo/src/spe/runner.cc" "src/spe/CMakeFiles/astream_spe.dir/runner.cc.o" "gcc" "src/spe/CMakeFiles/astream_spe.dir/runner.cc.o.d"
+  "/root/repo/src/spe/state.cc" "src/spe/CMakeFiles/astream_spe.dir/state.cc.o" "gcc" "src/spe/CMakeFiles/astream_spe.dir/state.cc.o.d"
+  "/root/repo/src/spe/topology.cc" "src/spe/CMakeFiles/astream_spe.dir/topology.cc.o" "gcc" "src/spe/CMakeFiles/astream_spe.dir/topology.cc.o.d"
+  "/root/repo/src/spe/window.cc" "src/spe/CMakeFiles/astream_spe.dir/window.cc.o" "gcc" "src/spe/CMakeFiles/astream_spe.dir/window.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/astream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astream_spe.dir/aggregate.cc.o"
+  "CMakeFiles/astream_spe.dir/aggregate.cc.o.d"
+  "CMakeFiles/astream_spe.dir/operators.cc.o"
+  "CMakeFiles/astream_spe.dir/operators.cc.o.d"
+  "CMakeFiles/astream_spe.dir/row.cc.o"
+  "CMakeFiles/astream_spe.dir/row.cc.o.d"
+  "CMakeFiles/astream_spe.dir/runner.cc.o"
+  "CMakeFiles/astream_spe.dir/runner.cc.o.d"
+  "CMakeFiles/astream_spe.dir/state.cc.o"
+  "CMakeFiles/astream_spe.dir/state.cc.o.d"
+  "CMakeFiles/astream_spe.dir/topology.cc.o"
+  "CMakeFiles/astream_spe.dir/topology.cc.o.d"
+  "CMakeFiles/astream_spe.dir/window.cc.o"
+  "CMakeFiles/astream_spe.dir/window.cc.o.d"
+  "libastream_spe.a"
+  "libastream_spe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astream_spe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astream_workload.dir/scenario.cc.o"
+  "CMakeFiles/astream_workload.dir/scenario.cc.o.d"
+  "libastream_workload.a"
+  "libastream_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astream_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/common/bitset_test.cc" "tests/CMakeFiles/astream_tests.dir/common/bitset_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/common/bitset_test.cc.o.d"
+  "/root/repo/tests/common/common_test.cc" "tests/CMakeFiles/astream_tests.dir/common/common_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/common/common_test.cc.o.d"
+  "/root/repo/tests/core/astream_e2e_test.cc" "tests/CMakeFiles/astream_tests.dir/core/astream_e2e_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/astream_e2e_test.cc.o.d"
+  "/root/repo/tests/core/astream_property_test.cc" "tests/CMakeFiles/astream_tests.dir/core/astream_property_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/astream_property_test.cc.o.d"
+  "/root/repo/tests/core/changelog_test.cc" "tests/CMakeFiles/astream_tests.dir/core/changelog_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/changelog_test.cc.o.d"
+  "/root/repo/tests/core/cl_table_test.cc" "tests/CMakeFiles/astream_tests.dir/core/cl_table_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/cl_table_test.cc.o.d"
+  "/root/repo/tests/core/exactly_once_test.cc" "tests/CMakeFiles/astream_tests.dir/core/exactly_once_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/exactly_once_test.cc.o.d"
+  "/root/repo/tests/core/operators_unit_test.cc" "tests/CMakeFiles/astream_tests.dir/core/operators_unit_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/operators_unit_test.cc.o.d"
+  "/root/repo/tests/core/registry_test.cc" "tests/CMakeFiles/astream_tests.dir/core/registry_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/registry_test.cc.o.d"
+  "/root/repo/tests/core/session_test.cc" "tests/CMakeFiles/astream_tests.dir/core/session_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/session_test.cc.o.d"
+  "/root/repo/tests/core/slice_store_test.cc" "tests/CMakeFiles/astream_tests.dir/core/slice_store_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/slice_store_test.cc.o.d"
+  "/root/repo/tests/core/slicing_test.cc" "tests/CMakeFiles/astream_tests.dir/core/slicing_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/slicing_test.cc.o.d"
+  "/root/repo/tests/core/threaded_equivalence_test.cc" "tests/CMakeFiles/astream_tests.dir/core/threaded_equivalence_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/threaded_equivalence_test.cc.o.d"
+  "/root/repo/tests/harness/harness_test.cc" "tests/CMakeFiles/astream_tests.dir/harness/harness_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/harness/harness_test.cc.o.d"
+  "/root/repo/tests/harness/reference_test.cc" "tests/CMakeFiles/astream_tests.dir/harness/reference_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/harness/reference_test.cc.o.d"
+  "/root/repo/tests/harness/source_log_test.cc" "tests/CMakeFiles/astream_tests.dir/harness/source_log_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/harness/source_log_test.cc.o.d"
+  "/root/repo/tests/spe/channel_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/channel_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/channel_test.cc.o.d"
+  "/root/repo/tests/spe/operators_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/operators_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/operators_test.cc.o.d"
+  "/root/repo/tests/spe/runner_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/runner_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/runner_test.cc.o.d"
+  "/root/repo/tests/spe/state_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/state_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/state_test.cc.o.d"
+  "/root/repo/tests/spe/window_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/window_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/window_test.cc.o.d"
+  "/root/repo/tests/workload/workload_test.cc" "tests/CMakeFiles/astream_tests.dir/workload/workload_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/workload/workload_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/astream_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/astream_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/astream_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/astream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
