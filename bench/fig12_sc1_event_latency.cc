@@ -41,6 +41,7 @@ void Run() {
           {"AStream, 10q/s 60qp", true, 60, 60},
           {"AStream, 100q/s 1000qp*", true, 400, 0},
       };
+      obs::MetricsRegistry::Snapshot query_metrics;
       for (const Config& cfg : configs) {
         size_t max_qp = cfg.max_qp;
         if (max_qp == 0) max_qp = kind == QueryKind::kJoin ? 40 : 150;
@@ -67,11 +68,21 @@ void Run() {
                           static_cast<double>(lat.Percentile(95))),
                       harness::FormatCount(
                           static_cast<double>(lat.count()))});
+        if (auto* astream = dynamic_cast<harness::AStreamSut*>(sut.get());
+            astream != nullptr && max_qp > 1) {
+          // Keep the busiest multi-query run's per-query histograms for
+          // the drill-down table below.
+          query_metrics = astream->job()->MetricsSnapshot();
+        }
         sut->Stop();
       }
       std::printf("%s queries, %s cluster:\n", KindLabel(kind),
                   par == 2 ? "4-node" : "8-node");
       table.Print();
+      std::printf(
+          "per-query drill-down (busiest run, event-time latency from "
+          "the metrics registry):\n");
+      harness::PrintQueryMetricsTable(query_metrics, /*max_rows=*/6);
       std::printf("\n");
     }
   }

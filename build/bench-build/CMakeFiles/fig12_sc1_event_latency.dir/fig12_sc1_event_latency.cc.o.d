@@ -222,8 +222,9 @@ bench-build/CMakeFiles/fig12_sc1_event_latency.dir/fig12_sc1_event_latency.cc.o:
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/core/qos.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/push_result.h /root/repo/src/core/qos.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/query.h \
  /root/repo/src/common/bitset.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/spe/aggregate.h \
@@ -235,7 +236,9 @@ bench-build/CMakeFiles/fig12_sc1_event_latency.dir/fig12_sc1_event_latency.cc.o:
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/spe/window.h \
  /root/repo/src/common/clock.h /root/repo/src/core/router.h \
  /root/repo/src/core/changelog.h /root/repo/src/spe/element.h \
- /root/repo/src/spe/operator.h /root/repo/src/core/shared_aggregation.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /root/repo/src/spe/operator.h \
+ /root/repo/src/core/shared_aggregation.h \
  /root/repo/src/core/shared_operator.h /root/repo/src/core/slice_store.h \
  /root/repo/src/core/slicing.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -251,4 +254,5 @@ bench-build/CMakeFiles/fig12_sc1_event_latency.dir/fig12_sc1_event_latency.cc.o:
  /root/repo/src/workload/data_generator.h /root/repo/src/common/rng.h \
  /root/repo/src/workload/scenario.h /usr/include/c++/12/cstddef \
  /root/repo/src/harness/report.h \
- /root/repo/src/workload/query_generator.h
+ /root/repo/src/workload/query_generator.h \
+ /root/repo/src/core/query_builder.h

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/micro_metrics.cc" "bench-build/CMakeFiles/micro_metrics.dir/micro_metrics.cc.o" "gcc" "bench-build/CMakeFiles/micro_metrics.dir/micro_metrics.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/harness/CMakeFiles/astream_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/astream_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/astream_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/spe/CMakeFiles/astream_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/astream_obs.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/astream_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -226,4 +226,4 @@ bench-build/CMakeFiles/micro_selection.dir/micro_selection.cc.o: \
  /usr/include/c++/12/ctime /usr/include/c++/12/bits/parse_numbers.h \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
  /root/repo/src/spe/window.h /root/repo/src/spe/element.h \
- /root/repo/src/spe/operator.h
+ /root/repo/src/obs/metrics.h /root/repo/src/spe/operator.h

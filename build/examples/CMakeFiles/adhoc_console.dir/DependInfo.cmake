@@ -16,6 +16,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/astream_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/astream_core.dir/DependInfo.cmake"
   "/root/repo/build/src/spe/CMakeFiles/astream_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/astream_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/astream_common.dir/DependInfo.cmake"
   )
 

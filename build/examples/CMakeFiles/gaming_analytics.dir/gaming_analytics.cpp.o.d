@@ -220,8 +220,9 @@ examples/CMakeFiles/gaming_analytics.dir/gaming_analytics.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h /usr/include/c++/12/mutex \
- /root/repo/src/core/qos.h /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h /usr/include/c++/12/bits/stl_map.h \
+ /root/repo/src/core/push_result.h /root/repo/src/core/qos.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /root/repo/src/core/query.h \
  /root/repo/src/common/bitset.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/spe/aggregate.h \
@@ -233,7 +234,11 @@ examples/CMakeFiles/gaming_analytics.dir/gaming_analytics.cpp.o: \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/spe/window.h \
  /root/repo/src/common/clock.h /root/repo/src/core/router.h \
  /root/repo/src/core/changelog.h /root/repo/src/spe/element.h \
- /root/repo/src/spe/operator.h /root/repo/src/core/shared_aggregation.h \
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/spe/operator.h \
+ /root/repo/src/core/shared_aggregation.h \
  /root/repo/src/core/shared_operator.h /root/repo/src/core/slice_store.h \
  /root/repo/src/core/slicing.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -244,4 +249,4 @@ examples/CMakeFiles/gaming_analytics.dir/gaming_analytics.cpp.o: \
  /usr/include/c++/12/set /usr/include/c++/12/bits/stl_set.h \
  /usr/include/c++/12/bits/stl_multiset.h /root/repo/src/spe/runner.h \
  /usr/include/c++/12/thread /root/repo/src/spe/channel.h \
- /root/repo/src/spe/topology.h
+ /root/repo/src/spe/topology.h /root/repo/src/core/query_builder.h

@@ -13,6 +13,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/cl_table.cc" "src/core/CMakeFiles/astream_core.dir/cl_table.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/cl_table.cc.o.d"
   "/root/repo/src/core/qos.cc" "src/core/CMakeFiles/astream_core.dir/qos.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/qos.cc.o.d"
   "/root/repo/src/core/query.cc" "src/core/CMakeFiles/astream_core.dir/query.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/query.cc.o.d"
+  "/root/repo/src/core/query_builder.cc" "src/core/CMakeFiles/astream_core.dir/query_builder.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/query_builder.cc.o.d"
   "/root/repo/src/core/router.cc" "src/core/CMakeFiles/astream_core.dir/router.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/router.cc.o.d"
   "/root/repo/src/core/shared_aggregation.cc" "src/core/CMakeFiles/astream_core.dir/shared_aggregation.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/shared_aggregation.cc.o.d"
   "/root/repo/src/core/shared_join.cc" "src/core/CMakeFiles/astream_core.dir/shared_join.cc.o" "gcc" "src/core/CMakeFiles/astream_core.dir/shared_join.cc.o.d"
@@ -26,6 +27,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 # Targets to which this target links.
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/spe/CMakeFiles/astream_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/astream_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/astream_common.dir/DependInfo.cmake"
   )
 

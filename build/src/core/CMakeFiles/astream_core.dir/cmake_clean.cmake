@@ -9,6 +9,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/astream_core.dir/qos.cc.o.d"
   "CMakeFiles/astream_core.dir/query.cc.o"
   "CMakeFiles/astream_core.dir/query.cc.o.d"
+  "CMakeFiles/astream_core.dir/query_builder.cc.o"
+  "CMakeFiles/astream_core.dir/query_builder.cc.o.d"
   "CMakeFiles/astream_core.dir/router.cc.o"
   "CMakeFiles/astream_core.dir/router.cc.o.d"
   "CMakeFiles/astream_core.dir/shared_aggregation.cc.o"

@@ -179,8 +179,8 @@ src/core/CMakeFiles/astream_core.dir/router.cc.o: \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/core/changelog.h /usr/include/c++/12/optional \
- /root/repo/src/common/clock.h /root/repo/src/core/query.h \
+ /root/repo/src/common/clock.h /root/repo/src/core/changelog.h \
+ /usr/include/c++/12/optional /root/repo/src/core/query.h \
  /root/repo/src/common/bitset.h /usr/include/c++/12/cassert \
  /usr/include/assert.h /root/repo/src/spe/aggregate.h \
  /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
@@ -225,7 +225,8 @@ src/core/CMakeFiles/astream_core.dir/router.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/spe/window.h /root/repo/src/spe/element.h \
- /root/repo/src/spe/operator.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
- /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/logging.h
+ /root/repo/src/obs/metrics.h /root/repo/src/obs/trace.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/spe/operator.h \
+ /root/repo/src/common/logging.h

@@ -230,4 +230,5 @@ src/core/CMakeFiles/astream_core.dir/shared_join.cc.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/core/cl_table.h \
  /root/repo/src/core/trigger.h /usr/include/c++/12/queue \
- /usr/include/c++/12/bits/stl_queue.h /root/repo/src/spe/operator.h
+ /usr/include/c++/12/bits/stl_queue.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/spe/operator.h

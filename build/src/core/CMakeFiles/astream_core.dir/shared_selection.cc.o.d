@@ -225,7 +225,7 @@ src/core/CMakeFiles/astream_core.dir/shared_selection.cc.o: \
  /usr/include/c++/12/bits/unique_lock.h /root/repo/src/common/status.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/spe/window.h /root/repo/src/spe/element.h \
- /root/repo/src/spe/operator.h /usr/include/c++/12/chrono \
- /usr/include/c++/12/sstream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc \
+ /root/repo/src/obs/metrics.h /root/repo/src/spe/operator.h \
+ /usr/include/c++/12/chrono /usr/include/c++/12/sstream \
+ /usr/include/c++/12/istream /usr/include/c++/12/bits/istream.tcc \
  /usr/include/c++/12/bits/sstream.tcc /root/repo/src/common/logging.h

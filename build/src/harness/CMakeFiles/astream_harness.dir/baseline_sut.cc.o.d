@@ -214,10 +214,11 @@ src/harness/CMakeFiles/astream_harness.dir/baseline_sut.cc.o: \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/harness/sut.h \
- /root/repo/src/core/qos.h /root/repo/src/core/query.h \
- /root/repo/src/common/bitset.h /usr/include/c++/12/cassert \
- /usr/include/assert.h /root/repo/src/spe/aggregate.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/stl_algo.h \
+ /root/repo/src/core/push_result.h /root/repo/src/core/qos.h \
+ /root/repo/src/core/query.h /root/repo/src/common/bitset.h \
+ /usr/include/c++/12/cassert /usr/include/assert.h \
+ /root/repo/src/spe/aggregate.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \

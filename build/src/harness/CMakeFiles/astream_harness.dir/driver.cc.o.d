@@ -212,7 +212,8 @@ src/harness/CMakeFiles/astream_harness.dir/driver.cc.o: \
  /usr/include/c++/12/bits/ranges_algobase.h \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
- /usr/include/c++/12/pstl/execution_defs.h /root/repo/src/core/qos.h \
+ /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/core/push_result.h /root/repo/src/core/qos.h \
  /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/bits/stl_map.h \
  /usr/include/c++/12/bits/stl_multimap.h /usr/include/c++/12/mutex \

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/astream_obs.dir/export.cc.o"
+  "CMakeFiles/astream_obs.dir/export.cc.o.d"
+  "CMakeFiles/astream_obs.dir/metrics.cc.o"
+  "CMakeFiles/astream_obs.dir/metrics.cc.o.d"
+  "CMakeFiles/astream_obs.dir/trace.cc.o"
+  "CMakeFiles/astream_obs.dir/trace.cc.o.d"
+  "libastream_obs.a"
+  "libastream_obs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/astream_obs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

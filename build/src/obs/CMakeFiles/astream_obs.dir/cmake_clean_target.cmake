@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libastream_obs.a"
+)

@@ -15,7 +15,9 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/core/changelog_test.cc" "tests/CMakeFiles/astream_tests.dir/core/changelog_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/changelog_test.cc.o.d"
   "/root/repo/tests/core/cl_table_test.cc" "tests/CMakeFiles/astream_tests.dir/core/cl_table_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/cl_table_test.cc.o.d"
   "/root/repo/tests/core/exactly_once_test.cc" "tests/CMakeFiles/astream_tests.dir/core/exactly_once_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/exactly_once_test.cc.o.d"
+  "/root/repo/tests/core/metrics_e2e_test.cc" "tests/CMakeFiles/astream_tests.dir/core/metrics_e2e_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/metrics_e2e_test.cc.o.d"
   "/root/repo/tests/core/operators_unit_test.cc" "tests/CMakeFiles/astream_tests.dir/core/operators_unit_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/operators_unit_test.cc.o.d"
+  "/root/repo/tests/core/query_builder_test.cc" "tests/CMakeFiles/astream_tests.dir/core/query_builder_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/query_builder_test.cc.o.d"
   "/root/repo/tests/core/registry_test.cc" "tests/CMakeFiles/astream_tests.dir/core/registry_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/registry_test.cc.o.d"
   "/root/repo/tests/core/session_test.cc" "tests/CMakeFiles/astream_tests.dir/core/session_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/session_test.cc.o.d"
   "/root/repo/tests/core/slice_store_test.cc" "tests/CMakeFiles/astream_tests.dir/core/slice_store_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/core/slice_store_test.cc.o.d"
@@ -24,6 +26,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/harness/harness_test.cc" "tests/CMakeFiles/astream_tests.dir/harness/harness_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/harness/harness_test.cc.o.d"
   "/root/repo/tests/harness/reference_test.cc" "tests/CMakeFiles/astream_tests.dir/harness/reference_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/harness/reference_test.cc.o.d"
   "/root/repo/tests/harness/source_log_test.cc" "tests/CMakeFiles/astream_tests.dir/harness/source_log_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/harness/source_log_test.cc.o.d"
+  "/root/repo/tests/obs/metrics_test.cc" "tests/CMakeFiles/astream_tests.dir/obs/metrics_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/obs/metrics_test.cc.o.d"
   "/root/repo/tests/spe/channel_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/channel_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/channel_test.cc.o.d"
   "/root/repo/tests/spe/operators_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/operators_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/operators_test.cc.o.d"
   "/root/repo/tests/spe/runner_test.cc" "tests/CMakeFiles/astream_tests.dir/spe/runner_test.cc.o" "gcc" "tests/CMakeFiles/astream_tests.dir/spe/runner_test.cc.o.d"
@@ -38,6 +41,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workload/CMakeFiles/astream_workload.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/astream_core.dir/DependInfo.cmake"
   "/root/repo/build/src/spe/CMakeFiles/astream_spe.dir/DependInfo.cmake"
+  "/root/repo/build/src/obs/CMakeFiles/astream_obs.dir/DependInfo.cmake"
   "/root/repo/build/src/common/CMakeFiles/astream_common.dir/DependInfo.cmake"
   )
 

@@ -304,5 +304,6 @@ tests/CMakeFiles/astream_tests.dir/core/operators_unit_test.cc.o: \
  /root/repo/src/spe/state.h /root/repo/src/common/status.h \
  /root/repo/src/spe/window.h /root/repo/src/common/clock.h \
  /root/repo/src/core/router.h /root/repo/src/core/changelog.h \
- /root/repo/src/spe/element.h /root/repo/src/spe/operator.h \
- /root/repo/src/core/shared_selection.h
+ /root/repo/src/spe/element.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /root/repo/src/spe/operator.h /root/repo/src/core/shared_selection.h

@@ -302,16 +302,18 @@ tests/CMakeFiles/astream_tests.dir/harness/harness_test.cc.o: \
  /usr/include/c++/12/bits/this_thread_sleep.h \
  /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
  /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
- /root/repo/src/core/qos.h /root/repo/src/core/query.h \
- /root/repo/src/common/bitset.h /root/repo/src/spe/aggregate.h \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /root/repo/src/core/push_result.h /root/repo/src/core/qos.h \
+ /root/repo/src/core/query.h /root/repo/src/common/bitset.h \
+ /root/repo/src/spe/aggregate.h /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h /root/repo/src/spe/row.h \
  /root/repo/src/spe/state.h /root/repo/src/common/status.h \
  /root/repo/src/spe/window.h /root/repo/src/common/clock.h \
  /root/repo/src/core/router.h /root/repo/src/core/changelog.h \
- /root/repo/src/spe/element.h /root/repo/src/spe/operator.h \
- /root/repo/src/core/shared_aggregation.h \
+ /root/repo/src/spe/element.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /root/repo/src/spe/operator.h /root/repo/src/core/shared_aggregation.h \
  /root/repo/src/core/shared_operator.h /root/repo/src/core/slice_store.h \
  /root/repo/src/core/slicing.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \

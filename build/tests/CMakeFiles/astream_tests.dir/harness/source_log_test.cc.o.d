@@ -223,16 +223,21 @@ tests/CMakeFiles/astream_tests.dir/harness/source_log_test.cc.o: \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /usr/include/c++/12/mutex /root/repo/src/core/qos.h \
- /root/repo/src/core/query.h /root/repo/src/common/bitset.h \
- /usr/include/c++/12/cassert /usr/include/assert.h \
- /root/repo/src/spe/aggregate.h /root/repo/src/spe/row.h \
- /root/repo/src/spe/state.h /root/repo/src/common/status.h \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/spe/window.h \
- /root/repo/src/common/clock.h /root/repo/src/core/router.h \
- /root/repo/src/core/changelog.h /root/repo/src/spe/element.h \
- /root/repo/src/spe/operator.h /root/repo/src/core/shared_aggregation.h \
+ /usr/include/c++/12/mutex /root/repo/src/core/push_result.h \
+ /root/repo/src/core/qos.h /root/repo/src/core/query.h \
+ /root/repo/src/common/bitset.h /usr/include/c++/12/cassert \
+ /usr/include/assert.h /root/repo/src/spe/aggregate.h \
+ /root/repo/src/spe/row.h /root/repo/src/spe/state.h \
+ /root/repo/src/common/status.h /usr/include/c++/12/optional \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/spe/window.h /root/repo/src/common/clock.h \
+ /root/repo/src/core/router.h /root/repo/src/core/changelog.h \
+ /root/repo/src/spe/element.h /root/repo/src/obs/metrics.h \
+ /root/repo/src/obs/trace.h /usr/include/c++/12/chrono \
+ /usr/include/c++/12/sstream /usr/include/c++/12/istream \
+ /usr/include/c++/12/bits/istream.tcc \
+ /usr/include/c++/12/bits/sstream.tcc /root/repo/src/spe/operator.h \
+ /root/repo/src/core/shared_aggregation.h \
  /root/repo/src/core/shared_operator.h /root/repo/src/core/slice_store.h \
  /root/repo/src/core/slicing.h /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
@@ -263,8 +268,7 @@ tests/CMakeFiles/astream_tests.dir/harness/source_log_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/statx-generic.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx_timestamp.h \
  /usr/include/x86_64-linux-gnu/bits/types/struct_statx.h \
- /usr/include/c++/12/iostream /usr/include/c++/12/istream \
- /usr/include/c++/12/bits/istream.tcc /usr/include/c++/12/locale \
+ /usr/include/c++/12/iostream /usr/include/c++/12/locale \
  /usr/include/c++/12/bits/locale_facets_nonio.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/time_members.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/messages_members.h \
@@ -299,7 +303,6 @@ tests/CMakeFiles/astream_tests.dir/harness/source_log_test.cc.o: \
  /usr/include/x86_64-linux-gnu/bits/types/idtype_t.h \
  /usr/lib/gcc/x86_64-linux-gnu/12/include/float.h \
  /usr/include/c++/12/iomanip /usr/include/c++/12/bits/quoted_string.h \
- /usr/include/c++/12/sstream /usr/include/c++/12/bits/sstream.tcc \
  /root/miniconda/include/gtest/gtest-message.h \
  /root/miniconda/include/gtest/internal/gtest-filepath.h \
  /root/miniconda/include/gtest/internal/gtest-string.h \

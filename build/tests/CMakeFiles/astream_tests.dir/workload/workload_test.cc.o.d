@@ -303,4 +303,5 @@ tests/CMakeFiles/astream_tests.dir/workload/workload_test.cc.o: \
  /usr/include/c++/12/mutex /usr/include/c++/12/bits/chrono.h \
  /usr/include/c++/12/ratio /usr/include/c++/12/bits/unique_lock.h \
  /root/repo/src/common/status.h /root/repo/src/spe/window.h \
- /root/repo/src/common/clock.h /root/repo/src/workload/scenario.h
+ /root/repo/src/common/clock.h /root/repo/src/core/query_builder.h \
+ /root/repo/src/workload/scenario.h

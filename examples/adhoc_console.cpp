@@ -23,17 +23,19 @@
 
 #include "common/rng.h"
 #include "core/astream.h"
+#include "core/query_builder.h"
 
 namespace {
 
+using astream::Result;
 using astream::ManualClock;
 using astream::Rng;
 using astream::core::AStreamJob;
 using astream::core::CmpOp;
 using astream::core::Predicate;
+using astream::core::QueryBuilder;
 using astream::core::QueryDescriptor;
 using astream::core::QueryId;
-using astream::core::QueryKind;
 using astream::spe::Row;
 
 bool ParseOp(const std::string& s, CmpOp* op) {
@@ -73,28 +75,35 @@ class Console {
     if (cmd == "agg") {
       long window = 0;
       in >> window;
-      QueryDescriptor d;
-      d.kind = QueryKind::kAggregation;
-      d.window = astream::spe::WindowSpec::Tumbling(window);
-      d.agg = {astream::spe::AggKind::kSum, 1};
+      auto builder = QueryBuilder::Aggregation().TumblingWindow(window);
+      int agg_column = 1;
       std::string kw;
       while (in >> kw) {
         if (kw == "col") {
-          in >> d.agg.column;
-        } else if (kw == "where" && !ParseWhere(in, &d.select_a)) {
-          std::printf("  bad where clause\n");
-          return;
+          in >> agg_column;
+        } else if (kw == "where") {
+          std::vector<Predicate> preds;
+          if (!ParseWhere(in, &preds)) {
+            std::printf("  bad where clause\n");
+            return;
+          }
+          for (const Predicate& p : preds) {
+            builder.WhereA(p.column, p.op, p.constant);
+          }
         }
       }
-      Submit(d);
+      Submit(builder.Agg(astream::spe::AggKind::kSum, agg_column).Build());
     } else if (cmd == "sel") {
-      QueryDescriptor d;
-      d.kind = QueryKind::kSelection;
-      if (!ParsePredicateArgs(in, &d.select_a)) {
+      std::vector<Predicate> preds;
+      if (!ParsePredicateArgs(in, &preds)) {
         std::printf("  usage: sel <col> <op> <val>\n");
         return;
       }
-      Submit(d);
+      auto builder = QueryBuilder::Selection();
+      for (const Predicate& p : preds) {
+        builder.WhereA(p.column, p.op, p.constant);
+      }
+      Submit(builder.Build());
     } else if (cmd == "del") {
       long long id = 0;
       in >> id;
@@ -135,15 +144,19 @@ class Console {
     return ParsePredicateArgs(in, out);
   }
 
-  void Submit(const QueryDescriptor& d) {
-    auto id = job_->Submit(d);
+  void Submit(const Result<QueryDescriptor>& built) {
+    if (!built.ok()) {
+      std::printf("  rejected: %s\n", built.status().ToString().c_str());
+      return;
+    }
+    auto id = job_->Submit(*built);
     if (!id.ok()) {
       std::printf("  rejected: %s\n", id.status().ToString().c_str());
       return;
     }
     job_->Pump(true);
     std::printf("  live as Q%lld (%s)\n", (long long)*id,
-                d.ToString().c_str());
+                built->ToString().c_str());
   }
 
   void Stream(long ms) {

@@ -16,33 +16,20 @@
 
 #include "common/rng.h"
 #include "core/astream.h"
+#include "core/query_builder.h"
 
 using astream::ManualClock;
 using astream::Rng;
 using astream::core::AStreamJob;
 using astream::core::CmpOp;
-using astream::core::Predicate;
-using astream::core::QueryDescriptor;
+using astream::core::QueryBuilder;
 using astream::core::QueryId;
-using astream::core::QueryKind;
 using astream::spe::Row;
-using astream::spe::WindowSpec;
 
 namespace {
 
 constexpr int kGeoDE = 1;    // geo codes: 0 = US, 1 = DE, 2 = JP
 constexpr int kLevelPro = 2; // levels: 0 = rookie, 1 = regular, 2 = pro
-
-QueryDescriptor MakeJoin(std::vector<Predicate> ads,
-                         std::vector<Predicate> purchases,
-                         WindowSpec window) {
-  QueryDescriptor d;
-  d.kind = QueryKind::kJoin;
-  d.select_a = std::move(ads);
-  d.select_b = std::move(purchases);
-  d.window = window;
-  return d;
-}
 
 }  // namespace
 
@@ -66,10 +53,11 @@ int main() {
   });
 
   // Q2 is pre-scheduled (long-living, starts with the day).
-  const QueryId q2 = *job->Submit(MakeJoin(
-      {Predicate{2, CmpOp::kGt, 60}},   // A.length > 60
-      {Predicate{2, CmpOp::kLt, 18}},   // P.age < 18
-      WindowSpec::Tumbling(2000)));
+  const QueryId q2 = *job->Submit(*QueryBuilder::Join()
+                                       .WhereA(2, CmpOp::kGt, 60)   // A.length > 60
+                                       .WhereB(2, CmpOp::kLt, 18)   // P.age < 18
+                                       .TumblingWindow(2000)
+                                       .Build());
   job->Pump(true);
   std::printf("t=0s    psychology team starts Q2 (long-living)\n");
 
@@ -95,10 +83,11 @@ int main() {
 
   // The marketing team fires up Q1 ad hoc.
   clock.SetMs(4000);
-  const QueryId q1 = *job->Submit(MakeJoin(
-      {Predicate{1, CmpOp::kEq, kGeoDE}},  // A.geo == DE
-      {Predicate{1, CmpOp::kGt, 50}},      // P.price > 50
-      WindowSpec::Sliding(3000, 1000)));
+  const QueryId q1 = *job->Submit(*QueryBuilder::Join()
+                                       .WhereA(1, CmpOp::kEq, kGeoDE)  // A.geo == DE
+                                       .WhereB(1, CmpOp::kGt, 50)      // P.price > 50
+                                       .SlidingWindow(3000, 1000)
+                                       .Build());
   job->Pump(true);
   std::printf("t=4s    marketing team starts Q1 (ad-hoc)\n");
 
@@ -106,10 +95,11 @@ int main() {
 
   // The system spawns Q3 for a pro-player session.
   clock.SetMs(8000);
-  const QueryId q3 = *job->Submit(MakeJoin(
-      {Predicate{3, CmpOp::kGt, 10}},        // A.price > 10
-      {Predicate{3, CmpOp::kEq, kLevelPro}}, // P.level == Pro
-      WindowSpec::Tumbling(1500)));
+  const QueryId q3 = *job->Submit(*QueryBuilder::Join()
+                                       .WhereA(3, CmpOp::kGt, 10)         // A.price > 10
+                                       .WhereB(3, CmpOp::kEq, kLevelPro)  // P.level == Pro
+                                       .TumblingWindow(1500)
+                                       .Build());
   job->Pump(true);
   std::printf("t=8s    session trigger starts Q3 (system, ad-hoc)\n");
 

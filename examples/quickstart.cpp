@@ -8,16 +8,14 @@
 #include <cstdio>
 
 #include "core/astream.h"
+#include "core/query_builder.h"
 
 using astream::core::AStreamJob;
 using astream::core::CmpOp;
-using astream::core::Predicate;
-using astream::core::QueryDescriptor;
+using astream::core::QueryBuilder;
 using astream::core::QueryId;
-using astream::core::QueryKind;
 using astream::spe::AggKind;
 using astream::spe::Row;
-using astream::spe::WindowSpec;
 
 int main() {
   // A deterministic clock keeps this example reproducible; real
@@ -50,18 +48,15 @@ int main() {
 
   // --- Ad-hoc query #1: a selection. "Give me every event whose first
   // field is below 50" — think of it as a live debugging tap.
-  QueryDescriptor tap;
-  tap.kind = QueryKind::kSelection;
-  tap.select_a = {Predicate{1, CmpOp::kLt, 50}};
-  const QueryId q_tap = *job->Submit(tap);
+  const QueryId q_tap = *job->Submit(
+      *QueryBuilder::Selection().WhereA(1, CmpOp::kLt, 50).Build());
 
   // --- Ad-hoc query #2: a windowed aggregation. "Per key, the sum of
   // field 1 over 1-second tumbling windows."
-  QueryDescriptor sums;
-  sums.kind = QueryKind::kAggregation;
-  sums.window = WindowSpec::Tumbling(1000);
-  sums.agg = {AggKind::kSum, 1};
-  const QueryId q_sums = *job->Submit(sums);
+  const QueryId q_sums = *job->Submit(*QueryBuilder::Aggregation()
+                                           .TumblingWindow(1000)
+                                           .Agg(AggKind::kSum, 1)
+                                           .Build());
 
   job->Pump(/*force=*/true);  // flush the session batch -> both go live
   std::printf("submitted tap=Q%lld and sums=Q%lld\n\n",

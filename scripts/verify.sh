@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Repo verification: tier-1 build + full test suite, then a
+# ThreadSanitizer build running the concurrency-sensitive subset (the
+# threaded-equivalence suite plus the lock-free metrics/observability
+# tests). Usage: scripts/verify.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+
+echo "== tier 1: build + ctest =="
+cmake -B build -S . >/dev/null
+cmake --build build -j
+(cd build && ctest --output-on-failure -j)
+
+if [[ "$SKIP_TSAN" == "1" ]]; then
+  echo "== tsan: skipped (--skip-tsan) =="
+  exit 0
+fi
+
+echo "== tsan: build =="
+cmake -B build-tsan -S . -DASTREAM_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j --target astream_tests
+
+echo "== tsan: threaded equivalence + observability tests =="
+# TSAN_OPTIONS makes any race a hard failure.
+TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+  ./build-tsan/tests/astream_tests \
+  --gtest_filter='*ThreadedEquivalence*:*Metrics*:*Histogram*:*TraceSink*:*SeriesCache*'
+
+echo "verify: OK"

@@ -11,7 +11,16 @@ AStreamJob::AStreamJob(Options options)
     : options_(options),
       clock_(options.clock != nullptr ? options.clock
                                       : WallClock::Default()),
-      session_(options.session) {}
+      metrics_(options.enable_metrics),
+      trace_(options.enable_trace),
+      session_(options.session) {
+  if (metrics_.enabled()) {
+    m_push_accepted_ = metrics_.GetCounter("job.push_accepted");
+    m_push_clamped_ = metrics_.GetCounter("job.push_clamped");
+    m_push_backpressure_ = metrics_.GetCounter("job.push_backpressure");
+    m_deploy_latency_ = metrics_.GetHistogram("job.deploy_latency_ms");
+  }
+}
 
 AStreamJob::~AStreamJob() { Stop(); }
 
@@ -37,6 +46,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
       cfg.side = side;
       cfg.measure_overhead = overhead;
       cfg.use_predicate_index = options_.use_predicate_index;
+      cfg.metrics = &metrics_;
       auto op = std::make_unique<SharedSelection>(cfg);
       {
         std::lock_guard<std::mutex> lock(ops_mutex_);
@@ -51,6 +61,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
     cfg.hosts = std::move(hosts);
     cfg.initial_mode = options_.initial_mode;
     cfg.adaptive_mode = options_.adaptive_mode;
+    cfg.metrics = &metrics_;
     return cfg;
   };
 
@@ -74,6 +85,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         };
         cfg.shared.initial_mode = options_.initial_mode;
         cfg.shared.adaptive_mode = options_.adaptive_mode;
+        cfg.shared.metrics = &metrics_;
         cfg.num_ports = 1;
         auto op = std::make_unique<SharedAggregation>(std::move(cfg));
         {
@@ -94,6 +106,9 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         RouterOperator::Config cfg;
         cfg.num_ports = 2;
         cfg.measure_overhead = overhead;
+        cfg.metrics = &metrics_;
+        cfg.trace = &trace_;
+        cfg.clock = clock_;
         cfg.routes_raw = [](const ActiveQuery& q, int port) {
           return port == 0 && q.desc.kind == QueryKind::kSelection;
         };
@@ -155,6 +170,9 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         RouterOperator::Config cfg;
         cfg.num_ports = 2;
         cfg.measure_overhead = overhead;
+        cfg.metrics = &metrics_;
+        cfg.trace = &trace_;
+        cfg.clock = clock_;
         cfg.routes_raw = [](const ActiveQuery& q, int port) {
           if (port == 0) return q.desc.kind == QueryKind::kSelection;
           return q.desc.kind == QueryKind::kJoin;
@@ -227,6 +245,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         };
         cfg.shared.initial_mode = options_.initial_mode;
         cfg.shared.adaptive_mode = options_.adaptive_mode;
+        cfg.shared.metrics = &metrics_;
         cfg.num_ports = stages;
         cfg.port_filter = [](const ActiveQuery& q, int port) {
           return q.desc.join_depth == port + 1;
@@ -253,6 +272,9 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         RouterOperator::Config cfg;
         cfg.num_ports = 2;
         cfg.measure_overhead = overhead;
+        cfg.metrics = &metrics_;
+        cfg.trace = &trace_;
+        cfg.clock = clock_;
         cfg.routes_raw = [](const ActiveQuery& q, int port) {
           return port == 0 && q.desc.kind == QueryKind::kSelection;
         };
@@ -331,6 +353,11 @@ void AStreamJob::HandleSink(int stage, int instance,
       }
       for (const auto& [id, latency] : latencies) {
         qos_.RecordDeployment(id, latency);
+        if (m_deploy_latency_ != nullptr) m_deploy_latency_->Record(latency);
+        if (obs::QuerySeries* s = metrics_.SeriesFor(id)) {
+          s->deploy_latency_ms.Record(latency);
+        }
+        trace_.Record(obs::TraceEventKind::kDeployAck, id, latency);
       }
       ack_cv_.notify_all();
       break;
@@ -349,17 +376,32 @@ TimestampMs AStreamJob::ClampToMarkers(TimestampMs event_time) {
   return std::max(event_time, session_.last_marker_time());
 }
 
-bool AStreamJob::PushA(TimestampMs event_time, spe::Row row) {
-  return runner_->Push(
-      input_a_, spe::StreamElement::MakeRecord(ClampToMarkers(event_time),
-                                               std::move(row)));
+PushResult AStreamJob::PushA(TimestampMs event_time, spe::Row row) {
+  return PushTo(input_a_, event_time, std::move(row));
 }
 
-bool AStreamJob::PushB(TimestampMs event_time, spe::Row row) {
-  if (input_b_ < 0) return false;
-  return runner_->Push(
-      input_b_, spe::StreamElement::MakeRecord(ClampToMarkers(event_time),
-                                               std::move(row)));
+PushResult AStreamJob::PushB(TimestampMs event_time, spe::Row row) {
+  return PushTo(input_b_, event_time, std::move(row));
+}
+
+PushResult AStreamJob::PushTo(int input, TimestampMs event_time,
+                              spe::Row row) {
+  if (input < 0 || !started_ || finished_) {
+    if (m_push_backpressure_ != nullptr) m_push_backpressure_->Add();
+    return PushResult::kBackpressure;
+  }
+  const TimestampMs pushed_time = ClampToMarkers(event_time);
+  if (!runner_->Push(input, spe::StreamElement::MakeRecord(pushed_time,
+                                                           std::move(row)))) {
+    if (m_push_backpressure_ != nullptr) m_push_backpressure_->Add();
+    return PushResult::kBackpressure;
+  }
+  if (pushed_time != event_time) {
+    if (m_push_clamped_ != nullptr) m_push_clamped_->Add();
+    return PushResult::kLateClamped;
+  }
+  if (m_push_accepted_ != nullptr) m_push_accepted_->Add();
+  return PushResult::kAccepted;
 }
 
 void AStreamJob::PushWatermark(TimestampMs watermark) {
@@ -421,23 +463,44 @@ Status AStreamJob::ValidateQuery(const QueryDescriptor& desc) const {
 }
 
 Result<QueryId> AStreamJob::Submit(const QueryDescriptor& desc) {
+  if (!started_) {
+    return Status::FailedPrecondition(
+        "Submit() before Start(): the job is not running");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "Submit() on a finished job: it was stopped or drained "
+        "(FinishAndWait()/Stop()) and accepts no new queries");
+  }
   ASTREAM_RETURN_IF_ERROR(ValidateQuery(desc));
   QueryId id;
   {
     std::lock_guard<std::mutex> lock(session_mutex_);
     id = session_.Submit(desc, clock_->NowMs());
   }
+  trace_.Record(obs::TraceEventKind::kSubmit, id);
   Pump(false);
   return id;
 }
 
 Status AStreamJob::Cancel(QueryId id) {
+  if (!started_) {
+    return Status::FailedPrecondition(
+        "Cancel() before Start(): the job is not running");
+  }
+  if (finished_) {
+    return Status::FailedPrecondition(
+        "Cancel() on a finished job: it was stopped or drained");
+  }
   Status s;
   {
     std::lock_guard<std::mutex> lock(session_mutex_);
     s = session_.Cancel(id, clock_->NowMs());
   }
-  if (s.ok()) Pump(false);
+  if (s.ok()) {
+    trace_.Record(obs::TraceEventKind::kCancel, id);
+    Pump(false);
+  }
   return s;
 }
 
@@ -452,6 +515,9 @@ int AStreamJob::Pump(bool force) {
       if (log != nullptr) mode_switch = session_.TakeModeSwitch();
     }
     if (log == nullptr) break;
+    // Recorded before the injection: in sync mode the marker propagates
+    // (and deploy acks fire) inside InjectMarker itself.
+    trace_.Record(obs::TraceEventKind::kChangelogFlush, -1, log->epoch);
     runner_->InjectMarker(Changelog::MakeMarker(log));
     ++injected;
     if (mode_switch.has_value()) {
@@ -494,6 +560,7 @@ int64_t AStreamJob::TriggerCheckpoint() {
     marker.time = clock_->NowMs();
     runner_->InjectMarker(marker);
   }
+  trace_.Record(obs::TraceEventKind::kCheckpoint, -1, id);
   return id;
 }
 
@@ -514,6 +581,7 @@ void AStreamJob::FinishAndWait() {
   Pump(true);
   runner_->FinishAndWait();
   finished_ = true;
+  trace_.Record(obs::TraceEventKind::kFinish);
 }
 
 void AStreamJob::Stop() {
@@ -557,6 +625,39 @@ AStreamJob::OperatorStats AStreamJob::CollectStats() const {
 size_t AStreamJob::QueuedElements() const {
   auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());
   return threaded == nullptr ? 0 : threaded->TotalQueuedElements();
+}
+
+obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
+  if (metrics_.enabled()) {
+    {
+      std::lock_guard<std::mutex> lock(session_mutex_);
+      metrics_.GetGauge("session.active_queries")
+          ->Set(static_cast<int64_t>(session_.num_active()));
+      metrics_.GetGauge("session.pending_queries")
+          ->Set(static_cast<int64_t>(session_.num_pending()));
+      metrics_.GetGauge("session.num_slots")
+          ->Set(static_cast<int64_t>(session_.num_slots()));
+    }
+    if (runner_ != nullptr) {
+      auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());
+      metrics_.GetGauge("runner.queued_elements")
+          ->Set(threaded == nullptr
+                    ? 0
+                    : static_cast<int64_t>(threaded->TotalQueuedElements()));
+      for (int s = 0; s < runner_->NumStages(); ++s) {
+        const std::string prefix = "stage." + runner_->StageName(s) + ".";
+        metrics_.GetGauge(prefix + "records_in")
+            ->Set(runner_->StageRecordsIn(s));
+        metrics_.GetGauge(prefix + "records_out")
+            ->Set(runner_->StageRecordsOut(s));
+        if (threaded != nullptr) {
+          metrics_.GetGauge(prefix + "queue_depth")
+              ->Set(static_cast<int64_t>(threaded->StageQueuedElements(s)));
+        }
+      }
+    }
+  }
+  return metrics_.TakeSnapshot();
 }
 
 }  // namespace astream::core

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <vector>
 
+#include "core/push_result.h"
 #include "core/qos.h"
 #include "core/query.h"
 #include "core/router.h"
@@ -14,6 +15,8 @@
 #include "core/shared_join.h"
 #include "core/shared_selection.h"
 #include "core/shared_session.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spe/runner.h"
 
 namespace astream::core {
@@ -54,6 +57,12 @@ class AStreamJob {
     /// Join-stage count available for complex queries (1..kMaxJoinDepth).
     int max_join_stages = kMaxJoinDepth;
     Clock* clock = nullptr;  // defaults to WallClock
+    /// Per-query metrics registry (counters, gauges, latency histograms).
+    /// Disabled, instrumentation costs one predicted branch per record.
+    bool enable_metrics = true;
+    /// Structured lifecycle trace (submit → changelog flush → deploy ack →
+    /// first result → cancel), exportable as JSON-lines.
+    bool enable_trace = true;
   };
 
   using ResultCallback =
@@ -68,14 +77,18 @@ class AStreamJob {
   Status Start();
 
   /// Data input (event-time order per stream). Stream B exists only for
-  /// join/complex topologies.
-  bool PushA(TimestampMs event_time, spe::Row row);
-  bool PushB(TimestampMs event_time, spe::Row row);
+  /// join/complex topologies. Returns kBackpressure when the tuple was
+  /// refused (job not started / finished / cancelled; no stream B) and
+  /// kLateClamped when the event time was nudged onto the latest changelog
+  /// marker (see PushResult).
+  PushResult PushA(TimestampMs event_time, spe::Row row);
+  PushResult PushB(TimestampMs event_time, spe::Row row);
   /// Advances the watermark on all input streams.
   void PushWatermark(TimestampMs watermark);
 
   /// Submits an ad-hoc query (must match the topology family). The query
-  /// goes live when its changelog batch deploys.
+  /// goes live when its changelog batch deploys. Fails with
+  /// FailedPrecondition before Start() or after FinishAndWait()/Stop().
   Result<QueryId> Submit(const QueryDescriptor& desc);
   Status Cancel(QueryId id);
 
@@ -110,6 +123,18 @@ class AStreamJob {
   QosMonitor& qos() { return qos_; }
   const SharedSession& session() const { return session_; }
 
+  /// Observability (see DESIGN.md "Observability"). The registry collects
+  /// named counters/gauges/histograms plus per-query series; the trace
+  /// sink collects lifecycle events. Both live as long as the job.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+  obs::TraceSink& trace() { return trace_; }
+  const obs::TraceSink& trace() const { return trace_; }
+
+  /// Samples the instantaneous gauges (per-stage records in/out, channel
+  /// queue depths, active queries) into the registry, then snapshots it.
+  obs::MetricsRegistry::Snapshot MetricsSnapshot();
+
   /// Aggregated operator instrumentation (Fig. 18 and observability).
   struct OperatorStats {
     int64_t queryset_nanos = 0;   // shared selections
@@ -131,14 +156,23 @@ class AStreamJob {
   explicit AStreamJob(Options options);
 
   spe::TopologySpec BuildTopology();
+  PushResult PushTo(int input, TimestampMs event_time, spe::Row row);
   void HandleSink(int stage, int instance, const spe::StreamElement& el);
   Status ValidateQuery(const QueryDescriptor& desc) const;
   TimestampMs ClampToMarkers(TimestampMs event_time);
 
   Options options_;
   Clock* clock_;
+  obs::MetricsRegistry metrics_;
+  obs::TraceSink trace_;
   SharedSession session_;
   QosMonitor qos_;
+
+  // Facade-level cached metric pointers (lock-free recording).
+  obs::Counter* m_push_accepted_ = nullptr;
+  obs::Counter* m_push_clamped_ = nullptr;
+  obs::Counter* m_push_backpressure_ = nullptr;
+  obs::Histogram* m_deploy_latency_ = nullptr;
   spe::CheckpointStore checkpoint_store_;
   std::unique_ptr<spe::Runner> runner_;
 

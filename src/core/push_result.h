@@ -1,0 +1,44 @@
+#ifndef ASTREAM_CORE_PUSH_RESULT_H_
+#define ASTREAM_CORE_PUSH_RESULT_H_
+
+#include <cstdint>
+
+namespace astream::core {
+
+/// Outcome of pushing one tuple into a job. The old `bool` return
+/// conflated "dropped" with "accepted but adjusted"; callers need to tell
+/// the cases apart to attribute drop causes (see ISSUE: per-query cost
+/// accounting).
+enum class PushResult : uint8_t {
+  /// The tuple entered the stream unmodified.
+  kAccepted,
+  /// The tuple was refused: the job is not started, already finished, or
+  /// the runner was cancelled. The tuple is lost; the caller may retry
+  /// later or treat it as backpressure.
+  kBackpressure,
+  /// The tuple was accepted, but its event time was clamped forward onto
+  /// the latest changelog marker time to preserve the marker-alignment
+  /// invariant (it arrived "late" relative to the control plane).
+  kLateClamped,
+};
+
+inline const char* PushResultName(PushResult r) {
+  switch (r) {
+    case PushResult::kAccepted:
+      return "accepted";
+    case PushResult::kBackpressure:
+      return "backpressure";
+    case PushResult::kLateClamped:
+      return "late_clamped";
+  }
+  return "unknown";
+}
+
+/// True when the tuple entered the stream (possibly clamped).
+inline bool Accepted(PushResult r) {
+  return r != PushResult::kBackpressure;
+}
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_PUSH_RESULT_H_

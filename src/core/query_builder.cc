@@ -1,0 +1,128 @@
+#include "core/query_builder.h"
+
+#include <utility>
+
+namespace astream::core {
+
+QueryBuilder::QueryBuilder(QueryKind kind) { desc_.kind = kind; }
+
+void QueryBuilder::Fail(std::string error) {
+  if (status_.ok()) status_ = Status::InvalidArgument(std::move(error));
+}
+
+QueryBuilder& QueryBuilder::WhereA(int column, CmpOp op, spe::Value constant) {
+  if (!status_.ok()) return *this;
+  if (column < 0) {
+    Fail("WhereA: column must be >= 0, got " + std::to_string(column));
+    return *this;
+  }
+  desc_.select_a.push_back(Predicate{column, op, constant});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereB(int column, CmpOp op, spe::Value constant) {
+  if (!status_.ok()) return *this;
+  if (!desc_.HasJoin()) {
+    Fail(std::string("WhereB: only join/complex queries read stream B (") +
+         QueryKindName(desc_.kind) + " query)");
+    return *this;
+  }
+  if (column < 0) {
+    Fail("WhereB: column must be >= 0, got " + std::to_string(column));
+    return *this;
+  }
+  desc_.select_b.push_back(Predicate{column, op, constant});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Window(const spe::WindowSpec& spec) {
+  if (!status_.ok()) return *this;
+  if (desc_.kind == QueryKind::kSelection) {
+    Fail("Window: selection queries are unwindowed");
+    return *this;
+  }
+  if (has_window_) {
+    Fail("Window: window already set");
+    return *this;
+  }
+  if (spec.IsTimeWindow()) {
+    if (spec.length <= 0) {
+      Fail("Window: length must be > 0, got " + std::to_string(spec.length));
+      return *this;
+    }
+    if (spec.slide <= 0 || spec.slide > spec.length) {
+      Fail("Window: slide must be in (0, length], got slide=" +
+           std::to_string(spec.slide) + " length=" +
+           std::to_string(spec.length));
+      return *this;
+    }
+  } else if (spec.gap <= 0) {
+    Fail("Window: session gap must be > 0, got " + std::to_string(spec.gap));
+    return *this;
+  }
+  desc_.window = spec;
+  has_window_ = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::TumblingWindow(TimestampMs length) {
+  return Window(spe::WindowSpec::Tumbling(length));
+}
+
+QueryBuilder& QueryBuilder::SlidingWindow(TimestampMs length,
+                                          TimestampMs slide) {
+  return Window(spe::WindowSpec::Sliding(length, slide));
+}
+
+QueryBuilder& QueryBuilder::SessionWindow(TimestampMs gap) {
+  return Window(spe::WindowSpec::Session(gap));
+}
+
+QueryBuilder& QueryBuilder::Agg(spe::AggKind kind, int column) {
+  if (!status_.ok()) return *this;
+  if (!desc_.HasAgg()) {
+    Fail(std::string("Agg: only aggregation/complex queries aggregate (") +
+         QueryKindName(desc_.kind) + " query)");
+    return *this;
+  }
+  if (column < 0) {
+    Fail("Agg: column must be >= 0, got " + std::to_string(column));
+    return *this;
+  }
+  if (has_agg_) {
+    Fail("Agg: aggregation already set");
+    return *this;
+  }
+  desc_.agg = spe::AggSpec{kind, column};
+  has_agg_ = true;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::JoinDepth(int depth) {
+  if (!status_.ok()) return *this;
+  if (desc_.kind != QueryKind::kComplex) {
+    Fail(std::string("JoinDepth: only complex queries chain joins (") +
+         QueryKindName(desc_.kind) + " query)");
+    return *this;
+  }
+  if (depth < 1 || depth > kMaxJoinDepth) {
+    Fail("JoinDepth: depth must be in [1, " + std::to_string(kMaxJoinDepth) +
+         "], got " + std::to_string(depth));
+    return *this;
+  }
+  desc_.join_depth = depth;
+  return *this;
+}
+
+Result<QueryDescriptor> QueryBuilder::Build() const {
+  if (!status_.ok()) return status_;
+  if (desc_.HasWindow() && !has_window_) {
+    return Status::InvalidArgument(
+        std::string("Build: ") + QueryKindName(desc_.kind) +
+        " query needs a window (call TumblingWindow/SlidingWindow/"
+        "SessionWindow)");
+  }
+  return desc_;
+}
+
+}  // namespace astream::core

@@ -1,0 +1,76 @@
+#ifndef ASTREAM_CORE_QUERY_BUILDER_H_
+#define ASTREAM_CORE_QUERY_BUILDER_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace astream::core {
+
+/// Fluent, eagerly-validating constructor for QueryDescriptor.
+///
+///   auto q = QueryBuilder::Selection()
+///                .WhereA(1, CmpOp::kLt, 50)
+///                .Build();
+///   auto j = QueryBuilder::Join()
+///                .WhereA(1, CmpOp::kGt, 10)
+///                .WhereB(2, CmpOp::kLe, 99)
+///                .TumblingWindow(1000)
+///                .Build();
+///
+/// Each setter validates its arguments immediately; the first error is
+/// latched and every later call becomes a no-op, so `Build()` reports the
+/// first mistake with a message naming the offending setter. `Build()`
+/// additionally enforces cross-field rules (e.g. windowed kinds need a
+/// window, selections must not have one).
+class QueryBuilder {
+ public:
+  static QueryBuilder Selection() { return QueryBuilder(QueryKind::kSelection); }
+  static QueryBuilder Aggregation() {
+    return QueryBuilder(QueryKind::kAggregation);
+  }
+  static QueryBuilder Join() { return QueryBuilder(QueryKind::kJoin); }
+  static QueryBuilder Complex() { return QueryBuilder(QueryKind::kComplex); }
+
+  /// Adds `row[column] op constant` to the stream-A conjunction.
+  QueryBuilder& WhereA(int column, CmpOp op, spe::Value constant);
+  /// Adds `row[column] op constant` to the stream-B conjunction (join kinds
+  /// only).
+  QueryBuilder& WhereB(int column, CmpOp op, spe::Value constant);
+
+  /// Sets the window of the aggregation / join stages.
+  QueryBuilder& Window(const spe::WindowSpec& spec);
+  QueryBuilder& TumblingWindow(TimestampMs length);
+  QueryBuilder& SlidingWindow(TimestampMs length, TimestampMs slide);
+  QueryBuilder& SessionWindow(TimestampMs gap);
+
+  /// Sets the aggregation function and input column (aggregation kinds
+  /// only).
+  QueryBuilder& Agg(spe::AggKind kind, int column);
+
+  /// Sets the join chain length of a complex query (1..kMaxJoinDepth).
+  QueryBuilder& JoinDepth(int depth);
+
+  /// Finalizes the descriptor, or returns the first validation error.
+  Result<QueryDescriptor> Build() const;
+
+  /// OK while no setter has failed. Lets callers bail out early when
+  /// assembling a builder across several statements.
+  const Status& status() const { return status_; }
+
+ private:
+  explicit QueryBuilder(QueryKind kind);
+
+  /// Latches `error` if no earlier error was recorded.
+  void Fail(std::string error);
+
+  QueryDescriptor desc_;
+  Status status_;
+  bool has_window_ = false;
+  bool has_agg_ = false;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_QUERY_BUILDER_H_

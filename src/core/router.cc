@@ -6,13 +6,39 @@
 
 namespace astream::core {
 
-RouterOperator::RouterOperator(Config config) : config_(std::move(config)) {
+RouterOperator::RouterOperator(Config config)
+    : config_(std::move(config)),
+      metrics_on_(config_.metrics != nullptr && config_.metrics->enabled()),
+      series_cache_(config_.metrics) {
   if (!config_.routes_raw) {
     config_.routes_raw = [](const ActiveQuery& q, int port) {
       (void)port;
       return q.desc.kind == QueryKind::kSelection;
     };
   }
+  if (config_.clock == nullptr) config_.clock = WallClock::Default();
+}
+
+void RouterOperator::NoteEmit(QueryId id, obs::QuerySeries* series,
+                              TimestampMs event_time) {
+  obs::QuerySeries* s = series != nullptr ? series : series_cache_.For(id);
+  if (s == nullptr) return;
+  s->records_emitted.Add();
+  s->event_latency_ms.Record(config_.clock->NowMs() - event_time);
+  if (!s->first_result_seen.load(std::memory_order_relaxed) &&
+      !s->first_result_seen.exchange(true, std::memory_order_relaxed) &&
+      config_.trace != nullptr) {
+    config_.trace->Record(obs::TraceEventKind::kFirstResult, id,
+                          config_.clock->NowMs() - event_time);
+  }
+}
+
+void RouterOperator::RebuildSlotSeries() {
+  if (!metrics_on_) return;
+  slot_series_.assign(table_.num_slots(), nullptr);
+  table_.ForEach([&](const ActiveQuery& q) {
+    slot_series_[q.slot] = series_cache_.For(q.id);
+  });
 }
 
 void RouterOperator::ProcessRecord(int port, spe::Record record,
@@ -23,6 +49,7 @@ void RouterOperator::ProcessRecord(int port, spe::Record record,
   if (record.channel >= 0) {
     // Pre-resolved windowed result: ship as-is, keeping the channel stamp.
     ++records_routed_;
+    if (metrics_on_) NoteEmit(record.channel, nullptr, record.event_time);
     spe::StreamElement el;
     el.kind = spe::ElementKind::kRecord;
     el.record = std::move(record);
@@ -38,6 +65,11 @@ void RouterOperator::ProcessRecord(int port, spe::Record record,
       copy.tags = QuerySet::Single(slot);
       copy.channel = q->id;
       ++records_routed_;
+      if (metrics_on_) {
+        NoteEmit(q->id, slot < slot_series_.size() ? slot_series_[slot]
+                                                   : nullptr,
+                 record.event_time);
+      }
       spe::StreamElement el;
       el.kind = spe::ElementKind::kRecord;
       el.record = std::move(copy);
@@ -63,7 +95,9 @@ void RouterOperator::OnMarker(const spe::ControlMarker& marker,
   if (!s.ok()) {
     ASTREAM_LOG(kError, "router")
         << "changelog apply failed: " << s.ToString();
+    return;
   }
+  RebuildSlotSeries();
 }
 
 Status RouterOperator::SnapshotState(spe::StateWriter* writer) {
@@ -74,6 +108,7 @@ Status RouterOperator::SnapshotState(spe::StateWriter* writer) {
 
 Status RouterOperator::RestoreState(spe::StateReader* reader) {
   ASTREAM_RETURN_IF_ERROR(table_.Restore(reader));
+  RebuildSlotSeries();
   records_routed_ = reader->ReadI64();
   return reader->Ok() ? Status::OK()
                       : Status::Internal("bad router snapshot");

@@ -3,8 +3,12 @@
 
 #include <atomic>
 #include <functional>
+#include <vector>
 
+#include "common/clock.h"
 #include "core/changelog.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "spe/operator.h"
 
 namespace astream::core {
@@ -25,6 +29,15 @@ class RouterOperator : public spe::Operator {
     int num_ports = 1;
     /// When true, per-record copy time is accumulated (Fig. 18).
     bool measure_overhead = false;
+    /// Per-query series sink: records emitted and event-time latency are
+    /// attributed here, at the terminal operator. nullptr or a disabled
+    /// registry costs one branch per record.
+    obs::MetricsRegistry* metrics = nullptr;
+    /// Receives the per-query first-result lifecycle event (may be null).
+    obs::TraceSink* trace = nullptr;
+    /// Wall clock used for event-time latency (defaults to WallClock); jobs
+    /// pass their own clock so tests with ManualClock stay deterministic.
+    Clock* clock = nullptr;
   };
 
   explicit RouterOperator(Config config);
@@ -46,10 +59,18 @@ class RouterOperator : public spe::Operator {
   int64_t records_routed() const { return records_routed_; }
 
  private:
+  /// Counts one shipped record and its event-time latency against `id`.
+  void NoteEmit(QueryId id, obs::QuerySeries* series, TimestampMs event_time);
+  void RebuildSlotSeries();
+
   Config config_;
   ActiveQueryTable table_;
   int64_t records_routed_ = 0;
   std::atomic<int64_t> copy_nanos_{0};
+
+  bool metrics_on_ = false;
+  obs::SeriesCache series_cache_;
+  std::vector<obs::QuerySeries*> slot_series_;  // raw path, rebuilt per changelog
 };
 
 }  // namespace astream::core

@@ -96,6 +96,11 @@ void SharedAggregation::ProcessRecord(int port, spe::Record record,
   NoteEventTime(record.event_time);
   if (record.event_time < current_watermark()) {
     ++records_late_;
+    if (metrics_on()) {
+      (record.tags & port_masks_[port]).ForEachSetBit([&](size_t slot) {
+        if (obs::QuerySeries* s = SeriesForSlot(slot)) s->late_drops.Add();
+      });
+    }
     return;
   }
   QuerySet tags = record.tags & port_masks_[port];
@@ -139,6 +144,8 @@ void SharedAggregation::TriggerWindows(
     // Combine per-key partials across the window's slices, masking slot
     // validity through the CL table (guards slot reuse).
     std::map<spe::Value, spe::Accumulator> combined;
+    obs::QuerySeries* series =
+        metrics_on() ? SeriesForQuery(q.id) : nullptr;
     for (const SliceInfo& s : slices) {
       auto it = stores_.find(s.index);
       if (it == stores_.end()) continue;
@@ -146,6 +153,9 @@ void SharedAggregation::TriggerWindows(
       if (!tracker().cl_table().SlotUnchanged(last_index, s.index, q.slot)) {
         continue;
       }
+      // Slice partials are computed once at insert time and shared by
+      // every window covering the slice: each combine is a reuse.
+      if (series != nullptr) series->slices_reused.Add();
       it->second.ForEachKey(q.slot,
                             [&](spe::Value key, const spe::Accumulator& acc) {
                               combined[key].Merge(acc);

@@ -18,6 +18,11 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
   NoteEventTime(record.event_time);
   if (record.event_time < current_watermark()) {
     ++records_late_;  // cannot be assigned consistently; dropped
+    if (metrics_on()) {
+      (record.tags & hosted_mask()).ForEachSetBit([&](size_t slot) {
+        if (obs::QuerySeries* s = SeriesForSlot(slot)) s->late_drops.Add();
+      });
+    }
     return;
   }
   QuerySet tags = record.tags & hosted_mask();
@@ -27,15 +32,17 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
   StoreFor(port, slice.index).Insert(record.row, tags);
 }
 
-const std::vector<SharedJoin::JoinedTuple>& SharedJoin::MemoFor(int64_t a,
-                                                                int64_t b) {
+const std::vector<SharedJoin::JoinedTuple>& SharedJoin::MemoFor(
+    int64_t a, int64_t b, bool* computed) {
   const auto key = std::make_pair(a, b);
   auto it = memo_.find(key);
   if (it != memo_.end()) {
     ++pairs_reused_;
+    *computed = false;
     return it->second;
   }
   ++pairs_computed_;
+  *computed = true;
   auto& results = memo_[key];
   auto sa = stores_[0].find(a);
   auto sb = stores_[1].find(b);
@@ -70,7 +77,21 @@ void SharedJoin::TriggerWindows(TimestampMs start, TimestampMs end,
   const TimestampMs result_time = end - 1;
   for (const SliceInfo& a : slices) {
     for (const SliceInfo& b : slices) {
-      for (const JoinedTuple& t : MemoFor(a.index, b.index)) {
+      bool computed = false;
+      const std::vector<JoinedTuple>& tuples =
+          MemoFor(a.index, b.index, &computed);
+      if (metrics_on()) {
+        // The first toucher pays for the pair's computation; every other
+        // query (in this trigger and later ones) reuses the memo.
+        bool charge_compute = computed;
+        for (const TriggeredQuery& tq : queries) {
+          obs::QuerySeries* s = SeriesForQuery(tq.query->id);
+          if (s == nullptr) continue;
+          (charge_compute ? s->slices_computed : s->slices_reused).Add();
+          charge_compute = false;
+        }
+      }
+      for (const JoinedTuple& t : tuples) {
         QuerySet shared_tags = t.tags & active_bits;
         ++bitset_ops_;
         if (shared_tags.Any()) {

@@ -52,7 +52,10 @@ class SharedJoin : public SharedWindowedOperator {
   };
 
   /// Memoized join of A-slice `a` with B-slice `b` (computed on first use).
-  const std::vector<JoinedTuple>& MemoFor(int64_t a, int64_t b);
+  /// `*computed` reports whether this call did the work or hit the memo,
+  /// so callers can attribute reuse to the queries they serve.
+  const std::vector<JoinedTuple>& MemoFor(int64_t a, int64_t b,
+                                          bool* computed);
   TupleStore& StoreFor(int side, int64_t slice_index);
 
   // Per side: slice index -> tuple store.

@@ -100,7 +100,18 @@ void SharedWindowedOperator::ApplyChangelog(const Changelog& log) {
 
   hosted_mask_ = table_.SlotsWhere(config_.hosts);
   if (config_.adaptive_mode) MaybeSwitchMode();
+  RebuildSlotSeries();
   OnActiveSetChanged();
+}
+
+void SharedWindowedOperator::RebuildSlotSeries() {
+  if (!metrics_on_) return;
+  slot_series_.assign(table_.num_slots(), nullptr);
+  table_.ForEach([&](const ActiveQuery& q) {
+    if (hosted_mask_.Test(q.slot)) {
+      slot_series_[q.slot] = series_cache_.For(q.id);
+    }
+  });
 }
 
 void SharedWindowedOperator::MaybeSwitchMode() {
@@ -266,6 +277,7 @@ Status SharedWindowedOperator::RestoreBase(spe::StateReader* reader) {
   }
   hosted_mask_ = reader->ReadBitset();
   current_mode_ = static_cast<StoreMode>(reader->ReadI64());
+  RebuildSlotSeries();
   max_seen_event_time_ = reader->ReadI64();
   current_watermark_ = kMinTimestamp;  // rebuilt by replayed watermarks
   reader->ReadI64();                   // stored watermark (diagnostics only)

@@ -9,6 +9,7 @@
 #include "core/slice_store.h"
 #include "core/slicing.h"
 #include "core/trigger.h"
+#include "obs/metrics.h"
 #include "spe/operator.h"
 
 namespace astream::core {
@@ -34,6 +35,10 @@ struct SharedOperatorConfig {
   /// switch to kList when the average group size of the current open
   /// slices drops below 2, back to kGrouped when grouping would pay again.
   bool adaptive_mode = true;
+
+  /// Per-query series sink (late drops, slice reuse). nullptr or a
+  /// disabled registry costs one branch per record.
+  obs::MetricsRegistry* metrics = nullptr;
 };
 
 /// Base class for SharedJoin and SharedAggregation: owns the active-query
@@ -47,7 +52,9 @@ struct SharedOperatorConfig {
 class SharedWindowedOperator : public spe::Operator {
  public:
   explicit SharedWindowedOperator(SharedOperatorConfig config)
-      : config_(std::move(config)) {}
+      : config_(std::move(config)),
+        metrics_on_(config_.metrics != nullptr && config_.metrics->enabled()),
+        series_cache_(config_.metrics) {}
 
   void OnMarker(const spe::ControlMarker& marker, spe::Collector* out) final;
   void OnWatermark(TimestampMs watermark, spe::Collector* out) final;
@@ -102,6 +109,15 @@ class SharedWindowedOperator : public spe::Operator {
 
   /// Mask of slots hosted by this operator (recomputed per changelog).
   const QuerySet& hosted_mask() const { return hosted_mask_; }
+
+  /// Metrics helpers. `metrics_on()` is the one-branch hot-path guard;
+  /// the per-slot vector is rebuilt on every changelog so slot lookups
+  /// never hash. Draining queries (slot reused) fall back to the id cache.
+  bool metrics_on() const { return metrics_on_; }
+  obs::QuerySeries* SeriesForSlot(size_t slot) {
+    return slot < slot_series_.size() ? slot_series_[slot] : nullptr;
+  }
+  obs::QuerySeries* SeriesForQuery(QueryId id) { return series_cache_.For(id); }
   StoreMode current_mode() const { return current_mode_; }
   TimestampMs max_seen_event_time() const { return max_seen_event_time_; }
   void NoteEventTime(TimestampMs t) {
@@ -115,6 +131,7 @@ class SharedWindowedOperator : public spe::Operator {
 
  private:
   void ApplyChangelog(const Changelog& log);
+  void RebuildSlotSeries();
   void EvictExpired(TimestampMs watermark);
   /// Longest window span any live (active or draining) hosted query needs.
   TimestampMs MaxWindowSpan() const;
@@ -129,6 +146,10 @@ class SharedWindowedOperator : public spe::Operator {
   StoreMode current_mode_ = StoreMode::kGrouped;
   TimestampMs max_seen_event_time_ = kMinTimestamp;
   TimestampMs current_watermark_ = kMinTimestamp;
+
+  bool metrics_on_ = false;
+  obs::SeriesCache series_cache_;
+  std::vector<obs::QuerySeries*> slot_series_;
 };
 
 }  // namespace astream::core

@@ -23,6 +23,15 @@ SharedSelection::SharedSelection(Config config)
       return DefaultHosts(side, q);
     };
   }
+  if (config_.metrics != nullptr && config_.metrics->enabled()) {
+    metrics_on_ = true;
+    const std::string prefix =
+        config_.side == StreamSide::kA ? "selection.a." : "selection.b.";
+    m_records_in_ = config_.metrics->GetCounter(prefix + "records_in");
+    m_records_out_ = config_.metrics->GetCounter(prefix + "records_out");
+    m_records_dropped_ =
+        config_.metrics->GetCounter(prefix + "records_dropped");
+  }
 }
 
 void SharedSelection::RebuildIndex() {
@@ -81,7 +90,15 @@ void SharedSelection::ProcessRecord(int port, spe::Record record,
 
   if (tags.None()) {
     ++records_dropped_;
+    if (metrics_on_) {
+      m_records_in_->Add();
+      m_records_dropped_->Add();
+    }
     return;
+  }
+  if (metrics_on_) {
+    m_records_in_->Add();
+    m_records_out_->Add();
   }
   out->EmitRecord(record.event_time, std::move(record.row),
                   std::move(tags));

@@ -5,6 +5,7 @@
 #include <functional>
 
 #include "core/changelog.h"
+#include "obs/metrics.h"
 #include "spe/operator.h"
 
 namespace astream::core {
@@ -33,6 +34,12 @@ class SharedSelection : public spe::Operator {
     /// paper's future-work direction of grouping similar queries).
     /// When false, every query's conjunction is evaluated independently.
     bool use_predicate_index = true;
+    /// Named-counter sink (`selection.<side>.records_{in,out,dropped}`).
+    /// The selection deliberately records NO per-query series: attributing
+    /// a tuple would mean walking its query-set per record, which breaks
+    /// the hot-path budget; per-query emission is attributed at the router
+    /// instead. nullptr or a disabled registry costs one branch per record.
+    obs::MetricsRegistry* metrics = nullptr;
   };
 
   explicit SharedSelection(Config config);
@@ -78,6 +85,12 @@ class SharedSelection : public spe::Operator {
 
   int64_t records_dropped_ = 0;
   std::atomic<int64_t> queryset_nanos_{0};
+
+  // Cached registry pointers; recording is lock-free (see obs/metrics.h).
+  bool metrics_on_ = false;
+  obs::Counter* m_records_in_ = nullptr;
+  obs::Counter* m_records_out_ = nullptr;
+  obs::Counter* m_records_dropped_ = nullptr;
 };
 
 }  // namespace astream::core

@@ -21,10 +21,10 @@ class AStreamSut : public StreamSut {
     return job_->Start();
   }
 
-  bool PushA(TimestampMs event_time, spe::Row row) override {
+  core::PushResult PushA(TimestampMs event_time, spe::Row row) override {
     return job_->PushA(event_time, std::move(row));
   }
-  bool PushB(TimestampMs event_time, spe::Row row) override {
+  core::PushResult PushB(TimestampMs event_time, spe::Row row) override {
     return job_->PushB(event_time, std::move(row));
   }
   void PushWatermark(TimestampMs watermark) override {

@@ -215,19 +215,19 @@ BaselineSut::SnapshotJobs() const {
   return out;
 }
 
-bool BaselineSut::PushA(TimestampMs event_time, spe::Row row) {
+core::PushResult BaselineSut::PushA(TimestampMs event_time, spe::Row row) {
   for (const auto& job : SnapshotJobs()) {
     job->runner->Push(0, spe::StreamElement::MakeRecord(event_time, row));
   }
-  return true;
+  return core::PushResult::kAccepted;
 }
 
-bool BaselineSut::PushB(TimestampMs event_time, spe::Row row) {
+core::PushResult BaselineSut::PushB(TimestampMs event_time, spe::Row row) {
   for (const auto& job : SnapshotJobs()) {
     if (!job->has_b_input) continue;
     job->runner->Push(1, spe::StreamElement::MakeRecord(event_time, row));
   }
-  return true;
+  return core::PushResult::kAccepted;
 }
 
 void BaselineSut::PushWatermark(TimestampMs watermark) {

@@ -40,8 +40,8 @@ class BaselineSut : public StreamSut {
   ~BaselineSut() override;
 
   Status Start() override;
-  bool PushA(TimestampMs event_time, spe::Row row) override;
-  bool PushB(TimestampMs event_time, spe::Row row) override;
+  core::PushResult PushA(TimestampMs event_time, spe::Row row) override;
+  core::PushResult PushB(TimestampMs event_time, spe::Row row) override;
   void PushWatermark(TimestampMs watermark) override;
   Result<core::QueryId> Submit(const core::QueryDescriptor& desc) override;
   Status Cancel(core::QueryId id) override;

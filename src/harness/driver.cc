@@ -112,12 +112,18 @@ Driver::Report Driver::Run() {
       to_push = std::min<int64_t>(to_push, config_.burst);
     }
     for (int64_t i = 0; i < to_push; ++i) {
+      core::PushResult result;
       if (config_.push_b && push_to_b) {
-        sut_->PushB(now, gen_b.Next());
+        result = sut_->PushB(now, gen_b.Next());
         ++report.pushed_b;
       } else {
-        sut_->PushA(now, gen_a.Next());
+        result = sut_->PushA(now, gen_a.Next());
         ++report.pushed_a;
+      }
+      if (result == core::PushResult::kLateClamped) {
+        ++report.push_clamped;
+      } else if (result == core::PushResult::kBackpressure) {
+        ++report.push_rejected;
       }
       if (config_.push_b) push_to_b = !push_to_b;
     }

@@ -79,4 +79,34 @@ void PrintBanner(const std::string& figure, const std::string& description,
   std::fflush(stdout);
 }
 
+void PrintQueryMetricsTable(const obs::MetricsRegistry::Snapshot& snapshot,
+                            size_t max_rows) {
+  if (snapshot.queries.empty()) return;
+  std::vector<std::pair<int64_t, int64_t>> order;  // (emitted, id)
+  order.reserve(snapshot.queries.size());
+  for (const auto& [id, series] : snapshot.queries) {
+    order.emplace_back(series.records_emitted, id);
+  }
+  std::sort(order.rbegin(), order.rend());
+  if (max_rows > 0 && order.size() > max_rows) order.resize(max_rows);
+
+  Table table({"query", "emitted", "late", "reused", "computed", "lat p50",
+               "lat p95", "lat p99", "deploy"});
+  for (const auto& [emitted, id] : order) {
+    const auto& s = snapshot.queries.at(id);
+    const auto& lat = s.event_latency_ms;
+    table.AddRow({"Q" + std::to_string(id), FormatCount(double(emitted)),
+                  FormatCount(double(s.late_drops)),
+                  FormatCount(double(s.slices_reused)),
+                  FormatCount(double(s.slices_computed)),
+                  lat.count == 0 ? "-" : FormatMs(lat.Percentile(50)),
+                  lat.count == 0 ? "-" : FormatMs(lat.Percentile(95)),
+                  lat.count == 0 ? "-" : FormatMs(lat.Percentile(99)),
+                  s.deploy_latency_ms.count == 0
+                      ? "-"
+                      : FormatMs(s.deploy_latency_ms.Percentile(50))});
+  }
+  table.Print();
+}
+
 }  // namespace astream::harness

@@ -4,6 +4,8 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.h"
+
 namespace astream::harness {
 
 /// Plain-text aligned table, used by the figure benches to print the
@@ -36,6 +38,12 @@ std::string FormatDouble(double v, int precision = 2);
 /// setup was scaled down relative to the paper.
 void PrintBanner(const std::string& figure, const std::string& description,
                  const std::string& scaling);
+
+/// Per-query observability table from the metrics registry: emitted rows,
+/// late drops, slice reuse, and event-time latency p50/p95/p99 per query.
+/// `max_rows` bounds the output (busiest queries first); 0 = all.
+void PrintQueryMetricsTable(const obs::MetricsRegistry::Snapshot& snapshot,
+                            size_t max_rows = 0);
 
 }  // namespace astream::harness
 

@@ -100,11 +100,11 @@ class RecoverableJob {
     return job_->Start();
   }
 
-  bool PushA(TimestampMs t, spe::Row row) {
+  core::PushResult PushA(TimestampMs t, spe::Row row) {
     log_.LogA(t, row);
     return job_->PushA(t, std::move(row));
   }
-  bool PushB(TimestampMs t, spe::Row row) {
+  core::PushResult PushB(TimestampMs t, spe::Row row) {
     log_.LogB(t, row);
     return job_->PushB(t, std::move(row));
   }

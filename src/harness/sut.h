@@ -3,6 +3,7 @@
 
 #include <memory>
 
+#include "core/push_result.h"
 #include "core/qos.h"
 #include "core/query.h"
 #include "spe/row.h"
@@ -17,9 +18,10 @@ class StreamSut {
 
   virtual Status Start() = 0;
 
-  /// Data input in event-time order per stream.
-  virtual bool PushA(TimestampMs event_time, spe::Row row) = 0;
-  virtual bool PushB(TimestampMs event_time, spe::Row row) = 0;
+  /// Data input in event-time order per stream. The result distinguishes
+  /// clean acceptance from clamped event times and refused tuples.
+  virtual core::PushResult PushA(TimestampMs event_time, spe::Row row) = 0;
+  virtual core::PushResult PushB(TimestampMs event_time, spe::Row row) = 0;
   virtual void PushWatermark(TimestampMs watermark) = 0;
 
   /// Asynchronous query creation / deletion (acknowledged later).

@@ -1,0 +1,107 @@
+#include "obs/export.h"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace astream::obs {
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  *out += buf;
+}
+
+void AppendHistogramText(std::string* out, const std::string& name,
+                         const Histogram::Snapshot& h) {
+  AppendF(out,
+          "%-40s count=%lld mean=%.1f p50=%.0f p95=%.0f p99=%.0f max=%lld\n",
+          name.c_str(), static_cast<long long>(h.count), h.mean(),
+          h.Percentile(50), h.Percentile(95), h.Percentile(99),
+          static_cast<long long>(h.max));
+}
+
+void AppendHistogramJson(std::string* out, const Histogram::Snapshot& h) {
+  AppendF(out,
+          "{\"count\":%lld,\"sum\":%lld,\"min\":%lld,\"max\":%lld,"
+          "\"mean\":%.2f,\"p50\":%.1f,\"p95\":%.1f,\"p99\":%.1f}",
+          static_cast<long long>(h.count), static_cast<long long>(h.sum),
+          static_cast<long long>(h.min), static_cast<long long>(h.max),
+          h.mean(), h.Percentile(50), h.Percentile(95), h.Percentile(99));
+}
+
+}  // namespace
+
+std::string ExportText(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, v] : snapshot.counters) {
+    AppendF(&out, "%-40s %lld\n", name.c_str(), static_cast<long long>(v));
+  }
+  for (const auto& [name, v] : snapshot.gauges) {
+    AppendF(&out, "%-40s %lld\n", name.c_str(), static_cast<long long>(v));
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    AppendHistogramText(&out, name, h);
+  }
+  for (const auto& [id, q] : snapshot.queries) {
+    AppendF(&out,
+            "query %-5lld emitted=%lld late=%lld reused=%lld computed=%lld\n",
+            static_cast<long long>(id),
+            static_cast<long long>(q.records_emitted),
+            static_cast<long long>(q.late_drops),
+            static_cast<long long>(q.slices_reused),
+            static_cast<long long>(q.slices_computed));
+    AppendHistogramText(&out, "  event_latency_ms", q.event_latency_ms);
+    AppendHistogramText(&out, "  deploy_latency_ms", q.deploy_latency_ms);
+  }
+  return out;
+}
+
+std::string ExportJson(const MetricsRegistry::Snapshot& snapshot) {
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, v] : snapshot.counters) {
+    AppendF(&out, "%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+            static_cast<long long>(v));
+    first = false;
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, v] : snapshot.gauges) {
+    AppendF(&out, "%s\"%s\":%lld", first ? "" : ",", name.c_str(),
+            static_cast<long long>(v));
+    first = false;
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : snapshot.histograms) {
+    AppendF(&out, "%s\"%s\":", first ? "" : ",", name.c_str());
+    AppendHistogramJson(&out, h);
+    first = false;
+  }
+  out += "},\"queries\":{";
+  first = true;
+  for (const auto& [id, q] : snapshot.queries) {
+    AppendF(&out,
+            "%s\"%lld\":{\"records_emitted\":%lld,\"late_drops\":%lld,"
+            "\"slices_reused\":%lld,\"slices_computed\":%lld,"
+            "\"event_latency_ms\":",
+            first ? "" : ",", static_cast<long long>(id),
+            static_cast<long long>(q.records_emitted),
+            static_cast<long long>(q.late_drops),
+            static_cast<long long>(q.slices_reused),
+            static_cast<long long>(q.slices_computed));
+    AppendHistogramJson(&out, q.event_latency_ms);
+    out += ",\"deploy_latency_ms\":";
+    AppendHistogramJson(&out, q.deploy_latency_ms);
+    out += "}";
+    first = false;
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace astream::obs

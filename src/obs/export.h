@@ -1,0 +1,23 @@
+#ifndef ASTREAM_OBS_EXPORT_H_
+#define ASTREAM_OBS_EXPORT_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace astream::obs {
+
+/// Human-readable dump: one `name value` line per counter/gauge, one
+/// `name count/mean/p50/p95/p99/max` line per histogram, then a per-query
+/// block. Intended for bench output and consoles.
+std::string ExportText(const MetricsRegistry::Snapshot& snapshot);
+
+/// One JSON document with "counters", "gauges", "histograms" (count, sum,
+/// min, max, p50, p95, p99) and "queries" keyed by query id. Bucket arrays
+/// are omitted — percentiles are precomputed so downstream dashboards need
+/// no knowledge of the bucket layout.
+std::string ExportJson(const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace astream::obs
+
+#endif  // ASTREAM_OBS_EXPORT_H_

@@ -373,6 +373,16 @@ int64_t SyncRunner::StageRecordsIn(int stage) const {
   return n;
 }
 
+static int NumStagesOf(const TopologySpec& spec) {
+  return static_cast<int>(spec.stages().size());
+}
+
+int SyncRunner::NumStages() const { return NumStagesOf(spec_); }
+
+const std::string& SyncRunner::StageName(int stage) const {
+  return spec_.stages()[stage].name;
+}
+
 int64_t SyncRunner::StageRecordsOut(int stage) const {
   int64_t n = 0;
   for (const auto& i : instances_[stage]) n += i->records_out();
@@ -583,11 +593,23 @@ int64_t ThreadedRunner::StageRecordsOut(int stage) const {
   return n;
 }
 
+int ThreadedRunner::NumStages() const { return NumStagesOf(spec_); }
+
+const std::string& ThreadedRunner::StageName(int stage) const {
+  return spec_.stages()[stage].name;
+}
+
 size_t ThreadedRunner::TotalQueuedElements() const {
   size_t n = 0;
   for (const auto& stage_tasks : tasks_) {
     for (const auto& t : stage_tasks) n += t->channel->Size();
   }
+  return n;
+}
+
+size_t ThreadedRunner::StageQueuedElements(int stage) const {
+  size_t n = 0;
+  for (const auto& t : tasks_[stage]) n += t->channel->Size();
   return n;
 }
 

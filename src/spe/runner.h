@@ -157,6 +157,10 @@ class Runner {
   /// Total records processed / emitted by a stage (sum over instances).
   virtual int64_t StageRecordsIn(int stage) const = 0;
   virtual int64_t StageRecordsOut(int stage) const = 0;
+
+  /// Topology shape, for observability exporters sampling per-stage series.
+  virtual int NumStages() const = 0;
+  virtual const std::string& StageName(int stage) const = 0;
 };
 
 /// Single-threaded, deterministic, depth-first execution. Parallel stage
@@ -175,6 +179,8 @@ class SyncRunner : public Runner {
   Status Restore(const CheckpointStore::Checkpoint& checkpoint) override;
   int64_t StageRecordsIn(int stage) const override;
   int64_t StageRecordsOut(int stage) const override;
+  int NumStages() const override;
+  const std::string& StageName(int stage) const override;
 
  private:
   void RouteFromInstance(int stage, int instance, const StreamElement& el,
@@ -212,10 +218,14 @@ class ThreadedRunner : public Runner {
   Status Restore(const CheckpointStore::Checkpoint& checkpoint) override;
   int64_t StageRecordsIn(int stage) const override;
   int64_t StageRecordsOut(int stage) const override;
+  int NumStages() const override;
+  const std::string& StageName(int stage) const override;
 
   /// Sum of queued elements across all instance channels (backpressure /
   /// sustainability probe).
   size_t TotalQueuedElements() const;
+  /// Queued elements in one stage's input channels (queue-depth gauges).
+  size_t StageQueuedElements(int stage) const;
 
  private:
   struct Task {

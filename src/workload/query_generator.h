@@ -5,6 +5,7 @@
 
 #include "common/rng.h"
 #include "core/query.h"
+#include "core/query_builder.h"
 
 namespace astream::workload {
 
@@ -56,62 +57,57 @@ class QueryGenerator {
   }
 
   core::QueryDescriptor Selection() {
-    core::QueryDescriptor d;
-    d.kind = core::QueryKind::kSelection;
-    d.select_a = Predicates();
-    return d;
+    auto b = core::QueryBuilder::Selection();
+    WherePredicates(&b, /*side_b=*/false);
+    return *b.Build();
   }
 
   /// Fig. 8: SELECT SUM(A.FIELD1) FROM A [RANGE][SLICE] WHERE .. GROUPBY key.
   core::QueryDescriptor Aggregation() {
-    core::QueryDescriptor d;
-    d.kind = core::QueryKind::kAggregation;
-    d.select_a = Predicates();
+    auto b = core::QueryBuilder::Aggregation();
+    WherePredicates(&b, /*side_b=*/false);
     if (rng_.Bernoulli(config_.session_probability)) {
-      d.window = spe::WindowSpec::Session(
-          rng_.UniformInt(1, config_.session_gap_max));
+      b.SessionWindow(rng_.UniformInt(1, config_.session_gap_max));
     } else {
-      d.window = RandomTimeWindow();
+      b.Window(RandomTimeWindow());
     }
-    d.agg.kind = spe::AggKind::kSum;
-    d.agg.column = 1;  // A.FIELD1
-    return d;
+    b.Agg(spe::AggKind::kSum, 1);  // A.FIELD1
+    return *b.Build();
   }
 
   /// Fig. 7: SELECT * FROM A, B [RANGE][SLICE] WHERE A.KEY = B.KEY AND ...
   core::QueryDescriptor Join() {
-    core::QueryDescriptor d;
-    d.kind = core::QueryKind::kJoin;
-    d.select_a = Predicates();
-    d.select_b = Predicates();
-    d.window = RandomTimeWindow();
-    return d;
+    auto b = core::QueryBuilder::Join();
+    WherePredicates(&b, /*side_b=*/false);
+    WherePredicates(&b, /*side_b=*/true);
+    b.Window(RandomTimeWindow());
+    return *b.Build();
   }
 
   /// Sec. 4.7: selection + n-ary windowed joins (1..5) + aggregation.
   core::QueryDescriptor Complex(int max_depth = core::kMaxJoinDepth) {
-    core::QueryDescriptor d;
-    d.kind = core::QueryKind::kComplex;
-    d.select_a = Predicates();
-    d.select_b = Predicates();
-    d.window = RandomTimeWindow();
-    d.join_depth = static_cast<int>(rng_.UniformInt(1, max_depth));
-    d.agg.kind = spe::AggKind::kSum;
-    d.agg.column = 1;
-    return d;
+    auto b = core::QueryBuilder::Complex();
+    WherePredicates(&b, /*side_b=*/false);
+    WherePredicates(&b, /*side_b=*/true);
+    b.Window(RandomTimeWindow())
+        .JoinDepth(static_cast<int>(rng_.UniformInt(1, max_depth)))
+        .Agg(spe::AggKind::kSum, 1);
+    return *b.Build();
   }
 
   const Config& config() const { return config_; }
   Rng& rng() { return rng_; }
 
  private:
-  std::vector<core::Predicate> Predicates() {
-    std::vector<core::Predicate> out;
-    out.reserve(config_.predicates_per_side);
+  void WherePredicates(core::QueryBuilder* b, bool side_b) {
     for (int i = 0; i < config_.predicates_per_side; ++i) {
-      out.push_back(RandomPredicate());
+      const core::Predicate p = RandomPredicate();
+      if (side_b) {
+        b->WhereB(p.column, p.op, p.constant);
+      } else {
+        b->WhereA(p.column, p.op, p.constant);
+      }
     }
-    return out;
   }
 
   Config config_;

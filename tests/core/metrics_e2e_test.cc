@@ -1,0 +1,291 @@
+// End-to-end checks of the per-query observability layer: the metric
+// series recorded inside the shared operators must agree with what the
+// router actually shipped, in both sync and threaded modes; the
+// submit/push API must report lifecycle misuse as typed results.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/astream.h"
+#include "core/query_builder.h"
+#include "obs/trace.h"
+
+namespace astream::core {
+namespace {
+
+using spe::Row;
+using Kind = AStreamJob::TopologyKind;
+
+std::unique_ptr<AStreamJob> MakeJob(Kind kind, bool threaded,
+                                    ManualClock* clock,
+                                    bool enable_metrics = true) {
+  AStreamJob::Options options;
+  options.topology = kind;
+  options.parallelism = 2;
+  options.threaded = threaded;
+  options.clock = clock;
+  options.session.batch_size = 1000;
+  options.session.max_timeout_ms = 1 << 30;
+  options.enable_metrics = enable_metrics;
+  auto job = AStreamJob::Create(options);
+  EXPECT_TRUE(job.ok()) << job.status().ToString();
+  return std::move(job).value();
+}
+
+/// Streams a deterministic aggregation workload through `job` and returns
+/// the per-query output counts observed at the result callback.
+std::map<QueryId, int64_t> RunAggregationWorkload(AStreamJob* job,
+                                                  ManualClock* clock,
+                                                  std::vector<QueryId>* ids) {
+  std::mutex mu;
+  std::map<QueryId, int64_t> sink_counts;
+  job->SetResultCallback([&](QueryId id, const spe::Record&) {
+    std::lock_guard<std::mutex> lock(mu);
+    ++sink_counts[id];
+  });
+
+  ids->push_back(*job->Submit(*QueryBuilder::Aggregation()
+                                   .WhereA(1, CmpOp::kLt, 80)
+                                   .SlidingWindow(100, 50)
+                                   .Agg(spe::AggKind::kSum, 1)
+                                   .Build()));
+  ids->push_back(*job->Submit(*QueryBuilder::Aggregation()
+                                   .TumblingWindow(60)
+                                   .Agg(spe::AggKind::kCount, 1)
+                                   .Build()));
+  job->Pump(true);
+  EXPECT_TRUE(job->WaitForDeployment());
+
+  Rng rng(17);
+  TimestampMs t = 1;
+  for (int i = 0; i < 600; ++i) {
+    t += rng.UniformInt(1, 3);
+    clock->SetMs(t);
+    job->PushA(t, Row{rng.UniformInt(0, 5), rng.UniformInt(0, 99)});
+    if (i % 25 == 24) job->PushWatermark(t);
+  }
+  job->FinishAndWait();
+  std::lock_guard<std::mutex> lock(mu);
+  return sink_counts;
+}
+
+void CheckMetricsMatchRouter(bool threaded) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kAggregation, threaded, &clock);
+  ASSERT_TRUE(job->Start().ok());
+  std::vector<QueryId> ids;
+  const auto sink_counts = RunAggregationWorkload(job.get(), &clock, &ids);
+
+  const auto snap = job->MetricsSnapshot();
+  for (QueryId id : ids) {
+    ASSERT_EQ(snap.queries.count(id), 1u) << "query " << id;
+    const auto& series = snap.queries.at(id);
+    const auto it = sink_counts.find(id);
+    const int64_t at_sink = it == sink_counts.end() ? 0 : it->second;
+    // Router-side counter == records the sink callback saw == qos tally.
+    EXPECT_EQ(series.records_emitted, at_sink) << "query " << id;
+    EXPECT_EQ(series.records_emitted, job->qos().OutputsOf(id))
+        << "query " << id;
+    // Every emitted record passed through the event-latency histogram.
+    EXPECT_EQ(series.event_latency_ms.count, series.records_emitted);
+    // Exactly one deployment (the create) was acked for each query.
+    EXPECT_EQ(series.deploy_latency_ms.count, 1) << "query " << id;
+    EXPECT_GT(series.records_emitted, 0) << "query " << id;
+  }
+
+  // The shared selection's named counters saw every pushed record once.
+  ASSERT_EQ(snap.counters.count("selection.a.records_in"), 1u);
+  EXPECT_EQ(snap.counters.at("selection.a.records_in"), 600);
+  EXPECT_EQ(snap.counters.at("selection.a.records_out") +
+                snap.counters.at("selection.a.records_dropped"),
+            600);
+}
+
+TEST(MetricsE2E, SyncPerQueryCountsMatchRouterOutputs) {
+  CheckMetricsMatchRouter(/*threaded=*/false);
+}
+
+TEST(MetricsE2E, ThreadedPerQueryCountsMatchRouterOutputs) {
+  CheckMetricsMatchRouter(/*threaded=*/true);
+}
+
+TEST(MetricsE2E, JoinSliceReuseIsAttributed) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kJoin, /*threaded=*/false, &clock);
+  ASSERT_TRUE(job->Start().ok());
+  // Two identical join queries: the second one's windows trigger on the
+  // same slice pairs, so its results must come from the memo (reuse).
+  const auto desc = *QueryBuilder::Join().TumblingWindow(100).Build();
+  const QueryId q1 = *job->Submit(desc);
+  const QueryId q2 = *job->Submit(desc);
+  job->Pump(true);
+
+  Rng rng(5);
+  TimestampMs t = 1;
+  for (int i = 0; i < 300; ++i) {
+    t += rng.UniformInt(1, 3);
+    clock.SetMs(t);
+    const Row row{rng.UniformInt(0, 3), rng.UniformInt(0, 99)};
+    if (i % 2 == 0) {
+      job->PushA(t, row);
+    } else {
+      job->PushB(t, row);
+    }
+    if (i % 25 == 24) job->PushWatermark(t);
+  }
+  job->FinishAndWait();
+
+  const auto snap = job->MetricsSnapshot();
+  ASSERT_EQ(snap.queries.count(q1), 1u);
+  ASSERT_EQ(snap.queries.count(q2), 1u);
+  const auto& s1 = snap.queries.at(q1);
+  const auto& s2 = snap.queries.at(q2);
+  EXPECT_GT(s1.records_emitted, 0);
+  EXPECT_EQ(s1.records_emitted, s2.records_emitted);
+  // One of the twins paid the slice computations; across both queries
+  // every triggered pair beyond the first toucher was a reuse.
+  EXPECT_GT(s1.slices_computed + s2.slices_computed, 0);
+  EXPECT_GT(s1.slices_reused + s2.slices_reused, 0);
+}
+
+TEST(MetricsE2E, SubmitBeforeStartIsFailedPrecondition) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kAggregation, /*threaded=*/false, &clock);
+  const auto result = job->Submit(
+      *QueryBuilder::Aggregation().TumblingWindow(100).Build());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().ToString().find("before Start"),
+            std::string::npos)
+      << result.status().ToString();
+}
+
+TEST(MetricsE2E, SubmitOnFinishedJobIsFailedPrecondition) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kAggregation, /*threaded=*/false, &clock);
+  ASSERT_TRUE(job->Start().ok());
+  job->FinishAndWait();
+  const auto result = job->Submit(
+      *QueryBuilder::Aggregation().TumblingWindow(100).Build());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+  EXPECT_NE(result.status().ToString().find("finished"), std::string::npos)
+      << result.status().ToString();
+  // Cancel is guarded the same way.
+  EXPECT_EQ(job->Cancel(1).code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MetricsE2E, SubmitOnStoppedJobIsFailedPrecondition) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kAggregation, /*threaded=*/false, &clock);
+  ASSERT_TRUE(job->Start().ok());
+  job->Stop();
+  const auto result = job->Submit(
+      *QueryBuilder::Aggregation().TumblingWindow(100).Build());
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(MetricsE2E, PushResultDistinguishesDropCauses) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kAggregation, /*threaded=*/false, &clock);
+
+  // Not started yet: refused.
+  EXPECT_EQ(job->PushA(1, Row{0, 1}), PushResult::kBackpressure);
+
+  ASSERT_TRUE(job->Start().ok());
+  clock.SetMs(100);
+  EXPECT_EQ(job->PushA(100, Row{0, 1}), PushResult::kAccepted);
+  // Aggregation topology has no stream B.
+  EXPECT_EQ(job->PushB(100, Row{0, 1}), PushResult::kBackpressure);
+
+  // Flush a changelog at t=200; a tuple behind the marker is clamped.
+  ASSERT_TRUE(
+      job->Submit(*QueryBuilder::Aggregation().TumblingWindow(100).Build())
+          .ok());
+  clock.SetMs(200);
+  job->Pump(true);
+  EXPECT_EQ(job->PushA(50, Row{0, 1}), PushResult::kLateClamped);
+  EXPECT_EQ(job->PushA(300, Row{0, 1}), PushResult::kAccepted);
+
+  job->FinishAndWait();
+  // Finished: refused again.
+  EXPECT_EQ(job->PushA(400, Row{0, 1}), PushResult::kBackpressure);
+
+  const auto snap = job->MetricsSnapshot();
+  EXPECT_EQ(snap.counters.at("job.push_accepted"), 2);
+  EXPECT_EQ(snap.counters.at("job.push_clamped"), 1);
+  EXPECT_EQ(snap.counters.at("job.push_backpressure"), 3);
+}
+
+TEST(MetricsE2E, TraceRecordsLifecycleInOrder) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kAggregation, /*threaded=*/false, &clock);
+  ASSERT_TRUE(job->Start().ok());
+
+  const QueryId id = *job->Submit(
+      *QueryBuilder::Aggregation().TumblingWindow(50).Build());
+  job->Pump(true);
+  ASSERT_TRUE(job->WaitForDeployment());
+
+  for (TimestampMs t = 1; t <= 200; t += 5) {
+    clock.SetMs(t);
+    job->PushA(t, Row{0, 1});
+    if (t % 50 == 1) job->PushWatermark(t);
+  }
+  ASSERT_TRUE(job->Cancel(id).ok());
+  job->Pump(true);
+  job->FinishAndWait();
+
+  // Lifecycle events of `id` in causal order, job-level events around them.
+  std::vector<obs::TraceEventKind> kinds;
+  for (const auto& e : job->trace().Events()) {
+    if (e.query == id || e.kind == obs::TraceEventKind::kChangelogFlush ||
+        e.kind == obs::TraceEventKind::kFinish) {
+      kinds.push_back(e.kind);
+    }
+  }
+  auto index_of = [&](obs::TraceEventKind k) {
+    for (size_t i = 0; i < kinds.size(); ++i) {
+      if (kinds[i] == k) return static_cast<ptrdiff_t>(i);
+    }
+    return ptrdiff_t{-1};
+  };
+  const auto submit = index_of(obs::TraceEventKind::kSubmit);
+  const auto flush = index_of(obs::TraceEventKind::kChangelogFlush);
+  const auto ack = index_of(obs::TraceEventKind::kDeployAck);
+  const auto first = index_of(obs::TraceEventKind::kFirstResult);
+  const auto cancel = index_of(obs::TraceEventKind::kCancel);
+  const auto finish = index_of(obs::TraceEventKind::kFinish);
+  ASSERT_GE(submit, 0);
+  ASSERT_GE(flush, 0);
+  ASSERT_GE(ack, 0);
+  ASSERT_GE(first, 0);
+  ASSERT_GE(cancel, 0);
+  ASSERT_GE(finish, 0);
+  EXPECT_LT(submit, flush);
+  EXPECT_LT(flush, ack);
+  EXPECT_LT(ack, first);
+  EXPECT_LT(first, cancel);
+  EXPECT_LT(cancel, finish);
+}
+
+TEST(MetricsE2E, DisabledRegistryStillProducesResults) {
+  ManualClock clock;
+  auto job = MakeJob(Kind::kAggregation, /*threaded=*/false, &clock,
+                     /*enable_metrics=*/false);
+  ASSERT_TRUE(job->Start().ok());
+  std::vector<QueryId> ids;
+  const auto sink_counts = RunAggregationWorkload(job.get(), &clock, &ids);
+  int64_t total = 0;
+  for (const auto& [id, n] : sink_counts) total += n;
+  EXPECT_GT(total, 0);
+  EXPECT_TRUE(job->MetricsSnapshot().queries.empty());
+}
+
+}  // namespace
+}  // namespace astream::core

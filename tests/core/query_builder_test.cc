@@ -1,0 +1,169 @@
+#include "core/query_builder.h"
+
+#include <gtest/gtest.h>
+
+#include "core/astream.h"
+
+namespace astream::core {
+namespace {
+
+TEST(QueryBuilder, SelectionHappyPath) {
+  const auto q = QueryBuilder::Selection()
+                     .WhereA(1, CmpOp::kLt, 50)
+                     .WhereA(2, CmpOp::kGe, 10)
+                     .Build();
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind, QueryKind::kSelection);
+  ASSERT_EQ(q->select_a.size(), 2u);
+  EXPECT_EQ(q->select_a[0].column, 1);
+  EXPECT_EQ(q->select_a[0].op, CmpOp::kLt);
+  EXPECT_EQ(q->select_a[0].constant, 50);
+  EXPECT_TRUE(q->select_b.empty());
+}
+
+TEST(QueryBuilder, AggregationHappyPath) {
+  const auto q = QueryBuilder::Aggregation()
+                     .WhereA(1, CmpOp::kGt, 5)
+                     .SlidingWindow(1000, 250)
+                     .Agg(spe::AggKind::kSum, 2)
+                     .Build();
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind, QueryKind::kAggregation);
+  EXPECT_EQ(q->window.length, 1000);
+  EXPECT_EQ(q->window.slide, 250);
+  EXPECT_EQ(q->agg.kind, spe::AggKind::kSum);
+  EXPECT_EQ(q->agg.column, 2);
+}
+
+TEST(QueryBuilder, JoinAndComplexHappyPath) {
+  const auto j = QueryBuilder::Join()
+                     .WhereA(1, CmpOp::kLt, 50)
+                     .WhereB(2, CmpOp::kGt, 10)
+                     .TumblingWindow(500)
+                     .Build();
+  ASSERT_TRUE(j.ok()) << j.status().ToString();
+  EXPECT_EQ(j->kind, QueryKind::kJoin);
+  ASSERT_EQ(j->select_b.size(), 1u);
+
+  const auto c = QueryBuilder::Complex()
+                     .SessionWindow(300)
+                     .JoinDepth(2)
+                     .Agg(spe::AggKind::kMax, 1)
+                     .Build();
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->kind, QueryKind::kComplex);
+  EXPECT_EQ(c->join_depth, 2);
+  EXPECT_FALSE(c->window.IsTimeWindow());
+  EXPECT_EQ(c->window.gap, 300);
+}
+
+TEST(QueryBuilder, MissingWindowIsReportedAtBuild) {
+  const auto q = QueryBuilder::Aggregation().Agg(spe::AggKind::kSum, 1).Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().ToString().find("window"), std::string::npos)
+      << q.status().ToString();
+}
+
+TEST(QueryBuilder, WindowOnSelectionFails) {
+  const auto q = QueryBuilder::Selection().TumblingWindow(100).Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().ToString().find("unwindowed"), std::string::npos)
+      << q.status().ToString();
+}
+
+TEST(QueryBuilder, WhereBOnNonJoinFails) {
+  const auto q = QueryBuilder::Aggregation()
+                     .WhereB(1, CmpOp::kLt, 5)
+                     .TumblingWindow(100)
+                     .Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().ToString().find("WhereB"), std::string::npos);
+}
+
+TEST(QueryBuilder, InvalidWindowParametersFail) {
+  EXPECT_FALSE(QueryBuilder::Aggregation().TumblingWindow(0).Build().ok());
+  EXPECT_FALSE(
+      QueryBuilder::Aggregation().SlidingWindow(100, 0).Build().ok());
+  EXPECT_FALSE(
+      QueryBuilder::Aggregation().SlidingWindow(100, 200).Build().ok());
+  EXPECT_FALSE(QueryBuilder::Aggregation().SessionWindow(-1).Build().ok());
+}
+
+TEST(QueryBuilder, FirstErrorIsLatched) {
+  // The window error comes first; later valid/invalid calls don't mask it.
+  const auto q = QueryBuilder::Aggregation()
+                     .TumblingWindow(-5)
+                     .Agg(spe::AggKind::kSum, -3)
+                     .Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().ToString().find("Window"), std::string::npos)
+      << q.status().ToString();
+  EXPECT_EQ(q.status().ToString().find("Agg:"), std::string::npos)
+      << q.status().ToString();
+}
+
+TEST(QueryBuilder, DoubleWindowAndDoubleAggFail) {
+  EXPECT_FALSE(QueryBuilder::Aggregation()
+                   .TumblingWindow(100)
+                   .TumblingWindow(200)
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(QueryBuilder::Aggregation()
+                   .TumblingWindow(100)
+                   .Agg(spe::AggKind::kSum, 1)
+                   .Agg(spe::AggKind::kCount, 1)
+                   .Build()
+                   .ok());
+}
+
+TEST(QueryBuilder, JoinDepthValidation) {
+  EXPECT_FALSE(QueryBuilder::Join().JoinDepth(2).Build().ok());
+  EXPECT_FALSE(
+      QueryBuilder::Complex().TumblingWindow(100).JoinDepth(0).Build().ok());
+  EXPECT_FALSE(QueryBuilder::Complex()
+                   .TumblingWindow(100)
+                   .JoinDepth(kMaxJoinDepth + 1)
+                   .Build()
+                   .ok());
+  EXPECT_TRUE(QueryBuilder::Complex()
+                  .TumblingWindow(100)
+                  .JoinDepth(kMaxJoinDepth)
+                  .Build()
+                  .ok());
+}
+
+TEST(QueryBuilder, NegativeColumnsFail) {
+  EXPECT_FALSE(QueryBuilder::Selection().WhereA(-1, CmpOp::kLt, 5).Build().ok());
+  EXPECT_FALSE(QueryBuilder::Aggregation()
+                   .TumblingWindow(10)
+                   .Agg(spe::AggKind::kSum, -1)
+                   .Build()
+                   .ok());
+}
+
+TEST(QueryBuilder, StatusAccessorLetsCallersBailEarly) {
+  auto builder = QueryBuilder::Selection();
+  EXPECT_TRUE(builder.status().ok());
+  builder.WhereA(-2, CmpOp::kLt, 5);
+  EXPECT_FALSE(builder.status().ok());
+}
+
+TEST(QueryBuilder, BuiltDescriptorIsSubmittable) {
+  // The builder's output must satisfy the engine-side validator too.
+  AStreamJob::Options options;
+  options.topology = AStreamJob::TopologyKind::kAggregation;
+  auto job = std::move(AStreamJob::Create(options)).value();
+  ASSERT_TRUE(job->Start().ok());
+  const auto q = QueryBuilder::Aggregation()
+                     .WhereA(1, CmpOp::kLt, 500)
+                     .SlidingWindow(800, 400)
+                     .Agg(spe::AggKind::kAvg, 1)
+                     .Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_TRUE(job->Submit(*q).ok());
+  job->Stop();
+}
+
+}  // namespace
+}  // namespace astream::core
