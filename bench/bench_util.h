@@ -1,6 +1,7 @@
 #ifndef ASTREAM_BENCH_BENCH_UTIL_H_
 #define ASTREAM_BENCH_BENCH_UTIL_H_
 
+#include <cstdlib>
 #include <functional>
 #include <memory>
 #include <string>
@@ -67,15 +68,30 @@ inline std::function<core::QueryDescriptor()> QueryFactory(
 
 inline std::unique_ptr<harness::AStreamSut> MakeAStream(
     core::AStreamJob::TopologyKind topology, int parallelism,
-    bool measure_overhead = false) {
+    bool measure_overhead = false, size_t batch_size = 1) {
   core::AStreamJob::Options options;
   options.topology = topology;
   options.parallelism = parallelism;
   options.threaded = true;
   options.measure_overhead = measure_overhead;
   options.channel_capacity = 2048;
+  options.batch_size = batch_size;
   auto sut = std::make_unique<harness::AStreamSut>(options);
   return sut;
+}
+
+/// Parses a `--batch_size=N` argv knob (figure benches); 1 = element-at-
+/// a-time.
+inline size_t ParseBatchSize(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--batch_size=";
+    if (arg.rfind(prefix, 0) == 0) {
+      const long v = std::strtol(arg.c_str() + prefix.size(), nullptr, 10);
+      if (v > 0) return static_cast<size_t>(v);
+    }
+  }
+  return 1;
 }
 
 inline std::unique_ptr<harness::BaselineSut> MakeFlink(

@@ -29,13 +29,15 @@ struct Config {
   TimestampMs duration_ms;
 };
 
-void Run() {
+void Run(size_t batch_size) {
   harness::PrintBanner(
       "Figure 9 — SC1 data throughput (slowest & overall)",
       "AStream vs. query-at-a-time baseline; join and aggregation "
       "queries; 'n q/s m qp' = n queries/second until m active.",
       std::string(kClusterScaling) +
           "; SC1 grid: 20qp/60qp kept, 1000qp -> join 60 / agg 200");
+  std::printf("data-plane batch size: %zu%s\n\n", batch_size,
+              batch_size == 1 ? " (element-at-a-time)" : "");
 
   const Config configs[] = {
       {"AStream single query", "single query", true, 50, 1, 2200},
@@ -59,7 +61,8 @@ void Run() {
         }
         std::unique_ptr<harness::StreamSut> sut;
         if (cfg.astream) {
-          sut = MakeAStream(TopologyFor(kind), par);
+          sut = MakeAStream(TopologyFor(kind), par,
+                            /*measure_overhead=*/false, batch_size);
         } else {
           sut = MakeFlink(par);
         }
@@ -103,8 +106,8 @@ void Run() {
 }  // namespace
 }  // namespace astream::bench
 
-int main() {
+int main(int argc, char** argv) {
   astream::bench::BenchInit();
-  astream::bench::Run();
+  astream::bench::Run(astream::bench::ParseBatchSize(argc, argv));
   return 0;
 }

@@ -22,13 +22,15 @@ struct Config {
   size_t max_qp;
 };
 
-void Run() {
+void Run(size_t batch_size) {
   harness::PrintBanner(
       "Figure 12 — SC1 average event-time latency",
       "Event-time latency = result emission wall time minus tuple event "
       "time (includes queueing + window residence).",
       std::string(kClusterScaling) +
           "; data rate fixed at 50K tuples/s so latency is comparable");
+  std::printf("data-plane batch size: %zu%s\n\n", batch_size,
+              batch_size == 1 ? " (element-at-a-time)" : "");
 
   for (QueryKind kind : {QueryKind::kJoin, QueryKind::kAggregation}) {
     for (int par : {2, 4}) {
@@ -47,7 +49,8 @@ void Run() {
         if (max_qp == 0) max_qp = kind == QueryKind::kJoin ? 40 : 150;
         std::unique_ptr<harness::StreamSut> sut;
         if (cfg.astream) {
-          sut = MakeAStream(TopologyFor(kind), par);
+          sut = MakeAStream(TopologyFor(kind), par,
+                            /*measure_overhead=*/false, batch_size);
         } else {
           sut = MakeFlink(par);
         }
@@ -83,6 +86,10 @@ void Run() {
           "per-query drill-down (busiest run, event-time latency from "
           "the metrics registry):\n");
       harness::PrintQueryMetricsTable(query_metrics, /*max_rows=*/6);
+      std::printf(
+          "data-plane drill-down (per-edge delivered batch sizes and "
+          "end-of-run queue depths):\n");
+      harness::PrintDataPlaneTable(query_metrics);
       std::printf("\n");
     }
   }
@@ -95,8 +102,8 @@ void Run() {
 }  // namespace
 }  // namespace astream::bench
 
-int main() {
+int main(int argc, char** argv) {
   astream::bench::BenchInit();
-  astream::bench::Run();
+  astream::bench::Run(astream::bench::ParseBatchSize(argc, argv));
   return 0;
 }

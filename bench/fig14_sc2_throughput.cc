@@ -15,12 +15,14 @@ namespace {
 
 using core::QueryKind;
 
-void Run() {
+void Run(size_t batch_size) {
   harness::PrintBanner(
       "Figure 14 — SC2 data throughput (slowest & overall)",
       "'n q/10s' = n queries created and n deleted every 10 s "
       "(scaled: every 1 s).",
       kClusterScaling);
+  std::printf("data-plane batch size: %zu%s\n\n", batch_size,
+              batch_size == 1 ? " (element-at-a-time)" : "");
 
   for (QueryKind kind : {QueryKind::kJoin, QueryKind::kAggregation}) {
     for (int par : {2, 4}) {
@@ -28,7 +30,8 @@ void Run() {
                             "overall tput/s (14b)", "avg qp",
                             "sustainable"});
       for (size_t batch : {10u, 30u, 50u}) {
-        auto sut = MakeAStream(TopologyFor(kind), par);
+        auto sut = MakeAStream(TopologyFor(kind), par,
+                               /*measure_overhead=*/false, batch_size);
         if (!sut->Start().ok()) continue;
         workload::Sc2Scenario scenario(batch, /*period_ms=*/1000);
         const double rate = kind == QueryKind::kJoin ? 250'000 : 0;
@@ -60,8 +63,8 @@ void Run() {
 }  // namespace
 }  // namespace astream::bench
 
-int main() {
+int main(int argc, char** argv) {
   astream::bench::BenchInit();
-  astream::bench::Run();
+  astream::bench::Run(astream::bench::ParseBatchSize(argc, argv));
   return 0;
 }

@@ -1,0 +1,82 @@
+// Micro benchmark for the tentpole of the batched data plane: how much
+// channel throughput does batching buy? Envelope-at-a-time (batch size 1)
+// pays one lock acquisition and one queue operation per element; a batch
+// of B amortizes both over B elements. Acceptance floor: >= 3x transfer
+// throughput at batch 64 vs. batch 1.
+
+#include <benchmark/benchmark.h>
+
+#include <thread>
+
+#include "spe/channel.h"
+
+namespace astream::spe {
+namespace {
+
+StreamElement MakeEl(int i) {
+  return StreamElement::MakeRecord(i, Row{i, i});
+}
+
+BatchEnvelope MakeBatch(int first, size_t count) {
+  BatchEnvelope b;
+  for (size_t i = 0; i < count; ++i) {
+    b.elements.Add(MakeEl(first + static_cast<int>(i)));
+  }
+  return b;
+}
+
+// Same-thread push + pop: isolates the per-element lock/queue/allocation
+// cost without scheduler noise.
+void BM_ChannelTransfer(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  constexpr size_t kElements = 4096;
+  Channel ch(kElements + 64);
+  for (auto _ : state) {
+    size_t pushed = 0;
+    while (pushed < kElements) {
+      ch.Push(MakeBatch(static_cast<int>(pushed), batch_size));
+      pushed += batch_size;
+    }
+    size_t popped = 0;
+    while (popped < kElements) {
+      auto b = ch.Pop();
+      popped += b->elements.size();
+      benchmark::DoNotOptimize(b);
+    }
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kElements));
+}
+BENCHMARK(BM_ChannelTransfer)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+// Producer thread -> consumer thread: adds condition-variable wakeups and
+// real lock contention — the threaded runner's actual hot edge.
+void BM_ChannelPipe(benchmark::State& state) {
+  const auto batch_size = static_cast<size_t>(state.range(0));
+  constexpr size_t kElements = 1 << 15;
+  for (auto _ : state) {
+    Channel ch(1024);
+    std::thread consumer([&ch] {
+      size_t n = 0;
+      while (auto b = ch.Pop()) {
+        n += b->elements.size();
+      }
+      benchmark::DoNotOptimize(n);
+    });
+    size_t pushed = 0;
+    while (pushed < kElements) {
+      ch.Push(MakeBatch(static_cast<int>(pushed), batch_size));
+      pushed += batch_size;
+    }
+    ch.Close();
+    consumer.join();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kElements));
+}
+BENCHMARK(BM_ChannelPipe)->Arg(1)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace astream::spe
+
+BENCHMARK_MAIN();

@@ -1,32 +1,53 @@
 #!/usr/bin/env bash
-# Repo verification: tier-1 build + full test suite, then a
-# ThreadSanitizer build running the concurrency-sensitive subset (the
-# threaded-equivalence suite plus the lock-free metrics/observability
-# tests). Usage: scripts/verify.sh [--skip-tsan]
+# Repo verification: tier-1 build + full test suite, a data-plane micro
+# bench smoke run, then sanitizer builds — ThreadSanitizer over the
+# concurrency-sensitive subset (threaded/batched equivalence, channels,
+# the lock-free metrics/observability tests) and AddressSanitizer over
+# the full suite (heap safety + leaks in the batch/overflow paths).
+# Usage: scripts/verify.sh [--skip-tsan] [--skip-asan]
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 SKIP_TSAN=0
-[[ "${1:-}" == "--skip-tsan" ]] && SKIP_TSAN=1
+SKIP_ASAN=0
+for arg in "$@"; do
+  [[ "$arg" == "--skip-tsan" ]] && SKIP_TSAN=1
+  [[ "$arg" == "--skip-asan" ]] && SKIP_ASAN=1
+done
 
 echo "== tier 1: build + ctest =="
 cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
+echo "== micro_channel: smoke (envelope vs batch channel throughput) =="
+cmake --build build -j --target micro_channel >/dev/null
+./build/bench/micro_channel --benchmark_min_time=0.05 \
+  --benchmark_filter='BM_ChannelTransfer/(1|64)$'
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== tsan: skipped (--skip-tsan) =="
-  exit 0
+else
+  echo "== tsan: build =="
+  cmake -B build-tsan -S . -DASTREAM_SANITIZE=thread >/dev/null
+  cmake --build build-tsan -j --target astream_tests
+
+  echo "== tsan: threaded/batched equivalence + channel + observability =="
+  # TSAN_OPTIONS makes any race a hard failure.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ./build-tsan/tests/astream_tests \
+    --gtest_filter='*ThreadedEquivalence*:*BatchedEquivalence*:*Channel*:*Metrics*:*Histogram*:*TraceSink*:*SeriesCache*'
 fi
 
-echo "== tsan: build =="
-cmake -B build-tsan -S . -DASTREAM_SANITIZE=thread >/dev/null
-cmake --build build-tsan -j --target astream_tests
+if [[ "$SKIP_ASAN" == "1" ]]; then
+  echo "== asan: skipped (--skip-asan) =="
+else
+  echo "== asan: build =="
+  cmake -B build-asan -S . -DASTREAM_SANITIZE=address >/dev/null
+  cmake --build build-asan -j --target astream_tests
 
-echo "== tsan: threaded equivalence + observability tests =="
-# TSAN_OPTIONS makes any race a hard failure.
-TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
-  ./build-tsan/tests/astream_tests \
-  --gtest_filter='*ThreadedEquivalence*:*Metrics*:*Histogram*:*TraceSink*:*SeriesCache*'
+  echo "== asan: full test suite =="
+  ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/astream_tests
+fi
 
 echo "verify: OK"

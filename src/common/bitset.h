@@ -47,6 +47,13 @@ class DynamicBitset {
     WordFor(bit) &= ~(uint64_t{1} << (bit & 63));
   }
 
+  /// Zeroes every bit but keeps allocated capacity, so hot paths can reuse
+  /// one scratch set per batch instead of constructing a set per record.
+  void ClearAll() {
+    inline_word_ = 0;
+    for (uint64_t& w : words_) w = 0;
+  }
+
   void SetTo(size_t bit, bool value) {
     if (value) {
       Set(bit);

@@ -18,6 +18,7 @@ AStreamJob::AStreamJob(Options options)
     m_push_accepted_ = metrics_.GetCounter("job.push_accepted");
     m_push_clamped_ = metrics_.GetCounter("job.push_clamped");
     m_push_backpressure_ = metrics_.GetCounter("job.push_backpressure");
+    m_push_shutdown_ = metrics_.GetCounter("job.push_shutdown");
     m_deploy_latency_ = metrics_.GetHistogram("job.deploy_latency_ms");
   }
 }
@@ -310,9 +311,28 @@ Status AStreamJob::Start() {
     // +1: the shared session's control-plane snapshot (stage -1).
     checkpoint_store_.MaybeComplete(id, total_instances_ + 1);
   };
+  // Per-edge batch-size histograms, resolved by stage index so the push
+  // observer is a plain array lookup + lock-free record.
+  edge_batch_hists_.clear();
+  if (metrics_.enabled()) {
+    for (const auto& stage : spec.stages()) {
+      edge_batch_hists_.push_back(
+          metrics_.GetHistogram("edge." + stage.name + ".batch_size"));
+    }
+  }
+  source_batches_.clear();
+  source_batches_.resize(spec.external_inputs().size());
+  source_batch_start_.assign(spec.external_inputs().size(), 0);
   if (options_.threaded) {
-    runner_ = std::make_unique<spe::ThreadedRunner>(
-        std::move(spec), sink, snapshot, options_.channel_capacity);
+    auto threaded = std::make_unique<spe::ThreadedRunner>(
+        std::move(spec), sink, snapshot, options_.channel_capacity,
+        options_.batch_size);
+    if (!edge_batch_hists_.empty()) {
+      threaded->SetEdgePushObserver([this](int stage, size_t batch) {
+        edge_batch_hists_[stage]->Record(static_cast<int64_t>(batch));
+      });
+    }
+    runner_ = std::move(threaded);
   } else {
     runner_ = std::make_unique<spe::SyncRunner>(std::move(spec), sink,
                                                 snapshot);
@@ -387,14 +407,36 @@ PushResult AStreamJob::PushB(TimestampMs event_time, spe::Row row) {
 PushResult AStreamJob::PushTo(int input, TimestampMs event_time,
                               spe::Row row) {
   if (input < 0 || !started_ || finished_) {
-    if (m_push_backpressure_ != nullptr) m_push_backpressure_->Add();
-    return PushResult::kBackpressure;
+    // Permanent refusal: there is nothing to retry against.
+    if (m_push_shutdown_ != nullptr) m_push_shutdown_->Add();
+    return PushResult::kShutdown;
   }
   const TimestampMs pushed_time = ClampToMarkers(event_time);
-  if (!runner_->Push(input, spe::StreamElement::MakeRecord(pushed_time,
-                                                           std::move(row)))) {
-    if (m_push_backpressure_ != nullptr) m_push_backpressure_->Add();
-    return PushResult::kBackpressure;
+
+  bool ok = true;
+  if (options_.batch_size <= 1) {
+    // Status-quo element-at-a-time path: no buffering, no demux scratch.
+    ok = runner_->Push(input, spe::StreamElement::MakeRecord(
+                                  pushed_time, std::move(row)));
+  } else {
+    // Source-side batch former: buffer the tuple, ship the run as one
+    // ElementBatch once it is full or the linger window elapsed in event
+    // time.
+    spe::ElementBatch& buf = source_batches_[input];
+    if (buf.empty()) source_batch_start_[input] = pushed_time;
+    buf.Add(spe::StreamElement::MakeRecord(pushed_time, std::move(row)));
+    if (buf.size() >= options_.batch_size ||
+        pushed_time - source_batch_start_[input] >=
+            options_.batch_linger_ms) {
+      ok = runner_->PushBatch(input, std::move(buf));
+      buf.Clear();
+    }
+  }
+  if (!ok) {
+    // The runner refuses only when cancelled — shutdown, not backpressure
+    // (blocking channel pushes absorb transient pressure).
+    if (m_push_shutdown_ != nullptr) m_push_shutdown_->Add();
+    return PushResult::kShutdown;
   }
   if (pushed_time != event_time) {
     if (m_push_clamped_ != nullptr) m_push_clamped_->Add();
@@ -404,7 +446,18 @@ PushResult AStreamJob::PushTo(int input, TimestampMs event_time,
   return PushResult::kAccepted;
 }
 
+void AStreamJob::FlushSourceBatches() {
+  if (runner_ == nullptr) return;
+  for (size_t in = 0; in < source_batches_.size(); ++in) {
+    if (source_batches_[in].empty()) continue;
+    runner_->PushBatch(static_cast<int>(in),
+                       std::move(source_batches_[in]));
+    source_batches_[in].Clear();
+  }
+}
+
 void AStreamJob::PushWatermark(TimestampMs watermark) {
+  FlushSourceBatches();
   runner_->Push(input_a_, spe::StreamElement::MakeWatermark(watermark));
   if (input_b_ >= 0) {
     runner_->Push(input_b_, spe::StreamElement::MakeWatermark(watermark));
@@ -505,6 +558,9 @@ Status AStreamJob::Cancel(QueryId id) {
 }
 
 int AStreamJob::Pump(bool force) {
+  // Changelog markers are batch boundaries: every tuple accepted before
+  // the marker must enter the stream before it.
+  FlushSourceBatches();
   int injected = 0;
   while (true) {
     std::shared_ptr<const Changelog> log;
@@ -541,6 +597,8 @@ bool AStreamJob::WaitForDeployment(TimestampMs timeout_ms) {
 }
 
 int64_t AStreamJob::TriggerCheckpoint() {
+  // Checkpoint barriers are batch boundaries too.
+  FlushSourceBatches();
   const int64_t id = next_checkpoint_epoch_++;
   std::map<int, int64_t> offsets;  // recorded by the harness source log
   checkpoint_store_.BeginCheckpoint(id, std::move(offsets));
@@ -578,6 +636,7 @@ Status AStreamJob::RestoreFrom(
 
 void AStreamJob::FinishAndWait() {
   if (!started_ || finished_) return;
+  FlushSourceBatches();
   Pump(true);
   runner_->FinishAndWait();
   finished_ = true;

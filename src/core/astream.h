@@ -54,6 +54,17 @@ class AStreamJob {
     /// predicate index (see SharedSelection::Config).
     bool use_predicate_index = true;
     size_t channel_capacity = 1024;
+    /// Data-plane batch size. Pushed tuples are buffered per input stream
+    /// and shipped as one ElementBatch (one channel lock, one operator
+    /// dispatch) once `batch_size` tuples accumulated; operators batch
+    /// their outputs to the same size. 1 = element-at-a-time (status quo).
+    size_t batch_size = 1;
+    /// Flush/linger policy for partially filled source batches: a buffer
+    /// is flushed once the incoming event time has advanced this far past
+    /// the buffer's first tuple, so latency-sensitive low-rate streams
+    /// still drain promptly. Watermarks, changelog flushes, and checkpoint
+    /// barriers always flush first (markers are batch boundaries).
+    TimestampMs batch_linger_ms = 50;
     /// Join-stage count available for complex queries (1..kMaxJoinDepth).
     int max_join_stages = kMaxJoinDepth;
     Clock* clock = nullptr;  // defaults to WallClock
@@ -157,6 +168,9 @@ class AStreamJob {
 
   spe::TopologySpec BuildTopology();
   PushResult PushTo(int input, TimestampMs event_time, spe::Row row);
+  /// Ships all buffered source tuples downstream as batches. Called before
+  /// watermarks, markers, and shutdown — the batch-boundary rule.
+  void FlushSourceBatches();
   void HandleSink(int stage, int instance, const spe::StreamElement& el);
   Status ValidateQuery(const QueryDescriptor& desc) const;
   TimestampMs ClampToMarkers(TimestampMs event_time);
@@ -172,7 +186,17 @@ class AStreamJob {
   obs::Counter* m_push_accepted_ = nullptr;
   obs::Counter* m_push_clamped_ = nullptr;
   obs::Counter* m_push_backpressure_ = nullptr;
+  obs::Counter* m_push_shutdown_ = nullptr;
   obs::Histogram* m_deploy_latency_ = nullptr;
+  // Per-stage `edge.<stage>.batch_size` histograms, indexed by stage;
+  // recorded by the threaded runner's push observer.
+  std::vector<obs::Histogram*> edge_batch_hists_;
+
+  // Source-side batch formers, one per external input (control thread
+  // only — the facade contract). `source_batch_start_[i]` is the event
+  // time of the buffer's first tuple, for the linger policy.
+  std::vector<spe::ElementBatch> source_batches_;
+  std::vector<TimestampMs> source_batch_start_;
   spe::CheckpointStore checkpoint_store_;
   std::unique_ptr<spe::Runner> runner_;
 

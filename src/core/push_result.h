@@ -12,14 +12,18 @@ namespace astream::core {
 enum class PushResult : uint8_t {
   /// The tuple entered the stream unmodified.
   kAccepted,
-  /// The tuple was refused: the job is not started, already finished, or
-  /// the runner was cancelled. The tuple is lost; the caller may retry
-  /// later or treat it as backpressure.
+  /// The tuple was refused *transiently*: the engine is running but could
+  /// not take it right now (queues full). The caller may retry.
   kBackpressure,
   /// The tuple was accepted, but its event time was clamped forward onto
   /// the latest changelog marker time to preserve the marker-alignment
   /// invariant (it arrived "late" relative to the control plane).
   kLateClamped,
+  /// The tuple was refused *permanently*: the job is not started, already
+  /// finished, the runner was cancelled, or the target stream does not
+  /// exist. Retrying cannot succeed — distinct from kBackpressure so
+  /// drivers do not count shutdown as backpressure.
+  kShutdown,
 };
 
 inline const char* PushResultName(PushResult r) {
@@ -30,13 +34,15 @@ inline const char* PushResultName(PushResult r) {
       return "backpressure";
     case PushResult::kLateClamped:
       return "late_clamped";
+    case PushResult::kShutdown:
+      return "shutdown";
   }
   return "unknown";
 }
 
 /// True when the tuple entered the stream (possibly clamped).
 inline bool Accepted(PushResult r) {
-  return r != PushResult::kBackpressure;
+  return r == PushResult::kAccepted || r == PushResult::kLateClamped;
 }
 
 }  // namespace astream::core

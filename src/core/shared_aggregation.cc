@@ -130,6 +130,62 @@ void SharedAggregation::ProcessRecord(int port, spe::Record record,
   });
 }
 
+void SharedAggregation::ProcessBatch(int port, spe::RecordBatch& records,
+                                     spe::Collector* out) {
+  (void)out;
+  const QuerySet& mask = port_masks_[port];
+  // Consecutive tuples overwhelmingly share a slice (sources are roughly
+  // time-ordered), so the slice lookup + store resolution is hoisted out
+  // of the per-tuple loop and revalidated by [start, end) containment.
+  // Safe within a batch: slices only change on markers, which are batch
+  // boundaries, and map nodes are pointer-stable under insertion.
+  SliceInfo cached_slice;
+  AggStore* cached_store = nullptr;
+  int64_t ops = 0;
+  for (spe::Record& record : records) {
+    NoteEventTime(record.event_time);
+    if (record.event_time < current_watermark()) {
+      ++records_late_;
+      if (metrics_on()) {
+        (record.tags & mask).ForEachSetBit([&](size_t slot) {
+          if (obs::QuerySeries* s = SeriesForSlot(slot)) {
+            s->late_drops.Add();
+          }
+        });
+      }
+      continue;
+    }
+    scratch_tags_ = record.tags;
+    scratch_tags_ &= mask;
+    ++ops;
+    if (scratch_tags_.None()) continue;
+
+    scratch_tags_.ForEachSetBit([&](size_t slot) {
+      const SlotInfo& info = slot_info_[slot];
+      if (!info.valid) return;
+      const spe::Value v = record.row.At(info.agg_column);
+      if (info.session) {
+        const ActiveQuery* q = table().QueryAt(static_cast<int>(slot));
+        if (q == nullptr) return;
+        auto it = session_queries_.find(q->id);
+        if (it != session_queries_.end()) {
+          AddToSession(&it->second, record.row.key(), record.event_time,
+                       v);
+        }
+        return;
+      }
+      if (cached_store == nullptr ||
+          record.event_time < cached_slice.start ||
+          record.event_time >= cached_slice.end) {
+        cached_slice = tracker().SliceFor(record.event_time);
+        cached_store = &stores_[cached_slice.index];
+      }
+      cached_store->Add(record.row.key(), static_cast<int>(slot), v);
+    });
+  }
+  bitset_ops_ += ops;
+}
+
 void SharedAggregation::TriggerWindows(
     TimestampMs start, TimestampMs end,
     const std::vector<TriggeredQuery>& queries, spe::Collector* out) {

@@ -36,6 +36,12 @@ class SharedAggregation : public SharedWindowedOperator {
   int num_ports() const override { return config_.num_ports; }
   void ProcessRecord(int port, spe::Record record,
                      spe::Collector* out) override;
+  /// Vectorized path: batch tuples are grouped by slice, so the slice
+  /// store is resolved once per run of same-slice tuples (tuples arrive
+  /// roughly time-ordered) instead of once per tuple, and the port-mask
+  /// intersection reuses one scratch query-set.
+  void ProcessBatch(int port, spe::RecordBatch& records,
+                    spe::Collector* out) override;
   Status SnapshotState(spe::StateWriter* writer) override;
   Status RestoreState(spe::StateReader* reader) override;
 
@@ -90,6 +96,8 @@ class SharedAggregation : public SharedWindowedOperator {
   std::map<QueryId, SessionQuery> session_queries_;
   int64_t bitset_ops_ = 0;
   int64_t records_late_ = 0;
+  // Scratch query-set reused across the tuples of one batch.
+  QuerySet scratch_tags_;
 };
 
 }  // namespace astream::core

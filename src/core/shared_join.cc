@@ -32,6 +32,45 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
   StoreFor(port, slice.index).Insert(record.row, tags);
 }
 
+void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
+                              spe::Collector* out) {
+  (void)out;
+  // One batch arrives from one (port, sender), so a single store cache
+  // suffices; it is revalidated by [start, end) slice containment.
+  // Consecutive tuples overwhelmingly share a slice (sources are roughly
+  // time-ordered). Safe within a batch: slices only change on markers,
+  // which are batch boundaries, and map nodes are pointer-stable.
+  SliceInfo cached_slice;
+  TupleStore* cached_store = nullptr;
+  int64_t ops = 0;
+  for (spe::Record& record : records) {
+    NoteEventTime(record.event_time);
+    if (record.event_time < current_watermark()) {
+      ++records_late_;  // cannot be assigned consistently; dropped
+      if (metrics_on()) {
+        (record.tags & hosted_mask()).ForEachSetBit([&](size_t slot) {
+          if (obs::QuerySeries* s = SeriesForSlot(slot)) {
+            s->late_drops.Add();
+          }
+        });
+      }
+      continue;
+    }
+    scratch_tags_ = record.tags;
+    scratch_tags_ &= hosted_mask();
+    ++ops;
+    if (scratch_tags_.None()) continue;
+    if (cached_store == nullptr ||
+        record.event_time < cached_slice.start ||
+        record.event_time >= cached_slice.end) {
+      cached_slice = tracker().SliceFor(record.event_time);
+      cached_store = &StoreFor(port, cached_slice.index);
+    }
+    cached_store->Insert(record.row, scratch_tags_);
+  }
+  bitset_ops_ += ops;
+}
+
 const std::vector<SharedJoin::JoinedTuple>& SharedJoin::MemoFor(
     int64_t a, int64_t b, bool* computed) {
   const auto key = std::make_pair(a, b);

@@ -29,6 +29,11 @@ class SharedJoin : public SharedWindowedOperator {
   int num_ports() const override { return 2; }
   void ProcessRecord(int port, spe::Record record,
                      spe::Collector* out) override;
+  /// Vectorized path: the slice store for `port` is resolved once per run
+  /// of same-slice tuples instead of once per tuple, and the hosted-mask
+  /// intersection reuses one scratch query-set.
+  void ProcessBatch(int port, spe::RecordBatch& records,
+                    spe::Collector* out) override;
   Status SnapshotState(spe::StateWriter* writer) override;
   Status RestoreState(spe::StateReader* reader) override;
 
@@ -67,6 +72,8 @@ class SharedJoin : public SharedWindowedOperator {
   int64_t pairs_reused_ = 0;
   int64_t bitset_ops_ = 0;
   int64_t records_late_ = 0;
+  // Scratch query-set reused across the tuples of one batch.
+  QuerySet scratch_tags_;
 };
 
 }  // namespace astream::core

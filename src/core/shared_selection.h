@@ -46,6 +46,11 @@ class SharedSelection : public spe::Operator {
 
   void ProcessRecord(int port, spe::Record record,
                      spe::Collector* out) override;
+  /// Vectorized path: evaluates all predicates over the batch reusing one
+  /// scratch query-set (no per-tuple bitset construction for dropped
+  /// tuples) and batching the counter/overhead bookkeeping.
+  void ProcessBatch(int port, spe::RecordBatch& records,
+                    spe::Collector* out) override;
   void OnMarker(const spe::ControlMarker& marker,
                 spe::Collector* out) override;
   Status SnapshotState(spe::StateWriter* writer) override;
@@ -68,6 +73,8 @@ class SharedSelection : public spe::Operator {
   }
 
   QuerySet ComputeTags(const spe::Row& row) const;
+  /// Builds the tags into `tags`, reusing its capacity (batch hot path).
+  void ComputeTagsInto(const spe::Row& row, QuerySet* tags) const;
   void RebuildIndex();
 
   Config config_;
@@ -85,6 +92,8 @@ class SharedSelection : public spe::Operator {
 
   int64_t records_dropped_ = 0;
   std::atomic<int64_t> queryset_nanos_{0};
+  // Scratch query-set reused across the tuples of one batch.
+  QuerySet scratch_tags_;
 
   // Cached registry pointers; recording is lock-free (see obs/metrics.h).
   bool metrics_on_ = false;

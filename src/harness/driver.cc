@@ -124,6 +124,10 @@ Driver::Report Driver::Run() {
         ++report.push_clamped;
       } else if (result == core::PushResult::kBackpressure) {
         ++report.push_rejected;
+      } else if (result == core::PushResult::kShutdown) {
+        // Permanent refusal (the SUT stopped accepting input) — kept out
+        // of the backpressure tally so it cannot skew sustainability.
+        ++report.push_shutdown;
       }
       if (config_.push_b) push_to_b = !push_to_b;
     }

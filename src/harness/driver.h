@@ -76,9 +76,11 @@ class Driver {
     int64_t created = 0;
     int64_t deleted = 0;
     /// Tuples accepted but with a clamped event time (arrived behind the
-    /// changelog frontier) / refused outright by the SUT.
+    /// changelog frontier) / refused transiently (backpressure) / refused
+    /// permanently (SUT shutting down — not backpressure).
     int64_t push_clamped = 0;
     int64_t push_rejected = 0;
+    int64_t push_shutdown = 0;
     int64_t total_outputs = 0;
     bool sustainable = true;
     core::QosMonitor::Snapshot qos;

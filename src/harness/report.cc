@@ -109,4 +109,37 @@ void PrintQueryMetricsTable(const obs::MetricsRegistry::Snapshot& snapshot,
   table.Print();
 }
 
+void PrintDataPlaneTable(const obs::MetricsRegistry::Snapshot& snapshot) {
+  const std::string edge_prefix = "edge.";
+  const std::string edge_suffix = ".batch_size";
+  const std::string stage_prefix = "stage.";
+  const std::string depth_suffix = ".queue_depth";
+  Table table({"edge into", "batches", "elements", "mean batch", "p95",
+               "max", "queue depth"});
+  size_t rows = 0;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (name.rfind(edge_prefix, 0) != 0 || name.size() <= edge_suffix.size() ||
+        name.compare(name.size() - edge_suffix.size(), edge_suffix.size(),
+                     edge_suffix) != 0) {
+      continue;
+    }
+    if (hist.count == 0) continue;
+    const std::string stage = name.substr(
+        edge_prefix.size(),
+        name.size() - edge_prefix.size() - edge_suffix.size());
+    const auto depth_it =
+        snapshot.gauges.find(stage_prefix + stage + depth_suffix);
+    table.AddRow({stage, FormatCount(static_cast<double>(hist.count)),
+                  FormatCount(static_cast<double>(hist.sum)),
+                  FormatDouble(hist.mean(), 1),
+                  FormatDouble(hist.Percentile(95), 1),
+                  std::to_string(hist.max),
+                  depth_it == snapshot.gauges.end()
+                      ? "-"
+                      : std::to_string(depth_it->second)});
+    ++rows;
+  }
+  if (rows > 0) table.Print();
+}
+
 }  // namespace astream::harness

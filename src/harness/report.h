@@ -45,6 +45,12 @@ void PrintBanner(const std::string& figure, const std::string& description,
 void PrintQueryMetricsTable(const obs::MetricsRegistry::Snapshot& snapshot,
                             size_t max_rows = 0);
 
+/// Data-plane drill-down: per-edge batch-size histograms
+/// (`edge.<stage>.batch_size`) and per-stage queue-depth gauges
+/// (`stage.<name>.queue_depth`). Prints nothing when the snapshot carries
+/// no edge histograms (e.g. sync runner or metrics disabled).
+void PrintDataPlaneTable(const obs::MetricsRegistry::Snapshot& snapshot);
+
 }  // namespace astream::harness
 
 #endif  // ASTREAM_HARNESS_REPORT_H_

@@ -20,9 +20,42 @@ struct Envelope {
   StreamElement element;
 };
 
-/// Bounded blocking MPSC queue. Producers block when full — this is the
-/// backpressure mechanism (a slow operator slows its upstreams, and
-/// ultimately the driver, exactly like Fig. 5's queue-waiting latency).
+/// A batched envelope: a run of elements that all share one provenance.
+/// This is what channels actually carry — a single-element batch is the
+/// element-at-a-time degenerate case.
+struct BatchEnvelope {
+  int port = 0;
+  int sender = 0;
+  ElementBatch elements;
+
+  static BatchEnvelope Single(int port, int sender, StreamElement element) {
+    BatchEnvelope b;
+    b.port = port;
+    b.sender = sender;
+    b.elements.Add(std::move(element));
+    return b;
+  }
+};
+
+/// Outcome of a non-blocking push. Distinguishes a full queue (transient —
+/// backpressure, retry later) from a closed channel (permanent — shutdown).
+enum class PushStatus : uint8_t { kOk, kFull, kClosed };
+
+inline const char* PushStatusName(PushStatus s) {
+  switch (s) {
+    case PushStatus::kOk: return "ok";
+    case PushStatus::kFull: return "full";
+    case PushStatus::kClosed: return "closed";
+  }
+  return "?";
+}
+
+/// Bounded blocking MPSC queue of element batches. Producers pay one lock
+/// acquisition per batch; capacity is counted in *elements* (not batches),
+/// so queue-depth semantics match the element-at-a-time channel. Producers
+/// block when full — this is the backpressure mechanism (a slow operator
+/// slows its upstreams, and ultimately the driver, exactly like Fig. 5's
+/// queue-waiting latency).
 class Channel {
  public:
   explicit Channel(size_t capacity) : capacity_(capacity) {}
@@ -31,46 +64,72 @@ class Channel {
   Channel& operator=(const Channel&) = delete;
 
   /// Blocks while full (unless closed). Returns false if the channel was
-  /// closed before the push could complete.
-  bool Push(Envelope envelope) {
+  /// closed before the push could complete. A batch larger than the whole
+  /// capacity is admitted once the queue is empty, so it can never block
+  /// forever.
+  bool Push(BatchEnvelope batch) {
+    const size_t n = batch.elements.size();
     std::unique_lock<std::mutex> lock(mutex_);
-    not_full_.wait(lock,
-                   [&] { return queue_.size() < capacity_ || closed_; });
+    not_full_.wait(lock, [&] {
+      return elements_ + n <= capacity_ || queue_.empty() || closed_;
+    });
     if (closed_) return false;
-    queue_.push_back(std::move(envelope));
+    elements_ += n;
+    queue_.push_back(std::move(batch));
     not_empty_.notify_one();
     return true;
   }
 
-  /// Non-blocking push; returns false when full or closed.
-  bool TryPush(Envelope envelope) {
+  /// Single-element convenience wrapper.
+  bool Push(Envelope envelope) {
+    return Push(BatchEnvelope::Single(envelope.port, envelope.sender,
+                                      std::move(envelope.element)));
+  }
+
+  /// Non-blocking push. kFull is transient (the consumer is behind);
+  /// kClosed is permanent. On kOk the batch was enqueued.
+  PushStatus TryPush(BatchEnvelope batch) {
+    const size_t n = batch.elements.size();
     std::lock_guard<std::mutex> lock(mutex_);
-    if (closed_ || queue_.size() >= capacity_) return false;
-    queue_.push_back(std::move(envelope));
+    if (closed_) return PushStatus::kClosed;
+    if (elements_ + n > capacity_ && !queue_.empty()) {
+      return PushStatus::kFull;
+    }
+    elements_ += n;
+    queue_.push_back(std::move(batch));
     not_empty_.notify_one();
-    return true;
+    return PushStatus::kOk;
   }
 
-  /// Blocks until an element is available or the channel is closed and
+  /// Single-element convenience wrapper.
+  PushStatus TryPush(Envelope envelope) {
+    return TryPush(BatchEnvelope::Single(envelope.port, envelope.sender,
+                                         std::move(envelope.element)));
+  }
+
+  /// Blocks until a batch is available or the channel is closed and
   /// drained; std::nullopt signals end of input.
-  std::optional<Envelope> Pop() {
+  std::optional<BatchEnvelope> Pop() {
     std::unique_lock<std::mutex> lock(mutex_);
     not_empty_.wait(lock, [&] { return !queue_.empty() || closed_; });
     if (queue_.empty()) return std::nullopt;
-    Envelope e = std::move(queue_.front());
+    BatchEnvelope b = std::move(queue_.front());
     queue_.pop_front();
-    not_full_.notify_one();
-    return e;
+    elements_ -= b.elements.size();
+    // One popped batch can free room for several waiting producers.
+    not_full_.notify_all();
+    return b;
   }
 
   /// Non-blocking pop.
-  std::optional<Envelope> TryPop() {
+  std::optional<BatchEnvelope> TryPop() {
     std::lock_guard<std::mutex> lock(mutex_);
     if (queue_.empty()) return std::nullopt;
-    Envelope e = std::move(queue_.front());
+    BatchEnvelope b = std::move(queue_.front());
     queue_.pop_front();
-    not_full_.notify_one();
-    return e;
+    elements_ -= b.elements.size();
+    not_full_.notify_all();
+    return b;
   }
 
   /// After Close, pushes fail and pops drain the remaining queue.
@@ -81,7 +140,14 @@ class Channel {
     not_full_.notify_all();
   }
 
+  /// Queued elements (summed over batches) — the queue-depth gauge.
   size_t Size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return elements_;
+  }
+
+  /// Queued batches (Size() / NumBatches() = mean in-queue batch size).
+  size_t NumBatches() const {
     std::lock_guard<std::mutex> lock(mutex_);
     return queue_.size();
   }
@@ -91,7 +157,8 @@ class Channel {
   mutable std::mutex mutex_;
   std::condition_variable not_empty_;
   std::condition_variable not_full_;
-  std::deque<Envelope> queue_;
+  std::deque<BatchEnvelope> queue_;
+  size_t elements_ = 0;
   bool closed_ = false;
 };
 

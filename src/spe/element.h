@@ -1,8 +1,11 @@
 #ifndef ASTREAM_SPE_ELEMENT_H_
 #define ASTREAM_SPE_ELEMENT_H_
 
+#include <array>
 #include <cstdint>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/bitset.h"
 #include "common/clock.h"
@@ -94,6 +97,102 @@ struct StreamElement {
     e.kind = ElementKind::kDone;
     return e;
   }
+};
+
+/// A run of stream elements that travels the data plane as one unit: one
+/// channel push, one lock acquisition, and one operator dispatch per batch
+/// instead of per element. Control elements (watermarks, markers, done) are
+/// batch boundaries — producers flush buffered records before emitting one,
+/// so marker alignment semantics are identical to element-at-a-time.
+///
+/// Small batches (the common case for control elements and low-rate
+/// streams) live in inline storage; larger batches spill to the heap while
+/// keeping the elements contiguous, so consumers can always iterate
+/// `data()..data()+size()`. Records keep their own tag bitsets — the
+/// inline-word fast path of DynamicBitset already makes per-record tags
+/// allocation-free for up to 64 concurrent queries.
+///
+/// Move-only: batches are handed off, never duplicated. Broadcast edges
+/// copy individual StreamElements into per-target batches instead.
+class ElementBatch {
+ public:
+  static constexpr size_t kInlineCapacity = 4;
+
+  ElementBatch() = default;
+
+  ElementBatch(ElementBatch&& other) noexcept
+      : inline_(std::move(other.inline_)),
+        inline_size_(other.inline_size_),
+        overflow_(std::move(other.overflow_)) {
+    other.inline_size_ = 0;
+    other.overflow_.clear();
+  }
+
+  ElementBatch& operator=(ElementBatch&& other) noexcept {
+    if (this != &other) {
+      inline_ = std::move(other.inline_);
+      inline_size_ = other.inline_size_;
+      overflow_ = std::move(other.overflow_);
+      other.inline_size_ = 0;
+      other.overflow_.clear();
+    }
+    return *this;
+  }
+
+  ElementBatch(const ElementBatch&) = delete;
+  ElementBatch& operator=(const ElementBatch&) = delete;
+
+  void Add(StreamElement element) {
+    if (overflow_.empty()) {
+      if (inline_size_ < kInlineCapacity) {
+        inline_[inline_size_++] = std::move(element);
+        return;
+      }
+      Spill();
+    }
+    overflow_.push_back(std::move(element));
+  }
+
+  size_t size() const {
+    return overflow_.empty() ? inline_size_ : overflow_.size();
+  }
+  bool empty() const { return size() == 0; }
+
+  StreamElement* data() {
+    return overflow_.empty() ? inline_.data() : overflow_.data();
+  }
+  const StreamElement* data() const {
+    return overflow_.empty() ? inline_.data() : overflow_.data();
+  }
+
+  StreamElement& operator[](size_t i) { return data()[i]; }
+  const StreamElement& operator[](size_t i) const { return data()[i]; }
+
+  StreamElement* begin() { return data(); }
+  StreamElement* end() { return data() + size(); }
+  const StreamElement* begin() const { return data(); }
+  const StreamElement* end() const { return data() + size(); }
+
+  /// Empties the batch; heap capacity is kept for reuse.
+  void Clear() {
+    for (size_t i = 0; i < inline_size_; ++i) inline_[i] = StreamElement{};
+    inline_size_ = 0;
+    overflow_.clear();
+  }
+
+ private:
+  void Spill() {
+    overflow_.reserve(kInlineCapacity * 4);
+    for (size_t i = 0; i < inline_size_; ++i) {
+      overflow_.push_back(std::move(inline_[i]));
+    }
+    inline_size_ = 0;
+  }
+
+  std::array<StreamElement, kInlineCapacity> inline_;
+  size_t inline_size_ = 0;
+  // Non-empty iff the batch spilled; then it holds ALL elements.
+  std::vector<StreamElement> overflow_;
 };
 
 }  // namespace astream::spe

@@ -4,6 +4,8 @@
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/clock.h"
 #include "common/status.h"
@@ -24,6 +26,12 @@ class Collector {
                                    std::move(tags)));
   }
 };
+
+/// A contiguous run of data records that share one (port, sender)
+/// provenance, handed to Operator::ProcessBatch. The runtime owns the
+/// vector and reuses it across batches; operators may move individual
+/// records out but must not hold on to the vector itself.
+using RecordBatch = std::vector<Record>;
 
 /// Per-instance runtime information available to an operator.
 struct OperatorContext {
@@ -61,6 +69,19 @@ class Operator {
 
   /// Processes one data record from `port`.
   virtual void ProcessRecord(int port, Record record, Collector* out) = 0;
+
+  /// Processes a run of records from `port`, in order. The runtime calls
+  /// this (not ProcessRecord) for every record run, so vectorized operators
+  /// override it to amortize per-record work; the default delegates to the
+  /// per-element path, so existing operators keep working unmodified.
+  /// Control elements are never part of a run — watermarks and markers are
+  /// batch boundaries, and every OnWatermark/OnMarker guarantee from the
+  /// class comment holds across batches exactly as across single records.
+  virtual void ProcessBatch(int port, RecordBatch& records, Collector* out) {
+    for (Record& record : records) {
+      ProcessRecord(port, std::move(record), out);
+    }
+  }
 
   /// Called when the combined watermark (min over ports and senders)
   /// advances to `watermark`.

@@ -62,31 +62,68 @@ InstanceRuntime::SenderState& InstanceRuntime::GetSender(int port,
 }
 
 void InstanceRuntime::Deliver(Envelope env) {
-  SenderState& st = GetSender(env.port, env.sender);
+  DeliverBatch(BatchEnvelope::Single(env.port, env.sender,
+                                     std::move(env.element)));
+}
+
+void InstanceRuntime::DeliverBatch(BatchEnvelope batch) {
+  SenderState& st = GetSender(batch.port, batch.sender);
   if (st.blocked) {
-    st.pending.push_back(std::move(env));
+    st.pending.push_back(std::move(batch));
     return;
   }
-  Handle(std::move(env));
+  HandleBatch(batch.port, batch.sender, std::move(batch.elements));
   DrainPending();
 }
 
-void InstanceRuntime::Handle(Envelope env) {
-  SenderState& st = GetSender(env.port, env.sender);
-  switch (env.element.kind) {
+void InstanceRuntime::HandleBatch(int port, int sender,
+                                  ElementBatch&& elements) {
+  SenderState& st = GetSender(port, sender);
+  StreamElement* el = elements.data();
+  const size_t n = elements.size();
+  size_t i = 0;
+  while (i < n) {
+    if (el[i].kind == ElementKind::kRecord) {
+      // Hand the contiguous record run to the operator as one call.
+      scratch_records_.clear();
+      while (i < n && el[i].kind == ElementKind::kRecord) {
+        scratch_records_.push_back(std::move(el[i].record));
+        ++i;
+      }
+      records_in_.fetch_add(static_cast<int64_t>(scratch_records_.size()),
+                            std::memory_order_relaxed);
+      op_->ProcessBatch(port, scratch_records_, collector_.get());
+      continue;
+    }
+    HandleControl(st, std::move(el[i]));
+    ++i;
+    // A marker may have blocked this sender mid-batch. Park the unprocessed
+    // tail at the FRONT of the pending queue so order is preserved when the
+    // marker fires and unblocks us.
+    if (st.blocked && i < n) {
+      BatchEnvelope rest;
+      rest.port = port;
+      rest.sender = sender;
+      for (; i < n; ++i) rest.elements.Add(std::move(el[i]));
+      st.pending.push_front(std::move(rest));
+      return;
+    }
+  }
+}
+
+void InstanceRuntime::HandleControl(SenderState& st, StreamElement&& el) {
+  switch (el.kind) {
     case ElementKind::kRecord:
-      records_in_.fetch_add(1, std::memory_order_relaxed);
-      op_->ProcessRecord(env.port, std::move(env.element.record),
-                         collector_.get());
+      assert(false && "records are handled by HandleBatch");
       break;
     case ElementKind::kWatermark:
-      if (env.element.watermark > st.watermark) {
-        st.watermark = env.element.watermark;
+      if (el.watermark > st.watermark) {
+        st.watermark = el.watermark;
         RecomputeWatermark();
       }
       break;
     case ElementKind::kMarker:
-      HandleMarker(st, env.element.marker);
+      HandleMarker(st, el.marker);
       break;
     case ElementKind::kDone:
       if (!st.done) {
@@ -166,9 +203,11 @@ void InstanceRuntime::DrainPending() {
     progress = false;
     for (auto& [key, st] : senders_) {
       while (!st.blocked && !st.pending.empty()) {
-        Envelope env = std::move(st.pending.front());
+        BatchEnvelope batch = std::move(st.pending.front());
         st.pending.pop_front();
-        Handle(std::move(env));
+        // HandleBatch may re-block the sender mid-batch and park the tail
+        // back at the front; the loop condition re-checks `blocked`.
+        HandleBatch(batch.port, batch.sender, std::move(batch.elements));
         progress = true;
       }
     }
@@ -313,6 +352,44 @@ bool SyncRunner::Push(int input_index, StreamElement element) {
   return true;
 }
 
+bool SyncRunner::PushBatch(int input_index, ElementBatch batch) {
+  if (cancelled_) return false;
+  const ExternalInputSpec& ext = spec_.external_inputs()[input_index];
+  auto& targets = instances_[ext.target_stage];
+  const int par = static_cast<int>(targets.size());
+  const int sender = ExternalSenderGid(input_index);
+  std::vector<ElementBatch> sub(par);
+  auto flush = [&] {
+    for (int i = 0; i < par; ++i) {
+      if (sub[i].empty()) continue;
+      BatchEnvelope be;
+      be.port = ext.port;
+      be.sender = sender;
+      be.elements = std::move(sub[i]);
+      targets[i]->DeliverBatch(std::move(be));
+    }
+  };
+  for (StreamElement& el : batch) {
+    if (el.kind == ElementKind::kRecord) {
+      if (ext.partitioning == Partitioning::kHash) {
+        const int i = internal::InstanceForKey(el.record.row.key(), par);
+        sub[i].Add(std::move(el));
+      } else {
+        for (int i = 0; i < par; ++i) sub[i].Add(el);
+      }
+    } else {
+      // Control element: batch boundary. Drain buffered records first so
+      // per-edge order is preserved, then broadcast it.
+      flush();
+      for (auto& target : targets) {
+        target->DeliverBatch(BatchEnvelope::Single(ext.port, sender, el));
+      }
+    }
+  }
+  flush();
+  return true;
+}
+
 void SyncRunner::RouteExternal(int input_index, StreamElement element) {
   const ExternalInputSpec& ext = spec_.external_inputs()[input_index];
   auto& targets = instances_[ext.target_stage];
@@ -394,11 +471,13 @@ int64_t SyncRunner::StageRecordsOut(int stage) const {
 // ---------------------------------------------------------------------------
 
 ThreadedRunner::ThreadedRunner(TopologySpec spec, SinkFn sink,
-                               SnapshotFn snapshot, size_t channel_capacity)
+                               SnapshotFn snapshot, size_t channel_capacity,
+                               size_t batch_size)
     : spec_(std::move(spec)),
       sink_(std::move(sink)),
       snapshot_(std::move(snapshot)),
-      channel_capacity_(channel_capacity) {}
+      channel_capacity_(channel_capacity),
+      batch_size_(batch_size == 0 ? 1 : batch_size) {}
 
 ThreadedRunner::~ThreadedRunner() { Cancel(); }
 
@@ -421,17 +500,21 @@ Status ThreadedRunner::Start() {
       task->channel = std::make_unique<Channel>(channel_capacity_);
       RegisterSenders(task->runtime.get(), spec_, gid_base_,
                       static_cast<int>(s));
+      task->out.resize(downstream_[s].size());
+      for (size_t e = 0; e < downstream_[s].size(); ++e) {
+        const int target_par =
+            stages[downstream_[s][e].target_stage].parallelism;
+        task->out[e].resize(target_par);
+      }
       const int stage_index = static_cast<int>(s);
       const int instance_index = i;
       task->runtime->emit_record = [this, stage_index,
                                     instance_index](StreamElement&& el) {
-        RouteFromInstance(stage_index, instance_index, el,
-                          /*control=*/false);
+        RouteRecord(stage_index, instance_index, std::move(el));
       };
       task->runtime->forward_control =
           [this, stage_index, instance_index](const StreamElement& el) {
-            RouteFromInstance(stage_index, instance_index, el,
-                              /*control=*/true);
+            RouteControl(stage_index, instance_index, el);
           };
       if (snapshot_) task->runtime->snapshot = snapshot_;
       ASTREAM_RETURN_IF_ERROR(
@@ -452,38 +535,97 @@ Status ThreadedRunner::Start() {
 }
 
 void ThreadedRunner::TaskLoop(Task* task) {
+  const int stage = task->runtime->stage();
   while (true) {
-    std::optional<Envelope> env = task->channel->Pop();
-    if (!env.has_value()) break;  // closed and drained (cancel path)
-    task->runtime->Deliver(std::move(*env));
+    std::optional<BatchEnvelope> batch = task->channel->Pop();
+    if (!batch.has_value()) break;  // closed and drained (cancel path)
+    task->runtime->DeliverBatch(std::move(*batch));
+    // End-of-input-batch flush: a partially filled output buffer never
+    // waits for more input, so added latency is bounded by one upstream
+    // batch (the task-level linger policy).
+    FlushTaskOutputs(task, stage);
     if (task->runtime->Finished()) break;
+  }
+}
+
+void ThreadedRunner::PushTo(int stage, int instance, BatchEnvelope batch) {
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  const size_t n = batch.elements.size();
+  if (tasks_[stage][instance]->channel->Push(std::move(batch)) &&
+      edge_observer_) {
+    edge_observer_(stage, n);
   }
 }
 
 void ThreadedRunner::DeliverTo(int stage, int instance, int port, int sender,
                                StreamElement element) {
-  if (cancelled_.load(std::memory_order_relaxed)) return;
-  tasks_[stage][instance]->channel->Push(
-      Envelope{port, sender, std::move(element)});
+  PushTo(stage, instance,
+         BatchEnvelope::Single(port, sender, std::move(element)));
 }
 
-void ThreadedRunner::RouteFromInstance(int stage, int instance,
-                                       const StreamElement& el,
-                                       bool control) {
+void ThreadedRunner::FlushBuffer(Task* task, int stage, size_t edge_idx,
+                                 int target) {
+  ElementBatch& buf = task->out[edge_idx][target];
+  if (buf.empty()) return;
+  const internal::DownstreamEdge& edge = downstream_[stage][edge_idx];
+  BatchEnvelope be;
+  be.port = edge.port;
+  be.sender = gid_base_[stage] + task->runtime->instance();
+  be.elements = std::move(buf);
+  PushTo(edge.target_stage, target, std::move(be));
+}
+
+void ThreadedRunner::FlushTaskOutputs(Task* task, int stage) {
+  for (size_t e = 0; e < task->out.size(); ++e) {
+    for (size_t i = 0; i < task->out[e].size(); ++i) {
+      FlushBuffer(task, stage, e, static_cast<int>(i));
+    }
+  }
+}
+
+void ThreadedRunner::RouteRecord(int stage, int instance,
+                                 StreamElement&& el) {
   if (spec_.stages()[stage].is_sink && sink_) {
     sink_(stage, instance, el);
   }
+  Task* task = tasks_[stage][instance].get();
+  const size_t num_edges = downstream_[stage].size();
+  for (size_t e = 0; e < num_edges; ++e) {
+    const internal::DownstreamEdge& edge = downstream_[stage][e];
+    const int par = spec_.stages()[edge.target_stage].parallelism;
+    if (edge.partitioning == Partitioning::kHash) {
+      const int i = internal::InstanceForKey(el.record.row.key(), par);
+      ElementBatch& buf = task->out[e][i];
+      if (e + 1 == num_edges) {
+        buf.Add(std::move(el));
+      } else {
+        buf.Add(el);
+      }
+      if (buf.size() >= batch_size_) FlushBuffer(task, stage, e, i);
+    } else {
+      for (int i = 0; i < par; ++i) {
+        ElementBatch& buf = task->out[e][i];
+        buf.Add(el);
+        if (buf.size() >= batch_size_) FlushBuffer(task, stage, e, i);
+      }
+    }
+  }
+}
+
+void ThreadedRunner::RouteControl(int stage, int instance,
+                                  const StreamElement& el) {
+  if (spec_.stages()[stage].is_sink && sink_) {
+    sink_(stage, instance, el);
+  }
+  Task* task = tasks_[stage][instance].get();
+  // Control elements are batch boundaries: flush buffered records first so
+  // per-edge FIFO order is preserved, then broadcast as singleton batches.
+  FlushTaskOutputs(task, stage);
   const int sender = gid_base_[stage] + instance;
   for (const internal::DownstreamEdge& edge : downstream_[stage]) {
     const int par = spec_.stages()[edge.target_stage].parallelism;
-    if (!control && el.kind == ElementKind::kRecord &&
-        edge.partitioning == Partitioning::kHash) {
-      const int i = internal::InstanceForKey(el.record.row.key(), par);
+    for (int i = 0; i < par; ++i) {
       DeliverTo(edge.target_stage, i, edge.port, sender, el);
-    } else {
-      for (int i = 0; i < par; ++i) {
-        DeliverTo(edge.target_stage, i, edge.port, sender, el);
-      }
     }
   }
 }
@@ -503,6 +645,44 @@ bool ThreadedRunner::Push(int input_index, StreamElement element) {
       DeliverTo(ext.target_stage, i, ext.port, sender, element);
     }
   }
+  return true;
+}
+
+bool ThreadedRunner::PushBatch(int input_index, ElementBatch batch) {
+  if (cancelled_.load(std::memory_order_relaxed)) return false;
+  const ExternalInputSpec& ext = spec_.external_inputs()[input_index];
+  const int sender = ExternalSenderGid(input_index);
+  const int par = spec_.stages()[ext.target_stage].parallelism;
+  std::vector<ElementBatch> sub(par);
+  std::lock_guard<std::mutex> lock(*input_mutexes_[input_index]);
+  auto flush = [&] {
+    for (int i = 0; i < par; ++i) {
+      if (sub[i].empty()) continue;
+      BatchEnvelope be;
+      be.port = ext.port;
+      be.sender = sender;
+      be.elements = std::move(sub[i]);
+      PushTo(ext.target_stage, i, std::move(be));
+    }
+  };
+  for (StreamElement& el : batch) {
+    if (el.kind == ElementKind::kRecord) {
+      if (ext.partitioning == Partitioning::kHash) {
+        const int i = internal::InstanceForKey(el.record.row.key(), par);
+        sub[i].Add(std::move(el));
+      } else {
+        for (int i = 0; i < par; ++i) sub[i].Add(el);
+      }
+    } else {
+      // Control element: flush buffered records, then broadcast it.
+      flush();
+      for (int i = 0; i < par; ++i) {
+        PushTo(ext.target_stage, i,
+               BatchEnvelope::Single(ext.port, sender, el));
+      }
+    }
+  }
+  flush();
   return true;
 }
 

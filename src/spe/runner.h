@@ -57,6 +57,13 @@ class InstanceRuntime {
   /// Processes one envelope (bookkeeping + operator callbacks).
   void Deliver(Envelope env);
 
+  /// Processes one batch envelope. Record runs inside the batch are handed
+  /// to Operator::ProcessBatch; control elements are handled per element
+  /// with the usual alignment rules. If a marker blocks the sender
+  /// mid-batch, the unprocessed tail is parked (in order) until the marker
+  /// fires — callers need no special casing.
+  void DeliverBatch(BatchEnvelope batch);
+
   /// True once all senders signalled done and the operator was closed.
   bool Finished() const { return finished_; }
 
@@ -76,13 +83,14 @@ class InstanceRuntime {
     TimestampMs watermark = kMinTimestamp;
     bool done = false;
     bool blocked = false;
-    std::deque<Envelope> pending;
+    std::deque<BatchEnvelope> pending;
   };
 
   class RecordCollector;
 
   SenderState& GetSender(int port, int sender);
-  void Handle(Envelope env);
+  void HandleBatch(int port, int sender, ElementBatch&& elements);
+  void HandleControl(SenderState& st, StreamElement&& element);
   void HandleMarker(SenderState& st, const ControlMarker& marker);
   void FireMarker(const ControlMarker& marker);
   void RecomputeWatermark();
@@ -109,6 +117,8 @@ class InstanceRuntime {
   bool draining_ = false;
 
   std::unique_ptr<Collector> collector_;
+  // Scratch run of records handed to ProcessBatch; reused across batches.
+  RecordBatch scratch_records_;
   std::atomic<int64_t> records_in_{0};
   std::atomic<int64_t> records_out_{0};
 };
@@ -138,6 +148,13 @@ class Runner {
   /// `input_index`. Elements per input must be pushed in event-time order.
   /// Returns false after the job was cancelled.
   virtual bool Push(int input_index, StreamElement element) = 0;
+
+  /// Pushes a run of elements into external input `input_index` as one
+  /// batch: records are demultiplexed into per-instance sub-batches (one
+  /// channel push each); any control element inside the batch flushes the
+  /// sub-batches first and is then broadcast, so it stays a batch boundary.
+  /// Returns false after the job was cancelled.
+  virtual bool PushBatch(int input_index, ElementBatch batch) = 0;
 
   /// Pushes a control marker into every external input. All markers must
   /// be injected in one global order (they are serialized internally).
@@ -173,6 +190,7 @@ class SyncRunner : public Runner {
 
   Status Start() override;
   bool Push(int input_index, StreamElement element) override;
+  bool PushBatch(int input_index, ElementBatch batch) override;
   void InjectMarker(const ControlMarker& marker) override;
   void FinishAndWait() override;
   void Cancel() override;
@@ -200,18 +218,38 @@ class SyncRunner : public Runner {
   bool finished_ = false;
 };
 
+/// Observation hook invoked after every successful channel push with the
+/// target stage and the number of elements in the pushed batch. Runs on
+/// producer threads — implementations must be thread-safe (the obs layer
+/// wires this to a per-edge batch-size histogram).
+using EdgePushObserver = std::function<void(int stage, size_t batch_size)>;
+
 /// Multi-threaded execution: one task thread and one bounded input channel
 /// per operator instance; blocking pushes provide backpressure end to end.
+///
+/// Emitted records are accumulated into per-(edge, target-instance) output
+/// buffers and shipped as ElementBatches: a buffer is flushed when it
+/// reaches `batch_size`, when the producing task finishes one input batch
+/// (so added latency is bounded by one upstream batch — the task-level
+/// linger), or before any control element is forwarded (markers and
+/// watermarks are batch boundaries; per-edge FIFO order is preserved).
 class ThreadedRunner : public Runner {
  public:
-  /// `channel_capacity` bounds each instance's input queue.
+  /// `channel_capacity` bounds each instance's input queue (in elements).
+  /// `batch_size = 1` reproduces element-at-a-time behavior.
   ThreadedRunner(TopologySpec spec, SinkFn sink,
                  SnapshotFn snapshot = nullptr,
-                 size_t channel_capacity = 1024);
+                 size_t channel_capacity = 1024, size_t batch_size = 1);
   ~ThreadedRunner() override;
+
+  /// Installs the per-edge push observer. Must be called before Start().
+  void SetEdgePushObserver(EdgePushObserver observer) {
+    edge_observer_ = std::move(observer);
+  }
 
   Status Start() override;
   bool Push(int input_index, StreamElement element) override;
+  bool PushBatch(int input_index, ElementBatch batch) override;
   void InjectMarker(const ControlMarker& marker) override;
   void FinishAndWait() override;
   void Cancel() override;
@@ -232,11 +270,17 @@ class ThreadedRunner : public Runner {
     std::unique_ptr<internal::InstanceRuntime> runtime;
     std::unique_ptr<Channel> channel;
     std::thread thread;
+    // Output accumulators, indexed [downstream edge][target instance].
+    // Touched only by this task's thread.
+    std::vector<std::vector<ElementBatch>> out;
   };
 
   void TaskLoop(Task* task);
-  void RouteFromInstance(int stage, int instance, const StreamElement& el,
-                         bool control);
+  void RouteRecord(int stage, int instance, StreamElement&& el);
+  void RouteControl(int stage, int instance, const StreamElement& el);
+  void FlushBuffer(Task* task, int stage, size_t edge_idx, int target);
+  void FlushTaskOutputs(Task* task, int stage);
+  void PushTo(int stage, int instance, BatchEnvelope batch);
   void DeliverTo(int stage, int instance, int port, int sender,
                  StreamElement element);
 
@@ -244,6 +288,8 @@ class ThreadedRunner : public Runner {
   SinkFn sink_;
   SnapshotFn snapshot_;
   const size_t channel_capacity_;
+  const size_t batch_size_;
+  EdgePushObserver edge_observer_;
   std::vector<std::vector<std::unique_ptr<Task>>> tasks_;
   std::vector<std::vector<internal::DownstreamEdge>> downstream_;
   std::vector<int> gid_base_;

@@ -194,14 +194,14 @@ TEST(MetricsE2E, PushResultDistinguishesDropCauses) {
   ManualClock clock;
   auto job = MakeJob(Kind::kAggregation, /*threaded=*/false, &clock);
 
-  // Not started yet: refused.
-  EXPECT_EQ(job->PushA(1, Row{0, 1}), PushResult::kBackpressure);
+  // Not started yet: permanent refusal, not backpressure.
+  EXPECT_EQ(job->PushA(1, Row{0, 1}), PushResult::kShutdown);
 
   ASSERT_TRUE(job->Start().ok());
   clock.SetMs(100);
   EXPECT_EQ(job->PushA(100, Row{0, 1}), PushResult::kAccepted);
   // Aggregation topology has no stream B.
-  EXPECT_EQ(job->PushB(100, Row{0, 1}), PushResult::kBackpressure);
+  EXPECT_EQ(job->PushB(100, Row{0, 1}), PushResult::kShutdown);
 
   // Flush a changelog at t=200; a tuple behind the marker is clamped.
   ASSERT_TRUE(
@@ -213,13 +213,16 @@ TEST(MetricsE2E, PushResultDistinguishesDropCauses) {
   EXPECT_EQ(job->PushA(300, Row{0, 1}), PushResult::kAccepted);
 
   job->FinishAndWait();
-  // Finished: refused again.
-  EXPECT_EQ(job->PushA(400, Row{0, 1}), PushResult::kBackpressure);
+  // Finished: permanently refused again.
+  EXPECT_EQ(job->PushA(400, Row{0, 1}), PushResult::kShutdown);
 
   const auto snap = job->MetricsSnapshot();
   EXPECT_EQ(snap.counters.at("job.push_accepted"), 2);
   EXPECT_EQ(snap.counters.at("job.push_clamped"), 1);
-  EXPECT_EQ(snap.counters.at("job.push_backpressure"), 3);
+  // Shutdown refusals are tallied separately — none of them count as
+  // backpressure (the sync runner never exerts any here).
+  EXPECT_EQ(snap.counters.at("job.push_backpressure"), 0);
+  EXPECT_EQ(snap.counters.at("job.push_shutdown"), 3);
 }
 
 TEST(MetricsE2E, TraceRecordsLifecycleInOrder) {

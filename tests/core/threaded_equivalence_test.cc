@@ -71,7 +71,8 @@ Script MakeScript(Kind kind, uint64_t seed) {
 }
 
 std::map<QueryId, RowMultiset> RunScript(const Script& script, Kind kind,
-                                         bool threaded, int parallelism) {
+                                         bool threaded, int parallelism,
+                                         size_t batch_size = 1) {
   ManualClock clock;
   AStreamJob::Options options;
   options.topology = kind;
@@ -79,6 +80,7 @@ std::map<QueryId, RowMultiset> RunScript(const Script& script, Kind kind,
   options.threaded = threaded;
   options.clock = &clock;
   options.session.batch_size = 1;
+  options.batch_size = batch_size;
   auto job = std::move(AStreamJob::Create(options)).value();
   EXPECT_TRUE(job->Start().ok());
 
@@ -148,6 +150,50 @@ TEST_P(ThreadedEquivalence, JoinTopology) {
 INSTANTIATE_TEST_SUITE_P(Seeds, ThreadedEquivalence,
                          ::testing::Combine(::testing::Values(1, 2, 3),
                                             ::testing::Values(1, 3)));
+
+// The batched data plane must be invisible in the results: for any batch
+// size, sync and threaded runs produce the per-query outputs of the
+// element-at-a-time sync run — including across mid-stream Submit/Cancel
+// (changelog markers are batch boundaries).
+class BatchedEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(BatchedEquivalence, AggregationTopology) {
+  const auto [par, batch] = GetParam();
+  const Script script = MakeScript(Kind::kAggregation, /*seed=*/7);
+  const auto reference =
+      RunScript(script, Kind::kAggregation, /*threaded=*/false, par);
+  const auto sync_batched =
+      RunScript(script, Kind::kAggregation, /*threaded=*/false, par, batch);
+  const auto threaded_batched =
+      RunScript(script, Kind::kAggregation, /*threaded=*/true, par, batch);
+  EXPECT_EQ(reference, sync_batched);
+  EXPECT_EQ(reference, threaded_batched);
+  int64_t total = 0;
+  for (const auto& [id, rows] : reference) {
+    for (const auto& [row, n] : rows) total += n;
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST_P(BatchedEquivalence, JoinTopology) {
+  const auto [par, batch] = GetParam();
+  const Script script = MakeScript(Kind::kJoin, /*seed=*/7);
+  const auto reference =
+      RunScript(script, Kind::kJoin, /*threaded=*/false, par);
+  const auto sync_batched =
+      RunScript(script, Kind::kJoin, /*threaded=*/false, par, batch);
+  const auto threaded_batched =
+      RunScript(script, Kind::kJoin, /*threaded=*/true, par, batch);
+  EXPECT_EQ(reference, sync_batched);
+  EXPECT_EQ(reference, threaded_batched);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BatchSizes, BatchedEquivalence,
+    ::testing::Combine(::testing::Values(1, 3),
+                       ::testing::Values(size_t{1}, size_t{7},
+                                         size_t{64})));
 
 }  // namespace
 }  // namespace astream::core

@@ -15,34 +15,112 @@ Envelope Env(int value) {
   return e;
 }
 
+BatchEnvelope Batch(int first, int count) {
+  BatchEnvelope b;
+  b.port = 0;
+  b.sender = 0;
+  for (int i = 0; i < count; ++i) {
+    b.elements.Add(StreamElement::MakeRecord(first + i, Row{first + i}));
+  }
+  return b;
+}
+
+int KeyOf(const StreamElement& el) {
+  return static_cast<int>(el.record.row.key());
+}
+
 TEST(ChannelTest, FifoOrder) {
   Channel ch(16);
   for (int i = 0; i < 10; ++i) ASSERT_TRUE(ch.Push(Env(i)));
   for (int i = 0; i < 10; ++i) {
     auto e = ch.Pop();
     ASSERT_TRUE(e.has_value());
-    EXPECT_EQ(e->element.record.row.key(), i);
+    ASSERT_EQ(e->elements.size(), 1u);
+    EXPECT_EQ(KeyOf(e->elements[0]), i);
   }
 }
 
-TEST(ChannelTest, TryPushRespectsCapacity) {
+TEST(ChannelTest, BatchFifoOrderAndProvenance) {
+  Channel ch(64);
+  BatchEnvelope b = Batch(0, 6);
+  b.port = 1;
+  b.sender = 42;
+  ASSERT_TRUE(ch.Push(std::move(b)));
+  ASSERT_TRUE(ch.Push(Batch(6, 3)));
+  EXPECT_EQ(ch.Size(), 9u);        // counted in elements
+  EXPECT_EQ(ch.NumBatches(), 2u);  // ... not batches
+
+  auto first = ch.Pop();
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->port, 1);
+  EXPECT_EQ(first->sender, 42);
+  ASSERT_EQ(first->elements.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(KeyOf(first->elements[i]), i);
+
+  auto second = ch.Pop();
+  ASSERT_TRUE(second.has_value());
+  ASSERT_EQ(second->elements.size(), 3u);
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(KeyOf(second->elements[i]), 6 + i);
+  EXPECT_EQ(ch.Size(), 0u);
+}
+
+TEST(ChannelTest, TryPushRespectsElementCapacity) {
   Channel ch(2);
-  EXPECT_TRUE(ch.TryPush(Env(1)));
-  EXPECT_TRUE(ch.TryPush(Env(2)));
-  EXPECT_FALSE(ch.TryPush(Env(3)));
+  EXPECT_EQ(ch.TryPush(Env(1)), PushStatus::kOk);
+  EXPECT_EQ(ch.TryPush(Env(2)), PushStatus::kOk);
+  EXPECT_EQ(ch.TryPush(Env(3)), PushStatus::kFull);
   EXPECT_EQ(ch.Size(), 2u);
   ch.TryPop();
-  EXPECT_TRUE(ch.TryPush(Env(3)));
+  EXPECT_EQ(ch.TryPush(Env(3)), PushStatus::kOk);
+}
+
+TEST(ChannelTest, TryPushCountsBatchElementsAgainstCapacity) {
+  Channel ch(4);
+  EXPECT_EQ(ch.TryPush(Batch(0, 3)), PushStatus::kOk);
+  // 3 of 4 element slots used: a 2-element batch does not fit.
+  EXPECT_EQ(ch.TryPush(Batch(3, 2)), PushStatus::kFull);
+  EXPECT_EQ(ch.TryPush(Env(3)), PushStatus::kOk);
+  EXPECT_EQ(ch.Size(), 4u);
+}
+
+TEST(ChannelTest, TryPushDistinguishesFullFromClosed) {
+  Channel ch(1);
+  ASSERT_EQ(ch.TryPush(Env(1)), PushStatus::kOk);
+  // Transient: the consumer is merely behind.
+  EXPECT_EQ(ch.TryPush(Env(2)), PushStatus::kFull);
+  ch.Close();
+  // Permanent: retrying is pointless, even though the queue is also full.
+  EXPECT_EQ(ch.TryPush(Env(2)), PushStatus::kClosed);
+  ch.TryPop();
+  EXPECT_EQ(ch.TryPush(Env(2)), PushStatus::kClosed);
+}
+
+TEST(ChannelTest, OversizedBatchAdmittedIntoEmptyQueue) {
+  Channel ch(2);
+  // A batch bigger than the whole capacity must not block forever: it is
+  // admitted once the queue is empty.
+  ASSERT_TRUE(ch.Push(Batch(0, 5)));
+  EXPECT_EQ(ch.Size(), 5u);
+  // But while it occupies the queue, nothing else fits.
+  EXPECT_EQ(ch.TryPush(Env(9)), PushStatus::kFull);
+  auto e = ch.Pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->elements.size(), 5u);
+  EXPECT_EQ(ch.TryPush(Env(9)), PushStatus::kOk);
 }
 
 TEST(ChannelTest, CloseUnblocksConsumersAndDrains) {
   Channel ch(4);
   ch.Push(Env(1));
+  ch.Push(Batch(2, 2));
   ch.Close();
-  EXPECT_FALSE(ch.Push(Env(2)));  // rejected after close
-  auto e = ch.Pop();              // drains the remaining element
+  EXPECT_FALSE(ch.Push(Env(4)));  // rejected after close
+  auto e = ch.Pop();              // drains the remaining batches...
   ASSERT_TRUE(e.has_value());
-  EXPECT_FALSE(ch.Pop().has_value());  // then signals end
+  e = ch.Pop();
+  ASSERT_TRUE(e.has_value());
+  EXPECT_EQ(e->elements.size(), 2u);
+  EXPECT_FALSE(ch.Pop().has_value());  // ...then signals end
 }
 
 TEST(ChannelTest, BlockingPushUnblocksOnPop) {
@@ -56,6 +134,21 @@ TEST(ChannelTest, BlockingPushUnblocksOnPop) {
   ASSERT_TRUE(e.has_value());
   producer.join();
   EXPECT_EQ(ch.Size(), 1u);
+}
+
+TEST(ChannelTest, PopFreesRoomForMultipleBlockedProducers) {
+  Channel ch(4);
+  ASSERT_TRUE(ch.Push(Batch(0, 4)));  // full
+  std::vector<std::thread> producers;
+  for (int p = 0; p < 3; ++p) {
+    producers.emplace_back([&ch, p] { ASSERT_TRUE(ch.Push(Env(10 + p))); });
+  }
+  // Popping the 4-element batch frees room for all three single-element
+  // producers at once (notify_all on pop).
+  auto e = ch.Pop();
+  ASSERT_TRUE(e.has_value());
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.Size(), 3u);
 }
 
 TEST(ChannelTest, ManyProducersOneConsumer) {
@@ -74,9 +167,43 @@ TEST(ChannelTest, ManyProducersOneConsumer) {
   for (int i = 0; i < kProducers * kPerProducer; ++i) {
     auto e = ch.Pop();
     ASSERT_TRUE(e.has_value());
-    const auto v = static_cast<size_t>(e->element.record.row.key());
+    const auto v = static_cast<size_t>(KeyOf(e->elements[0]));
     EXPECT_FALSE(seen[v]);
     seen[v] = true;
+  }
+  for (auto& t : producers) t.join();
+  EXPECT_EQ(ch.Size(), 0u);
+}
+
+TEST(ChannelTest, ManyBatchProducersOneConsumer) {
+  Channel ch(32);
+  constexpr int kBatches = 100;
+  constexpr int kBatchSize = 7;
+  constexpr int kProducers = 4;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&ch, p] {
+      for (int i = 0; i < kBatches; ++i) {
+        ASSERT_TRUE(
+            ch.Push(Batch((p * kBatches + i) * kBatchSize, kBatchSize)));
+      }
+    });
+  }
+  std::vector<bool> seen(kProducers * kBatches * kBatchSize, false);
+  for (int b = 0; b < kProducers * kBatches; ++b) {
+    auto e = ch.Pop();
+    ASSERT_TRUE(e.has_value());
+    ASSERT_EQ(e->elements.size(), static_cast<size_t>(kBatchSize));
+    int prev = -1;
+    for (const StreamElement& el : e->elements) {
+      const int v = KeyOf(el);
+      if (prev >= 0) {
+        EXPECT_EQ(v, prev + 1);  // batches stay contiguous
+      }
+      prev = v;
+      EXPECT_FALSE(seen[static_cast<size_t>(v)]);
+      seen[static_cast<size_t>(v)] = true;
+    }
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(ch.Size(), 0u);
