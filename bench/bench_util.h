@@ -68,7 +68,8 @@ inline std::function<core::QueryDescriptor()> QueryFactory(
 
 inline std::unique_ptr<harness::AStreamSut> MakeAStream(
     core::AStreamJob::TopologyKind topology, int parallelism,
-    bool measure_overhead = false, size_t batch_size = 1) {
+    bool measure_overhead = false, size_t batch_size = 1,
+    bool use_spsc_rings = true) {
   core::AStreamJob::Options options;
   options.topology = topology;
   options.parallelism = parallelism;
@@ -76,6 +77,7 @@ inline std::unique_ptr<harness::AStreamSut> MakeAStream(
   options.measure_overhead = measure_overhead;
   options.channel_capacity = 2048;
   options.batch_size = batch_size;
+  options.use_spsc_rings = use_spsc_rings;
   auto sut = std::make_unique<harness::AStreamSut>(options);
   return sut;
 }
@@ -92,6 +94,20 @@ inline size_t ParseBatchSize(int argc, char** argv) {
     }
   }
   return 1;
+}
+
+/// Parses a `--rings=0|1` argv knob (figure benches); 1 (default) routes
+/// internal single-producer edges through lock-free SPSC rings, 0 forces
+/// the mutex MPMC channel everywhere (the pre-ring data plane).
+inline bool ParseUseRings(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--rings=";
+    if (arg.rfind(prefix, 0) == 0) {
+      return std::strtol(arg.c_str() + prefix.size(), nullptr, 10) != 0;
+    }
+  }
+  return true;
 }
 
 inline std::unique_ptr<harness::BaselineSut> MakeFlink(

@@ -14,11 +14,14 @@ namespace {
 
 using core::QueryKind;
 
-void Run() {
+void Run(size_t batch_size, bool use_rings) {
   harness::PrintBanner(
       "Figure 17 — slowest data throughput vs. query parallelism (SC1)",
       "Log-spaced sweep of concurrently active queries.",
       std::string(kClusterScaling) + "; sweep 1..128 instead of 1..1000");
+  std::printf("data plane: batch_size=%zu, %s\n\n", batch_size,
+              use_rings ? "SPSC rings on internal edges"
+                        : "mutex MPMC channels everywhere");
 
   for (QueryKind kind : {QueryKind::kJoin, QueryKind::kAggregation}) {
     for (int par : {2, 4}) {
@@ -26,7 +29,9 @@ void Run() {
                             "tput x qp (overall)", "decline vs prev"});
       double prev = 0;
       for (size_t qp : {1u, 4u, 16u, 64u, 128u}) {
-        auto sut = MakeAStream(TopologyFor(kind), par);
+        auto sut = MakeAStream(TopologyFor(kind), par,
+                               /*measure_overhead=*/false, batch_size,
+                               use_rings);
         if (!sut->Start().ok()) continue;
         workload::Sc1Scenario scenario(/*rate_per_sec=*/400, qp);
         const double rate = kind == QueryKind::kJoin ? 250'000 : 0;
@@ -61,8 +66,9 @@ void Run() {
 }  // namespace
 }  // namespace astream::bench
 
-int main() {
+int main(int argc, char** argv) {
   astream::bench::BenchInit();
-  astream::bench::Run();
+  astream::bench::Run(astream::bench::ParseBatchSize(argc, argv),
+                      astream::bench::ParseUseRings(argc, argv));
   return 0;
 }

@@ -20,10 +20,15 @@ cmake -B build -S . >/dev/null
 cmake --build build -j
 (cd build && ctest --output-on-failure -j)
 
-echo "== micro_channel: smoke (envelope vs batch channel throughput) =="
+echo "== micro_channel: smoke (batching + ring-vs-mutex throughput) =="
 cmake --build build -j --target micro_channel >/dev/null
 ./build/bench/micro_channel --benchmark_min_time=0.05 \
-  --benchmark_filter='BM_ChannelTransfer/(1|64)$'
+  --benchmark_filter='BM_ChannelTransfer/(1|64)$|BM_(Channel|Ring)Pipe/64$'
+
+echo "== micro_row: smoke (CoW fan-out scaling) =="
+cmake --build build -j --target micro_row >/dev/null
+./build/bench/micro_row --benchmark_min_time=0.05 \
+  --benchmark_filter='BM_RowFanoutShare/(8|64)$'
 
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== tsan: skipped (--skip-tsan) =="
@@ -32,11 +37,16 @@ else
   cmake -B build-tsan -S . -DASTREAM_SANITIZE=thread >/dev/null
   cmake --build build-tsan -j --target astream_tests
 
-  echo "== tsan: threaded/batched equivalence + channel + observability =="
+  echo "== tsan: threaded/batched/ring equivalence + channel + observability =="
   # TSAN_OPTIONS makes any race a hard failure.
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     ./build-tsan/tests/astream_tests \
-    --gtest_filter='*ThreadedEquivalence*:*BatchedEquivalence*:*Channel*:*Metrics*:*Histogram*:*TraceSink*:*SeriesCache*'
+    --gtest_filter='*ThreadedEquivalence*:*BatchedEquivalence*:*RingEquivalence*:*Channel*:*Metrics*:*Histogram*:*TraceSink*:*SeriesCache*'
+
+  echo "== tsan: contended channel/ring stress (closed-wins race, SPSC handoff, CoW reads) =="
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ./build-tsan/tests/astream_tests \
+    --gtest_filter='*SpscRing*:*TaskInbox*:ChannelTest.TryPushNeverReportsFullAfterCloseRace:ChannelTest.Many*:RowTest.ConcurrentReads*'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

@@ -1,0 +1,138 @@
+#ifndef ASTREAM_COMMON_ARENA_H_
+#define ASTREAM_COMMON_ARENA_H_
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace astream {
+
+/// Bump-pointer arena: allocations are one pointer bump in the current
+/// chunk; individual frees are no-ops and all memory is released wholesale
+/// when the arena is destroyed. Built for state whose lifetime is known in
+/// bulk — per-slice stores die with their slice, so their maps, buckets and
+/// vectors never need piecemeal deallocation.
+///
+/// Chunks double up to a cap so small arenas stay small and hot arenas
+/// amortize to one malloc per ~64 KiB. Alignment up to
+/// alignof(std::max_align_t) is supported (operator new[] guarantees it).
+///
+/// Not thread-safe for allocation (one owner, matching the one-task-thread-
+/// per-operator execution model); the byte counters are relaxed atomics so
+/// observability gauges may sample them from other threads.
+class Arena {
+ public:
+  explicit Arena(size_t first_chunk_bytes = 1024)
+      : next_chunk_bytes_(first_chunk_bytes < 64 ? 64 : first_chunk_bytes) {}
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  void* Allocate(size_t bytes, size_t align) {
+    size_t offset = AlignUp(used_, align);
+    if (chunks_.empty() || offset + bytes > chunks_.back().size) {
+      AddChunk(bytes + align);
+      offset = AlignUp(used_, align);
+    }
+    used_ = offset + bytes;
+    bytes_used_.fetch_add(bytes, std::memory_order_relaxed);
+    return chunks_.back().data.get() + offset;
+  }
+
+  /// Total bytes reserved from the system (the footprint gauge).
+  size_t bytes_reserved() const {
+    return bytes_reserved_.load(std::memory_order_relaxed);
+  }
+
+  /// Bytes handed out to callers (reserved - used = bump slack).
+  size_t bytes_used() const {
+    return bytes_used_.load(std::memory_order_relaxed);
+  }
+
+  size_t num_chunks() const { return chunks_.size(); }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::byte[]> data;
+    size_t size = 0;
+  };
+
+  static size_t AlignUp(size_t n, size_t align) {
+    return (n + align - 1) & ~(align - 1);
+  }
+
+  void AddChunk(size_t min_bytes) {
+    size_t size = next_chunk_bytes_;
+    if (size < min_bytes) size = min_bytes;
+    constexpr size_t kMaxChunk = 64 * 1024;
+    if (next_chunk_bytes_ < kMaxChunk) next_chunk_bytes_ *= 2;
+    chunks_.push_back(Chunk{std::make_unique<std::byte[]>(size), size});
+    used_ = 0;
+    bytes_reserved_.fetch_add(size, std::memory_order_relaxed);
+  }
+
+  std::vector<Chunk> chunks_;
+  size_t used_ = 0;  // bump offset into chunks_.back()
+  size_t next_chunk_bytes_;
+  std::atomic<size_t> bytes_reserved_{0};
+  std::atomic<size_t> bytes_used_{0};
+};
+
+/// Standard-library allocator over an Arena. deallocate() is a no-op: the
+/// backing memory outlives every container using the allocator and is freed
+/// wholesale with the arena. Containers using this allocator must not
+/// outlive the arena they were built on.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  // All instances over one arena are interchangeable; moves between
+  // containers of the same store are pointer swaps.
+  using propagate_on_container_copy_assignment = std::true_type;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  /// Default-constructed (arena-less) allocators fall back to the global
+  /// heap. Required for well-formedness: libstdc++'s hashtable instantiates
+  /// the allocator's default constructor during trait evaluation even when
+  /// every live container is built with an explicit arena.
+  ArenaAllocator() = default;
+  explicit ArenaAllocator(Arena* arena) : arena_(arena) {}
+
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) : arena_(other.arena()) {}
+
+  T* allocate(size_t n) {
+    if (arena_ == nullptr) {
+      return static_cast<T*>(
+          ::operator new(n * sizeof(T), std::align_val_t(alignof(T))));
+    }
+    return static_cast<T*>(arena_->Allocate(n * sizeof(T), alignof(T)));
+  }
+
+  void deallocate(T* p, size_t) {
+    // Arena-backed memory is freed wholesale with the arena; only the
+    // heap-fallback path frees piecemeal.
+    if (arena_ == nullptr) {
+      ::operator delete(p, std::align_val_t(alignof(T)));
+    }
+  }
+
+  Arena* arena() const { return arena_; }
+
+  bool operator==(const ArenaAllocator& other) const {
+    return arena_ == other.arena_;
+  }
+  bool operator!=(const ArenaAllocator& other) const {
+    return arena_ != other.arena_;
+  }
+
+ private:
+  Arena* arena_ = nullptr;
+};
+
+}  // namespace astream
+
+#endif  // ASTREAM_COMMON_ARENA_H_

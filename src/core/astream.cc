@@ -326,7 +326,7 @@ Status AStreamJob::Start() {
   if (options_.threaded) {
     auto threaded = std::make_unique<spe::ThreadedRunner>(
         std::move(spec), sink, snapshot, options_.channel_capacity,
-        options_.batch_size);
+        options_.batch_size, options_.use_spsc_rings);
     if (!edge_batch_hists_.empty()) {
       threaded->SetEdgePushObserver([this](int stage, size_t batch) {
         edge_batch_hists_[stage]->Record(static_cast<int64_t>(batch));
@@ -661,18 +661,22 @@ AStreamJob::OperatorStats AStreamJob::CollectStats() const {
     s.queryset_nanos += sel->queryset_nanos();
   }
   for (const RouterOperator* r : routers_) {
-    s.copy_nanos += r->copy_nanos();
+    s.fanout_nanos += r->fanout_nanos();
     s.router_records_out += r->records_routed();
+    s.router_rows_shared += r->rows_shared();
+    s.router_rows_copied += r->rows_copied();
   }
   for (const SharedJoin* j : joins_) {
     s.bitset_ops += j->bitset_ops();
     s.join_pairs_computed += j->pairs_computed();
     s.join_pairs_reused += j->pairs_reused();
     s.records_late += j->records_late();
+    s.state_arena_bytes += j->state_arena_bytes();
   }
   for (const SharedAggregation* a : aggregations_) {
     s.bitset_ops += a->bitset_ops();
     s.records_late += a->records_late();
+    s.state_arena_bytes += a->state_arena_bytes();
   }
   if (runner_ != nullptr) {
     s.selection_records_in = runner_->StageRecordsIn(0);
@@ -697,6 +701,15 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
       metrics_.GetGauge("session.num_slots")
           ->Set(static_cast<int64_t>(session_.num_slots()));
     }
+    {
+      // Data-plane sharing drill-down: how often the router's per-query
+      // fan-out shared a CoW row vs. materialized one, and the slice-store
+      // arena footprint.
+      const OperatorStats s = CollectStats();
+      metrics_.GetGauge("router.rows_shared")->Set(s.router_rows_shared);
+      metrics_.GetGauge("router.rows_copied")->Set(s.router_rows_copied);
+      metrics_.GetGauge("state.arena_bytes")->Set(s.state_arena_bytes);
+    }
     if (runner_ != nullptr) {
       auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());
       metrics_.GetGauge("runner.queued_elements")
@@ -712,6 +725,15 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
         if (threaded != nullptr) {
           metrics_.GetGauge(prefix + "queue_depth")
               ->Set(static_cast<int64_t>(threaded->StageQueuedElements(s)));
+          if (threaded->use_spsc_rings()) {
+            // Fill fraction in [0, 1], exported in basis points so the
+            // integer gauge keeps two decimal digits of resolution.
+            metrics_
+                .GetGauge("edge." + runner_->StageName(s) +
+                          ".ring_occupancy_bp")
+                ->Set(static_cast<int64_t>(
+                    threaded->StageRingOccupancy(s) * 10000.0));
+          }
         }
       }
     }

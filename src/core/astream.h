@@ -54,6 +54,10 @@ class AStreamJob {
     /// predicate index (see SharedSelection::Config).
     bool use_predicate_index = true;
     size_t channel_capacity = 1024;
+    /// Threaded mode: route each internal (upstream-instance -> downstream-
+    /// instance) edge through a lock-free SPSC ring instead of the mutex
+    /// channel (external ingress always uses the mutex MPMC fallback).
+    bool use_spsc_rings = true;
     /// Data-plane batch size. Pushed tuples are buffered per input stream
     /// and shipped as one ElementBatch (one channel lock, one operator
     /// dispatch) once `batch_size` tuples accumulated; operators batch
@@ -149,7 +153,7 @@ class AStreamJob {
   /// Aggregated operator instrumentation (Fig. 18 and observability).
   struct OperatorStats {
     int64_t queryset_nanos = 0;   // shared selections
-    int64_t copy_nanos = 0;       // routers
+    int64_t fanout_nanos = 0;     // routers (CoW fan-out, not data copies)
     int64_t bitset_ops = 0;       // shared joins + aggregations
     int64_t join_pairs_computed = 0;
     int64_t join_pairs_reused = 0;
@@ -157,6 +161,9 @@ class AStreamJob {
     int64_t selection_records_in = 0;
     int64_t selection_records_out = 0;
     int64_t router_records_out = 0;
+    int64_t router_rows_shared = 0;  // fan-out rows shipped by reference
+    int64_t router_rows_copied = 0;  // fan-out rows materialized fresh
+    int64_t state_arena_bytes = 0;   // slice-store arena footprint
   };
   OperatorStats CollectStats() const;
 

@@ -10,7 +10,7 @@ void ClTable::AddSlice(int64_t index, QuerySet delta, size_t num_slots) {
   } else {
     assert(index == first_index_ + Size() && "slice indices must be dense");
   }
-  deltas_.push_back(SliceEntry{std::move(delta), num_slots});
+  deltas_.push_back(SliceEntry{std::move(delta), num_slots, {}});
 }
 
 const QuerySet& ClTable::Mask(int64_t i, int64_t j) {
@@ -20,48 +20,62 @@ const QuerySet& ClTable::Mask(int64_t i, int64_t j) {
 }
 
 const QuerySet& ClTable::ComputeMask(int64_t i, int64_t j) {
-  // Eq. 1, memoized. CL[j][j] is all-ones over the slot universe that
-  // existed when slice j was created; CL[i][j] = CL[i-1][j] & delta[i].
-  auto hit = memo_.find(MemoKey(i, j));
-  if (hit != memo_.end()) return hit->second;
-  if (i == j) {
-    auto [it, inserted] = memo_.try_emplace(
-        MemoKey(i, j),
-        QuerySet::AllSet(deltas_[i - first_index_].num_slots));
-    (void)inserted;
-    return it->second;
+  // Eq. 1, memoized per slice row. CL[j][j] is all-ones over the slot
+  // universe that existed when slice j was created; CL[i][j] =
+  // CL[i-1][j] & delta[i].
+  {
+    std::optional<QuerySet>& cell = Cell(i, j);
+    if (cell.has_value()) return *cell;
   }
   // Find the longest memoized prefix CL[k-1][j], then extend to i.
   int64_t k = i;
-  while (k > j && memo_.find(MemoKey(k - 1, j)) == memo_.end()) --k;
+  while (k > j) {
+    SliceEntry& prev = Entry(k - 1);
+    const size_t d = static_cast<size_t>(k - 1 - j);
+    if (d < prev.row.size() && prev.row[d].has_value()) break;
+    --k;
+  }
   QuerySet acc;
   if (k == j) {
-    acc = QuerySet::AllSet(deltas_[j - first_index_].num_slots);
+    acc = QuerySet::AllSet(Entry(j).num_slots);
+    std::optional<QuerySet>& diag = Cell(j, j);
+    if (!diag.has_value()) {
+      diag = acc;
+      ++memo_entries_;
+    }
   } else {
-    acc = memo_.at(MemoKey(k - 1, j));
-    acc &= deltas_[k - first_index_].delta;
-    memo_.emplace(MemoKey(k, j), acc);
+    acc = *Entry(k - 1).row[static_cast<size_t>(k - 1 - j)];
   }
-  for (int64_t m = k + 1; m <= i; ++m) {
-    acc &= deltas_[m - first_index_].delta;
-    memo_.emplace(MemoKey(m, j), acc);
+  for (int64_t m = k == j ? j + 1 : k; m <= i; ++m) {
+    acc &= Entry(m).delta;
+    std::optional<QuerySet>& cell = Cell(m, j);
+    if (!cell.has_value()) {
+      cell = acc;
+      ++memo_entries_;
+    }
   }
-  return memo_.at(MemoKey(i, j));
+  return *Entry(i).row[static_cast<size_t>(i - j)];
 }
 
 void ClTable::EvictBelow(int64_t min_index) {
+  // Whole memo rows die with their slice — one deque pop, no global scan.
   while (!deltas_.empty() && first_index_ < min_index) {
+    for (const auto& cell : deltas_.front().row) {
+      if (cell.has_value()) --memo_entries_;
+    }
     deltas_.pop_front();
     ++first_index_;
   }
-  // Drop memo entries touching evicted slices.
-  for (auto it = memo_.begin(); it != memo_.end();) {
-    const int64_t j = static_cast<int32_t>(it->first & 0xffffffff);
-    if (j < min_index) {
-      it = memo_.erase(it);
-    } else {
-      ++it;
+  // Surviving rows may still hold tail entries whose j was evicted; trim
+  // them so the memo never references dropped slices.
+  for (int64_t i = first_index_; i <= last_index(); ++i) {
+    auto& row = Entry(i).row;
+    const size_t keep = static_cast<size_t>(i - first_index_) + 1;
+    if (row.size() <= keep) continue;
+    for (size_t d = keep; d < row.size(); ++d) {
+      if (row[d].has_value()) --memo_entries_;
     }
+    row.resize(keep);
   }
 }
 
@@ -76,7 +90,7 @@ void ClTable::Serialize(spe::StateWriter* writer) const {
 
 Status ClTable::Restore(spe::StateReader* reader) {
   deltas_.clear();
-  memo_.clear();
+  memo_entries_ = 0;
   first_index_ = reader->ReadI64();
   const uint64_t n = reader->ReadU64();
   for (uint64_t i = 0; i < n && reader->Ok(); ++i) {

@@ -3,7 +3,8 @@
 
 #include <cstdint>
 #include <deque>
-#include <unordered_map>
+#include <optional>
+#include <vector>
 
 #include "core/query.h"
 
@@ -24,8 +25,11 @@ namespace astream::core {
 /// operations between tuples born under different query populations
 /// consistent, including after slot reuse.
 ///
-/// The table memoizes rows with the paper's dynamic program and evicts
-/// rows/deltas when slices are evicted.
+/// Memoized masks are laid out per slice: slice i owns the row of masks
+/// CL[i][j], indexed by the span length i - j. A row lives and dies with
+/// its slice, so EvictBelow pops whole rows from the deque front (wholesale
+/// free, the same lifetime discipline as the slice-store arenas) instead of
+/// scanning a global (i, j) hash map.
 class ClTable {
  public:
   /// Registers slice `index` (consecutive, increasing) with the delta mask
@@ -35,7 +39,9 @@ class ClTable {
   void AddSlice(int64_t index, QuerySet delta, size_t num_slots);
 
   /// CL mask between slices i and j (order-insensitive). Both slices must
-  /// be registered and not evicted.
+  /// be registered and not evicted. The returned reference is valid only
+  /// until the next Mask / AddSlice / EvictBelow call (memo rows are
+  /// vectors and may reallocate) — consume it before touching the table.
   const QuerySet& Mask(int64_t i, int64_t j);
 
   /// Convenience: Mask(i, j).Test(slot).
@@ -51,27 +57,37 @@ class ClTable {
   int64_t Size() const { return static_cast<int64_t>(deltas_.size()); }
 
   /// Number of memoized masks currently held (observability/tests).
-  size_t MemoSize() const { return memo_.size(); }
+  size_t MemoSize() const { return memo_entries_; }
 
   /// Checkpointing: deltas and indices only (the memo is recomputable).
   void Serialize(spe::StateWriter* writer) const;
   Status Restore(spe::StateReader* reader);
 
  private:
-  const QuerySet& ComputeMask(int64_t i, int64_t j);
-
-  static uint64_t MemoKey(int64_t i, int64_t j) {
-    return (static_cast<uint64_t>(i) << 32) | static_cast<uint32_t>(j);
-  }
-
   struct SliceEntry {
     QuerySet delta;
     size_t num_slots = 0;
+    /// Memoized masks of this slice: row[d] = CL[i][i - d] for this
+    /// slice's index i. Evicted wholesale with the slice.
+    std::vector<std::optional<QuerySet>> row;
   };
+
+  const QuerySet& ComputeMask(int64_t i, int64_t j);
+
+  SliceEntry& Entry(int64_t index) {
+    return deltas_[static_cast<size_t>(index - first_index_)];
+  }
+  /// The memo cell for CL[i][j], growing slice i's row as needed.
+  std::optional<QuerySet>& Cell(int64_t i, int64_t j) {
+    SliceEntry& e = Entry(i);
+    const size_t d = static_cast<size_t>(i - j);
+    if (e.row.size() <= d) e.row.resize(d + 1);
+    return e.row[d];
+  }
 
   int64_t first_index_ = 0;
   std::deque<SliceEntry> deltas_;
-  std::unordered_map<uint64_t, QuerySet> memo_;
+  size_t memo_entries_ = 0;
 };
 
 }  // namespace astream::core

@@ -50,7 +50,7 @@ void RouterOperator::ProcessRecord(int port, spe::Record record,
 
   if (config_.measure_overhead) {
     const auto elapsed = std::chrono::steady_clock::now() - start;
-    copy_nanos_.fetch_add(
+    fanout_nanos_.fetch_add(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count(),
         std::memory_order_relaxed);
@@ -71,7 +71,7 @@ void RouterOperator::ProcessBatch(int port, spe::RecordBatch& records,
 
   if (config_.measure_overhead) {
     const auto elapsed = std::chrono::steady_clock::now() - start;
-    copy_nanos_.fetch_add(
+    fanout_nanos_.fetch_add(
         std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
             .count(),
         std::memory_order_relaxed);
@@ -89,16 +89,24 @@ void RouterOperator::RouteOne(int port, spe::Record record,
     el.record = std::move(record);
     out->Emit(std::move(el));
   } else {
-    // Raw tuple: copy to every subscribed query's channel.
+    // Raw tuple: ship to every subscribed query's channel. This is the one
+    // place AStream "copies" data (Sec. 3.2.2) — with copy-on-write rows
+    // the per-query fan-out shares the payload (a refcount bump); a real
+    // materialization happens only for degenerate empty rows.
     record.tags.ForEachSetBit([&](size_t slot) {
       const ActiveQuery* q = table_.QueryAt(static_cast<int>(slot));
       if (q == nullptr || !config_.routes_raw(*q, port)) return;
       spe::Record copy;
       copy.event_time = record.event_time;
-      copy.row = record.row;  // the data copy (Sec. 3.2.2)
+      copy.row = record.row;
       copy.tags = QuerySet::Single(slot);
       copy.channel = q->id;
       ++records_routed_;
+      if (copy.row.SharesStorageWith(record.row)) {
+        ++rows_shared_;
+      } else {
+        ++rows_copied_;
+      }
       if (metrics_on_) {
         NoteEmit(q->id, slot < slot_series_.size() ? slot_series_[slot]
                                                    : nullptr,

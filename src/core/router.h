@@ -56,11 +56,20 @@ class RouterOperator : public spe::Operator {
 
   const ActiveQueryTable& table() const { return table_; }
 
-  /// Total nanoseconds spent copying records to query channels.
-  int64_t copy_nanos() const {
-    return copy_nanos_.load(std::memory_order_relaxed);
+  /// Total nanoseconds spent fanning records out to query channels.
+  /// Historically `copy_nanos`: with copy-on-write rows the fan-out ships
+  /// a shared payload (a refcount bump), so this measures routing + tag
+  /// resolution, not data copying — see rows_shared()/rows_copied() for
+  /// how often each actually happens.
+  int64_t fanout_nanos() const {
+    return fanout_nanos_.load(std::memory_order_relaxed);
   }
   int64_t records_routed() const { return records_routed_; }
+  /// Fan-out rows shipped by reference (CoW share — the Sec. 3.2.2 "copy"
+  /// that no longer copies).
+  int64_t rows_shared() const { return rows_shared_; }
+  /// Fan-out rows that materialized a fresh payload (empty/degenerate rows).
+  int64_t rows_copied() const { return rows_copied_; }
 
  private:
   /// Counts one shipped record and its event-time latency against `id`.
@@ -72,7 +81,9 @@ class RouterOperator : public spe::Operator {
   Config config_;
   ActiveQueryTable table_;
   int64_t records_routed_ = 0;
-  std::atomic<int64_t> copy_nanos_{0};
+  int64_t rows_shared_ = 0;
+  int64_t rows_copied_ = 0;
+  std::atomic<int64_t> fanout_nanos_{0};
 
   bool metrics_on_ = false;
   obs::SeriesCache series_cache_;

@@ -128,6 +128,15 @@ void SharedAggregation::ProcessRecord(int port, spe::Record record,
     }
     store->Add(record.row.key(), static_cast<int>(slot), v);
   });
+  RefreshArenaBytes();
+}
+
+void SharedAggregation::RefreshArenaBytes() {
+  int64_t bytes = 0;
+  for (const auto& [index, store] : stores_) {
+    bytes += static_cast<int64_t>(store.ArenaBytes());
+  }
+  state_arena_bytes_ = bytes;
 }
 
 void SharedAggregation::ProcessBatch(int port, spe::RecordBatch& records,
@@ -184,6 +193,7 @@ void SharedAggregation::ProcessBatch(int port, spe::RecordBatch& records,
     });
   }
   bitset_ops_ += ops;
+  RefreshArenaBytes();
 }
 
 void SharedAggregation::TriggerWindows(
@@ -266,6 +276,7 @@ void SharedAggregation::OnSlicesEvicted(const std::vector<int64_t>& indices) {
   while (it != stores_.end() && it->first <= max_evicted) {
     it = stores_.erase(it);
   }
+  RefreshArenaBytes();
 }
 
 Status SharedAggregation::SnapshotState(spe::StateWriter* writer) {

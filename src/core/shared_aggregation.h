@@ -47,6 +47,9 @@ class SharedAggregation : public SharedWindowedOperator {
 
   int64_t bitset_ops() const { return bitset_ops_; }
   int64_t records_late() const { return records_late_; }
+  /// Arena bytes backing all live slice stores (the state.arena_bytes
+  /// gauge). Refreshed by the task thread after inserts and evictions.
+  int64_t state_arena_bytes() const { return state_arena_bytes_; }
 
  protected:
   void TriggerWindows(TimestampMs start, TimestampMs end,
@@ -88,6 +91,7 @@ class SharedAggregation : public SharedWindowedOperator {
 
   void AddToSession(SessionQuery* sq, spe::Value key, TimestampMs t,
                     spe::Value value);
+  void RefreshArenaBytes();
 
   AggConfig config_;
   std::map<int64_t, AggStore> stores_;  // slice index -> partials
@@ -96,6 +100,7 @@ class SharedAggregation : public SharedWindowedOperator {
   std::map<QueryId, SessionQuery> session_queries_;
   int64_t bitset_ops_ = 0;
   int64_t records_late_ = 0;
+  int64_t state_arena_bytes_ = 0;
   // Scratch query-set reused across the tuples of one batch.
   QuerySet scratch_tags_;
 };

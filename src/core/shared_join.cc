@@ -12,6 +12,16 @@ TupleStore& SharedJoin::StoreFor(int side, int64_t slice_index) {
   return it->second;
 }
 
+void SharedJoin::RefreshArenaBytes() {
+  int64_t bytes = 0;
+  for (const auto& side_stores : stores_) {
+    for (const auto& [index, store] : side_stores) {
+      bytes += static_cast<int64_t>(store.ArenaBytes());
+    }
+  }
+  state_arena_bytes_ = bytes;
+}
+
 void SharedJoin::ProcessRecord(int port, spe::Record record,
                                spe::Collector* out) {
   (void)out;
@@ -30,6 +40,7 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
   if (tags.None()) return;
   const SliceInfo slice = tracker().SliceFor(record.event_time);
   StoreFor(port, slice.index).Insert(record.row, tags);
+  RefreshArenaBytes();
 }
 
 void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
@@ -69,6 +80,7 @@ void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
     cached_store->Insert(record.row, scratch_tags_);
   }
   bitset_ops_ += ops;
+  RefreshArenaBytes();
 }
 
 const std::vector<SharedJoin::JoinedTuple>& SharedJoin::MemoFor(
@@ -170,6 +182,7 @@ void SharedJoin::OnSlicesEvicted(const std::vector<int64_t>& indices) {
       ++it;
     }
   }
+  RefreshArenaBytes();
 }
 
 void SharedJoin::OnModeSwitch(StoreMode mode) {

@@ -42,6 +42,9 @@ class SharedJoin : public SharedWindowedOperator {
   int64_t pairs_reused() const { return pairs_reused_; }
   int64_t bitset_ops() const { return bitset_ops_; }
   int64_t records_late() const { return records_late_; }
+  /// Arena bytes backing all live slice stores (the state.arena_bytes
+  /// gauge). Refreshed by the task thread after inserts and evictions.
+  int64_t state_arena_bytes() const { return state_arena_bytes_; }
 
  protected:
   void TriggerWindows(TimestampMs start, TimestampMs end,
@@ -62,6 +65,7 @@ class SharedJoin : public SharedWindowedOperator {
   const std::vector<JoinedTuple>& MemoFor(int64_t a, int64_t b,
                                           bool* computed);
   TupleStore& StoreFor(int side, int64_t slice_index);
+  void RefreshArenaBytes();
 
   // Per side: slice index -> tuple store.
   std::map<int64_t, TupleStore> stores_[2];
@@ -72,6 +76,7 @@ class SharedJoin : public SharedWindowedOperator {
   int64_t pairs_reused_ = 0;
   int64_t bitset_ops_ = 0;
   int64_t records_late_ = 0;
+  int64_t state_arena_bytes_ = 0;
   // Scratch query-set reused across the tuples of one batch.
   QuerySet scratch_tags_;
 };

@@ -2,6 +2,14 @@
 
 namespace astream::core {
 
+TupleStore::TupleStore(StoreMode mode)
+    : mode_(mode),
+      arena_(std::make_unique<Arena>()),
+      groups_(0, DynamicBitsetHash{}, std::equal_to<QuerySet>{},
+              AA<std::pair<const QuerySet, KeyedRows>>(arena_.get())),
+      list_(0, std::hash<spe::Value>{}, std::equal_to<spe::Value>{},
+            AA<std::pair<const spe::Value, TaggedVec>>(arena_.get())) {}
+
 void TupleStore::Insert(const spe::Row& row, const QuerySet& tags) {
   ++num_tuples_;
   if (mode_ == StoreMode::kGrouped) {
@@ -45,9 +53,9 @@ namespace {
 
 /// Key-level hash join between two keyed-row maps belonging to groups
 /// whose combined tag set `tags` is already known to be non-empty.
+template <typename KeyedRowsMap>
 void JoinKeyed(const TupleStore::JoinEmit& emit, const QuerySet& tags,
-               const std::unordered_map<spe::Value, std::vector<spe::Row>>& a,
-               const std::unordered_map<spe::Value, std::vector<spe::Row>>& b) {
+               const KeyedRowsMap& a, const KeyedRowsMap& b) {
   const bool a_smaller = a.size() <= b.size();
   const auto& probe = a_smaller ? a : b;
   const auto& build = a_smaller ? b : a;
@@ -121,9 +129,18 @@ int64_t TupleStore::Join(const TupleStore& a, const TupleStore& b,
     }
   };
 
+  // Scratch rows reused across keys and Join calls (per task thread): the
+  // probe loop runs once per distinct key, so per-call vectors would churn
+  // an allocation pair per key.
+  static thread_local std::vector<
+      std::pair<const spe::Row*, const QuerySet*>>
+      rows_a;
+  static thread_local std::vector<
+      std::pair<const spe::Row*, const QuerySet*>>
+      rows_b;
   for_each_key_a([&](spe::Value key) {
-    std::vector<std::pair<const spe::Row*, const QuerySet*>> rows_a;
-    std::vector<std::pair<const spe::Row*, const QuerySet*>> rows_b;
+    rows_a.clear();
+    rows_b.clear();
     collect(a, key, &rows_a);
     if (rows_a.empty()) return;
     collect(b, key, &rows_b);
@@ -178,6 +195,11 @@ TupleStore TupleStore::Deserialize(spe::StateReader* reader) {
   }
   return store;
 }
+
+AggStore::AggStore()
+    : arena_(std::make_unique<Arena>()),
+      keys_(0, std::hash<spe::Value>{}, std::equal_to<spe::Value>{},
+            AA<std::pair<const spe::Value, AccVec>>(arena_.get())) {}
 
 void AggStore::Add(spe::Value key, int slot, spe::Value value) {
   auto& accs = keys_[key];

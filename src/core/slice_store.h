@@ -2,9 +2,12 @@
 #define ASTREAM_CORE_SLICE_STORE_H_
 
 #include <functional>
+#include <memory>
+#include <scoped_allocator>
 #include <unordered_map>
 #include <vector>
 
+#include "common/arena.h"
 #include "core/query.h"
 #include "spe/aggregate.h"
 #include "spe/state.h"
@@ -24,9 +27,18 @@ enum class StoreMode : uint8_t {
 
 /// Tuples of one slice of one join side. Each tuple is stored exactly once
 /// (Sec. 3.2.2: no data copy inside slices).
+///
+/// All container memory (hash buckets, map nodes, row vectors) lives in a
+/// per-store bump-pointer arena: a slice's bookkeeping is allocated with
+/// pointer bumps and freed wholesale when the slice expires and its store
+/// is destroyed — no per-node free traffic on the eviction path. Row
+/// payloads are NOT in the arena: rows are copy-on-write and shared across
+/// slices, queries and operators; the arena owns only this slice's view of
+/// them. A consequence: ConvertTo() and clear() return no memory until the
+/// store dies (acceptable — slices are short-lived by construction).
 class TupleStore {
  public:
-  explicit TupleStore(StoreMode mode) : mode_(mode) {}
+  explicit TupleStore(StoreMode mode);
 
   void Insert(const spe::Row& row, const QuerySet& tags);
 
@@ -42,6 +54,9 @@ class TupleStore {
   /// Average tuples per query-set group — the paper's switch heuristic
   /// ("if the average is less than two ... switch to a list").
   double AvgGroupSize() const;
+
+  /// Arena footprint of this store's bookkeeping (the arena-bytes gauge).
+  size_t ArenaBytes() const { return arena_->bytes_reserved(); }
 
   /// Emits every (rowA, rowB, tagsA & tagsB & mask) with rowA from `a`,
   /// rowB from `b`, equal keys, and a non-empty combined tag set.
@@ -62,14 +77,33 @@ class TupleStore {
   static TupleStore Deserialize(spe::StateReader* reader);
 
  private:
-  using KeyedRows = std::unordered_map<spe::Value, std::vector<spe::Row>>;
+  template <typename T>
+  using AA = ArenaAllocator<T>;
+  // scoped_allocator_adaptor propagates the arena into nested containers
+  // (map -> vector) at construction, so groups_[tags][key].push_back(row)
+  // bumps one arena end to end.
+  using RowVec = std::vector<spe::Row, AA<spe::Row>>;
+  using KeyedRows = std::unordered_map<
+      spe::Value, RowVec, std::hash<spe::Value>, std::equal_to<spe::Value>,
+      std::scoped_allocator_adaptor<AA<std::pair<const spe::Value, RowVec>>>>;
+  using TaggedRow = std::pair<spe::Row, QuerySet>;
+  using TaggedVec = std::vector<TaggedRow, AA<TaggedRow>>;
   using KeyedTagged = std::unordered_map<
-      spe::Value, std::vector<std::pair<spe::Row, QuerySet>>>;
+      spe::Value, TaggedVec, std::hash<spe::Value>,
+      std::equal_to<spe::Value>,
+      std::scoped_allocator_adaptor<
+          AA<std::pair<const spe::Value, TaggedVec>>>>;
+  using GroupedMap = std::unordered_map<
+      QuerySet, KeyedRows, DynamicBitsetHash, std::equal_to<QuerySet>,
+      std::scoped_allocator_adaptor<AA<std::pair<const QuerySet, KeyedRows>>>>;
 
   StoreMode mode_;
   size_t num_tuples_ = 0;
+  // Declared before the containers (and so destroyed after them): the
+  // unique_ptr keeps the arena's address stable across store moves.
+  std::unique_ptr<Arena> arena_;
   // kGrouped: query-set -> key -> rows.
-  std::unordered_map<QuerySet, KeyedRows, DynamicBitsetHash> groups_;
+  GroupedMap groups_;
   // kList: key -> (row, tags).
   KeyedTagged list_;
 };
@@ -77,8 +111,11 @@ class TupleStore {
 /// Per-slice intermediate aggregates (Sec. 3.1.5): instead of materializing
 /// tuples, each slice keeps, per key, one accumulator per query slot; the
 /// tuple is discarded after updating every interested query's accumulator.
+/// Backed by the same per-store arena scheme as TupleStore.
 class AggStore {
  public:
+  AggStore();
+
   /// Adds `value` to the accumulator of (key, slot).
   void Add(spe::Value key, int slot, spe::Value value);
 
@@ -93,12 +130,23 @@ class AggStore {
 
   size_t NumKeys() const { return keys_.size(); }
 
+  /// Arena footprint of this store's bookkeeping (the arena-bytes gauge).
+  size_t ArenaBytes() const { return arena_->bytes_reserved(); }
+
   void Serialize(spe::StateWriter* writer) const;
   static AggStore Deserialize(spe::StateReader* reader);
 
  private:
+  template <typename T>
+  using AA = ArenaAllocator<T>;
+  using AccVec = std::vector<spe::Accumulator, AA<spe::Accumulator>>;
+  using KeyedAccs = std::unordered_map<
+      spe::Value, AccVec, std::hash<spe::Value>, std::equal_to<spe::Value>,
+      std::scoped_allocator_adaptor<AA<std::pair<const spe::Value, AccVec>>>>;
+
+  std::unique_ptr<Arena> arena_;
   // key -> slot-indexed accumulators (count == 0 means empty slot).
-  std::unordered_map<spe::Value, std::vector<spe::Accumulator>> keys_;
+  KeyedAccs keys_;
 };
 
 }  // namespace astream::core

@@ -129,7 +129,7 @@ void AddToMultiset(RowMultiset* set, TimestampMs event_time,
   std::vector<Value> key;
   key.reserve(1 + row.NumColumns());
   key.push_back(event_time);
-  key.insert(key.end(), row.values().begin(), row.values().end());
+  row.AppendTo(&key);
   ++(*set)[key];
 }
 

@@ -114,8 +114,9 @@ void PrintDataPlaneTable(const obs::MetricsRegistry::Snapshot& snapshot) {
   const std::string edge_suffix = ".batch_size";
   const std::string stage_prefix = "stage.";
   const std::string depth_suffix = ".queue_depth";
+  const std::string ring_suffix = ".ring_occupancy_bp";
   Table table({"edge into", "batches", "elements", "mean batch", "p95",
-               "max", "queue depth"});
+               "max", "queue depth", "ring occ"});
   size_t rows = 0;
   for (const auto& [name, hist] : snapshot.histograms) {
     if (name.rfind(edge_prefix, 0) != 0 || name.size() <= edge_suffix.size() ||
@@ -129,6 +130,8 @@ void PrintDataPlaneTable(const obs::MetricsRegistry::Snapshot& snapshot) {
         name.size() - edge_prefix.size() - edge_suffix.size());
     const auto depth_it =
         snapshot.gauges.find(stage_prefix + stage + depth_suffix);
+    const auto ring_it =
+        snapshot.gauges.find(edge_prefix + stage + ring_suffix);
     table.AddRow({stage, FormatCount(static_cast<double>(hist.count)),
                   FormatCount(static_cast<double>(hist.sum)),
                   FormatDouble(hist.mean(), 1),
@@ -136,10 +139,35 @@ void PrintDataPlaneTable(const obs::MetricsRegistry::Snapshot& snapshot) {
                   std::to_string(hist.max),
                   depth_it == snapshot.gauges.end()
                       ? "-"
-                      : std::to_string(depth_it->second)});
+                      : std::to_string(depth_it->second),
+                  ring_it == snapshot.gauges.end()
+                      ? "-"
+                      : FormatDouble(
+                            static_cast<double>(ring_it->second) / 100.0,
+                            1) + "%"});
     ++rows;
   }
   if (rows > 0) table.Print();
+  // Zero-copy drill-down: router fan-out sharing and slice-store arenas.
+  const auto shared_it = snapshot.gauges.find("router.rows_shared");
+  const auto copied_it = snapshot.gauges.find("router.rows_copied");
+  const auto arena_it = snapshot.gauges.find("state.arena_bytes");
+  if (shared_it != snapshot.gauges.end() ||
+      arena_it != snapshot.gauges.end()) {
+    const double shared = shared_it == snapshot.gauges.end()
+                              ? 0.0
+                              : static_cast<double>(shared_it->second);
+    const double copied = copied_it == snapshot.gauges.end()
+                              ? 0.0
+                              : static_cast<double>(copied_it->second);
+    std::printf(
+        "router fan-out: %s rows shared (CoW), %s materialized; "
+        "slice-store arenas: %s bytes\n",
+        FormatCount(shared).c_str(), FormatCount(copied).c_str(),
+        arena_it == snapshot.gauges.end()
+            ? "-"
+            : FormatCount(static_cast<double>(arena_it->second)).c_str());
+  }
 }
 
 }  // namespace astream::harness

@@ -88,11 +88,18 @@ class Channel {
 
   /// Non-blocking push. kFull is transient (the consumer is behind);
   /// kClosed is permanent. On kOk the batch was enqueued.
+  ///
+  /// Closed wins over full: the closed check dominates the fullness check
+  /// inside one critical section, so any TryPush that begins after Close()
+  /// returns observes kClosed — never a transient kFull that would make a
+  /// producer retry against a dead channel (regression-tested under TSan).
   PushStatus TryPush(BatchEnvelope batch) {
     const size_t n = batch.elements.size();
     std::lock_guard<std::mutex> lock(mutex_);
     if (closed_) return PushStatus::kClosed;
     if (elements_ + n > capacity_ && !queue_.empty()) {
+      // Same critical section as the closed check above: closed_ cannot
+      // have flipped in between, so kFull here is genuinely transient.
       return PushStatus::kFull;
     }
     elements_ += n;
@@ -138,6 +145,12 @@ class Channel {
     closed_ = true;
     not_empty_.notify_all();
     not_full_.notify_all();
+  }
+
+  /// Closed and fully drained (consumer side's end-of-input check).
+  bool Drained() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_ && queue_.empty();
   }
 
   /// Queued elements (summed over batches) — the queue-depth gauge.

@@ -1,0 +1,355 @@
+#ifndef ASTREAM_SPE_RING_H_
+#define ASTREAM_SPE_RING_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "spe/channel.h"
+
+namespace astream::spe {
+
+/// Wakeup latch shared by every input source of one consumer task. Producers
+/// Ring() after each push; the consumer Park()s only after polling every
+/// source empty. The version counter closes the poll-then-sleep race: the
+/// consumer samples the version before polling and refuses to sleep if any
+/// Ring() happened since. All waits are additionally timed, so a (theoretical)
+/// missed wakeup costs bounded latency, never liveness.
+class InboxDoorbell {
+ public:
+  /// Producer side: wake a parked consumer. The fast path is one plain
+  /// load: when the consumer is awake there is nothing to do — it will see
+  /// the pushed data on its next poll. Only when the parked flag is set
+  /// does the producer bump the version and notify under the mutex. A push
+  /// that lands in the consumer's poll-then-park window can miss the flag;
+  /// Park()'s bounded timed wait turns that race into <= 1 ms of latency,
+  /// never a lost wakeup.
+  void Ring() {
+    if (!consumer_parked_.load(std::memory_order_seq_cst)) return;
+    version_.fetch_add(1, std::memory_order_seq_cst);
+    std::lock_guard<std::mutex> lock(mutex_);
+    cv_.notify_one();
+  }
+
+  uint64_t Version() const {
+    return version_.load(std::memory_order_seq_cst);
+  }
+
+  /// Consumer side: sleep until the version moves past `seen_version` (or a
+  /// bounded timeout elapses — the caller re-polls either way).
+  void Park(uint64_t seen_version) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    consumer_parked_.store(true, std::memory_order_seq_cst);
+    if (version_.load(std::memory_order_seq_cst) == seen_version) {
+      cv_.wait_for(lock, std::chrono::milliseconds(1), [&] {
+        return version_.load(std::memory_order_seq_cst) != seen_version;
+      });
+    }
+    consumer_parked_.store(false, std::memory_order_seq_cst);
+  }
+
+ private:
+  std::atomic<uint64_t> version_{0};
+  std::atomic<bool> consumer_parked_{false};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+/// Lock-free single-producer/single-consumer ring of BatchEnvelopes — the
+/// hot-path channel for (upstream-instance -> downstream-instance) edges,
+/// where the threaded runner guarantees exactly one producing thread. One
+/// slot per batch: a push or pop is one slot move plus one release store,
+/// amortized over the whole ElementBatch.
+///
+/// The fast path never takes a lock. Slow paths park: a producer facing a
+/// full ring waits on a private condvar (woken by the consumer's pop); a
+/// consumer facing all-empty sources waits on the shared InboxDoorbell.
+///
+/// Close() wins over full: TryPush re-checks the closed flag after
+/// detecting a full ring, so a push racing with shutdown reports kClosed,
+/// never a transient kFull (see the matching regression test).
+class SpscRing {
+ public:
+  /// `capacity_batches` is rounded up to a power of two (min 2).
+  /// `doorbell` (may be null) is rung after every successful push.
+  explicit SpscRing(size_t capacity_batches, InboxDoorbell* doorbell = nullptr)
+      : doorbell_(doorbell) {
+    size_t cap = 2;
+    while (cap < capacity_batches) cap <<= 1;
+    slots_.resize(cap);
+    mask_ = cap - 1;
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Non-blocking push (producer thread only). kFull is transient; kClosed
+  /// is permanent and dominates kFull. On kOk the batch was enqueued.
+  PushStatus TryPush(BatchEnvelope batch) { return TryPushImpl(batch); }
+
+  /// Blocking push (producer thread only): spins briefly, then parks until
+  /// the consumer frees a slot. Returns false iff the ring was closed.
+  /// The parked flag is raised only for the duration of the actual wait
+  /// (retries run outside the lock), so the consumer's per-pop wake check
+  /// stays a single uncontended load while the producer is making
+  /// progress.
+  bool Push(BatchEnvelope batch) {
+    for (int spin = 0; spin < 64; ++spin) {
+      switch (TryPushImpl(batch)) {
+        case PushStatus::kOk: return true;
+        case PushStatus::kClosed: return false;
+        case PushStatus::kFull: break;
+      }
+    }
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lock(producer_mutex_);
+        producer_parked_.store(true, std::memory_order_seq_cst);
+        // Re-check under the flag: a pop that raced the flag store will
+        // either see it (and notify under the mutex we hold) or have
+        // already freed the slot this retry finds.
+        const PushStatus st = TryPushImpl(batch);
+        if (st != PushStatus::kFull) {
+          producer_parked_.store(false, std::memory_order_seq_cst);
+          return st == PushStatus::kOk;
+        }
+        producer_cv_.wait_for(lock, std::chrono::microseconds(200));
+        producer_parked_.store(false, std::memory_order_seq_cst);
+      }
+      const PushStatus st = TryPushImpl(batch);
+      if (st != PushStatus::kFull) return st == PushStatus::kOk;
+    }
+  }
+
+  /// Non-blocking pop (consumer thread only).
+  std::optional<BatchEnvelope> TryPop() {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (head == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (head == cached_tail_) return std::nullopt;
+    }
+    BatchEnvelope batch = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    // Single-writer counter: load+store, no locked read-modify-write.
+    popped_elements_.store(
+        popped_elements_.load(std::memory_order_relaxed) +
+            batch.elements.size(),
+        std::memory_order_relaxed);
+    WakeProducerIfParked();
+    return batch;
+  }
+
+  /// After Close, pushes fail (kClosed) and pops drain the remaining slots.
+  void Close() {
+    closed_.store(true, std::memory_order_seq_cst);
+    WakeProducerIfParked();
+    if (doorbell_ != nullptr) doorbell_->Ring();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Closed and fully drained (consumer side's end-of-input check).
+  bool Drained() const {
+    return closed() && head_.load(std::memory_order_acquire) ==
+                           tail_.load(std::memory_order_acquire);
+  }
+
+  /// Queued elements (summed over batches) — the queue-depth gauge.
+  /// Reading popped before pushed keeps the difference non-negative.
+  size_t Size() const {
+    const size_t popped = popped_elements_.load(std::memory_order_relaxed);
+    const size_t pushed = pushed_elements_.load(std::memory_order_relaxed);
+    return pushed - popped;
+  }
+
+  /// Queued batches.
+  size_t NumBatches() const {
+    const size_t tail = tail_.load(std::memory_order_acquire);
+    const size_t head = head_.load(std::memory_order_acquire);
+    return tail - head;
+  }
+
+  size_t CapacityBatches() const { return mask_ + 1; }
+
+  /// Fill fraction in [0, 1] (the edge ring-occupancy gauge).
+  double Occupancy() const {
+    return static_cast<double>(NumBatches()) /
+           static_cast<double>(CapacityBatches());
+  }
+
+ private:
+  /// Moves from `batch` only on kOk, so blocking callers can retry.
+  PushStatus TryPushImpl(BatchEnvelope& batch) {
+    if (closed_.load(std::memory_order_seq_cst)) return PushStatus::kClosed;
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - cached_head_ > mask_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail - cached_head_ > mask_) {
+        // Full. Re-check closed so a close that raced the fullness check
+        // reports the permanent state, not the transient one.
+        return closed_.load(std::memory_order_seq_cst) ? PushStatus::kClosed
+                                                       : PushStatus::kFull;
+      }
+    }
+    pushed_elements_.store(
+        pushed_elements_.load(std::memory_order_relaxed) +
+            batch.elements.size(),
+        std::memory_order_relaxed);
+    slots_[tail & mask_] = std::move(batch);
+    tail_.store(tail + 1, std::memory_order_release);
+    if (doorbell_ != nullptr) doorbell_->Ring();
+    return PushStatus::kOk;
+  }
+
+  void WakeProducerIfParked() {
+    if (producer_parked_.load(std::memory_order_seq_cst)) {
+      std::lock_guard<std::mutex> lock(producer_mutex_);
+      producer_cv_.notify_one();
+    }
+  }
+
+  // Hot indices on separate cache lines: producer writes tail_, consumer
+  // writes head_; each side caches the other's index to avoid re-reading
+  // the contended line on every operation.
+  alignas(64) std::atomic<size_t> tail_{0};
+  size_t cached_head_ = 0;                  // producer thread only
+  std::atomic<size_t> pushed_elements_{0};  // single writer: producer
+  alignas(64) std::atomic<size_t> head_{0};
+  size_t cached_tail_ = 0;                  // consumer thread only
+  std::atomic<size_t> popped_elements_{0};  // single writer: consumer
+  alignas(64) std::vector<BatchEnvelope> slots_;
+  size_t mask_ = 0;
+  std::atomic<bool> closed_{false};
+
+  InboxDoorbell* doorbell_;
+  // Producer-side parking lot (backpressure slow path).
+  std::atomic<bool> producer_parked_{false};
+  std::mutex producer_mutex_;
+  std::condition_variable producer_cv_;
+};
+
+/// One consumer task's input side: a set of SPSC rings (one per upstream
+/// instance edge, each with exactly one producing thread) plus one mutex
+/// MPMC Channel for external-ingress edges (driver threads, markers —
+/// anything without a single-producer guarantee). Pop() multiplexes all
+/// sources with a round-robin scan and parks on the shared doorbell when
+/// every source is empty; it returns std::nullopt only when every source
+/// is closed and drained.
+///
+/// Wiring (AddRing / EnsureExternal) must complete before producer or
+/// consumer threads start; all other methods are then thread-safe under
+/// the SPSC/MPMC contracts of the underlying sources.
+class TaskInbox {
+ public:
+  explicit TaskInbox(size_t external_capacity_elements)
+      : external_capacity_(external_capacity_elements) {}
+
+  /// Registers one SPSC edge and returns its producer handle.
+  SpscRing* AddRing(size_t capacity_batches) {
+    rings_.push_back(
+        std::make_unique<SpscRing>(capacity_batches, &doorbell_));
+    return rings_.back().get();
+  }
+
+  /// Lazily creates the external-ingress channel (mutex MPMC fallback).
+  Channel* EnsureExternal() {
+    if (external_ == nullptr) {
+      external_ = std::make_unique<Channel>(external_capacity_);
+    }
+    return external_.get();
+  }
+
+  /// Blocking push into the external channel; rings the doorbell so a
+  /// parked consumer wakes without waiting out its timeout.
+  bool PushExternal(BatchEnvelope batch) {
+    Channel* ch = external_.get();
+    if (ch == nullptr) return false;
+    const bool ok = ch->Push(std::move(batch));
+    if (ok) doorbell_.Ring();
+    return ok;
+  }
+
+  /// Blocking pop across all sources; std::nullopt = all closed + drained.
+  /// Spins through a bounded number of empty polling rounds before parking:
+  /// under sustained traffic the consumer never enters the parked state, so
+  /// producers never pay the futex wake path — the pipe stays lock-free
+  /// end to end. Parking (and its 1 ms timed backstop) only happens on a
+  /// genuinely idle input.
+  std::optional<BatchEnvelope> Pop() {
+    int empty_rounds = 0;
+    for (;;) {
+      const uint64_t version = doorbell_.Version();
+      const size_t n = rings_.size();
+      for (size_t k = 0; k < n; ++k) {
+        const size_t idx = next_source_ + k < n ? next_source_ + k
+                                                : next_source_ + k - n;
+        if (auto batch = rings_[idx]->TryPop()) {
+          next_source_ = idx + 1 == n ? 0 : idx + 1;
+          return batch;
+        }
+      }
+      if (external_ != nullptr) {
+        if (auto batch = external_->TryPop()) return batch;
+      }
+      if (AllDrained()) return std::nullopt;
+      if (++empty_rounds < kSpinRounds) continue;
+      empty_rounds = 0;
+      doorbell_.Park(version);
+    }
+  }
+
+  /// Closes every source (cancel path) and wakes the consumer.
+  void Close() {
+    for (auto& ring : rings_) ring->Close();
+    if (external_ != nullptr) external_->Close();
+    doorbell_.Ring();
+  }
+
+  size_t QueuedElements() const {
+    size_t total = 0;
+    for (const auto& ring : rings_) total += ring->Size();
+    if (external_ != nullptr) total += external_->Size();
+    return total;
+  }
+
+  /// Highest fill fraction across this task's rings, in [0, 1].
+  double MaxRingOccupancy() const {
+    double max_occ = 0.0;
+    for (const auto& ring : rings_) {
+      const double occ = ring->Occupancy();
+      if (occ > max_occ) max_occ = occ;
+    }
+    return max_occ;
+  }
+
+  size_t NumRings() const { return rings_.size(); }
+  InboxDoorbell* doorbell() { return &doorbell_; }
+
+ private:
+  // Empty polling rounds before the consumer parks (a round is one scan of
+  // every source). ~a microsecond of spinning; cheap against the futex
+  // round trip it saves on every push while traffic flows.
+  static constexpr int kSpinRounds = 256;
+
+  bool AllDrained() const {
+    for (const auto& ring : rings_) {
+      if (!ring->Drained()) return false;
+    }
+    return external_ == nullptr || external_->Drained();
+  }
+
+  InboxDoorbell doorbell_;
+  std::vector<std::unique_ptr<SpscRing>> rings_;
+  std::unique_ptr<Channel> external_;
+  const size_t external_capacity_;
+  size_t next_source_ = 0;  // round-robin cursor (consumer thread only)
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_RING_H_

@@ -1,12 +1,40 @@
 #include "spe/row.h"
 
+#include <mutex>
+
 namespace astream::spe {
+
+void Row::Rep::BuildFlattenCache() const {
+  std::call_once(flatten_once, [this] {
+    auto flat_view = std::make_unique<std::vector<Value>>();
+    flat_view->reserve(ncols);
+    AppendRep(this, flat_view.get());
+    flatten_cache = std::move(flat_view);
+    flatten_view.store(flatten_cache.get(), std::memory_order_release);
+  });
+}
+
+void Row::AppendRep(const Rep* r, std::vector<Value>* out) {
+  if (r == nullptr) return;
+  if (r->left == nullptr) {
+    out->insert(out->end(), r->flat.begin(), r->flat.end());
+    return;
+  }
+  AppendRep(r->left.get(), out);
+  AppendRep(r->right.get(), out);
+}
+
+const std::vector<Value>& Row::EmptyColumns() {
+  static const std::vector<Value> kEmpty;
+  return kEmpty;
+}
 
 std::string Row::ToString() const {
   std::string s = "(";
-  for (size_t i = 0; i < values_.size(); ++i) {
+  const size_t n = NumColumns();
+  for (size_t i = 0; i < n; ++i) {
     if (i > 0) s += ", ";
-    s += std::to_string(values_[i]);
+    s += std::to_string(At(i));
   }
   s += ")";
   return s;

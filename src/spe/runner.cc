@@ -1,5 +1,6 @@
 #include "spe/runner.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "common/logging.h"
@@ -472,12 +473,13 @@ int64_t SyncRunner::StageRecordsOut(int stage) const {
 
 ThreadedRunner::ThreadedRunner(TopologySpec spec, SinkFn sink,
                                SnapshotFn snapshot, size_t channel_capacity,
-                               size_t batch_size)
+                               size_t batch_size, bool use_spsc_rings)
     : spec_(std::move(spec)),
       sink_(std::move(sink)),
       snapshot_(std::move(snapshot)),
       channel_capacity_(channel_capacity),
-      batch_size_(batch_size == 0 ? 1 : batch_size) {}
+      batch_size_(batch_size == 0 ? 1 : batch_size),
+      use_spsc_rings_(use_spsc_rings) {}
 
 ThreadedRunner::~ThreadedRunner() { Cancel(); }
 
@@ -497,7 +499,11 @@ Status ThreadedRunner::Start() {
       auto task = std::make_unique<Task>();
       task->runtime = std::make_unique<internal::InstanceRuntime>(
           static_cast<int>(s), i, stage.factory(i));
-      task->channel = std::make_unique<Channel>(channel_capacity_);
+      task->inbox = std::make_unique<TaskInbox>(channel_capacity_);
+      // Every instance keeps a mutex channel for producers without a
+      // single-producer guarantee (external ingress; all edges in the
+      // mutex-fallback mode).
+      task->inbox->EnsureExternal();
       RegisterSenders(task->runtime.get(), spec_, gid_base_,
                       static_cast<int>(s));
       task->out.resize(downstream_[s].size());
@@ -523,6 +529,28 @@ Status ThreadedRunner::Start() {
       tasks_[s].push_back(std::move(task));
     }
   }
+  // Wire one SPSC ring per internal (upstream-instance -> downstream-
+  // instance) edge: each producing task is exactly one thread, so the
+  // single-producer contract holds by construction. Must happen before
+  // threads spawn — inbox wiring is not thread-safe.
+  if (use_spsc_rings_) {
+    size_t ring_batches =
+        channel_capacity_ / std::max<size_t>(size_t{1}, batch_size_);
+    if (ring_batches < 8) ring_batches = 8;
+    if (ring_batches > 256) ring_batches = 256;
+    for (size_t s = 0; s < stages.size(); ++s) {
+      for (auto& task : tasks_[s]) {
+        task->out_rings.resize(downstream_[s].size());
+        for (size_t e = 0; e < downstream_[s].size(); ++e) {
+          auto& targets = tasks_[downstream_[s][e].target_stage];
+          task->out_rings[e].resize(targets.size());
+          for (size_t i = 0; i < targets.size(); ++i) {
+            task->out_rings[e][i] = targets[i]->inbox->AddRing(ring_batches);
+          }
+        }
+      }
+    }
+  }
   // Spawn threads only after all routing state exists.
   for (auto& stage_tasks : tasks_) {
     for (auto& task : stage_tasks) {
@@ -537,8 +565,8 @@ Status ThreadedRunner::Start() {
 void ThreadedRunner::TaskLoop(Task* task) {
   const int stage = task->runtime->stage();
   while (true) {
-    std::optional<BatchEnvelope> batch = task->channel->Pop();
-    if (!batch.has_value()) break;  // closed and drained (cancel path)
+    std::optional<BatchEnvelope> batch = task->inbox->Pop();
+    if (!batch.has_value()) break;  // all sources closed + drained (cancel)
     task->runtime->DeliverBatch(std::move(*batch));
     // End-of-input-batch flush: a partially filled output buffer never
     // waits for more input, so added latency is bounded by one upstream
@@ -548,10 +576,27 @@ void ThreadedRunner::TaskLoop(Task* task) {
   }
 }
 
-void ThreadedRunner::PushTo(int stage, int instance, BatchEnvelope batch) {
+void ThreadedRunner::PushEdge(Task* task, int stage, size_t edge_idx,
+                              int target, BatchEnvelope batch) {
+  if (cancelled_.load(std::memory_order_relaxed)) return;
+  const internal::DownstreamEdge& edge = downstream_[stage][edge_idx];
+  const size_t n = batch.elements.size();
+  bool ok;
+  if (!task->out_rings.empty()) {
+    // Per-edge SPSC fast path; this task's thread is the sole producer.
+    ok = task->out_rings[edge_idx][target]->Push(std::move(batch));
+  } else {
+    ok = tasks_[edge.target_stage][target]->inbox->PushExternal(
+        std::move(batch));
+  }
+  if (ok && edge_observer_) edge_observer_(edge.target_stage, n);
+}
+
+void ThreadedRunner::PushExternalTo(int stage, int instance,
+                                    BatchEnvelope batch) {
   if (cancelled_.load(std::memory_order_relaxed)) return;
   const size_t n = batch.elements.size();
-  if (tasks_[stage][instance]->channel->Push(std::move(batch)) &&
+  if (tasks_[stage][instance]->inbox->PushExternal(std::move(batch)) &&
       edge_observer_) {
     edge_observer_(stage, n);
   }
@@ -559,8 +604,8 @@ void ThreadedRunner::PushTo(int stage, int instance, BatchEnvelope batch) {
 
 void ThreadedRunner::DeliverTo(int stage, int instance, int port, int sender,
                                StreamElement element) {
-  PushTo(stage, instance,
-         BatchEnvelope::Single(port, sender, std::move(element)));
+  PushExternalTo(stage, instance,
+                 BatchEnvelope::Single(port, sender, std::move(element)));
 }
 
 void ThreadedRunner::FlushBuffer(Task* task, int stage, size_t edge_idx,
@@ -572,7 +617,7 @@ void ThreadedRunner::FlushBuffer(Task* task, int stage, size_t edge_idx,
   be.port = edge.port;
   be.sender = gid_base_[stage] + task->runtime->instance();
   be.elements = std::move(buf);
-  PushTo(edge.target_stage, target, std::move(be));
+  PushEdge(task, stage, edge_idx, target, std::move(be));
 }
 
 void ThreadedRunner::FlushTaskOutputs(Task* task, int stage) {
@@ -620,12 +665,17 @@ void ThreadedRunner::RouteControl(int stage, int instance,
   Task* task = tasks_[stage][instance].get();
   // Control elements are batch boundaries: flush buffered records first so
   // per-edge FIFO order is preserved, then broadcast as singleton batches.
+  // They MUST travel the same per-edge source (ring or channel) as this
+  // sender's records — marker alignment only needs per-(port, sender) FIFO,
+  // and that is exactly what one source per edge provides.
   FlushTaskOutputs(task, stage);
   const int sender = gid_base_[stage] + instance;
-  for (const internal::DownstreamEdge& edge : downstream_[stage]) {
+  for (size_t e = 0; e < downstream_[stage].size(); ++e) {
+    const internal::DownstreamEdge& edge = downstream_[stage][e];
     const int par = spec_.stages()[edge.target_stage].parallelism;
     for (int i = 0; i < par; ++i) {
-      DeliverTo(edge.target_stage, i, edge.port, sender, el);
+      PushEdge(task, stage, e, i,
+               BatchEnvelope::Single(edge.port, sender, el));
     }
   }
 }
@@ -662,7 +712,7 @@ bool ThreadedRunner::PushBatch(int input_index, ElementBatch batch) {
       be.port = ext.port;
       be.sender = sender;
       be.elements = std::move(sub[i]);
-      PushTo(ext.target_stage, i, std::move(be));
+      PushExternalTo(ext.target_stage, i, std::move(be));
     }
   };
   for (StreamElement& el : batch) {
@@ -677,8 +727,8 @@ bool ThreadedRunner::PushBatch(int input_index, ElementBatch batch) {
       // Control element: flush buffered records, then broadcast it.
       flush();
       for (int i = 0; i < par; ++i) {
-        PushTo(ext.target_stage, i,
-               BatchEnvelope::Single(ext.port, sender, el));
+        PushExternalTo(ext.target_stage, i,
+                       BatchEnvelope::Single(ext.port, sender, el));
       }
     }
   }
@@ -728,7 +778,7 @@ void ThreadedRunner::Cancel() {
   if (!started_ || finished_) return;
   cancelled_.store(true);
   for (auto& stage_tasks : tasks_) {
-    for (auto& task : stage_tasks) task->channel->Close();
+    for (auto& task : stage_tasks) task->inbox->Close();
   }
   for (auto& stage_tasks : tasks_) {
     for (auto& task : stage_tasks) {
@@ -782,15 +832,24 @@ const std::string& ThreadedRunner::StageName(int stage) const {
 size_t ThreadedRunner::TotalQueuedElements() const {
   size_t n = 0;
   for (const auto& stage_tasks : tasks_) {
-    for (const auto& t : stage_tasks) n += t->channel->Size();
+    for (const auto& t : stage_tasks) n += t->inbox->QueuedElements();
   }
   return n;
 }
 
 size_t ThreadedRunner::StageQueuedElements(int stage) const {
   size_t n = 0;
-  for (const auto& t : tasks_[stage]) n += t->channel->Size();
+  for (const auto& t : tasks_[stage]) n += t->inbox->QueuedElements();
   return n;
+}
+
+double ThreadedRunner::StageRingOccupancy(int stage) const {
+  double max_occ = 0.0;
+  for (const auto& t : tasks_[stage]) {
+    const double occ = t->inbox->MaxRingOccupancy();
+    if (occ > max_occ) max_occ = occ;
+  }
+  return max_occ;
 }
 
 }  // namespace astream::spe

@@ -12,6 +12,7 @@
 
 #include "common/status.h"
 #include "spe/channel.h"
+#include "spe/ring.h"
 #include "spe/state.h"
 #include "spe/topology.h"
 
@@ -224,8 +225,18 @@ class SyncRunner : public Runner {
 /// wires this to a per-edge batch-size histogram).
 using EdgePushObserver = std::function<void(int stage, size_t batch_size)>;
 
-/// Multi-threaded execution: one task thread and one bounded input channel
-/// per operator instance; blocking pushes provide backpressure end to end.
+/// Multi-threaded execution: one task thread and one bounded input side
+/// (TaskInbox) per operator instance; blocking pushes provide backpressure
+/// end to end.
+///
+/// Channel selection is per edge: every internal (upstream-instance ->
+/// downstream-instance) edge has exactly one producing thread, so it gets
+/// a lock-free SPSC ring; external-ingress edges (driver pushes, injected
+/// markers) go through the instance's mutex MPMC channel. Control elements
+/// travel the same per-sender source as that sender's records, so per-
+/// (port, sender) FIFO — all that marker alignment needs — is preserved.
+/// `use_spsc_rings = false` routes every edge through the mutex channel
+/// (the pre-ring data plane, kept for comparison and as the MPMC fallback).
 ///
 /// Emitted records are accumulated into per-(edge, target-instance) output
 /// buffers and shipped as ElementBatches: a buffer is flushed when it
@@ -235,11 +246,14 @@ using EdgePushObserver = std::function<void(int stage, size_t batch_size)>;
 /// watermarks are batch boundaries; per-edge FIFO order is preserved).
 class ThreadedRunner : public Runner {
  public:
-  /// `channel_capacity` bounds each instance's input queue (in elements).
-  /// `batch_size = 1` reproduces element-at-a-time behavior.
+  /// `channel_capacity` bounds each instance's input queue (in elements for
+  /// the mutex channel; rings hold `channel_capacity / batch_size` batches,
+  /// clamped to [8, 256] slots). `batch_size = 1` reproduces
+  /// element-at-a-time behavior.
   ThreadedRunner(TopologySpec spec, SinkFn sink,
                  SnapshotFn snapshot = nullptr,
-                 size_t channel_capacity = 1024, size_t batch_size = 1);
+                 size_t channel_capacity = 1024, size_t batch_size = 1,
+                 bool use_spsc_rings = true);
   ~ThreadedRunner() override;
 
   /// Installs the per-edge push observer. Must be called before Start().
@@ -259,20 +273,27 @@ class ThreadedRunner : public Runner {
   int NumStages() const override;
   const std::string& StageName(int stage) const override;
 
-  /// Sum of queued elements across all instance channels (backpressure /
+  /// Sum of queued elements across all instance inboxes (backpressure /
   /// sustainability probe).
   size_t TotalQueuedElements() const;
-  /// Queued elements in one stage's input channels (queue-depth gauges).
+  /// Queued elements in one stage's inboxes (queue-depth gauges).
   size_t StageQueuedElements(int stage) const;
+  /// Highest SPSC-ring fill fraction across one stage's instances, in
+  /// [0, 1] (the `edge.<stage>.ring_occupancy` gauge); 0 without rings.
+  double StageRingOccupancy(int stage) const;
+  bool use_spsc_rings() const { return use_spsc_rings_; }
 
  private:
   struct Task {
     std::unique_ptr<internal::InstanceRuntime> runtime;
-    std::unique_ptr<Channel> channel;
+    std::unique_ptr<TaskInbox> inbox;
     std::thread thread;
     // Output accumulators, indexed [downstream edge][target instance].
     // Touched only by this task's thread.
     std::vector<std::vector<ElementBatch>> out;
+    // Producer handles into downstream inboxes, same indexing as `out`.
+    // Empty (ring mode off) => push via the target's external channel.
+    std::vector<std::vector<SpscRing*>> out_rings;
   };
 
   void TaskLoop(Task* task);
@@ -280,7 +301,12 @@ class ThreadedRunner : public Runner {
   void RouteControl(int stage, int instance, const StreamElement& el);
   void FlushBuffer(Task* task, int stage, size_t edge_idx, int target);
   void FlushTaskOutputs(Task* task, int stage);
-  void PushTo(int stage, int instance, BatchEnvelope batch);
+  /// Push along an internal edge: the producing task's dedicated SPSC ring
+  /// when rings are on, the target's mutex channel otherwise.
+  void PushEdge(Task* task, int stage, size_t edge_idx, int target,
+                BatchEnvelope batch);
+  /// Push from an external (non-task) producer: always the mutex channel.
+  void PushExternalTo(int stage, int instance, BatchEnvelope batch);
   void DeliverTo(int stage, int instance, int port, int sender,
                  StreamElement element);
 
@@ -289,6 +315,7 @@ class ThreadedRunner : public Runner {
   SnapshotFn snapshot_;
   const size_t channel_capacity_;
   const size_t batch_size_;
+  const bool use_spsc_rings_;
   EdgePushObserver edge_observer_;
   std::vector<std::vector<std::unique_ptr<Task>>> tasks_;
   std::vector<std::vector<internal::DownstreamEdge>> downstream_;

@@ -72,7 +72,8 @@ Script MakeScript(Kind kind, uint64_t seed) {
 
 std::map<QueryId, RowMultiset> RunScript(const Script& script, Kind kind,
                                          bool threaded, int parallelism,
-                                         size_t batch_size = 1) {
+                                         size_t batch_size = 1,
+                                         bool use_spsc_rings = true) {
   ManualClock clock;
   AStreamJob::Options options;
   options.topology = kind;
@@ -81,6 +82,7 @@ std::map<QueryId, RowMultiset> RunScript(const Script& script, Kind kind,
   options.clock = &clock;
   options.session.batch_size = 1;
   options.batch_size = batch_size;
+  options.use_spsc_rings = use_spsc_rings;
   auto job = std::move(AStreamJob::Create(options)).value();
   EXPECT_TRUE(job->Start().ok());
 
@@ -194,6 +196,54 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 3),
                        ::testing::Values(size_t{1}, size_t{7},
                                          size_t{64})));
+
+// The channel implementation must be invisible too: SPSC rings on internal
+// edges vs. the mutex MPMC channel everywhere produce identical per-query
+// outputs — with batching and CoW rows active, and across the script's
+// mid-stream Submit/Cancel (per-(port,sender) FIFO keeps control elements
+// aligned with records on either channel kind).
+class RingEquivalence
+    : public ::testing::TestWithParam<std::tuple<int, size_t>> {};
+
+TEST_P(RingEquivalence, AggregationTopology) {
+  const auto [par, batch] = GetParam();
+  const Script script = MakeScript(Kind::kAggregation, /*seed=*/11);
+  const auto reference =
+      RunScript(script, Kind::kAggregation, /*threaded=*/false, par);
+  const auto with_rings = RunScript(script, Kind::kAggregation,
+                                    /*threaded=*/true, par, batch,
+                                    /*use_spsc_rings=*/true);
+  const auto without_rings = RunScript(script, Kind::kAggregation,
+                                       /*threaded=*/true, par, batch,
+                                       /*use_spsc_rings=*/false);
+  EXPECT_EQ(reference, with_rings);
+  EXPECT_EQ(reference, without_rings);
+  int64_t total = 0;
+  for (const auto& [id, rows] : reference) {
+    for (const auto& [row, n] : rows) total += n;
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST_P(RingEquivalence, JoinTopology) {
+  const auto [par, batch] = GetParam();
+  const Script script = MakeScript(Kind::kJoin, /*seed=*/11);
+  const auto reference =
+      RunScript(script, Kind::kJoin, /*threaded=*/false, par);
+  const auto with_rings =
+      RunScript(script, Kind::kJoin, /*threaded=*/true, par, batch,
+                /*use_spsc_rings=*/true);
+  const auto without_rings =
+      RunScript(script, Kind::kJoin, /*threaded=*/true, par, batch,
+                /*use_spsc_rings=*/false);
+  EXPECT_EQ(reference, with_rings);
+  EXPECT_EQ(reference, without_rings);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rings, RingEquivalence,
+    ::testing::Combine(::testing::Values(1, 3),
+                       ::testing::Values(size_t{1}, size_t{16})));
 
 }  // namespace
 }  // namespace astream::core

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <thread>
+
+#include "spe/ring.h"
 
 namespace astream::spe {
 namespace {
@@ -207,6 +210,230 @@ TEST(ChannelTest, ManyBatchProducersOneConsumer) {
   }
   for (auto& t : producers) t.join();
   EXPECT_EQ(ch.Size(), 0u);
+}
+
+// Regression: Close() must win over kFull even when the close races an
+// in-flight TryPush. After Close() returns, no TryPush may ever report the
+// transient kFull — callers would retry a channel that can never drain.
+TEST(ChannelTest, TryPushNeverReportsFullAfterCloseRace) {
+  for (int round = 0; round < 50; ++round) {
+    Channel ch(1);
+    ASSERT_EQ(ch.TryPush(Env(0)), PushStatus::kOk);  // full from the start
+    std::atomic<bool> closed{false};
+    std::thread closer([&] {
+      ch.Close();
+      closed.store(true, std::memory_order_release);
+    });
+    bool saw_closed_flag = false;
+    for (int i = 0; i < 1000; ++i) {
+      const bool was_closed = closed.load(std::memory_order_acquire);
+      const PushStatus st = ch.TryPush(Env(i));
+      if (was_closed) {
+        // Close() completed before this push started: kFull is a bug.
+        EXPECT_EQ(st, PushStatus::kClosed);
+        saw_closed_flag = true;
+        break;
+      }
+      EXPECT_NE(st, PushStatus::kOk);  // channel stays full throughout
+    }
+    closer.join();
+    EXPECT_TRUE(saw_closed_flag || ch.TryPush(Env(0)) == PushStatus::kClosed);
+  }
+}
+
+TEST(SpscRingTest, FifoOrder) {
+  SpscRing ring(16);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(ring.Push(Batch(i * 3, 3)));
+  }
+  EXPECT_EQ(ring.NumBatches(), 10u);
+  EXPECT_EQ(ring.Size(), 30u);  // counted in elements
+  for (int i = 0; i < 10; ++i) {
+    auto b = ring.TryPop();
+    ASSERT_TRUE(b.has_value());
+    ASSERT_EQ(b->elements.size(), 3u);
+    for (int k = 0; k < 3; ++k) EXPECT_EQ(KeyOf(b->elements[k]), i * 3 + k);
+  }
+  EXPECT_FALSE(ring.TryPop().has_value());
+  EXPECT_EQ(ring.Size(), 0u);
+}
+
+TEST(SpscRingTest, CapacityIsRoundedUpAndBounded) {
+  SpscRing ring(5);  // rounds up to 8 slots
+  EXPECT_EQ(ring.CapacityBatches(), 8u);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(ring.TryPush(Batch(i, 1)), PushStatus::kOk);
+  }
+  EXPECT_EQ(ring.TryPush(Batch(8, 1)), PushStatus::kFull);
+  EXPECT_DOUBLE_EQ(ring.Occupancy(), 1.0);
+  ASSERT_TRUE(ring.TryPop().has_value());
+  EXPECT_EQ(ring.TryPush(Batch(8, 1)), PushStatus::kOk);
+}
+
+TEST(SpscRingTest, CloseDrainsThenSignalsEnd) {
+  SpscRing ring(4);
+  ASSERT_TRUE(ring.Push(Batch(0, 2)));
+  ASSERT_TRUE(ring.Push(Batch(2, 1)));
+  ring.Close();
+  EXPECT_FALSE(ring.Push(Batch(9, 1)));  // rejected after close
+  EXPECT_FALSE(ring.Drained());          // still holds two batches
+  EXPECT_TRUE(ring.TryPop().has_value());
+  EXPECT_TRUE(ring.TryPop().has_value());
+  EXPECT_FALSE(ring.TryPop().has_value());
+  EXPECT_TRUE(ring.Drained());
+}
+
+// Regression for the closed-wins-over-full race: closed_ and the ring
+// indices are separate atomics, so TryPush re-checks closed after finding
+// the ring full. After Close() returns, kFull must never surface.
+TEST(SpscRingTest, TryPushNeverReportsFullAfterCloseRace) {
+  for (int round = 0; round < 50; ++round) {
+    SpscRing ring(2);
+    ASSERT_EQ(ring.TryPush(Batch(0, 1)), PushStatus::kOk);
+    ASSERT_EQ(ring.TryPush(Batch(1, 1)), PushStatus::kOk);  // full
+    std::atomic<bool> closed{false};
+    std::thread closer([&] {
+      ring.Close();
+      closed.store(true, std::memory_order_release);
+    });
+    for (int i = 0; i < 1000; ++i) {
+      const bool was_closed = closed.load(std::memory_order_acquire);
+      const PushStatus st = ring.TryPush(Batch(2 + i, 1));
+      EXPECT_NE(st, PushStatus::kOk);
+      if (was_closed) {
+        EXPECT_EQ(st, PushStatus::kClosed);
+        break;
+      }
+    }
+    closer.join();
+    EXPECT_EQ(ring.TryPush(Batch(0, 1)), PushStatus::kClosed);
+  }
+}
+
+// Producer/consumer stress across a tiny ring: every batch arrives exactly
+// once, in order, with the blocking slow paths (full ring, empty ring)
+// exercised constantly. Run under TSan/ASan in verify.sh.
+TEST(SpscRingTest, StressOrderedHandoffThroughTinyRing) {
+  SpscRing ring(4);
+  constexpr int kBatches = 2000;
+  std::thread producer([&] {
+    for (int i = 0; i < kBatches; ++i) {
+      ASSERT_TRUE(ring.Push(Batch(i * 2, 2)));
+    }
+    ring.Close();
+  });
+  int expected = 0;
+  for (;;) {
+    auto b = ring.TryPop();
+    if (!b.has_value()) {
+      if (ring.Drained()) break;
+      continue;
+    }
+    ASSERT_EQ(b->elements.size(), 2u);
+    EXPECT_EQ(KeyOf(b->elements[0]), expected * 2);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kBatches);
+}
+
+TEST(TaskInboxTest, MultiplexesRingsAndExternalChannel) {
+  TaskInbox inbox(64);
+  SpscRing* ring_a = inbox.AddRing(8);
+  SpscRing* ring_b = inbox.AddRing(8);
+  inbox.EnsureExternal();
+  ASSERT_TRUE(ring_a->Push(Batch(0, 1)));
+  ASSERT_TRUE(ring_b->Push(Batch(1, 1)));
+  ASSERT_TRUE(inbox.PushExternal(Batch(2, 1)));
+  EXPECT_EQ(inbox.QueuedElements(), 3u);
+
+  std::vector<bool> seen(3, false);
+  for (int i = 0; i < 3; ++i) {
+    auto b = inbox.Pop();
+    ASSERT_TRUE(b.has_value());
+    seen[static_cast<size_t>(KeyOf(b->elements[0]))] = true;
+  }
+  EXPECT_TRUE(seen[0] && seen[1] && seen[2]);
+  EXPECT_EQ(inbox.QueuedElements(), 0u);
+
+  inbox.Close();
+  EXPECT_FALSE(inbox.Pop().has_value());  // all sources closed + drained
+}
+
+TEST(TaskInboxTest, PopDrainsRemainingAfterClose) {
+  TaskInbox inbox(64);
+  SpscRing* ring = inbox.AddRing(8);
+  ASSERT_TRUE(ring->Push(Batch(0, 2)));
+  inbox.Close();
+  auto b = inbox.Pop();  // close() leaves queued batches poppable
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->elements.size(), 2u);
+  EXPECT_FALSE(inbox.Pop().has_value());
+}
+
+TEST(TaskInboxTest, ParkedConsumerWakesOnRingPush) {
+  TaskInbox inbox(64);
+  SpscRing* ring = inbox.AddRing(8);
+  std::thread producer([&] {
+    // Let the consumer reach the parked state, then push.
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    ASSERT_TRUE(ring->Push(Batch(7, 1)));
+    inbox.Close();
+  });
+  auto b = inbox.Pop();  // blocks parked until the push lands
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(KeyOf(b->elements[0]), 7);
+  EXPECT_FALSE(inbox.Pop().has_value());
+  producer.join();
+}
+
+TEST(TaskInboxTest, StressTwoRingProducersPlusExternal) {
+  TaskInbox inbox(256);
+  SpscRing* ring_a = inbox.AddRing(4);
+  SpscRing* ring_b = inbox.AddRing(4);
+  inbox.EnsureExternal();
+  constexpr int kPerSource = 800;
+  std::thread prod_a([&] {
+    for (int i = 0; i < kPerSource; ++i) {
+      ASSERT_TRUE(ring_a->Push(Batch(i, 1)));
+    }
+    ring_a->Close();
+  });
+  std::thread prod_b([&] {
+    for (int i = 0; i < kPerSource; ++i) {
+      ASSERT_TRUE(ring_b->Push(Batch(kPerSource + i, 1)));
+    }
+    ring_b->Close();
+  });
+  std::thread prod_ext([&] {
+    for (int i = 0; i < kPerSource; ++i) {
+      ASSERT_TRUE(inbox.PushExternal(Batch(2 * kPerSource + i, 1)));
+    }
+  });
+  std::vector<bool> seen(3 * kPerSource, false);
+  int got = 0;
+  // Per-source FIFO must hold even under multiplexing.
+  int next_a = 0, next_b = kPerSource, next_ext = 2 * kPerSource;
+  while (got < 3 * kPerSource) {
+    auto b = inbox.Pop();
+    ASSERT_TRUE(b.has_value());
+    const int v = KeyOf(b->elements[0]);
+    ASSERT_FALSE(seen[static_cast<size_t>(v)]);
+    seen[static_cast<size_t>(v)] = true;
+    if (v < kPerSource) {
+      EXPECT_EQ(v, next_a++);
+    } else if (v < 2 * kPerSource) {
+      EXPECT_EQ(v, next_b++);
+    } else {
+      EXPECT_EQ(v, next_ext++);
+    }
+    ++got;
+  }
+  prod_a.join();
+  prod_b.join();
+  prod_ext.join();  // external channel closes via inbox.Close below
+  inbox.Close();
+  EXPECT_FALSE(inbox.Pop().has_value());
 }
 
 }  // namespace
