@@ -30,6 +30,11 @@ cmake --build build -j --target micro_row >/dev/null
 ./build/bench/micro_row --benchmark_min_time=0.05 \
   --benchmark_filter='BM_RowFanoutShare/(8|64)$'
 
+echo "== chaos: recovery equivalence across injector seeds =="
+# Exactly-once under induced crashes + churn: per-query outputs must be
+# byte-identical to the fault-free sync reference for every seed.
+./build/tests/astream_tests --gtest_filter='Seeds/ChaosEquivalenceTest.*'
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== tsan: skipped (--skip-tsan) =="
 else
@@ -47,6 +52,11 @@ else
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     ./build-tsan/tests/astream_tests \
     --gtest_filter='*SpscRing*:*TaskInbox*:ChannelTest.TryPushNeverReportsFullAfterCloseRace:ChannelTest.Many*:RowTest.ConcurrentReads*'
+
+  echo "== tsan: supervised crash recovery (supervisor/watchdog vs control/task threads) =="
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ./build-tsan/tests/astream_tests \
+    --gtest_filter='Seeds/ChaosEquivalenceTest.ExactlyOnceUnderCrashAndChurn/0:RunnerPoisonTest.*:SupervisorTest.*'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

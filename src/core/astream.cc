@@ -14,6 +14,10 @@ AStreamJob::AStreamJob(Options options)
       metrics_(options.enable_metrics),
       trace_(options.enable_trace),
       session_(options.session) {
+  store_ = options_.checkpoint_store != nullptr ? options_.checkpoint_store
+                                                : &checkpoint_store_;
+  store_->SetRetention(options_.checkpoint_retention);
+  next_checkpoint_epoch_ = options_.first_checkpoint_id;
   if (metrics_.enabled()) {
     m_push_accepted_ = metrics_.GetCounter("job.push_accepted");
     m_push_clamped_ = metrics_.GetCounter("job.push_clamped");
@@ -306,10 +310,9 @@ Status AStreamJob::Start() {
   };
   auto snapshot = [this](int64_t id, int stage, int instance,
                          std::vector<uint8_t> state) {
-    checkpoint_store_.AddOperatorState(id, stage, instance,
-                                       std::move(state));
+    store_->AddOperatorState(id, stage, instance, std::move(state));
     // +1: the shared session's control-plane snapshot (stage -1).
-    checkpoint_store_.MaybeComplete(id, total_instances_ + 1);
+    store_->MaybeComplete(id, total_instances_ + 1);
   };
   // Per-edge batch-size histograms, resolved by stage index so the push
   // observer is a plain array lookup + lock-free record.
@@ -406,8 +409,9 @@ PushResult AStreamJob::PushB(TimestampMs event_time, spe::Row row) {
 
 PushResult AStreamJob::PushTo(int input, TimestampMs event_time,
                               spe::Row row) {
-  if (input < 0 || !started_ || finished_) {
-    // Permanent refusal: there is nothing to retry against.
+  if (input < 0 || !started_ || finished_ || runner_->Failed()) {
+    // Permanent refusal: there is nothing to retry against. A poisoned
+    // runner refuses immediately instead of blocking on dead consumers.
     if (m_push_shutdown_ != nullptr) m_push_shutdown_->Add();
     return PushResult::kShutdown;
   }
@@ -596,12 +600,17 @@ bool AStreamJob::WaitForDeployment(TimestampMs timeout_ms) {
                           [&] { return epoch_acks_.empty(); });
 }
 
-int64_t AStreamJob::TriggerCheckpoint() {
+int64_t AStreamJob::TriggerCheckpoint(std::map<int, int64_t> source_offsets,
+                                      int64_t id) {
   // Checkpoint barriers are batch boundaries too.
   FlushSourceBatches();
-  const int64_t id = next_checkpoint_epoch_++;
-  std::map<int, int64_t> offsets;  // recorded by the harness source log
-  checkpoint_store_.BeginCheckpoint(id, std::move(offsets));
+  if (id == 0) {
+    id = next_checkpoint_epoch_++;
+  } else if (id >= next_checkpoint_epoch_) {
+    // Replay re-triggering a logged checkpoint: keep the counter monotonic.
+    next_checkpoint_epoch_ = id + 1;
+  }
+  store_->BeginCheckpoint(id, std::move(source_offsets));
   // Control-plane snapshot: the shared session's slot allocator and id /
   // epoch counters, taken atomically with the barrier injection so no
   // changelog can slip between them.
@@ -609,9 +618,8 @@ int64_t AStreamJob::TriggerCheckpoint() {
     std::lock_guard<std::mutex> lock(session_mutex_);
     spe::StateWriter writer;
     session_.Serialize(&writer);
-    checkpoint_store_.AddOperatorState(id, kSessionStateStage, 0,
-                                       writer.TakeBuffer());
-    checkpoint_store_.MaybeComplete(id, total_instances_ + 1);
+    store_->AddOperatorState(id, kSessionStateStage, 0, writer.TakeBuffer());
+    store_->MaybeComplete(id, total_instances_ + 1);
     spe::ControlMarker marker;
     marker.kind = spe::MarkerKind::kCheckpointBarrier;
     marker.epoch = id;
@@ -634,19 +642,44 @@ Status AStreamJob::RestoreFrom(
   return runner_->Restore(checkpoint);
 }
 
-void AStreamJob::FinishAndWait() {
-  if (!started_ || finished_) return;
+Status AStreamJob::FinishAndWait() {
+  if (!started_ || finished_) return Status::OK();
   FlushSourceBatches();
   Pump(true);
   runner_->FinishAndWait();
   finished_ = true;
   trace_.Record(obs::TraceEventKind::kFinish);
+  return runner_->Failure();
 }
 
-void AStreamJob::Stop() {
-  if (!started_ || finished_) return;
+Status AStreamJob::Stop() {
+  if (!started_ || finished_) {
+    return runner_ != nullptr ? runner_->Failure() : Status::OK();
+  }
   runner_->Cancel();
   finished_ = true;
+  return runner_->Failure();
+}
+
+Status AStreamJob::Health() const {
+  if (runner_ == nullptr) return Status::OK();
+  return runner_->Failure();
+}
+
+bool AStreamJob::Failed() const {
+  return runner_ != nullptr && runner_->Failed();
+}
+
+void AStreamJob::DeclareFailed(const Status& status) {
+  auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());
+  if (threaded != nullptr) threaded->DeclareFailed(status);
+}
+
+std::vector<spe::ThreadedRunner::TaskHealthSample>
+AStreamJob::TaskHealth() const {
+  auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());
+  if (threaded == nullptr) return {};
+  return threaded->SampleTaskHealth();
 }
 
 void AStreamJob::SetResultCallback(ResultCallback callback) {
@@ -709,6 +742,8 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
       metrics_.GetGauge("router.rows_shared")->Set(s.router_rows_shared);
       metrics_.GetGauge("router.rows_copied")->Set(s.router_rows_copied);
       metrics_.GetGauge("state.arena_bytes")->Set(s.state_arena_bytes);
+      metrics_.GetGauge("state.checkpoints_retained")
+          ->Set(static_cast<int64_t>(store_->NumRetained()));
     }
     if (runner_ != nullptr) {
       auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());

@@ -3,6 +3,7 @@
 
 #include <condition_variable>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -78,6 +79,17 @@ class AStreamJob {
     /// Structured lifecycle trace (submit → changelog flush → deploy ack →
     /// first result → cancel), exportable as JSON-lines.
     bool enable_trace = true;
+    /// External checkpoint store surviving the job (crash recovery: the
+    /// supervisor restores a *fresh* job from the old job's checkpoints).
+    /// nullptr = the job owns a private store.
+    spe::CheckpointStore* checkpoint_store = nullptr;
+    /// First id TriggerCheckpoint() auto-assigns. A recovered job resumes
+    /// numbering after the restored checkpoint so ids stay monotonic in
+    /// the shared store.
+    int64_t first_checkpoint_id = 1;
+    /// Completed checkpoints kept in the store (older ones are pruned once
+    /// a newer one completes); in-flight checkpoints are always kept.
+    size_t checkpoint_retention = 2;
   };
 
   using ResultCallback =
@@ -119,19 +131,38 @@ class AStreamJob {
   /// checkpoints() once every instance snapshotted. The shared session's
   /// control-plane state (slot allocator, id/epoch counters) is captured
   /// too, so query ids stay consistent after recovery.
-  int64_t TriggerCheckpoint();
+  ///
+  /// `source_offsets` (source-log positions as of the barrier) are stored
+  /// with the checkpoint for replay. `id` forces the checkpoint id (used
+  /// when a recovery replay re-triggers logged checkpoints); 0 auto-assigns
+  /// the next one. An explicit id advances the auto counter past it.
+  int64_t TriggerCheckpoint(std::map<int, int64_t> source_offsets = {},
+                            int64_t id = 0);
   /// Restores all operator AND session state from a completed checkpoint
   /// (call after Start, before any data).
   Status RestoreFrom(const spe::CheckpointStore::Checkpoint& checkpoint);
 
   /// Pseudo-stage index under which the session snapshot is stored.
   static constexpr int kSessionStateStage = -1;
-  spe::CheckpointStore& checkpoints() { return checkpoint_store_; }
+  spe::CheckpointStore& checkpoints() { return *store_; }
 
-  /// End-of-stream: flush pending batches, drain, join all tasks.
-  void FinishAndWait();
-  /// Hard cancel.
-  void Stop();
+  /// End-of-stream: flush pending batches, drain, join all tasks. Returns
+  /// the first task failure if the run was poisoned (see Health()).
+  Status FinishAndWait();
+  /// Hard cancel. Also returns the first task failure, if any.
+  Status Stop();
+
+  /// First task failure captured by the runner (OK while healthy). A
+  /// failed job stops accepting pushes (kShutdown) and must be recovered
+  /// by restoring a fresh job from checkpoints() — see harness::SupervisedJob.
+  Status Health() const;
+  bool Failed() const;
+  /// Marks the job failed from outside (watchdog-detected stall). The
+  /// runner quiesces exactly as on an internal task failure.
+  void DeclareFailed(const Status& status);
+  /// Per-task liveness samples for stall detection (threaded mode; empty
+  /// in sync mode, which cannot stall).
+  std::vector<spe::ThreadedRunner::TaskHealthSample> TaskHealth() const;
 
   void SetResultCallback(ResultCallback callback);
 
@@ -205,6 +236,8 @@ class AStreamJob {
   std::vector<spe::ElementBatch> source_batches_;
   std::vector<TimestampMs> source_batch_start_;
   spe::CheckpointStore checkpoint_store_;
+  // Points at options_.checkpoint_store when set, else checkpoint_store_.
+  spe::CheckpointStore* store_ = nullptr;
   std::unique_ptr<spe::Runner> runner_;
 
   // Stage indices (filled by BuildTopology).

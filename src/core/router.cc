@@ -87,6 +87,7 @@ void RouterOperator::RouteOne(int port, spe::Record record,
     spe::StreamElement el;
     el.kind = spe::ElementKind::kRecord;
     el.record = std::move(record);
+    el.record.epoch = epoch_;
     out->Emit(std::move(el));
   } else {
     // Raw tuple: ship to every subscribed query's channel. This is the one
@@ -101,6 +102,7 @@ void RouterOperator::RouteOne(int port, spe::Record record,
       copy.row = record.row;
       copy.tags = QuerySet::Single(slot);
       copy.channel = q->id;
+      copy.epoch = epoch_;
       ++records_routed_;
       if (copy.row.SharesStorageWith(record.row)) {
         ++rows_shared_;
@@ -123,6 +125,14 @@ void RouterOperator::RouteOne(int port, spe::Record record,
 void RouterOperator::OnMarker(const spe::ControlMarker& marker,
                               spe::Collector* out) {
   (void)out;
+  if (marker.kind == spe::MarkerKind::kCheckpointBarrier) {
+    // Outputs emitted from here on belong to this checkpoint's epoch. The
+    // runtime delivers checkpoint barriers to the operator *before*
+    // snapshotting, so the snapshot carries the advanced epoch and a
+    // restored router resumes stamping exactly where the original did.
+    epoch_ = marker.epoch;
+    return;
+  }
   const Changelog* log = Changelog::FromMarker(marker);
   if (log == nullptr) return;
   const Status s = table_.Apply(*log);
@@ -137,6 +147,7 @@ void RouterOperator::OnMarker(const spe::ControlMarker& marker,
 Status RouterOperator::SnapshotState(spe::StateWriter* writer) {
   table_.Serialize(writer);
   writer->WriteI64(records_routed_);
+  writer->WriteI64(epoch_);
   return Status::OK();
 }
 
@@ -144,6 +155,7 @@ Status RouterOperator::RestoreState(spe::StateReader* reader) {
   ASTREAM_RETURN_IF_ERROR(table_.Restore(reader));
   RebuildSlotSeries();
   records_routed_ = reader->ReadI64();
+  epoch_ = reader->ReadI64();
   return reader->Ok() ? Status::OK()
                       : Status::Internal("bad router snapshot");
 }

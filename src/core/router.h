@@ -80,6 +80,9 @@ class RouterOperator : public spe::Operator {
 
   Config config_;
   ActiveQueryTable table_;
+  // Id of the last aligned checkpoint barrier; stamped onto every routed
+  // output (Record::epoch) for recovery-time output dedup.
+  int64_t epoch_ = 0;
   int64_t records_routed_ = 0;
   int64_t rows_shared_ = 0;
   int64_t rows_copied_ = 0;

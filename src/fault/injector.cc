@@ -1,0 +1,81 @@
+#include "fault/injector.h"
+
+namespace astream::fault {
+
+namespace internal {
+std::atomic<FaultInjector*> g_injector{nullptr};
+}  // namespace internal
+
+const char* FaultPointName(FaultPoint point) {
+  switch (point) {
+    case FaultPoint::kOperatorProcess:
+      return "operator_process";
+    case FaultPoint::kSnapshot:
+      return "snapshot";
+    case FaultPoint::kChannelPush:
+      return "channel_push";
+    case FaultPoint::kConsumerStall:
+      return "consumer_stall";
+    case FaultPoint::kNumPoints:
+      break;
+  }
+  return "unknown";
+}
+
+FaultInjector::FaultInjector(uint64_t seed) : rng_(seed) {}
+
+void FaultInjector::AddRule(Rule rule) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  rules_.push_back(rule);
+  rule_fires_.push_back(0);
+}
+
+FaultDecision FaultInjector::Decide(FaultPoint point, int stage) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const size_t p = static_cast<size_t>(point);
+  const int64_t hit = ++hits_[p];
+  for (size_t i = 0; i < rules_.size(); ++i) {
+    const Rule& rule = rules_[i];
+    if (rule.point != point) continue;
+    if (rule.stage >= 0 && rule.stage != stage) continue;
+    if (hit <= rule.after_hits) continue;
+    if (rule.max_fires > 0 && rule_fires_[i] >= rule.max_fires) continue;
+    if (rule.probability < 1.0 && !rng_.Bernoulli(rule.probability)) {
+      continue;
+    }
+    ++rule_fires_[i];
+    ++fires_[p];
+    FaultDecision decision;
+    decision.action = rule.action;
+    decision.delay_us = rule.delay_us;
+    return decision;
+  }
+  return FaultDecision{};
+}
+
+int64_t FaultInjector::hits(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_[static_cast<size_t>(point)];
+}
+
+int64_t FaultInjector::fires(FaultPoint point) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fires_[static_cast<size_t>(point)];
+}
+
+int64_t FaultInjector::total_fires() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  int64_t total = 0;
+  for (int64_t f : fires_) total += f;
+  return total;
+}
+
+ScopedFaultInjection::ScopedFaultInjection(FaultInjector* injector)
+    : previous_(internal::g_injector.exchange(injector,
+                                              std::memory_order_acq_rel)) {}
+
+ScopedFaultInjection::~ScopedFaultInjection() {
+  internal::g_injector.store(previous_, std::memory_order_release);
+}
+
+}  // namespace astream::fault

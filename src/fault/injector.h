@@ -1,0 +1,141 @@
+#ifndef ASTREAM_FAULT_INJECTOR_H_
+#define ASTREAM_FAULT_INJECTOR_H_
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace astream::fault {
+
+/// Named injection points in the data plane. Each hook site reports its
+/// point (and stage, where known) and the injector decides — from the
+/// seeded RNG and the per-point hit counters — whether a fault fires.
+enum class FaultPoint : uint8_t {
+  /// Before an operator instance processes a record run (runner task
+  /// thread). kThrow here models an operator crash.
+  kOperatorProcess = 0,
+  /// At a checkpoint barrier, before SnapshotState. kFail turns the
+  /// snapshot into a failure (the checkpoint never completes); kThrow
+  /// crashes the task at the barrier.
+  kSnapshot,
+  /// On a channel/ring push. kDelay stalls the producer; kClose closes
+  /// the channel under the producer (drop-to-closed), which the runner
+  /// must detect as data loss and convert into a job failure.
+  kChannelPush,
+  /// Per task-loop iteration. kDelay models a slow consumer (stall),
+  /// which the watchdog's heartbeat tracking must notice.
+  kConsumerStall,
+  kNumPoints,
+};
+
+inline constexpr size_t kNumFaultPoints =
+    static_cast<size_t>(FaultPoint::kNumPoints);
+
+const char* FaultPointName(FaultPoint point);
+
+/// What a triggered fault does at its site.
+enum class FaultAction : uint8_t {
+  kNone = 0,
+  kThrow,  ///< throw InjectedFault (poisons the task)
+  kFail,   ///< return a failure Status at the site
+  kDelay,  ///< sleep delay_us at the site
+  kClose,  ///< close the channel/ring (drop-to-closed)
+};
+
+struct FaultDecision {
+  FaultAction action = FaultAction::kNone;
+  int64_t delay_us = 0;
+  explicit operator bool() const { return action != FaultAction::kNone; }
+};
+
+/// Exception thrown at kThrow sites. A distinct type so tests and logs can
+/// tell injected crashes from genuine bugs; the runner treats both the
+/// same (task poison -> recovery).
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& what)
+      : std::runtime_error(what) {}
+};
+
+/// Seeded, deterministic fault-schedule generator. All decisions flow from
+/// the seed, the rule list, and the order in which hook sites call
+/// Decide() — so one seed plus a deterministic schedule of hits replays
+/// the same fault pattern, and rules with probability 1.0 and an
+/// `after_hits` threshold fire at an exact global hit count regardless of
+/// thread interleaving.
+///
+/// Thread-safe: Decide() takes an internal mutex (injection is a test/
+/// chaos mode; the disabled path never reaches the injector at all).
+class FaultInjector {
+ public:
+  struct Rule {
+    FaultPoint point = FaultPoint::kOperatorProcess;
+    FaultAction action = FaultAction::kThrow;
+    /// Probability a hit (past `after_hits`) fires, drawn from the seeded
+    /// RNG. 1.0 = deterministic in the global hit order.
+    double probability = 1.0;
+    /// The rule arms only after the point has been hit this many times.
+    int64_t after_hits = 0;
+    /// Stop firing after this many fires (0 = unlimited).
+    int64_t max_fires = 1;
+    /// Restrict to one stage (-1 = any; channel/ring sites report -1).
+    int stage = -1;
+    /// Sleep duration for kDelay.
+    int64_t delay_us = 0;
+  };
+
+  explicit FaultInjector(uint64_t seed);
+
+  void AddRule(Rule rule);
+
+  /// Decision for one hit of `point` at `stage`. Counts the hit, then
+  /// returns the first armed rule that fires (kNone decision otherwise).
+  FaultDecision Decide(FaultPoint point, int stage = -1);
+
+  int64_t hits(FaultPoint point) const;
+  int64_t fires(FaultPoint point) const;
+  int64_t total_fires() const;
+
+ private:
+  mutable std::mutex mutex_;
+  Rng rng_;
+  std::vector<Rule> rules_;
+  std::vector<int64_t> rule_fires_;
+  std::array<int64_t, kNumFaultPoints> hits_{};
+  std::array<int64_t, kNumFaultPoints> fires_{};
+};
+
+namespace internal {
+extern std::atomic<FaultInjector*> g_injector;
+}  // namespace internal
+
+/// The process-global active injector, or nullptr (the normal case).
+/// Hook sites do one relaxed atomic load + predicted-not-taken branch when
+/// disabled — the same zero-cost pattern as the obs layer.
+inline FaultInjector* ActiveInjector() {
+  return internal::g_injector.load(std::memory_order_acquire);
+}
+
+/// RAII installer. Install before Start(), uninstall after the job is
+/// fully stopped; reference (fault-free) runs simply never install one.
+class ScopedFaultInjection {
+ public:
+  explicit ScopedFaultInjection(FaultInjector* injector);
+  ~ScopedFaultInjection();
+
+  ScopedFaultInjection(const ScopedFaultInjection&) = delete;
+  ScopedFaultInjection& operator=(const ScopedFaultInjection&) = delete;
+
+ private:
+  FaultInjector* previous_;
+};
+
+}  // namespace astream::fault
+
+#endif  // ASTREAM_FAULT_INJECTOR_H_

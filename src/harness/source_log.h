@@ -13,22 +13,83 @@ namespace astream::harness {
 /// A durable, replayable input log — the stand-in for the paper's message
 /// bus (Kafka): AStream's exactly-once story (Sec. 3.3) requires that the
 /// input stream can be replayed from a logged offset after a failure.
+///
+/// Beyond data records the log also captures the *control-plane* timeline
+/// (query submits/cancels and checkpoint triggers) so a supervised
+/// recovery can replay ad-hoc query churn byte-identically: re-submitted
+/// queries get the same ids (the restored session's id counter is
+/// deterministic) and changelog markers reproduce their original times
+/// (entries carry the wall-clock time to re-pin a ManualClock to).
 class SourceLog {
  public:
   struct Entry {
-    enum Kind { kRecordA, kRecordB, kWatermark } kind = kRecordA;
+    enum Kind {
+      kRecordA,
+      kRecordB,
+      kWatermark,
+      kSubmit,      // an accepted ad-hoc query submission
+      kCancel,      // an accepted cancellation
+      kCheckpoint,  // a triggered checkpoint barrier
+    } kind = kRecordA;
     TimestampMs time = 0;
     spe::Row row;
+    // Control-plane fields (kSubmit/kCancel/kCheckpoint).
+    TimestampMs wall_ms = 0;      // wall clock of the original call
+    core::QueryDescriptor desc;   // kSubmit
+    core::QueryId query_id = -1;  // kSubmit (assigned id) / kCancel
+    int64_t checkpoint_id = 0;    // kCheckpoint
+    int64_t offset = 0;           // kCheckpoint: log end offset at barrier
   };
 
   void LogA(TimestampMs time, spe::Row row) {
-    entries_.push_back(Entry{Entry::kRecordA, time, std::move(row)});
+    Entry e;
+    e.kind = Entry::kRecordA;
+    e.time = time;
+    e.row = std::move(row);
+    entries_.push_back(std::move(e));
   }
   void LogB(TimestampMs time, spe::Row row) {
-    entries_.push_back(Entry{Entry::kRecordB, time, std::move(row)});
+    Entry e;
+    e.kind = Entry::kRecordB;
+    e.time = time;
+    e.row = std::move(row);
+    entries_.push_back(std::move(e));
   }
   void LogWatermark(TimestampMs watermark) {
-    entries_.push_back(Entry{Entry::kWatermark, watermark, {}});
+    Entry e;
+    e.kind = Entry::kWatermark;
+    e.time = watermark;
+    entries_.push_back(std::move(e));
+  }
+  void LogSubmit(TimestampMs wall_ms, const core::QueryDescriptor& desc,
+                 core::QueryId id) {
+    Entry e;
+    e.kind = Entry::kSubmit;
+    e.wall_ms = wall_ms;
+    e.desc = desc;
+    e.query_id = id;
+    entries_.push_back(std::move(e));
+  }
+  void LogCancel(TimestampMs wall_ms, core::QueryId id) {
+    Entry e;
+    e.kind = Entry::kCancel;
+    e.wall_ms = wall_ms;
+    e.query_id = id;
+    entries_.push_back(std::move(e));
+  }
+  void LogCheckpoint(TimestampMs wall_ms, int64_t checkpoint_id,
+                     int64_t offset) {
+    Entry e;
+    e.kind = Entry::kCheckpoint;
+    e.wall_ms = wall_ms;
+    e.checkpoint_id = checkpoint_id;
+    e.offset = offset;
+    entries_.push_back(std::move(e));
+  }
+
+  /// Entry at an absolute offset in [first_offset(), EndOffset()).
+  const Entry& At(int64_t offset) const {
+    return entries_[static_cast<size_t>(offset - truncated_)];
   }
 
   /// Current end offset (total entries ever logged; absolute).
@@ -36,8 +97,10 @@ class SourceLog {
     return truncated_ + static_cast<int64_t>(entries_.size());
   }
 
-  /// Re-pushes entries [from, EndOffset()) into `job`. `from` is an
-  /// absolute offset; it must not be below first_offset().
+  /// Re-pushes *data* entries [from, EndOffset()) into `job`. `from` is an
+  /// absolute offset; it must not be below first_offset(). Control-plane
+  /// entries are skipped — SupervisedJob's replay handles those (they need
+  /// clock pinning and id assertions the raw log cannot do).
   void Replay(core::AStreamJob* job, int64_t from) const {
     const auto start =
         static_cast<size_t>(std::max<int64_t>(0, from - truncated_));
@@ -52,6 +115,10 @@ class SourceLog {
           break;
         case Entry::kWatermark:
           job->PushWatermark(e.time);
+          break;
+        case Entry::kSubmit:
+        case Entry::kCancel:
+        case Entry::kCheckpoint:
           break;
       }
     }

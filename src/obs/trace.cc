@@ -20,6 +20,12 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "checkpoint";
     case TraceEventKind::kFinish:
       return "finish";
+    case TraceEventKind::kFailureDetected:
+      return "failure_detected";
+    case TraceEventKind::kRecoveryStart:
+      return "recovery_start";
+    case TraceEventKind::kRecoveryDone:
+      return "recovery_done";
   }
   return "unknown";
 }

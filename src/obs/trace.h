@@ -20,9 +20,12 @@ enum class TraceEventKind : uint8_t {
                     // detail = deploy latency (ms)
   kFirstResult,     // the first result record reached the sink;
                     // detail = event-time latency (ms)
-  kCancel,          // Cancel() accepted the deletion request
-  kCheckpoint,      // a checkpoint barrier was injected; detail = id
-  kFinish,          // FinishAndWait() drained the job
+  kCancel,           // Cancel() accepted the deletion request
+  kCheckpoint,       // a checkpoint barrier was injected; detail = id
+  kFinish,           // FinishAndWait() drained the job
+  kFailureDetected,  // a task failure was detected; detail = attempt count
+  kRecoveryStart,    // a recovery attempt began; detail = attempt index
+  kRecoveryDone,     // recovery completed; detail = latency (ms)
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -1,11 +1,14 @@
 #ifndef ASTREAM_SPE_CHANNEL_H_
 #define ASTREAM_SPE_CHANNEL_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <thread>
 
+#include "fault/injector.h"
 #include "spe/element.h"
 
 namespace astream::spe {
@@ -68,6 +71,18 @@ class Channel {
   /// capacity is admitted once the queue is empty, so it can never block
   /// forever.
   bool Push(BatchEnvelope batch) {
+    if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+      // kChannelPush: kDelay stalls this producer; kClose is
+      // drop-to-closed — the push below then fails through the normal
+      // closed path, which the runner detects as data loss.
+      const fault::FaultDecision d =
+          inj->Decide(fault::FaultPoint::kChannelPush);
+      if (d.action == fault::FaultAction::kDelay) {
+        std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+      } else if (d.action == fault::FaultAction::kClose) {
+        Close();
+      }
+    }
     const size_t n = batch.elements.size();
     std::unique_lock<std::mutex> lock(mutex_);
     not_full_.wait(lock, [&] {

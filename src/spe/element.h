@@ -24,6 +24,11 @@ struct Record {
   /// equivalent). The AStream router stamps the target query id here;
   /// -1 while unrouted.
   int64_t channel = -1;
+  /// Checkpoint epoch of a routed output: the id of the last checkpoint
+  /// barrier the router aligned before emitting this record (0 before the
+  /// first barrier). Recovery uses it to prune the output-dedup store —
+  /// outputs older than the restored checkpoint can never be regenerated.
+  int64_t epoch = 0;
 };
 
 /// Marker payloads are defined by higher layers (e.g. the AStream changelog,

@@ -2,7 +2,29 @@
 
 #include <algorithm>
 
+#include "fault/injector.h"
+
 namespace astream::spe {
+
+namespace {
+
+/// kOperatorProcess hook for the baseline per-query operators (the shared
+/// operators are covered by the generic hook in the runner's record-run
+/// dispatch; these also run under SyncRunner in baseline jobs, where the
+/// throw propagates to the caller).
+inline void MaybeInjectOperatorFault(const OperatorContext& ctx) {
+  fault::FaultInjector* inj = fault::ActiveInjector();
+  if (inj == nullptr) return;
+  const fault::FaultDecision d =
+      inj->Decide(fault::FaultPoint::kOperatorProcess, ctx.stage_index);
+  if (d.action == fault::FaultAction::kThrow ||
+      d.action == fault::FaultAction::kFail) {
+    throw fault::InjectedFault("injected crash in operator " +
+                               ctx.stage_name);
+  }
+}
+
+}  // namespace
 
 void PassThroughOperator::ProcessRecord(int port, Record record,
                                         Collector* out) {
@@ -51,6 +73,7 @@ void WindowAggregateOperator::ProcessRecord(int port, Record record,
                                             Collector* out) {
   (void)port;
   (void)out;
+  MaybeInjectOperatorFault(ctx());
   if (record.event_time < origin_) return;  // before the query existed
   const Value v = record.row.At(agg_.column);
   if (window_.IsTimeWindow()) {
@@ -214,6 +237,7 @@ Status WindowJoinOperator::Open(const OperatorContext& ctx) {
 void WindowJoinOperator::ProcessRecord(int port, Record record,
                                        Collector* out) {
   (void)out;
+  MaybeInjectOperatorFault(ctx());
   if (record.event_time < origin_) return;
   std::vector<TimeWindow> assigned;
   window_.AssignWindows(origin_, record.event_time, &assigned);

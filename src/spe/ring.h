@@ -99,6 +99,18 @@ class SpscRing {
   /// stays a single uncontended load while the producer is making
   /// progress.
   bool Push(BatchEnvelope batch) {
+    if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+      // kChannelPush (ring edge): kDelay stalls the producer; kClose is
+      // drop-to-closed — the push below fails via the closed path and the
+      // runner converts the loss into a detected failure.
+      const fault::FaultDecision d =
+          inj->Decide(fault::FaultPoint::kChannelPush);
+      if (d.action == fault::FaultAction::kDelay) {
+        std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+      } else if (d.action == fault::FaultAction::kClose) {
+        Close();
+      }
+    }
     for (int spin = 0; spin < 64; ++spin) {
       switch (TryPushImpl(batch)) {
         case PushStatus::kOk: return true;

@@ -2,8 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
+#include <thread>
 
 #include "common/logging.h"
+#include "fault/injector.h"
 
 namespace astream::spe {
 namespace internal {
@@ -93,6 +96,20 @@ void InstanceRuntime::HandleBatch(int port, int sender,
       }
       records_in_.fetch_add(static_cast<int64_t>(scratch_records_.size()),
                             std::memory_order_relaxed);
+      if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+        // kOperatorProcess: kThrow models an operator crash right where a
+        // genuine operator bug would surface (poisons the task in threaded
+        // mode; propagates to the caller in sync mode).
+        const fault::FaultDecision d =
+            inj->Decide(fault::FaultPoint::kOperatorProcess, stage_);
+        if (d.action == fault::FaultAction::kDelay) {
+          std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+        } else if (d.action != fault::FaultAction::kNone) {
+          throw fault::InjectedFault(
+              "injected operator crash at stage " + std::to_string(stage_) +
+              "/" + std::to_string(instance_));
+        }
+      }
       op_->ProcessBatch(port, scratch_records_, collector_.get());
       continue;
     }
@@ -162,16 +179,40 @@ void InstanceRuntime::HandleMarker(SenderState& st,
 void InstanceRuntime::FireMarker(const ControlMarker& marker) {
   aligning_ = false;
   for (auto& [key, st] : senders_) st.blocked = false;
-  if (marker.kind == MarkerKind::kCheckpointBarrier && snapshot) {
-    StateWriter writer;
-    const Status s = op_->SnapshotState(&writer);
-    if (!s.ok()) {
-      ASTREAM_LOG(kError, "runner")
-          << "snapshot failed for stage " << stage_ << "/" << instance_
-          << ": " << s.ToString();
-    } else {
-      snapshot(marker.epoch, stage_, instance_, writer.TakeBuffer());
+  if (marker.kind == MarkerKind::kCheckpointBarrier) {
+    // Deliver the barrier to the operator BEFORE snapshotting so the
+    // snapshot captures post-barrier bookkeeping (e.g. the router's output
+    // epoch advances to this barrier's id). No operator emits records on a
+    // checkpoint barrier, so the snapshot still sees exactly the aligned
+    // pre-barrier data state.
+    op_->OnMarker(marker, collector_.get());
+    if (snapshot) {
+      Status s = Status::OK();
+      if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+        // kSnapshot: kFail loses this instance's contribution, so the
+        // checkpoint never completes and recovery falls back to the last
+        // complete one; kThrow crashes the task at the barrier itself.
+        const fault::FaultDecision d =
+            inj->Decide(fault::FaultPoint::kSnapshot, stage_);
+        if (d.action == fault::FaultAction::kFail) {
+          s = Status::Internal("injected snapshot failure");
+        } else if (d.action == fault::FaultAction::kThrow) {
+          throw fault::InjectedFault("injected crash at checkpoint barrier " +
+                                     std::to_string(marker.epoch));
+        }
+      }
+      StateWriter writer;
+      if (s.ok()) s = op_->SnapshotState(&writer);
+      if (!s.ok()) {
+        ASTREAM_LOG(kError, "runner")
+            << "snapshot failed for stage " << stage_ << "/" << instance_
+            << ": " << s.ToString();
+      } else {
+        snapshot(marker.epoch, stage_, instance_, writer.TakeBuffer());
+      }
     }
+    forward_control(StreamElement::MakeMarker(marker));
+    return;
   }
   op_->OnMarker(marker, collector_.get());
   forward_control(StreamElement::MakeMarker(marker));
@@ -564,16 +605,75 @@ Status ThreadedRunner::Start() {
 
 void ThreadedRunner::TaskLoop(Task* task) {
   const int stage = task->runtime->stage();
-  while (true) {
-    std::optional<BatchEnvelope> batch = task->inbox->Pop();
-    if (!batch.has_value()) break;  // all sources closed + drained (cancel)
-    task->runtime->DeliverBatch(std::move(*batch));
-    // End-of-input-batch flush: a partially filled output buffer never
-    // waits for more input, so added latency is bounded by one upstream
-    // batch (the task-level linger policy).
-    FlushTaskOutputs(task, stage);
-    if (task->runtime->Finished()) break;
+  try {
+    while (true) {
+      if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+        // kConsumerStall: a slow consumer. The heartbeat below still
+        // advances, but backlog builds; a kDelay long enough relative to
+        // the watchdog's stall timeout freezes the heartbeat mid-sleep.
+        const fault::FaultDecision d =
+            inj->Decide(fault::FaultPoint::kConsumerStall, stage);
+        if (d.action == fault::FaultAction::kDelay) {
+          std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+        }
+      }
+      std::optional<BatchEnvelope> batch = task->inbox->Pop();
+      if (!batch.has_value()) break;  // all sources closed + drained
+      task->runtime->DeliverBatch(std::move(*batch));
+      // End-of-input-batch flush: a partially filled output buffer never
+      // waits for more input, so added latency is bounded by one upstream
+      // batch (the task-level linger policy).
+      FlushTaskOutputs(task, stage);
+      task->heartbeat.fetch_add(1, std::memory_order_relaxed);
+      if (task->runtime->Finished()) break;
+    }
+  } catch (const std::exception& e) {
+    // Failure capture: no silent thread death. The first failure poisons
+    // the whole runner so every task quiesces and callers see the Status.
+    Poison(Status::Internal("task " + StageName(stage) + "/" +
+                            std::to_string(task->runtime->instance()) +
+                            " failed: " + e.what()));
   }
+}
+
+void ThreadedRunner::Poison(const Status& status) {
+  {
+    std::lock_guard<std::mutex> lock(failure_mutex_);
+    if (failure_.ok()) {
+      failure_ = status;
+      ASTREAM_LOG(kWarn, "runner")
+          << "poisoned: " << status.ToString();
+    }
+  }
+  poisoned_.store(true, std::memory_order_release);
+  // Quiesce: closing every inbox lets sibling tasks drain and exit, and
+  // unblocks any producer parked on a full ring/channel (their pushes fail,
+  // which PushTo surfaces as kShutdown instead of blocking forever).
+  for (auto& stage_tasks : tasks_) {
+    for (auto& task : stage_tasks) task->inbox->Close();
+  }
+}
+
+Status ThreadedRunner::Failure() const {
+  std::lock_guard<std::mutex> lock(failure_mutex_);
+  return failure_;
+}
+
+std::vector<ThreadedRunner::TaskHealthSample>
+ThreadedRunner::SampleTaskHealth() const {
+  std::vector<TaskHealthSample> samples;
+  for (size_t s = 0; s < tasks_.size(); ++s) {
+    for (size_t i = 0; i < tasks_[s].size(); ++i) {
+      const Task& t = *tasks_[s][i];
+      TaskHealthSample sample;
+      sample.stage = static_cast<int>(s);
+      sample.instance = static_cast<int>(i);
+      sample.iterations = t.heartbeat.load(std::memory_order_relaxed);
+      sample.queued = t.inbox->QueuedElements();
+      samples.push_back(sample);
+    }
+  }
+  return samples;
 }
 
 void ThreadedRunner::PushEdge(Task* task, int stage, size_t edge_idx,
@@ -589,6 +689,13 @@ void ThreadedRunner::PushEdge(Task* task, int stage, size_t edge_idx,
     ok = tasks_[edge.target_stage][target]->inbox->PushExternal(
         std::move(batch));
   }
+  if (!ok && !cancelled_.load(std::memory_order_relaxed)) {
+    // A closed downstream edge outside cancellation (e.g. an injected
+    // drop-to-closed) would be silent data loss; convert it into a
+    // detected failure so recovery replays the lost elements.
+    Poison(Status::Aborted("edge to stage " + StageName(edge.target_stage) +
+                           " closed mid-stream (data loss)"));
+  }
   if (ok && edge_observer_) edge_observer_(edge.target_stage, n);
 }
 
@@ -596,10 +703,15 @@ void ThreadedRunner::PushExternalTo(int stage, int instance,
                                     BatchEnvelope batch) {
   if (cancelled_.load(std::memory_order_relaxed)) return;
   const size_t n = batch.elements.size();
-  if (tasks_[stage][instance]->inbox->PushExternal(std::move(batch)) &&
-      edge_observer_) {
-    edge_observer_(stage, n);
+  const bool ok = tasks_[stage][instance]->inbox->PushExternal(
+      std::move(batch));
+  if (!ok && !cancelled_.load(std::memory_order_relaxed)) {
+    // No-op if already poisoned (expected failure of late pushes); a fresh
+    // close under a healthy runner is detected data loss.
+    Poison(Status::Aborted("external edge to stage " + StageName(stage) +
+                           " closed mid-stream (data loss)"));
   }
+  if (ok && edge_observer_) edge_observer_(stage, n);
 }
 
 void ThreadedRunner::DeliverTo(int stage, int instance, int port, int sender,
@@ -681,7 +793,10 @@ void ThreadedRunner::RouteControl(int stage, int instance,
 }
 
 bool ThreadedRunner::Push(int input_index, StreamElement element) {
-  if (cancelled_.load(std::memory_order_relaxed)) return false;
+  if (cancelled_.load(std::memory_order_relaxed) ||
+      poisoned_.load(std::memory_order_acquire)) {
+    return false;
+  }
   const ExternalInputSpec& ext = spec_.external_inputs()[input_index];
   const int sender = ExternalSenderGid(input_index);
   const int par = spec_.stages()[ext.target_stage].parallelism;
@@ -699,7 +814,10 @@ bool ThreadedRunner::Push(int input_index, StreamElement element) {
 }
 
 bool ThreadedRunner::PushBatch(int input_index, ElementBatch batch) {
-  if (cancelled_.load(std::memory_order_relaxed)) return false;
+  if (cancelled_.load(std::memory_order_relaxed) ||
+      poisoned_.load(std::memory_order_acquire)) {
+    return false;
+  }
   const ExternalInputSpec& ext = spec_.external_inputs()[input_index];
   const int sender = ExternalSenderGid(input_index);
   const int par = spec_.stages()[ext.target_stage].parallelism;

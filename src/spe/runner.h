@@ -172,6 +172,13 @@ class Runner {
   /// called after Start() and before any Push.
   virtual Status Restore(const CheckpointStore::Checkpoint& checkpoint) = 0;
 
+  /// First failure captured from a task (OK while healthy). A failed
+  /// runner is poisoned: all inboxes are closed, pushes return false, and
+  /// FinishAndWait/Cancel still join cleanly. Synchronous runners never
+  /// fail this way (exceptions propagate to the caller instead).
+  virtual Status Failure() const { return Status::OK(); }
+  virtual bool Failed() const { return false; }
+
   /// Total records processed / emitted by a stage (sum over instances).
   virtual int64_t StageRecordsIn(int stage) const = 0;
   virtual int64_t StageRecordsOut(int stage) const = 0;
@@ -283,11 +290,36 @@ class ThreadedRunner : public Runner {
   double StageRingOccupancy(int stage) const;
   bool use_spsc_rings() const { return use_spsc_rings_; }
 
+  /// Failure capture: a task body that throws (or observes an unexpected
+  /// closed edge) poisons the runner instead of dying silently — the first
+  /// Status is kept, every inbox is closed so all tasks quiesce and all
+  /// blocked producers unblock, and pushes return false from then on.
+  Status Failure() const override;
+  bool Failed() const override {
+    return poisoned_.load(std::memory_order_acquire);
+  }
+  /// External failure declaration (watchdog stall detection): poisons the
+  /// runner exactly as a task exception would.
+  void DeclareFailed(const Status& status) { Poison(status); }
+
+  /// Per-task liveness sample for heartbeat watchdogs: the loop-iteration
+  /// counter plus the queued input backlog. A task whose counter is frozen
+  /// while its backlog is nonzero is stalled.
+  struct TaskHealthSample {
+    int stage = 0;
+    int instance = 0;
+    uint64_t iterations = 0;
+    size_t queued = 0;
+  };
+  std::vector<TaskHealthSample> SampleTaskHealth() const;
+
  private:
   struct Task {
     std::unique_ptr<internal::InstanceRuntime> runtime;
     std::unique_ptr<TaskInbox> inbox;
     std::thread thread;
+    // Bumped once per task-loop iteration (heartbeat for the watchdog).
+    std::atomic<uint64_t> heartbeat{0};
     // Output accumulators, indexed [downstream edge][target instance].
     // Touched only by this task's thread.
     std::vector<std::vector<ElementBatch>> out;
@@ -297,6 +329,9 @@ class ThreadedRunner : public Runner {
   };
 
   void TaskLoop(Task* task);
+  /// Records the first failure, then closes every inbox (quiesce): tasks
+  /// drain and exit, blocked producers unblock with push failures.
+  void Poison(const Status& status);
   void RouteRecord(int stage, int instance, StreamElement&& el);
   void RouteControl(int stage, int instance, const StreamElement& el);
   void FlushBuffer(Task* task, int stage, size_t edge_idx, int target);
@@ -323,6 +358,9 @@ class ThreadedRunner : public Runner {
   std::vector<std::unique_ptr<std::mutex>> input_mutexes_;
   std::mutex marker_mutex_;
   std::atomic<bool> cancelled_{false};
+  std::atomic<bool> poisoned_{false};
+  mutable std::mutex failure_mutex_;
+  Status failure_;  // guarded by failure_mutex_; first failure wins
   bool started_ = false;
   bool finished_ = false;
 };

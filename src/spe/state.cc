@@ -97,9 +97,34 @@ void CheckpointStore::MaybeComplete(int64_t id, size_t expected_states) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = checkpoints_.find(id);
   if (it == checkpoints_.end()) return;
-  if (it->second->operator_state.size() >= expected_states) {
-    it->second->complete = true;
+  if (it->second->operator_state.size() < expected_states) return;
+  it->second->complete = true;
+  // Retention: keep the newest `retention_` completed checkpoints and all
+  // in-flight ones; erase older completed entries (recovery only ever
+  // reads LatestComplete or an explicitly held shared_ptr).
+  size_t completed_kept = 0;
+  for (auto rit = checkpoints_.rbegin(); rit != checkpoints_.rend();) {
+    if (!rit->second->complete) {
+      ++rit;
+      continue;
+    }
+    if (completed_kept < retention_) {
+      ++completed_kept;
+      ++rit;
+      continue;
+    }
+    rit = decltype(rit)(checkpoints_.erase(std::next(rit).base()));
   }
+}
+
+void CheckpointStore::SetRetention(size_t keep_completed) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  retention_ = keep_completed == 0 ? 1 : keep_completed;
+}
+
+size_t CheckpointStore::NumRetained() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return checkpoints_.size();
 }
 
 std::shared_ptr<const CheckpointStore::Checkpoint>

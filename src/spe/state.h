@@ -80,8 +80,19 @@ class CheckpointStore {
   void BeginCheckpoint(int64_t id, std::map<int, int64_t> source_offsets);
   void AddOperatorState(int64_t id, int stage, int instance,
                         std::vector<uint8_t> state);
-  /// Marks a checkpoint complete once all `expected_states` snapshots are in.
+  /// Marks a checkpoint complete once all `expected_states` snapshots are
+  /// in, then prunes: only the newest `retention` completed checkpoints
+  /// are kept (plus any in-flight incomplete ones), so the store stays
+  /// bounded in long runs. Outstanding shared_ptr references keep pruned
+  /// checkpoints alive for readers mid-restore.
   void MaybeComplete(int64_t id, size_t expected_states);
+
+  /// Completed checkpoints to retain (default 2; minimum 1).
+  void SetRetention(size_t keep_completed);
+
+  /// Checkpoints currently held (completed + in-flight) — exported as the
+  /// `state.checkpoints_retained` gauge.
+  size_t NumRetained() const;
 
   /// Latest complete checkpoint, or nullptr.
   std::shared_ptr<const Checkpoint> LatestComplete() const;
@@ -89,6 +100,7 @@ class CheckpointStore {
 
  private:
   mutable std::mutex mutex_;
+  size_t retention_ = 2;
   std::map<int64_t, std::shared_ptr<Checkpoint>> checkpoints_;
 };
 

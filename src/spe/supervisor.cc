@@ -1,0 +1,115 @@
+#include "spe/supervisor.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace astream::spe {
+
+namespace {
+
+int64_t SteadyNowMs() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+Status StallDetector::Observe(
+    const std::vector<ThreadedRunner::TaskHealthSample>& samples,
+    int64_t now_ms) {
+  for (const ThreadedRunner::TaskHealthSample& s : samples) {
+    Last& last = last_[{s.stage, s.instance}];
+    if (last.since_ms == 0 || s.iterations != last.iterations ||
+        s.queued == 0) {
+      // Progress (or nothing to do): restart the stall clock. An idle task
+      // with an empty inbox is healthy no matter how long it sits.
+      last.iterations = s.iterations;
+      last.since_ms = now_ms;
+      continue;
+    }
+    if (now_ms - last.since_ms >= stall_timeout_ms_) {
+      return Status::Aborted(
+          "task " + std::to_string(s.stage) + "/" +
+          std::to_string(s.instance) + " stalled: no progress for " +
+          std::to_string(now_ms - last.since_ms) + "ms with " +
+          std::to_string(s.queued) + " queued elements");
+    }
+  }
+  return Status::OK();
+}
+
+Supervisor::Supervisor(Options options, Hooks hooks)
+    : options_(options), hooks_(std::move(hooks)) {}
+
+Supervisor::~Supervisor() { StopWatchdog(); }
+
+void Supervisor::StartWatchdog() {
+  if (watchdog_.joinable() || options_.poll_interval_ms <= 0 ||
+      !hooks_.tick) {
+    return;
+  }
+  stop_.store(false, std::memory_order_release);
+  watchdog_ = std::thread([this] { WatchdogLoop(); });
+}
+
+void Supervisor::StopWatchdog() {
+  stop_.store(true, std::memory_order_release);
+  if (watchdog_.joinable()) watchdog_.join();
+}
+
+void Supervisor::WatchdogLoop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    hooks_.tick();
+    std::this_thread::sleep_for(
+        std::chrono::milliseconds(options_.poll_interval_ms));
+  }
+}
+
+Status Supervisor::RecoverNow(const Status& failure) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!terminal_.ok()) return terminal_;
+  if (hooks_.on_failure) hooks_.on_failure(failure);
+  ASTREAM_LOG(kWarn, "supervisor")
+      << "failure detected: " << failure.ToString() << "; recovering";
+  const int64_t t0 = SteadyNowMs();
+  int64_t backoff_ms = options_.backoff_initial_ms;
+  Status last = failure;
+  for (int attempt = 0; attempt < options_.max_restart_attempts; ++attempt) {
+    attempts_.fetch_add(1, std::memory_order_relaxed);
+    const Status s = hooks_.recover(attempt);
+    if (s.ok()) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+      const int64_t latency_ms = SteadyNowMs() - t0;
+      ASTREAM_LOG(kInfo, "supervisor")
+          << "recovered after " << (attempt + 1) << " attempt(s) in "
+          << latency_ms << "ms";
+      if (hooks_.on_recovered) hooks_.on_recovered(attempt + 1, latency_ms);
+      return Status::OK();
+    }
+    last = s;
+    ASTREAM_LOG(kWarn, "supervisor")
+        << "recovery attempt " << (attempt + 1) << " failed: "
+        << s.ToString() << "; backing off " << backoff_ms << "ms";
+    std::this_thread::sleep_for(std::chrono::milliseconds(backoff_ms));
+    backoff_ms = std::min<int64_t>(
+        options_.backoff_max_ms,
+        static_cast<int64_t>(static_cast<double>(backoff_ms) *
+                             options_.backoff_factor));
+  }
+  terminal_ = last;
+  ASTREAM_LOG(kError, "supervisor")
+      << "giving up after " << options_.max_restart_attempts
+      << " attempts; terminal: " << last.ToString();
+  if (hooks_.on_terminal) hooks_.on_terminal(last);
+  return last;
+}
+
+Status Supervisor::terminal() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return terminal_;
+}
+
+}  // namespace astream::spe

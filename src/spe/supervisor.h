@@ -1,0 +1,128 @@
+#ifndef ASTREAM_SPE_SUPERVISOR_H_
+#define ASTREAM_SPE_SUPERVISOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "spe/runner.h"
+
+namespace astream::spe {
+
+/// Heartbeat-based stall detection over ThreadedRunner task-health
+/// samples: a task whose loop-iteration counter is frozen for
+/// `stall_timeout_ms` while its input backlog is nonzero is declared dead
+/// (livelocked, stuck in a syscall, or stalled by an injected slowdown).
+/// Feed samples at the watchdog cadence; not thread-safe (one caller).
+class StallDetector {
+ public:
+  explicit StallDetector(int64_t stall_timeout_ms)
+      : stall_timeout_ms_(stall_timeout_ms) {}
+
+  /// Returns non-OK when some task is stalled, given samples taken at
+  /// monotonic time `now_ms`.
+  Status Observe(const std::vector<ThreadedRunner::TaskHealthSample>& samples,
+                 int64_t now_ms);
+
+  /// Forget history (after a restart: fresh tasks, fresh counters).
+  void Reset() { last_.clear(); }
+
+ private:
+  struct Last {
+    uint64_t iterations = 0;
+    int64_t since_ms = 0;
+  };
+  const int64_t stall_timeout_ms_;
+  std::map<std::pair<int, int>, Last> last_;
+};
+
+/// Failure detection cadence + restart policy for a supervised job.
+///
+/// The Supervisor owns the watchdog thread (periodic `tick` hook — the
+/// owner probes runner health and heartbeats there) and the retry loop
+/// (`RecoverNow`: capped exponential backoff around the owner-supplied
+/// `recover` hook, terminal failure after `max_restart_attempts`
+/// consecutive failed attempts). The actual recovery mechanics — quiesce,
+/// restore from CheckpointStore::LatestComplete(), source-log replay —
+/// live in the owner (they need the checkpoint store and the log), which
+/// keeps the Supervisor reusable for any runner-shaped job.
+///
+/// Locking contract: RecoverNow serializes recoveries on an internal
+/// mutex. Both call paths — a control-thread operation observing a failed
+/// push, and the watchdog tick — must already hold the owner's own lock
+/// when calling RecoverNow (the tick hook should try-lock and skip when
+/// the control thread is active; the control thread detects failures
+/// itself because a poisoned runner fails its pushes), so the lock order
+/// is always owner-lock -> supervisor-lock and recovery never races
+/// control operations.
+class Supervisor {
+ public:
+  struct Options {
+    /// Consecutive failed recovery attempts before the job is declared
+    /// terminally failed.
+    int max_restart_attempts = 8;
+    int64_t backoff_initial_ms = 2;
+    int64_t backoff_max_ms = 250;
+    double backoff_factor = 2.0;
+    /// Watchdog probe period; 0 disables the watchdog thread.
+    int64_t poll_interval_ms = 2;
+    /// Heartbeat stall timeout (see StallDetector); 0 disables.
+    int64_t stall_timeout_ms = 0;
+  };
+
+  struct Hooks {
+    /// Periodic watchdog probe (runs on the watchdog thread).
+    std::function<void()> tick;
+    /// One recovery attempt: quiesce + restore + replay. Must be
+    /// re-invocable — a failed attempt has to leave a recoverable state.
+    std::function<Status(int attempt)> recover;
+    /// Observability taps (all optional).
+    std::function<void(const Status& failure)> on_failure;
+    std::function<void(int attempts, int64_t latency_ms)> on_recovered;
+    std::function<void(const Status& terminal)> on_terminal;
+  };
+
+  Supervisor(Options options, Hooks hooks);
+  ~Supervisor();
+
+  void StartWatchdog();
+  void StopWatchdog();
+
+  /// Runs the recovery loop: attempts `recover` under capped exponential
+  /// backoff until it succeeds or attempts are exhausted (then the job is
+  /// terminal and every later call returns the terminal status).
+  Status RecoverNow(const Status& failure);
+
+  /// Non-OK once restart attempts were exhausted.
+  Status terminal() const;
+  int64_t recoveries() const {
+    return recoveries_.load(std::memory_order_relaxed);
+  }
+  int64_t restart_attempts() const {
+    return attempts_.load(std::memory_order_relaxed);
+  }
+
+  const Options& options() const { return options_; }
+
+ private:
+  void WatchdogLoop();
+
+  const Options options_;
+  const Hooks hooks_;
+  mutable std::mutex mutex_;  // serializes recoveries; guards terminal_
+  Status terminal_;
+  std::atomic<int64_t> recoveries_{0};
+  std::atomic<int64_t> attempts_{0};
+  std::atomic<bool> stop_{false};
+  std::thread watchdog_;
+};
+
+}  // namespace astream::spe
+
+#endif  // ASTREAM_SPE_SUPERVISOR_H_
