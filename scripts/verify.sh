@@ -35,6 +35,13 @@ echo "== chaos: recovery equivalence across injector seeds =="
 # byte-identical to the fault-free sync reference for every seed.
 ./build/tests/astream_tests --gtest_filter='Seeds/ChaosEquivalenceTest.*'
 
+echo "== spill: full test suite under an 8 MiB global memory budget =="
+# Every job created with the default (unset) budget inherits the env cap,
+# so the whole suite re-runs with the governor spilling cold slices to
+# disk. Reference/control runs pin themselves in-memory with budget -1;
+# everything else must produce identical outputs out-of-core.
+(cd build && ASTREAM_MEMORY_BUDGET=8m ctest --output-on-failure -j)
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== tsan: skipped (--skip-tsan) =="
 else
@@ -68,6 +75,14 @@ else
 
   echo "== asan: full test suite =="
   ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/astream_tests
+
+  echo "== asan: out-of-core storage under an 8 MiB budget =="
+  # The spill/reload/merge and torn-file recovery paths shuffle large
+  # buffers through the run-file layer; run them again with the env cap
+  # active so the governor's eviction loop is exercised under ASan.
+  ASTREAM_MEMORY_BUDGET=8m ASAN_OPTIONS="detect_leaks=1" \
+    ./build-asan/tests/astream_tests \
+    --gtest_filter='RunFileTest.*:MemoryGovernorTest.*:ParseByteSizeTest.*:ResolveMemoryBudgetTest.*:DurableCheckpointTest.*:SpillEquivalenceTest.*:DurableRecoveryTest.*:CheckpointDedupTest.*:Seeds/ChaosEquivalenceTest.ExactlyOnceUnderCrashChurnAndSpill/*'
 fi
 
 echo "verify: OK"

@@ -37,7 +37,19 @@ Result<std::unique_ptr<AStreamJob>> AStreamJob::Create(Options options) {
       options.max_join_stages > kMaxJoinDepth) {
     return Status::InvalidArgument("max_join_stages out of range");
   }
-  return std::unique_ptr<AStreamJob>(new AStreamJob(options));
+  auto job = std::unique_ptr<AStreamJob>(new AStreamJob(options));
+  // Out-of-core engine: only materialized when a budget is in force, so an
+  // unbudgeted job is byte-for-byte the pre-storage code path.
+  const int64_t budget = storage::ResolveMemoryBudget(options.storage);
+  if (budget > 0) {
+    ASTREAM_ASSIGN_OR_RETURN(job->spill_space_,
+                             storage::SpillSpace::Create(
+                                 options.storage.spill_dir));
+    job->spill_space_->BindObs(&job->metrics_, &job->trace_);
+    job->governor_ = std::make_unique<storage::MemoryGovernor>(
+        budget, options.storage.allow_spill);
+  }
+  return job;
 }
 
 spe::TopologySpec AStreamJob::BuildTopology() {
@@ -67,6 +79,8 @@ spe::TopologySpec AStreamJob::BuildTopology() {
     cfg.initial_mode = options_.initial_mode;
     cfg.adaptive_mode = options_.adaptive_mode;
     cfg.metrics = &metrics_;
+    cfg.governor = governor_.get();
+    cfg.spill_space = spill_space_.get();
     return cfg;
   };
 
@@ -91,6 +105,8 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.initial_mode = options_.initial_mode;
         cfg.shared.adaptive_mode = options_.adaptive_mode;
         cfg.shared.metrics = &metrics_;
+        cfg.shared.governor = governor_.get();
+        cfg.shared.spill_space = spill_space_.get();
         cfg.num_ports = 1;
         auto op = std::make_unique<SharedAggregation>(std::move(cfg));
         {
@@ -251,6 +267,8 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.initial_mode = options_.initial_mode;
         cfg.shared.adaptive_mode = options_.adaptive_mode;
         cfg.shared.metrics = &metrics_;
+        cfg.shared.governor = governor_.get();
+        cfg.shared.spill_space = spill_space_.get();
         cfg.num_ports = stages;
         cfg.port_filter = [](const ActiveQuery& q, int port) {
           return q.desc.join_depth == port + 1;
@@ -414,6 +432,13 @@ PushResult AStreamJob::PushTo(int input, TimestampMs event_time,
     // runner refuses immediately instead of blocking on dead consumers.
     if (m_push_shutdown_ != nullptr) m_push_shutdown_->Add();
     return PushResult::kShutdown;
+  }
+  if (governor_ != nullptr && governor_->ShouldBackpressure()) {
+    // Budget exceeded with spilling disabled: refuse (retryable) instead
+    // of growing state without bound. The caller decides whether to wait
+    // for windows to expire or to drop.
+    if (m_push_backpressure_ != nullptr) m_push_backpressure_->Add();
+    return PushResult::kBackpressure;
   }
   const TimestampMs pushed_time = ClampToMarkers(event_time);
 
@@ -744,6 +769,11 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
       metrics_.GetGauge("state.arena_bytes")->Set(s.state_arena_bytes);
       metrics_.GetGauge("state.checkpoints_retained")
           ->Set(static_cast<int64_t>(store_->NumRetained()));
+      if (governor_ != nullptr) {
+        metrics_.GetGauge("storage.resident_bytes")
+            ->Set(governor_->total_resident());
+        metrics_.GetGauge("storage.budget_bytes")->Set(governor_->budget());
+      }
     }
     if (runner_ != nullptr) {
       auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());

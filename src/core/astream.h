@@ -90,6 +90,13 @@ class AStreamJob {
     /// Completed checkpoints kept in the store (older ones are pruned once
     /// a newer one completes); in-flight checkpoints are always kept.
     size_t checkpoint_retention = 2;
+    /// Out-of-core state (DESIGN.md §10): when the resolved memory budget
+    /// is > 0 the job creates a spill space + governor and the shared
+    /// operators shed their coldest slices to disk under pressure (or, with
+    /// allow_spill = false, PushA/PushB report kBackpressure instead).
+    /// Default: ASTREAM_MEMORY_BUDGET from the environment, else unlimited
+    /// (no storage engine, the pre-out-of-core behavior).
+    storage::StorageOptions storage;
   };
 
   using ResultCallback =
@@ -201,6 +208,10 @@ class AStreamJob {
   /// Backpressure probe (threaded mode): queued elements across channels.
   size_t QueuedElements() const;
 
+  /// Out-of-core internals (tests/benchmarks). Null when unbudgeted.
+  storage::MemoryGovernor* governor() { return governor_.get(); }
+  storage::SpillSpace* spill_space() { return spill_space_.get(); }
+
  private:
   explicit AStreamJob(Options options);
 
@@ -238,6 +249,11 @@ class AStreamJob {
   spe::CheckpointStore checkpoint_store_;
   // Points at options_.checkpoint_store when set, else checkpoint_store_.
   spe::CheckpointStore* store_ = nullptr;
+  // Out-of-core engine; both null when the job runs unbudgeted. Declared
+  // before runner_: operators unregister from the governor as the runner
+  // tears them down, so these must outlive it.
+  std::unique_ptr<storage::SpillSpace> spill_space_;
+  std::unique_ptr<storage::MemoryGovernor> governor_;
   std::unique_ptr<spe::Runner> runner_;
 
   // Stage indices (filled by BuildTopology).

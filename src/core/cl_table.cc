@@ -1,6 +1,9 @@
 #include "core/cl_table.h"
 
+#include <algorithm>
 #include <cassert>
+
+#include "spe/state.h"
 
 namespace astream::core {
 
@@ -10,7 +13,10 @@ void ClTable::AddSlice(int64_t index, QuerySet delta, size_t num_slots) {
   } else {
     assert(index == first_index_ + Size() && "slice indices must be dense");
   }
-  deltas_.push_back(SliceEntry{std::move(delta), num_slots, {}});
+  SliceEntry e;
+  e.delta = std::move(delta);
+  e.num_slots = num_slots;
+  deltas_.push_back(std::move(e));
 }
 
 const QuerySet& ClTable::Mask(int64_t i, int64_t j) {
@@ -47,7 +53,9 @@ const QuerySet& ClTable::ComputeMask(int64_t i, int64_t j) {
     acc = *Entry(k - 1).row[static_cast<size_t>(k - 1 - j)];
   }
   for (int64_t m = k == j ? j + 1 : k; m <= i; ++m) {
-    acc &= Entry(m).delta;
+    SliceEntry& em = Entry(m);
+    EnsureDelta(em, m);
+    acc &= em.delta;
     std::optional<QuerySet>& cell = Cell(m, j);
     if (!cell.has_value()) {
       cell = acc;
@@ -79,11 +87,81 @@ void ClTable::EvictBelow(int64_t min_index) {
   }
 }
 
+QuerySet ClTable::DeltaOf(const SliceEntry& e, int64_t index) const {
+  if (!e.spilled) return e.delta;
+  auto reader = e.run->OpenReader();
+  if (!reader.ok()) return e.delta;  // validated at write time
+  int64_t key = 0;
+  std::vector<uint8_t> payload;
+  while ((*reader)->Next(&key, &payload)) {
+    if (key != index) continue;
+    spe::StateReader dec(std::move(payload));
+    QuerySet delta = dec.ReadBitset();
+    if (dec.Ok()) return delta;
+    break;
+  }
+  return e.delta;
+}
+
+void ClTable::EnsureDelta(SliceEntry& e, int64_t index) {
+  if (!e.spilled) return;
+  e.delta = DeltaOf(e, index);
+  e.spilled = false;
+  e.run.reset();
+}
+
+size_t ClTable::SpillBelow(int64_t max_index, storage::SpillSpace* space) {
+  if (space == nullptr || deltas_.empty()) return 0;
+  const int64_t hi = std::min(max_index, last_index());
+  std::vector<int64_t> victims;
+  for (int64_t i = first_index_; i <= hi; ++i) {
+    if (!Entry(i).spilled) victims.push_back(i);
+  }
+  if (victims.empty()) return 0;
+  storage::RunWriter writer(space->NextRunPath("cl"));
+  for (int64_t i : victims) {
+    spe::StateWriter enc;
+    enc.WriteBitset(Entry(i).delta);
+    if (!writer.Append(i, enc.buffer().data(), enc.buffer().size()).ok()) {
+      writer.Abort();
+      return 0;
+    }
+  }
+  auto info = writer.Finish();
+  if (!info.ok()) return 0;
+  storage::SpilledRunPtr run = space->Adopt(std::move(info).value(), 0);
+  size_t released = 0;
+  for (int64_t i : victims) {
+    SliceEntry& e = Entry(i);
+    // Estimate: the delta words plus every memoized mask in this row.
+    released += e.delta.capacity() / 8;
+    for (auto& cell : e.row) {
+      if (cell.has_value()) {
+        released += cell->capacity() / 8;
+        --memo_entries_;
+      }
+    }
+    e.row.clear();
+    e.row.shrink_to_fit();
+    e.delta = QuerySet();
+    e.spilled = true;
+    e.run = run;
+  }
+  return released;
+}
+
+size_t ClTable::NumSpilledDeltas() const {
+  size_t n = 0;
+  for (const SliceEntry& e : deltas_) n += e.spilled ? 1 : 0;
+  return n;
+}
+
 void ClTable::Serialize(spe::StateWriter* writer) const {
   writer->WriteI64(first_index_);
   writer->WriteU64(deltas_.size());
-  for (const SliceEntry& e : deltas_) {
-    writer->WriteBitset(e.delta);
+  for (size_t d = 0; d < deltas_.size(); ++d) {
+    const SliceEntry& e = deltas_[d];
+    writer->WriteBitset(DeltaOf(e, first_index_ + static_cast<int64_t>(d)));
     writer->WriteU64(e.num_slots);
   }
 }

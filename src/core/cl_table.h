@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "core/query.h"
+#include "storage/spill_space.h"
 
 namespace astream::core {
 
@@ -52,6 +53,17 @@ class ClTable {
   /// Drops all state for slices with index < min_index.
   void EvictBelow(int64_t min_index);
 
+  /// Out-of-core: writes the delta masks of all resident slices with
+  /// index <= max_index into one run (key = slice index) and drops their
+  /// deltas and memo rows from memory. Masks touching a spilled slice are
+  /// recomputed on demand after an automatic delta reload (EnsureDelta).
+  /// Returns an estimate of the bytes released; 0 if nothing was resident
+  /// in range or the write failed (state then unchanged).
+  size_t SpillBelow(int64_t max_index, storage::SpillSpace* space);
+
+  /// Slices whose delta currently lives on disk (observability/tests).
+  size_t NumSpilledDeltas() const;
+
   int64_t first_index() const { return first_index_; }
   int64_t last_index() const { return first_index_ + Size() - 1; }
   int64_t Size() const { return static_cast<int64_t>(deltas_.size()); }
@@ -70,9 +82,16 @@ class ClTable {
     /// Memoized masks of this slice: row[d] = CL[i][i - d] for this
     /// slice's index i. Evicted wholesale with the slice.
     std::vector<std::optional<QuerySet>> row;
+    /// Delta lives in `run` (keyed by slice index), not in `delta`.
+    bool spilled = false;
+    storage::SpilledRunPtr run;
   };
 
   const QuerySet& ComputeMask(int64_t i, int64_t j);
+  /// Reloads a spilled delta into the entry (no-op when resident).
+  void EnsureDelta(SliceEntry& e, int64_t index);
+  /// Read-only delta access that works for spilled entries (Serialize).
+  QuerySet DeltaOf(const SliceEntry& e, int64_t index) const;
 
   SliceEntry& Entry(int64_t index) {
     return deltas_[static_cast<size_t>(index - first_index_)];

@@ -1,6 +1,7 @@
 #include "core/shared_aggregation.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace astream::core {
 
@@ -14,6 +15,34 @@ SharedAggregation::SharedAggregation(AggConfig config)
     };
   }
   port_masks_.resize(config_.num_ports);
+  if (governor() != nullptr) governor()->Register(this);
+}
+
+SharedAggregation::~SharedAggregation() {
+  if (governor() != nullptr) governor()->Unregister(this);
+}
+
+AggStore& SharedAggregation::StoreFor(int64_t slice_index) {
+  auto it = stores_.find(slice_index);
+  if (it == stores_.end()) {
+    it = stores_.emplace(slice_index, AggStore()).first;
+    it->second.BindSpill(spill_space());
+  }
+  return it->second;
+}
+
+size_t SharedAggregation::SpillOnce() {
+  int64_t victim = std::numeric_limits<int64_t>::max();
+  for (const auto& [index, store] : stores_) {
+    if (store.NumKeys() > 0 && index < victim) victim = index;
+  }
+  if (victim == std::numeric_limits<int64_t>::max()) return 0;
+  size_t released = 0;
+  auto it = stores_.find(victim);
+  if (it != stores_.end()) released += it->second.SpillToDisk();
+  released += tracker().cl_table().SpillBelow(victim, spill_space());
+  RefreshArenaBytes();
+  return released;
 }
 
 void SharedAggregation::OnActiveSetChanged() {
@@ -124,19 +153,35 @@ void SharedAggregation::ProcessRecord(int port, spe::Record record,
     }
     if (store == nullptr) {
       const SliceInfo slice = tracker().SliceFor(record.event_time);
-      store = &stores_[slice.index];
+      store = &StoreFor(slice.index);
     }
     store->Add(record.row.key(), static_cast<int>(slot), v);
   });
   RefreshArenaBytes();
+  EnforceBudget();
 }
 
 void SharedAggregation::RefreshArenaBytes() {
   int64_t bytes = 0;
+  size_t resident = 0;
+  int64_t coldest_index = std::numeric_limits<int64_t>::max();
   for (const auto& [index, store] : stores_) {
     bytes += static_cast<int64_t>(store.ArenaBytes());
+    resident += store.ResidentBytes();
+    if (store.NumKeys() > 0 && index < coldest_index) coldest_index = index;
   }
   state_arena_bytes_ = bytes;
+  if (governor() == nullptr) return;
+  int64_t coldest_end = std::numeric_limits<int64_t>::max();
+  if (coldest_index != std::numeric_limits<int64_t>::max()) {
+    auto slice = tracker().SliceByIndex(coldest_index);
+    coldest_end = slice.has_value() ? slice->end : coldest_index;
+  }
+  governor()->Update(this, resident, coldest_end);
+}
+
+void SharedAggregation::EnforceBudget() {
+  if (governor() != nullptr) governor()->Enforce(this);
 }
 
 void SharedAggregation::ProcessBatch(int port, spe::RecordBatch& records,
@@ -187,13 +232,14 @@ void SharedAggregation::ProcessBatch(int port, spe::RecordBatch& records,
           record.event_time < cached_slice.start ||
           record.event_time >= cached_slice.end) {
         cached_slice = tracker().SliceFor(record.event_time);
-        cached_store = &stores_[cached_slice.index];
+        cached_store = &StoreFor(cached_slice.index);
       }
       cached_store->Add(record.row.key(), static_cast<int>(slot), v);
     });
   }
   bitset_ops_ += ops;
   RefreshArenaBytes();
+  EnforceBudget();
 }
 
 void SharedAggregation::TriggerWindows(
@@ -222,10 +268,11 @@ void SharedAggregation::TriggerWindows(
       // Slice partials are computed once at insert time and shared by
       // every window covering the slice: each combine is a reuse.
       if (series != nullptr) series->slices_reused.Add();
-      it->second.ForEachKey(q.slot,
-                            [&](spe::Value key, const spe::Accumulator& acc) {
-                              combined[key].Merge(acc);
-                            });
+      // Merged view: resident partials plus any spilled runs of the slice.
+      it->second.ForEachKeyMerged(
+          q.slot, [&](spe::Value key, const spe::Accumulator& acc) {
+            combined[key].Merge(acc);
+          });
     }
     for (const auto& [key, acc] : combined) {
       spe::StreamElement el;
@@ -317,7 +364,8 @@ Status SharedAggregation::RestoreState(spe::StateReader* reader) {
   const uint64_t num_stores = reader->ReadU64();
   for (uint64_t i = 0; i < num_stores && reader->Ok(); ++i) {
     const int64_t index = reader->ReadI64();
-    stores_.emplace(index, AggStore::Deserialize(reader));
+    auto it = stores_.emplace(index, AggStore::Deserialize(reader));
+    it.first->second.BindSpill(spill_space());
   }
   session_queries_.clear();
   const uint64_t num_sq = reader->ReadU64();
@@ -349,8 +397,12 @@ Status SharedAggregation::RestoreState(spe::StateReader* reader) {
   }
   // Rebuild derived caches.
   OnActiveSetChanged();
-  return reader->Ok() ? Status::OK()
-                      : Status::Internal("bad shared-aggregation snapshot");
+  if (!reader->Ok()) return Status::Internal("bad shared-aggregation snapshot");
+  // Restored state is fully resident; shed back down to budget before
+  // replay resumes.
+  RefreshArenaBytes();
+  EnforceBudget();
+  return Status::OK();
 }
 
 }  // namespace astream::core

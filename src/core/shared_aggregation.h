@@ -19,7 +19,8 @@ namespace astream::core {
 /// Session windows (gap-based) are supported per Sec. 3.1.3: they do not
 /// align to shared slices, so the operator tracks per-(query, key) session
 /// accumulators directly; selection and routing are still shared.
-class SharedAggregation : public SharedWindowedOperator {
+class SharedAggregation : public SharedWindowedOperator,
+                          public storage::SpillClient {
  public:
   struct AggConfig {
     SharedOperatorConfig shared;
@@ -32,6 +33,7 @@ class SharedAggregation : public SharedWindowedOperator {
   };
 
   explicit SharedAggregation(AggConfig config);
+  ~SharedAggregation() override;
 
   int num_ports() const override { return config_.num_ports; }
   void ProcessRecord(int port, spe::Record record,
@@ -50,6 +52,11 @@ class SharedAggregation : public SharedWindowedOperator {
   /// Arena bytes backing all live slice stores (the state.arena_bytes
   /// gauge). Refreshed by the task thread after inserts and evictions.
   int64_t state_arena_bytes() const { return state_arena_bytes_; }
+
+  /// storage::SpillClient: spills the coldest slice's partials (sessions
+  /// never spill — they are per-query, not slice-aligned, and tiny).
+  /// Governor-invoked only, on this operator's task thread.
+  size_t SpillOnce() override;
 
  protected:
   void TriggerWindows(TimestampMs start, TimestampMs end,
@@ -91,7 +98,12 @@ class SharedAggregation : public SharedWindowedOperator {
 
   void AddToSession(SessionQuery* sq, spe::Value key, TimestampMs t,
                     spe::Value value);
+  AggStore& StoreFor(int64_t slice_index);
+  /// Recomputes arena/resident byte totals and reports them (with the
+  /// coldest resident slice's window end) to the governor, if any.
   void RefreshArenaBytes();
+  /// Asks the governor to rebalance; may call SpillOnce on this thread.
+  void EnforceBudget();
 
   AggConfig config_;
   std::map<int64_t, AggStore> stores_;  // slice index -> partials

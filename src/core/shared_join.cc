@@ -1,6 +1,17 @@
 #include "core/shared_join.h"
 
+#include <limits>
+
 namespace astream::core {
+
+SharedJoin::SharedJoin(SharedOperatorConfig config)
+    : SharedWindowedOperator(std::move(config)) {
+  if (governor() != nullptr) governor()->Register(this);
+}
+
+SharedJoin::~SharedJoin() {
+  if (governor() != nullptr) governor()->Unregister(this);
+}
 
 TupleStore& SharedJoin::StoreFor(int side, int64_t slice_index) {
   auto it = stores_[side].find(slice_index);
@@ -8,18 +19,58 @@ TupleStore& SharedJoin::StoreFor(int side, int64_t slice_index) {
     it = stores_[side]
              .emplace(slice_index, TupleStore(current_mode()))
              .first;
+    it->second.BindSpill(spill_space());
   }
   return it->second;
 }
 
 void SharedJoin::RefreshArenaBytes() {
   int64_t bytes = 0;
+  size_t resident = 0;
+  int64_t coldest_index = std::numeric_limits<int64_t>::max();
   for (const auto& side_stores : stores_) {
     for (const auto& [index, store] : side_stores) {
       bytes += static_cast<int64_t>(store.ArenaBytes());
+      resident += store.ResidentBytes();
+      if (store.NumResidentTuples() > 0 && index < coldest_index) {
+        coldest_index = index;
+      }
     }
   }
   state_arena_bytes_ = bytes;
+  if (governor() == nullptr) return;
+  int64_t coldest_end = std::numeric_limits<int64_t>::max();
+  if (coldest_index != std::numeric_limits<int64_t>::max()) {
+    auto slice = tracker().SliceByIndex(coldest_index);
+    coldest_end = slice.has_value() ? slice->end : coldest_index;
+  }
+  governor()->Update(this, resident, coldest_end);
+}
+
+void SharedJoin::EnforceBudget() {
+  if (governor() != nullptr) governor()->Enforce(this);
+}
+
+size_t SharedJoin::SpillOnce() {
+  // Victim = the coldest slice still holding resident tuples; both sides
+  // spill at that index (their windows expire together), and the CL deltas
+  // at or below it go with them. The pair memo stays: it holds computed
+  // results that every later window over the pair reuses.
+  int64_t victim = std::numeric_limits<int64_t>::max();
+  for (const auto& side_stores : stores_) {
+    for (const auto& [index, store] : side_stores) {
+      if (store.NumResidentTuples() > 0 && index < victim) victim = index;
+    }
+  }
+  if (victim == std::numeric_limits<int64_t>::max()) return 0;
+  size_t released = 0;
+  for (auto& side_stores : stores_) {
+    auto it = side_stores.find(victim);
+    if (it != side_stores.end()) released += it->second.SpillToDisk();
+  }
+  released += tracker().cl_table().SpillBelow(victim, spill_space());
+  RefreshArenaBytes();
+  return released;
 }
 
 void SharedJoin::ProcessRecord(int port, spe::Record record,
@@ -41,6 +92,7 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
   const SliceInfo slice = tracker().SliceFor(record.event_time);
   StoreFor(port, slice.index).Insert(record.row, tags);
   RefreshArenaBytes();
+  EnforceBudget();
 }
 
 void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
@@ -81,6 +133,7 @@ void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
   }
   bitset_ops_ += ops;
   RefreshArenaBytes();
+  EnforceBudget();
 }
 
 const std::vector<SharedJoin::JoinedTuple>& SharedJoin::MemoFor(
@@ -215,13 +268,18 @@ Status SharedJoin::RestoreState(spe::StateReader* reader) {
     const uint64_t n = reader->ReadU64();
     for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
       const int64_t index = reader->ReadI64();
-      side_stores.emplace(index, TupleStore::Deserialize(reader));
+      auto it = side_stores.emplace(index, TupleStore::Deserialize(reader));
+      it.first->second.BindSpill(spill_space());
     }
   }
   pairs_computed_ = reader->ReadI64();
   records_late_ = reader->ReadI64();
-  return reader->Ok() ? Status::OK()
-                      : Status::Internal("bad shared-join snapshot");
+  if (!reader->Ok()) return Status::Internal("bad shared-join snapshot");
+  // Restored state is fully resident; shed back down to budget before
+  // replay resumes.
+  RefreshArenaBytes();
+  EnforceBudget();
+  return Status::OK();
 }
 
 }  // namespace astream::core

@@ -21,10 +21,10 @@ namespace astream::core {
 ///
 /// Join condition: A.key == B.key (Fig. 7's equi-join; the per-stream
 /// selection predicates were applied upstream and live in the tag sets).
-class SharedJoin : public SharedWindowedOperator {
+class SharedJoin : public SharedWindowedOperator, public storage::SpillClient {
  public:
-  explicit SharedJoin(SharedOperatorConfig config)
-      : SharedWindowedOperator(std::move(config)) {}
+  explicit SharedJoin(SharedOperatorConfig config);
+  ~SharedJoin() override;
 
   int num_ports() const override { return 2; }
   void ProcessRecord(int port, spe::Record record,
@@ -46,6 +46,11 @@ class SharedJoin : public SharedWindowedOperator {
   /// gauge). Refreshed by the task thread after inserts and evictions.
   int64_t state_arena_bytes() const { return state_arena_bytes_; }
 
+  /// storage::SpillClient: spills the coldest (lowest-index) slice of both
+  /// sides plus the CL deltas at or below it. Governor-invoked only, on
+  /// this operator's task thread.
+  size_t SpillOnce() override;
+
  protected:
   void TriggerWindows(TimestampMs start, TimestampMs end,
                       const std::vector<TriggeredQuery>& queries,
@@ -65,7 +70,11 @@ class SharedJoin : public SharedWindowedOperator {
   const std::vector<JoinedTuple>& MemoFor(int64_t a, int64_t b,
                                           bool* computed);
   TupleStore& StoreFor(int side, int64_t slice_index);
+  /// Recomputes arena/resident byte totals and reports them (with the
+  /// coldest resident slice's window end) to the governor, if any.
   void RefreshArenaBytes();
+  /// Asks the governor to rebalance; may call SpillOnce on this thread.
+  void EnforceBudget();
 
   // Per side: slice index -> tuple store.
   std::map<int64_t, TupleStore> stores_[2];

@@ -11,6 +11,7 @@
 #include "core/trigger.h"
 #include "obs/metrics.h"
 #include "spe/operator.h"
+#include "storage/memory_governor.h"
 
 namespace astream::core {
 
@@ -39,6 +40,14 @@ struct SharedOperatorConfig {
   /// Per-query series sink (late drops, slice reuse). nullptr or a
   /// disabled registry costs one branch per record.
   obs::MetricsRegistry* metrics = nullptr;
+
+  /// Out-of-core state (DESIGN.md §10). Both nullptr (the default) keeps
+  /// every slice resident — the pre-storage behavior. When set, the
+  /// operator registers as a spill client, reports its resident bytes
+  /// after every (batch of) record(s), and sheds its coldest slices to
+  /// `spill_space` when the governor asks.
+  storage::MemoryGovernor* governor = nullptr;
+  storage::SpillSpace* spill_space = nullptr;
 };
 
 /// Base class for SharedJoin and SharedAggregation: owns the active-query
@@ -124,6 +133,10 @@ class SharedWindowedOperator : public spe::Operator {
     if (t > max_seen_event_time_) max_seen_event_time_ = t;
   }
   TimestampMs current_watermark() const { return current_watermark_; }
+
+  /// Out-of-core wiring (nullptr when the job runs unbudgeted).
+  storage::MemoryGovernor* governor() const { return config_.governor; }
+  storage::SpillSpace* spill_space() const { return config_.spill_space; }
 
   /// Serialization of the base state (call from subclass snapshots).
   void SerializeBase(spe::StateWriter* writer) const;

@@ -1,52 +1,105 @@
 #include "core/slice_store.h"
 
+#include <algorithm>
+#include <chrono>
+
 namespace astream::core {
 
+namespace {
+
+int64_t ElapsedMs(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+}  // namespace
+
+TupleStore::Resident::Resident()
+    : arena(std::make_unique<Arena>()),
+      groups(0, DynamicBitsetHash{}, std::equal_to<QuerySet>{},
+             AA<std::pair<const QuerySet, KeyedRows>>(arena.get())),
+      list(0, std::hash<spe::Value>{}, std::equal_to<spe::Value>{},
+           AA<std::pair<const spe::Value, TaggedVec>>(arena.get())) {}
+
 TupleStore::TupleStore(StoreMode mode)
-    : mode_(mode),
-      arena_(std::make_unique<Arena>()),
-      groups_(0, DynamicBitsetHash{}, std::equal_to<QuerySet>{},
-              AA<std::pair<const QuerySet, KeyedRows>>(arena_.get())),
-      list_(0, std::hash<spe::Value>{}, std::equal_to<spe::Value>{},
-            AA<std::pair<const spe::Value, TaggedVec>>(arena_.get())) {}
+    : mode_(mode), res_(std::make_unique<Resident>()) {}
 
 void TupleStore::Insert(const spe::Row& row, const QuerySet& tags) {
   ++num_tuples_;
+  ++resident_tuples_;
+  // Row payloads live outside the arena; estimate them (columns + rep
+  // header) so the governor sees tuple data, not just bookkeeping.
+  payload_bytes_ += row.NumColumns() * sizeof(spe::Value) + 32;
   if (mode_ == StoreMode::kGrouped) {
-    groups_[tags][row.key()].push_back(row);
+    res_->groups[tags][row.key()].push_back(row);
   } else {
-    list_[row.key()].emplace_back(row, tags);
+    res_->list[row.key()].emplace_back(row, tags);
   }
 }
 
 void TupleStore::ConvertTo(StoreMode mode) {
   if (mode == mode_) return;
   if (mode == StoreMode::kList) {
-    for (auto& [tags, keyed] : groups_) {
+    for (auto& [tags, keyed] : res_->groups) {
       for (auto& [key, rows] : keyed) {
-        auto& bucket = list_[key];
+        auto& bucket = res_->list[key];
         for (auto& row : rows) bucket.emplace_back(std::move(row), tags);
       }
     }
-    groups_.clear();
+    res_->groups.clear();
   } else {
-    for (auto& [key, tagged] : list_) {
+    for (auto& [key, tagged] : res_->list) {
       for (auto& [row, tags] : tagged) {
-        groups_[tags][key].push_back(std::move(row));
+        res_->groups[tags][key].push_back(std::move(row));
       }
     }
-    list_.clear();
+    res_->list.clear();
   }
   mode_ = mode;
 }
 
 size_t TupleStore::NumGroups() const {
-  return mode_ == StoreMode::kGrouped ? groups_.size() : num_tuples_;
+  return mode_ == StoreMode::kGrouped ? res_->groups.size()
+                                      : resident_tuples_;
 }
 
 double TupleStore::AvgGroupSize() const {
   const size_t g = NumGroups();
-  return g == 0 ? 0.0 : static_cast<double>(num_tuples_) / g;
+  return g == 0 ? 0.0 : static_cast<double>(resident_tuples_) / g;
+}
+
+size_t TupleStore::SpillToDisk() {
+  if (spill_ == nullptr || resident_tuples_ == 0) return 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<ScanEntry> entries;
+  entries.reserve(resident_tuples_);
+  ForEachResident([&](const spe::Row& row, const QuerySet& tags) {
+    entries.push_back(ScanEntry{row.key(), row, tags});
+  });
+  std::stable_sort(entries.begin(), entries.end(),
+                   [](const ScanEntry& a, const ScanEntry& b) {
+                     return a.key < b.key;
+                   });
+  storage::RunWriter writer(spill_->NextRunPath("slice"));
+  for (const ScanEntry& e : entries) {
+    spe::StateWriter enc;
+    enc.WriteRow(e.row);
+    enc.WriteBitset(e.tags);
+    if (!writer.Append(e.key, enc.buffer().data(), enc.buffer().size())
+             .ok()) {
+      writer.Abort();
+      return 0;  // resident state untouched; the caller stays over budget
+    }
+  }
+  auto info = writer.Finish();
+  if (!info.ok()) return 0;
+  runs_.push_back(spill_->Adopt(std::move(info).value(), ElapsedMs(t0)));
+  const size_t released = ResidentBytes();
+  res_ = std::make_unique<Resident>();
+  resident_tuples_ = 0;
+  payload_bytes_ = 0;
+  return released;
 }
 
 namespace {
@@ -72,20 +125,80 @@ void JoinKeyed(const TupleStore::JoinEmit& emit, const QuerySet& tags,
   }
 }
 
+/// Collects the next run of equal-key entries from a sorted stream.
+/// `pending`/`has_pending` carry the one-entry lookahead between calls.
+bool NextGroup(TupleStore::SortedStream* s, TupleStore::ScanEntry* pending,
+               bool* has_pending,
+               std::vector<TupleStore::ScanEntry>* group) {
+  if (!*has_pending && !s->Next(pending)) return false;
+  *has_pending = false;
+  group->clear();
+  group->push_back(std::move(*pending));
+  while (s->Next(pending)) {
+    if (pending->key != group->front().key) {
+      *has_pending = true;
+      return true;
+    }
+    group->push_back(std::move(*pending));
+  }
+  return true;
+}
+
 }  // namespace
+
+int64_t TupleStore::MergeJoin(const TupleStore& a, const TupleStore& b,
+                              const QuerySet& mask, const JoinEmit& emit) {
+  // Group-wise sorted merge: both sides stream in key order (resident
+  // snapshot + runs); only the current key group of each side is in
+  // memory. Tag accounting matches the resident list path.
+  int64_t ops = 0;
+  auto sa = a.SortedScan();
+  auto sb = b.SortedScan();
+  ScanEntry pa, pb;
+  bool ha = false, hb = false;
+  std::vector<ScanEntry> ga, gb;
+  bool va = NextGroup(sa.get(), &pa, &ha, &ga);
+  bool vb = NextGroup(sb.get(), &pb, &hb, &gb);
+  while (va && vb) {
+    const int64_t ka = ga.front().key;
+    const int64_t kb = gb.front().key;
+    if (ka < kb) {
+      va = NextGroup(sa.get(), &pa, &ha, &ga);
+    } else if (kb < ka) {
+      vb = NextGroup(sb.get(), &pb, &hb, &gb);
+    } else {
+      for (const ScanEntry& ea : ga) {
+        QuerySet ta = ea.tags & mask;
+        ++ops;
+        if (ta.None()) continue;
+        for (const ScanEntry& eb : gb) {
+          QuerySet combined = ta & eb.tags;
+          ++ops;
+          if (combined.None()) continue;
+          emit(ea.row, eb.row, std::move(combined));
+        }
+      }
+      va = NextGroup(sa.get(), &pa, &ha, &ga);
+      vb = NextGroup(sb.get(), &pb, &hb, &gb);
+    }
+  }
+  return ops;
+}
 
 int64_t TupleStore::Join(const TupleStore& a, const TupleStore& b,
                          const QuerySet& mask, const JoinEmit& emit) {
   int64_t ops = 0;
   if (a.num_tuples_ == 0 || b.num_tuples_ == 0 || mask.None()) return ops;
 
+  if (a.HasSpill() || b.HasSpill()) return MergeJoin(a, b, mask, emit);
+
   if (a.mode_ == StoreMode::kGrouped && b.mode_ == StoreMode::kGrouped) {
     // The paper's group pruning: skip group pairs that share no query.
-    for (const auto& [ga, keyed_a] : a.groups_) {
+    for (const auto& [ga, keyed_a] : a.res_->groups) {
       QuerySet ga_masked = ga & mask;
       ++ops;
       if (ga_masked.None()) continue;
-      for (const auto& [gb, keyed_b] : b.groups_) {
+      for (const auto& [gb, keyed_b] : b.res_->groups) {
         QuerySet combined = ga_masked & gb;
         ++ops;
         if (combined.None()) continue;
@@ -99,11 +212,11 @@ int64_t TupleStore::Join(const TupleStore& a, const TupleStore& b,
   // Normalize access through lambdas over both layouts.
   auto for_each_key_a = [&](auto&& fn) {
     if (a.mode_ == StoreMode::kList) {
-      for (const auto& [key, tagged] : a.list_) fn(key);
+      for (const auto& [key, tagged] : a.res_->list) fn(key);
     } else {
       // Collect distinct keys across groups.
       std::unordered_map<spe::Value, bool> seen;
-      for (const auto& [ga, keyed] : a.groups_) {
+      for (const auto& [ga, keyed] : a.res_->groups) {
         for (const auto& [key, rows] : keyed) {
           if (!seen.emplace(key, true).second) continue;
           fn(key);
@@ -115,13 +228,13 @@ int64_t TupleStore::Join(const TupleStore& a, const TupleStore& b,
                     std::vector<std::pair<const spe::Row*, const QuerySet*>>*
                         out) {
     if (s.mode_ == StoreMode::kList) {
-      auto it = s.list_.find(key);
-      if (it == s.list_.end()) return;
+      auto it = s.res_->list.find(key);
+      if (it == s.res_->list.end()) return;
       for (const auto& [row, tags] : it->second) {
         out->emplace_back(&row, &tags);
       }
     } else {
-      for (const auto& [tags, keyed] : s.groups_) {
+      for (const auto& [tags, keyed] : s.res_->groups) {
         auto it = keyed.find(key);
         if (it == keyed.end()) continue;
         for (const auto& row : it->second) out->emplace_back(&row, &tags);
@@ -160,19 +273,77 @@ int64_t TupleStore::Join(const TupleStore& a, const TupleStore& b,
   return ops;
 }
 
-void TupleStore::ForEach(
+std::unique_ptr<TupleStore::SortedStream> TupleStore::SortedScan() const {
+  auto stream = std::unique_ptr<SortedStream>(new SortedStream());
+  stream->resident_.reserve(resident_tuples_);
+  ForEachResident([&](const spe::Row& row, const QuerySet& tags) {
+    stream->resident_.push_back(ScanEntry{row.key(), row, tags});
+  });
+  std::stable_sort(stream->resident_.begin(), stream->resident_.end(),
+                   [](const ScanEntry& a, const ScanEntry& b) {
+                     return a.key < b.key;
+                   });
+  stream->runs_ = runs_;
+
+  std::vector<storage::KWayMerge<ScanEntry>::Source> sources;
+  SortedStream* s = stream.get();
+  sources.push_back([s](ScanEntry* out) {
+    if (s->resident_pos_ >= s->resident_.size()) return false;
+    *out = s->resident_[s->resident_pos_++];
+    return true;
+  });
+  for (const storage::SpilledRunPtr& run : stream->runs_) {
+    auto reader = run->OpenReader();
+    if (!reader.ok()) continue;  // validated at write time; never expected
+    storage::RunReader* r =
+        stream->readers_.emplace_back(std::move(reader).value()).get();
+    sources.push_back([r](ScanEntry* out) {
+      int64_t key = 0;
+      std::vector<uint8_t> payload;
+      if (!r->Next(&key, &payload)) return false;
+      spe::StateReader dec(std::move(payload));
+      out->key = key;
+      out->row = dec.ReadRow();
+      out->tags = dec.ReadBitset();
+      return dec.Ok();
+    });
+  }
+  stream->merge_ =
+      std::make_unique<storage::KWayMerge<ScanEntry>>(std::move(sources));
+  return stream;
+}
+
+void TupleStore::ForEachResident(
     const std::function<void(const spe::Row&, const QuerySet&)>& fn) const {
   if (mode_ == StoreMode::kGrouped) {
-    for (const auto& [tags, keyed] : groups_) {
+    for (const auto& [tags, keyed] : res_->groups) {
       for (const auto& [key, rows] : keyed) {
         for (const auto& row : rows) fn(row, tags);
       }
     }
   } else {
-    for (const auto& [key, tagged] : list_) {
+    for (const auto& [key, tagged] : res_->list) {
       for (const auto& [row, tags] : tagged) fn(row, tags);
     }
   }
+}
+
+void TupleStore::ForEach(
+    const std::function<void(const spe::Row&, const QuerySet&)>& fn) const {
+  for (const storage::SpilledRunPtr& run : runs_) {
+    auto reader = run->OpenReader();
+    if (!reader.ok()) continue;
+    int64_t key = 0;
+    std::vector<uint8_t> payload;
+    while ((*reader)->Next(&key, &payload)) {
+      spe::StateReader dec(std::move(payload));
+      spe::Row row = dec.ReadRow();
+      QuerySet tags = dec.ReadBitset();
+      if (!dec.Ok()) break;
+      fn(row, tags);
+    }
+  }
+  ForEachResident(fn);
 }
 
 void TupleStore::Serialize(spe::StateWriter* writer) const {
@@ -196,20 +367,22 @@ TupleStore TupleStore::Deserialize(spe::StateReader* reader) {
   return store;
 }
 
-AggStore::AggStore()
-    : arena_(std::make_unique<Arena>()),
-      keys_(0, std::hash<spe::Value>{}, std::equal_to<spe::Value>{},
-            AA<std::pair<const spe::Value, AccVec>>(arena_.get())) {}
+AggStore::Resident::Resident()
+    : arena(std::make_unique<Arena>()),
+      keys(0, std::hash<spe::Value>{}, std::equal_to<spe::Value>{},
+           AA<std::pair<const spe::Value, AccVec>>(arena.get())) {}
+
+AggStore::AggStore() : res_(std::make_unique<Resident>()) {}
 
 void AggStore::Add(spe::Value key, int slot, spe::Value value) {
-  auto& accs = keys_[key];
+  auto& accs = res_->keys[key];
   if (accs.size() <= static_cast<size_t>(slot)) accs.resize(slot + 1);
   accs[slot].Add(value);
 }
 
 const spe::Accumulator* AggStore::Find(spe::Value key, int slot) const {
-  auto it = keys_.find(key);
-  if (it == keys_.end()) return nullptr;
+  auto it = res_->keys.find(key);
+  if (it == res_->keys.end()) return nullptr;
   if (static_cast<size_t>(slot) >= it->second.size()) return nullptr;
   const spe::Accumulator& acc = it->second[slot];
   return acc.Empty() ? nullptr : &acc;
@@ -219,25 +392,171 @@ void AggStore::ForEachKey(
     int slot,
     const std::function<void(spe::Value, const spe::Accumulator&)>& fn)
     const {
-  for (const auto& [key, accs] : keys_) {
+  for (const auto& [key, accs] : res_->keys) {
     if (static_cast<size_t>(slot) < accs.size() && !accs[slot].Empty()) {
       fn(key, accs[slot]);
     }
   }
 }
 
-void AggStore::Serialize(spe::StateWriter* writer) const {
-  writer->WriteU64(keys_.size());
-  for (const auto& [key, accs] : keys_) {
-    writer->WriteI64(key);
-    writer->WriteU64(accs.size());
-    for (const spe::Accumulator& acc : accs) {
-      writer->WriteI64(acc.sum);
-      writer->WriteI64(acc.count);
-      writer->WriteI64(acc.min);
-      writer->WriteI64(acc.max);
+size_t AggStore::SpillToDisk() {
+  if (spill_ == nullptr || res_->keys.empty()) return 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  std::vector<ScanEntry> entries;
+  entries.reserve(res_->keys.size());
+  for (const auto& [key, accs] : res_->keys) {
+    ScanEntry e;
+    e.key = key;
+    e.slots.assign(accs.begin(), accs.end());
+    entries.push_back(std::move(e));
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const ScanEntry& a, const ScanEntry& b) {
+              return a.key < b.key;
+            });
+  storage::RunWriter writer(spill_->NextRunPath("agg"));
+  for (const ScanEntry& e : entries) {
+    spe::StateWriter enc;
+    enc.WriteU64(e.slots.size());
+    for (const spe::Accumulator& acc : e.slots) {
+      enc.WriteI64(acc.sum);
+      enc.WriteI64(acc.count);
+      enc.WriteI64(acc.min);
+      enc.WriteI64(acc.max);
+    }
+    if (!writer.Append(e.key, enc.buffer().data(), enc.buffer().size())
+             .ok()) {
+      writer.Abort();
+      return 0;
     }
   }
+  auto info = writer.Finish();
+  if (!info.ok()) return 0;
+  runs_.push_back(spill_->Adopt(std::move(info).value(), ElapsedMs(t0)));
+  const size_t released = ResidentBytes();
+  res_ = std::make_unique<Resident>();
+  return released;
+}
+
+void AggStore::ForEachMergedEntry(
+    const std::function<void(spe::Value,
+                             const std::vector<spe::Accumulator>&)>& fn)
+    const {
+  // Sorted resident snapshot + one source per run, k-way merged; equal
+  // keys are folded by per-slot accumulator merge before fn sees them.
+  std::vector<ScanEntry> resident;
+  resident.reserve(res_->keys.size());
+  for (const auto& [key, accs] : res_->keys) {
+    ScanEntry e;
+    e.key = key;
+    e.slots.assign(accs.begin(), accs.end());
+    resident.push_back(std::move(e));
+  }
+  std::sort(resident.begin(), resident.end(),
+            [](const ScanEntry& a, const ScanEntry& b) {
+              return a.key < b.key;
+            });
+  size_t resident_pos = 0;
+  std::vector<std::unique_ptr<storage::RunReader>> readers;
+  std::vector<storage::KWayMerge<ScanEntry>::Source> sources;
+  sources.push_back([&resident, &resident_pos](ScanEntry* out) {
+    if (resident_pos >= resident.size()) return false;
+    *out = resident[resident_pos++];
+    return true;
+  });
+  for (const storage::SpilledRunPtr& run : runs_) {
+    auto reader = run->OpenReader();
+    if (!reader.ok()) continue;
+    storage::RunReader* r =
+        readers.emplace_back(std::move(reader).value()).get();
+    sources.push_back([r](ScanEntry* out) {
+      int64_t key = 0;
+      std::vector<uint8_t> payload;
+      if (!r->Next(&key, &payload)) return false;
+      spe::StateReader dec(std::move(payload));
+      out->key = key;
+      const uint64_t n = dec.ReadU64();
+      out->slots.assign(n, spe::Accumulator{});
+      for (uint64_t i = 0; i < n && dec.Ok(); ++i) {
+        out->slots[i].sum = dec.ReadI64();
+        out->slots[i].count = dec.ReadI64();
+        out->slots[i].min = dec.ReadI64();
+        out->slots[i].max = dec.ReadI64();
+      }
+      return dec.Ok();
+    });
+  }
+  storage::KWayMerge<ScanEntry> merge(std::move(sources));
+  ScanEntry cur;
+  bool have = false;
+  ScanEntry e;
+  while (merge.Next(&e)) {
+    if (have && e.key == cur.key) {
+      if (e.slots.size() > cur.slots.size()) {
+        cur.slots.resize(e.slots.size());
+      }
+      for (size_t i = 0; i < e.slots.size(); ++i) {
+        cur.slots[i].Merge(e.slots[i]);
+      }
+    } else {
+      if (have) fn(cur.key, cur.slots);
+      cur = std::move(e);
+      have = true;
+    }
+  }
+  if (have) fn(cur.key, cur.slots);
+}
+
+void AggStore::ForEachKeyMerged(
+    int slot,
+    const std::function<void(spe::Value, const spe::Accumulator&)>& fn)
+    const {
+  if (runs_.empty()) {
+    ForEachKey(slot, fn);
+    return;
+  }
+  ForEachMergedEntry(
+      [&](spe::Value key, const std::vector<spe::Accumulator>& slots) {
+        if (static_cast<size_t>(slot) < slots.size() &&
+            !slots[slot].Empty()) {
+          fn(key, slots[slot]);
+        }
+      });
+}
+
+void AggStore::Serialize(spe::StateWriter* writer) const {
+  if (runs_.empty()) {
+    writer->WriteU64(res_->keys.size());
+    for (const auto& [key, accs] : res_->keys) {
+      writer->WriteI64(key);
+      writer->WriteU64(accs.size());
+      for (const spe::Accumulator& acc : accs) {
+        writer->WriteI64(acc.sum);
+        writer->WriteI64(acc.count);
+        writer->WriteI64(acc.min);
+        writer->WriteI64(acc.max);
+      }
+    }
+    return;
+  }
+  // Spilled: the snapshot is the merged logical state. The count-prefixed
+  // format needs the number of distinct keys up front, so pass one counts
+  // and pass two writes — both streaming.
+  uint64_t num_keys = 0;
+  ForEachMergedEntry(
+      [&](spe::Value, const std::vector<spe::Accumulator>&) { ++num_keys; });
+  writer->WriteU64(num_keys);
+  ForEachMergedEntry(
+      [&](spe::Value key, const std::vector<spe::Accumulator>& slots) {
+        writer->WriteI64(key);
+        writer->WriteU64(slots.size());
+        for (const spe::Accumulator& acc : slots) {
+          writer->WriteI64(acc.sum);
+          writer->WriteI64(acc.count);
+          writer->WriteI64(acc.min);
+          writer->WriteI64(acc.max);
+        }
+      });
 }
 
 AggStore AggStore::Deserialize(spe::StateReader* reader) {
@@ -246,7 +565,7 @@ AggStore AggStore::Deserialize(spe::StateReader* reader) {
   for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
     const spe::Value key = reader->ReadI64();
     const uint64_t num_slots = reader->ReadU64();
-    auto& accs = store.keys_[key];
+    auto& accs = store.res_->keys[key];
     accs.resize(num_slots);
     for (uint64_t s = 0; s < num_slots && reader->Ok(); ++s) {
       accs[s].sum = reader->ReadI64();

@@ -11,6 +11,8 @@
 #include "core/query.h"
 #include "spe/aggregate.h"
 #include "spe/state.h"
+#include "storage/merge.h"
+#include "storage/spill_space.h"
 
 namespace astream::core {
 
@@ -34,29 +36,57 @@ enum class StoreMode : uint8_t {
 /// is destroyed — no per-node free traffic on the eviction path. Row
 /// payloads are NOT in the arena: rows are copy-on-write and shared across
 /// slices, queries and operators; the arena owns only this slice's view of
-/// them. A consequence: ConvertTo() and clear() return no memory until the
-/// store dies (acceptable — slices are short-lived by construction).
+/// them.
+///
+/// Out-of-core (DESIGN.md §10): a store bound to a SpillSpace can move its
+/// entire resident population to an immutable key-sorted run file
+/// (SpillToDisk) — the arena and containers are rebuilt from scratch, so
+/// the memory is actually returned, not just logically cleared. A store
+/// may hold several runs (it keeps receiving inserts after a spill).
+/// Joins over spilled stores run as a streaming group-wise sorted merge
+/// (one key group in memory per side); full logical content is still
+/// reachable via ForEach/Serialize, so checkpoints and mode semantics are
+/// unchanged.
 class TupleStore {
  public:
   explicit TupleStore(StoreMode mode);
 
+  /// Enables SpillToDisk; unbound stores never spill.
+  void BindSpill(storage::SpillSpace* space) { spill_ = space; }
+
   void Insert(const spe::Row& row, const QuerySet& tags);
 
   /// Converts the physical layout in place (triggered by the shared
-  /// session's mode-switch marker or the adaptive heuristic).
+  /// session's mode-switch marker or the adaptive heuristic). Applies to
+  /// resident tuples; spilled runs are layout-free (sorted by key).
   void ConvertTo(StoreMode mode);
 
   StoreMode mode() const { return mode_; }
   size_t NumTuples() const { return num_tuples_; }
+  size_t NumResidentTuples() const { return resident_tuples_; }
+  bool HasSpill() const { return !runs_.empty(); }
   /// Number of distinct query-set groups (grouped mode; == NumTuples in
-  /// list mode where grouping is abandoned).
+  /// list mode where grouping is abandoned). Resident tuples only.
   size_t NumGroups() const;
   /// Average tuples per query-set group — the paper's switch heuristic
   /// ("if the average is less than two ... switch to a list").
   double AvgGroupSize() const;
 
   /// Arena footprint of this store's bookkeeping (the arena-bytes gauge).
-  size_t ArenaBytes() const { return arena_->bytes_reserved(); }
+  size_t ArenaBytes() const { return res_->arena->bytes_reserved(); }
+
+  /// Estimated resident footprint: arena bookkeeping plus the (heap) row
+  /// payloads this store keeps alive. Rows shared with other stores are
+  /// counted in each — an upper bound, which is the safe direction for a
+  /// budget.
+  size_t ResidentBytes() const {
+    return res_->arena->bytes_reserved() + payload_bytes_;
+  }
+
+  /// Spills every resident tuple as one key-sorted run and rebuilds the
+  /// store empty. Returns the resident bytes released; 0 when unbound,
+  /// empty, or the write failed (the store is then left untouched).
+  size_t SpillToDisk();
 
   /// Emits every (rowA, rowB, tagsA & tagsB & mask) with rowA from `a`,
   /// rowB from `b`, equal keys, and a non-empty combined tag set.
@@ -65,11 +95,40 @@ class TupleStore {
                                       const spe::Row& right,
                                       QuerySet tags)>;
   /// Returns the number of bitset AND/intersection operations performed
-  /// (Fig. 18 overhead accounting).
+  /// (Fig. 18 overhead accounting). Fully resident stores use the hash
+  /// paths; once either side holds runs, the join switches to a sorted
+  /// group-wise merge that never rematerializes a run in memory.
   static int64_t Join(const TupleStore& a, const TupleStore& b,
                       const QuerySet& mask, const JoinEmit& emit);
 
-  /// Calls fn(row, tags) for every stored tuple.
+  /// One tuple of a sorted scan.
+  struct ScanEntry {
+    int64_t key = 0;
+    spe::Row row;
+    QuerySet tags;
+  };
+
+  /// Streaming key-ordered view over resident tuples + all runs. Holds
+  /// references to the runs it reads, so eviction of the store mid-scan
+  /// cannot unlink files under the iterator. Memory: one run block per
+  /// run plus the sorted resident snapshot.
+  class SortedStream {
+   public:
+    bool Next(ScanEntry* out) { return merge_->Next(out); }
+
+   private:
+    friend class TupleStore;
+    SortedStream() = default;
+    std::vector<ScanEntry> resident_;
+    size_t resident_pos_ = 0;
+    std::vector<storage::SpilledRunPtr> runs_;
+    std::vector<std::unique_ptr<storage::RunReader>> readers_;
+    std::unique_ptr<storage::KWayMerge<ScanEntry>> merge_;
+  };
+  std::unique_ptr<SortedStream> SortedScan() const;
+
+  /// Calls fn(row, tags) for every stored tuple — spilled runs first (in
+  /// spill order), then resident.
   void ForEach(
       const std::function<void(const spe::Row&, const QuerySet&)>& fn) const;
 
@@ -97,41 +156,86 @@ class TupleStore {
       QuerySet, KeyedRows, DynamicBitsetHash, std::equal_to<QuerySet>,
       std::scoped_allocator_adaptor<AA<std::pair<const QuerySet, KeyedRows>>>>;
 
+  /// Resident state as one unit: spilling destroys and rebuilds the whole
+  /// struct, which is the only way arena-backed containers actually give
+  /// memory back (the arena frees wholesale on destruction).
+  struct Resident {
+    Resident();
+    // Declared before the containers (and so destroyed after them): the
+    // unique_ptr keeps the arena's address stable across store moves.
+    std::unique_ptr<Arena> arena;
+    // kGrouped: query-set -> key -> rows.
+    GroupedMap groups;
+    // kList: key -> (row, tags).
+    KeyedTagged list;
+  };
+
+  void ForEachResident(
+      const std::function<void(const spe::Row&, const QuerySet&)>& fn) const;
+  static int64_t MergeJoin(const TupleStore& a, const TupleStore& b,
+                           const QuerySet& mask, const JoinEmit& emit);
+
   StoreMode mode_;
   size_t num_tuples_ = 0;
-  // Declared before the containers (and so destroyed after them): the
-  // unique_ptr keeps the arena's address stable across store moves.
-  std::unique_ptr<Arena> arena_;
-  // kGrouped: query-set -> key -> rows.
-  GroupedMap groups_;
-  // kList: key -> (row, tags).
-  KeyedTagged list_;
+  size_t resident_tuples_ = 0;
+  size_t payload_bytes_ = 0;
+  std::unique_ptr<Resident> res_;
+  storage::SpillSpace* spill_ = nullptr;
+  std::vector<storage::SpilledRunPtr> runs_;
 };
 
 /// Per-slice intermediate aggregates (Sec. 3.1.5): instead of materializing
 /// tuples, each slice keeps, per key, one accumulator per query slot; the
 /// tuple is discarded after updating every interested query's accumulator.
-/// Backed by the same per-store arena scheme as TupleStore.
+/// Backed by the same per-store arena scheme as TupleStore, with the same
+/// spill contract: SpillToDisk writes a key-sorted run of (key, all-slot
+/// accumulators) entries and rebuilds the resident side empty; finalize
+/// reads through ForEachKeyMerged, which merges same-key accumulators
+/// across the resident population and every run in one streaming pass.
 class AggStore {
  public:
   AggStore();
 
+  /// Enables SpillToDisk; unbound stores never spill.
+  void BindSpill(storage::SpillSpace* space) { spill_ = space; }
+
   /// Adds `value` to the accumulator of (key, slot).
   void Add(spe::Value key, int slot, spe::Value value);
 
-  /// The accumulator for (key, slot), or nullptr if empty.
+  /// The accumulator for (key, slot), or nullptr if empty. Resident side
+  /// only — finalize paths (which must see spilled partials) go through
+  /// ForEachKeyMerged.
   const spe::Accumulator* Find(spe::Value key, int slot) const;
 
-  /// Calls fn(key, accumulator) for every key with data in `slot`.
+  /// Calls fn(key, accumulator) for every resident key with data in
+  /// `slot`.
   void ForEachKey(int slot,
                   const std::function<void(spe::Value,
                                            const spe::Accumulator&)>& fn)
       const;
 
-  size_t NumKeys() const { return keys_.size(); }
+  /// Like ForEachKey but over resident + spilled partials, in ascending
+  /// key order, with same-key accumulators merged. Equals ForEachKey
+  /// (modulo order) when nothing is spilled.
+  void ForEachKeyMerged(
+      int slot,
+      const std::function<void(spe::Value, const spe::Accumulator&)>& fn)
+      const;
+
+  /// Resident keys (spilled keys are not counted; a key present both
+  /// resident and in runs counts once).
+  size_t NumKeys() const { return res_->keys.size(); }
+  bool HasSpill() const { return !runs_.empty(); }
 
   /// Arena footprint of this store's bookkeeping (the arena-bytes gauge).
-  size_t ArenaBytes() const { return arena_->bytes_reserved(); }
+  size_t ArenaBytes() const { return res_->arena->bytes_reserved(); }
+  /// Accumulators and bookkeeping both live in the arena.
+  size_t ResidentBytes() const { return res_->arena->bytes_reserved(); }
+
+  /// Spills all resident partials as one key-sorted run and rebuilds the
+  /// store empty. Returns resident bytes released; 0 when unbound, empty,
+  /// or the write failed.
+  size_t SpillToDisk();
 
   void Serialize(spe::StateWriter* writer) const;
   static AggStore Deserialize(spe::StateReader* reader);
@@ -144,9 +248,29 @@ class AggStore {
       spe::Value, AccVec, std::hash<spe::Value>, std::equal_to<spe::Value>,
       std::scoped_allocator_adaptor<AA<std::pair<const spe::Value, AccVec>>>>;
 
-  std::unique_ptr<Arena> arena_;
-  // key -> slot-indexed accumulators (count == 0 means empty slot).
-  KeyedAccs keys_;
+  /// See TupleStore::Resident.
+  struct Resident {
+    Resident();
+    std::unique_ptr<Arena> arena;
+    // key -> slot-indexed accumulators (count == 0 means empty slot).
+    KeyedAccs keys;
+  };
+
+  struct ScanEntry {
+    int64_t key = 0;
+    std::vector<spe::Accumulator> slots;
+  };
+
+  /// Merged ascending-key iteration over resident + runs; fn sees each
+  /// key once with its fully merged slot vector.
+  void ForEachMergedEntry(
+      const std::function<void(spe::Value,
+                               const std::vector<spe::Accumulator>&)>& fn)
+      const;
+
+  std::unique_ptr<Resident> res_;
+  storage::SpillSpace* spill_ = nullptr;
+  std::vector<storage::SpilledRunPtr> runs_;
 };
 
 }  // namespace astream::core

@@ -70,6 +70,17 @@ class SliceTracker {
 
   ClTable& cl_table() { return cl_table_; }
 
+  /// The materialized slice with the given index, if not yet evicted.
+  /// Lets spill policies translate a store's slice index back to its
+  /// window-end time (eviction order == coldness order).
+  std::optional<SliceInfo> SliceByIndex(int64_t index) const {
+    if (slices_.empty() || index < slices_.front().index ||
+        index > slices_.back().index) {
+      return std::nullopt;
+    }
+    return slices_[static_cast<size_t>(index - slices_.front().index)];
+  }
+
   size_t NumSlices() const { return slices_.size(); }
   bool Initialized() const { return initialized_; }
   TimestampMs frontier() const { return frontier_; }

@@ -16,6 +16,8 @@ const char* FaultPointName(FaultPoint point) {
       return "channel_push";
     case FaultPoint::kConsumerStall:
       return "consumer_stall";
+    case FaultPoint::kStorageWrite:
+      return "storage_write";
     case FaultPoint::kNumPoints:
       break;
   }

@@ -31,6 +31,12 @@ enum class FaultPoint : uint8_t {
   /// Per task-loop iteration. kDelay models a slow consumer (stall),
   /// which the watchdog's heartbeat tracking must notice.
   kConsumerStall,
+  /// On a storage-engine run-file write (spill or durable checkpoint;
+  /// block flush and finish/rename). kFail turns the write into an error
+  /// Status (the spill is skipped, resident state kept); kThrow models a
+  /// crash mid-write, leaving a torn temp file that CRC/footer validation
+  /// must reject on recovery.
+  kStorageWrite,
   kNumPoints,
 };
 

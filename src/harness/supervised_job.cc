@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "storage/durable_checkpoint.h"
 
 namespace astream::harness {
 
@@ -23,7 +24,20 @@ SupervisedJob::SupervisedJob(Options options)
     : options_(std::move(options)),
       clock_(options_.job.clock != nullptr ? options_.job.clock
                                            : WallClock::Default()),
-      stall_(options_.supervisor.stall_timeout_ms) {}
+      stall_(options_.supervisor.stall_timeout_ms) {
+  if (options_.durable_checkpoint_dir.empty()) {
+    store_ = std::make_unique<spe::CheckpointStore>();
+  } else {
+    store_ = std::make_unique<storage::DurableCheckpointStore>(
+        options_.durable_checkpoint_dir);
+    // A previous process may have left durable checkpoints behind; keep
+    // checkpoint ids monotonic across the restart.
+    if (auto latest = store_->LatestComplete(); latest != nullptr) {
+      next_checkpoint_id_ = latest->id + 1;
+      last_reaped_checkpoint_ = latest->id;
+    }
+  }
+}
 
 SupervisedJob::~SupervisedJob() {
   if (supervisor_ != nullptr) supervisor_->StopWatchdog();
@@ -51,6 +65,13 @@ Status SupervisedJob::Start() {
   supervisor_ = std::make_unique<spe::Supervisor>(options_.supervisor,
                                                   std::move(hooks));
   ASTREAM_RETURN_IF_ERROR(StandUpJobLocked());
+  // Process-restart recovery: a durable store may already hold completed
+  // checkpoints from an earlier process over the same directory. Restore
+  // the fresh job from the newest one before accepting any input.
+  if (auto latest = store_->LatestComplete(); latest != nullptr) {
+    ASTREAM_RETURN_IF_ERROR(job_->RestoreFrom(*latest));
+    dedup_.OnRestore(latest->id);
+  }
   started_ = true;
   if (options_.start_watchdog) supervisor_->StartWatchdog();
   return Status::OK();
@@ -187,7 +208,7 @@ int64_t SupervisedJob::replayed_entries() const {
 
 Status SupervisedJob::StandUpJobLocked() {
   core::AStreamJob::Options opts = options_.job;
-  opts.checkpoint_store = &store_;
+  opts.checkpoint_store = store_.get();
   opts.first_checkpoint_id = next_checkpoint_id_;
   auto job = core::AStreamJob::Create(opts);
   ASTREAM_RETURN_IF_ERROR(job.status());
@@ -211,7 +232,7 @@ Status SupervisedJob::RecoverLocked(int attempt) {
   job_->trace().Record(obs::TraceEventKind::kRecoveryStart, -1, attempt);
   job_->Stop();  // joins all task threads: no deliveries race the restore
   std::shared_ptr<const spe::CheckpointStore::Checkpoint> checkpoint =
-      store_.LatestComplete();
+      store_->LatestComplete();
   int64_t restored_id = 0;
   int64_t replay_from = log_.first_offset();
   if (checkpoint != nullptr) {
@@ -293,7 +314,7 @@ Status SupervisedJob::ReplayLocked(int64_t from, int64_t restored_id) {
 
 void SupervisedJob::ReapCheckpointsLocked() {
   std::shared_ptr<const spe::CheckpointStore::Checkpoint> latest =
-      store_.LatestComplete();
+      store_->LatestComplete();
   if (latest == nullptr || latest->id <= last_reaped_checkpoint_) return;
   last_reaped_checkpoint_ = latest->id;
   // Outputs older than the completed checkpoint can never be regenerated:

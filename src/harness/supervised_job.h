@@ -48,6 +48,12 @@ class SupervisedJob {
     /// in tests so replayed changelog/barrier marker times reproduce
     /// exactly). Null with a wall clock: replay runs at wall time.
     std::function<void(TimestampMs)> pin_clock;
+    /// Non-empty: checkpoints are persisted to this directory as run
+    /// files (storage::DurableCheckpointStore) instead of staying in RAM,
+    /// so a SupervisedJob constructed over the same directory after a
+    /// *process* restart recovers from the last durably completed
+    /// checkpoint. Empty: RAM store (crash-in-process recovery only).
+    std::string durable_checkpoint_dir;
   };
 
   explicit SupervisedJob(Options options);
@@ -85,7 +91,7 @@ class SupervisedJob {
   /// The current job incarnation (replaced by every recovery).
   core::AStreamJob* job() { return job_.get(); }
   SourceLog& log() { return log_; }
-  spe::CheckpointStore& checkpoints() { return store_; }
+  spe::CheckpointStore& checkpoints() { return *store_; }
   const spe::Supervisor* supervisor() const { return supervisor_.get(); }
   const core::EpochOutputDedup& dedup() const { return dedup_; }
 
@@ -120,7 +126,9 @@ class SupervisedJob {
 
   mutable std::mutex mu_;
   SourceLog log_;
-  spe::CheckpointStore store_;
+  // RAM store by default; DurableCheckpointStore when
+  // options_.durable_checkpoint_dir is set.
+  std::unique_ptr<spe::CheckpointStore> store_;
   core::EpochOutputDedup dedup_;
   spe::StallDetector stall_;
   std::unique_ptr<spe::Supervisor> supervisor_;

@@ -26,6 +26,10 @@ const char* TraceEventKindName(TraceEventKind kind) {
       return "recovery_start";
     case TraceEventKind::kRecoveryDone:
       return "recovery_done";
+    case TraceEventKind::kSpill:
+      return "spill";
+    case TraceEventKind::kReload:
+      return "reload";
   }
   return "unknown";
 }

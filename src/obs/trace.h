@@ -26,6 +26,8 @@ enum class TraceEventKind : uint8_t {
   kFailureDetected,  // a task failure was detected; detail = attempt count
   kRecoveryStart,    // a recovery attempt began; detail = attempt index
   kRecoveryDone,     // recovery completed; detail = latency (ms)
+  kSpill,            // a store spilled a run to disk; detail = run bytes
+  kReload,           // a spilled run was opened for reading; detail = bytes
 };
 
 const char* TraceEventKindName(TraceEventKind kind);

@@ -137,6 +137,11 @@ class Row {
   std::string ToString() const;
 
  private:
+  // State serialization walks reps directly to deduplicate shared
+  // payloads by identity (StateWriter::WriteRepNode).
+  friend class StateWriter;
+  friend class StateReader;
+
   struct Rep {
     Rep() = default;
     explicit Rep(std::vector<Value> v) : flat(std::move(v)) {}

@@ -18,9 +18,40 @@ void StateWriter::WriteString(const std::string& s) {
   WriteBytes(s.data(), s.size());
 }
 
+// Row encoding, tag-prefixed (see the class comment on dedup):
+//   0              empty row
+//   1, id          back-reference to an already-defined rep
+//   2, n, v...     leaf definition (n columns); defines the next dense id
+//   3, left, right composed definition (children encoded recursively
+//                  first, so their ids precede the parent's)
 void StateWriter::WriteRow(const Row& row) {
-  WriteU64(row.NumColumns());
-  for (size_t i = 0; i < row.NumColumns(); ++i) WriteI64(row.At(i));
+  if (row.rep_ == nullptr) {
+    WriteU64(0);
+    return;
+  }
+  WriteRepNode(row.rep_.get());
+}
+
+void StateWriter::WriteRepNode(const void* rep) {
+  const auto* r = static_cast<const Row::Rep*>(rep);
+  auto it = row_reps_.find(r);
+  if (it != row_reps_.end()) {
+    WriteU64(1);
+    WriteU64(it->second);
+    return;
+  }
+  if (r->left == nullptr) {
+    WriteU64(2);
+    WriteU64(r->flat.size());
+    for (Value v : r->flat) WriteI64(v);
+  } else {
+    WriteU64(3);
+    WriteRepNode(r->left.get());
+    WriteRepNode(r->right.get());
+  }
+  // Ids are dense in definition-completion order (children before their
+  // composed parent); the reader appends to its table in the same order.
+  row_reps_.emplace(r, row_reps_.size());
 }
 
 void StateWriter::WriteBitset(const DynamicBitset& b) {
@@ -50,16 +81,53 @@ std::string StateReader::ReadString() {
   return s;
 }
 
-Row StateReader::ReadRow() {
-  const uint64_t n = ReadU64();
-  if (failed_ || n > (buffer_.size() - pos_) / sizeof(int64_t)) {
+Row StateReader::ReadRow() { return ReadRepNode(0); }
+
+Row StateReader::ReadRepNode(int depth) {
+  // Composed reps nest one level per join stage; 64 is far beyond any
+  // topology and guards against a corrupt buffer recursing unboundedly.
+  if (failed_ || depth > 64) {
     failed_ = true;
     return Row();
   }
-  std::vector<Value> values;
-  values.reserve(n);
-  for (uint64_t i = 0; i < n; ++i) values.push_back(ReadI64());
-  return Row(std::move(values));
+  const uint64_t tag = ReadU64();
+  if (failed_) return Row();
+  switch (tag) {
+    case 0:
+      return Row();
+    case 1: {
+      const uint64_t id = ReadU64();
+      if (failed_ || id >= rep_table_.size()) {
+        failed_ = true;
+        return Row();
+      }
+      return rep_table_[id];
+    }
+    case 2: {
+      const uint64_t n = ReadU64();
+      if (failed_ || n > (buffer_.size() - pos_) / sizeof(int64_t)) {
+        failed_ = true;
+        return Row();
+      }
+      std::vector<Value> values;
+      values.reserve(n);
+      for (uint64_t i = 0; i < n; ++i) values.push_back(ReadI64());
+      Row row(std::move(values));
+      rep_table_.push_back(row);
+      return row;
+    }
+    case 3: {
+      Row left = ReadRepNode(depth + 1);
+      Row right = ReadRepNode(depth + 1);
+      if (failed_) return Row();
+      Row row = Row::Concat(left, right);
+      rep_table_.push_back(row);
+      return row;
+    }
+    default:
+      failed_ = true;
+      return Row();
+  }
 }
 
 DynamicBitset StateReader::ReadBitset() {

@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "common/bitset.h"
@@ -17,6 +18,14 @@ namespace astream::spe {
 /// Append-only binary encoder for operator state snapshots (Sec. 3.3).
 /// Variable-length framing is intentionally avoided: fixed 64-bit integers
 /// keep the format trivial to audit in tests.
+///
+/// Rows are deduplicated by payload identity within one writer: the first
+/// occurrence of a CoW rep emits its definition (leaf columns, or a
+/// composed node's two children) and assigns it a dense id; every later
+/// Row sharing that rep emits an 8-byte reference. A checkpoint of K rows
+/// fanned out from one payload therefore costs one payload + K refs, and
+/// the matching reader restores the *sharing* (all K rows reference one
+/// rep again), not K copies.
 class StateWriter {
  public:
   void WriteI64(int64_t v);
@@ -31,7 +40,12 @@ class StateWriter {
   std::vector<uint8_t> TakeBuffer() { return std::move(buffer_); }
 
  private:
+  /// Emits a rep as a back-reference or a definition (see WriteRow tags).
+  void WriteRepNode(const void* rep);
+
   std::vector<uint8_t> buffer_;
+  /// Rep pointer -> dense id, in definition order.
+  std::unordered_map<const void*, uint64_t> row_reps_;
 };
 
 /// Decoder matching StateWriter. Reads past the end return an error status
@@ -53,16 +67,28 @@ class StateReader {
   bool AtEnd() const { return pos_ == buffer_.size(); }
 
  private:
+  /// Decodes one rep node, mirroring StateWriter::WriteRepNode's id
+  /// assignment order so references restore payload sharing.
+  Row ReadRepNode(int depth);
+
   std::vector<uint8_t> buffer_;
   size_t pos_ = 0;
   bool failed_ = false;
+  /// Dense id -> restored Row, in definition order.
+  std::vector<Row> rep_table_;
 };
 
 /// In-memory store of completed checkpoints: per checkpoint id, a map from
 /// (stage, instance) to the operator's serialized state, plus the source
 /// replay offsets recorded when the barrier was injected.
+///
+/// The lifecycle methods are virtual so durable implementations (e.g.
+/// storage::DurableCheckpointStore, which persists each completed
+/// checkpoint as a run file) can slot in wherever the facade or harness
+/// takes a CheckpointStore*.
 class CheckpointStore {
  public:
+  virtual ~CheckpointStore() = default;
   struct Checkpoint {
     int64_t id = 0;
     /// Key: stage_index * 1000003 + instance_index.
@@ -77,28 +103,29 @@ class CheckpointStore {
     return static_cast<int64_t>(stage) * 1000003 + instance;
   }
 
-  void BeginCheckpoint(int64_t id, std::map<int, int64_t> source_offsets);
-  void AddOperatorState(int64_t id, int stage, int instance,
-                        std::vector<uint8_t> state);
+  virtual void BeginCheckpoint(int64_t id,
+                               std::map<int, int64_t> source_offsets);
+  virtual void AddOperatorState(int64_t id, int stage, int instance,
+                                std::vector<uint8_t> state);
   /// Marks a checkpoint complete once all `expected_states` snapshots are
   /// in, then prunes: only the newest `retention` completed checkpoints
   /// are kept (plus any in-flight incomplete ones), so the store stays
   /// bounded in long runs. Outstanding shared_ptr references keep pruned
   /// checkpoints alive for readers mid-restore.
-  void MaybeComplete(int64_t id, size_t expected_states);
+  virtual void MaybeComplete(int64_t id, size_t expected_states);
 
   /// Completed checkpoints to retain (default 2; minimum 1).
   void SetRetention(size_t keep_completed);
 
   /// Checkpoints currently held (completed + in-flight) — exported as the
   /// `state.checkpoints_retained` gauge.
-  size_t NumRetained() const;
+  virtual size_t NumRetained() const;
 
   /// Latest complete checkpoint, or nullptr.
-  std::shared_ptr<const Checkpoint> LatestComplete() const;
-  std::shared_ptr<const Checkpoint> Get(int64_t id) const;
+  virtual std::shared_ptr<const Checkpoint> LatestComplete() const;
+  virtual std::shared_ptr<const Checkpoint> Get(int64_t id) const;
 
- private:
+ protected:
   mutable std::mutex mutex_;
   size_t retention_ = 2;
   std::map<int64_t, std::shared_ptr<Checkpoint>> checkpoints_;

@@ -1,0 +1,118 @@
+#include "storage/memory_governor.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace astream::storage {
+
+int64_t ParseByteSize(const std::string& text) {
+  if (text.empty()) return 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(text.c_str(), &end, 10);
+  if (end == text.c_str() || value < 0) return 0;
+  int64_t mult = 1;
+  switch (std::tolower(static_cast<unsigned char>(*end))) {
+    case 'k':
+      mult = 1024;
+      break;
+    case 'm':
+      mult = 1024 * 1024;
+      break;
+    case 'g':
+      mult = 1024 * 1024 * 1024;
+      break;
+    case '\0':
+      break;
+    default:
+      return 0;
+  }
+  return static_cast<int64_t>(value) * mult;
+}
+
+int64_t BudgetFromEnv() {
+  const char* env = std::getenv("ASTREAM_MEMORY_BUDGET");
+  return env == nullptr ? 0 : ParseByteSize(env);
+}
+
+int64_t ResolveMemoryBudget(const StorageOptions& options) {
+  if (options.memory_budget_bytes > 0) return options.memory_budget_bytes;
+  if (options.memory_budget_bytes < 0) return 0;
+  return BudgetFromEnv();
+}
+
+MemoryGovernor::MemoryGovernor(int64_t budget_bytes, bool allow_spill)
+    : budget_(budget_bytes), allow_spill_(allow_spill) {}
+
+void MemoryGovernor::Register(SpillClient* client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clients_.emplace(client, Entry{});
+}
+
+void MemoryGovernor::Unregister(SpillClient* client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  total_.fetch_sub(static_cast<int64_t>(it->second.resident),
+                   std::memory_order_relaxed);
+  clients_.erase(it);
+}
+
+void MemoryGovernor::Update(SpillClient* client, size_t resident_bytes,
+                            int64_t coldest_end) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = clients_.find(client);
+  if (it == clients_.end()) return;
+  total_.fetch_add(static_cast<int64_t>(resident_bytes) -
+                       static_cast<int64_t>(it->second.resident),
+                   std::memory_order_relaxed);
+  it->second.resident = resident_bytes;
+  it->second.coldest_end = coldest_end;
+}
+
+void MemoryGovernor::Enforce(SpillClient* self) {
+  if (budget_ <= 0 || !allow_spill_) return;
+  // Bounded: each pass either releases bytes, exhausts self, or defers to
+  // a colder peer and stops.
+  for (int pass = 0; pass < 1024; ++pass) {
+    bool spill_self = false;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = clients_.find(self);
+      if (it == clients_.end()) return;
+      if (it->second.spill_requested) {
+        it->second.spill_requested = false;
+        spill_self = true;
+      } else if (total_.load(std::memory_order_relaxed) > budget_) {
+        auto coldest = clients_.end();
+        for (auto c = clients_.begin(); c != clients_.end(); ++c) {
+          if (c->second.coldest_end == INT64_MAX) continue;
+          if (coldest == clients_.end() ||
+              c->second.coldest_end < coldest->second.coldest_end) {
+            coldest = c;
+          }
+        }
+        if (coldest == clients_.end()) return;  // nothing spillable anywhere
+        if (coldest->first == self) {
+          spill_self = true;
+        } else {
+          // A colder peer holds the victim slice; it spills on its own
+          // task thread at its next Enforce.
+          coldest->second.spill_requested = true;
+          return;
+        }
+      } else {
+        return;  // under budget
+      }
+    }
+    // SpillOnce runs without the governor lock; it re-reports resident
+    // bytes (and the new coldest slice) via Update before returning.
+    if (spill_self && self->SpillOnce() == 0) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = clients_.find(self);
+      if (it != clients_.end()) it->second.coldest_end = INT64_MAX;
+      return;
+    }
+  }
+}
+
+}  // namespace astream::storage

@@ -1,0 +1,100 @@
+#ifndef ASTREAM_STORAGE_MEMORY_GOVERNOR_H_
+#define ASTREAM_STORAGE_MEMORY_GOVERNOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace astream::storage {
+
+/// Job-level out-of-core configuration (facade Options.storage).
+struct StorageOptions {
+  /// State-memory budget in bytes. 0 = use ASTREAM_MEMORY_BUDGET from the
+  /// environment (unlimited when unset); < 0 = force-unlimited regardless
+  /// of the environment (reference runs in A/B tests); > 0 = explicit cap.
+  int64_t memory_budget_bytes = 0;
+  /// When false and a budget is set, stores never spill; the facade
+  /// reports backpressure (PushResult::kBackpressure) once over budget.
+  bool allow_spill = true;
+  /// Spill directory. Empty = a per-job temp dir, removed on shutdown.
+  std::string spill_dir;
+};
+
+/// "8m", "64k", "1g", "1048576" -> bytes; 0 on empty/unparseable input.
+int64_t ParseByteSize(const std::string& text);
+
+/// ASTREAM_MEMORY_BUDGET from the environment, 0 when unset/invalid.
+int64_t BudgetFromEnv();
+
+/// The effective cap: > 0 budget in bytes, or 0 for unlimited.
+int64_t ResolveMemoryBudget(const StorageOptions& options);
+
+/// A store-owning operator that can shed memory by spilling its coldest
+/// slice to disk. SpillOnce is only ever invoked on the client's own task
+/// thread (from its Enforce call), so implementations need no locking
+/// against concurrent store access.
+class SpillClient {
+ public:
+  virtual ~SpillClient() = default;
+  /// Spills one victim (coldest slice) and returns resident bytes
+  /// released; 0 when nothing spillable remains (or the write failed).
+  virtual size_t SpillOnce() = 0;
+};
+
+/// Global byte-budget arbiter. Each spillable operator registers, reports
+/// its resident bytes + the end time of its coldest slice after every
+/// mutation, then calls Enforce. While the job is over budget, Enforce
+/// picks the globally coldest client: the caller spills itself inline;
+/// a colder peer is flagged and spills on its own next Enforce (SpillOnce
+/// always runs on the owning task thread, never under the governor lock).
+class MemoryGovernor {
+ public:
+  /// budget_bytes <= 0 disables enforcement (accounting still runs).
+  MemoryGovernor(int64_t budget_bytes, bool allow_spill);
+
+  void Register(SpillClient* client);
+  void Unregister(SpillClient* client);
+
+  /// Reports a client's current resident bytes and the window end time of
+  /// its coldest (earliest-ending) slice; INT64_MAX when it has nothing
+  /// spillable.
+  void Update(SpillClient* client, size_t resident_bytes,
+              int64_t coldest_end);
+
+  /// Spills (via `self`) until the job is back under budget or `self` has
+  /// nothing colder than its peers; flags a colder peer instead of
+  /// spilling across threads.
+  void Enforce(SpillClient* self);
+
+  /// True when spilling is disabled, a budget is set, and resident state
+  /// exceeds it — the facade's PushTo turns this into kBackpressure.
+  /// Lock-free (one relaxed load on the ingest path).
+  bool ShouldBackpressure() const {
+    return !allow_spill_ && budget_ > 0 &&
+           total_.load(std::memory_order_relaxed) > budget_;
+  }
+
+  int64_t budget() const { return budget_; }
+  int64_t total_resident() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    size_t resident = 0;
+    int64_t coldest_end = INT64_MAX;
+    bool spill_requested = false;
+  };
+
+  const int64_t budget_;
+  const bool allow_spill_;
+  std::atomic<int64_t> total_{0};
+  mutable std::mutex mutex_;
+  std::map<SpillClient*, Entry> clients_;
+};
+
+}  // namespace astream::storage
+
+#endif  // ASTREAM_STORAGE_MEMORY_GOVERNOR_H_

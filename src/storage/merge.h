@@ -1,0 +1,70 @@
+#ifndef ASTREAM_STORAGE_MERGE_H_
+#define ASTREAM_STORAGE_MERGE_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+namespace astream::storage {
+
+/// Streaming k-way merge over sources that each yield entries in
+/// non-decreasing key order. `Entry` must expose an `int64_t key` member;
+/// a source is a pull function that fills the next entry and returns false
+/// when exhausted. Ties break by source index, so a store that lists its
+/// resident snapshot before its runs (oldest first) gets a stable,
+/// deterministic global order. Memory: one buffered entry per source.
+template <typename Entry>
+class KWayMerge {
+ public:
+  using Source = std::function<bool(Entry*)>;
+
+  explicit KWayMerge(std::vector<Source> sources)
+      : sources_(std::move(sources)) {
+    heap_.reserve(sources_.size());
+    for (size_t i = 0; i < sources_.size(); ++i) Refill(i);
+    std::make_heap(heap_.begin(), heap_.end(), Later);
+  }
+
+  /// Next entry in global (key, source index) order; false when all
+  /// sources are exhausted.
+  bool Next(Entry* out) {
+    if (heap_.empty()) return false;
+    std::pop_heap(heap_.begin(), heap_.end(), Later);
+    Item item = std::move(heap_.back());
+    heap_.pop_back();
+    *out = std::move(item.entry);
+    if (Refill(item.source)) {
+      std::push_heap(heap_.begin(), heap_.end(), Later);
+    }
+    return true;
+  }
+
+ private:
+  struct Item {
+    Entry entry;
+    size_t source = 0;
+  };
+
+  /// Max-heap comparator inverted into a min-heap on (key, source).
+  static bool Later(const Item& a, const Item& b) {
+    if (a.entry.key != b.entry.key) return a.entry.key > b.entry.key;
+    return a.source > b.source;
+  }
+
+  bool Refill(size_t source) {
+    Item item;
+    item.source = source;
+    if (!sources_[source](&item.entry)) return false;
+    heap_.push_back(std::move(item));
+    return true;
+  }
+
+  std::vector<Source> sources_;
+  std::vector<Item> heap_;
+};
+
+}  // namespace astream::storage
+
+#endif  // ASTREAM_STORAGE_MERGE_H_

@@ -1,0 +1,157 @@
+#ifndef ASTREAM_STORAGE_RUN_FILE_H_
+#define ASTREAM_STORAGE_RUN_FILE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "spe/state.h"
+
+namespace astream::storage {
+
+/// Run-file format version (DESIGN.md §10). Bump on any layout change; a
+/// reader refuses files with a different version instead of guessing.
+inline constexpr uint32_t kRunFormatVersion = 1;
+
+/// Incremental CRC32 (IEEE 802.3 polynomial, table-driven). `crc` is the
+/// running value (start from 0); feed chunks in file order.
+uint32_t Crc32(uint32_t crc, const void* data, size_t size);
+
+/// Immutable run file: the one on-disk format shared by slice-store spills,
+/// changelog-table spills, and durable checkpoints.
+///
+///   [u32 magic "ASRN"][u32 version]
+///   block*:  [u32 block_bytes][entries...]
+///     entry: [u32 entry_bytes][i64 key][payload (entry_bytes - 8)]
+///   footer (StateWriter-encoded): num_entries, num_blocks,
+///     per block {file_offset, num_entries, min_key, max_key}, meta blob
+///   tail (fixed 24 bytes):
+///     [u64 footer_offset][u64 footer_bytes][u32 crc][u32 end magic "NRSA"]
+///
+/// The CRC covers every byte before the tail; a torn write (crash mid-file)
+/// fails either the end-magic, the footer bounds, or the CRC, and the file
+/// is rejected wholesale — runs are atomic: written to `<path>.tmp` and
+/// renamed into place only after a clean Finish().
+struct RunInfo {
+  std::string path;
+  uint64_t file_bytes = 0;
+  uint64_t num_entries = 0;
+  int64_t min_key = 0;
+  int64_t max_key = 0;
+};
+
+class RunWriter {
+ public:
+  struct Options {
+    size_t block_bytes = 64 * 1024;
+    /// fsync before the atomic rename (durable checkpoints). Spill runs
+    /// skip it: they never outlive the process that wrote them.
+    bool sync = false;
+  };
+
+  /// Writes to `<final_path>.tmp`; Finish() renames to `final_path`.
+  explicit RunWriter(std::string final_path)
+      : RunWriter(std::move(final_path), Options()) {}
+  RunWriter(std::string final_path, Options options);
+  ~RunWriter();
+
+  RunWriter(const RunWriter&) = delete;
+  RunWriter& operator=(const RunWriter&) = delete;
+
+  /// Appends one entry. Keys must be non-decreasing (merge iterators and
+  /// the per-block index rely on it).
+  Status Append(int64_t key, const void* payload, size_t size);
+
+  /// Opaque user metadata stored in the footer (e.g. checkpoint id and
+  /// source offsets). Call any time before Finish().
+  void SetMeta(std::vector<uint8_t> meta) { meta_ = std::move(meta); }
+
+  /// Flushes, writes footer + CRC + tail, optionally fsyncs, and renames
+  /// the temp file into place. The writer is dead afterwards.
+  Result<RunInfo> Finish();
+
+  /// Deletes the temp file (automatic on destruction if never finished).
+  void Abort();
+
+  uint64_t num_entries() const { return num_entries_; }
+
+ private:
+  Status FlushBlock();
+  Status WriteRaw(const void* data, size_t size);
+
+  std::string final_path_;
+  std::string tmp_path_;
+  Options options_;
+  std::FILE* file_ = nullptr;
+  bool finished_ = false;
+  Status status_;
+
+  std::vector<uint8_t> block_;
+  uint64_t block_entries_ = 0;
+  int64_t block_min_key_ = 0;
+  int64_t block_max_key_ = 0;
+
+  struct BlockIndex {
+    uint64_t offset = 0;
+    uint64_t entries = 0;
+    int64_t min_key = 0;
+    int64_t max_key = 0;
+  };
+  std::vector<BlockIndex> index_;
+  std::vector<uint8_t> meta_;
+  uint64_t file_offset_ = 0;
+  uint32_t crc_ = 0;
+  uint64_t num_entries_ = 0;
+  int64_t min_key_ = 0;
+  int64_t max_key_ = 0;
+  bool have_key_ = false;
+};
+
+/// Sequential, block-buffered reader over one run. Open() validates the
+/// tail, footer, version and (optionally) the full-file CRC; a torn or
+/// corrupt file fails Open and is never half-read. Memory: one block.
+class RunReader {
+ public:
+  static Result<std::unique_ptr<RunReader>> Open(const std::string& path,
+                                                 bool verify_crc = true);
+  ~RunReader();
+
+  RunReader(const RunReader&) = delete;
+  RunReader& operator=(const RunReader&) = delete;
+
+  /// Next entry in file (== key) order; false at the end or on error
+  /// (check status()).
+  bool Next(int64_t* key, std::vector<uint8_t>* payload);
+
+  Status status() const { return status_; }
+  uint64_t num_entries() const { return num_entries_; }
+  const std::vector<uint8_t>& meta() const { return meta_; }
+  uint64_t file_bytes() const { return file_bytes_; }
+
+ private:
+  RunReader() = default;
+  bool LoadNextBlock();
+
+  std::FILE* file_ = nullptr;
+  uint64_t file_bytes_ = 0;
+  uint64_t footer_offset_ = 0;
+  uint64_t num_entries_ = 0;
+  std::vector<uint8_t> meta_;
+  Status status_;
+
+  struct BlockIndex {
+    uint64_t offset = 0;
+    uint64_t entries = 0;
+  };
+  std::vector<BlockIndex> blocks_;
+  size_t next_block_ = 0;
+  std::vector<uint8_t> block_;
+  size_t block_pos_ = 0;
+};
+
+}  // namespace astream::storage
+
+#endif  // ASTREAM_STORAGE_RUN_FILE_H_

@@ -1,0 +1,102 @@
+#ifndef ASTREAM_STORAGE_SPILL_SPACE_H_
+#define ASTREAM_STORAGE_SPILL_SPACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "storage/run_file.h"
+
+namespace astream::storage {
+
+class SpillSpace;
+
+/// Shared handle to one spilled run. Stores hold these by shared_ptr (a
+/// merge iterator keeps its runs alive mid-scan even if the store evicts
+/// the slice); the last release unlinks the file and retires the space's
+/// accounting. Runs are immutable once created.
+class SpilledRun {
+ public:
+  SpilledRun(SpillSpace* space, RunInfo info);
+  ~SpilledRun();
+
+  SpilledRun(const SpilledRun&) = delete;
+  SpilledRun& operator=(const SpilledRun&) = delete;
+
+  const RunInfo& info() const { return info_; }
+
+  /// Opens a sequential reader. Skips CRC verification: the write path
+  /// validated the bytes and the file never crossed a crash boundary
+  /// (torn runs are rejected at creation, not at read).
+  Result<std::unique_ptr<RunReader>> OpenReader() const;
+
+ private:
+  SpillSpace* space_;
+  RunInfo info_;
+};
+
+using SpilledRunPtr = std::shared_ptr<const SpilledRun>;
+
+/// One job's spill directory: hands out run paths, owns the directory's
+/// lifetime (a generated temp dir is removed recursively on destruction),
+/// and funnels spill/reload accounting into the obs layer. Thread-safe —
+/// operator task threads spill concurrently.
+class SpillSpace {
+ public:
+  /// `dir` empty: a fresh temp directory is created (and owned). Non-empty:
+  /// the directory is created if missing and left behind on destruction.
+  static Result<std::unique_ptr<SpillSpace>> Create(const std::string& dir);
+  ~SpillSpace();
+
+  SpillSpace(const SpillSpace&) = delete;
+  SpillSpace& operator=(const SpillSpace&) = delete;
+
+  /// Wires gauges (`storage.spill_bytes`, `storage.runs`), latency
+  /// histograms (`storage.spill_ms`, `storage.reload_ms`) and kSpill /
+  /// kReload trace events. Either pointer may be null.
+  void BindObs(obs::MetricsRegistry* metrics, obs::TraceSink* trace);
+
+  /// Unique path for a new run; `kind` tags the filename for debugging
+  /// ("slice", "cl", "ckpt").
+  std::string NextRunPath(const std::string& kind);
+
+  /// Wraps a freshly finished run in a shared handle and records the spill
+  /// (bytes, latency, trace). `elapsed_ms` is the write duration.
+  SpilledRunPtr Adopt(RunInfo info, int64_t elapsed_ms);
+
+  const std::string& dir() const { return dir_; }
+  int64_t spill_bytes() const {
+    return spill_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t num_runs() const {
+    return num_runs_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  friend class SpilledRun;
+
+  SpillSpace(std::string dir, bool owns_dir);
+  void OnRunDeleted(const RunInfo& info);
+  void OnReload(int64_t bytes, int64_t elapsed_ms) const;
+  void PublishGauges() const;
+
+  const std::string dir_;
+  const bool owns_dir_;
+  std::atomic<uint64_t> next_id_{0};
+  std::atomic<int64_t> spill_bytes_{0};
+  std::atomic<int64_t> num_runs_{0};
+
+  obs::TraceSink* trace_ = nullptr;
+  obs::Gauge* g_spill_bytes_ = nullptr;
+  obs::Gauge* g_runs_ = nullptr;
+  obs::Histogram* h_spill_ms_ = nullptr;
+  obs::Histogram* h_reload_ms_ = nullptr;
+};
+
+}  // namespace astream::storage
+
+#endif  // ASTREAM_STORAGE_SPILL_SPACE_H_

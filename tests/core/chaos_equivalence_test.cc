@@ -50,8 +50,11 @@ struct ChaosScript {
 
 // ~600 tuples on two streams with 10 ad-hoc submits, 3 cancels, periodic
 // watermarks and checkpoints. One fixed script: the injector seed is the
-// only variable across test instances.
-ChaosScript MakeChaosScript() {
+// only variable across test instances. With `wide_burst`, a long-window
+// join query plus ~1600 wide (256-column) tuples with non-joining keys
+// ride along — several MiB of live state that forces a budgeted run to
+// spill without exploding the join output.
+ChaosScript MakeChaosScript(bool wide_burst = false) {
   Rng rng(0xC4A05);
   ChaosScript script;
   auto submit = [&](TimestampMs t, bool selection) {
@@ -84,6 +87,20 @@ ChaosScript MakeChaosScript() {
   submit(0, true);
   submit(0, false);
   submit(0, true);
+  if (wide_burst) {
+    // One long window so wide tuples stay live (and spillable) for a
+    // few hundred ms instead of a couple of watermark periods.
+    QueryDescriptor d;
+    d.kind = QueryKind::kJoin;
+    d.window = spe::WindowSpec::Sliding(400, 100);
+    d.select_a = {Predicate{1, CmpOp::kLt, 95}};
+    ChaosScript::Step s;
+    s.what = ChaosScript::Step::kSubmit;
+    s.time = 0;
+    s.desc = d;
+    script.steps.push_back(std::move(s));
+    ++script.num_submits;
+  }
   TimestampMs t = 1;
   for (int i = 0; i < 600; ++i) {
     t += rng.UniformInt(1, 3);
@@ -93,6 +110,19 @@ ChaosScript MakeChaosScript() {
     s.what = rng.Bernoulli(0.5) ? ChaosScript::Step::kPushB
                                 : ChaosScript::Step::kPushA;
     script.steps.push_back(std::move(s));
+    if (wide_burst && i >= 40 && i < 440) {
+      for (int k = 0; k < 4; ++k) {
+        std::vector<spe::Value> wide(256, rng.UniformInt(0, 1'000'000));
+        wide[0] = rng.UniformInt(1000, 9999);  // never joins (keys 0..6)
+        wide[1] = rng.UniformInt(0, 99);
+        ChaosScript::Step w;
+        w.time = t;
+        w.row = Row(std::move(wide));
+        w.what = (k % 2 == 0) ? ChaosScript::Step::kPushA
+                              : ChaosScript::Step::kPushB;
+        script.steps.push_back(std::move(w));
+      }
+    }
     if (i == 90 || i == 180 || i == 270 || i == 360 || i == 450 ||
         i == 520) {
       submit(t, i % 180 == 0);
@@ -127,9 +157,15 @@ AStreamJob::Options BaseOptions(Clock* clock, bool threaded) {
 }
 
 // Fault-free oracle: the deterministic sync runner on a plain job.
-std::map<QueryId, RowMultiset> RunReference(const ChaosScript& script) {
+// `force_unlimited` pins the reference to the in-memory path even when
+// ASTREAM_MEMORY_BUDGET is set (the spill variant compares a budgeted
+// chaos run against an unbudgeted oracle).
+std::map<QueryId, RowMultiset> RunReference(const ChaosScript& script,
+                                            bool force_unlimited = false) {
   ManualClock clock;
-  auto job = std::move(AStreamJob::Create(BaseOptions(&clock, false))).value();
+  AStreamJob::Options options = BaseOptions(&clock, false);
+  if (force_unlimited) options.storage.memory_budget_bytes = -1;
+  auto job = std::move(AStreamJob::Create(options)).value();
   EXPECT_TRUE(job->Start().ok());
   std::map<QueryId, RowMultiset> outputs;
   job->SetResultCallback([&](QueryId id, const spe::Record& record) {
@@ -179,9 +215,25 @@ struct ChaosOutcome {
 // The same script through a supervised threaded job with an active
 // injector: three deterministic operator crashes (seed-shifted hit
 // thresholds), one snapshot failure, one drop-to-closed channel, and
-// low-probability push/consumer delays.
-ChaosOutcome RunChaos(const ChaosScript& script, uint64_t seed) {
+// low-probability push/consumer delays. `budget_bytes` > 0 caps state
+// memory (spilling allowed) and arms storage-write faults: one crash
+// mid-spill (torn run file) and two transient write failures.
+ChaosOutcome RunChaos(const ChaosScript& script, uint64_t seed,
+                      int64_t budget_bytes = 0) {
   fault::FaultInjector injector(seed);
+  if (budget_bytes > 0) {
+    fault::FaultInjector::Rule torn;
+    torn.point = fault::FaultPoint::kStorageWrite;
+    torn.action = fault::FaultAction::kThrow;
+    torn.after_hits = 2 + static_cast<int64_t>(seed % 3);
+    injector.AddRule(torn);
+    fault::FaultInjector::Rule wfail;
+    wfail.point = fault::FaultPoint::kStorageWrite;
+    wfail.action = fault::FaultAction::kFail;
+    wfail.after_hits = 40 + static_cast<int64_t>(seed) * 7;
+    wfail.max_fires = 2;
+    injector.AddRule(wfail);
+  }
   const int64_t shift = static_cast<int64_t>(seed) * 29;
   for (int64_t after : {500 + shift, 1000 + shift, 1500 + shift}) {
     fault::FaultInjector::Rule crash;
@@ -218,6 +270,7 @@ ChaosOutcome RunChaos(const ChaosScript& script, uint64_t seed) {
   ManualClock clock;
   SupervisedJob::Options options;
   options.job = BaseOptions(&clock, true);
+  if (budget_bytes > 0) options.job.storage.memory_budget_bytes = budget_bytes;
   options.pin_clock = [&clock](TimestampMs ms) { clock.SetMs(ms); };
   options.supervisor.backoff_initial_ms = 1;
   options.supervisor.backoff_max_ms = 8;
@@ -293,6 +346,28 @@ TEST_P(ChaosEquivalenceTest, ExactlyOnceUnderCrashAndChurn) {
 
   // Exactly-once: per-query outputs byte-identical to the fault-free
   // sync reference — no loss, no duplicates, across crashes and churn.
+  EXPECT_EQ(reference.size(), chaos.outputs.size());
+  EXPECT_EQ(reference, chaos.outputs);
+}
+
+// The wide-burst script under a 1 MiB budget: the supervised job spills,
+// reloads, crashes mid-spill (torn run file), survives transient write
+// failures AND the usual operator/channel faults — and its outputs still
+// match an unbudgeted fault-free sync reference exactly.
+TEST_P(ChaosEquivalenceTest, ExactlyOnceUnderCrashChurnAndSpill) {
+  const ChaosScript script = MakeChaosScript(/*wide_burst=*/true);
+  const auto reference = RunReference(script, /*force_unlimited=*/true);
+  const ChaosOutcome chaos = RunChaos(script, GetParam(), 1 << 20);
+
+  EXPECT_GE(chaos.injected_crashes, 3);
+  EXPECT_GE(chaos.recoveries, 1);
+  EXPECT_GT(chaos.replayed_rows, 0);
+
+  // The budget actually bit: the final incarnation spilled to disk (every
+  // incarnation rebuilds more state than 1 MiB, so each one spills).
+  EXPECT_GE(chaos.metrics.histograms.at("storage.spill_ms").count, 1);
+  EXPECT_GE(chaos.metrics.gauges.at("storage.budget_bytes"), 1 << 20);
+
   EXPECT_EQ(reference.size(), chaos.outputs.size());
   EXPECT_EQ(reference, chaos.outputs);
 }

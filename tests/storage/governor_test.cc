@@ -1,0 +1,173 @@
+// Memory governor: budget parsing/resolution, resident-byte accounting,
+// the coldest-slice victim policy (including cross-client deferral), and
+// the no-spill backpressure signal.
+
+#include "storage/memory_governor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+namespace astream::storage {
+namespace {
+
+TEST(ParseByteSizeTest, SuffixesAndGarbage) {
+  EXPECT_EQ(ParseByteSize("0"), 0);
+  EXPECT_EQ(ParseByteSize("1048576"), 1048576);
+  EXPECT_EQ(ParseByteSize("64k"), 64 * 1024);
+  EXPECT_EQ(ParseByteSize("8m"), 8 * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize("8M"), 8 * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize("1g"), 1024LL * 1024 * 1024);
+  EXPECT_EQ(ParseByteSize(""), 0);
+  EXPECT_EQ(ParseByteSize("abc"), 0);
+  EXPECT_EQ(ParseByteSize("12x"), 0);
+  EXPECT_EQ(ParseByteSize("-5m"), 0);
+}
+
+TEST(ResolveMemoryBudgetTest, ExplicitEnvAndForceUnlimited) {
+  StorageOptions options;
+
+  ::setenv("ASTREAM_MEMORY_BUDGET", "16m", 1);
+  options.memory_budget_bytes = 0;
+  EXPECT_EQ(ResolveMemoryBudget(options), 16 * 1024 * 1024);  // env wins
+  options.memory_budget_bytes = 1234;
+  EXPECT_EQ(ResolveMemoryBudget(options), 1234);  // explicit beats env
+  options.memory_budget_bytes = -1;
+  EXPECT_EQ(ResolveMemoryBudget(options), 0);  // force-unlimited beats env
+
+  ::unsetenv("ASTREAM_MEMORY_BUDGET");
+  options.memory_budget_bytes = 0;
+  EXPECT_EQ(ResolveMemoryBudget(options), 0);  // unset env -> unlimited
+}
+
+/// Scripted client: SpillOnce sheds `shed_bytes` and re-reports, like a
+/// real operator spilling its coldest slice.
+class FakeClient : public SpillClient {
+ public:
+  FakeClient(MemoryGovernor* governor, size_t resident, int64_t coldest_end)
+      : governor_(governor), resident_(resident), coldest_end_(coldest_end) {
+    governor_->Register(this);
+    Report();
+  }
+  ~FakeClient() override { governor_->Unregister(this); }
+
+  size_t SpillOnce() override {
+    ++spills_;
+    const size_t shed = resident_ < shed_bytes_ ? resident_ : shed_bytes_;
+    resident_ -= shed;
+    if (resident_ == 0) coldest_end_ = INT64_MAX;
+    Report();
+    return shed;
+  }
+
+  void Report() { governor_->Update(this, resident_, coldest_end_); }
+  void Set(size_t resident, int64_t coldest_end) {
+    resident_ = resident;
+    coldest_end_ = coldest_end;
+    Report();
+  }
+
+  int spills_ = 0;
+  size_t shed_bytes_ = 400;
+
+ private:
+  MemoryGovernor* governor_;
+  size_t resident_;
+  int64_t coldest_end_;
+};
+
+TEST(MemoryGovernorTest, AccountsResidentBytesAcrossClients) {
+  MemoryGovernor governor(0, true);  // accounting only, no enforcement
+  FakeClient a(&governor, 300, 10);
+  EXPECT_EQ(governor.total_resident(), 300);
+  {
+    FakeClient b(&governor, 200, 20);
+    EXPECT_EQ(governor.total_resident(), 500);
+    b.Set(700, 20);
+    EXPECT_EQ(governor.total_resident(), 1000);
+  }
+  // Unregister subtracts the client's share.
+  EXPECT_EQ(governor.total_resident(), 300);
+}
+
+TEST(MemoryGovernorTest, EnforceSpillsSelfUntilUnderBudget) {
+  MemoryGovernor governor(1000, true);
+  FakeClient a(&governor, 2000, 10);
+  governor.Enforce(&a);
+  // 2000 -> 1600 -> 1200 -> 800: three spills to get under budget.
+  EXPECT_EQ(a.spills_, 3);
+  EXPECT_EQ(governor.total_resident(), 800);
+  // Already under budget: enforcing again is a no-op.
+  governor.Enforce(&a);
+  EXPECT_EQ(a.spills_, 3);
+}
+
+TEST(MemoryGovernorTest, ColdestClientIsTheVictim) {
+  MemoryGovernor governor(1000, true);
+  FakeClient cold(&governor, 600, 10);   // earliest-ending slice
+  FakeClient hot(&governor, 600, 900);
+  hot.shed_bytes_ = 600;
+  cold.shed_bytes_ = 600;
+
+  // The hot client is over budget but a colder peer holds the victim:
+  // Enforce flags the peer instead of spilling across threads.
+  governor.Enforce(&hot);
+  EXPECT_EQ(hot.spills_, 0);
+  EXPECT_EQ(cold.spills_, 0);
+
+  // The cold client's own next Enforce honors the flag and spills inline.
+  governor.Enforce(&cold);
+  EXPECT_EQ(cold.spills_, 1);
+  EXPECT_EQ(governor.total_resident(), 600);
+  EXPECT_EQ(hot.spills_, 0);
+}
+
+TEST(MemoryGovernorTest, SelfSpillsWhenItHoldsTheColdestSlice) {
+  MemoryGovernor governor(1000, true);
+  FakeClient cold(&governor, 900, 10);
+  FakeClient hot(&governor, 300, 900);
+  cold.shed_bytes_ = 500;
+  governor.Enforce(&cold);
+  EXPECT_EQ(cold.spills_, 1);  // 1200 -> 700: one spill suffices
+  EXPECT_EQ(hot.spills_, 0);
+}
+
+TEST(MemoryGovernorTest, StopsWhenNothingSpillableRemains) {
+  MemoryGovernor governor(100, true);
+  FakeClient a(&governor, 500, 10);
+  a.shed_bytes_ = 0;  // spill releases nothing (e.g. writes keep failing)
+  governor.Enforce(&a);
+  // Exactly one attempt; a zero-byte spill marks the client unspillable
+  // instead of looping forever.
+  EXPECT_EQ(a.spills_, 1);
+  governor.Enforce(&a);
+  EXPECT_EQ(a.spills_, 1);
+}
+
+TEST(MemoryGovernorTest, BackpressureOnlyWhenSpillDisabledAndOverBudget) {
+  MemoryGovernor spilling(100, true);
+  FakeClient a(&spilling, 500, 10);
+  EXPECT_FALSE(spilling.ShouldBackpressure());  // spilling handles it
+
+  MemoryGovernor unlimited(0, false);
+  FakeClient b(&unlimited, 500, 10);
+  EXPECT_FALSE(unlimited.ShouldBackpressure());  // no budget set
+
+  MemoryGovernor capped(100, false);
+  FakeClient c(&capped, 50, 10);
+  EXPECT_FALSE(capped.ShouldBackpressure());  // under budget
+  c.Set(500, 10);
+  EXPECT_TRUE(capped.ShouldBackpressure());
+  c.Set(80, 10);
+  EXPECT_FALSE(capped.ShouldBackpressure());  // recovered
+
+  // Enforce with spilling disabled never invokes SpillOnce.
+  c.Set(500, 10);
+  capped.Enforce(&c);
+  EXPECT_EQ(c.spills_, 0);
+}
+
+}  // namespace
+}  // namespace astream::storage

@@ -1,0 +1,262 @@
+// Run-file format: round trips, multi-block layout, atomic temp-file
+// rename, and — the property recovery depends on — wholesale rejection of
+// torn or corrupted files by footer/CRC validation.
+
+#include "storage/run_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "fault/injector.h"
+
+namespace astream::storage {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RunFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("astream_run_file_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name());
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+std::vector<uint8_t> Payload(int i, size_t size) {
+  std::vector<uint8_t> p(size);
+  for (size_t j = 0; j < size; ++j) {
+    p[j] = static_cast<uint8_t>((i * 131 + j) & 0xFF);
+  }
+  return p;
+}
+
+TEST_F(RunFileTest, RoundTripWithMeta) {
+  const std::string path = Path("basic.run");
+  RunWriter writer(path);
+  for (int i = 0; i < 100; ++i) {
+    const auto payload = Payload(i, 16 + i % 7);
+    ASSERT_TRUE(writer.Append(i * 3, payload.data(), payload.size()).ok());
+  }
+  writer.SetMeta({0xAB, 0xCD, 0xEF});
+  auto info = writer.Finish();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->num_entries, 100u);
+  EXPECT_EQ(info->min_key, 0);
+  EXPECT_EQ(info->max_key, 297);
+  EXPECT_EQ(info->path, path);
+  EXPECT_GT(info->file_bytes, 0u);
+
+  auto reader = RunReader::Open(path);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ((*reader)->num_entries(), 100u);
+  EXPECT_EQ((*reader)->meta(), (std::vector<uint8_t>{0xAB, 0xCD, 0xEF}));
+  int64_t key = 0;
+  std::vector<uint8_t> payload;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE((*reader)->Next(&key, &payload));
+    EXPECT_EQ(key, i * 3);
+    EXPECT_EQ(payload, Payload(i, 16 + i % 7));
+  }
+  EXPECT_FALSE((*reader)->Next(&key, &payload));
+  EXPECT_TRUE((*reader)->status().ok());
+}
+
+TEST_F(RunFileTest, MultiBlockKeepsOrderAcrossBlockBoundaries) {
+  const std::string path = Path("blocks.run");
+  RunWriter::Options options;
+  options.block_bytes = 256;  // force many blocks
+  RunWriter writer(path, options);
+  const int n = 500;
+  for (int i = 0; i < n; ++i) {
+    const auto payload = Payload(i, 40);
+    ASSERT_TRUE(writer.Append(i, payload.data(), payload.size()).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  auto reader = RunReader::Open(path);
+  ASSERT_TRUE(reader.ok());
+  int64_t key = 0;
+  std::vector<uint8_t> payload;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE((*reader)->Next(&key, &payload)) << "entry " << i;
+    EXPECT_EQ(key, i);
+    EXPECT_EQ(payload, Payload(i, 40));
+  }
+  EXPECT_FALSE((*reader)->Next(&key, &payload));
+}
+
+TEST_F(RunFileTest, FinishRenamesAtomicallyAndAbortCleansUp) {
+  const std::string path = Path("atomic.run");
+  {
+    RunWriter writer(path);
+    const auto payload = Payload(0, 8);
+    ASSERT_TRUE(writer.Append(1, payload.data(), payload.size()).ok());
+    // Before Finish only the temp file exists.
+    EXPECT_FALSE(fs::exists(path));
+    ASSERT_TRUE(writer.Finish().ok());
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_FALSE(fs::exists(path + ".tmp"));
+  }
+  const std::string aborted = Path("aborted.run");
+  {
+    RunWriter writer(aborted);
+    const auto payload = Payload(0, 8);
+    ASSERT_TRUE(writer.Append(1, payload.data(), payload.size()).ok());
+    writer.Abort();
+  }
+  EXPECT_FALSE(fs::exists(aborted));
+  EXPECT_FALSE(fs::exists(aborted + ".tmp"));
+}
+
+TEST_F(RunFileTest, TornTailRejected) {
+  const std::string path = Path("torn.run");
+  RunWriter writer(path);
+  for (int i = 0; i < 50; ++i) {
+    const auto payload = Payload(i, 64);
+    ASSERT_TRUE(writer.Append(i, payload.data(), payload.size()).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  // Truncate mid-footer: the file a crash between write and rename would
+  // leave behind. Every truncation point must be rejected at Open.
+  const auto full = fs::file_size(path);
+  for (const uint64_t keep : {full - 1, full - 12, full - 25, full / 2,
+                              static_cast<uint64_t>(10)}) {
+    fs::resize_file(path, keep);
+    auto reader = RunReader::Open(path);
+    EXPECT_FALSE(reader.ok()) << "truncated to " << keep << " bytes";
+    // Restore for the next iteration.
+    fs::remove(path);
+    RunWriter rewrite(path);
+    for (int i = 0; i < 50; ++i) {
+      const auto payload = Payload(i, 64);
+      ASSERT_TRUE(rewrite.Append(i, payload.data(), payload.size()).ok());
+    }
+    ASSERT_TRUE(rewrite.Finish().ok());
+  }
+}
+
+TEST_F(RunFileTest, CrcCatchesBitFlips) {
+  const std::string path = Path("corrupt.run");
+  RunWriter writer(path);
+  for (int i = 0; i < 50; ++i) {
+    const auto payload = Payload(i, 64);
+    ASSERT_TRUE(writer.Append(i, payload.data(), payload.size()).ok());
+  }
+  ASSERT_TRUE(writer.Finish().ok());
+
+  // Flip one payload byte in the middle of the file.
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fseek(f, static_cast<long>(fs::file_size(path) / 2),
+                       SEEK_SET),
+            0);
+  const uint8_t flip = 0xFF;
+  ASSERT_EQ(std::fwrite(&flip, 1, 1, f), 1u);
+  std::fclose(f);
+
+  auto verified = RunReader::Open(path, /*verify_crc=*/true);
+  EXPECT_FALSE(verified.ok());
+}
+
+TEST_F(RunFileTest, GarbageFileRejected) {
+  const std::string path = Path("garbage.run");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string junk(4096, 'x');
+  ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+  std::fclose(f);
+  EXPECT_FALSE(RunReader::Open(path).ok());
+
+  // Empty file too.
+  const std::string empty = Path("empty.run");
+  f = std::fopen(empty.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fclose(f);
+  EXPECT_FALSE(RunReader::Open(empty).ok());
+}
+
+TEST_F(RunFileTest, InjectedWriteFailureSurfacesAsStatus) {
+  fault::FaultInjector injector(7);
+  fault::FaultInjector::Rule rule;
+  rule.point = fault::FaultPoint::kStorageWrite;
+  rule.action = fault::FaultAction::kFail;
+  rule.max_fires = 0;  // every write fails
+  injector.AddRule(rule);
+  fault::ScopedFaultInjection scoped(&injector);
+
+  const std::string path = Path("faulted.run");
+  RunWriter writer(path);
+  const auto payload = Payload(0, 32);
+  Status st = writer.Append(1, payload.data(), payload.size());
+  if (st.ok()) st = writer.Finish().status();
+  EXPECT_FALSE(st.ok());
+  EXPECT_FALSE(fs::exists(path));  // never renamed into place
+  EXPECT_GE(injector.fires(fault::FaultPoint::kStorageWrite), 1);
+}
+
+TEST_F(RunFileTest, InjectedCrashLeavesTornTempThatOpenRejects) {
+  const std::string path = Path("crashed.run");
+  fault::FaultInjector injector(11);
+  fault::FaultInjector::Rule rule;
+  rule.point = fault::FaultPoint::kStorageWrite;
+  rule.action = fault::FaultAction::kThrow;
+  rule.after_hits = 2;
+  injector.AddRule(rule);
+  const std::string torn = Path("torn-copy.run");
+  bool have_torn = false;
+  {
+    fault::ScopedFaultInjection scoped(&injector);
+    RunWriter::Options options;
+    options.block_bytes = 128;  // many flushes -> many fault hits
+    RunWriter writer(path, options);
+    bool threw = false;
+    try {
+      for (int i = 0; i < 200; ++i) {
+        const auto payload = Payload(i, 64);
+        if (!writer.Append(i, payload.data(), payload.size()).ok()) break;
+      }
+      (void)writer.Finish();
+    } catch (const fault::InjectedFault&) {
+      threw = true;
+    }
+    EXPECT_TRUE(threw);
+    // Snapshot the torn temp file as a killed process would leave it,
+    // before the writer's destructor cleans it up.
+    if (fs::exists(path + ".tmp")) {
+      fs::copy_file(path + ".tmp", torn);
+      have_torn = true;
+    }
+  }
+  EXPECT_FALSE(fs::exists(path));
+  // The partial bytes of a mid-write crash must never validate.
+  if (have_torn) {
+    EXPECT_FALSE(RunReader::Open(torn).ok());
+  }
+}
+
+TEST_F(RunFileTest, Crc32MatchesKnownVector) {
+  // "123456789" -> 0xCBF43926 (IEEE CRC-32 check value).
+  const char* data = "123456789";
+  EXPECT_EQ(Crc32(0, data, 9), 0xCBF43926u);
+}
+
+}  // namespace
+}  // namespace astream::storage
