@@ -1,6 +1,6 @@
-// An ad-hoc query console: drive a live shared AStream job with text
-// commands while synthetic data streams through it — the "hundreds of
-// analysts firing ad-hoc queries at a live stream" experience of the
+// An ad-hoc query console: drive a live sharded AStream deployment with
+// text commands while synthetic data streams through it — the "hundreds
+// of analysts firing ad-hoc queries at a live stream" experience of the
 // paper's introduction, in miniature.
 //
 //   ./build/examples/adhoc_console                # scripted demo
@@ -12,6 +12,8 @@
 //   del <query_id>                                        cancel a query
 //   stats                                                 QoS snapshot
 //   run <ms>                                              stream data
+//   split <shard>                                         live scale-out
+//   move <shard>                                          live migration
 //   quit
 
 #include <cstdio>
@@ -22,14 +24,17 @@
 #include <vector>
 
 #include "common/rng.h"
-#include "core/astream.h"
 #include "core/query_builder.h"
+#include "shard/client.h"
 
 namespace {
 
-using astream::Result;
+using astream::Client;
+using astream::JobConfig;
 using astream::ManualClock;
+using astream::Result;
 using astream::Rng;
+using astream::StreamId;
 using astream::core::AStreamJob;
 using astream::core::CmpOp;
 using astream::core::Predicate;
@@ -51,20 +56,23 @@ bool ParseOp(const std::string& s, CmpOp* op) {
 class Console {
  public:
   Console() {
-    AStreamJob::Options options;
-    options.topology = AStreamJob::TopologyKind::kAggregation;
-    options.parallelism = 2;
-    options.clock = &clock_;
-    options.session.batch_size = 1;
-    job_ = std::move(AStreamJob::Create(options)).value();
-    job_->Start().ok();
-    job_->SetResultCallback([this](QueryId q, const astream::spe::Record& r) {
-      if (echo_results_ && printed_ < 8) {
-        std::printf("    -> [Q%lld @%lld] %s\n", (long long)q,
-                    (long long)r.event_time, r.row.ToString().c_str());
-        ++printed_;
-      }
-    });
+    JobConfig config;
+    config.job.topology = AStreamJob::TopologyKind::kAggregation;
+    config.job.parallelism = 2;
+    config.job.clock = &clock_;
+    config.job.session.batch_size = 1;
+    config.shards = 2;
+    config.slots = 8;
+    client_ = std::move(Client::Create(std::move(config))).value();
+    client_->Start().ok();
+    client_->SetResultCallback(
+        [this](QueryId q, const astream::spe::Record& r) {
+          if (echo_results_ && printed_ < 8) {
+            std::printf("    -> [Q%lld @%lld] %s\n", (long long)q,
+                        (long long)r.event_time, r.row.ToString().c_str());
+            ++printed_;
+          }
+        });
   }
 
   void Execute(const std::string& line) {
@@ -107,8 +115,8 @@ class Console {
     } else if (cmd == "del") {
       long long id = 0;
       in >> id;
-      const auto s = job_->Cancel(id);
-      job_->Pump(true);
+      const auto s = client_->Cancel(id);
+      client_->Pump(true);
       std::printf("  %s\n", s.ok() ? "cancelled" : s.ToString().c_str());
     } else if (cmd == "stats") {
       PrintStats();
@@ -116,6 +124,29 @@ class Console {
       long ms = 0;
       in >> ms;
       Stream(ms);
+    } else if (cmd == "split") {
+      int shard = 0;
+      in >> shard;
+      const auto s = client_->SplitShard(shard);
+      if (s.ok()) {
+        std::printf("  split shard %d: now %d shards (%lldms pause), "
+                    "every query kept its state\n",
+                    shard, client_->num_shards(),
+                    (long long)client_->last_reshard_pause_ms());
+      } else {
+        std::printf("  split failed: %s\n", s.ToString().c_str());
+      }
+    } else if (cmd == "move") {
+      int shard = 0;
+      in >> shard;
+      const auto s = client_->MoveShard(shard);
+      if (s.ok()) {
+        std::printf("  rebuilt shard %d from its drained checkpoint "
+                    "(%lldms pause)\n",
+                    shard, (long long)client_->last_reshard_pause_ms());
+      } else {
+        std::printf("  move failed: %s\n", s.ToString().c_str());
+      }
     } else if (cmd == "quit") {
       quit_ = true;
     } else if (!cmd.empty()) {
@@ -124,7 +155,7 @@ class Console {
   }
 
   void Finish() {
-    job_->FinishAndWait();
+    client_->FinishAndWait();
     PrintStats();
   }
 
@@ -149,14 +180,14 @@ class Console {
       std::printf("  rejected: %s\n", built.status().ToString().c_str());
       return;
     }
-    auto id = job_->Submit(*built);
+    auto id = client_->Submit(*built);
     if (!id.ok()) {
       std::printf("  rejected: %s\n", id.status().ToString().c_str());
       return;
     }
-    job_->Pump(true);
-    std::printf("  live as Q%lld (%s)\n", (long long)*id,
-                built->ToString().c_str());
+    client_->Pump(true);
+    std::printf("  live as Q%lld on %d shards (%s)\n", (long long)*id,
+                client_->num_shards(), built->ToString().c_str());
   }
 
   void Stream(long ms) {
@@ -166,10 +197,10 @@ class Console {
     while (now_ < until) {
       now_ += 2;
       clock_.SetMs(now_);
-      job_->PushA(now_, Row{rng_.UniformInt(0, 9),
-                            rng_.UniformInt(0, 99),
-                            rng_.UniformInt(0, 99)});
-      if (now_ % 100 == 0) job_->PushWatermark(now_);
+      client_->Push(StreamId::kA, now_,
+                    Row{rng_.UniformInt(0, 9), rng_.UniformInt(0, 99),
+                        rng_.UniformInt(0, 99)});
+      if (now_ % 100 == 0) client_->PushWatermark(now_);
     }
     echo_results_ = false;
     std::printf("  streamed %ldms of data (t=%lld), sample results above\n",
@@ -177,11 +208,12 @@ class Console {
   }
 
   void PrintStats() {
-    const auto snap = job_->qos().TakeSnapshot();
+    const auto snap = client_->QosSnapshot();
     std::printf(
-        "  outputs=%lld  event-latency mean=%.0fms  deploys=%lld "
-        "(mean %.0fms)\n",
-        (long long)snap.total_outputs, snap.event_time_latency.mean(),
+        "  shards=%d  outputs=%lld  event-latency mean=%.0fms  "
+        "deploys=%lld (mean %.0fms)\n",
+        client_->num_shards(), (long long)snap.total_outputs,
+        snap.event_time_latency.mean(),
         (long long)snap.deployment_latency.count(),
         snap.deployment_latency.mean());
     for (const auto& [q, n] : snap.outputs_per_query) {
@@ -190,7 +222,7 @@ class Console {
   }
 
   ManualClock clock_;
-  std::unique_ptr<AStreamJob> job_;
+  std::unique_ptr<Client> client_;
   Rng rng_{2025};
   astream::TimestampMs now_ = 0;
   bool quit_ = false;
@@ -211,7 +243,7 @@ int main(int argc, char** argv) {
       console.Execute(line);
     }
   } else {
-    // Scripted demo of the ad-hoc lifecycle.
+    // Scripted demo of the ad-hoc lifecycle, including a live scale-out.
     for (const char* line : {
              "agg 500",
              "run 1200",
@@ -219,6 +251,8 @@ int main(int argc, char** argv) {
              "agg 300 col 2 where 1 >= 50",
              "run 1500",
              "stats",
+             "split 0",
+             "run 800",
              "del 2",
              "run 800",
              "stats",

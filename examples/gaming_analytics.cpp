@@ -1,12 +1,14 @@
 // The paper's motivating scenario (Sec. 1.1, Fig. 1): an online-gaming
 // company with an advertisement stream A and a purchases stream P. Three
-// teams run ad-hoc queries over the SAME shared job:
+// teams run ad-hoc queries over the SAME shared deployment:
 //
 //   Q1 (marketing, short-living):   sigma_{A.geo = DE}(A)   JOIN  sigma_{P.price > 50}(P)
 //   Q2 (psychology, long-living):   sigma_{A.length > 60}(A) JOIN sigma_{P.age < 18}(P)
 //   Q3 (system, session-based):     sigma_{A.price > 10}(A)  JOIN sigma_{P.level = Pro}(P)
 //
-// Streams share one topology; queries come and go without redeployment.
+// Streams share one topology; queries come and go without redeployment —
+// and when the evening traffic spike arrives, the deployment scales OUT
+// live: one shard is split in place while every query keeps running.
 //
 // Row schemas (column 0 is always the join key = user id):
 //   Ads A:       [user, geo, length, price]
@@ -15,11 +17,14 @@
 #include <cstdio>
 
 #include "common/rng.h"
-#include "core/astream.h"
 #include "core/query_builder.h"
+#include "shard/client.h"
 
+using astream::Client;
+using astream::JobConfigBuilder;
 using astream::ManualClock;
 using astream::Rng;
+using astream::StreamId;
 using astream::core::AStreamJob;
 using astream::core::CmpOp;
 using astream::core::QueryBuilder;
@@ -35,30 +40,31 @@ constexpr int kLevelPro = 2; // levels: 0 = rookie, 1 = regular, 2 = pro
 
 int main() {
   ManualClock clock;
-  AStreamJob::Options options;
-  options.topology = AStreamJob::TopologyKind::kJoin;
-  options.parallelism = 2;
-  options.clock = &clock;
-
-  auto job = std::move(AStreamJob::Create(options)).value();
-  if (auto s = job->Start(); !s.ok()) {
+  auto config = JobConfigBuilder(AStreamJob::TopologyKind::kJoin)
+                    .Parallelism(2)
+                    .Clock(&clock)
+                    .Shards(2)
+                    .Slots(8)
+                    .Build();
+  auto client = std::move(Client::Create(*config)).value();
+  if (auto s = client->Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
   }
 
   int64_t results_by_query[4] = {0, 0, 0, 0};
-  job->SetResultCallback([&](QueryId q, const astream::spe::Record& r) {
+  client->SetResultCallback([&](QueryId q, const astream::spe::Record& r) {
     if (q >= 1 && q <= 3) ++results_by_query[q];
     (void)r;
   });
 
   // Q2 is pre-scheduled (long-living, starts with the day).
-  const QueryId q2 = *job->Submit(*QueryBuilder::Join()
-                                       .WhereA(2, CmpOp::kGt, 60)   // A.length > 60
-                                       .WhereB(2, CmpOp::kLt, 18)   // P.age < 18
-                                       .TumblingWindow(2000)
-                                       .Build());
-  job->Pump(true);
+  const QueryId q2 = *client->Submit(*QueryBuilder::Join()
+                                          .WhereA(2, CmpOp::kGt, 60)  // A.length > 60
+                                          .WhereB(2, CmpOp::kLt, 18)  // P.age < 18
+                                          .TumblingWindow(2000)
+                                          .Build());
+  client->Pump(true);
   std::printf("t=0s    psychology team starts Q2 (long-living)\n");
 
   Rng rng(2024);
@@ -68,14 +74,16 @@ int main() {
       const int64_t user = rng.UniformInt(0, 49);
       if (rng.Bernoulli(0.5)) {
         // Ad impression: [user, geo, length, price]
-        job->PushA(t, Row{user, rng.UniformInt(0, 2),
-                          rng.UniformInt(10, 120), rng.UniformInt(1, 30)});
+        client->Push(StreamId::kA, t,
+                     Row{user, rng.UniformInt(0, 2), rng.UniformInt(10, 120),
+                         rng.UniformInt(1, 30)});
       } else {
         // Purchase: [user, price, age, level]
-        job->PushB(t, Row{user, rng.UniformInt(1, 120),
-                          rng.UniformInt(12, 60), rng.UniformInt(0, 2)});
+        client->Push(StreamId::kB, t,
+                     Row{user, rng.UniformInt(1, 120),
+                         rng.UniformInt(12, 60), rng.UniformInt(0, 2)});
       }
-      if (t % 500 == 0) job->PushWatermark(t);
+      if (t % 500 == 0) client->PushWatermark(t);
     }
   };
 
@@ -83,45 +91,60 @@ int main() {
 
   // The marketing team fires up Q1 ad hoc.
   clock.SetMs(4000);
-  const QueryId q1 = *job->Submit(*QueryBuilder::Join()
-                                       .WhereA(1, CmpOp::kEq, kGeoDE)  // A.geo == DE
-                                       .WhereB(1, CmpOp::kGt, 50)      // P.price > 50
-                                       .SlidingWindow(3000, 1000)
-                                       .Build());
-  job->Pump(true);
+  const QueryId q1 = *client->Submit(*QueryBuilder::Join()
+                                          .WhereA(1, CmpOp::kEq, kGeoDE)  // A.geo == DE
+                                          .WhereB(1, CmpOp::kGt, 50)      // P.price > 50
+                                          .SlidingWindow(3000, 1000)
+                                          .Build());
+  client->Pump(true);
   std::printf("t=4s    marketing team starts Q1 (ad-hoc)\n");
 
   push_traffic(4001, 8000);
 
   // The system spawns Q3 for a pro-player session.
   clock.SetMs(8000);
-  const QueryId q3 = *job->Submit(*QueryBuilder::Join()
-                                       .WhereA(3, CmpOp::kGt, 10)         // A.price > 10
-                                       .WhereB(3, CmpOp::kEq, kLevelPro)  // P.level == Pro
-                                       .TumblingWindow(1500)
-                                       .Build());
-  job->Pump(true);
+  const QueryId q3 = *client->Submit(*QueryBuilder::Join()
+                                          .WhereA(3, CmpOp::kGt, 10)         // A.price > 10
+                                          .WhereB(3, CmpOp::kEq, kLevelPro)  // P.level == Pro
+                                          .TumblingWindow(1500)
+                                          .Build());
+  client->Pump(true);
   std::printf("t=8s    session trigger starts Q3 (system, ad-hoc)\n");
 
-  push_traffic(8001, 12000);
+  push_traffic(8001, 10000);
+
+  // The evening spike: scale out live. Shard 0 drains to a checkpoint and
+  // its key range splits onto a brand-new shard — every query keeps its
+  // state, not a single result is lost or duplicated.
+  if (auto s = client->SplitShard(0); s.ok()) {
+    std::printf(
+        "t=10s   traffic spike — split shard 0: now %d shards "
+        "(%lldms pause)\n",
+        client->num_shards(),
+        static_cast<long long>(client->last_reshard_pause_ms()));
+  } else {
+    std::printf("t=10s   split failed: %s\n", s.ToString().c_str());
+  }
+
+  push_traffic(10001, 12000);
 
   // Marketing got what it needed: Q1 is shut down; everything else
   // continues without interruption.
   clock.SetMs(12000);
-  job->Cancel(q1).ok();
-  job->Pump(true);
+  client->Cancel(q1).ok();
+  client->Pump(true);
   std::printf("t=12s   marketing stops Q1; Q2/Q3 keep running\n");
 
   push_traffic(12001, 16000);
 
   // The pro session ends: Q3 is deleted by the system.
   clock.SetMs(16000);
-  job->Cancel(q3).ok();
-  job->Pump(true);
+  client->Cancel(q3).ok();
+  client->Pump(true);
   std::printf("t=16s   session ends, Q3 removed\n");
 
   push_traffic(16001, 20000);
-  job->FinishAndWait();
+  client->FinishAndWait();
 
   std::printf("\nresults per query (joined ad/purchase pairs):\n");
   std::printf("  Q1 (marketing, active 4s-12s):  %lld\n",
@@ -131,7 +154,7 @@ int main() {
   std::printf("  Q3 (pro session, active 8s-16s): %lld\n",
               static_cast<long long>(results_by_query[q3]));
 
-  const auto stats = job->CollectStats();
+  const auto stats = client->CollectStats();
   std::printf("\nsharing at work: %lld slice pairs joined once, "
               "%lld reuses across queries/windows\n",
               static_cast<long long>(stats.join_pairs_computed),

@@ -1,35 +1,43 @@
-// QoS monitoring (Sec. 3.4): a multi-tenant deployment where an operator
-// watches event-time latency, deployment latency, and per-query output
-// rates while tenants churn ad-hoc aggregation queries. Demonstrates the
-// driver/SUT harness in library form, the checkpoint API, and the
-// per-query observability layer (metrics registry + trace export).
+// QoS monitoring (Sec. 3.4): a multi-tenant sharded deployment where an
+// operator watches event-time latency, deployment latency, and per-query
+// output rates while tenants churn ad-hoc aggregation queries.
+// Demonstrates the unified client over two shards, deployment-wide merged
+// metrics, the checkpoint API, and the per-query observability layer
+// (metrics registry + trace export).
 
 #include <algorithm>
 #include <cstdio>
 #include <vector>
 
 #include "common/rng.h"
-#include "core/astream.h"
 #include "obs/export.h"
+#include "shard/client.h"
 #include "workload/query_generator.h"
 
+using astream::Client;
+using astream::JobConfigBuilder;
 using astream::ManualClock;
 using astream::Rng;
+using astream::StreamId;
 using astream::core::AStreamJob;
 using astream::core::QueryId;
 using astream::spe::Row;
 
 int main() {
   ManualClock clock;
-  AStreamJob::Options options;
-  options.topology = AStreamJob::TopologyKind::kAggregation;
-  options.parallelism = 2;
-  options.clock = &clock;
-  options.session.batch_size = 8;
-  options.session.max_timeout_ms = 500;
-
-  auto job = std::move(AStreamJob::Create(options)).value();
-  if (auto s = job->Start(); !s.ok()) {
+  auto config = JobConfigBuilder(AStreamJob::TopologyKind::kAggregation)
+                    .Parallelism(2)
+                    .Clock(&clock)
+                    .SessionBatch(8, 500)
+                    .Shards(2)
+                    .Build();
+  if (!config.ok()) {
+    std::fprintf(stderr, "config rejected: %s\n",
+                 config.status().ToString().c_str());
+    return 1;
+  }
+  auto client = std::move(Client::Create(*config)).value();
+  if (auto s = client->Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
   }
@@ -44,37 +52,43 @@ int main() {
   Rng rng(99);
   std::vector<QueryId> tenants;
   int64_t checkpoints_taken = 0;
+  int64_t checkpoints_completed = 0;
 
   for (int t = 0; t < 20'000; t += 5) {
     clock.SetMs(t);
-    // Tenant churn: occasionally add or remove a query.
+    // Tenant churn: occasionally add or remove a query. The generator
+    // draws a query the configured topology can host; the submit fans
+    // out to every shard under one id.
     if (t % 1000 == 0 && tenants.size() < 12) {
-      auto id = job->Submit(qgen.Aggregation());
+      auto id = client->Submit(qgen.RandomFor(*config));
       if (id.ok()) tenants.push_back(*id);
     }
     if (t % 3500 == 0 && tenants.size() > 2) {
-      job->Cancel(tenants.front()).ok();
+      client->Cancel(tenants.front()).ok();
       tenants.erase(tenants.begin());
     }
-    job->Pump();
+    client->Pump();
 
-    // Data plane.
-    job->PushA(t, Row{rng.UniformInt(0, 19), rng.UniformInt(0, 999)});
-    if (t % 250 == 0) job->PushWatermark(t);
+    // Data plane: rows route to their key's owning shard.
+    client->Push(StreamId::kA, t,
+                 Row{rng.UniformInt(0, 19), rng.UniformInt(0, 999)});
+    if (t % 250 == 0) client->PushWatermark(t);
 
-    // Periodic checkpoint (exactly-once state snapshots, Sec. 3.3).
+    // Periodic checkpoint (exactly-once state snapshots, Sec. 3.3),
+    // coordinated across every shard.
     if (t > 0 && t % 5000 == 0) {
-      job->TriggerCheckpoint();
       ++checkpoints_taken;
+      if (client->Checkpoint().ok()) ++checkpoints_completed;
     }
 
     // The QoS dashboard: print a line every simulated 4 seconds. The
-    // percentiles come from the lock-free per-query histograms.
+    // percentiles come from the lock-free per-query histograms, merged
+    // across shards.
     if (t > 0 && t % 4000 == 0) {
-      const auto snap = job->qos().TakeSnapshot();
-      const auto metrics = job->MetricsSnapshot();
-      // Job-wide p95/p99 from the busiest tenant's histogram (per-query
-      // percentiles don't merge exactly; show the worst query instead).
+      const auto snap = client->QosSnapshot();
+      const auto metrics = client->MetricsSnapshot();
+      // Deployment-wide p95/p99 from the busiest tenant's histogram
+      // (per-query percentiles don't merge exactly; show the worst query).
       double p95 = 0, p99 = 0;
       int64_t worst = -1;
       for (const auto& [id, series] : metrics.queries) {
@@ -96,10 +110,10 @@ int main() {
     }
   }
 
-  job->FinishAndWait();
+  client->FinishAndWait();
 
-  const auto snap = job->qos().TakeSnapshot();
-  std::printf("\nfinal report\n");
+  const auto snap = client->QosSnapshot();
+  std::printf("\nfinal report (%d shards)\n", client->num_shards());
   std::printf("  outputs total:          %lld\n",
               static_cast<long long>(snap.total_outputs));
   std::printf("  event-time latency:     mean %.0fms, max %lldms\n",
@@ -109,10 +123,7 @@ int main() {
               snap.deployment_latency.mean(),
               static_cast<long long>(snap.deployment_latency.count()));
   std::printf("  checkpoints completed:  %lld of %lld\n",
-              static_cast<long long>(
-                  job->checkpoints().LatestComplete() != nullptr
-                      ? job->checkpoints().LatestComplete()->id
-                      : 0),
+              static_cast<long long>(checkpoints_completed),
               static_cast<long long>(checkpoints_taken));
   std::printf("  busiest tenants:\n");
   std::vector<std::pair<int64_t, QueryId>> by_count;
@@ -126,17 +137,22 @@ int main() {
                 static_cast<long long>(by_count[i].first));
   }
 
-  // The full metrics registry, the way a bench or scraper would read it.
-  std::printf("\nmetrics registry\n%s",
-              astream::obs::ExportText(job->MetricsSnapshot()).c_str());
+  // The merged metrics registry, the way a bench or scraper would read
+  // it — counters/gauges/series summed across shards, histograms merged
+  // bucket-wise.
+  std::printf("\nmetrics registry (merged across shards)\n%s",
+              astream::obs::ExportText(client->MetricsSnapshot()).c_str());
 
   // Query lifecycle trace (submit -> changelog flush -> deploy ack ->
-  // first result -> cancel), one JSON object per line.
+  // first result -> cancel), one JSON object per line. Each shard keeps
+  // its own trace; shard 0's timeline speaks for the deployment (the
+  // fan-out drives every shard through the same lifecycle).
+  auto* job0 = client->router()->shard(0)->job();
   const std::string trace_path = "/tmp/astream_monitoring_trace.jsonl";
-  if (job->trace().DumpTo(trace_path).ok()) {
+  if (job0->trace().DumpTo(trace_path).ok()) {
     std::printf("\ntrace: %zu lifecycle events written to %s\n",
-                job->trace().size(), trace_path.c_str());
-    const auto events = job->trace().Events();
+                job0->trace().size(), trace_path.c_str());
+    const auto events = job0->trace().Events();
     for (size_t i = 0; i < events.size() && i < 5; ++i) {
       const auto& e = events[i];
       std::printf("  {\"ts_us\":%lld,\"event\":\"%s\",\"query\":%lld,"

@@ -1,5 +1,5 @@
-// Quickstart: one shared AStream job, two ad-hoc queries created at
-// runtime, results printed per query.
+// Quickstart: one shared AStream deployment behind the unified client,
+// two ad-hoc queries created at runtime, results printed per query.
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
@@ -7,9 +7,12 @@
 
 #include <cstdio>
 
-#include "core/astream.h"
 #include "core/query_builder.h"
+#include "shard/client.h"
 
+using astream::Client;
+using astream::JobConfigBuilder;
+using astream::StreamId;
 using astream::core::AStreamJob;
 using astream::core::CmpOp;
 using astream::core::QueryBuilder;
@@ -19,27 +22,35 @@ using astream::spe::Row;
 
 int main() {
   // A deterministic clock keeps this example reproducible; real
-  // deployments simply omit `options.clock` to use the wall clock.
+  // deployments simply omit `.Clock(...)` to use the wall clock.
   astream::ManualClock clock;
 
-  AStreamJob::Options options;
-  options.topology = AStreamJob::TopologyKind::kAggregation;
-  options.parallelism = 2;
-  options.clock = &clock;
-
-  auto job_or = AStreamJob::Create(options);
-  if (!job_or.ok()) {
-    std::fprintf(stderr, "create failed: %s\n",
-                 job_or.status().ToString().c_str());
+  // The config validates eagerly: a bad knob fails here, never mid-run.
+  // Two shards scale the push path; with Shards(1) the client behaves
+  // exactly like a lone AStreamJob.
+  auto config = JobConfigBuilder(AStreamJob::TopologyKind::kAggregation)
+                    .Parallelism(2)
+                    .Clock(&clock)
+                    .Shards(2)
+                    .Build();
+  if (!config.ok()) {
+    std::fprintf(stderr, "config rejected: %s\n",
+                 config.status().ToString().c_str());
     return 1;
   }
-  auto job = std::move(job_or).value();
-  if (auto s = job->Start(); !s.ok()) {
+  auto client_or = Client::Create(*config);
+  if (!client_or.ok()) {
+    std::fprintf(stderr, "create failed: %s\n",
+                 client_or.status().ToString().c_str());
+    return 1;
+  }
+  auto client = std::move(client_or).value();
+  if (auto s = client->Start(); !s.ok()) {
     std::fprintf(stderr, "start failed: %s\n", s.ToString().c_str());
     return 1;
   }
 
-  job->SetResultCallback([](QueryId query, const astream::spe::Record& r) {
+  client->SetResultCallback([](QueryId query, const astream::spe::Record& r) {
     std::printf("  [Q%lld @t=%lld] %s\n",
                 static_cast<long long>(query),
                 static_cast<long long>(r.event_time),
@@ -47,45 +58,51 @@ int main() {
   });
 
   // --- Ad-hoc query #1: a selection. "Give me every event whose first
-  // field is below 50" — think of it as a live debugging tap.
-  const QueryId q_tap = *job->Submit(
+  // field is below 50" — think of it as a live debugging tap. The submit
+  // fans out to every shard under one query id.
+  const QueryId q_tap = *client->Submit(
       *QueryBuilder::Selection().WhereA(1, CmpOp::kLt, 50).Build());
 
   // --- Ad-hoc query #2: a windowed aggregation. "Per key, the sum of
   // field 1 over 1-second tumbling windows."
-  const QueryId q_sums = *job->Submit(*QueryBuilder::Aggregation()
-                                           .TumblingWindow(1000)
-                                           .Agg(AggKind::kSum, 1)
-                                           .Build());
+  const QueryId q_sums = *client->Submit(*QueryBuilder::Aggregation()
+                                              .TumblingWindow(1000)
+                                              .Agg(AggKind::kSum, 1)
+                                              .Build());
 
-  job->Pump(/*force=*/true);  // flush the session batch -> both go live
-  std::printf("submitted tap=Q%lld and sums=Q%lld\n\n",
+  client->Pump(/*force=*/true);  // flush the session batch -> both go live
+  std::printf("submitted tap=Q%lld and sums=Q%lld on %d shards\n\n",
               static_cast<long long>(q_tap),
-              static_cast<long long>(q_sums));
+              static_cast<long long>(q_sums), client->num_shards());
 
-  // --- Stream some data. Event times are milliseconds.
+  // --- Stream some data. Event times are milliseconds. Rows route to
+  // their key's owning shard; watermarks broadcast.
   std::printf("results as they stream:\n");
   for (int t = 10; t < 2500; t += 10) {
     clock.SetMs(t);
-    job->PushA(t, Row{/*key=*/t % 3, /*field1=*/t % 97});
-    if (t % 250 == 0) job->PushWatermark(t);
+    client->Push(StreamId::kA, t, Row{/*key=*/t % 3, /*field1=*/t % 97});
+    if (t % 250 == 0) client->PushWatermark(t);
   }
 
   // The tap can be removed at any time — no redeployment, the sums query
   // keeps running undisturbed.
   clock.SetMs(2500);
-  job->Cancel(q_tap).ok();
-  job->Pump(true);
+  client->Cancel(q_tap).ok();
+  client->Pump(true);
   std::printf("\ncancelled the tap; streaming more data...\n");
   for (int t = 2510; t < 3200; t += 10) {
     clock.SetMs(t);
-    job->PushA(t, Row{t % 3, t % 97});
-    if (t % 250 == 0) job->PushWatermark(t);
+    client->Push(StreamId::kA, t, Row{t % 3, t % 97});
+    if (t % 250 == 0) client->PushWatermark(t);
   }
 
-  job->FinishAndWait();
+  client->FinishAndWait();
+  const auto qos = client->QosSnapshot();
+  auto outputs_of = [&qos](QueryId q) -> long long {
+    auto it = qos.outputs_per_query.find(q);
+    return it == qos.outputs_per_query.end() ? 0 : it->second;
+  };
   std::printf("\ntap results: %lld rows, sums results: %lld rows\n",
-              static_cast<long long>(job->qos().OutputsOf(q_tap)),
-              static_cast<long long>(job->qos().OutputsOf(q_sums)));
+              outputs_of(q_tap), outputs_of(q_sums));
   return 0;
 }

@@ -35,6 +35,25 @@ echo "== chaos: recovery equivalence across injector seeds =="
 # byte-identical to the fault-free sync reference for every seed.
 ./build/tests/astream_tests --gtest_filter='Seeds/ChaosEquivalenceTest.*'
 
+echo "== shard: routing, fan-out, N-shard equivalence, client facade =="
+# The sharded router must be invisible to every query: merged outputs at
+# N in {1,2,4} (and across live split/move resharding) byte-identical to
+# the single-job sync reference; fan-out submit/cancel all-or-nothing.
+./build/tests/astream_tests \
+  --gtest_filter='SpscQueueTest.*:ShardPlanTest.*:ShardRouterTest.*:JobConfigTest.*:ClientTest.*:ShardEquivalenceTest.*:Shards/ShardCountEquivalenceTest.*'
+
+echo "== shard: kill-one-shard chaos (exactly-once across shard crashes) =="
+# A supervised shard killed mid-run (including mid-resharding) must
+# recover from its durable checkpoint + source-log replay and the merged
+# deployment output must still match the fault-free reference.
+./build/tests/astream_tests --gtest_filter='Seeds/ShardKillChaosTest.*'
+
+echo "== micro_shard: smoke (N-shard output-hash equivalence + live split) =="
+# Exits nonzero if any sharded leg's output hash diverges from the
+# single-job reference.
+cmake --build build -j --target micro_shard >/dev/null
+./build/bench/micro_shard
+
 echo "== spill: full test suite under an 8 MiB global memory budget =="
 # Every job created with the default (unset) budget inherits the env cap,
 # so the whole suite re-runs with the governor spilling cold slices to
@@ -64,6 +83,14 @@ else
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     ./build-tsan/tests/astream_tests \
     --gtest_filter='Seeds/ChaosEquivalenceTest.ExactlyOnceUnderCrashAndChurn/0:RunnerPoisonTest.*:SupervisorTest.*'
+
+  echo "== tsan: shard router (ingress rings, pump threads, merged callbacks) =="
+  # Control thread pushes into per-shard SPSC rings while pump threads
+  # drain and deliver through the merge callback; the threaded
+  # equivalence + kill legs cross those with supervised recovery.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ./build-tsan/tests/astream_tests \
+    --gtest_filter='SpscQueueTest.*:ShardRouterTest.*:ShardEquivalenceTest.ThreadedRouterMatchesReference:Shards/ShardCountEquivalenceTest.*:Seeds/ShardKillChaosTest.FullStackKillAndSplitExactlyOnce/0'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

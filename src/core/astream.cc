@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/logging.h"
+#include "core/job_config.h"
 #include "spe/operators.h"
 
 namespace astream::core {
@@ -30,13 +31,9 @@ AStreamJob::AStreamJob(Options options)
 AStreamJob::~AStreamJob() { Stop(); }
 
 Result<std::unique_ptr<AStreamJob>> AStreamJob::Create(Options options) {
-  if (options.parallelism < 1) {
-    return Status::InvalidArgument("parallelism must be >= 1");
-  }
-  if (options.max_join_stages < 1 ||
-      options.max_join_stages > kMaxJoinDepth) {
-    return Status::InvalidArgument("max_join_stages out of range");
-  }
+  // One shared validator for every engine knob (see core/job_config.h):
+  // the facade and the JobConfig surface reject exactly the same inputs.
+  ASTREAM_RETURN_IF_ERROR(astream::ValidateJobOptions(options));
   auto job = std::unique_ptr<AStreamJob>(new AStreamJob(options));
   // Out-of-core engine: only materialized when a budget is in force, so an
   // unbudgeted job is byte-for-byte the pre-storage code path.

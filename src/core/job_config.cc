@@ -1,0 +1,71 @@
+#include "core/job_config.h"
+
+namespace astream {
+
+namespace {
+
+bool IsPowerOfTwo(size_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+}  // namespace
+
+Status ValidateJobOptions(const core::AStreamJob::Options& options) {
+  if (options.parallelism < 1) {
+    return Status::InvalidArgument("parallelism must be >= 1");
+  }
+  if (options.max_join_stages < 1 ||
+      options.max_join_stages > core::kMaxJoinDepth) {
+    return Status::InvalidArgument("max_join_stages out of range");
+  }
+  if (options.batch_size < 1) {
+    return Status::InvalidArgument("batch_size must be >= 1");
+  }
+  if (options.batch_linger_ms < 0) {
+    return Status::InvalidArgument("batch_linger_ms must be >= 0");
+  }
+  if (options.channel_capacity < 1) {
+    return Status::InvalidArgument("channel_capacity must be >= 1");
+  }
+  if (options.session.batch_size < 1) {
+    return Status::InvalidArgument("session.batch_size must be >= 1");
+  }
+  if (options.session.max_timeout_ms < 0) {
+    return Status::InvalidArgument("session.max_timeout_ms must be >= 0");
+  }
+  if (options.checkpoint_retention < 1) {
+    return Status::InvalidArgument("checkpoint_retention must be >= 1");
+  }
+  if (options.first_checkpoint_id < 1) {
+    return Status::InvalidArgument("first_checkpoint_id must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<JobConfig> JobConfig::Validated(JobConfig config) {
+  ASTREAM_RETURN_IF_ERROR(ValidateJobOptions(config.job));
+  if (config.shards < 1) {
+    return Status::InvalidArgument("shards must be >= 1");
+  }
+  if (config.slots < config.shards) {
+    return Status::InvalidArgument(
+        "slots must be >= shards (each shard owns at least one slot)");
+  }
+  if (config.shard_threads && !IsPowerOfTwo(config.ingress_capacity)) {
+    return Status::InvalidArgument(
+        "ingress_capacity must be a power of two");
+  }
+  if (!config.state_dir.empty() && !config.supervised) {
+    return Status::InvalidArgument(
+        "state_dir (durable shard checkpoints) requires supervised");
+  }
+  if (config.supervised && config.job.checkpoint_store != nullptr) {
+    return Status::InvalidArgument(
+        "supervised shards own their checkpoint stores; "
+        "job.checkpoint_store must be null");
+  }
+  if (config.supervisor.max_restart_attempts < 1) {
+    return Status::InvalidArgument("max_restart_attempts must be >= 1");
+  }
+  return config;
+}
+
+}  // namespace astream

@@ -144,6 +144,18 @@ class SourceLog {
 
   int64_t first_offset() const { return truncated_; }
 
+  /// Aligns an *empty* log so its next entry gets absolute offset
+  /// `offset`. A job restored from a checkpoint taken by a previous
+  /// process (or handed over from another shard) resumes at that
+  /// checkpoint's source offset; without this, the fresh log would
+  /// restart at 0 and a later recovery would replay from the old large
+  /// offset — past every newly logged entry. No-op when the log already
+  /// starts at or beyond `offset`.
+  void StartAt(int64_t offset) {
+    if (!entries_.empty() || offset <= truncated_) return;
+    truncated_ = offset;
+  }
+
  private:
   std::vector<Entry> entries_;  // index i holds offset truncated_ + i
   int64_t truncated_ = 0;

@@ -37,6 +37,25 @@ SupervisedJob::SupervisedJob(Options options)
       last_reaped_checkpoint_ = latest->id;
     }
   }
+  // Shard hand-off: seed the store with a checkpoint taken elsewhere,
+  // unless it already holds something at least as new (a durable dir from
+  // a previous incarnation wins — it may have progressed further).
+  if (options_.restore_from != nullptr) {
+    auto latest = store_->LatestComplete();
+    if (latest == nullptr || latest->id < options_.restore_from->id) {
+      const Status s =
+          storage::ImportCheckpoint(store_.get(), *options_.restore_from);
+      if (!s.ok()) {
+        ASTREAM_LOG(kWarn, "supervised-job")
+            << "restore_from import failed: " << s.ToString();
+      }
+    }
+    if (auto imported = store_->LatestComplete(); imported != nullptr) {
+      next_checkpoint_id_ = std::max(next_checkpoint_id_, imported->id + 1);
+      last_reaped_checkpoint_ =
+          std::max(last_reaped_checkpoint_, imported->id);
+    }
+  }
 }
 
 SupervisedJob::~SupervisedJob() {
@@ -71,6 +90,14 @@ Status SupervisedJob::Start() {
   if (auto latest = store_->LatestComplete(); latest != nullptr) {
     ASTREAM_RETURN_IF_ERROR(job_->RestoreFrom(*latest));
     dedup_.OnRestore(latest->id);
+    // The fresh (empty) source log must continue the *absolute* offset
+    // space the restored checkpoint recorded, or the first recovery
+    // before a new checkpoint would replay from an offset past every
+    // newly logged entry.
+    if (auto it = latest->source_offsets.find(0);
+        it != latest->source_offsets.end()) {
+      log_.StartAt(it->second);
+    }
   }
   started_ = true;
   if (options_.start_watchdog) supervisor_->StartWatchdog();
@@ -125,8 +152,15 @@ Result<core::QueryId> SupervisedJob::Submit(
   if (!started_ || finished_) {
     return Status::FailedPrecondition("job not running");
   }
-  ASTREAM_RETURN_IF_ERROR(EnsureHealthyLocked());
+  // The wall stamp is captured BEFORE the health probe: a recovery there
+  // replays the log and leaves the clock pinned at the last replayed
+  // entry's time, so reading it afterwards would log (and flush) this
+  // submission at a stale time — diverging marker times from a run that
+  // never crashed. Re-pin after the probe for the same reason: the flush
+  // below reads the live clock.
   const TimestampMs wall = clock_->NowMs();
+  ASTREAM_RETURN_IF_ERROR(EnsureHealthyLocked());
+  PinClock(wall);
   Result<core::QueryId> id = job_->Submit(desc);
   ASTREAM_RETURN_IF_ERROR(id.status());
   log_.LogSubmit(wall, desc, id.value());
@@ -142,8 +176,10 @@ Status SupervisedJob::Cancel(core::QueryId id) {
   if (!started_ || finished_) {
     return Status::FailedPrecondition("job not running");
   }
-  ASTREAM_RETURN_IF_ERROR(EnsureHealthyLocked());
+  // Same wall-stamp discipline as Submit (see there).
   const TimestampMs wall = clock_->NowMs();
+  ASTREAM_RETURN_IF_ERROR(EnsureHealthyLocked());
+  PinClock(wall);
   ASTREAM_RETURN_IF_ERROR(job_->Cancel(id));
   log_.LogCancel(wall, id);
   job_->Pump(true);
@@ -153,12 +189,15 @@ Status SupervisedJob::Cancel(core::QueryId id) {
 
 int64_t SupervisedJob::Checkpoint() {
   std::lock_guard<std::mutex> lock(mu_);
-  if (!started_ || finished_ || !EnsureHealthyLocked().ok()) return -1;
+  if (!started_ || finished_) return -1;
+  // Same wall-stamp discipline as Submit (see there).
+  const TimestampMs wall = clock_->NowMs();
+  if (!EnsureHealthyLocked().ok()) return -1;
+  PinClock(wall);
   // The offset is taken BEFORE the checkpoint's own log entry: restoring
   // from this checkpoint replays from the entry itself (skipped, already
   // durable) and then the tail behind it.
   const int64_t offset = log_.EndOffset();
-  const TimestampMs wall = clock_->NowMs();
   const int64_t id = job_->TriggerCheckpoint({{0, offset}}, 0);
   next_checkpoint_id_ = std::max(next_checkpoint_id_, id + 1);
   log_.LogCheckpoint(wall, id, offset);

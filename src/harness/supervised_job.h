@@ -54,6 +54,15 @@ class SupervisedJob {
     /// *process* restart recovers from the last durably completed
     /// checkpoint. Empty: RAM store (crash-in-process recovery only).
     std::string durable_checkpoint_dir;
+    /// Non-null: a completed checkpoint taken by *another* SupervisedJob
+    /// (shard hand-off during live resharding, or a previous process) to
+    /// restore from at Start. It is imported into this job's checkpoint
+    /// store first — durable stores persist it immediately — so in-process
+    /// recoveries and process restarts both find it; ignored when the
+    /// store already holds a newer completed checkpoint. The source log
+    /// starts at the checkpoint's source offset, keeping replay offsets
+    /// absolute across the hand-off.
+    std::shared_ptr<const spe::CheckpointStore::Checkpoint> restore_from;
   };
 
   explicit SupervisedJob(Options options);

@@ -134,4 +134,41 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
   return s;
 }
 
+void MergeInto(Histogram::Snapshot* into, const Histogram::Snapshot& from) {
+  if (from.count == 0) return;
+  if (into->count == 0) {
+    *into = from;
+    return;
+  }
+  into->count += from.count;
+  into->sum += from.sum;
+  into->min = std::min(into->min, from.min);
+  into->max = std::max(into->max, from.max);
+  for (size_t i = 0; i < into->buckets.size(); ++i) {
+    into->buckets[i] += from.buckets[i];
+  }
+}
+
+MetricsRegistry::Snapshot MergeSnapshots(
+    const std::vector<MetricsRegistry::Snapshot>& snapshots) {
+  MetricsRegistry::Snapshot merged;
+  for (const MetricsRegistry::Snapshot& s : snapshots) {
+    for (const auto& [name, v] : s.counters) merged.counters[name] += v;
+    for (const auto& [name, v] : s.gauges) merged.gauges[name] += v;
+    for (const auto& [name, h] : s.histograms) {
+      MergeInto(&merged.histograms[name], h);
+    }
+    for (const auto& [id, q] : s.queries) {
+      MetricsRegistry::QuerySeriesSnapshot& into = merged.queries[id];
+      into.records_emitted += q.records_emitted;
+      into.late_drops += q.late_drops;
+      into.slices_reused += q.slices_reused;
+      into.slices_computed += q.slices_computed;
+      MergeInto(&into.event_latency_ms, q.event_latency_ms);
+      MergeInto(&into.deploy_latency_ms, q.deploy_latency_ms);
+    }
+  }
+  return merged;
+}
+
 }  // namespace astream::obs

@@ -9,6 +9,7 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 namespace astream::obs {
 
@@ -156,6 +157,18 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
   std::map<int64_t, std::unique_ptr<QuerySeries>> series_;
 };
+
+/// Merges one histogram snapshot into another (counts, sums, and buckets
+/// add; min/max widen). The sharded deployment view is built from these.
+void MergeInto(Histogram::Snapshot* into, const Histogram::Snapshot& from);
+
+/// Merges per-shard registry snapshots into one coherent view: counters,
+/// gauges, and per-query series add across shards; histograms merge
+/// bucket-wise. Gauges are summed because every AStream gauge is a size
+/// or byte count (queue depths, arena bytes, retained checkpoints) where
+/// the deployment-wide value is the total.
+MetricsRegistry::Snapshot MergeSnapshots(
+    const std::vector<MetricsRegistry::Snapshot>& snapshots);
 
 /// Per-operator-instance memo of query-id -> series pointer. Instances are
 /// single-threaded, so the map needs no lock; only a cache miss touches

@@ -1,0 +1,17 @@
+#include "shard/client.h"
+
+#include <utility>
+
+namespace astream {
+
+Result<std::unique_ptr<Client>> Client::Create(JobConfig config) {
+  Result<JobConfig> validated = JobConfig::Validated(std::move(config));
+  ASTREAM_RETURN_IF_ERROR(validated.status());
+  Result<std::unique_ptr<shard::ShardRouter>> router =
+      shard::ShardRouter::Create(*validated);
+  ASTREAM_RETURN_IF_ERROR(router.status());
+  return std::unique_ptr<Client>(new Client(std::move(validated).value(),
+                                            std::move(router).value()));
+}
+
+}  // namespace astream

@@ -1,0 +1,133 @@
+#ifndef ASTREAM_SHARD_ROUTER_H_
+#define ASTREAM_SHARD_ROUTER_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "shard/shard_plan.h"
+#include "shard/shard_runtime.h"
+
+namespace astream::shard {
+
+/// Hash-partitioning ingress over N per-shard AStream runtimes: rows
+/// route by key through the shard plan, watermarks broadcast, and
+/// Submit/Cancel fan out to every shard — each shard's deterministic
+/// session assigns the same query id, which the router asserts, so one
+/// logical query exists on all shards under one id. Per-query outputs
+/// merge into a single callback, filtered by current slot ownership (so a
+/// freshly split shard pair, both restored from the full pre-split state,
+/// emits every result exactly once). Metrics/QoS/operator stats merge
+/// into one deployment-wide view.
+///
+/// Live resharding: MoveShard drains a shard to a (durably persistable)
+/// checkpoint and rebuilds it; SplitShard drains one shard and restores
+/// the checkpoint on TWO shards while the plan splits the slot range. The
+/// remaining shards keep draining their ingress rings throughout; the
+/// measured control-thread pause is reported via last_reshard_pause_ms().
+///
+/// Single control thread, like AStreamJob. Result callbacks arrive on
+/// shard sink threads in threaded mode.
+class ShardRouter {
+ public:
+  static Result<std::unique_ptr<ShardRouter>> Create(JobConfig config);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  Status Start();
+
+  core::PushResult Push(StreamId stream, TimestampMs event_time,
+                        spe::Row row);
+  void PushWatermark(TimestampMs watermark);
+
+  /// Fans out to all shards. On a partial failure every already-applied
+  /// shard is rolled back (the pending creation is dropped from its
+  /// session batch) and ONE coherent status comes back — a query is never
+  /// left half-registered. Divergent id assignment across shards is a
+  /// consistency violation: rolled back and reported as Internal.
+  Result<core::QueryId> Submit(const core::QueryDescriptor& desc);
+  /// Fans out to all shards. A validation failure on the first shard
+  /// rejects cleanly (nothing applied anywhere); a divergent failure on a
+  /// later shard poisons the router (Health() turns non-OK) because a
+  /// buffered cancellation cannot be withdrawn.
+  Status Cancel(core::QueryId id);
+
+  int Pump(bool force = false);
+  bool WaitForDeployment(TimestampMs timeout_ms = 10'000);
+
+  /// Checkpoints every shard and waits for completion.
+  Status Checkpoint();
+
+  /// Drains `shard` to a checkpoint and rebuilds it (new generation,
+  /// restored from the hand-off checkpoint). Ownership is unchanged.
+  Status MoveShard(int shard);
+  /// Drains `shard`, restores its checkpoint on itself AND a brand-new
+  /// shard, and publishes a plan that splits the slot range between the
+  /// two. Requires the shard to own >= 2 slots.
+  Status SplitShard(int shard);
+  /// Control-thread stall of the last Move/SplitShard, in wall ms.
+  int64_t last_reshard_pause_ms() const {
+    return last_reshard_pause_ms_.load(std::memory_order_relaxed);
+  }
+
+  /// Chaos hook: kill one shard's engine as a crash would.
+  Status KillShard(int shard, const Status& why);
+
+  Status FinishAndWait();
+  Status Stop();
+  Status Health() const;
+
+  void SetResultCallback(core::AStreamJob::ResultCallback callback);
+
+  /// Deployment-wide views.
+  obs::MetricsRegistry::Snapshot MetricsSnapshot();
+  core::QosMonitor::Snapshot QosSnapshot();
+  core::AStreamJob::OperatorStats CollectStats() const;
+
+  int num_shards() const { return static_cast<int>(shards_.size()); }
+  std::shared_ptr<const ShardPlan> plan() const { return plan_.load(); }
+  /// Test access to one shard runtime.
+  ShardRuntime* shard(int i) { return shards_[static_cast<size_t>(i)].get(); }
+
+ private:
+  explicit ShardRouter(JobConfig config);
+
+  std::unique_ptr<ShardRuntime> MakeRuntime(
+      int index, int generation,
+      std::shared_ptr<const spe::CheckpointStore::Checkpoint> restore_from);
+  /// Installs the merged, ownership-filtered result callback on a shard.
+  void InstallCallback(ShardRuntime* runtime, int index);
+  void Deliver(int shard_index, core::QueryId id, const spe::Record& r);
+  /// Drains every shard's ingress ring before a control fan-out so all
+  /// shards stamp the operation at one consistent wall time.
+  void QuiesceAll();
+  void Poison(const Status& status);
+
+  JobConfig config_;
+  Clock* clock_;
+  std::vector<std::unique_ptr<ShardRuntime>> shards_;
+  /// Bumped per index on every rebuild (durable dir uniqueness).
+  std::vector<int> generations_;
+  /// Snapshot-swapped ownership table; sink threads load it wait-free.
+  std::atomic<std::shared_ptr<const ShardPlan>> plan_;
+
+  /// Router-level QoS: outputs recorded post-filter (per-shard monitors
+  /// would double-count results suppressed by the ownership filter).
+  core::QosMonitor qos_;
+
+  std::mutex cb_mu_;
+  core::AStreamJob::ResultCallback user_callback_;
+
+  mutable std::mutex poison_mu_;
+  Status poisoned_ = Status::OK();
+
+  std::atomic<int64_t> last_reshard_pause_ms_{0};
+  bool started_ = false;
+};
+
+}  // namespace astream::shard
+
+#endif  // ASTREAM_SHARD_ROUTER_H_

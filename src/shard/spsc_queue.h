@@ -1,0 +1,147 @@
+#ifndef ASTREAM_SHARD_SPSC_QUEUE_H_
+#define ASTREAM_SHARD_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <cassert>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace astream::shard {
+
+/// Generic single-producer/single-consumer ring for shard ingress: the
+/// control thread enqueues, one pump thread drains. Same discipline as
+/// spe::SpscRing (power-of-two slots, acquire/release index pair, cached
+/// opposite index on a separate cache line, spin-then-park on both sides
+/// with bounded 1 ms waits so a lost wakeup costs a millisecond, never a
+/// hang) — this is what retires the mutex MPMC Channel from the external
+/// push path.
+///
+/// Close() wins over full: a producer parked on a full ring observes the
+/// close and gives up; the consumer drains whatever was published before
+/// reporting closed.
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t capacity)
+      : capacity_(capacity), mask_(capacity - 1), slots_(capacity) {
+    assert(capacity >= 2 && (capacity & (capacity - 1)) == 0);
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  /// Producer. False when the ring is full or closed.
+  bool TryPush(T&& item) {
+    if (closed_.load(std::memory_order_acquire)) return false;
+    const uint64_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_cache_ >= capacity_) {
+      head_cache_ = head_.load(std::memory_order_acquire);
+      if (tail - head_cache_ >= capacity_) return false;
+    }
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    MaybeWake(&consumer_parked_);
+    return true;
+  }
+
+  /// Producer. Blocks (spin, then park) until space; false when closed.
+  bool Push(T item) {
+    for (int spin = 0; spin < 256; ++spin) {
+      if (TryPush(std::move(item))) return true;
+      if (closed_.load(std::memory_order_acquire)) return false;
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    while (true) {
+      if (TryPush(std::move(item))) return true;
+      if (closed_.load(std::memory_order_acquire)) return false;
+      producer_parked_.store(true, std::memory_order_release);
+      park_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      producer_parked_.store(false, std::memory_order_release);
+    }
+  }
+
+  /// Consumer. False when empty (closed or not).
+  bool TryPop(T* out) {
+    const uint64_t head = head_.load(std::memory_order_relaxed);
+    if (head == tail_cache_) {
+      tail_cache_ = tail_.load(std::memory_order_acquire);
+      if (head == tail_cache_) return false;
+    }
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    MaybeWake(&producer_parked_);
+    return true;
+  }
+
+  /// Consumer. Blocks until an item arrives or the ring is closed AND
+  /// drained (then false — the shutdown signal).
+  bool Pop(T* out) {
+    for (int spin = 0; spin < 256; ++spin) {
+      if (TryPop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Re-check after observing close: items published before the
+        // close must still drain.
+        return TryPop(out);
+      }
+    }
+    std::unique_lock<std::mutex> lock(park_mu_);
+    while (true) {
+      if (TryPop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) return TryPop(out);
+      consumer_parked_.store(true, std::memory_order_release);
+      park_cv_.wait_for(lock, std::chrono::milliseconds(1));
+      consumer_parked_.store(false, std::memory_order_release);
+    }
+  }
+
+  void Close() {
+    closed_.store(true, std::memory_order_release);
+    std::lock_guard<std::mutex> lock(park_mu_);
+    park_cv_.notify_all();
+  }
+
+  bool closed() const { return closed_.load(std::memory_order_acquire); }
+
+  /// Approximate occupancy (either thread; racy by design).
+  size_t SizeApprox() const {
+    const uint64_t tail = tail_.load(std::memory_order_acquire);
+    const uint64_t head = head_.load(std::memory_order_acquire);
+    return tail >= head ? static_cast<size_t>(tail - head) : 0;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  void MaybeWake(const std::atomic<bool>* parked) {
+    // Deliberately lock-free: Push/Pop's parked loops invoke Try* while
+    // already holding park_mu_, so taking it here would self-deadlock.
+    // Waiters only ever block in bounded 1 ms wait_for calls, so a
+    // notify that races a waiter between its check and its wait costs
+    // one extra wait round, never a hang.
+    if (!parked->load(std::memory_order_acquire)) return;
+    park_cv_.notify_all();
+  }
+
+  const size_t capacity_;
+  const size_t mask_;
+  std::vector<T> slots_;
+
+  alignas(64) std::atomic<uint64_t> tail_{0};  // producer-owned
+  alignas(64) uint64_t head_cache_ = 0;        // producer's view of head
+  alignas(64) std::atomic<uint64_t> head_{0};  // consumer-owned
+  alignas(64) uint64_t tail_cache_ = 0;        // consumer's view of tail
+  alignas(64) std::atomic<bool> closed_{false};
+
+  std::mutex park_mu_;
+  std::condition_variable park_cv_;
+  std::atomic<bool> producer_parked_{false};
+  std::atomic<bool> consumer_parked_{false};
+};
+
+}  // namespace astream::shard
+
+#endif  // ASTREAM_SHARD_SPSC_QUEUE_H_

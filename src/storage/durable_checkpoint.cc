@@ -129,4 +129,30 @@ DurableCheckpointStore::Get(int64_t id) const {
   return Load(id);
 }
 
+Status ImportCheckpoint(spe::CheckpointStore* store,
+                        const spe::CheckpointStore::Checkpoint& checkpoint) {
+  if (!checkpoint.complete) {
+    return Status::InvalidArgument("cannot import incomplete checkpoint");
+  }
+  store->BeginCheckpoint(checkpoint.id, checkpoint.source_offsets);
+  for (const auto& [state_key, state] : checkpoint.operator_state) {
+    // Invert StateKey(stage, instance) = stage * 1000003 + instance with
+    // floor semantics: the session pseudo-stage is -1, whose keys are
+    // negative, and C++ integer division truncates toward zero.
+    const int64_t stage64 =
+        state_key >= 0 ? state_key / 1000003
+                       : -((-state_key + 1000002) / 1000003);
+    const int instance =
+        static_cast<int>(state_key - stage64 * 1000003);
+    store->AddOperatorState(checkpoint.id, static_cast<int>(stage64),
+                            instance, state);
+  }
+  store->MaybeComplete(checkpoint.id, checkpoint.operator_state.size());
+  auto imported = store->Get(checkpoint.id);
+  if (imported == nullptr || !imported->complete) {
+    return Status::Internal("checkpoint import failed to complete");
+  }
+  return Status::OK();
+}
+
 }  // namespace astream::storage

@@ -62,6 +62,15 @@ class DurableCheckpointStore : public spe::CheckpointStore {
   int64_t write_failures_ = 0;
 };
 
+/// Checkpoint hand-off: replays a completed checkpoint taken elsewhere
+/// (another shard, a previous process) into `store` through the standard
+/// Begin/Add/MaybeComplete lifecycle, so it lands exactly as if `store`
+/// had taken it — a DurableCheckpointStore persists it as a run file
+/// immediately. Fails if the import did not become complete in `store`
+/// (e.g. a durable write failure).
+Status ImportCheckpoint(spe::CheckpointStore* store,
+                        const spe::CheckpointStore::Checkpoint& checkpoint);
+
 }  // namespace astream::storage
 
 #endif  // ASTREAM_STORAGE_DURABLE_CHECKPOINT_H_

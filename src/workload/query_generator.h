@@ -4,6 +4,7 @@
 #include <algorithm>
 
 #include "common/rng.h"
+#include "core/job_config.h"
 #include "core/query.h"
 #include "core/query_builder.h"
 
@@ -93,6 +94,29 @@ class QueryGenerator {
         .JoinDepth(static_cast<int>(rng_.UniformInt(1, max_depth)))
         .Agg(spe::AggKind::kSum, 1);
     return *b.Build();
+  }
+
+  /// A random query that the deployment described by `config` can host:
+  /// the kind follows the configured topology (selections ride along on
+  /// every topology; joins appear on kJoin, aggregations on kAggregation,
+  /// the full mix on kComplex) and complex pipelines never exceed the
+  /// configured max_join_stages.
+  core::QueryDescriptor RandomFor(const JobConfig& config) {
+    using Topology = core::AStreamJob::TopologyKind;
+    switch (config.job.topology) {
+      case Topology::kAggregation:
+        return rng_.Bernoulli(0.25) ? Selection() : Aggregation();
+      case Topology::kJoin:
+        return rng_.Bernoulli(0.25) ? Selection() : Join();
+      case Topology::kComplex: {
+        const auto roll = rng_.UniformInt(0, 3);
+        if (roll == 0) return Selection();
+        if (roll == 1) return Aggregation();
+        if (roll == 2) return Join();
+        return Complex(config.job.max_join_stages);
+      }
+    }
+    return Selection();
   }
 
   const Config& config() const { return config_; }

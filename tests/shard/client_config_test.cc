@@ -1,0 +1,267 @@
+#include "shard/client.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "core/job_config.h"
+#include "spe/state.h"
+
+namespace astream {
+namespace {
+
+using core::AStreamJob;
+using core::CmpOp;
+using core::Predicate;
+using core::QueryDescriptor;
+using core::QueryId;
+using core::QueryKind;
+using spe::Row;
+
+JobConfig ValidBase() {
+  JobConfig config;
+  config.job.topology = AStreamJob::TopologyKind::kJoin;
+  config.job.session.batch_size = 1;
+  config.slots = 8;
+  return config;
+}
+
+void ExpectRejected(JobConfig config, const std::string& needle) {
+  const Result<JobConfig> validated = JobConfig::Validated(std::move(config));
+  ASSERT_FALSE(validated.ok()) << "expected rejection mentioning " << needle;
+  EXPECT_NE(validated.status().ToString().find(needle), std::string::npos)
+      << validated.status().ToString();
+}
+
+TEST(JobConfigTest, ValidConfigPasses) {
+  EXPECT_TRUE(JobConfig::Validated(ValidBase()).ok());
+}
+
+TEST(JobConfigTest, RejectsEveryInvalidKnob) {
+  {
+    JobConfig c = ValidBase();
+    c.shards = 0;
+    ExpectRejected(std::move(c), "shards");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.shards = 4;
+    c.slots = 3;
+    ExpectRejected(std::move(c), "slots");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.shard_threads = true;
+    c.ingress_capacity = 100;  // not a power of two
+    ExpectRejected(std::move(c), "ingress_capacity");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.state_dir = "/tmp/anywhere";  // durable dir without supervision
+    ExpectRejected(std::move(c), "supervised");
+  }
+  {
+    spe::CheckpointStore store;
+    JobConfig c = ValidBase();
+    c.supervised = true;
+    c.job.checkpoint_store = &store;
+    ExpectRejected(std::move(c), "checkpoint_store");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.supervisor.max_restart_attempts = 0;
+    ExpectRejected(std::move(c), "max_restart_attempts");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.job.parallelism = 0;
+    ExpectRejected(std::move(c), "parallelism");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.job.batch_size = 0;
+    ExpectRejected(std::move(c), "batch_size");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.job.max_join_stages = 0;
+    ExpectRejected(std::move(c), "max_join_stages");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.job.session.batch_size = 0;
+    ExpectRejected(std::move(c), "session.batch_size");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.job.checkpoint_retention = 0;
+    ExpectRejected(std::move(c), "checkpoint_retention");
+  }
+  {
+    JobConfig c = ValidBase();
+    c.job.first_checkpoint_id = 0;
+    ExpectRejected(std::move(c), "first_checkpoint_id");
+  }
+}
+
+TEST(JobConfigTest, SharedValidatorGuardsAStreamJobCreate) {
+  // AStreamJob::Create funnels through the same validator, so engine
+  // knobs that used to slip through (e.g. batch_size = 0) now fail fast.
+  AStreamJob::Options options;
+  options.batch_size = 0;
+  EXPECT_FALSE(AStreamJob::Create(options).ok());
+  options.batch_size = 1;
+  options.session.batch_size = 0;
+  EXPECT_FALSE(AStreamJob::Create(options).ok());
+}
+
+TEST(JobConfigTest, BuilderSetsEveryKnob) {
+  ManualClock clock;
+  Result<JobConfig> built =
+      JobConfigBuilder(AStreamJob::TopologyKind::kJoin)
+          .Parallelism(2)
+          .Threaded(true)
+          .BatchSize(16)
+          .SessionBatch(5, 250)
+          .MaxJoinStages(2)
+          .Clock(&clock)
+          .MemoryBudget(1 << 20)
+          .Shards(4)
+          .Slots(16)
+          .ShardThreads(true)
+          .IngressCapacity(512)
+          .Supervised(true)
+          .StateDir("/tmp/astream_builder_test")
+          .Build();
+  ASSERT_TRUE(built.ok()) << built.status().ToString();
+  const JobConfig& c = *built;
+  EXPECT_EQ(c.job.topology, AStreamJob::TopologyKind::kJoin);
+  EXPECT_EQ(c.job.parallelism, 2);
+  EXPECT_TRUE(c.job.threaded);
+  EXPECT_EQ(c.job.batch_size, 16u);
+  EXPECT_EQ(c.job.session.batch_size, 5u);
+  EXPECT_EQ(c.job.session.max_timeout_ms, 250);
+  EXPECT_EQ(c.job.max_join_stages, 2);
+  EXPECT_EQ(c.job.clock, &clock);
+  EXPECT_EQ(c.job.storage.memory_budget_bytes, 1 << 20);
+  EXPECT_EQ(c.shards, 4);
+  EXPECT_EQ(c.slots, 16);
+  EXPECT_TRUE(c.shard_threads);
+  EXPECT_EQ(c.ingress_capacity, 512u);
+  EXPECT_TRUE(c.supervised);
+  EXPECT_EQ(c.state_dir, "/tmp/astream_builder_test");
+}
+
+TEST(JobConfigTest, BuilderRejectsEagerly) {
+  EXPECT_FALSE(JobConfigBuilder().Shards(0).Build().ok());
+  EXPECT_FALSE(JobConfigBuilder().Shards(8).Slots(4).Build().ok());
+}
+
+TEST(ClientTest, CreateRejectsInvalidConfig) {
+  JobConfig config = ValidBase();
+  config.shards = -1;
+  EXPECT_FALSE(Client::Create(std::move(config)).ok());
+}
+
+using Outputs = std::map<QueryId, std::multiset<std::pair<spe::Value, spe::Value>>>;
+
+// Drives a tiny selection workload through the client, using the generic
+// Push surface or the deprecated PushA/PushB shims.
+Outputs RunSmall(ManualClock* clock, int shards, bool use_shims) {
+  JobConfig config = ValidBase();
+  config.job.clock = clock;
+  config.shards = shards;
+  auto client = std::move(Client::Create(std::move(config))).value();
+  EXPECT_TRUE(client->Start().ok());
+  Outputs outputs;
+  client->SetResultCallback([&](QueryId id, const spe::Record& r) {
+    outputs[id].insert({r.row.At(0), r.row.At(1)});
+  });
+  QueryDescriptor d;
+  d.kind = QueryKind::kSelection;
+  d.select_a = {Predicate{1, CmpOp::kGt, 10}};
+  auto id = client->Submit(d);
+  EXPECT_TRUE(id.ok());
+  client->Pump(true);
+  for (spe::Value key = 0; key < 24; ++key) {
+    clock->SetMs(5 + key);
+    const spe::Value value = key * 7 % 50;
+    if (use_shims) {
+      client->PushA(5 + key, Row{key, value});
+      client->PushB(5 + key, Row{key, value + 1});
+    } else {
+      client->Push(StreamId::kA, 5 + key, Row{key, value});
+      client->Push(StreamId::kB, 5 + key, Row{key, value + 1});
+    }
+  }
+  EXPECT_TRUE(client->FinishAndWait().ok());
+  return outputs;
+}
+
+TEST(ClientTest, PushShimsAreEquivalentToGenericPush) {
+  ManualClock clock_a;
+  ManualClock clock_b;
+  const Outputs generic = RunSmall(&clock_a, 2, /*use_shims=*/false);
+  const Outputs shimmed = RunSmall(&clock_b, 2, /*use_shims=*/true);
+  EXPECT_FALSE(generic.empty());
+  EXPECT_EQ(generic, shimmed);
+}
+
+TEST(ClientTest, MergedMetricsSumAcrossShards) {
+  ManualClock clock;
+  JobConfig config = ValidBase();
+  config.job.clock = &clock;
+  config.shards = 2;
+  auto client = std::move(Client::Create(std::move(config))).value();
+  ASSERT_TRUE(client->Start().ok());
+  int delivered = 0;
+  client->SetResultCallback(
+      [&](QueryId, const spe::Record&) { ++delivered; });
+  QueryDescriptor d;
+  d.kind = QueryKind::kSelection;
+  d.select_a = {Predicate{1, CmpOp::kGt, -1}};
+  ASSERT_TRUE(client->Submit(d).ok());
+  client->Pump(true);
+  for (spe::Value key = 0; key < 40; ++key) {
+    clock.SetMs(5 + key);
+    client->Push(StreamId::kA, 5 + key, Row{key, key});
+  }
+  ASSERT_TRUE(client->FinishAndWait().ok());
+  EXPECT_EQ(delivered, 40);
+
+  // The merged snapshot is the per-shard sum, key by key.
+  const auto merged = client->MetricsSnapshot();
+  const auto s0 = client->router()->shard(0)->MetricsSnapshot();
+  const auto s1 = client->router()->shard(1)->MetricsSnapshot();
+  ASSERT_FALSE(merged.counters.empty());
+  for (const auto& [name, value] : merged.counters) {
+    int64_t sum = 0;
+    if (auto it = s0.counters.find(name); it != s0.counters.end()) {
+      sum += it->second;
+    }
+    if (auto it = s1.counters.find(name); it != s1.counters.end()) {
+      sum += it->second;
+    }
+    EXPECT_EQ(value, sum) << "counter " << name;
+  }
+  for (const auto& [name, value] : merged.histograms) {
+    int64_t count = 0;
+    if (auto it = s0.histograms.find(name); it != s0.histograms.end()) {
+      count += it->second.count;
+    }
+    if (auto it = s1.histograms.find(name); it != s1.histograms.end()) {
+      count += it->second.count;
+    }
+    EXPECT_EQ(value.count, count) << "histogram " << name;
+  }
+
+  // Router-level QoS saw every delivered record exactly once.
+  const auto qos = client->QosSnapshot();
+  EXPECT_EQ(qos.total_outputs, 40);
+}
+
+}  // namespace
+}  // namespace astream

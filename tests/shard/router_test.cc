@@ -1,0 +1,168 @@
+#include "shard/router.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/astream.h"
+
+namespace astream::shard {
+namespace {
+
+using core::AStreamJob;
+using core::CmpOp;
+using core::Predicate;
+using core::QueryDescriptor;
+using core::QueryId;
+using core::QueryKind;
+using spe::Row;
+
+JobConfig InlineConfig(ManualClock* clock, int shards, int slots = 8) {
+  JobConfig config;
+  config.job.topology = AStreamJob::TopologyKind::kJoin;
+  config.job.parallelism = 1;
+  config.job.clock = clock;
+  config.job.session.batch_size = 1;
+  config.shards = shards;
+  config.slots = slots;
+  return config;
+}
+
+QueryDescriptor PassAllSelection() {
+  QueryDescriptor d;
+  d.kind = QueryKind::kSelection;
+  d.select_a = {Predicate{1, CmpOp::kGt, -1}};  // values are >= 0
+  return d;
+}
+
+std::unique_ptr<ShardRouter> MakeStarted(JobConfig config) {
+  auto router = std::move(ShardRouter::Create(std::move(config))).value();
+  EXPECT_TRUE(router->Start().ok());
+  return router;
+}
+
+TEST(ShardRouterTest, RoutesByKeyAndDeliversEachRowOnce) {
+  ManualClock clock;
+  auto router = MakeStarted(InlineConfig(&clock, 4));
+  std::map<QueryId, std::multiset<std::pair<spe::Value, spe::Value>>> outputs;
+  router->SetResultCallback([&](QueryId id, const spe::Record& r) {
+    outputs[id].insert({r.row.At(0), r.row.At(1)});
+  });
+  auto id = router->Submit(PassAllSelection());
+  ASSERT_TRUE(id.ok());
+  router->Pump(true);
+
+  std::multiset<std::pair<spe::Value, spe::Value>> pushed;
+  for (spe::Value key = 0; key <= 20; ++key) {
+    clock.SetMs(10 + key);
+    ASSERT_EQ(router->Push(StreamId::kA, 10 + key, Row{key, key * 3}),
+              core::PushResult::kAccepted);
+    pushed.insert({key, key * 3});
+  }
+  EXPECT_TRUE(router->FinishAndWait().ok());
+  // Every row delivered exactly once — routed to one shard, emitted by
+  // its owner, never duplicated by the fan-out.
+  EXPECT_EQ(outputs[*id], pushed);
+}
+
+TEST(ShardRouterTest, FanOutAssignsOneConsistentId) {
+  ManualClock clock;
+  auto router = MakeStarted(InlineConfig(&clock, 3));
+  auto first = router->Submit(PassAllSelection());
+  ASSERT_TRUE(first.ok());
+  router->Pump(true);
+  auto second = router->Submit(PassAllSelection());
+  ASSERT_TRUE(second.ok());
+  router->Pump(true);
+  // Deterministic sessions: ids advance in lock-step on every shard.
+  EXPECT_EQ(*second, *first + 1);
+  EXPECT_TRUE(router->Stop().ok());
+}
+
+TEST(ShardRouterTest, IdDivergenceRollsBackAndReportsInternal) {
+  ManualClock clock;
+  auto router = MakeStarted(InlineConfig(&clock, 2));
+  // Desynchronize shard 1's session behind the router's back: its next
+  // query id is now ahead of shard 0's.
+  auto rogue = router->shard(1)->job()->Submit(PassAllSelection());
+  ASSERT_TRUE(rogue.ok());
+  router->shard(1)->job()->Pump(true);
+
+  auto id = router->Submit(PassAllSelection());
+  ASSERT_FALSE(id.ok());
+  EXPECT_NE(id.status().ToString().find("assigned"), std::string::npos)
+      << id.status().ToString();
+  // The rollback succeeded (the pending creations were dropped), so the
+  // router is NOT poisoned — no query was left half-registered.
+  EXPECT_TRUE(router->Health().ok());
+  EXPECT_TRUE(router->Stop().ok());
+}
+
+TEST(ShardRouterTest, CancelOfUnknownIdRejectsCleanly) {
+  ManualClock clock;
+  auto router = MakeStarted(InlineConfig(&clock, 2));
+  // Shard 0 rejects first; nothing was applied anywhere.
+  EXPECT_FALSE(router->Cancel(999).ok());
+  EXPECT_TRUE(router->Health().ok());
+  EXPECT_TRUE(router->Stop().ok());
+}
+
+TEST(ShardRouterTest, CancelDivergencePoisonsTheRouter) {
+  ManualClock clock;
+  auto router = MakeStarted(InlineConfig(&clock, 2));
+  // A query that exists only on shard 0: shard 0 accepts the cancel,
+  // shard 1 rejects it — the fan-out cannot be undone.
+  auto rogue = router->shard(0)->job()->Submit(PassAllSelection());
+  ASSERT_TRUE(rogue.ok());
+  router->shard(0)->job()->Pump(true);
+
+  const Status s = router->Cancel(*rogue);
+  EXPECT_FALSE(s.ok());
+  EXPECT_FALSE(router->Health().ok());
+  // Every subsequent control operation reports the poisoned state.
+  EXPECT_FALSE(router->Submit(PassAllSelection()).ok());
+  EXPECT_TRUE(router->Stop().ok());
+}
+
+TEST(ShardRouterTest, KillRequiresThreadedEngine) {
+  ManualClock clock;
+  auto router = MakeStarted(InlineConfig(&clock, 2));
+  const Status s = router->KillShard(1, Status::Internal("chaos"));
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.ToString().find("threaded"), std::string::npos);
+  EXPECT_TRUE(router->Stop().ok());
+}
+
+TEST(ShardRouterTest, ReshardValidation) {
+  ManualClock clock;
+  // 2 shards over 2 slots: each shard owns exactly one slot.
+  auto router = MakeStarted(InlineConfig(&clock, 2, /*slots=*/2));
+  EXPECT_FALSE(router->SplitShard(0).ok());  // nothing to split
+  EXPECT_FALSE(router->MoveShard(5).ok());   // no such shard
+  EXPECT_FALSE(router->SplitShard(-1).ok());
+  EXPECT_TRUE(router->Stop().ok());
+}
+
+TEST(ShardRouterTest, SplitAndMoveUpdatePlanAndPause) {
+  ManualClock clock;
+  auto router = MakeStarted(InlineConfig(&clock, 2, /*slots=*/8));
+  const auto before = router->plan();
+  ASSERT_TRUE(router->SplitShard(0).ok());
+  EXPECT_EQ(router->num_shards(), 3);
+  EXPECT_GE(router->last_reshard_pause_ms(), 0);
+  const auto after_split = router->plan();
+  EXPECT_EQ(after_split->version, before->version + 1);
+  EXPECT_FALSE(after_split->SlotsOwnedBy(2).empty());
+
+  ASSERT_TRUE(router->MoveShard(1).ok());
+  EXPECT_EQ(router->num_shards(), 3);
+  EXPECT_EQ(router->plan()->version, after_split->version + 1);
+  EXPECT_TRUE(router->Health().ok());
+  EXPECT_TRUE(router->Stop().ok());
+}
+
+}  // namespace
+}  // namespace astream::shard

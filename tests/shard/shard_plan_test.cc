@@ -1,0 +1,73 @@
+#include "shard/shard_plan.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace astream::shard {
+namespace {
+
+TEST(ShardPlanTest, UniformCoversEveryShardAndSlot) {
+  const ShardPlan plan = ShardPlan::Uniform(4, 16);
+  EXPECT_EQ(plan.num_slots(), 16);
+  EXPECT_EQ(plan.num_shards(), 4);
+  for (int shard = 0; shard < 4; ++shard) {
+    EXPECT_EQ(plan.SlotsOwnedBy(shard).size(), 4u);
+  }
+}
+
+TEST(ShardPlanTest, SlotOfKeyIsDeterministicAndStable) {
+  for (spe::Value key = -50; key < 50; ++key) {
+    const int slot = ShardPlan::SlotOfKey(key, 64);
+    EXPECT_EQ(slot, ShardPlan::SlotOfKey(key, 64));
+    EXPECT_GE(slot, 0);
+    EXPECT_LT(slot, 64);
+  }
+}
+
+TEST(ShardPlanTest, OwnerOfKeyFollowsSlotTable) {
+  const ShardPlan plan = ShardPlan::Uniform(3, 9);
+  for (spe::Value key = 0; key < 100; ++key) {
+    const int slot = ShardPlan::SlotOfKey(key, plan.num_slots());
+    EXPECT_EQ(plan.OwnerOfKey(key), plan.owner[static_cast<size_t>(slot)]);
+  }
+}
+
+TEST(ShardPlanTest, MovedTransfersAllSlotsAndBumpsVersion) {
+  const ShardPlan plan = ShardPlan::Uniform(2, 8);
+  const ShardPlan moved = plan.Moved(1, 2);
+  EXPECT_EQ(moved.version, plan.version + 1);
+  EXPECT_TRUE(moved.SlotsOwnedBy(1).empty());
+  EXPECT_EQ(moved.SlotsOwnedBy(2), plan.SlotsOwnedBy(1));
+  EXPECT_EQ(moved.SlotsOwnedBy(0), plan.SlotsOwnedBy(0));
+  EXPECT_EQ(moved.num_shards(), 3);
+}
+
+TEST(ShardPlanTest, SplitHalvesOwnershipNonEmpty) {
+  const ShardPlan plan = ShardPlan::Uniform(2, 8);  // shard 0 owns 4 slots
+  const ShardPlan split = plan.Split(0, 2);
+  EXPECT_EQ(split.version, plan.version + 1);
+  const auto left = split.SlotsOwnedBy(0);
+  const auto right = split.SlotsOwnedBy(2);
+  EXPECT_FALSE(left.empty());
+  EXPECT_FALSE(right.empty());
+  EXPECT_EQ(left.size() + right.size(), plan.SlotsOwnedBy(0).size());
+  // Shard 1 is untouched.
+  EXPECT_EQ(split.SlotsOwnedBy(1), plan.SlotsOwnedBy(1));
+  // The two halves partition the original slots exactly.
+  std::set<int> merged(left.begin(), left.end());
+  merged.insert(right.begin(), right.end());
+  const auto original = plan.SlotsOwnedBy(0);
+  EXPECT_EQ(merged, std::set<int>(original.begin(), original.end()));
+}
+
+TEST(ShardPlanTest, SplitOfTwoSlotOwnerLeavesOneEach) {
+  const ShardPlan plan = ShardPlan::Uniform(4, 8);  // 2 slots per shard
+  const ShardPlan split = plan.Split(3, 4);
+  EXPECT_EQ(split.SlotsOwnedBy(3).size(), 1u);
+  EXPECT_EQ(split.SlotsOwnedBy(4).size(), 1u);
+  EXPECT_EQ(split.num_shards(), 5);
+}
+
+}  // namespace
+}  // namespace astream::shard
