@@ -54,6 +54,25 @@ echo "== micro_shard: smoke (N-shard output-hash equivalence + live split) =="
 cmake --build build -j --target micro_shard >/dev/null
 ./build/bench/micro_shard
 
+echo "== arrangements: sharing on/off vs reference (+ factor rewriting) =="
+# Cross-window state sharing must be invisible: heterogeneous-window
+# fleets (incl. the non-divisor 7s/3s fallback) byte-identical between
+# shared arrangements, the per-query reference mode, the offline
+# reference evaluator, spill budgets, and checkpoint/restore.
+./build/tests/astream_tests \
+  --gtest_filter='WindowMathTest.*:FactorRegistryTest.*:FactorSlicingTest.*:FactorSlicingE2ETest.*:ArrangementEquivalenceTest.*'
+
+echo "== arrangements: same legs under an 8 MiB global memory budget =="
+# Memoized compositions are derived state: under the env cap the memo is
+# released first, then cold slices spill — outputs must not move.
+ASTREAM_MEMORY_BUDGET=8m ./build/tests/astream_tests \
+  --gtest_filter='FactorSlicingE2ETest.*:ArrangementEquivalenceTest.*'
+
+echo "== micro_arrange: smoke (N-spec sweep, shared vs per-query hashes) =="
+# Exits nonzero if any sweep point's output hash diverges between modes.
+cmake --build build -j --target micro_arrange >/dev/null
+./build/bench/micro_arrange
+
 echo "== spill: full test suite under an 8 MiB global memory budget =="
 # Every job created with the default (unset) budget inherits the env cap,
 # so the whole suite re-runs with the governor spilling cold slices to
@@ -91,6 +110,13 @@ else
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     ./build-tsan/tests/astream_tests \
     --gtest_filter='SpscQueueTest.*:ShardRouterTest.*:ShardEquivalenceTest.ThreadedRouterMatchesReference:Shards/ShardCountEquivalenceTest.*:Seeds/ShardKillChaosTest.FullStackKillAndSplitExactlyOnce/0'
+
+  echo "== tsan: arrangement multi-reader cursor path (threaded fleet) =="
+  # Worker threads resolve versioned cursors against the shared
+  # arrangements while the control thread cuts slices and churns queries.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ./build-tsan/tests/astream_tests \
+    --gtest_filter='*ThreadedHeterogeneous*:ArrangementEquivalenceTest.JoinFleetSharingOnOffIdentical'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

@@ -78,6 +78,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
     cfg.metrics = &metrics_;
     cfg.governor = governor_.get();
     cfg.spill_space = spill_space_.get();
+    cfg.share_arrangements = options_.share_arrangements;
     return cfg;
   };
 
@@ -104,6 +105,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.metrics = &metrics_;
         cfg.shared.governor = governor_.get();
         cfg.shared.spill_space = spill_space_.get();
+        cfg.shared.share_arrangements = options_.share_arrangements;
         cfg.num_ports = 1;
         auto op = std::make_unique<SharedAggregation>(std::move(cfg));
         {
@@ -266,6 +268,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.metrics = &metrics_;
         cfg.shared.governor = governor_.get();
         cfg.shared.spill_space = spill_space_.get();
+        cfg.shared.share_arrangements = options_.share_arrangements;
         cfg.num_ports = stages;
         cfg.port_filter = [](const ActiveQuery& q, int port) {
           return q.desc.join_depth == port + 1;
@@ -727,11 +730,26 @@ AStreamJob::OperatorStats AStreamJob::CollectStats() const {
     s.join_pairs_reused += j->pairs_reused();
     s.records_late += j->records_late();
     s.state_arena_bytes += j->state_arena_bytes();
+    // The join-pair memo is the join side of the arrangement layer.
+    s.arrange_memo_hits += j->pairs_reused();
+    s.arrange_memo_misses += j->pairs_computed();
+    const FactorRegistry::Stats& fs = j->tracker().factors().stats();
+    s.factor_rewrites += fs.rewrites;
+    s.factor_reuses += fs.reuses;
+    s.factor_fallbacks += fs.fallbacks;
   }
   for (const SharedAggregation* a : aggregations_) {
     s.bitset_ops += a->bitset_ops();
     s.records_late += a->records_late();
     s.state_arena_bytes += a->state_arena_bytes();
+    s.arrange_memo_hits += a->arrangement().memo_hits();
+    s.arrange_memo_misses += a->arrangement().memo_misses();
+    s.arrange_memo_bytes +=
+        static_cast<int64_t>(a->arrangement().memo_bytes());
+    const FactorRegistry::Stats& fs = a->tracker().factors().stats();
+    s.factor_rewrites += fs.rewrites;
+    s.factor_reuses += fs.reuses;
+    s.factor_fallbacks += fs.fallbacks;
   }
   if (runner_ != nullptr) {
     s.selection_records_in = runner_->StageRecordsIn(0);
@@ -764,6 +782,14 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
       metrics_.GetGauge("router.rows_shared")->Set(s.router_rows_shared);
       metrics_.GetGauge("router.rows_copied")->Set(s.router_rows_copied);
       metrics_.GetGauge("state.arena_bytes")->Set(s.state_arena_bytes);
+      // Cross-window sharing drill-down (DESIGN.md §12): arrangement memo
+      // effectiveness and the slicer's factor-rewrite decisions.
+      metrics_.GetGauge("arrange.memo_hits")->Set(s.arrange_memo_hits);
+      metrics_.GetGauge("arrange.memo_misses")->Set(s.arrange_memo_misses);
+      metrics_.GetGauge("arrange.memo_bytes")->Set(s.arrange_memo_bytes);
+      metrics_.GetGauge("slicer.factor_rewrites")->Set(s.factor_rewrites);
+      metrics_.GetGauge("slicer.factor_reuses")->Set(s.factor_reuses);
+      metrics_.GetGauge("slicer.factor_fallbacks")->Set(s.factor_fallbacks);
       metrics_.GetGauge("state.checkpoints_retained")
           ->Set(static_cast<int64_t>(store_->NumRetained()));
       if (governor_ != nullptr) {

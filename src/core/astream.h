@@ -97,6 +97,11 @@ class AStreamJob {
     /// Default: ASTREAM_MEMORY_BUDGET from the environment, else unlimited
     /// (no storage engine, the pre-out-of-core behavior).
     storage::StorageOptions storage;
+    /// Cross-window state sharing (DESIGN.md §12): shared arrangements with
+    /// composition memos in the windowed operators plus factor-window
+    /// rewriting in the slicer. Transparent to the Client API — outputs are
+    /// byte-identical either way; off = the per-query-store reference mode.
+    bool share_arrangements = true;
   };
 
   using ResultCallback =
@@ -202,6 +207,12 @@ class AStreamJob {
     int64_t router_rows_shared = 0;  // fan-out rows shipped by reference
     int64_t router_rows_copied = 0;  // fan-out rows materialized fresh
     int64_t state_arena_bytes = 0;   // slice-store arena footprint
+    int64_t arrange_memo_hits = 0;   // composed-block / join-pair memo hits
+    int64_t arrange_memo_misses = 0;
+    int64_t arrange_memo_bytes = 0;  // resident composed-block bytes
+    int64_t factor_rewrites = 0;     // specs rewritten onto a new lattice
+    int64_t factor_reuses = 0;       // specs attached to an existing lattice
+    int64_t factor_fallbacks = 0;    // specs kept on exact per-query edges
   };
   OperatorStats CollectStats() const;
 

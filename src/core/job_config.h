@@ -114,6 +114,12 @@ class JobConfigBuilder {
     config_.job.storage.memory_budget_bytes = bytes;
     return *this;
   }
+  /// Cross-window state sharing (DESIGN.md §12). Off = the per-query-store
+  /// reference mode; outputs are byte-identical either way.
+  JobConfigBuilder& ShareArrangements(bool on) {
+    config_.job.share_arrangements = on;
+    return *this;
+  }
   JobConfigBuilder& Shards(int shards) {
     config_.shards = shards;
     return *this;

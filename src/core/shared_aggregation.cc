@@ -15,6 +15,7 @@ SharedAggregation::SharedAggregation(AggConfig config)
     };
   }
   port_masks_.resize(config_.num_ports);
+  arrange_.BindSpill(spill_space());
   if (governor() != nullptr) governor()->Register(this);
 }
 
@@ -22,24 +23,17 @@ SharedAggregation::~SharedAggregation() {
   if (governor() != nullptr) governor()->Unregister(this);
 }
 
-AggStore& SharedAggregation::StoreFor(int64_t slice_index) {
-  auto it = stores_.find(slice_index);
-  if (it == stores_.end()) {
-    it = stores_.emplace(slice_index, AggStore()).first;
-    it->second.BindSpill(spill_space());
-  }
-  return it->second;
-}
-
 size_t SharedAggregation::SpillOnce() {
-  int64_t victim = std::numeric_limits<int64_t>::max();
-  for (const auto& [index, store] : stores_) {
-    if (store.NumKeys() > 0 && index < victim) victim = index;
+  // Composed-block memo goes first: it is derived state, rebuilt on demand
+  // from the stores, so shedding it loses no information.
+  const size_t memo_released = arrange_.ReleaseMemo();
+  if (memo_released > 0) {
+    RefreshArenaBytes();
+    return memo_released;
   }
-  if (victim == std::numeric_limits<int64_t>::max()) return 0;
-  size_t released = 0;
-  auto it = stores_.find(victim);
-  if (it != stores_.end()) released += it->second.SpillToDisk();
+  const int64_t victim = arrange_.ColdestResident();
+  if (victim == AggArrangement::kNoVersion) return 0;
+  size_t released = arrange_.SpillAt(victim);
   released += tracker().cl_table().SpillBelow(victim, spill_space());
   RefreshArenaBytes();
   return released;
@@ -59,6 +53,29 @@ void SharedAggregation::OnActiveSetChanged() {
     port_masks_[p] = table().SlotsWhere([&](const ActiveQuery& q) {
       return hosted_mask().Test(q.slot) && config_.port_filter(q, p);
     });
+  }
+  // Partition hosted time-window slots by agg column: with sharing on, a
+  // tuple does one accumulator Add per distinct column; different kinds
+  // over the same column share the group (Finalize picks per query).
+  column_masks_.clear();
+  time_mask_ = QuerySet();
+  session_mask_ = QuerySet();
+  for (size_t slot = 0; slot < slot_info_.size(); ++slot) {
+    const SlotInfo& info = slot_info_[slot];
+    if (!info.valid) continue;
+    if (info.session) {
+      session_mask_.Set(slot);
+      continue;
+    }
+    time_mask_.Set(slot);
+    auto it = std::find_if(
+        column_masks_.begin(), column_masks_.end(),
+        [&](const ColumnMask& cm) { return cm.column == info.agg_column; });
+    if (it == column_masks_.end()) {
+      column_masks_.push_back(ColumnMask{info.agg_column, QuerySet()});
+      it = std::prev(column_masks_.end());
+    }
+    it->slots.Set(slot);
   }
 }
 
@@ -119,6 +136,55 @@ void SharedAggregation::AddToSession(SessionQuery* sq, spe::Value key,
   sessions = std::move(kept);
 }
 
+void SharedAggregation::IngestRecord(const spe::Record& record,
+                                     const QuerySet& tags, SliceCursor* cursor,
+                                     AggStore** cached_store) {
+  // Session slots route to per-(query, key) session state.
+  if (session_mask_.Any()) {
+    (tags & session_mask_).ForEachSetBit([&](size_t slot) {
+      const SlotInfo& info = slot_info_[slot];
+      const ActiveQuery* q = table().QueryAt(static_cast<int>(slot));
+      if (q == nullptr) return;
+      auto it = session_queries_.find(q->id);
+      if (it != session_queries_.end()) {
+        AddToSession(&it->second, record.row.key(), record.event_time,
+                     record.row.At(info.agg_column));
+      }
+    });
+  }
+  if (share_arrangements()) {
+    // Group-shared path: one accumulator Add per distinct agg column,
+    // tagged with every interested slot — per-tuple maintenance cost is
+    // O(distinct columns), independent of how many queries (and window
+    // specs) share the stream.
+    for (const ColumnMask& cm : column_masks_) {
+      QuerySet group_tags = tags & cm.slots;
+      ++bitset_ops_;
+      if (group_tags.None()) continue;
+      if (cursor->Advance(tracker(), record.event_time) ||
+          *cached_store == nullptr) {
+        *cached_store = &arrange_.StoreAt(cursor->slice().index);
+      }
+      (*cached_store)
+          ->Add(record.row.key(), std::move(group_tags),
+                record.row.At(cm.column));
+    }
+  } else {
+    // Reference path: per-slot singleton groups reproduce the old
+    // per-query-store maintenance cost (one Add per interested slot).
+    (tags & time_mask_).ForEachSetBit([&](size_t slot) {
+      const SlotInfo& info = slot_info_[slot];
+      if (cursor->Advance(tracker(), record.event_time) ||
+          *cached_store == nullptr) {
+        *cached_store = &arrange_.StoreAt(cursor->slice().index);
+      }
+      (*cached_store)
+          ->Add(record.row.key(), QuerySet::Single(slot),
+                record.row.At(info.agg_column));
+    });
+  }
+}
+
 void SharedAggregation::ProcessRecord(int port, spe::Record record,
                                       spe::Collector* out) {
   (void)out;
@@ -136,27 +202,9 @@ void SharedAggregation::ProcessRecord(int port, spe::Record record,
   ++bitset_ops_;
   if (tags.None()) return;
 
-  // Split into time-window slots (slice partials) and session slots.
+  SliceCursor cursor;
   AggStore* store = nullptr;
-  tags.ForEachSetBit([&](size_t slot) {
-    const SlotInfo& info = slot_info_[slot];
-    if (!info.valid) return;
-    const spe::Value v = record.row.At(info.agg_column);
-    if (info.session) {
-      const ActiveQuery* q = table().QueryAt(static_cast<int>(slot));
-      if (q == nullptr) return;
-      auto it = session_queries_.find(q->id);
-      if (it != session_queries_.end()) {
-        AddToSession(&it->second, record.row.key(), record.event_time, v);
-      }
-      return;
-    }
-    if (store == nullptr) {
-      const SliceInfo slice = tracker().SliceFor(record.event_time);
-      store = &StoreFor(slice.index);
-    }
-    store->Add(record.row.key(), static_cast<int>(slot), v);
-  });
+  IngestRecord(record, tags, &cursor, &store);
   RefreshArenaBytes();
   EnforceBudget();
 }
@@ -164,16 +212,12 @@ void SharedAggregation::ProcessRecord(int port, spe::Record record,
 void SharedAggregation::RefreshArenaBytes() {
   int64_t bytes = 0;
   size_t resident = 0;
-  int64_t coldest_index = std::numeric_limits<int64_t>::max();
-  for (const auto& [index, store] : stores_) {
-    bytes += static_cast<int64_t>(store.ArenaBytes());
-    resident += store.ResidentBytes();
-    if (store.NumKeys() > 0 && index < coldest_index) coldest_index = index;
-  }
+  int64_t coldest_index = AggArrangement::kNoVersion;
+  arrange_.AddBytes(&bytes, &resident, &coldest_index);
   state_arena_bytes_ = bytes;
   if (governor() == nullptr) return;
   int64_t coldest_end = std::numeric_limits<int64_t>::max();
-  if (coldest_index != std::numeric_limits<int64_t>::max()) {
+  if (coldest_index != AggArrangement::kNoVersion) {
     auto slice = tracker().SliceByIndex(coldest_index);
     coldest_end = slice.has_value() ? slice->end : coldest_index;
   }
@@ -188,12 +232,10 @@ void SharedAggregation::ProcessBatch(int port, spe::RecordBatch& records,
                                      spe::Collector* out) {
   (void)out;
   const QuerySet& mask = port_masks_[port];
-  // Consecutive tuples overwhelmingly share a slice (sources are roughly
-  // time-ordered), so the slice lookup + store resolution is hoisted out
-  // of the per-tuple loop and revalidated by [start, end) containment.
-  // Safe within a batch: slices only change on markers, which are batch
-  // boundaries, and map nodes are pointer-stable under insertion.
-  SliceInfo cached_slice;
+  // The slice/store cursor persists across the batch: consecutive tuples
+  // overwhelmingly share a slice (sources are roughly time-ordered), so
+  // the lookup runs once per run of same-slice tuples (see SliceCursor).
+  SliceCursor cursor;
   AggStore* cached_store = nullptr;
   int64_t ops = 0;
   for (spe::Record& record : records) {
@@ -213,29 +255,7 @@ void SharedAggregation::ProcessBatch(int port, spe::RecordBatch& records,
     scratch_tags_ &= mask;
     ++ops;
     if (scratch_tags_.None()) continue;
-
-    scratch_tags_.ForEachSetBit([&](size_t slot) {
-      const SlotInfo& info = slot_info_[slot];
-      if (!info.valid) return;
-      const spe::Value v = record.row.At(info.agg_column);
-      if (info.session) {
-        const ActiveQuery* q = table().QueryAt(static_cast<int>(slot));
-        if (q == nullptr) return;
-        auto it = session_queries_.find(q->id);
-        if (it != session_queries_.end()) {
-          AddToSession(&it->second, record.row.key(), record.event_time,
-                       v);
-        }
-        return;
-      }
-      if (cached_store == nullptr ||
-          record.event_time < cached_slice.start ||
-          record.event_time >= cached_slice.end) {
-        cached_slice = tracker().SliceFor(record.event_time);
-        cached_store = &StoreFor(cached_slice.index);
-      }
-      cached_store->Add(record.row.key(), static_cast<int>(slot), v);
-    });
+    IngestRecord(record, scratch_tags_, &cursor, &cached_store);
   }
   bitset_ops_ += ops;
   RefreshArenaBytes();
@@ -250,31 +270,40 @@ void SharedAggregation::TriggerWindows(
   const int64_t last_index = slices.back().index;
   const TimestampMs result_time = end - 1;
 
+  // Compose the span once for every query in this trigger; with sharing
+  // on, aligned sub-blocks land in the arrangement memo and are reused by
+  // overlapping windows of this and other queries.
+  const AggArrangement::Composed composed =
+      arrange_.Compose(slices, &tracker().cl_table(), share_arrangements());
+
   for (const TriggeredQuery& tq : queries) {
     const ActiveQuery& q = *tq.query;
     if (!q.desc.window.IsTimeWindow()) continue;
-    // Combine per-key partials across the window's slices, masking slot
-    // validity through the CL table (guards slot reuse).
-    std::map<spe::Value, spe::Accumulator> combined;
-    obs::QuerySeries* series =
-        metrics_on() ? SeriesForQuery(q.id) : nullptr;
+    obs::QuerySeries* series = metrics_on() ? SeriesForQuery(q.id) : nullptr;
+    // Per-slice accounting kept from the per-query-store path: slice
+    // partials are computed once at insert time and shared by every
+    // window covering the slice — each covered, still-valid slice is a
+    // reuse.
     for (const SliceInfo& s : slices) {
-      auto it = stores_.find(s.index);
-      if (it == stores_.end()) continue;
+      if (arrange_.AtVersion(s.index) == nullptr) continue;
       ++bitset_ops_;
       if (!tracker().cl_table().SlotUnchanged(last_index, s.index, q.slot)) {
         continue;
       }
-      // Slice partials are computed once at insert time and shared by
-      // every window covering the slice: each combine is a reuse.
       if (series != nullptr) series->slices_reused.Add();
-      // Merged view: resident partials plus any spilled runs of the slice.
-      it->second.ForEachKeyMerged(
-          q.slot, [&](spe::Value key, const spe::Accumulator& acc) {
-            combined[key].Merge(acc);
-          });
     }
-    for (const auto& [key, acc] : combined) {
+    // The composed view's group tags are already masked to the last slice
+    // via the CL table, so slot membership alone decides contribution.
+    for (const auto& [key, groups] : composed) {
+      spe::Accumulator acc;
+      bool any = false;
+      for (const AggArrangement::Group& g : groups) {
+        if (g.tags.Test(q.slot)) {
+          acc.Merge(g.acc);
+          any = true;
+        }
+      }
+      if (!any) continue;
       spe::StreamElement el;
       el.kind = spe::ElementKind::kRecord;
       el.record.event_time = result_time;
@@ -318,21 +347,13 @@ void SharedAggregation::OnWatermarkTail(TimestampMs watermark,
 
 void SharedAggregation::OnSlicesEvicted(const std::vector<int64_t>& indices) {
   if (indices.empty()) return;
-  const int64_t max_evicted = indices.back();
-  auto it = stores_.begin();
-  while (it != stores_.end() && it->first <= max_evicted) {
-    it = stores_.erase(it);
-  }
+  arrange_.EvictThrough(indices.back());
   RefreshArenaBytes();
 }
 
 Status SharedAggregation::SnapshotState(spe::StateWriter* writer) {
   SerializeBase(writer);
-  writer->WriteU64(stores_.size());
-  for (const auto& [index, store] : stores_) {
-    writer->WriteI64(index);
-    store.Serialize(writer);
-  }
+  arrange_.Serialize(writer);
   writer->WriteU64(session_queries_.size());
   for (const auto& [id, sq] : session_queries_) {
     writer->WriteI64(sq.id);
@@ -360,13 +381,7 @@ Status SharedAggregation::SnapshotState(spe::StateWriter* writer) {
 
 Status SharedAggregation::RestoreState(spe::StateReader* reader) {
   ASTREAM_RETURN_IF_ERROR(RestoreBase(reader));
-  stores_.clear();
-  const uint64_t num_stores = reader->ReadU64();
-  for (uint64_t i = 0; i < num_stores && reader->Ok(); ++i) {
-    const int64_t index = reader->ReadI64();
-    auto it = stores_.emplace(index, AggStore::Deserialize(reader));
-    it.first->second.BindSpill(spill_space());
-  }
+  ASTREAM_RETURN_IF_ERROR(arrange_.Restore(reader));
   session_queries_.clear();
   const uint64_t num_sq = reader->ReadU64();
   for (uint64_t i = 0; i < num_sq && reader->Ok(); ++i) {

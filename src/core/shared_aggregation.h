@@ -4,6 +4,7 @@
 #include <map>
 #include <vector>
 
+#include "core/arrangement.h"
 #include "core/shared_operator.h"
 
 namespace astream::core {
@@ -52,6 +53,8 @@ class SharedAggregation : public SharedWindowedOperator,
   /// Arena bytes backing all live slice stores (the state.arena_bytes
   /// gauge). Refreshed by the task thread after inserts and evictions.
   int64_t state_arena_bytes() const { return state_arena_bytes_; }
+  /// The shared arrangement (memo hit/miss counters, composed-block bytes).
+  const AggArrangement& arrangement() const { return arrange_; }
 
   /// storage::SpillClient: spills the coldest slice's partials (sessions
   /// never spill — they are per-query, not slice-aligned, and tiny).
@@ -98,7 +101,10 @@ class SharedAggregation : public SharedWindowedOperator,
 
   void AddToSession(SessionQuery* sq, spe::Value key, TimestampMs t,
                     spe::Value value);
-  AggStore& StoreFor(int64_t slice_index);
+  /// Routes one in-window record into session state and slice partials.
+  /// `tags` is the record's tag set already intersected with the port mask.
+  void IngestRecord(const spe::Record& record, const QuerySet& tags,
+                    SliceCursor* cursor, AggStore** cached_store);
   /// Recomputes arena/resident byte totals and reports them (with the
   /// coldest resident slice's window end) to the governor, if any.
   void RefreshArenaBytes();
@@ -106,9 +112,22 @@ class SharedAggregation : public SharedWindowedOperator,
   void EnforceBudget();
 
   AggConfig config_;
-  std::map<int64_t, AggStore> stores_;  // slice index -> partials
+  /// Versioned group-shared partials: slice index -> AggStore.
+  AggArrangement arrange_;
   std::vector<SlotInfo> slot_info_;
   std::vector<QuerySet> port_masks_;
+  /// One entry per distinct agg column among hosted time-window slots:
+  /// with sharing on, a tuple does one accumulator Add per entry (tagged
+  /// with every interested slot) instead of one per slot.
+  struct ColumnMask {
+    int column = 1;
+    QuerySet slots;
+  };
+  std::vector<ColumnMask> column_masks_;
+  /// All hosted time-window slots (the per-slot insert path, sharing off).
+  QuerySet time_mask_;
+  /// All hosted session-window slots.
+  QuerySet session_mask_;
   std::map<QueryId, SessionQuery> session_queries_;
   int64_t bitset_ops_ = 0;
   int64_t records_late_ = 0;

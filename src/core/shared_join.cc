@@ -6,6 +6,8 @@ namespace astream::core {
 
 SharedJoin::SharedJoin(SharedOperatorConfig config)
     : SharedWindowedOperator(std::move(config)) {
+  sides_[0].BindSpill(spill_space());
+  sides_[1].BindSpill(spill_space());
   if (governor() != nullptr) governor()->Register(this);
 }
 
@@ -13,34 +15,17 @@ SharedJoin::~SharedJoin() {
   if (governor() != nullptr) governor()->Unregister(this);
 }
 
-TupleStore& SharedJoin::StoreFor(int side, int64_t slice_index) {
-  auto it = stores_[side].find(slice_index);
-  if (it == stores_[side].end()) {
-    it = stores_[side]
-             .emplace(slice_index, TupleStore(current_mode()))
-             .first;
-    it->second.BindSpill(spill_space());
-  }
-  return it->second;
-}
-
 void SharedJoin::RefreshArenaBytes() {
   int64_t bytes = 0;
   size_t resident = 0;
-  int64_t coldest_index = std::numeric_limits<int64_t>::max();
-  for (const auto& side_stores : stores_) {
-    for (const auto& [index, store] : side_stores) {
-      bytes += static_cast<int64_t>(store.ArenaBytes());
-      resident += store.ResidentBytes();
-      if (store.NumResidentTuples() > 0 && index < coldest_index) {
-        coldest_index = index;
-      }
-    }
+  int64_t coldest_index = TupleArrangement::kNoVersion;
+  for (const TupleArrangement& side : sides_) {
+    side.AddBytes(&bytes, &resident, &coldest_index);
   }
   state_arena_bytes_ = bytes;
   if (governor() == nullptr) return;
   int64_t coldest_end = std::numeric_limits<int64_t>::max();
-  if (coldest_index != std::numeric_limits<int64_t>::max()) {
+  if (coldest_index != TupleArrangement::kNoVersion) {
     auto slice = tracker().SliceByIndex(coldest_index);
     coldest_end = slice.has_value() ? slice->end : coldest_index;
   }
@@ -56,18 +41,10 @@ size_t SharedJoin::SpillOnce() {
   // spill at that index (their windows expire together), and the CL deltas
   // at or below it go with them. The pair memo stays: it holds computed
   // results that every later window over the pair reuses.
-  int64_t victim = std::numeric_limits<int64_t>::max();
-  for (const auto& side_stores : stores_) {
-    for (const auto& [index, store] : side_stores) {
-      if (store.NumResidentTuples() > 0 && index < victim) victim = index;
-    }
-  }
-  if (victim == std::numeric_limits<int64_t>::max()) return 0;
-  size_t released = 0;
-  for (auto& side_stores : stores_) {
-    auto it = side_stores.find(victim);
-    if (it != side_stores.end()) released += it->second.SpillToDisk();
-  }
+  const int64_t victim = std::min(sides_[0].ColdestResident(),
+                                  sides_[1].ColdestResident());
+  if (victim == TupleArrangement::kNoVersion) return 0;
+  size_t released = sides_[0].SpillAt(victim) + sides_[1].SpillAt(victim);
   released += tracker().cl_table().SpillBelow(victim, spill_space());
   RefreshArenaBytes();
   return released;
@@ -90,7 +67,7 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
   ++bitset_ops_;
   if (tags.None()) return;
   const SliceInfo slice = tracker().SliceFor(record.event_time);
-  StoreFor(port, slice.index).Insert(record.row, tags);
+  sides_[port].StoreAt(slice.index, current_mode()).Insert(record.row, tags);
   RefreshArenaBytes();
   EnforceBudget();
 }
@@ -98,12 +75,10 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
 void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
                               spe::Collector* out) {
   (void)out;
-  // One batch arrives from one (port, sender), so a single store cache
-  // suffices; it is revalidated by [start, end) slice containment.
-  // Consecutive tuples overwhelmingly share a slice (sources are roughly
-  // time-ordered). Safe within a batch: slices only change on markers,
-  // which are batch boundaries, and map nodes are pointer-stable.
-  SliceInfo cached_slice;
+  // One batch arrives from one (port, sender), so a single write cursor
+  // suffices; SliceCursor revalidates by [start, end) containment (see
+  // window_math.h for the pattern's safety argument).
+  SliceCursor cursor;
   TupleStore* cached_store = nullptr;
   int64_t ops = 0;
   for (spe::Record& record : records) {
@@ -123,11 +98,10 @@ void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
     scratch_tags_ &= hosted_mask();
     ++ops;
     if (scratch_tags_.None()) continue;
-    if (cached_store == nullptr ||
-        record.event_time < cached_slice.start ||
-        record.event_time >= cached_slice.end) {
-      cached_slice = tracker().SliceFor(record.event_time);
-      cached_store = &StoreFor(port, cached_slice.index);
+    if (cursor.Advance(tracker(), record.event_time) ||
+        cached_store == nullptr) {
+      cached_store =
+          &sides_[port].StoreAt(cursor.slice().index, current_mode());
     }
     cached_store->Insert(record.row, scratch_tags_);
   }
@@ -136,24 +110,22 @@ void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
   EnforceBudget();
 }
 
-const std::vector<SharedJoin::JoinedTuple>& SharedJoin::MemoFor(
-    int64_t a, int64_t b, bool* computed) {
-  const auto key = std::make_pair(a, b);
-  auto it = memo_.find(key);
-  if (it != memo_.end()) {
+const std::vector<JoinedTuple>& SharedJoin::MemoFor(int64_t a, int64_t b,
+                                                    bool* computed) {
+  if (const std::vector<JoinedTuple>* hit = memo_.Find(a, b)) {
     ++pairs_reused_;
     *computed = false;
-    return it->second;
+    return *hit;
   }
   ++pairs_computed_;
   *computed = true;
-  auto& results = memo_[key];
-  auto sa = stores_[0].find(a);
-  auto sb = stores_[1].find(b);
-  if (sa != stores_[0].end() && sb != stores_[1].end()) {
+  std::vector<JoinedTuple>& results = memo_.Emplace(a, b);
+  const TupleStore* sa = sides_[0].AtVersion(a);
+  const TupleStore* sb = sides_[1].AtVersion(b);
+  if (sa != nullptr && sb != nullptr) {
     const QuerySet& mask = tracker().cl_table().Mask(a, b);
     bitset_ops_ += TupleStore::Join(
-        sa->second, sb->second, mask,
+        *sa, *sb, mask,
         [&](const spe::Row& left, const spe::Row& right, QuerySet tags) {
           JoinedTuple t;
           t.row = spe::Row::Concat(left, right);
@@ -220,40 +192,22 @@ void SharedJoin::TriggerWindows(TimestampMs start, TimestampMs end,
 void SharedJoin::OnSlicesEvicted(const std::vector<int64_t>& indices) {
   if (indices.empty()) return;
   const int64_t max_evicted = indices.back();
-  for (int side = 0; side < 2; ++side) {
-    auto& side_stores = stores_[side];
-    auto it = side_stores.begin();
-    while (it != side_stores.end() && it->first <= max_evicted) {
-      it = side_stores.erase(it);
-    }
-  }
-  auto it = memo_.begin();
-  while (it != memo_.end()) {
-    if (it->first.first <= max_evicted || it->first.second <= max_evicted) {
-      it = memo_.erase(it);
-    } else {
-      ++it;
-    }
-  }
+  sides_[0].EvictThrough(max_evicted);
+  sides_[1].EvictThrough(max_evicted);
+  memo_.EvictThrough(max_evicted);
   RefreshArenaBytes();
 }
 
 void SharedJoin::OnModeSwitch(StoreMode mode) {
   // Sec. 3.2.3: convert the physical layout of all live slices.
-  for (auto& side_stores : stores_) {
-    for (auto& [index, store] : side_stores) store.ConvertTo(mode);
-  }
+  sides_[0].ConvertAll(mode);
+  sides_[1].ConvertAll(mode);
 }
 
 Status SharedJoin::SnapshotState(spe::StateWriter* writer) {
   SerializeBase(writer);
-  for (const auto& side_stores : stores_) {
-    writer->WriteU64(side_stores.size());
-    for (const auto& [index, store] : side_stores) {
-      writer->WriteI64(index);
-      store.Serialize(writer);
-    }
-  }
+  sides_[0].Serialize(writer);
+  sides_[1].Serialize(writer);
   // The memo is a cache: recomputed on demand after restore.
   writer->WriteI64(pairs_computed_);
   writer->WriteI64(records_late_);
@@ -262,16 +216,9 @@ Status SharedJoin::SnapshotState(spe::StateWriter* writer) {
 
 Status SharedJoin::RestoreState(spe::StateReader* reader) {
   ASTREAM_RETURN_IF_ERROR(RestoreBase(reader));
-  memo_.clear();
-  for (auto& side_stores : stores_) {
-    side_stores.clear();
-    const uint64_t n = reader->ReadU64();
-    for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
-      const int64_t index = reader->ReadI64();
-      auto it = side_stores.emplace(index, TupleStore::Deserialize(reader));
-      it.first->second.BindSpill(spill_space());
-    }
-  }
+  memo_.Clear();
+  ASTREAM_RETURN_IF_ERROR(sides_[0].Restore(reader));
+  ASTREAM_RETURN_IF_ERROR(sides_[1].Restore(reader));
   pairs_computed_ = reader->ReadI64();
   records_late_ = reader->ReadI64();
   if (!reader->Ok()) return Status::Internal("bad shared-join snapshot");

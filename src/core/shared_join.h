@@ -1,10 +1,9 @@
 #ifndef ASTREAM_CORE_SHARED_JOIN_H_
 #define ASTREAM_CORE_SHARED_JOIN_H_
 
-#include <map>
-#include <utility>
 #include <vector>
 
+#include "core/arrangement.h"
 #include "core/shared_operator.h"
 
 namespace astream::core {
@@ -59,27 +58,22 @@ class SharedJoin : public SharedWindowedOperator, public storage::SpillClient {
   void OnModeSwitch(StoreMode mode) override;
 
  private:
-  struct JoinedTuple {
-    spe::Row row;
-    QuerySet tags;
-  };
-
   /// Memoized join of A-slice `a` with B-slice `b` (computed on first use).
   /// `*computed` reports whether this call did the work or hit the memo,
   /// so callers can attribute reuse to the queries they serve.
   const std::vector<JoinedTuple>& MemoFor(int64_t a, int64_t b,
                                           bool* computed);
-  TupleStore& StoreFor(int side, int64_t slice_index);
   /// Recomputes arena/resident byte totals and reports them (with the
   /// coldest resident slice's window end) to the governor, if any.
   void RefreshArenaBytes();
   /// Asks the governor to rebalance; may call SpillOnce on this thread.
   void EnforceBudget();
 
-  // Per side: slice index -> tuple store.
-  std::map<int64_t, TupleStore> stores_[2];
-  // (a-slice, b-slice) -> joined tuples with combined, CL-masked tags.
-  std::map<std::pair<int64_t, int64_t>, std::vector<JoinedTuple>> memo_;
+  /// One tuple arrangement per side; both operators read versioned slices
+  /// of the same maintained index instead of private store maps.
+  TupleArrangement sides_[2];
+  /// (a-slice, b-slice) -> joined tuples with combined, CL-masked tags.
+  JoinMemo memo_;
 
   int64_t pairs_computed_ = 0;
   int64_t pairs_reused_ = 0;

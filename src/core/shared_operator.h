@@ -48,6 +48,15 @@ struct SharedOperatorConfig {
   /// `spill_space` when the governor asks.
   storage::MemoryGovernor* governor = nullptr;
   storage::SpillSpace* spill_space = nullptr;
+
+  /// Cross-window state sharing (DESIGN.md §12). When true (the default),
+  /// the slicer routes composable (length, slide) specs through the
+  /// factor-window rewrite, aggregations store group-shared partials, and
+  /// trigger evaluation composes slices through the arrangement memo. When
+  /// false, every query keeps per-slot partials over exact per-query edges
+  /// — the per-query-store reference mode the equivalence suite compares
+  /// against.
+  bool share_arrangements = true;
 };
 
 /// Base class for SharedJoin and SharedAggregation: owns the active-query
@@ -63,13 +72,20 @@ class SharedWindowedOperator : public spe::Operator {
   explicit SharedWindowedOperator(SharedOperatorConfig config)
       : config_(std::move(config)),
         metrics_on_(config_.metrics != nullptr && config_.metrics->enabled()),
-        series_cache_(config_.metrics) {}
+        series_cache_(config_.metrics) {
+    tracker_.EnableFactorRewrite(config_.share_arrangements);
+  }
 
   void OnMarker(const spe::ControlMarker& marker, spe::Collector* out) final;
   void OnWatermark(TimestampMs watermark, spe::Collector* out) final;
 
   const ActiveQueryTable& table() const { return table_; }
   SliceTracker& tracker() { return tracker_; }
+  const SliceTracker& tracker() const { return tracker_; }
+
+  /// Whether cross-window sharing (arrangement memo + factor rewriting +
+  /// group-shared partials) is on for this operator.
+  bool share_arrangements() const { return config_.share_arrangements; }
 
   /// Observability: slices currently alive / total created.
   size_t NumLiveSlices() const { return tracker_.NumSlices(); }

@@ -370,33 +370,75 @@ TupleStore TupleStore::Deserialize(spe::StateReader* reader) {
 AggStore::Resident::Resident()
     : arena(std::make_unique<Arena>()),
       keys(0, std::hash<spe::Value>{}, std::equal_to<spe::Value>{},
-           AA<std::pair<const spe::Value, AccVec>>(arena.get())) {}
+           AA<std::pair<const spe::Value, GroupVec>>(arena.get())) {}
 
 AggStore::AggStore() : res_(std::make_unique<Resident>()) {}
 
-void AggStore::Add(spe::Value key, int slot, spe::Value value) {
-  auto& accs = res_->keys[key];
-  if (accs.size() <= static_cast<size_t>(slot)) accs.resize(slot + 1);
-  accs[slot].Add(value);
+namespace {
+
+void EncodeAcc(spe::StateWriter* w, const spe::Accumulator& acc) {
+  w->WriteI64(acc.sum);
+  w->WriteI64(acc.count);
+  w->WriteI64(acc.min);
+  w->WriteI64(acc.max);
 }
 
-const spe::Accumulator* AggStore::Find(spe::Value key, int slot) const {
-  auto it = res_->keys.find(key);
-  if (it == res_->keys.end()) return nullptr;
-  if (static_cast<size_t>(slot) >= it->second.size()) return nullptr;
-  const spe::Accumulator& acc = it->second[slot];
-  return acc.Empty() ? nullptr : &acc;
+void DecodeAcc(spe::StateReader* r, spe::Accumulator* acc) {
+  acc->sum = r->ReadI64();
+  acc->count = r->ReadI64();
+  acc->min = r->ReadI64();
+  acc->max = r->ReadI64();
 }
 
-void AggStore::ForEachKey(
-    int slot,
-    const std::function<void(spe::Value, const spe::Accumulator&)>& fn)
-    const {
-  for (const auto& [key, accs] : res_->keys) {
-    if (static_cast<size_t>(slot) < accs.size() && !accs[slot].Empty()) {
-      fn(key, accs[slot]);
+/// Folds `acc` into the group of `tags` in `groups` (same dedup rule as
+/// the resident insert path: one group per distinct tag set).
+void FoldGroup(std::vector<AggStore::Group>* groups, const QuerySet& tags,
+               const spe::Accumulator& acc) {
+  for (AggStore::Group& g : *groups) {
+    if (g.tags == tags) {
+      g.acc.Merge(acc);
+      return;
     }
   }
+  groups->push_back(AggStore::Group{tags, acc});
+}
+
+}  // namespace
+
+void AggStore::Add(spe::Value key, const QuerySet& tags, spe::Value value) {
+  auto& groups = res_->keys[key];
+  for (Group& g : groups) {
+    if (g.tags == tags) {
+      g.acc.Add(value);
+      return;
+    }
+  }
+  Group g;
+  g.tags = tags;
+  g.acc.Add(value);
+  groups.push_back(std::move(g));
+}
+
+spe::Accumulator AggStore::SlotAccumulator(spe::Value key, int slot) const {
+  spe::Accumulator acc;
+  auto it = res_->keys.find(key);
+  if (it == res_->keys.end()) return acc;
+  for (const Group& g : it->second) {
+    if (g.tags.Test(slot)) acc.Merge(g.acc);
+  }
+  return acc;
+}
+
+void AggStore::ForEachGroupsMerged(const GroupsFn& fn) const {
+  if (runs_.empty()) {
+    for (const auto& [key, groups] : res_->keys) {
+      if (!groups.empty()) fn(key, groups.data(), groups.size());
+    }
+    return;
+  }
+  ForEachMergedEntry([&](spe::Value key, const std::vector<Group>& groups) {
+    if (!groups.empty()) fn(key, groups.data(), groups.size());
+  });
 }
 
 size_t AggStore::SpillToDisk() {
@@ -404,10 +446,10 @@ size_t AggStore::SpillToDisk() {
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<ScanEntry> entries;
   entries.reserve(res_->keys.size());
-  for (const auto& [key, accs] : res_->keys) {
+  for (const auto& [key, groups] : res_->keys) {
     ScanEntry e;
     e.key = key;
-    e.slots.assign(accs.begin(), accs.end());
+    e.groups.assign(groups.begin(), groups.end());
     entries.push_back(std::move(e));
   }
   std::sort(entries.begin(), entries.end(),
@@ -417,12 +459,10 @@ size_t AggStore::SpillToDisk() {
   storage::RunWriter writer(spill_->NextRunPath("agg"));
   for (const ScanEntry& e : entries) {
     spe::StateWriter enc;
-    enc.WriteU64(e.slots.size());
-    for (const spe::Accumulator& acc : e.slots) {
-      enc.WriteI64(acc.sum);
-      enc.WriteI64(acc.count);
-      enc.WriteI64(acc.min);
-      enc.WriteI64(acc.max);
+    enc.WriteU64(e.groups.size());
+    for (const Group& g : e.groups) {
+      enc.WriteBitset(g.tags);
+      EncodeAcc(&enc, g.acc);
     }
     if (!writer.Append(e.key, enc.buffer().data(), enc.buffer().size())
              .ok()) {
@@ -439,17 +479,17 @@ size_t AggStore::SpillToDisk() {
 }
 
 void AggStore::ForEachMergedEntry(
-    const std::function<void(spe::Value,
-                             const std::vector<spe::Accumulator>&)>& fn)
+    const std::function<void(spe::Value, const std::vector<Group>&)>& fn)
     const {
   // Sorted resident snapshot + one source per run, k-way merged; equal
-  // keys are folded by per-slot accumulator merge before fn sees them.
+  // keys are folded group-wise (same-tag groups merge) before fn sees
+  // them.
   std::vector<ScanEntry> resident;
   resident.reserve(res_->keys.size());
-  for (const auto& [key, accs] : res_->keys) {
+  for (const auto& [key, groups] : res_->keys) {
     ScanEntry e;
     e.key = key;
-    e.slots.assign(accs.begin(), accs.end());
+    e.groups.assign(groups.begin(), groups.end());
     resident.push_back(std::move(e));
   }
   std::sort(resident.begin(), resident.end(),
@@ -476,12 +516,13 @@ void AggStore::ForEachMergedEntry(
       spe::StateReader dec(std::move(payload));
       out->key = key;
       const uint64_t n = dec.ReadU64();
-      out->slots.assign(n, spe::Accumulator{});
+      out->groups.clear();
+      out->groups.reserve(n);
       for (uint64_t i = 0; i < n && dec.Ok(); ++i) {
-        out->slots[i].sum = dec.ReadI64();
-        out->slots[i].count = dec.ReadI64();
-        out->slots[i].min = dec.ReadI64();
-        out->slots[i].max = dec.ReadI64();
+        Group g;
+        g.tags = dec.ReadBitset();
+        DecodeAcc(&dec, &g.acc);
+        out->groups.push_back(std::move(g));
       }
       return dec.Ok();
     });
@@ -492,49 +533,25 @@ void AggStore::ForEachMergedEntry(
   ScanEntry e;
   while (merge.Next(&e)) {
     if (have && e.key == cur.key) {
-      if (e.slots.size() > cur.slots.size()) {
-        cur.slots.resize(e.slots.size());
-      }
-      for (size_t i = 0; i < e.slots.size(); ++i) {
-        cur.slots[i].Merge(e.slots[i]);
-      }
+      for (const Group& g : e.groups) FoldGroup(&cur.groups, g.tags, g.acc);
     } else {
-      if (have) fn(cur.key, cur.slots);
+      if (have) fn(cur.key, cur.groups);
       cur = std::move(e);
       have = true;
     }
   }
-  if (have) fn(cur.key, cur.slots);
-}
-
-void AggStore::ForEachKeyMerged(
-    int slot,
-    const std::function<void(spe::Value, const spe::Accumulator&)>& fn)
-    const {
-  if (runs_.empty()) {
-    ForEachKey(slot, fn);
-    return;
-  }
-  ForEachMergedEntry(
-      [&](spe::Value key, const std::vector<spe::Accumulator>& slots) {
-        if (static_cast<size_t>(slot) < slots.size() &&
-            !slots[slot].Empty()) {
-          fn(key, slots[slot]);
-        }
-      });
+  if (have) fn(cur.key, cur.groups);
 }
 
 void AggStore::Serialize(spe::StateWriter* writer) const {
   if (runs_.empty()) {
     writer->WriteU64(res_->keys.size());
-    for (const auto& [key, accs] : res_->keys) {
+    for (const auto& [key, groups] : res_->keys) {
       writer->WriteI64(key);
-      writer->WriteU64(accs.size());
-      for (const spe::Accumulator& acc : accs) {
-        writer->WriteI64(acc.sum);
-        writer->WriteI64(acc.count);
-        writer->WriteI64(acc.min);
-        writer->WriteI64(acc.max);
+      writer->WriteU64(groups.size());
+      for (const Group& g : groups) {
+        writer->WriteBitset(g.tags);
+        EncodeAcc(writer, g.acc);
       }
     }
     return;
@@ -544,19 +561,16 @@ void AggStore::Serialize(spe::StateWriter* writer) const {
   // and pass two writes — both streaming.
   uint64_t num_keys = 0;
   ForEachMergedEntry(
-      [&](spe::Value, const std::vector<spe::Accumulator>&) { ++num_keys; });
+      [&](spe::Value, const std::vector<Group>&) { ++num_keys; });
   writer->WriteU64(num_keys);
-  ForEachMergedEntry(
-      [&](spe::Value key, const std::vector<spe::Accumulator>& slots) {
-        writer->WriteI64(key);
-        writer->WriteU64(slots.size());
-        for (const spe::Accumulator& acc : slots) {
-          writer->WriteI64(acc.sum);
-          writer->WriteI64(acc.count);
-          writer->WriteI64(acc.min);
-          writer->WriteI64(acc.max);
-        }
-      });
+  ForEachMergedEntry([&](spe::Value key, const std::vector<Group>& groups) {
+    writer->WriteI64(key);
+    writer->WriteU64(groups.size());
+    for (const Group& g : groups) {
+      writer->WriteBitset(g.tags);
+      EncodeAcc(writer, g.acc);
+    }
+  });
 }
 
 AggStore AggStore::Deserialize(spe::StateReader* reader) {
@@ -564,14 +578,14 @@ AggStore AggStore::Deserialize(spe::StateReader* reader) {
   const uint64_t n = reader->ReadU64();
   for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
     const spe::Value key = reader->ReadI64();
-    const uint64_t num_slots = reader->ReadU64();
-    auto& accs = store.res_->keys[key];
-    accs.resize(num_slots);
-    for (uint64_t s = 0; s < num_slots && reader->Ok(); ++s) {
-      accs[s].sum = reader->ReadI64();
-      accs[s].count = reader->ReadI64();
-      accs[s].min = reader->ReadI64();
-      accs[s].max = reader->ReadI64();
+    const uint64_t num_groups = reader->ReadU64();
+    auto& groups = store.res_->keys[key];
+    groups.reserve(num_groups);
+    for (uint64_t g = 0; g < num_groups && reader->Ok(); ++g) {
+      Group grp;
+      grp.tags = reader->ReadBitset();
+      DecodeAcc(reader, &grp.acc);
+      groups.push_back(std::move(grp));
     }
   }
   return store;

@@ -184,43 +184,51 @@ class TupleStore {
   std::vector<storage::SpilledRunPtr> runs_;
 };
 
-/// Per-slice intermediate aggregates (Sec. 3.1.5): instead of materializing
-/// tuples, each slice keeps, per key, one accumulator per query slot; the
-/// tuple is discarded after updating every interested query's accumulator.
+/// Per-slice intermediate aggregates (Sec. 3.1.5 + DESIGN.md §12): instead
+/// of materializing tuples, each slice keeps, per key, *group-shared*
+/// partials — one accumulator per distinct query-set group. Every query
+/// whose slot is in a group's tag set reads the same accumulator, so a
+/// tuple costs one Add per distinct aggregated column no matter how many
+/// queries cover the slice; the pre-arrangement layout (one accumulator
+/// per query slot) is the degenerate case where every group is the
+/// singleton of one slot, which is exactly what the operator feeds this
+/// store when cross-window sharing is disabled.
+///
 /// Backed by the same per-store arena scheme as TupleStore, with the same
-/// spill contract: SpillToDisk writes a key-sorted run of (key, all-slot
-/// accumulators) entries and rebuilds the resident side empty; finalize
-/// reads through ForEachKeyMerged, which merges same-key accumulators
-/// across the resident population and every run in one streaming pass.
+/// spill contract: SpillToDisk writes a key-sorted run of (key, groups)
+/// entries and rebuilds the resident side empty; finalize reads through
+/// ForEachGroupsMerged, which folds same-key groups across the resident
+/// population and every run in one streaming pass.
 class AggStore {
  public:
+  /// One shared partial: the accumulator of every tuple that arrived with
+  /// exactly this (masked) tag set.
+  struct Group {
+    QuerySet tags;
+    spe::Accumulator acc;
+  };
+
   AggStore();
 
   /// Enables SpillToDisk; unbound stores never spill.
   void BindSpill(storage::SpillSpace* space) { spill_ = space; }
 
-  /// Adds `value` to the accumulator of (key, slot).
-  void Add(spe::Value key, int slot, spe::Value value);
+  /// Folds `value` into the group of `tags` under `key`, creating the
+  /// group on first touch. `tags` must be non-empty.
+  void Add(spe::Value key, const QuerySet& tags, spe::Value value);
 
-  /// The accumulator for (key, slot), or nullptr if empty. Resident side
-  /// only — finalize paths (which must see spilled partials) go through
-  /// ForEachKeyMerged.
-  const spe::Accumulator* Find(spe::Value key, int slot) const;
+  /// The merged accumulator over every group whose tag set contains
+  /// `slot` — the per-query view of the shared partials. Resident side
+  /// only (tests/diagnostics); finalize paths go through the arrangement.
+  spe::Accumulator SlotAccumulator(spe::Value key, int slot) const;
 
-  /// Calls fn(key, accumulator) for every resident key with data in
-  /// `slot`.
-  void ForEachKey(int slot,
-                  const std::function<void(spe::Value,
-                                           const spe::Accumulator&)>& fn)
-      const;
-
-  /// Like ForEachKey but over resident + spilled partials, in ascending
-  /// key order, with same-key accumulators merged. Equals ForEachKey
-  /// (modulo order) when nothing is spilled.
-  void ForEachKeyMerged(
-      int slot,
-      const std::function<void(spe::Value, const spe::Accumulator&)>& fn)
-      const;
+  /// Calls fn(key, groups, count) for every key, resident + spilled. With
+  /// no runs this iterates the resident map directly (unordered);
+  /// otherwise keys stream in ascending order with same-key, same-tag
+  /// groups folded. Callers must not retain the pointer past the call.
+  using GroupsFn =
+      std::function<void(spe::Value, const Group*, size_t)>;
+  void ForEachGroupsMerged(const GroupsFn& fn) const;
 
   /// Resident keys (spilled keys are not counted; a key present both
   /// resident and in runs counts once).
@@ -243,29 +251,29 @@ class AggStore {
  private:
   template <typename T>
   using AA = ArenaAllocator<T>;
-  using AccVec = std::vector<spe::Accumulator, AA<spe::Accumulator>>;
-  using KeyedAccs = std::unordered_map<
-      spe::Value, AccVec, std::hash<spe::Value>, std::equal_to<spe::Value>,
-      std::scoped_allocator_adaptor<AA<std::pair<const spe::Value, AccVec>>>>;
+  using GroupVec = std::vector<Group, AA<Group>>;
+  using KeyedGroups = std::unordered_map<
+      spe::Value, GroupVec, std::hash<spe::Value>, std::equal_to<spe::Value>,
+      std::scoped_allocator_adaptor<AA<std::pair<const spe::Value, GroupVec>>>>;
 
   /// See TupleStore::Resident.
   struct Resident {
     Resident();
     std::unique_ptr<Arena> arena;
-    // key -> slot-indexed accumulators (count == 0 means empty slot).
-    KeyedAccs keys;
+    // key -> query-set groups (linear scan: distinct tag sets per key are
+    // few — typically one per changelog generation the slice spans).
+    KeyedGroups keys;
   };
 
   struct ScanEntry {
     int64_t key = 0;
-    std::vector<spe::Accumulator> slots;
+    std::vector<Group> groups;
   };
 
   /// Merged ascending-key iteration over resident + runs; fn sees each
-  /// key once with its fully merged slot vector.
+  /// key once with its fully folded group vector.
   void ForEachMergedEntry(
-      const std::function<void(spe::Value,
-                               const std::vector<spe::Accumulator>&)>& fn)
+      const std::function<void(spe::Value, const std::vector<Group>&)>& fn)
       const;
 
   std::unique_ptr<Resident> res_;

@@ -8,26 +8,33 @@ namespace astream::core {
 void SliceTracker::AddQuery(int slot, TimestampMs origin,
                             spe::WindowSpec spec) {
   if (!spec.IsTimeWindow()) return;  // session windows contribute no edges
+  // Factor rewriting: a composable spec registers (or joins) a shared
+  // GCD-derived lattice whose edge set is a superset of every window edge
+  // the query will ever need — the query then contributes no per-query
+  // edge generator at all. The cost model's rejects fall back to exact
+  // edges below.
+  if (factor_rewrite_ && factors_.AcquireFor(slot, origin, spec)) return;
   queries_[slot] = TrackedQuery{origin, spec};
 }
 
-void SliceTracker::RemoveQuery(int slot) { queries_.erase(slot); }
+void SliceTracker::RemoveQuery(int slot) {
+  factors_.Release(slot);
+  queries_.erase(slot);
+}
 
 TimestampMs SliceTracker::NextEdgeAfter(TimestampMs t) const {
   TimestampMs next = kMaxTimestamp;
   for (const auto& [slot, q] : queries_) {
     // Next window-start edge strictly after t.
-    TimestampMs start_edge;
-    if (q.origin > t) {
-      start_edge = q.origin;
-    } else {
-      const int64_t k = (t - q.origin) / q.spec.slide + 1;
-      start_edge = q.origin + k * q.spec.slide;
-    }
-    next = std::min(next, start_edge);
+    next = std::min(next, NextStartEdgeAfter(q.origin, q.spec.slide, t));
     // Next window-end edge strictly after t.
     next = std::min(next, q.spec.FirstEndAfter(q.origin, t));
   }
+  // Factor lattices: one edge generator per distinct factor, however many
+  // queries ride it.
+  factors_.ForEachLattice([&](TimestampMs anchor, TimestampMs period) {
+    next = std::min(next, NextLatticeEdgeAfter(anchor, period, t));
+  });
   return next;
 }
 
@@ -162,6 +169,8 @@ void SliceTracker::Serialize(spe::StateWriter* writer) const {
   }
   writer->WriteBool(pending_delta_.has_value());
   if (pending_delta_.has_value()) writer->WriteBitset(*pending_delta_);
+  writer->WriteBool(factor_rewrite_);
+  factors_.Serialize(writer);
   cl_table_.Serialize(writer);
 }
 
@@ -194,6 +203,8 @@ Status SliceTracker::Restore(spe::StateReader* reader) {
     queries_[slot] = q;
   }
   if (reader->ReadBool()) pending_delta_ = reader->ReadBitset();
+  factor_rewrite_ = reader->ReadBool();
+  ASTREAM_RETURN_IF_ERROR(factors_.Restore(reader));
   ASTREAM_RETURN_IF_ERROR(cl_table_.Restore(reader));
   return reader->Ok() ? Status::OK()
                       : Status::Internal("bad SliceTracker snapshot");

@@ -8,16 +8,10 @@
 
 #include "core/cl_table.h"
 #include "core/query.h"
+#include "core/registry.h"
+#include "core/window_math.h"
 
 namespace astream::core {
-
-/// One runtime slice: a half-open interval [start, end) of event time with
-/// a dense, monotonically increasing index.
-struct SliceInfo {
-  TimestampMs start = 0;
-  TimestampMs end = 0;
-  int64_t index = 0;
-};
 
 /// Runtime window slicing (Sec. 3.1.3, Fig. 4e).
 ///
@@ -39,6 +33,15 @@ class SliceTracker {
 
   /// Current slot-universe size; used to size all-ones delta masks.
   void SetNumSlots(size_t num_slots) { num_slots_ = num_slots; }
+
+  /// Factor-window rewriting (DESIGN.md §12): when enabled, AddQuery
+  /// routes composable (length, slide) specs through the FactorRegistry so
+  /// they share one GCD-derived edge lattice instead of registering exact
+  /// per-query edge generators. Off by default (the bare tracker and the
+  /// per-query-store reference path); operators enable it from their
+  /// config before the first changelog.
+  void EnableFactorRewrite(bool on) { factor_rewrite_ = on; }
+  bool factor_rewrite_enabled() const { return factor_rewrite_; }
 
   /// Registers an active time-window query whose window edges contribute
   /// slice boundaries. `origin` is the query's creation time.
@@ -69,6 +72,7 @@ class SliceTracker {
   std::vector<int64_t> EvictBefore(TimestampMs horizon);
 
   ClTable& cl_table() { return cl_table_; }
+  const FactorRegistry& factors() const { return factors_; }
 
   /// The materialized slice with the given index, if not yet evicted.
   /// Lets spill policies translate a store's slice index back to its
@@ -105,12 +109,17 @@ class SliceTracker {
   void AppendSlice(TimestampMs end, QuerySet delta);
 
   size_t num_slots_ = 0;
+  bool factor_rewrite_ = false;
   bool initialized_ = false;
   TimestampMs frontier_ = kMinTimestamp;
   TimestampMs last_cut_ = kMinTimestamp;
   int64_t next_index_ = 0;
   std::deque<SliceInfo> slices_;
+  /// Queries tracked by their exact edges (factor rewriting off, session
+  /// specs, or specs the cost model rejected).
   std::map<int, TrackedQuery> queries_;
+  /// Queries rewritten onto shared factor lattices.
+  FactorRegistry factors_;
   /// Delta mask for the slice that will start at frontier_ (set by CutAt).
   std::optional<QuerySet> pending_delta_;
   ClTable cl_table_;

@@ -1,0 +1,90 @@
+#ifndef ASTREAM_CORE_WINDOW_MATH_H_
+#define ASTREAM_CORE_WINDOW_MATH_H_
+
+#include "common/clock.h"
+
+namespace astream::core {
+
+/// Window-boundary and slice math shared by the slicer, the factor
+/// registry, and both shared operators. SharedJoin and SharedAggregation
+/// used to re-derive this independently (slice containment checks, next-
+/// edge arithmetic); drift between the copies would silently mis-slice, so
+/// the arithmetic lives here once, with direct unit tests.
+
+/// One runtime slice: a half-open interval [start, end) of event time with
+/// a dense, monotonically increasing index.
+struct SliceInfo {
+  TimestampMs start = 0;
+  TimestampMs end = 0;
+  int64_t index = 0;
+};
+
+/// Non-negative remainder of t mod m (m > 0), correct for negative t.
+inline TimestampMs FloorMod(TimestampMs t, TimestampMs m) {
+  const TimestampMs r = t % m;
+  return r < 0 ? r + m : r;
+}
+
+/// gcd(|a|, |b|); gcd(x, 0) == x.
+inline TimestampMs WindowGcd(TimestampMs a, TimestampMs b) {
+  if (a < 0) a = -a;
+  if (b < 0) b = -b;
+  while (b != 0) {
+    const TimestampMs r = a % b;
+    a = b;
+    b = r;
+  }
+  return a;
+}
+
+/// Earliest window-start edge of a query anchored at `origin` with the
+/// given slide that lies strictly after `t` (edges at origin + k*slide,
+/// k >= 0).
+inline TimestampMs NextStartEdgeAfter(TimestampMs origin, TimestampMs slide,
+                                      TimestampMs t) {
+  if (origin > t) return origin;
+  const int64_t k = (t - origin) / slide + 1;
+  return origin + k * slide;
+}
+
+/// Earliest point of the full lattice { s : s ≡ anchor (mod period) }
+/// strictly after `t`. Unlike NextStartEdgeAfter the lattice is unbounded
+/// below: factor lattices are only consulted for t at or past the first
+/// registered query's origin, so earlier lattice points are never asked
+/// for.
+inline TimestampMs NextLatticeEdgeAfter(TimestampMs anchor,
+                                        TimestampMs period, TimestampMs t) {
+  return t + period - FloorMod(t - anchor, period);
+}
+
+/// The cached-slice resolution pattern of the operators' hot paths:
+/// consecutive tuples overwhelmingly share a slice (sources are roughly
+/// time-ordered), so the slice lookup is hoisted out of the per-tuple loop
+/// and revalidated by [start, end) containment. Safe within a batch:
+/// slices only change on markers, which are batch boundaries.
+///
+/// Advance returns true when the cached slice changed (including the first
+/// call), signalling the caller to re-resolve any per-slice pointer it
+/// pairs with the cursor.
+class SliceCursor {
+ public:
+  template <typename Tracker>
+  bool Advance(Tracker& tracker, TimestampMs t) {
+    if (valid_ && t >= slice_.start && t < slice_.end) return false;
+    slice_ = tracker.SliceFor(t);
+    valid_ = true;
+    return true;
+  }
+
+  const SliceInfo& slice() const { return slice_; }
+  bool valid() const { return valid_; }
+  void Invalidate() { valid_ = false; }
+
+ private:
+  SliceInfo slice_;
+  bool valid_ = false;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_WINDOW_MATH_H_

@@ -34,6 +34,14 @@ class QueryGenerator {
     /// slide = random(1, length); benches on small machines raise the
     /// floor to bound trigger density (documented scale-down).
     double slide_min_frac = 0.0;
+    /// Heterogeneous-window mix: when > 0, time windows are drawn from
+    /// `window_mix` distinct (length, slide) specs — length = base * pick
+    /// over one shared slide base — instead of the fully random draw.
+    /// This is the fleet shape the factor-window rewrite targets: many
+    /// distinct specs that are all composable from one GCD lattice.
+    int window_mix = 0;
+    /// Slide base of the mix; 0 derives it as max(1, window_min).
+    TimestampMs window_mix_slide = 0;
   };
 
   QueryGenerator(Config config, uint64_t seed)
@@ -49,6 +57,17 @@ class QueryGenerator {
   }
 
   spe::WindowSpec RandomTimeWindow() {
+    if (config_.window_mix > 0) {
+      // Pick one of `window_mix` distinct specs over a shared slide base:
+      // length = base * (1 + pick), slide = base. gcd(length, slide) ==
+      // base for every pick, so all of them factor onto one lattice.
+      const TimestampMs base = config_.window_mix_slide > 0
+                                   ? config_.window_mix_slide
+                                   : std::max<TimestampMs>(
+                                         1, config_.window_min);
+      const int64_t pick = rng_.UniformInt(1, config_.window_mix);
+      return spe::WindowSpec::Sliding(base * pick, base);
+    }
     const TimestampMs length =
         rng_.UniformInt(config_.window_min, config_.window_max);
     const auto floor = std::max<TimestampMs>(

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -18,9 +19,13 @@ namespace astream::core {
 /// the offline reference evaluator.
 class E2EHarness {
  public:
-  explicit E2EHarness(AStreamJob::TopologyKind kind, int parallelism = 1,
-                      StoreMode initial_mode = StoreMode::kGrouped,
-                      bool adaptive = true) {
+  /// `mutate_options` (when set) runs on the assembled Options just before
+  /// Create — the hook tests use to flip knobs the positional parameters
+  /// don't cover (share_arrangements on/off, memory budgets, ...).
+  explicit E2EHarness(
+      AStreamJob::TopologyKind kind, int parallelism = 1,
+      StoreMode initial_mode = StoreMode::kGrouped, bool adaptive = true,
+      const std::function<void(AStreamJob::Options*)>& mutate_options = {}) {
     AStreamJob::Options options;
     options.topology = kind;
     options.parallelism = parallelism;
@@ -30,6 +35,7 @@ class E2EHarness {
     options.session.max_timeout_ms = 1 << 30; // never by timeout
     options.initial_mode = initial_mode;
     options.adaptive_mode = adaptive;
+    if (mutate_options) mutate_options(&options);
     auto job = AStreamJob::Create(options);
     EXPECT_TRUE(job.ok()) << job.status().ToString();
     job_ = std::move(job).value();

@@ -149,46 +149,54 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
                        ::testing::Values(1, 3, 8, 16)));
 
-TEST(AggStoreTest, AddFindFinalize) {
+TEST(AggStoreTest, AddSlotAccumulatorFinalize) {
   AggStore s;
-  s.Add(1, 0, 10);
-  s.Add(1, 0, 5);
-  s.Add(1, 2, 7);
-  s.Add(2, 0, 1);
-  const spe::Accumulator* acc = s.Find(1, 0);
-  ASSERT_NE(acc, nullptr);
-  EXPECT_EQ(acc->Finalize(spe::AggKind::kSum), 15);
-  EXPECT_EQ(acc->Finalize(spe::AggKind::kCount), 2);
-  EXPECT_EQ(acc->Finalize(spe::AggKind::kMin), 5);
-  EXPECT_EQ(acc->Finalize(spe::AggKind::kMax), 10);
-  EXPECT_EQ(acc->Finalize(spe::AggKind::kAvg), 7);
-  EXPECT_EQ(s.Find(1, 1), nullptr);
-  EXPECT_EQ(s.Find(9, 0), nullptr);
+  s.Add(1, QuerySet::Single(0), 10);
+  s.Add(1, QuerySet::Single(0), 5);
+  s.Add(1, QuerySet::Single(2), 7);
+  s.Add(2, QuerySet::Single(0), 1);
+  const spe::Accumulator acc = s.SlotAccumulator(1, 0);
+  EXPECT_FALSE(acc.Empty());
+  EXPECT_EQ(acc.Finalize(spe::AggKind::kSum), 15);
+  EXPECT_EQ(acc.Finalize(spe::AggKind::kCount), 2);
+  EXPECT_EQ(acc.Finalize(spe::AggKind::kMin), 5);
+  EXPECT_EQ(acc.Finalize(spe::AggKind::kMax), 10);
+  EXPECT_EQ(acc.Finalize(spe::AggKind::kAvg), 7);
+  EXPECT_TRUE(s.SlotAccumulator(1, 1).Empty());
+  EXPECT_TRUE(s.SlotAccumulator(9, 0).Empty());
 }
 
-TEST(AggStoreTest, ForEachKeySlotScoped) {
+TEST(AggStoreTest, SharedGroupPerTagSet) {
   AggStore s;
-  s.Add(1, 0, 1);
-  s.Add(2, 1, 2);
-  s.Add(3, 0, 3);
-  int count = 0;
-  s.ForEachKey(0, [&](Value key, const spe::Accumulator&) {
-    EXPECT_TRUE(key == 1 || key == 3);
-    ++count;
-  });
-  EXPECT_EQ(count, 2);
+  // Two tuples tagged with the same two-query set land in ONE group: one
+  // accumulator maintained for both queries (the group-sharing invariant).
+  s.Add(1, Bits({0, 1}), 10);
+  s.Add(1, Bits({0, 1}), 20);
+  // A different tag set over the same key is a separate group.
+  s.Add(1, Bits({1}), 5);
+  size_t groups_seen = 0;
+  s.ForEachGroupsMerged(
+      [&](Value key, const AggStore::Group* groups, size_t n) {
+        EXPECT_EQ(key, 1);
+        groups_seen = n;
+      });
+  EXPECT_EQ(groups_seen, 2u);
+  EXPECT_EQ(s.SlotAccumulator(1, 0).Finalize(spe::AggKind::kSum), 30);
+  EXPECT_EQ(s.SlotAccumulator(1, 1).Finalize(spe::AggKind::kSum), 35);
 }
 
 TEST(AggStoreTest, SerializeRoundTrip) {
   AggStore s;
-  s.Add(1, 0, 10);
-  s.Add(2, 3, 20);
+  s.Add(1, QuerySet::Single(0), 10);
+  s.Add(2, Bits({0, 3}), 20);
   spe::StateWriter writer;
   s.Serialize(&writer);
   spe::StateReader reader(writer.TakeBuffer());
   AggStore restored = AggStore::Deserialize(&reader);
-  ASSERT_NE(restored.Find(2, 3), nullptr);
-  EXPECT_EQ(restored.Find(2, 3)->sum, 20);
+  EXPECT_EQ(restored.SlotAccumulator(2, 3).sum, 20);
+  EXPECT_EQ(restored.SlotAccumulator(2, 0).sum, 20);
+  EXPECT_EQ(restored.SlotAccumulator(1, 0).sum, 10);
+  EXPECT_TRUE(restored.SlotAccumulator(1, 3).Empty());
 }
 
 }  // namespace

@@ -1,0 +1,77 @@
+#include "core/window_math.h"
+
+#include <gtest/gtest.h>
+
+#include "core/slicing.h"
+
+namespace astream::core {
+namespace {
+
+TEST(WindowMathTest, FloorModHandlesNegatives) {
+  EXPECT_EQ(FloorMod(7, 3), 1);
+  EXPECT_EQ(FloorMod(6, 3), 0);
+  EXPECT_EQ(FloorMod(-1, 3), 2);
+  EXPECT_EQ(FloorMod(-3, 3), 0);
+  EXPECT_EQ(FloorMod(-7, 5), 3);
+}
+
+TEST(WindowMathTest, WindowGcd) {
+  EXPECT_EQ(WindowGcd(45, 10), 5);
+  EXPECT_EQ(WindowGcd(60, 10), 10);
+  EXPECT_EQ(WindowGcd(7, 3), 1);
+  EXPECT_EQ(WindowGcd(10, 0), 10);
+  EXPECT_EQ(WindowGcd(0, 10), 10);
+  EXPECT_EQ(WindowGcd(-12, 8), 4);
+}
+
+TEST(WindowMathTest, NextStartEdgeAfter) {
+  // Edges at origin + k*slide, k >= 0; result strictly after t.
+  EXPECT_EQ(NextStartEdgeAfter(100, 10, 50), 100);   // before the origin
+  EXPECT_EQ(NextStartEdgeAfter(100, 10, 100), 110);  // on an edge
+  EXPECT_EQ(NextStartEdgeAfter(100, 10, 104), 110);
+  EXPECT_EQ(NextStartEdgeAfter(100, 10, 110), 120);
+  EXPECT_EQ(NextStartEdgeAfter(0, 7, 20), 21);
+}
+
+TEST(WindowMathTest, NextLatticeEdgeAfter) {
+  // Lattice { t ≡ anchor (mod period) }, unbounded below.
+  EXPECT_EQ(NextLatticeEdgeAfter(0, 10, 0), 10);
+  EXPECT_EQ(NextLatticeEdgeAfter(0, 10, 9), 10);
+  EXPECT_EQ(NextLatticeEdgeAfter(0, 10, 10), 20);
+  EXPECT_EQ(NextLatticeEdgeAfter(3, 10, 10), 13);
+  EXPECT_EQ(NextLatticeEdgeAfter(3, 10, 13), 23);
+  // Strictly-after semantics match NextStartEdgeAfter past the origin.
+  for (TimestampMs t = 100; t < 160; ++t) {
+    EXPECT_EQ(NextLatticeEdgeAfter(FloorMod(100, 10), 10, t),
+              NextStartEdgeAfter(100, 10, t))
+        << "t=" << t;
+  }
+}
+
+TEST(WindowMathTest, SliceCursorAdvancesOnlyAcrossBoundaries) {
+  SliceTracker tracker;
+  tracker.SetNumSlots(1);
+  tracker.CutAt(0, QuerySet::AllSet(1));
+  tracker.AddQuery(0, 0, spe::WindowSpec::Tumbling(10));
+
+  SliceCursor cursor;
+  EXPECT_FALSE(cursor.valid());
+  // First resolution always reports a change.
+  EXPECT_TRUE(cursor.Advance(tracker, 3));
+  EXPECT_TRUE(cursor.valid());
+  EXPECT_EQ(cursor.slice().start, 0);
+  EXPECT_EQ(cursor.slice().end, 10);
+  // Same slice: cached, no change reported.
+  EXPECT_FALSE(cursor.Advance(tracker, 7));
+  EXPECT_FALSE(cursor.Advance(tracker, 9));
+  // Crossing the boundary re-resolves.
+  EXPECT_TRUE(cursor.Advance(tracker, 12));
+  EXPECT_EQ(cursor.slice().start, 10);
+  EXPECT_EQ(cursor.slice().index, 1);
+  // Invalidate forces the next Advance to re-resolve even in-slice.
+  cursor.Invalidate();
+  EXPECT_TRUE(cursor.Advance(tracker, 13));
+}
+
+}  // namespace
+}  // namespace astream::core

@@ -112,6 +112,26 @@ TEST(QueryGeneratorTest, SessionProbability) {
   EXPECT_GT(agg.window.gap, 0);
 }
 
+TEST(QueryGeneratorTest, WindowMixDrawsFactorableSpecs) {
+  QueryGenerator::Config cfg;
+  cfg.session_probability = 0.0;
+  cfg.window_mix = 6;
+  cfg.window_mix_slide = 500;
+  QueryGenerator gen(cfg, 11);
+  std::set<TimestampMs> lengths;
+  for (int i = 0; i < 200; ++i) {
+    const auto agg = gen.Aggregation();
+    ASSERT_EQ(agg.window.type, spe::WindowType::kSliding);
+    // Every spec rides the shared slide base: composable onto one
+    // GCD-derived factor lattice (the heterogeneous-sharing workload).
+    EXPECT_EQ(agg.window.slide, 500);
+    EXPECT_EQ(agg.window.length % 500, 0);
+    EXPECT_LE(agg.window.length, 6 * 500);
+    lengths.insert(agg.window.length);
+  }
+  EXPECT_GT(lengths.size(), 3u);  // actually heterogeneous
+}
+
 TEST(Sc1ScenarioTest, RampsToTargetThenStops) {
   Sc1Scenario sc(/*rate_per_sec=*/10, /*max_parallel=*/5);
   size_t created = 0;
