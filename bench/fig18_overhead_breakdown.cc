@@ -88,12 +88,49 @@ void Run() {
          harness::FormatDouble(100 * (bitset_ns + copy_ns) / wall_ns, 2)});
   }
 
+  // 18c (repo extension): the storage engine v2 share of the overhead
+  // under a memory budget — compaction time and the spill byte savings
+  // (compressed ratio, hot-slice reload saves) from the obs gauges.
+  harness::Table table_c({"gauge", "value"});
+  {
+    core::AStreamJob::Options options;
+    options.topology = core::AStreamJob::TopologyKind::kJoin;
+    options.parallelism = 2;
+    options.threaded = true;
+    options.measure_overhead = true;
+    options.channel_capacity = 2048;
+    options.storage.memory_budget_bytes = 8LL << 20;
+    options.storage.compaction_min_runs = 2;
+    auto sut = std::make_unique<harness::AStreamSut>(options);
+    if (sut->Start().ok()) {
+      workload::Sc1Scenario scenario(/*rate_per_sec=*/400, 16);
+      RunScenario(sut.get(), &scenario, QueryFactory(QueryKind::kJoin, 31),
+                  /*duration=*/2400, /*push_b=*/true, /*rate=*/200'000,
+                  /*sample=*/0, /*warmup=*/800, /*drain_at_end=*/false);
+      const auto snapshot = sut->job()->MetricsSnapshot();
+      for (const char* g :
+           {"storage.compaction_runs", "storage.compaction_ms",
+            "storage.compressed_ratio_bp", "storage.reload_saves"}) {
+        const auto it = snapshot.gauges.find(g);
+        table_c.AddRow(
+            {g, it == snapshot.gauges.end() ? "-"
+                                            : std::to_string(it->second)});
+      }
+      sut->Stop();
+    }
+  }
+
   std::printf("Figure 18a — overhead proportion of AStream components:\n");
   table_a.Print();
   std::printf(
       "\nFigure 18b — sharing bookkeeping overhead (bitset ops + router "
       "copies, share of one core-second per wall second):\n");
   table_b.Print();
+  std::printf(
+      "\nFigure 18c — storage engine v2 under an 8 MiB budget (qp=16; "
+      "compressed_ratio_bp = on-disk/raw in basis points, reload_saves = "
+      "evictions redirected away from re-read slices):\n");
+  table_c.Print();
   std::printf(
       "\nExpected shape vs. paper: components roughly comparable at low "
       "qp; the router's fan-out dominates as qp grows (every result is "

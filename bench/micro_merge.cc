@@ -1,0 +1,88 @@
+// K-way merge microbench (DESIGN.md §13): binary-heap vs loser-tree merge
+// at fan-ins {4, 16, 64, 256}. The loser tree does exactly one comparison
+// per level per Next (ceil(log2 k)) where the heap pays ~2 log2 k plus
+// heap-item moves; both produce the identical (key, source index) order,
+// which the fixture asserts once per registration.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.h"
+#include "storage/merge.h"
+
+namespace astream::storage {
+namespace {
+
+struct Entry {
+  int64_t key = 0;
+  int64_t payload = 0;
+};
+
+constexpr int64_t kTotalEntries = 1 << 18;
+
+/// `k` sorted runs of kTotalEntries / k entries each. Keys are drawn from
+/// a small domain so ties across runs are the common case — the worst
+/// case for comparator-heavy merges and the shape compaction actually
+/// sees (many runs covering the same slice keys).
+std::vector<std::vector<Entry>> MakeRuns(size_t k) {
+  Rng rng(0x4D455247 + static_cast<uint64_t>(k));
+  const int64_t per_run = kTotalEntries / static_cast<int64_t>(k);
+  std::vector<std::vector<Entry>> runs(k);
+  for (size_t r = 0; r < k; ++r) {
+    int64_t key = 0;
+    runs[r].reserve(static_cast<size_t>(per_run));
+    for (int64_t i = 0; i < per_run; ++i) {
+      key += rng.UniformInt(0, 2);  // ~1/3 exact ties within a run too
+      runs[r].push_back(Entry{key, rng.UniformInt(0, 1 << 30)});
+    }
+  }
+  return runs;
+}
+
+template <typename Merge>
+std::vector<typename Merge::Source> MakeSources(
+    const std::vector<std::vector<Entry>>& runs, std::vector<size_t>* pos) {
+  pos->assign(runs.size(), 0);
+  std::vector<typename Merge::Source> sources;
+  sources.reserve(runs.size());
+  for (size_t r = 0; r < runs.size(); ++r) {
+    sources.push_back([&runs, pos, r](Entry* out) {
+      if ((*pos)[r] >= runs[r].size()) return false;
+      *out = runs[r][(*pos)[r]++];
+      return true;
+    });
+  }
+  return sources;
+}
+
+template <typename Merge>
+void RunMerge(benchmark::State& state) {
+  const auto runs = MakeRuns(static_cast<size_t>(state.range(0)));
+  std::vector<size_t> pos;
+  for (auto _ : state) {
+    Merge merge(MakeSources<Merge>(runs, &pos));
+    Entry e;
+    int64_t checksum = 0;
+    while (merge.Next(&e)) checksum += e.key;
+    benchmark::DoNotOptimize(checksum);
+  }
+  state.SetItemsProcessed(state.iterations() * kTotalEntries);
+}
+
+void BM_HeapMerge(benchmark::State& state) {
+  RunMerge<HeapMerge<Entry>>(state);
+}
+
+void BM_LoserTreeMerge(benchmark::State& state) {
+  RunMerge<LoserTreeMerge<Entry>>(state);
+}
+
+BENCHMARK(BM_HeapMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+BENCHMARK(BM_LoserTreeMerge)->Arg(4)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+}  // namespace astream::storage
+
+BENCHMARK_MAIN();

@@ -73,6 +73,19 @@ echo "== micro_arrange: smoke (N-spec sweep, shared vs per-query hashes) =="
 cmake --build build -j --target micro_arrange >/dev/null
 ./build/bench/micro_arrange
 
+echo "== storage v2: loser-tree merge, compressed runs, compaction, v1 compat =="
+# Format v2 (per-block LZ) must round-trip byte-exactly, read PR 5-era v1
+# files, survive torn/corrupt compressed blocks, and fold runs without
+# changing the merged order (ties broken by input index).
+./build/tests/astream_tests \
+  --gtest_filter='LzCodecTest.*:RunFileTest.*:CompactorTest.*:MergeTest.*:MemoryGovernorTest.*'
+
+echo "== micro_spill: compressed-budgeted legs (8 MiB cap, compaction on) =="
+# Exits nonzero if any leg's output hash (raw v1, compressed, compacted)
+# diverges from the unbudgeted reference.
+cmake --build build -j --target micro_spill >/dev/null
+./build/bench/micro_spill
+
 echo "== spill: full test suite under an 8 MiB global memory budget =="
 # Every job created with the default (unset) budget inherits the env cap,
 # so the whole suite re-runs with the governor spilling cold slices to
@@ -111,6 +124,13 @@ else
     ./build-tsan/tests/astream_tests \
     --gtest_filter='SpscQueueTest.*:ShardRouterTest.*:ShardEquivalenceTest.ThreadedRouterMatchesReference:Shards/ShardCountEquivalenceTest.*:Seeds/ShardKillChaosTest.FullStackKillAndSplitExactlyOnce/0'
 
+  echo "== tsan: compaction worker (fold thread vs owning-task adoption) =="
+  # The worker folds runs off-thread and hands them over through the
+  # ticket's release/acquire fences; readers adopt on the task thread.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ./build-tsan/tests/astream_tests \
+    --gtest_filter='CompactorTest.*'
+
   echo "== tsan: arrangement multi-reader cursor path (threaded fleet) =="
   # Worker threads resolve versioned cursors against the shared
   # arrangements while the control thread cuts slices and churns queries.
@@ -128,6 +148,12 @@ else
 
   echo "== asan: full test suite =="
   ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/astream_tests
+
+  echo "== asan: LZ codec + compressed run format (bounds on malformed input) =="
+  # The decompressor is the safety boundary for on-disk bytes (OpenReader
+  # skips the CRC); fuzz-ish corrupt-block tests must stay in bounds.
+  ASAN_OPTIONS="detect_leaks=1" ./build-asan/tests/astream_tests \
+    --gtest_filter='LzCodecTest.*:RunFileTest.*:CompactorTest.*'
 
   echo "== asan: out-of-core storage under an 8 MiB budget =="
   # The spill/reload/merge and torn-file recovery paths shuffle large

@@ -1,0 +1,191 @@
+#include "common/lz.h"
+
+#include <cstring>
+
+namespace astream {
+
+namespace {
+
+constexpr size_t kMinMatch = 4;
+constexpr size_t kMaxDistance = 65535;
+constexpr size_t kHashBits = 13;
+constexpr size_t kHashSize = size_t{1} << kHashBits;
+
+/// Fibonacci hash of the 4 bytes at p.
+inline uint32_t Hash4(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return (v * 2654435761u) >> (32 - kHashBits);
+}
+
+inline uint32_t Read32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t Read64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+/// Emits a length in the 255-extension scheme (value already minus the
+/// nibble's 15).
+inline uint8_t* PutLength(uint8_t* dst, size_t len) {
+  while (len >= 255) {
+    *dst++ = 255;
+    len -= 255;
+  }
+  *dst++ = static_cast<uint8_t>(len);
+  return dst;
+}
+
+}  // namespace
+
+size_t LzCompress(const uint8_t* src, size_t n, uint8_t* dst) {
+  if (n == 0) return 0;
+  uint8_t* out = dst;
+  // Position of the last occurrence of each 4-byte hash. Seeded to 0; a
+  // stale slot is caught by the 4-byte verify below. Positions are u32 —
+  // run blocks are far below 4 GiB (the writer flushes at ~64 KiB).
+  uint32_t table[kHashSize] = {};
+
+  size_t anchor = 0;  // first unemitted literal
+  size_t pos = 0;
+  // Matches need 4 bytes to read and must not start in the final 4 bytes
+  // (keeps the tail a plain literal run, mirroring LZ4's end rule).
+  const size_t match_limit = n > kMinMatch + 8 ? n - kMinMatch - 8 : 0;
+  while (pos < match_limit) {
+    const uint32_t h = Hash4(src + pos);
+    const size_t candidate = table[h];
+    table[h] = static_cast<uint32_t>(pos);
+    if (candidate >= pos || pos - candidate > kMaxDistance ||
+        Read32(src + candidate) != Read32(src + pos)) {
+      ++pos;
+      continue;
+    }
+    // Extend the match forward, 8 bytes per probe (stay clear of the
+    // literal-only tail; the first mismatching byte comes out of the XOR).
+    const size_t end_limit = n - 8;
+    size_t len = kMinMatch;
+    bool mismatched = false;
+    while (pos + len + 8 <= end_limit) {
+      const uint64_t diff =
+          Read64(src + candidate + len) ^ Read64(src + pos + len);
+      if (diff != 0) {
+        len += static_cast<size_t>(__builtin_ctzll(diff)) >> 3;
+        mismatched = true;
+        break;
+      }
+      len += 8;
+    }
+    while (!mismatched && pos + len < end_limit &&
+           src[candidate + len] == src[pos + len]) {
+      ++len;
+    }
+    // Emit: token, literal run, offset, extended match length.
+    const size_t lit = pos - anchor;
+    const size_t match_code = len - kMinMatch;
+    uint8_t* token = out++;
+    *token = 0;
+    if (lit >= 15) {
+      *token |= 0xF0;
+      out = PutLength(out, lit - 15);
+    } else {
+      *token |= static_cast<uint8_t>(lit << 4);
+    }
+    std::memcpy(out, src + anchor, lit);
+    out += lit;
+    const uint16_t offset = static_cast<uint16_t>(pos - candidate);
+    std::memcpy(out, &offset, 2);
+    out += 2;
+    if (match_code >= 15) {
+      *token |= 0x0F;
+      out = PutLength(out, match_code - 15);
+    } else {
+      *token |= static_cast<uint8_t>(match_code);
+    }
+    pos += len;
+    anchor = pos;
+    // Re-seed the table inside the match so adjacent repeats chain.
+    if (pos < match_limit) {
+      table[Hash4(src + pos - 2)] = static_cast<uint32_t>(pos - 2);
+    }
+  }
+  // Final literal-only sequence.
+  const size_t lit = n - anchor;
+  uint8_t* token = out++;
+  *token = 0;
+  if (lit >= 15) {
+    *token = 0xF0;
+    out = PutLength(out, lit - 15);
+  } else {
+    *token = static_cast<uint8_t>(lit << 4);
+  }
+  std::memcpy(out, src + anchor, lit);
+  out += lit;
+  return static_cast<size_t>(out - dst);
+}
+
+bool LzDecompress(const uint8_t* src, size_t n, uint8_t* dst, size_t raw) {
+  if (raw == 0) return n == 0;
+  if (n == 0) return false;
+  const uint8_t* ip = src;
+  const uint8_t* const iend = src + n;
+  size_t op = 0;
+  for (;;) {
+    if (ip >= iend) return false;
+    const uint8_t token = *ip++;
+    // Literal run.
+    size_t lit = token >> 4;
+    if (lit == 15) {
+      uint8_t b;
+      do {
+        if (ip >= iend) return false;
+        b = *ip++;
+        lit += b;
+      } while (b == 255);
+    }
+    if (lit > static_cast<size_t>(iend - ip) || lit > raw - op) return false;
+    std::memcpy(dst + op, ip, lit);
+    ip += lit;
+    op += lit;
+    if (ip == iend) {
+      // Terminal sequence: literals only; the match nibble must be clear
+      // and the output must be exactly full.
+      return (token & 0x0F) == 0 && op == raw;
+    }
+    // Match.
+    if (iend - ip < 2) return false;
+    uint16_t offset;
+    std::memcpy(&offset, ip, 2);
+    ip += 2;
+    if (offset == 0 || offset > op) return false;
+    size_t match = (token & 0x0F) + kMinMatch;
+    if ((token & 0x0F) == 15) {
+      uint8_t b;
+      do {
+        if (ip >= iend) return false;
+        b = *ip++;
+        match += b;
+      } while (b == 255);
+    }
+    if (match > raw - op) return false;
+    // Copy distance d: the smallest multiple of the period >= 8, so the
+    // bulk of the copy runs in non-overlapping 8-byte chunks. The first
+    // d - offset bytes (< 8) go byte-wise from the original offset until
+    // enough periodic output exists behind the cursor.
+    size_t d = offset;
+    while (d < 8) d += offset;
+    const uint8_t* from = dst + op - offset;
+    size_t i = 0;
+    const size_t head = d - offset < match ? d - offset : match;
+    for (; i < head; ++i) dst[op + i] = from[i];
+    for (; i + 8 <= match; i += 8) std::memcpy(dst + op + i, dst + op + i - d, 8);
+    for (; i < match; ++i) dst[op + i] = dst[op + i - d];
+    op += match;
+  }
+}
+
+}  // namespace astream

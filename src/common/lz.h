@@ -1,0 +1,40 @@
+#ifndef ASTREAM_COMMON_LZ_H_
+#define ASTREAM_COMMON_LZ_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace astream {
+
+/// Minimal self-contained LZ77 byte codec (LZ4-style token stream), used
+/// for per-block compression of storage run files (DESIGN.md §13). No
+/// external dependencies, no allocation, deterministic output.
+///
+/// Stream format — a sequence of "sequences", each:
+///   [token: 1 byte]   high nibble = literal length, low nibble = match
+///                     length - 4; nibble value 15 means "extended":
+///   [lit-len ext]*    0..n bytes of 255 plus one terminator byte < 255
+///   [literals]        literal bytes
+///   [offset: 2 bytes] little-endian match distance in [1, 65535]
+///   [match-len ext]*  same extension scheme as the literal length
+/// The final sequence carries literals only (no offset/match); its match
+/// nibble must be 0. Matches copy from the already-decompressed output
+/// (overlap allowed, so a distance-1 match encodes a run).
+
+/// Worst-case compressed size for `raw` input bytes (all-literal stream).
+constexpr size_t LzMaxCompressedSize(size_t raw) {
+  return raw + raw / 255 + 16;
+}
+
+/// Compresses src[0..n) into dst (capacity >= LzMaxCompressedSize(n)).
+/// Returns the compressed size. n == 0 yields an empty stream (size 0).
+size_t LzCompress(const uint8_t* src, size_t n, uint8_t* dst);
+
+/// Decompresses src[0..n) into exactly dst[0..raw) bytes. Returns false —
+/// without reading or writing out of bounds — on any malformed input
+/// (truncated stream, offset past the start, output size mismatch).
+bool LzDecompress(const uint8_t* src, size_t n, uint8_t* dst, size_t raw);
+
+}  // namespace astream
+
+#endif  // ASTREAM_COMMON_LZ_H_

@@ -7,6 +7,7 @@ TupleStore& TupleArrangement::StoreAt(int64_t version, StoreMode mode) {
   if (it == stores_.end()) {
     it = stores_.emplace(version, TupleStore(mode)).first;
     it->second.BindSpill(spill_);
+    it->second.BindCompactor(compactor_);
   }
   return it->second;
 }
@@ -25,6 +26,10 @@ void TupleArrangement::EvictThrough(int64_t max_version) {
   while (it != stores_.end() && it->first <= max_version) {
     it = stores_.erase(it);
   }
+  auto rit = reads_.begin();
+  while (rit != reads_.end() && rit->first <= max_version) {
+    rit = reads_.erase(rit);
+  }
 }
 
 int64_t TupleArrangement::ColdestResident() const {
@@ -32,6 +37,26 @@ int64_t TupleArrangement::ColdestResident() const {
     if (store.NumResidentTuples() > 0) return version;
   }
   return kNoVersion;
+}
+
+int64_t TupleArrangement::PickVictim(int64_t* reads) const {
+  *reads = 0;
+  if (!access_aware_) return ColdestResident();
+  int64_t best = kNoVersion;
+  int64_t best_reads = 0;
+  for (const auto& [version, store] : stores_) {
+    if (store.NumResidentTuples() == 0) continue;
+    auto rit = reads_.find(version);
+    const int64_t r = rit == reads_.end() ? 0 : rit->second;
+    // Fewest reads wins; ties to the oldest (the map iterates ascending,
+    // so the first minimum seen is the oldest).
+    if (best == kNoVersion || r < best_reads) {
+      best = version;
+      best_reads = r;
+    }
+  }
+  *reads = best_reads;
+  return best;
 }
 
 size_t TupleArrangement::SpillAt(int64_t version) {
@@ -65,6 +90,7 @@ Status TupleArrangement::Restore(spe::StateReader* reader) {
     const int64_t version = reader->ReadI64();
     auto it = stores_.emplace(version, TupleStore::Deserialize(reader));
     it.first->second.BindSpill(spill_);
+    it.first->second.BindCompactor(compactor_);
   }
   return reader->Ok() ? Status::OK()
                       : Status::Internal("bad TupleArrangement snapshot");
@@ -98,6 +124,7 @@ AggStore& AggArrangement::StoreAt(int64_t version) {
   if (it == stores_.end()) {
     it = stores_.emplace(version, AggStore()).first;
     it->second.BindSpill(spill_);
+    it->second.BindCompactor(compactor_);
   }
   return it->second;
 }
@@ -238,6 +265,10 @@ void AggArrangement::EvictThrough(int64_t max_version) {
   while (it != stores_.end() && it->first <= max_version) {
     it = stores_.erase(it);
   }
+  auto rit = reads_.begin();
+  while (rit != reads_.end() && rit->first <= max_version) {
+    rit = reads_.erase(rit);
+  }
   // Eviction is prefix-only, so any block overlapping an evicted slice
   // starts at or below max_version. Keyed (level, base), so matches are
   // not contiguous — scan the whole memo.
@@ -264,6 +295,24 @@ int64_t AggArrangement::ColdestResident() const {
     if (store.NumKeys() > 0) return version;
   }
   return kNoVersion;
+}
+
+int64_t AggArrangement::PickVictim(int64_t* reads) const {
+  *reads = 0;
+  if (!access_aware_) return ColdestResident();
+  int64_t best = kNoVersion;
+  int64_t best_reads = 0;
+  for (const auto& [version, store] : stores_) {
+    if (store.NumKeys() == 0) continue;
+    auto rit = reads_.find(version);
+    const int64_t r = rit == reads_.end() ? 0 : rit->second;
+    if (best == kNoVersion || r < best_reads) {
+      best = version;
+      best_reads = r;
+    }
+  }
+  *reads = best_reads;
+  return best;
 }
 
 size_t AggArrangement::SpillAt(int64_t version) {
@@ -299,6 +348,7 @@ Status AggArrangement::Restore(spe::StateReader* reader) {
     const int64_t version = reader->ReadI64();
     auto it = stores_.emplace(version, AggStore::Deserialize(reader));
     it.first->second.BindSpill(spill_);
+    it.first->second.BindCompactor(compactor_);
   }
   return reader->Ok() ? Status::OK()
                       : Status::Internal("bad AggArrangement snapshot");

@@ -33,6 +33,28 @@ class TupleArrangement {
   /// Enables spilling for stores created from here on.
   void BindSpill(storage::SpillSpace* space) { spill_ = space; }
 
+  /// Enables background run compaction for this side's stores.
+  void BindCompactor(storage::Compactor* compactor) {
+    compactor_ = compactor;
+  }
+
+  /// Access-aware eviction (DESIGN.md §13): PickVictim weighs per-version
+  /// read counts so standing queries stop re-loading the slice they read
+  /// every slide. Off = PickVictim degenerates to ColdestResident.
+  void SetAccessAware(bool on) { access_aware_ = on; }
+
+  /// Records that `version` was read by a trigger (operators call this
+  /// from their window-evaluation paths).
+  void NoteRead(int64_t version) {
+    if (access_aware_) ++reads_[version];
+  }
+
+  /// Spill victim under the current policy: the resident version with the
+  /// fewest recorded reads (ties to the oldest), or simply the coldest
+  /// when access-awareness is off. `*reads` gets the victim's read count
+  /// (0 when none). kNoVersion when nothing is resident.
+  int64_t PickVictim(int64_t* reads) const;
+
   /// Writer cursor: the store of `version`, created with `mode` on first
   /// write.
   TupleStore& StoreAt(int64_t version, StoreMode mode);
@@ -68,6 +90,10 @@ class TupleArrangement {
  private:
   std::map<int64_t, TupleStore> stores_;
   storage::SpillSpace* spill_ = nullptr;
+  storage::Compactor* compactor_ = nullptr;
+  bool access_aware_ = false;
+  /// version -> trigger reads since creation (pruned with eviction).
+  std::map<int64_t, int64_t> reads_;
 };
 
 /// One joined tuple of a slice pair, with its combined CL-masked tag set.
@@ -135,6 +161,16 @@ class AggArrangement {
 
   void BindSpill(storage::SpillSpace* space) { spill_ = space; }
 
+  /// See TupleArrangement.
+  void BindCompactor(storage::Compactor* compactor) {
+    compactor_ = compactor;
+  }
+  void SetAccessAware(bool on) { access_aware_ = on; }
+  void NoteRead(int64_t version) {
+    if (access_aware_) ++reads_[version];
+  }
+  int64_t PickVictim(int64_t* reads) const;
+
   /// Writer cursor: the store of `version`, created on first write.
   AggStore& StoreAt(int64_t version);
 
@@ -184,6 +220,9 @@ class AggArrangement {
   int64_t memo_misses_ = 0;
   size_t memo_bytes_ = 0;
   storage::SpillSpace* spill_ = nullptr;
+  storage::Compactor* compactor_ = nullptr;
+  bool access_aware_ = false;
+  std::map<int64_t, int64_t> reads_;
 };
 
 }  // namespace astream::core

@@ -45,6 +45,22 @@ Result<std::unique_ptr<AStreamJob>> AStreamJob::Create(Options options) {
     job->spill_space_->BindObs(&job->metrics_, &job->trace_);
     job->governor_ = std::make_unique<storage::MemoryGovernor>(
         budget, options.storage.allow_spill);
+    // Storage engine v2 (DESIGN.md §13): one job-wide run format — every
+    // store (slices, partials, CL deltas) writes through these options.
+    storage::RunWriter::Options wo;
+    wo.compress = options.storage.compress_spill;
+    job->spill_space_->SetWriterOptions(wo);
+    if (options.storage.compaction) {
+      storage::Compactor::Options copts;
+      // Sync (inline, deterministic) whenever the job itself is the
+      // deterministic sync runner; the worker thread only exists in
+      // threaded mode.
+      copts.sync = !options.threaded;
+      copts.min_runs = options.storage.compaction_min_runs;
+      copts.writer = wo;
+      job->compactor_ = std::make_unique<storage::Compactor>(
+          job->spill_space_.get(), copts);
+    }
   }
   return job;
 }
@@ -78,6 +94,9 @@ spe::TopologySpec AStreamJob::BuildTopology() {
     cfg.metrics = &metrics_;
     cfg.governor = governor_.get();
     cfg.spill_space = spill_space_.get();
+    cfg.compactor = compactor_.get();
+    cfg.access_aware_eviction =
+        governor_ != nullptr && options_.storage.access_aware_eviction;
     cfg.share_arrangements = options_.share_arrangements;
     return cfg;
   };
@@ -105,6 +124,9 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.metrics = &metrics_;
         cfg.shared.governor = governor_.get();
         cfg.shared.spill_space = spill_space_.get();
+        cfg.shared.compactor = compactor_.get();
+        cfg.shared.access_aware_eviction =
+            governor_ != nullptr && options_.storage.access_aware_eviction;
         cfg.shared.share_arrangements = options_.share_arrangements;
         cfg.num_ports = 1;
         auto op = std::make_unique<SharedAggregation>(std::move(cfg));
@@ -268,6 +290,9 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.metrics = &metrics_;
         cfg.shared.governor = governor_.get();
         cfg.shared.spill_space = spill_space_.get();
+        cfg.shared.compactor = compactor_.get();
+        cfg.shared.access_aware_eviction =
+            governor_ != nullptr && options_.storage.access_aware_eviction;
         cfg.shared.share_arrangements = options_.share_arrangements;
         cfg.num_ports = stages;
         cfg.port_filter = [](const ActiveQuery& q, int port) {
@@ -359,6 +384,7 @@ Status AStreamJob::Start() {
                                                 snapshot);
   }
   ASTREAM_RETURN_IF_ERROR(runner_->Start());
+  if (compactor_ != nullptr) compactor_->Start();  // no-op in sync mode
   started_ = true;
   return Status::OK();
 }
@@ -672,6 +698,9 @@ Status AStreamJob::FinishAndWait() {
   FlushSourceBatches();
   Pump(true);
   runner_->FinishAndWait();
+  // All task threads are parked: drain + join the compaction worker so
+  // any in-flight fold settles its ticket before teardown.
+  if (compactor_ != nullptr) compactor_->Stop();
   finished_ = true;
   trace_.Record(obs::TraceEventKind::kFinish);
   return runner_->Failure();
@@ -682,6 +711,7 @@ Status AStreamJob::Stop() {
     return runner_ != nullptr ? runner_->Failure() : Status::OK();
   }
   runner_->Cancel();
+  if (compactor_ != nullptr) compactor_->Stop();
   finished_ = true;
   return runner_->Failure();
 }
@@ -730,6 +760,7 @@ AStreamJob::OperatorStats AStreamJob::CollectStats() const {
     s.join_pairs_reused += j->pairs_reused();
     s.records_late += j->records_late();
     s.state_arena_bytes += j->state_arena_bytes();
+    s.reload_saves += j->reload_saves();
     // The join-pair memo is the join side of the arrangement layer.
     s.arrange_memo_hits += j->pairs_reused();
     s.arrange_memo_misses += j->pairs_computed();
@@ -742,6 +773,7 @@ AStreamJob::OperatorStats AStreamJob::CollectStats() const {
     s.bitset_ops += a->bitset_ops();
     s.records_late += a->records_late();
     s.state_arena_bytes += a->state_arena_bytes();
+    s.reload_saves += a->reload_saves();
     s.arrange_memo_hits += a->arrangement().memo_hits();
     s.arrange_memo_misses += a->arrangement().memo_misses();
     s.arrange_memo_bytes +=
@@ -796,6 +828,21 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
         metrics_.GetGauge("storage.resident_bytes")
             ->Set(governor_->total_resident());
         metrics_.GetGauge("storage.budget_bytes")->Set(governor_->budget());
+        metrics_.GetGauge("storage.reload_saves")->Set(s.reload_saves);
+      }
+      if (compactor_ != nullptr) {
+        metrics_.GetGauge("storage.compaction_runs")
+            ->Set(compactor_->runs_compacted());
+        metrics_.GetGauge("storage.compaction_ms")
+            ->Set(compactor_->total_ms());
+      }
+      if (spill_space_ != nullptr) {
+        // On-disk / raw bytes of everything ever spilled, in basis points
+        // (10000 = stored uncompressed).
+        const int64_t raw = spill_space_->total_spill_raw_bytes();
+        const int64_t disk = spill_space_->total_spill_bytes();
+        metrics_.GetGauge("storage.compressed_ratio_bp")
+            ->Set(raw > 0 ? disk * 10000 / raw : 10000);
       }
     }
     if (runner_ != nullptr) {

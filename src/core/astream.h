@@ -207,6 +207,7 @@ class AStreamJob {
     int64_t router_rows_shared = 0;  // fan-out rows shipped by reference
     int64_t router_rows_copied = 0;  // fan-out rows materialized fresh
     int64_t state_arena_bytes = 0;   // slice-store arena footprint
+    int64_t reload_saves = 0;        // access-aware evictions avoiding a reload
     int64_t arrange_memo_hits = 0;   // composed-block / join-pair memo hits
     int64_t arrange_memo_misses = 0;
     int64_t arrange_memo_bytes = 0;  // resident composed-block bytes
@@ -222,6 +223,8 @@ class AStreamJob {
   /// Out-of-core internals (tests/benchmarks). Null when unbudgeted.
   storage::MemoryGovernor* governor() { return governor_.get(); }
   storage::SpillSpace* spill_space() { return spill_space_.get(); }
+  /// Null when unbudgeted or compaction is disabled.
+  storage::Compactor* compactor() { return compactor_.get(); }
 
  private:
   explicit AStreamJob(Options options);
@@ -265,6 +268,7 @@ class AStreamJob {
   // tears them down, so these must outlive it.
   std::unique_ptr<storage::SpillSpace> spill_space_;
   std::unique_ptr<storage::MemoryGovernor> governor_;
+  std::unique_ptr<storage::Compactor> compactor_;
   std::unique_ptr<spe::Runner> runner_;
 
   // Stage indices (filled by BuildTopology).

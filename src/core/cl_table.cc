@@ -118,7 +118,7 @@ size_t ClTable::SpillBelow(int64_t max_index, storage::SpillSpace* space) {
     if (!Entry(i).spilled) victims.push_back(i);
   }
   if (victims.empty()) return 0;
-  storage::RunWriter writer(space->NextRunPath("cl"));
+  storage::RunWriter writer(space->NextRunPath("cl"), space->writer_options());
   for (int64_t i : victims) {
     spe::StateWriter enc;
     enc.WriteBitset(Entry(i).delta);

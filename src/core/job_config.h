@@ -114,6 +114,19 @@ class JobConfigBuilder {
     config_.job.storage.memory_budget_bytes = bytes;
     return *this;
   }
+  /// Storage engine v2 knobs (DESIGN.md §13); only meaningful budgeted.
+  JobConfigBuilder& CompressSpill(bool on) {
+    config_.job.storage.compress_spill = on;
+    return *this;
+  }
+  JobConfigBuilder& Compaction(bool on) {
+    config_.job.storage.compaction = on;
+    return *this;
+  }
+  JobConfigBuilder& AccessAwareEviction(bool on) {
+    config_.job.storage.access_aware_eviction = on;
+    return *this;
+  }
   /// Cross-window state sharing (DESIGN.md §12). Off = the per-query-store
   /// reference mode; outputs are byte-identical either way.
   JobConfigBuilder& ShareArrangements(bool on) {

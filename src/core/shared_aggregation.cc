@@ -16,6 +16,8 @@ SharedAggregation::SharedAggregation(AggConfig config)
   }
   port_masks_.resize(config_.num_ports);
   arrange_.BindSpill(spill_space());
+  arrange_.BindCompactor(compactor());
+  arrange_.SetAccessAware(access_aware_eviction());
   if (governor() != nullptr) governor()->Register(this);
 }
 
@@ -31,8 +33,12 @@ size_t SharedAggregation::SpillOnce() {
     RefreshArenaBytes();
     return memo_released;
   }
-  const int64_t victim = arrange_.ColdestResident();
+  int64_t victim_reads = 0;
+  const int64_t victim = arrange_.PickVictim(&victim_reads);
   if (victim == AggArrangement::kNoVersion) return 0;
+  if (victim != arrange_.ColdestResident()) {
+    ++reload_saves_;  // a hot slice kept resident
+  }
   size_t released = arrange_.SpillAt(victim);
   released += tracker().cl_table().SpillBelow(victim, spill_space());
   RefreshArenaBytes();
@@ -267,6 +273,7 @@ void SharedAggregation::TriggerWindows(
     const std::vector<TriggeredQuery>& queries, spe::Collector* out) {
   const std::vector<SliceInfo> slices = tracker().SlicesIn(start, end);
   if (slices.empty()) return;
+  for (const SliceInfo& s : slices) arrange_.NoteRead(s.index);
   const int64_t last_index = slices.back().index;
   const TimestampMs result_time = end - 1;
 

@@ -53,6 +53,10 @@ class SharedAggregation : public SharedWindowedOperator,
   /// Arena bytes backing all live slice stores (the state.arena_bytes
   /// gauge). Refreshed by the task thread after inserts and evictions.
   int64_t state_arena_bytes() const { return state_arena_bytes_; }
+  /// Times the access-aware policy evicted something other than the
+  /// coldest slice — each one a reload a standing query did not pay
+  /// (the storage.reload_saves gauge).
+  int64_t reload_saves() const { return reload_saves_; }
   /// The shared arrangement (memo hit/miss counters, composed-block bytes).
   const AggArrangement& arrangement() const { return arrange_; }
 
@@ -132,6 +136,7 @@ class SharedAggregation : public SharedWindowedOperator,
   int64_t bitset_ops_ = 0;
   int64_t records_late_ = 0;
   int64_t state_arena_bytes_ = 0;
+  int64_t reload_saves_ = 0;
   // Scratch query-set reused across the tuples of one batch.
   QuerySet scratch_tags_;
 };

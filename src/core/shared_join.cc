@@ -1,13 +1,17 @@
 #include "core/shared_join.h"
 
 #include <limits>
+#include <tuple>
 
 namespace astream::core {
 
 SharedJoin::SharedJoin(SharedOperatorConfig config)
     : SharedWindowedOperator(std::move(config)) {
-  sides_[0].BindSpill(spill_space());
-  sides_[1].BindSpill(spill_space());
+  for (TupleArrangement& side : sides_) {
+    side.BindSpill(spill_space());
+    side.BindCompactor(compactor());
+    side.SetAccessAware(access_aware_eviction());
+  }
   if (governor() != nullptr) governor()->Register(this);
 }
 
@@ -37,13 +41,27 @@ void SharedJoin::EnforceBudget() {
 }
 
 size_t SharedJoin::SpillOnce() {
-  // Victim = the coldest slice still holding resident tuples; both sides
-  // spill at that index (their windows expire together), and the CL deltas
-  // at or below it go with them. The pair memo stays: it holds computed
-  // results that every later window over the pair reuses.
-  const int64_t victim = std::min(sides_[0].ColdestResident(),
-                                  sides_[1].ColdestResident());
+  // Victim = the least-read (access-aware) or coldest resident slice;
+  // both sides spill at that index (their windows expire together), and
+  // the CL deltas at or below it go with them. The pair memo stays: it
+  // holds computed results that every later window over the pair reuses.
+  int64_t r0 = 0, r1 = 0;
+  const int64_t v0 = sides_[0].PickVictim(&r0);
+  const int64_t v1 = sides_[1].PickVictim(&r1);
+  int64_t victim;
+  if (v0 == TupleArrangement::kNoVersion) {
+    victim = v1;
+  } else if (v1 == TupleArrangement::kNoVersion) {
+    victim = v0;
+  } else {
+    // Both sides see the same trigger reads, so this usually degenerates
+    // to min(v0, v1); when the resident sets diverge, prefer fewer reads.
+    victim = std::tie(r0, v0) <= std::tie(r1, v1) ? v0 : v1;
+  }
   if (victim == TupleArrangement::kNoVersion) return 0;
+  const int64_t coldest = std::min(sides_[0].ColdestResident(),
+                                   sides_[1].ColdestResident());
+  if (victim != coldest) ++reload_saves_;  // a hot slice kept resident
   size_t released = sides_[0].SpillAt(victim) + sides_[1].SpillAt(victim);
   released += tracker().cl_table().SpillBelow(victim, spill_space());
   RefreshArenaBytes();
@@ -150,6 +168,10 @@ void SharedJoin::TriggerWindows(TimestampMs start, TimestampMs end,
   }
 
   const std::vector<SliceInfo> slices = tracker().SlicesIn(start, end);
+  for (const SliceInfo& s : slices) {
+    sides_[0].NoteRead(s.index);
+    sides_[1].NoteRead(s.index);
+  }
   const TimestampMs result_time = end - 1;
   for (const SliceInfo& a : slices) {
     for (const SliceInfo& b : slices) {

@@ -44,6 +44,10 @@ class SharedJoin : public SharedWindowedOperator, public storage::SpillClient {
   /// Arena bytes backing all live slice stores (the state.arena_bytes
   /// gauge). Refreshed by the task thread after inserts and evictions.
   int64_t state_arena_bytes() const { return state_arena_bytes_; }
+  /// Times the access-aware policy evicted something other than the
+  /// coldest slice — each one a reload a standing query did not pay
+  /// (the storage.reload_saves gauge).
+  int64_t reload_saves() const { return reload_saves_; }
 
   /// storage::SpillClient: spills the coldest (lowest-index) slice of both
   /// sides plus the CL deltas at or below it. Governor-invoked only, on
@@ -80,6 +84,7 @@ class SharedJoin : public SharedWindowedOperator, public storage::SpillClient {
   int64_t bitset_ops_ = 0;
   int64_t records_late_ = 0;
   int64_t state_arena_bytes_ = 0;
+  int64_t reload_saves_ = 0;
   // Scratch query-set reused across the tuples of one batch.
   QuerySet scratch_tags_;
 };

@@ -48,6 +48,11 @@ struct SharedOperatorConfig {
   /// `spill_space` when the governor asks.
   storage::MemoryGovernor* governor = nullptr;
   storage::SpillSpace* spill_space = nullptr;
+  /// Run compaction (DESIGN.md §13); nullptr = runs are never folded.
+  storage::Compactor* compactor = nullptr;
+  /// Weigh per-slice trigger reads in spill-victim selection (see
+  /// StorageOptions::access_aware_eviction).
+  bool access_aware_eviction = false;
 
   /// Cross-window state sharing (DESIGN.md §12). When true (the default),
   /// the slicer routes composable (length, slide) specs through the
@@ -153,6 +158,10 @@ class SharedWindowedOperator : public spe::Operator {
   /// Out-of-core wiring (nullptr when the job runs unbudgeted).
   storage::MemoryGovernor* governor() const { return config_.governor; }
   storage::SpillSpace* spill_space() const { return config_.spill_space; }
+  storage::Compactor* compactor() const { return config_.compactor; }
+  bool access_aware_eviction() const {
+    return config_.access_aware_eviction;
+  }
 
   /// Serialization of the base state (call from subclass snapshots).
   void SerializeBase(spe::StateWriter* writer) const;

@@ -71,6 +71,7 @@ double TupleStore::AvgGroupSize() const {
 
 size_t TupleStore::SpillToDisk() {
   if (spill_ == nullptr || resident_tuples_ == 0) return 0;
+  AdoptCompaction();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<ScanEntry> entries;
   entries.reserve(resident_tuples_);
@@ -81,7 +82,8 @@ size_t TupleStore::SpillToDisk() {
                    [](const ScanEntry& a, const ScanEntry& b) {
                      return a.key < b.key;
                    });
-  storage::RunWriter writer(spill_->NextRunPath("slice"));
+  storage::RunWriter writer(spill_->NextRunPath("slice"),
+                            spill_->writer_options());
   for (const ScanEntry& e : entries) {
     spe::StateWriter enc;
     enc.WriteRow(e.row);
@@ -95,11 +97,38 @@ size_t TupleStore::SpillToDisk() {
   auto info = writer.Finish();
   if (!info.ok()) return 0;
   runs_.push_back(spill_->Adopt(std::move(info).value(), ElapsedMs(t0)));
+  MaybeScheduleCompaction();
   const size_t released = ResidentBytes();
   res_ = std::make_unique<Resident>();
   resident_tuples_ = 0;
   payload_bytes_ = 0;
   return released;
+}
+
+void TupleStore::AdoptCompaction() const {
+  if (compaction_ == nullptr) return;
+  const auto state = compaction_->state();
+  if (state == storage::CompactionTicket::State::kPending) return;
+  if (state == storage::CompactionTicket::State::kDone) {
+    // The inputs are exactly runs_[0..n) (spills only ever append), and
+    // the output preserves their (key, run index) merge order, so the
+    // swap is invisible to every reader.
+    const size_t n = compaction_->inputs().size();
+    std::vector<storage::SpilledRunPtr> next;
+    next.reserve(runs_.size() - n + 1);
+    next.push_back(compaction_->output());
+    next.insert(next.end(), runs_.begin() + static_cast<ptrdiff_t>(n),
+                runs_.end());
+    runs_ = std::move(next);
+  }
+  compaction_.reset();  // failed jobs just leave the inputs in place
+}
+
+void TupleStore::MaybeScheduleCompaction() const {
+  if (compactor_ == nullptr || compaction_ != nullptr) return;
+  if (runs_.size() < compactor_->min_runs()) return;
+  compaction_ = compactor_->Submit(runs_, "slice");
+  if (compactor_->sync()) AdoptCompaction();
 }
 
 namespace {
@@ -274,6 +303,7 @@ int64_t TupleStore::Join(const TupleStore& a, const TupleStore& b,
 }
 
 std::unique_ptr<TupleStore::SortedStream> TupleStore::SortedScan() const {
+  AdoptCompaction();
   auto stream = std::unique_ptr<SortedStream>(new SortedStream());
   stream->resident_.reserve(resident_tuples_);
   ForEachResident([&](const spe::Row& row, const QuerySet& tags) {
@@ -330,6 +360,7 @@ void TupleStore::ForEachResident(
 
 void TupleStore::ForEach(
     const std::function<void(const spe::Row&, const QuerySet&)>& fn) const {
+  AdoptCompaction();
   for (const storage::SpilledRunPtr& run : runs_) {
     auto reader = run->OpenReader();
     if (!reader.ok()) continue;
@@ -443,6 +474,7 @@ void AggStore::ForEachGroupsMerged(const GroupsFn& fn) const {
 
 size_t AggStore::SpillToDisk() {
   if (spill_ == nullptr || res_->keys.empty()) return 0;
+  AdoptCompaction();
   const auto t0 = std::chrono::steady_clock::now();
   std::vector<ScanEntry> entries;
   entries.reserve(res_->keys.size());
@@ -456,7 +488,8 @@ size_t AggStore::SpillToDisk() {
             [](const ScanEntry& a, const ScanEntry& b) {
               return a.key < b.key;
             });
-  storage::RunWriter writer(spill_->NextRunPath("agg"));
+  storage::RunWriter writer(spill_->NextRunPath("agg"),
+                            spill_->writer_options());
   for (const ScanEntry& e : entries) {
     spe::StateWriter enc;
     enc.WriteU64(e.groups.size());
@@ -473,9 +506,33 @@ size_t AggStore::SpillToDisk() {
   auto info = writer.Finish();
   if (!info.ok()) return 0;
   runs_.push_back(spill_->Adopt(std::move(info).value(), ElapsedMs(t0)));
+  MaybeScheduleCompaction();
   const size_t released = ResidentBytes();
   res_ = std::make_unique<Resident>();
   return released;
+}
+
+void AggStore::AdoptCompaction() const {
+  if (compaction_ == nullptr) return;
+  const auto state = compaction_->state();
+  if (state == storage::CompactionTicket::State::kPending) return;
+  if (state == storage::CompactionTicket::State::kDone) {
+    const size_t n = compaction_->inputs().size();
+    std::vector<storage::SpilledRunPtr> next;
+    next.reserve(runs_.size() - n + 1);
+    next.push_back(compaction_->output());
+    next.insert(next.end(), runs_.begin() + static_cast<ptrdiff_t>(n),
+                runs_.end());
+    runs_ = std::move(next);
+  }
+  compaction_.reset();
+}
+
+void AggStore::MaybeScheduleCompaction() const {
+  if (compactor_ == nullptr || compaction_ != nullptr) return;
+  if (runs_.size() < compactor_->min_runs()) return;
+  compaction_ = compactor_->Submit(runs_, "agg");
+  if (compactor_->sync()) AdoptCompaction();
 }
 
 void AggStore::ForEachMergedEntry(
@@ -484,6 +541,7 @@ void AggStore::ForEachMergedEntry(
   // Sorted resident snapshot + one source per run, k-way merged; equal
   // keys are folded group-wise (same-tag groups merge) before fn sees
   // them.
+  AdoptCompaction();
   std::vector<ScanEntry> resident;
   resident.reserve(res_->keys.size());
   for (const auto& [key, groups] : res_->keys) {

@@ -11,6 +11,7 @@
 #include "core/query.h"
 #include "spe/aggregate.h"
 #include "spe/state.h"
+#include "storage/compactor.h"
 #include "storage/merge.h"
 #include "storage/spill_space.h"
 
@@ -53,6 +54,13 @@ class TupleStore {
 
   /// Enables SpillToDisk; unbound stores never spill.
   void BindSpill(storage::SpillSpace* space) { spill_ = space; }
+
+  /// Enables background run compaction: SpillToDisk schedules a fold of
+  /// the oldest runs once their count reaches the compactor's threshold,
+  /// and read/spill paths adopt finished results (AdoptCompaction).
+  void BindCompactor(storage::Compactor* compactor) {
+    compactor_ = compactor;
+  }
 
   void Insert(const spe::Row& row, const QuerySet& tags);
 
@@ -174,6 +182,12 @@ class TupleStore {
       const std::function<void(const spe::Row&, const QuerySet&)>& fn) const;
   static int64_t MergeJoin(const TupleStore& a, const TupleStore& b,
                            const QuerySet& mask, const JoinEmit& emit);
+  /// Folds a settled compaction into runs_ (swap the input prefix for the
+  /// output run) and/or schedules a new one. Called from the owning task
+  /// thread's read and spill paths; const because reads are const — the
+  /// run list is physical layout, not logical state.
+  void AdoptCompaction() const;
+  void MaybeScheduleCompaction() const;
 
   StoreMode mode_;
   size_t num_tuples_ = 0;
@@ -181,7 +195,9 @@ class TupleStore {
   size_t payload_bytes_ = 0;
   std::unique_ptr<Resident> res_;
   storage::SpillSpace* spill_ = nullptr;
-  std::vector<storage::SpilledRunPtr> runs_;
+  storage::Compactor* compactor_ = nullptr;
+  mutable std::vector<storage::SpilledRunPtr> runs_;
+  mutable storage::CompactionTicketPtr compaction_;
 };
 
 /// Per-slice intermediate aggregates (Sec. 3.1.5 + DESIGN.md §12): instead
@@ -212,6 +228,11 @@ class AggStore {
 
   /// Enables SpillToDisk; unbound stores never spill.
   void BindSpill(storage::SpillSpace* space) { spill_ = space; }
+
+  /// See TupleStore::BindCompactor.
+  void BindCompactor(storage::Compactor* compactor) {
+    compactor_ = compactor;
+  }
 
   /// Folds `value` into the group of `tags` under `key`, creating the
   /// group on first touch. `tags` must be non-empty.
@@ -275,10 +296,15 @@ class AggStore {
   void ForEachMergedEntry(
       const std::function<void(spe::Value, const std::vector<Group>&)>& fn)
       const;
+  /// See TupleStore::AdoptCompaction / MaybeScheduleCompaction.
+  void AdoptCompaction() const;
+  void MaybeScheduleCompaction() const;
 
   std::unique_ptr<Resident> res_;
   storage::SpillSpace* spill_ = nullptr;
-  std::vector<storage::SpilledRunPtr> runs_;
+  storage::Compactor* compactor_ = nullptr;
+  mutable std::vector<storage::SpilledRunPtr> runs_;
+  mutable storage::CompactionTicketPtr compaction_;
 };
 
 }  // namespace astream::core

@@ -18,6 +18,8 @@ const char* FaultPointName(FaultPoint point) {
       return "consumer_stall";
     case FaultPoint::kStorageWrite:
       return "storage_write";
+    case FaultPoint::kCompaction:
+      return "compaction";
     case FaultPoint::kNumPoints:
       break;
   }

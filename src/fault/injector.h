@@ -37,6 +37,11 @@ enum class FaultPoint : uint8_t {
   /// crash mid-write, leaving a torn temp file that CRC/footer validation
   /// must reject on recovery.
   kStorageWrite,
+  /// Inside a background-compaction job, between the input merge and the
+  /// output adoption. kFail aborts the job (ticket kFailed, inputs kept);
+  /// kThrow models the worker dying mid-compaction — the engine must
+  /// discard the torn output and keep serving from the input runs.
+  kCompaction,
   kNumPoints,
 };
 

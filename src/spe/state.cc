@@ -43,7 +43,9 @@ void StateWriter::WriteRepNode(const void* rep) {
   if (r->left == nullptr) {
     WriteU64(2);
     WriteU64(r->flat.size());
-    for (Value v : r->flat) WriteI64(v);
+    // One bulk append; values are raw little-endian i64s, so this is
+    // byte-identical to writing them one at a time.
+    WriteBytes(r->flat.data(), r->flat.size() * sizeof(Value));
   } else {
     WriteU64(3);
     WriteRepNode(r->left.get());
@@ -109,9 +111,10 @@ Row StateReader::ReadRepNode(int depth) {
         failed_ = true;
         return Row();
       }
-      std::vector<Value> values;
-      values.reserve(n);
-      for (uint64_t i = 0; i < n; ++i) values.push_back(ReadI64());
+      std::vector<Value> values(n);
+      std::memcpy(values.data(), buffer_.data() + pos_,
+                  n * sizeof(Value));
+      pos_ += n * sizeof(Value);
       Row row(std::move(values));
       rep_table_.push_back(row);
       return row;

@@ -1,0 +1,171 @@
+#include "storage/compactor.h"
+
+#include <chrono>
+#include <utility>
+
+#include "fault/injector.h"
+#include "storage/merge.h"
+
+namespace astream::storage {
+
+namespace {
+
+/// Raw (key, payload) entry of the opaque merge: compaction re-sequences
+/// bytes, it never decodes store payloads — which is what makes one
+/// compactor correct for slice, agg and cl runs alike.
+struct RawEntry {
+  int64_t key = 0;
+  std::vector<uint8_t> payload;
+};
+
+Status CheckCompactionFault() {
+  if (fault::FaultInjector* inj = fault::ActiveInjector()) {
+    const fault::FaultDecision d =
+        inj->Decide(fault::FaultPoint::kCompaction);
+    if (d.action == fault::FaultAction::kThrow) {
+      throw fault::InjectedFault("injected compaction crash");
+    }
+    if (d.action == fault::FaultAction::kFail) {
+      return Status::Internal("injected compaction failure");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Compactor::Compactor(SpillSpace* space, Options options)
+    : space_(space), options_(options) {}
+
+Compactor::~Compactor() { Stop(); }
+
+void Compactor::Start() {
+  if (options_.sync || started_) return;
+  started_ = true;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void Compactor::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  started_ = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = false;
+    // Anything still queued settles kFailed so owners drop their tickets.
+    for (const CompactionTicketPtr& t : queue_) {
+      t->state_.store(CompactionTicket::State::kFailed,
+                      std::memory_order_release);
+    }
+    queue_.clear();
+  }
+}
+
+CompactionTicketPtr Compactor::Submit(std::vector<SpilledRunPtr> inputs,
+                                      const std::string& kind) {
+  auto ticket = std::make_shared<CompactionTicket>();
+  ticket->inputs_ = std::move(inputs);
+  ticket->kind_ = kind;
+  if (ticket->inputs_.size() < 2) {
+    ticket->state_.store(CompactionTicket::State::kFailed,
+                         std::memory_order_release);
+    return ticket;
+  }
+  if (options_.sync) {
+    Process(ticket.get());
+    return ticket;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_ || !started_) {
+      ticket->state_.store(CompactionTicket::State::kFailed,
+                           std::memory_order_release);
+      return ticket;
+    }
+    queue_.push_back(ticket);
+  }
+  cv_.notify_one();
+  return ticket;
+}
+
+void Compactor::WorkerLoop() {
+  for (;;) {
+    CompactionTicketPtr ticket;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping with a drained queue
+      ticket = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    Process(ticket.get());
+  }
+}
+
+void Compactor::Process(CompactionTicket* ticket) {
+  const auto t0 = std::chrono::steady_clock::now();
+  bool ok = false;
+  try {
+    std::vector<std::unique_ptr<RunReader>> readers;
+    std::vector<KWayMerge<RawEntry>::Source> sources;
+    readers.reserve(ticket->inputs_.size());
+    for (const SpilledRunPtr& run : ticket->inputs_) {
+      auto reader = run->OpenReader();
+      if (!reader.ok()) {
+        readers.clear();
+        break;
+      }
+      RunReader* r = readers.emplace_back(std::move(reader).value()).get();
+      sources.push_back([r](RawEntry* out) {
+        return r->Next(&out->key, &out->payload);
+      });
+    }
+    if (readers.size() == ticket->inputs_.size()) {
+      RunWriter writer(space_->NextRunPath(ticket->kind_ + "-compact"),
+                       options_.writer);
+      KWayMerge<RawEntry> merge(std::move(sources));
+      RawEntry e;
+      Status status = CheckCompactionFault();
+      while (status.ok() && merge.Next(&e)) {
+        status = writer.Append(e.key, e.payload.data(), e.payload.size());
+      }
+      for (const auto& r : readers) {
+        if (!r->status().ok()) status = r->status();
+      }
+      if (status.ok()) status = CheckCompactionFault();
+      if (status.ok()) {
+        auto info = writer.Finish();
+        if (info.ok()) {
+          ticket->output_ = space_->AdoptCompacted(std::move(info).value());
+          ok = true;
+        }
+      } else {
+        writer.Abort();
+      }
+    }
+  } catch (const fault::InjectedFault&) {
+    // Worker "crash": the output temp file dies with the writer; inputs
+    // were never touched. The owner simply keeps its existing runs.
+  }
+  const int64_t ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+  total_ms_.fetch_add(ms, std::memory_order_relaxed);
+  if (ok) {
+    runs_compacted_.fetch_add(
+        static_cast<int64_t>(ticket->inputs_.size()),
+        std::memory_order_relaxed);
+    ticket->state_.store(CompactionTicket::State::kDone,
+                         std::memory_order_release);
+  } else {
+    jobs_failed_.fetch_add(1, std::memory_order_relaxed);
+    ticket->state_.store(CompactionTicket::State::kFailed,
+                         std::memory_order_release);
+  }
+}
+
+}  // namespace astream::storage

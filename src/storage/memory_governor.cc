@@ -54,7 +54,19 @@ void MemoryGovernor::Unregister(SpillClient* client) {
   if (it == clients_.end()) return;
   total_.fetch_sub(static_cast<int64_t>(it->second.resident),
                    std::memory_order_relaxed);
+  Reindex(it, INT64_MAX);
   clients_.erase(it);
+}
+
+void MemoryGovernor::Reindex(std::map<SpillClient*, Entry>::iterator it,
+                             int64_t coldest_end) {
+  if (it->second.coldest_end != INT64_MAX) {
+    victims_.erase({it->second.coldest_end, it->first});
+  }
+  it->second.coldest_end = coldest_end;
+  if (coldest_end != INT64_MAX) {
+    victims_.insert({coldest_end, it->first});
+  }
 }
 
 void MemoryGovernor::Update(SpillClient* client, size_t resident_bytes,
@@ -66,7 +78,7 @@ void MemoryGovernor::Update(SpillClient* client, size_t resident_bytes,
                        static_cast<int64_t>(it->second.resident),
                    std::memory_order_relaxed);
   it->second.resident = resident_bytes;
-  it->second.coldest_end = coldest_end;
+  if (coldest_end != it->second.coldest_end) Reindex(it, coldest_end);
 }
 
 void MemoryGovernor::Enforce(SpillClient* self) {
@@ -83,21 +95,14 @@ void MemoryGovernor::Enforce(SpillClient* self) {
         it->second.spill_requested = false;
         spill_self = true;
       } else if (total_.load(std::memory_order_relaxed) > budget_) {
-        auto coldest = clients_.end();
-        for (auto c = clients_.begin(); c != clients_.end(); ++c) {
-          if (c->second.coldest_end == INT64_MAX) continue;
-          if (coldest == clients_.end() ||
-              c->second.coldest_end < coldest->second.coldest_end) {
-            coldest = c;
-          }
-        }
-        if (coldest == clients_.end()) return;  // nothing spillable anywhere
-        if (coldest->first == self) {
+        if (victims_.empty()) return;  // nothing spillable anywhere
+        SpillClient* coldest = victims_.begin()->second;
+        if (coldest == self) {
           spill_self = true;
         } else {
           // A colder peer holds the victim slice; it spills on its own
           // task thread at its next Enforce.
-          coldest->second.spill_requested = true;
+          clients_[coldest].spill_requested = true;
           return;
         }
       } else {
@@ -109,7 +114,7 @@ void MemoryGovernor::Enforce(SpillClient* self) {
     if (spill_self && self->SpillOnce() == 0) {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = clients_.find(self);
-      if (it != clients_.end()) it->second.coldest_end = INT64_MAX;
+      if (it != clients_.end()) Reindex(it, INT64_MAX);
       return;
     }
   }

@@ -5,7 +5,9 @@
 #include <cstdint>
 #include <map>
 #include <mutex>
+#include <set>
 #include <string>
+#include <utility>
 
 namespace astream::storage {
 
@@ -20,6 +22,19 @@ struct StorageOptions {
   bool allow_spill = true;
   /// Spill directory. Empty = a per-job temp dir, removed on shutdown.
   std::string spill_dir;
+  /// LZ-compress spilled run blocks (format v2, DESIGN.md §13). Off
+  /// writes v2 files with raw blocks.
+  bool compress_spill = true;
+  /// Fold small spilled runs into larger sorted ones in the background
+  /// (inline when the job is single-threaded, so outputs stay
+  /// deterministic).
+  bool compaction = true;
+  /// A store schedules a compaction once it holds this many runs.
+  size_t compaction_min_runs = 4;
+  /// Victim selection counts per-slice reads: a slice a standing query
+  /// re-reads every slide stops being evicted even when it is the
+  /// coldest by window end. Off = plain coldest-first (PR 5 behavior).
+  bool access_aware_eviction = true;
 };
 
 /// "8m", "64k", "1g", "1048576" -> bytes; 0 on empty/unparseable input.
@@ -88,11 +103,21 @@ class MemoryGovernor {
     bool spill_requested = false;
   };
 
+  /// Moves `it`'s position in the victim index to `coldest_end`.
+  /// Caller holds mutex_.
+  void Reindex(std::map<SpillClient*, Entry>::iterator it,
+               int64_t coldest_end);
+
   const int64_t budget_;
   const bool allow_spill_;
   std::atomic<int64_t> total_{0};
   mutable std::mutex mutex_;
   std::map<SpillClient*, Entry> clients_;
+  /// Victim index: (coldest_end, client) for every client with something
+  /// spillable, ordered — Enforce picks *victims_.begin() in O(log n)
+  /// instead of scanning all clients (the PR 5 linear scan ran once per
+  /// Enforce pass on the ingest path).
+  std::set<std::pair<int64_t, SpillClient*>> victims_;
 };
 
 }  // namespace astream::storage

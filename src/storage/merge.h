@@ -15,20 +15,100 @@ namespace astream::storage {
 /// when exhausted. Ties break by source index, so a store that lists its
 /// resident snapshot before its runs (oldest first) gets a stable,
 /// deterministic global order. Memory: one buffered entry per source.
+///
+/// Two implementations share that contract:
+///  - LoserTreeMerge: a tournament loser tree (DESIGN.md §13). Each Next
+///    replays one leaf-to-root path — exactly one comparison per level,
+///    ceil(log2 k) total — and moves entries only between the slot and the
+///    output. This is the default (`KWayMerge`), used by window-finalize
+///    streaming merges and background compaction.
+///  - HeapMerge: the PR 5 binary heap (~2 log2 k comparisons per Next via
+///    pop_heap/push_heap, plus heap-item moves). Kept as the equivalence
+///    reference and the micro_merge baseline.
 template <typename Entry>
-class KWayMerge {
+class LoserTreeMerge {
  public:
   using Source = std::function<bool(Entry*)>;
 
-  explicit KWayMerge(std::vector<Source> sources)
+  explicit LoserTreeMerge(std::vector<Source> sources)
+      : sources_(std::move(sources)), k_(sources_.size()) {
+    if (k_ == 0) return;
+    slots_.resize(k_);
+    for (size_t i = 0; i < k_; ++i) {
+      slots_[i].alive = sources_[i](&slots_[i].entry);
+    }
+    // Bottom-up build over the complete tree with leaves at [k, 2k):
+    // winners bubble up, each internal node keeps the loser of its match.
+    std::vector<size_t> winner(2 * k_);
+    for (size_t n = k_; n < 2 * k_; ++n) winner[n] = n - k_;
+    tree_.resize(std::max<size_t>(k_, 1));
+    for (size_t n = k_ - 1; n >= 1; --n) {
+      const size_t a = winner[2 * n];
+      const size_t b = winner[2 * n + 1];
+      const bool a_wins = Beats(a, b);
+      winner[n] = a_wins ? a : b;
+      tree_[n] = a_wins ? b : a;
+    }
+    tree_[0] = winner[1];
+  }
+
+  /// Next entry in global (key, source index) order; false when all
+  /// sources are exhausted.
+  bool Next(Entry* out) {
+    if (k_ == 0) return false;
+    const size_t w = tree_[0];
+    Slot& slot = slots_[w];
+    if (!slot.alive) return false;
+    *out = std::move(slot.entry);
+    slot.alive = sources_[w](&slot.entry);
+    // Replay the winner's path: at each node the incumbent loser and the
+    // refilled candidate play; the loser stays, the winner moves up.
+    size_t cur = w;
+    for (size_t n = (k_ + w) / 2; n >= 1; n /= 2) {
+      if (Beats(tree_[n], cur)) std::swap(cur, tree_[n]);
+    }
+    tree_[0] = cur;
+    return true;
+  }
+
+ private:
+  struct Slot {
+    Entry entry;
+    bool alive = false;
+  };
+
+  /// Slot a wins the match against slot b: exhausted slots always lose,
+  /// then (key, source index) ascending.
+  bool Beats(size_t a, size_t b) const {
+    const Slot& sa = slots_[a];
+    const Slot& sb = slots_[b];
+    if (!sa.alive || !sb.alive) return sa.alive || (!sb.alive && a < b);
+    if (sa.entry.key != sb.entry.key) return sa.entry.key < sb.entry.key;
+    return a < b;
+  }
+
+  std::vector<Source> sources_;
+  size_t k_ = 0;
+  std::vector<Slot> slots_;
+  /// tree_[0] = overall winner; tree_[1..k) = loser at each internal node
+  /// of the complete binary tree whose leaves are k..2k-1.
+  std::vector<size_t> tree_;
+};
+
+/// Binary-heap k-way merge (the PR 5 implementation): equivalence
+/// reference for LoserTreeMerge and the heap leg of bench/micro_merge.
+template <typename Entry>
+class HeapMerge {
+ public:
+  using Source = std::function<bool(Entry*)>;
+
+  explicit HeapMerge(std::vector<Source> sources)
       : sources_(std::move(sources)) {
     heap_.reserve(sources_.size());
     for (size_t i = 0; i < sources_.size(); ++i) Refill(i);
     std::make_heap(heap_.begin(), heap_.end(), Later);
   }
 
-  /// Next entry in global (key, source index) order; false when all
-  /// sources are exhausted.
   bool Next(Entry* out) {
     if (heap_.empty()) return false;
     std::pop_heap(heap_.begin(), heap_.end(), Later);
@@ -64,6 +144,10 @@ class KWayMerge {
   std::vector<Source> sources_;
   std::vector<Item> heap_;
 };
+
+/// The merge the engine uses everywhere.
+template <typename Entry>
+using KWayMerge = LoserTreeMerge<Entry>;
 
 }  // namespace astream::storage
 

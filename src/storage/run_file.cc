@@ -6,6 +6,7 @@
 #include <array>
 #include <cstring>
 
+#include "common/lz.h"
 #include "fault/injector.h"
 
 namespace astream::storage {
@@ -15,6 +16,10 @@ namespace {
 constexpr uint32_t kMagic = 0x4E525341;     // "ASRN"
 constexpr uint32_t kEndMagic = 0x4153524E;  // "NRSA"
 constexpr size_t kTailBytes = 24;           // offset + len + crc + magic
+/// Decompressed-block sanity cap: blocks are block_bytes-ish (64 KiB
+/// default) plus one entry; a claimed raw size past this is corruption,
+/// not data — refuse before allocating.
+constexpr uint32_t kMaxRawBlockBytes = 1u << 30;
 
 /// kStorageWrite hook shared by block flush and finish. kFail surfaces as
 /// an error Status (caller keeps its resident state); kThrow crashes the
@@ -59,12 +64,17 @@ RunWriter::RunWriter(std::string final_path, Options options)
     : final_path_(std::move(final_path)),
       tmp_path_(final_path_ + ".tmp"),
       options_(options) {
+  if (options_.format_version != kRunFormatVersion &&
+      options_.format_version != kRunFormatVersionV1) {
+    status_ = Status::InvalidArgument("unknown run format version");
+    return;
+  }
   file_ = std::fopen(tmp_path_.c_str(), "wb");
   if (file_ == nullptr) {
     status_ = Status::Internal("cannot create run temp file: " + tmp_path_);
     return;
   }
-  uint32_t header[2] = {kMagic, kRunFormatVersion};
+  uint32_t header[2] = {kMagic, options_.format_version};
   status_ = WriteRaw(header, sizeof(header));
 }
 
@@ -128,9 +138,29 @@ Status RunWriter::FlushBlock() {
   bi.entries = block_entries_;
   bi.min_key = block_min_key_;
   bi.max_key = block_max_key_;
-  const uint32_t block_bytes = static_cast<uint32_t>(block_.size());
-  ASTREAM_RETURN_IF_ERROR(WriteRaw(&block_bytes, sizeof(block_bytes)));
-  ASTREAM_RETURN_IF_ERROR(WriteRaw(block_.data(), block_.size()));
+  const uint32_t raw_bytes = static_cast<uint32_t>(block_.size());
+  raw_bytes_ += raw_bytes;
+  if (options_.format_version == kRunFormatVersionV1) {
+    ASTREAM_RETURN_IF_ERROR(WriteRaw(&raw_bytes, sizeof(raw_bytes)));
+    ASTREAM_RETURN_IF_ERROR(WriteRaw(block_.data(), block_.size()));
+  } else {
+    const uint8_t* payload = block_.data();
+    uint32_t stored_bytes = raw_bytes;
+    if (options_.compress) {
+      scratch_.resize(LzMaxCompressedSize(block_.size()));
+      const size_t packed =
+          LzCompress(block_.data(), block_.size(), scratch_.data());
+      // Keep the compressed form only when it actually shrinks; an
+      // incompressible block is stored raw (stored == raw flags it).
+      if (packed < block_.size()) {
+        payload = scratch_.data();
+        stored_bytes = static_cast<uint32_t>(packed);
+      }
+    }
+    ASTREAM_RETURN_IF_ERROR(WriteRaw(&stored_bytes, sizeof(stored_bytes)));
+    ASTREAM_RETURN_IF_ERROR(WriteRaw(&raw_bytes, sizeof(raw_bytes)));
+    ASTREAM_RETURN_IF_ERROR(WriteRaw(payload, stored_bytes));
+  }
   index_.push_back(bi);
   block_.clear();
   block_entries_ = 0;
@@ -152,6 +182,9 @@ Result<RunInfo> RunWriter::Finish() {
     footer.WriteU64(bi.entries);
     footer.WriteI64(bi.min_key);
     footer.WriteI64(bi.max_key);
+  }
+  if (options_.format_version >= kRunFormatVersion) {
+    footer.WriteU64(raw_bytes_);
   }
   footer.WriteU64(meta_.size());
   footer.WriteBytes(meta_.data(), meta_.size());
@@ -183,6 +216,7 @@ Result<RunInfo> RunWriter::Finish() {
   RunInfo info;
   info.path = final_path_;
   info.file_bytes = file_offset_;
+  info.raw_bytes = raw_bytes_;
   info.num_entries = num_entries_;
   info.min_key = min_key_;
   info.max_key = max_key_;
@@ -236,9 +270,11 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(const std::string& path,
       header[0] != kMagic) {
     return Status::Internal("run file has a bad header: " + path);
   }
-  if (header[1] != kRunFormatVersion) {
+  if (header[1] != kRunFormatVersion &&
+      header[1] != kRunFormatVersionV1) {
     return Status::Internal("unsupported run format version: " + path);
   }
+  reader->format_version_ = header[1];
 
   if (verify_crc) {
     std::fseek(f, 0, SEEK_SET);
@@ -275,6 +311,21 @@ Result<std::unique_ptr<RunReader>> RunReader::Open(const std::string& path,
     footer.ReadI64();  // max_key
     reader->blocks_.push_back(bi);
   }
+  if (reader->format_version_ >= kRunFormatVersion) {
+    reader->raw_bytes_ = footer.ReadU64();
+  } else {
+    // v1 stores blocks raw: consecutive index offsets recover each
+    // block's exact stored (== raw) size without a scan.
+    for (size_t i = 0; i < reader->blocks_.size(); ++i) {
+      const uint64_t next = i + 1 < reader->blocks_.size()
+                                ? reader->blocks_[i + 1].offset
+                                : footer_offset;
+      if (next >= reader->blocks_[i].offset + sizeof(uint32_t)) {
+        reader->raw_bytes_ +=
+            next - reader->blocks_[i].offset - sizeof(uint32_t);
+      }
+    }
+  }
   const uint64_t meta_bytes = footer.ReadU64();
   if (!footer.Ok() || meta_bytes > footer_bytes) {
     return Status::Internal("run footer corrupt: " + path);
@@ -291,20 +342,57 @@ bool RunReader::LoadNextBlock() {
   if (next_block_ >= blocks_.size()) return false;
   const BlockIndex& bi = blocks_[next_block_++];
   std::fseek(file_, static_cast<long>(bi.offset), SEEK_SET);
-  uint32_t block_bytes = 0;
-  if (std::fread(&block_bytes, 1, sizeof(block_bytes), file_) !=
-      sizeof(block_bytes)) {
+
+  if (format_version_ == kRunFormatVersionV1) {
+    uint32_t block_bytes = 0;
+    if (std::fread(&block_bytes, 1, sizeof(block_bytes), file_) !=
+        sizeof(block_bytes)) {
+      status_ = Status::Internal("cannot read block header");
+      return false;
+    }
+    if (bi.offset + sizeof(uint32_t) + block_bytes > footer_offset_) {
+      status_ = Status::Internal("block overruns footer");
+      return false;
+    }
+    block_.resize(block_bytes);
+    if (std::fread(block_.data(), 1, block_bytes, file_) != block_bytes) {
+      status_ = Status::Internal("short block read");
+      return false;
+    }
+    block_pos_ = 0;
+    return true;
+  }
+
+  uint32_t hdr[2];  // [stored_bytes][raw_bytes]
+  if (std::fread(hdr, 1, sizeof(hdr), file_) != sizeof(hdr)) {
     status_ = Status::Internal("cannot read block header");
     return false;
   }
-  if (bi.offset + sizeof(uint32_t) + block_bytes > footer_offset_) {
+  const uint32_t stored_bytes = hdr[0];
+  const uint32_t raw_bytes = hdr[1];
+  if (bi.offset + sizeof(hdr) + stored_bytes > footer_offset_ ||
+      stored_bytes > raw_bytes || raw_bytes > kMaxRawBlockBytes) {
     status_ = Status::Internal("block overruns footer");
     return false;
   }
-  block_.resize(block_bytes);
-  if (std::fread(block_.data(), 1, block_bytes, file_) != block_bytes) {
-    status_ = Status::Internal("short block read");
-    return false;
+  if (stored_bytes == raw_bytes) {
+    block_.resize(raw_bytes);
+    if (std::fread(block_.data(), 1, raw_bytes, file_) != raw_bytes) {
+      status_ = Status::Internal("short block read");
+      return false;
+    }
+  } else {
+    scratch_.resize(stored_bytes);
+    if (std::fread(scratch_.data(), 1, stored_bytes, file_) != stored_bytes) {
+      status_ = Status::Internal("short block read");
+      return false;
+    }
+    block_.resize(raw_bytes);
+    if (!LzDecompress(scratch_.data(), stored_bytes, block_.data(),
+                      raw_bytes)) {
+      status_ = Status::Internal("compressed block corrupt");
+      return false;
+    }
   }
   block_pos_ = 0;
   return true;

@@ -12,22 +12,30 @@
 
 namespace astream::storage {
 
-/// Run-file format version (DESIGN.md §10). Bump on any layout change; a
-/// reader refuses files with a different version instead of guessing.
-inline constexpr uint32_t kRunFormatVersion = 1;
+/// Run-file format version (DESIGN.md §13). Version 2 adds per-block LZ
+/// compression; the reader accepts both 1 and 2 (PR 5-era checkpoint and
+/// shard-drain files must keep loading) and refuses anything else.
+inline constexpr uint32_t kRunFormatVersion = 2;
+inline constexpr uint32_t kRunFormatVersionV1 = 1;
 
 /// Incremental CRC32 (IEEE 802.3 polynomial, table-driven). `crc` is the
 /// running value (start from 0); feed chunks in file order.
 uint32_t Crc32(uint32_t crc, const void* data, size_t size);
 
-/// Immutable run file: the one on-disk format shared by slice-store spills,
-/// changelog-table spills, and durable checkpoints.
+/// Immutable run file: the one on-disk format shared by slice-store
+/// spills, changelog-table spills, durable checkpoints, and compacted
+/// runs.
 ///
 ///   [u32 magic "ASRN"][u32 version]
-///   block*:  [u32 block_bytes][entries...]
-///     entry: [u32 entry_bytes][i64 key][payload (entry_bytes - 8)]
+///   v1 block*: [u32 block_bytes][entries...]
+///   v2 block*: [u32 stored_bytes][u32 raw_bytes][payload stored_bytes]
+///     stored == raw: payload is the raw entry stream; stored < raw: the
+///     entry stream LZ-compressed (common/lz.h). Incompressible blocks
+///     are stored raw, so stored_bytes never exceeds raw_bytes.
+///     entry stream: [u32 entry_bytes][i64 key][payload (entry_bytes-8)]*
 ///   footer (StateWriter-encoded): num_entries, num_blocks,
-///     per block {file_offset, num_entries, min_key, max_key}, meta blob
+///     per block {file_offset, num_entries, min_key, max_key},
+///     raw_payload_bytes (v2 only), meta blob
 ///   tail (fixed 24 bytes):
 ///     [u64 footer_offset][u64 footer_bytes][u32 crc][u32 end magic "NRSA"]
 ///
@@ -38,6 +46,9 @@ uint32_t Crc32(uint32_t crc, const void* data, size_t size);
 struct RunInfo {
   std::string path;
   uint64_t file_bytes = 0;
+  /// Uncompressed entry-stream bytes — the logical volume the file holds.
+  /// file_bytes / raw_bytes is the on-disk compression ratio (~1 for v1).
+  uint64_t raw_bytes = 0;
   uint64_t num_entries = 0;
   int64_t min_key = 0;
   int64_t max_key = 0;
@@ -50,6 +61,12 @@ class RunWriter {
     /// fsync before the atomic rename (durable checkpoints). Spill runs
     /// skip it: they never outlive the process that wrote them.
     bool sync = false;
+    /// LZ-compress blocks (v2 only). Off = v2 layout with raw blocks —
+    /// the format-sweep baseline leg of bench/micro_spill.
+    bool compress = true;
+    /// Written format. kRunFormatVersionV1 reproduces PR 5 files byte for
+    /// byte (backward-compat tests and mixed-version drains).
+    uint32_t format_version = kRunFormatVersion;
   };
 
   /// Writes to `<final_path>.tmp`; Finish() renames to `final_path`.
@@ -90,6 +107,7 @@ class RunWriter {
   Status status_;
 
   std::vector<uint8_t> block_;
+  std::vector<uint8_t> scratch_;  // compression output, reused per block
   uint64_t block_entries_ = 0;
   int64_t block_min_key_ = 0;
   int64_t block_max_key_ = 0;
@@ -105,14 +123,18 @@ class RunWriter {
   uint64_t file_offset_ = 0;
   uint32_t crc_ = 0;
   uint64_t num_entries_ = 0;
+  uint64_t raw_bytes_ = 0;
   int64_t min_key_ = 0;
   int64_t max_key_ = 0;
   bool have_key_ = false;
 };
 
-/// Sequential, block-buffered reader over one run. Open() validates the
-/// tail, footer, version and (optionally) the full-file CRC; a torn or
-/// corrupt file fails Open and is never half-read. Memory: one block.
+/// Sequential, block-buffered reader over one run (format v1 or v2).
+/// Open() validates the tail, footer, version and (optionally) the
+/// full-file CRC; a torn or corrupt file fails Open and is never
+/// half-read. A v2 block that fails to decompress (possible only when CRC
+/// verification was skipped) surfaces as an error Status mid-scan instead
+/// of bad bytes. Memory: one (decompressed) block.
 class RunReader {
  public:
   static Result<std::unique_ptr<RunReader>> Open(const std::string& path,
@@ -130,6 +152,9 @@ class RunReader {
   uint64_t num_entries() const { return num_entries_; }
   const std::vector<uint8_t>& meta() const { return meta_; }
   uint64_t file_bytes() const { return file_bytes_; }
+  /// Uncompressed entry-stream bytes (== payload volume for v1 files).
+  uint64_t raw_bytes() const { return raw_bytes_; }
+  uint32_t format_version() const { return format_version_; }
 
  private:
   RunReader() = default;
@@ -137,6 +162,8 @@ class RunReader {
 
   std::FILE* file_ = nullptr;
   uint64_t file_bytes_ = 0;
+  uint64_t raw_bytes_ = 0;
+  uint32_t format_version_ = 0;
   uint64_t footer_offset_ = 0;
   uint64_t num_entries_ = 0;
   std::vector<uint8_t> meta_;
@@ -149,6 +176,7 @@ class RunReader {
   std::vector<BlockIndex> blocks_;
   size_t next_block_ = 0;
   std::vector<uint8_t> block_;
+  std::vector<uint8_t> scratch_;  // compressed bytes before decompression
   size_t block_pos_ = 0;
 };
 

@@ -80,12 +80,24 @@ SpilledRunPtr SpillSpace::Adopt(RunInfo info, int64_t elapsed_ms) {
   spill_bytes_.fetch_add(static_cast<int64_t>(info.file_bytes),
                          std::memory_order_relaxed);
   num_runs_.fetch_add(1, std::memory_order_relaxed);
+  total_spill_bytes_.fetch_add(static_cast<int64_t>(info.file_bytes),
+                               std::memory_order_relaxed);
+  total_spill_raw_bytes_.fetch_add(static_cast<int64_t>(info.raw_bytes),
+                                   std::memory_order_relaxed);
   PublishGauges();
   if (h_spill_ms_ != nullptr) h_spill_ms_->Record(elapsed_ms);
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kSpill, -1,
                    static_cast<int64_t>(info.file_bytes));
   }
+  return std::make_shared<const SpilledRun>(this, std::move(info));
+}
+
+SpilledRunPtr SpillSpace::AdoptCompacted(RunInfo info) {
+  spill_bytes_.fetch_add(static_cast<int64_t>(info.file_bytes),
+                         std::memory_order_relaxed);
+  num_runs_.fetch_add(1, std::memory_order_relaxed);
+  PublishGauges();
   return std::make_shared<const SpilledRun>(this, std::move(info));
 }
 
@@ -96,7 +108,8 @@ void SpillSpace::OnRunDeleted(const RunInfo& info) {
   PublishGauges();
 }
 
-void SpillSpace::OnReload(int64_t bytes, int64_t elapsed_ms) const {
+void SpillSpace::OnReload(int64_t bytes, int64_t elapsed_ms) {
+  total_reload_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   if (h_reload_ms_ != nullptr) h_reload_ms_->Record(elapsed_ms);
   if (trace_ != nullptr) {
     trace_->Record(obs::TraceEventKind::kReload, -1, bytes);

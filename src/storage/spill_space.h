@@ -64,9 +64,22 @@ class SpillSpace {
   /// ("slice", "cl", "ckpt").
   std::string NextRunPath(const std::string& kind);
 
+  /// Run-file options every store in this space writes with — the job's
+  /// single switch for format version and compression (bench legs and the
+  /// v1-compat path flip it here, not per store).
+  void SetWriterOptions(RunWriter::Options options) {
+    writer_options_ = options;
+  }
+  const RunWriter::Options& writer_options() const { return writer_options_; }
+
   /// Wraps a freshly finished run in a shared handle and records the spill
   /// (bytes, latency, trace). `elapsed_ms` is the write duration.
   SpilledRunPtr Adopt(RunInfo info, int64_t elapsed_ms);
+
+  /// Adopt for compaction outputs: live accounting only — no spill trace,
+  /// latency sample, or cumulative spill volume (the data was already
+  /// spilled once; compaction rewrites it).
+  SpilledRunPtr AdoptCompacted(RunInfo info);
 
   const std::string& dir() const { return dir_; }
   int64_t spill_bytes() const {
@@ -75,20 +88,38 @@ class SpillSpace {
   int64_t num_runs() const {
     return num_runs_.load(std::memory_order_relaxed);
   }
+  /// Cumulative on-disk bytes ever spilled (monotone; unlike spill_bytes
+  /// this never shrinks when runs retire) and their uncompressed size —
+  /// the pair behind storage.compressed_ratio_bp and the bench's
+  /// spill-volume comparison.
+  int64_t total_spill_bytes() const {
+    return total_spill_bytes_.load(std::memory_order_relaxed);
+  }
+  int64_t total_spill_raw_bytes() const {
+    return total_spill_raw_bytes_.load(std::memory_order_relaxed);
+  }
+  /// Cumulative on-disk bytes re-read by reloads.
+  int64_t total_reload_bytes() const {
+    return total_reload_bytes_.load(std::memory_order_relaxed);
+  }
 
  private:
   friend class SpilledRun;
 
   SpillSpace(std::string dir, bool owns_dir);
   void OnRunDeleted(const RunInfo& info);
-  void OnReload(int64_t bytes, int64_t elapsed_ms) const;
+  void OnReload(int64_t bytes, int64_t elapsed_ms);
   void PublishGauges() const;
 
   const std::string dir_;
   const bool owns_dir_;
+  RunWriter::Options writer_options_;
   std::atomic<uint64_t> next_id_{0};
   std::atomic<int64_t> spill_bytes_{0};
   std::atomic<int64_t> num_runs_{0};
+  std::atomic<int64_t> total_spill_bytes_{0};
+  std::atomic<int64_t> total_spill_raw_bytes_{0};
+  std::atomic<int64_t> total_reload_bytes_{0};
 
   obs::TraceSink* trace_ = nullptr;
   obs::Gauge* g_spill_bytes_ = nullptr;

@@ -233,6 +233,19 @@ ChaosOutcome RunChaos(const ChaosScript& script, uint64_t seed,
     wfail.after_hits = 40 + static_cast<int64_t>(seed) * 7;
     wfail.max_fires = 2;
     injector.AddRule(wfail);
+    // Kill one background compaction mid-job (torn output discarded, the
+    // store keeps serving from its input runs) and fail a later one
+    // cleanly — exactly-once must hold through both.
+    fault::FaultInjector::Rule ccrash;
+    ccrash.point = fault::FaultPoint::kCompaction;
+    ccrash.action = fault::FaultAction::kThrow;
+    ccrash.after_hits = 1 + static_cast<int64_t>(seed % 2);
+    injector.AddRule(ccrash);
+    fault::FaultInjector::Rule cfail;
+    cfail.point = fault::FaultPoint::kCompaction;
+    cfail.action = fault::FaultAction::kFail;
+    cfail.after_hits = 6 + static_cast<int64_t>(seed);
+    injector.AddRule(cfail);
   }
   const int64_t shift = static_cast<int64_t>(seed) * 29;
   for (int64_t after : {500 + shift, 1000 + shift, 1500 + shift}) {
@@ -270,7 +283,12 @@ ChaosOutcome RunChaos(const ChaosScript& script, uint64_t seed,
   ManualClock clock;
   SupervisedJob::Options options;
   options.job = BaseOptions(&clock, true);
-  if (budget_bytes > 0) options.job.storage.memory_budget_bytes = budget_bytes;
+  if (budget_bytes > 0) {
+    options.job.storage.memory_budget_bytes = budget_bytes;
+    // Aggressive folding so the kCompaction faults actually have jobs to
+    // hit within this short script.
+    options.job.storage.compaction_min_runs = 2;
+  }
   options.pin_clock = [&clock](TimestampMs ms) { clock.SetMs(ms); };
   options.supervisor.backoff_initial_ms = 1;
   options.supervisor.backoff_max_ms = 8;
@@ -367,6 +385,11 @@ TEST_P(ChaosEquivalenceTest, ExactlyOnceUnderCrashChurnAndSpill) {
   // incarnation rebuilds more state than 1 MiB, so each one spills).
   EXPECT_GE(chaos.metrics.histograms.at("storage.spill_ms").count, 1);
   EXPECT_GE(chaos.metrics.gauges.at("storage.budget_bytes"), 1 << 20);
+  // Storage-v2 gauges are live on a budgeted job (compaction may or may
+  // not have fired under these faults, but the drill-down must exist).
+  EXPECT_EQ(chaos.metrics.gauges.count("storage.compaction_runs"), 1u);
+  EXPECT_EQ(chaos.metrics.gauges.count("storage.compressed_ratio_bp"), 1u);
+  EXPECT_LE(chaos.metrics.gauges.at("storage.compressed_ratio_bp"), 10000);
 
   EXPECT_EQ(reference.size(), chaos.outputs.size());
   EXPECT_EQ(reference, chaos.outputs);

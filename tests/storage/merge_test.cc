@@ -1,0 +1,142 @@
+// K-way merge: the loser tree must be observably identical to the binary
+// heap it replaced — same entries, same order, same source-index tie
+// break — across source counts, exhaustion patterns, and tie-heavy keys.
+
+#include "storage/merge.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.h"
+
+namespace astream::storage {
+namespace {
+
+struct Entry {
+  int64_t key = 0;
+  int64_t source = -1;
+  int64_t seq = -1;  // position within the source (stability witness)
+};
+
+using Runs = std::vector<std::vector<Entry>>;
+
+template <typename Merge>
+std::vector<Entry> Drain(const Runs& runs) {
+  std::vector<size_t> pos(runs.size(), 0);
+  std::vector<typename Merge::Source> sources;
+  for (size_t i = 0; i < runs.size(); ++i) {
+    sources.push_back([&runs, &pos, i](Entry* out) {
+      if (pos[i] >= runs[i].size()) return false;
+      *out = runs[i][pos[i]++];
+      return true;
+    });
+  }
+  Merge merge(std::move(sources));
+  std::vector<Entry> out;
+  Entry e;
+  while (merge.Next(&e)) out.push_back(e);
+  return out;
+}
+
+void ExpectIdentical(const Runs& runs) {
+  const auto loser = Drain<LoserTreeMerge<Entry>>(runs);
+  const auto heap = Drain<HeapMerge<Entry>>(runs);
+  ASSERT_EQ(loser.size(), heap.size());
+  for (size_t i = 0; i < loser.size(); ++i) {
+    EXPECT_EQ(loser[i].key, heap[i].key) << "at " << i;
+    EXPECT_EQ(loser[i].source, heap[i].source) << "at " << i;
+    EXPECT_EQ(loser[i].seq, heap[i].seq) << "at " << i;
+  }
+  // Both must be sorted with ties in source order (the global contract).
+  for (size_t i = 1; i < loser.size(); ++i) {
+    ASSERT_LE(loser[i - 1].key, loser[i].key);
+    if (loser[i - 1].key == loser[i].key) {
+      EXPECT_LE(loser[i - 1].source, loser[i].source);
+    }
+  }
+}
+
+Runs MakeRuns(Rng* rng, size_t num_sources, size_t max_len,
+              int64_t key_range) {
+  Runs runs(num_sources);
+  for (size_t s = 0; s < num_sources; ++s) {
+    const size_t len = rng->NextU64() % (max_len + 1);
+    int64_t key = 0;
+    for (size_t i = 0; i < len; ++i) {
+      key += rng->NextU64() % static_cast<uint64_t>(key_range);
+      runs[s].push_back(Entry{key, static_cast<int64_t>(s),
+                              static_cast<int64_t>(i)});
+    }
+  }
+  return runs;
+}
+
+TEST(MergeTest, EmptyAndSingleSource) {
+  ExpectIdentical({});
+  ExpectIdentical({{}});
+  ExpectIdentical({{{1, 0, 0}, {2, 0, 1}, {2, 0, 2}}});
+  Entry e;
+  LoserTreeMerge<Entry> empty({});
+  EXPECT_FALSE(empty.Next(&e));
+}
+
+TEST(MergeTest, TieBreaksBySourceIndexAtEveryArity) {
+  // Every source holds the same constant key: output must be source 0's
+  // entries in order, then source 1's, ... — for awkward arities too.
+  for (const size_t k : {2u, 3u, 5u, 7u, 16u, 33u}) {
+    Runs runs(k);
+    for (size_t s = 0; s < k; ++s) {
+      for (int i = 0; i < 4; ++i) {
+        runs[s].push_back(
+            Entry{7, static_cast<int64_t>(s), static_cast<int64_t>(i)});
+      }
+    }
+    const auto out = Drain<LoserTreeMerge<Entry>>(runs);
+    ASSERT_EQ(out.size(), k * 4);
+    for (size_t i = 0; i < out.size(); ++i) {
+      EXPECT_EQ(out[i].source, static_cast<int64_t>(i / 4));
+      EXPECT_EQ(out[i].seq, static_cast<int64_t>(i % 4));
+    }
+    ExpectIdentical(runs);
+  }
+}
+
+TEST(MergeTest, RandomTieHeavyInputsMatchHeap) {
+  Rng rng(1234);
+  for (int trial = 0; trial < 40; ++trial) {
+    const size_t k = 1 + rng.NextU64() % 40;
+    // key_range 1..3 keeps runs dense with duplicates within and across
+    // sources — the tie-break stress the loser tree must get right.
+    const int64_t key_range = 1 + static_cast<int64_t>(rng.NextU64() % 3);
+    ExpectIdentical(MakeRuns(&rng, k, 60, key_range));
+  }
+}
+
+TEST(MergeTest, SkewedAndExhaustingSourcesMatchHeap) {
+  Rng rng(99);
+  // One long source among many short/empty ones: exhaustion replays must
+  // keep the tree consistent as slots die one by one.
+  for (int trial = 0; trial < 20; ++trial) {
+    Runs runs = MakeRuns(&rng, 12, 4, 5);
+    runs[trial % 12].clear();
+    for (int i = 0; i < 500; ++i) {
+      runs[trial % 12].push_back(
+          Entry{i / 3, static_cast<int64_t>(trial % 12), i});
+    }
+    ExpectIdentical(runs);
+  }
+}
+
+TEST(MergeTest, LargeArityFullyOrdered) {
+  Rng rng(5);
+  const auto runs = MakeRuns(&rng, 256, 30, 1000);
+  size_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  const auto out = Drain<LoserTreeMerge<Entry>>(runs);
+  EXPECT_EQ(out.size(), total);
+  ExpectIdentical(runs);
+}
+
+}  // namespace
+}  // namespace astream::storage
