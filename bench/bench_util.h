@@ -24,6 +24,19 @@ inline constexpr char kClusterScaling[] =
     "1000s runs -> ~2s; query rates x10 so ramps fit; "
     "1000 qp -> 200 qp; windows 400-1200ms; 1000 distinct keys";
 
+/// Experiment seed: benches derive their generator seeds through this, so
+/// `ASTREAM_SEED=<n>` re-rolls the whole suite in one move (distinct
+/// per-bench streams survive — the env seed is mixed with the bench's own
+/// fallback) while unset keeps the historical defaults bit-for-bit.
+inline uint64_t BenchSeed(uint64_t fallback = 42) {
+  const char* env = std::getenv("ASTREAM_SEED");
+  if (env == nullptr || *env == '\0') return fallback;
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(env, &end, 10);
+  if (end == env) return fallback;
+  return static_cast<uint64_t>(v) ^ (fallback * 0x9e3779b97f4a7c15ULL);
+}
+
 /// Default generator configs used across the figure benches.
 inline workload::QueryGenerator::Config BenchQueryConfig(bool sessions =
                                                              false) {
@@ -50,7 +63,7 @@ inline workload::DataGenerator::Config BenchDataConfig() {
 inline std::function<core::QueryDescriptor()> QueryFactory(
     core::QueryKind kind, uint64_t seed, bool sessions = false) {
   auto gen = std::make_shared<workload::QueryGenerator>(
-      BenchQueryConfig(sessions), seed);
+      BenchQueryConfig(sessions), BenchSeed(seed));
   return [gen, kind]() {
     switch (kind) {
       case core::QueryKind::kSelection:
@@ -132,6 +145,7 @@ inline harness::Driver::Report RunScenario(
   cfg.push_b = push_b;
   cfg.query_factory = std::move(factory);
   cfg.data = BenchDataConfig();
+  cfg.seed = BenchSeed(cfg.seed);
   cfg.sample_interval_ms = sample_interval;
   cfg.warmup_ms = warmup_ms;
   cfg.drain_at_end = drain_at_end;

@@ -1,0 +1,188 @@
+// Adversarial-tenant scenario suite (DESIGN.md §14): four deterministic
+// tenant mixes driven through the isolation machinery. The headline run
+// is the whale-amid-minnows pair — the same workload with isolation off
+// (baseline) and on (admission + de-sharing): the baseline must VIOLATE
+// the minnow p99 work budget and the isolated run must MEET it, with the
+// whale observed being ejected into a dedicated job. The churn storm
+// asserts admission queueing + rejection under tight caps; the zipf and
+// bursty/late mixes assert the fleet stays healthy and accounted under
+// hostile data. Exits nonzero on any violated assertion, so verify.sh can
+// gate on it (also honors ASTREAM_MEMORY_BUDGET / ASTREAM_SEED).
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "harness/report.h"
+#include "workload/scenario_runner.h"
+
+namespace astream::bench {
+namespace {
+
+using workload::ScenarioReport;
+using workload::ScenarioRunner;
+using workload::ScenarioSpec;
+
+struct Leg {
+  std::string label;
+  ScenarioReport report;
+  bool pass = false;
+  std::string why;  // what the pass/fail verdict hinged on
+};
+
+Leg RunLeg(const std::string& label, const ScenarioSpec& spec) {
+  Leg leg;
+  leg.label = label;
+  auto report_or = ScenarioRunner(spec).Run();
+  if (!report_or.ok()) {
+    leg.why = report_or.status().message();
+    return leg;
+  }
+  leg.report = std::move(report_or).value();
+  leg.pass = leg.report.ok;
+  if (!leg.pass) leg.why = leg.report.error.empty() ? "job unhealthy"
+                                                    : leg.report.error;
+  return leg;
+}
+
+bool Run() {
+  harness::PrintBanner(
+      "scenario_suite — adversarial tenants vs per-query isolation",
+      "Deterministic ManualClock mixes: whale-amid-minnows (paired "
+      "baseline/isolated runs; the minnow p99 budget is 60% of the "
+      "baseline's p99 shared-plan work per tick), churn storm against "
+      "tight admission caps, zipf-skewed hot keys, and bursty/late/"
+      "out-of-order arrivals. Latency proxy = deterministic shared-plan "
+      "work per tick on the primary job (ejected whale excluded).",
+      "sync aggregation topology, parallelism 1; memory budget from "
+      "ASTREAM_MEMORY_BUDGET; seed from ASTREAM_SEED");
+
+  const uint64_t seed = BenchSeed(7);
+  std::vector<Leg> legs;
+  bool all_pass = true;
+
+  // --- Whale amid minnows: baseline (shared) vs isolated (de-shared). ---
+  ScenarioSpec base =
+      ScenarioRunner::Preset(ScenarioSpec::Mix::kWhaleMinnows, seed);
+  base.memory_budget_bytes = 0;  // honor ASTREAM_MEMORY_BUDGET
+  Leg baseline = RunLeg("whale baseline", base);
+
+  ScenarioSpec isolated = base;
+  ScenarioRunner::EnableIsolation(&isolated);
+  // The minnow SLO: 60% of the baseline's steady-state p99 work. The
+  // baseline violates it by construction; the isolated run must meet it
+  // by ejecting the whale out of the shared plan.
+  const int64_t budget = baseline.report.p99_tick_work * 3 / 5;
+  isolated.tick_work_p99_budget = budget;
+  Leg iso = RunLeg("whale isolated", isolated);
+  if (baseline.pass) {
+    if (baseline.report.p99_tick_work <= budget) {
+      baseline.pass = false;
+      baseline.why = "baseline unexpectedly met the minnow budget";
+    } else {
+      baseline.why = "violates minnow budget (expected)";
+    }
+  }
+  if (iso.pass) {
+    if (!iso.report.whale_ejected) {
+      iso.pass = false;
+      iso.why = "whale was never de-shared";
+    } else if (!iso.report.slo_met) {
+      iso.pass = false;
+      iso.why = "minnow p99 budget still violated with isolation on";
+    } else {
+      iso.why = "whale ejected; minnow budget met";
+    }
+  }
+  legs.push_back(baseline);
+  legs.push_back(iso);
+
+  // --- Churn storm against tight admission caps. ---
+  ScenarioSpec churn =
+      ScenarioRunner::Preset(ScenarioSpec::Mix::kChurnStorm, seed + 1);
+  ScenarioRunner::EnableIsolation(&churn);
+  churn.memory_budget_bytes = 0;
+  Leg storm = RunLeg("churn storm", churn);
+  if (storm.pass) {
+    if (storm.report.admission_queued == 0) {
+      storm.pass = false;
+      storm.why = "storm never queued a submit";
+    } else if (storm.report.admission_rejected == 0) {
+      storm.pass = false;
+      storm.why = "storm never overflowed the admission queue";
+    } else {
+      storm.why = "caps held: queued + rejected + fleet kept flowing";
+    }
+  }
+  legs.push_back(storm);
+
+  // --- Zipf-skewed hot keys. ---
+  ScenarioSpec zipf =
+      ScenarioRunner::Preset(ScenarioSpec::Mix::kZipfSkew, seed + 2);
+  zipf.memory_budget_bytes = 0;
+  Leg skew = RunLeg("zipf skew", zipf);
+  if (skew.pass) {
+    size_t producing = 0;
+    for (const auto& [id, n] : skew.report.outputs_per_query) {
+      if (n > 0) ++producing;
+    }
+    if (producing < static_cast<size_t>(zipf.minnows)) {
+      skew.pass = false;
+      skew.why = "a tenant was starved under key skew";
+    } else {
+      skew.why = "every tenant produced output under hot keys";
+    }
+  }
+  legs.push_back(skew);
+
+  // --- Bursts + late + out-of-order arrivals. ---
+  ScenarioSpec bursty =
+      ScenarioRunner::Preset(ScenarioSpec::Mix::kBurstyOoo, seed + 3);
+  bursty.memory_budget_bytes = 0;
+  Leg ooo = RunLeg("bursty ooo", bursty);
+  if (ooo.pass) {
+    if (ooo.report.late_drops == 0) {
+      ooo.pass = false;
+      ooo.why = "late rows were never generated/accounted";
+    } else if (ooo.report.outputs == 0) {
+      ooo.pass = false;
+      ooo.why = "no outputs under bursty arrivals";
+    } else {
+      ooo.why = "late rows dropped + accounted; outputs kept flowing";
+    }
+  }
+  legs.push_back(ooo);
+
+  harness::Table table({"leg", "rows", "outputs", "p99 work", "mean work",
+                        "queued", "rejected", "deshared", "eject tick",
+                        "late drops", "verdict"});
+  for (const Leg& leg : legs) {
+    char mean[32];
+    std::snprintf(mean, sizeof(mean), "%.0f", leg.report.mean_tick_work);
+    table.AddRow({leg.label, std::to_string(leg.report.rows_pushed),
+                  std::to_string(leg.report.outputs),
+                  std::to_string(leg.report.p99_tick_work), mean,
+                  std::to_string(leg.report.admission_queued),
+                  std::to_string(leg.report.admission_rejected),
+                  std::to_string(leg.report.desharings),
+                  std::to_string(leg.report.eject_tick),
+                  std::to_string(leg.report.late_drops),
+                  (leg.pass ? "PASS — " : "FAIL — ") + leg.why});
+    all_pass = all_pass && leg.pass;
+  }
+  table.Print();
+  std::printf("minnow p99 work budget (60%% of baseline p99): %lld\n",
+              static_cast<long long>(budget));
+  std::printf("scenario suite: %s\n", all_pass ? "all legs pass"
+                                               : "VIOLATIONS FOUND");
+  return all_pass;
+}
+
+}  // namespace
+}  // namespace astream::bench
+
+int main() {
+  astream::bench::BenchInit();
+  return astream::bench::Run() ? 0 : 1;
+}

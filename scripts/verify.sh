@@ -93,6 +93,20 @@ echo "== spill: full test suite under an 8 MiB global memory budget =="
 # everything else must produce identical outputs out-of-core.
 (cd build && ASTREAM_MEMORY_BUDGET=8m ctest --output-on-failure -j)
 
+echo "== isolation: admission + de-sharing vs the byte-identity reference =="
+# The whale must leave the shared plan without moving a single output
+# byte, and the admission gate must queue/reject deterministically.
+./build/tests/astream_tests \
+  --gtest_filter='AdmissionTest.*:AdmissionValidationTest.*:IsolationTest.*:BackpressureRaceTest.*'
+
+echo "== scenario_suite: adversarial tenants under an 8 MiB budget =="
+# The headline robustness run (whale-amid-minnows baseline/isolated pair,
+# churn storm, zipf skew, bursty/late arrivals), with spilling active:
+# exits nonzero if the baseline fails to violate the minnow p99 budget,
+# the isolated run fails to meet it, or any admission assertion breaks.
+cmake --build build -j --target scenario_suite >/dev/null
+ASTREAM_MEMORY_BUDGET=8m ./build/bench/scenario_suite
+
 if [[ "$SKIP_TSAN" == "1" ]]; then
   echo "== tsan: skipped (--skip-tsan) =="
 else

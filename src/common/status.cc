@@ -24,6 +24,8 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
+    case StatusCode::kAdmissionRejected:
+      return "AdmissionRejected";
   }
   return "Unknown";
 }

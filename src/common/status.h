@@ -21,6 +21,9 @@ enum class StatusCode {
   kAborted,
   kInternal,
   kUnimplemented,
+  /// Submit refused by the admission controller: the cost model predicts
+  /// the query would violate the job's SLO knobs (see core::SloOptions).
+  kAdmissionRejected,
 };
 
 /// Human-readable name of a status code ("OK", "InvalidArgument", ...).
@@ -63,6 +66,9 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status AdmissionRejected(std::string msg) {
+    return Status(StatusCode::kAdmissionRejected, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

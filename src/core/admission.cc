@@ -1,0 +1,149 @@
+#include "core/admission.h"
+
+#include <algorithm>
+
+namespace astream::core {
+
+const char* AdmissionDecisionName(AdmissionDecision d) {
+  switch (d) {
+    case AdmissionDecision::kAdmitted:
+      return "admitted";
+    case AdmissionDecision::kQueued:
+      return "queued";
+    case AdmissionDecision::kRejected:
+      return "rejected";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Windows that overlap (slide < length) re-bill every tuple length/slide
+/// times; that ratio is the dominant static cost driver.
+double WindowOverlap(const spe::WindowSpec& window) {
+  if (window.length <= 0) return 1;
+  if (window.slide <= 0) return 1;
+  return std::max<double>(
+      1, static_cast<double>(window.length) / static_cast<double>(window.slide));
+}
+
+}  // namespace
+
+double AdmissionController::ShapeCost(const QueryDescriptor& desc) {
+  switch (desc.kind) {
+    case QueryKind::kSelection:
+      return 1;
+    case QueryKind::kAggregation:
+      return 1 + WindowOverlap(desc.window);
+    case QueryKind::kJoin:
+      // Joins pay twice: per-window pair computation grows with the
+      // retained span on both inputs.
+      return 2 + 2 * WindowOverlap(desc.window);
+    case QueryKind::kComplex:
+      return desc.join_depth * (2 + 2 * WindowOverlap(desc.window)) + 1 +
+             WindowOverlap(desc.window);
+  }
+  return 1;
+}
+
+double AdmissionController::PredictCost(const QueryDescriptor& desc) const {
+  const double shape = ShapeCost(desc);
+  double total_shape = 0;
+  for (const auto& [id, a] : admitted_) total_shape += a.shape;
+  // Fleet calibration: how much hotter the metered fleet runs than its
+  // static shapes suggested. Only ever inflates — a conservatively cheap
+  // fleet must not shrink a new query's prediction below its shape.
+  const double calibration =
+      total_shape > 0 ? std::max(1.0, total_predicted_ / total_shape) : 1.0;
+  return shape * calibration;
+}
+
+AdmissionController::Decision AdmissionController::Decide(
+    const QueryDescriptor& desc, size_t num_queued,
+    double p99_event_ms) const {
+  Decision d;
+  d.predicted_cost = PredictCost(desc);
+  if (!enabled()) return d;
+  if (slo_.max_predicted_cost > 0 &&
+      d.predicted_cost > slo_.max_predicted_cost) {
+    d.action = AdmissionDecision::kRejected;
+    d.reason = "predicted cost " + std::to_string(d.predicted_cost) +
+               " exceeds per-query cap " +
+               std::to_string(slo_.max_predicted_cost);
+    return d;
+  }
+  std::string queue_reason;
+  if (slo_.max_active_queries > 0 &&
+      admitted_.size() >= slo_.max_active_queries) {
+    queue_reason = "fleet at max_active_queries";
+  } else if (slo_.max_total_cost > 0 &&
+             total_predicted_ + d.predicted_cost > slo_.max_total_cost) {
+    queue_reason = "fleet predicted cost would exceed budget";
+  } else if (slo_.p99_event_latency_ms > 0 &&
+             p99_event_ms >= static_cast<double>(slo_.p99_event_latency_ms)) {
+    queue_reason = "fleet p99 at or above SLO target";
+  }
+  if (queue_reason.empty()) return d;
+  if (num_queued >= slo_.max_queued) {
+    d.action = AdmissionDecision::kRejected;
+    d.reason = queue_reason + " and admission queue is full";
+    return d;
+  }
+  d.action = AdmissionDecision::kQueued;
+  d.reason = std::move(queue_reason);
+  return d;
+}
+
+bool AdmissionController::HasHeadroom(const QueryDescriptor& desc,
+                                      double p99_event_ms) const {
+  if (!enabled()) return true;
+  const double cost = PredictCost(desc);
+  if (slo_.max_predicted_cost > 0 && cost > slo_.max_predicted_cost) {
+    return false;
+  }
+  if (slo_.max_active_queries > 0 &&
+      admitted_.size() >= slo_.max_active_queries) {
+    return false;
+  }
+  if (slo_.max_total_cost > 0 &&
+      total_predicted_ + cost > slo_.max_total_cost) {
+    return false;
+  }
+  if (slo_.p99_event_latency_ms > 0 &&
+      p99_event_ms >= static_cast<double>(slo_.p99_event_latency_ms)) {
+    return false;
+  }
+  return true;
+}
+
+void AdmissionController::OnAdmitted(QueryId id, const QueryDescriptor& desc) {
+  Admitted a;
+  a.shape = ShapeCost(desc);
+  a.predicted = PredictCost(desc);
+  total_predicted_ += a.predicted;
+  admitted_[id] = a;
+}
+
+void AdmissionController::OnCancelled(QueryId id) {
+  auto it = admitted_.find(id);
+  if (it == admitted_.end()) return;
+  total_predicted_ -= it->second.predicted;
+  if (total_predicted_ < 0) total_predicted_ = 0;
+  admitted_.erase(it);
+}
+
+void AdmissionController::ObserveMeteredShare(QueryId id, double share) {
+  auto it = admitted_.find(id);
+  if (it == admitted_.end()) return;
+  share = std::clamp(share, 0.0, 1.0);
+  Admitted& a = it->second;
+  // Re-apportion the fleet total by observed share, EWMA-blended, with a
+  // floor at half the static shape so an idle query keeps a footprint.
+  const double target = std::max(a.shape * 0.5, share * total_predicted_);
+  const double updated = 0.5 * a.predicted + 0.5 * target;
+  total_predicted_ += updated - a.predicted;
+  a.predicted = updated;
+  if (total_predicted_ < 0) total_predicted_ = 0;
+}
+
+}  // namespace astream::core

@@ -1,0 +1,119 @@
+#ifndef ASTREAM_CORE_ADMISSION_H_
+#define ASTREAM_CORE_ADMISSION_H_
+
+#include <cstddef>
+#include <map>
+#include <string>
+
+#include "common/status.h"
+#include "core/query.h"
+
+namespace astream::core {
+
+/// Per-job isolation / SLO knobs (DESIGN.md §14). Embedded in
+/// AStreamJob::Options (and JobConfig); all enforcement is off by default
+/// so existing jobs are untouched.
+struct SloOptions {
+  /// Gate Submit through the admission controller. Off: every submit is
+  /// admitted unconditionally (the pre-isolation behavior).
+  bool enable_admission = false;
+
+  /// p99 event-time latency target (ms) for the fleet. While the live p99
+  /// is at or above the target, new queries are queued instead of
+  /// admitted; it is also the violation signal that marks a whale for
+  /// de-sharing. 0 = no latency gate.
+  int64_t p99_event_latency_ms = 0;
+  /// Hard cap on concurrently admitted queries. 0 = unlimited.
+  size_t max_active_queries = 0;
+  /// A single query whose predicted cost exceeds this is rejected
+  /// outright — queueing cannot help a query that can never fit. 0 = off.
+  double max_predicted_cost = 0;
+  /// Fleet-wide predicted-cost budget; a query that would push the total
+  /// past it is queued until headroom returns. 0 = off.
+  double max_total_cost = 0;
+  /// Queue depth beyond which would-be-queued submits are rejected.
+  size_t max_queued = 64;
+
+  /// De-sharing (whale ejection). Requires enable_admission.
+  bool enable_desharing = false;
+  /// A query is a whale when its metered share of the fleet's cost
+  /// reaches this fraction while the p99 target is violated.
+  double whale_cost_fraction = 0.5;
+  /// Minimum fleet-wide metered cost before de-sharing can trigger —
+  /// keeps a cold job from ejecting its only busy query.
+  int64_t whale_min_cost = 0;
+  /// Re-admit an ejected whale into the shared plan once its metered
+  /// cost share drops below readmit_cost_fraction.
+  bool auto_readmit = false;
+  double readmit_cost_fraction = 0.25;
+};
+
+/// What Submit decided under admission control.
+enum class AdmissionDecision { kAdmitted, kQueued, kRejected };
+
+const char* AdmissionDecisionName(AdmissionDecision d);
+
+/// Cost model + admission policy (DESIGN.md §14). Pure bookkeeping — the
+/// owning job (or shard router) holds the queue of deferred descriptors
+/// and asks `Decide` / `HasHeadroom`; the controller only tracks predicted
+/// cost of admitted queries and refines it from live metered shares.
+///
+/// Cost unit: "shape units". The static model scores a descriptor by its
+/// sharing-unfriendly dimensions (window overlap length/slide, join
+/// fan-out, pipeline depth); live metering re-apportions the fleet's total
+/// predicted cost by each query's observed share of metered cost
+/// (rows + cpu + state), so a query that turns out hotter than its shape
+/// suggested occupies more of the budget.
+class AdmissionController {
+ public:
+  explicit AdmissionController(SloOptions slo) : slo_(slo) {}
+
+  const SloOptions& slo() const { return slo_; }
+  bool enabled() const { return slo_.enable_admission; }
+
+  /// Static shape score of a descriptor (>= 1).
+  static double ShapeCost(const QueryDescriptor& desc);
+
+  /// Predicted marginal cost: static shape, scaled by the fleet-wide
+  /// calibration factor learned from metering (1.0 until calibrated).
+  double PredictCost(const QueryDescriptor& desc) const;
+
+  struct Decision {
+    AdmissionDecision action = AdmissionDecision::kAdmitted;
+    double predicted_cost = 0;
+    std::string reason;  // set for kQueued / kRejected
+  };
+  /// Policy for one new descriptor. `num_queued` is the current queue
+  /// depth, `p99_event_ms` the live fleet p99 (pass 0 when unknown).
+  Decision Decide(const QueryDescriptor& desc, size_t num_queued,
+                  double p99_event_ms) const;
+
+  /// True when a queued descriptor could be admitted now.
+  bool HasHeadroom(const QueryDescriptor& desc, double p99_event_ms) const;
+
+  /// Bookkeeping of the admitted fleet.
+  void OnAdmitted(QueryId id, const QueryDescriptor& desc);
+  void OnCancelled(QueryId id);
+  size_t num_admitted() const { return admitted_.size(); }
+  double TotalPredicted() const { return total_predicted_; }
+
+  /// Live refinement: `share` in [0, 1] is the query's fraction of the
+  /// fleet's metered cost. Re-apportions the fleet total so hot queries
+  /// grow and idle ones shrink (EWMA-blended, floor at half the static
+  /// shape so a briefly idle whale does not evaporate from the model).
+  void ObserveMeteredShare(QueryId id, double share);
+
+ private:
+  struct Admitted {
+    double shape = 1;
+    double predicted = 1;
+  };
+
+  SloOptions slo_;
+  std::map<QueryId, Admitted> admitted_;
+  double total_predicted_ = 0;
+};
+
+}  // namespace astream::core
+
+#endif  // ASTREAM_CORE_ADMISSION_H_

@@ -14,17 +14,30 @@ AStreamJob::AStreamJob(Options options)
                                       : WallClock::Default()),
       metrics_(options.enable_metrics),
       trace_(options.enable_trace),
-      session_(options.session) {
+      session_(options.session),
+      admission_(options.slo) {
   store_ = options_.checkpoint_store != nullptr ? options_.checkpoint_store
                                                 : &checkpoint_store_;
   store_->SetRetention(options_.checkpoint_retention);
   next_checkpoint_epoch_ = options_.first_checkpoint_id;
+  // Admission decisions are refined from metered shares, so admission
+  // implies metering; metering is attribution into per-query series, so
+  // it needs the registry.
+  if (options_.slo.enable_admission) options_.meter_costs = true;
+  if (!metrics_.enabled()) options_.meter_costs = false;
   if (metrics_.enabled()) {
     m_push_accepted_ = metrics_.GetCounter("job.push_accepted");
     m_push_clamped_ = metrics_.GetCounter("job.push_clamped");
     m_push_backpressure_ = metrics_.GetCounter("job.push_backpressure");
     m_push_shutdown_ = metrics_.GetCounter("job.push_shutdown");
     m_deploy_latency_ = metrics_.GetHistogram("job.deploy_latency_ms");
+    if (admission_.enabled()) {
+      m_admission_rejected_ = metrics_.GetCounter("admission.rejected");
+      m_admission_queued_ = metrics_.GetCounter("admission.queued");
+      // Bumped by the isolation manager; created eagerly so the trio is
+      // always present in snapshots of an admission-enabled job.
+      metrics_.GetCounter("admission.desharings");
+    }
   }
 }
 
@@ -77,6 +90,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
       cfg.measure_overhead = overhead;
       cfg.use_predicate_index = options_.use_predicate_index;
       cfg.metrics = &metrics_;
+      cfg.meter_costs = options_.meter_costs;
       auto op = std::make_unique<SharedSelection>(cfg);
       {
         std::lock_guard<std::mutex> lock(ops_mutex_);
@@ -92,6 +106,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
     cfg.initial_mode = options_.initial_mode;
     cfg.adaptive_mode = options_.adaptive_mode;
     cfg.metrics = &metrics_;
+    cfg.meter_costs = options_.meter_costs;
     cfg.governor = governor_.get();
     cfg.spill_space = spill_space_.get();
     cfg.compactor = compactor_.get();
@@ -122,6 +137,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.initial_mode = options_.initial_mode;
         cfg.shared.adaptive_mode = options_.adaptive_mode;
         cfg.shared.metrics = &metrics_;
+        cfg.shared.meter_costs = options_.meter_costs;
         cfg.shared.governor = governor_.get();
         cfg.shared.spill_space = spill_space_.get();
         cfg.shared.compactor = compactor_.get();
@@ -288,6 +304,7 @@ spe::TopologySpec AStreamJob::BuildTopology() {
         cfg.shared.initial_mode = options_.initial_mode;
         cfg.shared.adaptive_mode = options_.adaptive_mode;
         cfg.shared.metrics = &metrics_;
+        cfg.shared.meter_costs = options_.meter_costs;
         cfg.shared.governor = governor_.get();
         cfg.shared.spill_space = spill_space_.get();
         cfg.shared.compactor = compactor_.get();
@@ -571,6 +588,15 @@ Status AStreamJob::ValidateQuery(const QueryDescriptor& desc) const {
 }
 
 Result<QueryId> AStreamJob::Submit(const QueryDescriptor& desc) {
+  ASTREAM_ASSIGN_OR_RETURN(SubmitOutcome outcome, SubmitWithOutcome(desc));
+  if (outcome.decision == AdmissionDecision::kRejected) {
+    return Status::AdmissionRejected(outcome.reason);
+  }
+  return outcome.id;
+}
+
+Result<AStreamJob::SubmitOutcome> AStreamJob::SubmitWithOutcome(
+    const QueryDescriptor& desc) {
   if (!started_) {
     return Status::FailedPrecondition(
         "Submit() before Start(): the job is not running");
@@ -581,14 +607,38 @@ Result<QueryId> AStreamJob::Submit(const QueryDescriptor& desc) {
         "(FinishAndWait()/Stop()) and accepts no new queries");
   }
   ASTREAM_RETURN_IF_ERROR(ValidateQuery(desc));
-  QueryId id;
+  SubmitOutcome outcome;
+  if (admission_.enabled()) {
+    const AdmissionController::Decision d =
+        admission_.Decide(desc, admission_queue_.size(), LiveP99());
+    outcome.predicted_cost = d.predicted_cost;
+    outcome.reason = d.reason;
+    if (d.action == AdmissionDecision::kRejected) {
+      outcome.decision = AdmissionDecision::kRejected;
+      if (m_admission_rejected_ != nullptr) m_admission_rejected_->Add();
+      return outcome;
+    }
+    if (d.action == AdmissionDecision::kQueued) {
+      outcome.decision = AdmissionDecision::kQueued;
+      {
+        // The id is allocated now so the caller can Cancel a queued query;
+        // the descriptor deploys from MaybeAdmitQueued.
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        outcome.id = session_.AllocateId();
+      }
+      admission_queue_.push_back(QueuedSubmit{outcome.id, desc});
+      if (m_admission_queued_ != nullptr) m_admission_queued_->Add();
+      return outcome;
+    }
+  }
   {
     std::lock_guard<std::mutex> lock(session_mutex_);
-    id = session_.Submit(desc, clock_->NowMs());
+    outcome.id = session_.Submit(desc, clock_->NowMs());
   }
-  trace_.Record(obs::TraceEventKind::kSubmit, id);
+  admission_.OnAdmitted(outcome.id, desc);
+  trace_.Record(obs::TraceEventKind::kSubmit, outcome.id);
   Pump(false);
-  return id;
+  return outcome;
 }
 
 Status AStreamJob::Cancel(QueryId id) {
@@ -600,19 +650,51 @@ Status AStreamJob::Cancel(QueryId id) {
     return Status::FailedPrecondition(
         "Cancel() on a finished job: it was stopped or drained");
   }
+  // A queued query never reached the session: drop it from the queue.
+  for (auto it = admission_queue_.begin(); it != admission_queue_.end();
+       ++it) {
+    if (it->id == id) {
+      admission_queue_.erase(it);
+      return Status::OK();
+    }
+  }
   Status s;
   {
     std::lock_guard<std::mutex> lock(session_mutex_);
     s = session_.Cancel(id, clock_->NowMs());
   }
   if (s.ok()) {
+    admission_.OnCancelled(id);
     trace_.Record(obs::TraceEventKind::kCancel, id);
     Pump(false);
   }
   return s;
 }
 
+void AStreamJob::MaybeAdmitQueued() {
+  if (admission_queue_.empty()) return;
+  const double p99 = LiveP99();
+  while (!admission_queue_.empty()) {
+    const QueuedSubmit& front = admission_queue_.front();
+    if (!admission_.HasHeadroom(front.desc, p99)) break;
+    {
+      std::lock_guard<std::mutex> lock(session_mutex_);
+      session_.SubmitWithId(front.id, front.desc, clock_->NowMs());
+    }
+    admission_.OnAdmitted(front.id, front.desc);
+    trace_.Record(obs::TraceEventKind::kSubmit, front.id);
+    admission_queue_.pop_front();
+  }
+}
+
+double AStreamJob::LiveP99() const {
+  return static_cast<double>(
+      qos_.TakeSnapshot().event_time_latency.Percentile(99));
+}
+
 int AStreamJob::Pump(bool force) {
+  // Queued queries first: an admit folds into the same changelog flush.
+  MaybeAdmitQueued();
   // Changelog markers are batch boundaries: every tuple accepted before
   // the marker must enter the stream before it.
   FlushSourceBatches();
@@ -790,6 +872,57 @@ AStreamJob::OperatorStats AStreamJob::CollectStats() const {
   return s;
 }
 
+std::map<QueryId, int64_t> AStreamJob::ComputeStateShares() const {
+  std::map<QueryId, int64_t> shares;
+  std::lock_guard<std::mutex> lock(ops_mutex_);
+  for (const SharedJoin* j : joins_) j->AppendStateShares(&shares);
+  for (const SharedAggregation* a : aggregations_) {
+    a->AppendStateShares(&shares);
+  }
+  return shares;
+}
+
+std::map<QueryId, int64_t> AStreamJob::MeteredCosts() {
+  std::map<QueryId, int64_t> recent;
+  if (!options_.meter_costs || !metrics_.enabled()) return recent;
+  const std::map<QueryId, int64_t> state = ComputeStateShares();
+  std::vector<QueryId> active;
+  {
+    std::lock_guard<std::mutex> lock(session_mutex_);
+    active = session_.ActiveIds();
+  }
+  std::map<QueryId, int64_t> cumulative;
+  int64_t recent_total = 0;
+  for (QueryId id : active) {
+    obs::QuerySeries* s = metrics_.SeriesFor(id);
+    if (s == nullptr) continue;
+    const auto st = state.find(id);
+    const int64_t state_units =
+        st == state.end() ? 0 : st->second / 1024;
+    if (st != state.end()) s->cost_state_bytes.Set(st->second);
+    // Rows and CPU are monotone counters — delta since the previous call;
+    // state is an instantaneous footprint — counted as-is.
+    const int64_t accum =
+        s->cost_rows.Value() + s->cost_cpu_nanos.Value() / 1000;
+    cumulative[id] = accum;
+    const auto prev = metered_prev_.find(id);
+    const int64_t delta =
+        accum - (prev == metered_prev_.end() ? 0 : prev->second);
+    recent[id] = delta + state_units;
+    recent_total += recent[id];
+  }
+  metered_prev_ = std::move(cumulative);
+  // Live refinement: re-apportion the fleet's predicted cost by the
+  // observed shares (skipped on an idle interval — no signal).
+  if (admission_.enabled() && recent_total > 0) {
+    for (const auto& [id, cost] : recent) {
+      admission_.ObserveMeteredShare(
+          id, static_cast<double>(cost) / recent_total);
+    }
+  }
+  return recent;
+}
+
 size_t AStreamJob::QueuedElements() const {
   auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());
   return threaded == nullptr ? 0 : threaded->TotalQueuedElements();
@@ -844,6 +977,37 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
         metrics_.GetGauge("storage.compressed_ratio_bp")
             ->Set(raw > 0 ? disk * 10000 / raw : 10000);
       }
+    }
+    if (options_.meter_costs) {
+      // Per-query cost attribution (DESIGN.md §14): refresh the state-byte
+      // apportionment, then mirror each active query's meters as
+      // query.<id>.cost_* gauges so one snapshot carries the whole bill.
+      const std::map<QueryId, int64_t> state = ComputeStateShares();
+      std::vector<QueryId> active;
+      {
+        std::lock_guard<std::mutex> lock(session_mutex_);
+        active = session_.ActiveIds();
+      }
+      for (QueryId id : active) {
+        obs::QuerySeries* s = metrics_.SeriesFor(id);
+        if (s == nullptr) continue;
+        const auto st = state.find(id);
+        s->cost_state_bytes.Set(st == state.end() ? 0 : st->second);
+        const std::string prefix = "query." + std::to_string(id) + ".";
+        metrics_.GetGauge(prefix + "cost_rows")->Set(s->cost_rows.Value());
+        metrics_.GetGauge(prefix + "cost_cpu_nanos")
+            ->Set(s->cost_cpu_nanos.Value());
+        metrics_.GetGauge(prefix + "cost_state_bytes")
+            ->Set(s->cost_state_bytes.Value());
+      }
+    }
+    if (admission_.enabled()) {
+      metrics_.GetGauge("admission.queued_now")
+          ->Set(static_cast<int64_t>(admission_queue_.size()));
+      metrics_.GetGauge("admission.active_queries")
+          ->Set(static_cast<int64_t>(admission_.num_admitted()));
+      metrics_.GetGauge("admission.predicted_cost_x1000")
+          ->Set(static_cast<int64_t>(admission_.TotalPredicted() * 1000));
     }
     if (runner_ != nullptr) {
       auto* threaded = dynamic_cast<spe::ThreadedRunner*>(runner_.get());

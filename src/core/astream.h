@@ -2,12 +2,14 @@
 #define ASTREAM_CORE_ASTREAM_H_
 
 #include <condition_variable>
+#include <deque>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <vector>
 
+#include "core/admission.h"
 #include "core/push_result.h"
 #include "core/qos.h"
 #include "core/query.h"
@@ -102,6 +104,13 @@ class AStreamJob {
     /// rewriting in the slicer. Transparent to the Client API — outputs are
     /// byte-identical either way; off = the per-query-store reference mode.
     bool share_arrangements = true;
+    /// Per-query isolation (DESIGN.md §14): SLO targets + admission
+    /// control + de-sharing policy. Everything off by default.
+    SloOptions slo;
+    /// Per-query cost metering: attribute rows, trigger CPU time, and
+    /// state bytes to the owning queries (`query.<id>.cost_*`). Implied
+    /// by slo.enable_admission; requires enable_metrics.
+    bool meter_costs = false;
   };
 
   using ResultCallback =
@@ -128,8 +137,37 @@ class AStreamJob {
   /// Submits an ad-hoc query (must match the topology family). The query
   /// goes live when its changelog batch deploys. Fails with
   /// FailedPrecondition before Start() or after FinishAndWait()/Stop().
+  ///
+  /// Under admission control (Options::slo) a submit may instead be
+  /// *queued* (id assigned now, deploys when headroom returns — Pump()
+  /// drains the queue) or *rejected* (kAdmissionRejected). Plain Submit
+  /// returns the id for admitted AND queued queries; use
+  /// SubmitWithOutcome to distinguish them.
   Result<QueryId> Submit(const QueryDescriptor& desc);
+  /// Cancels an active or admission-queued query.
   Status Cancel(QueryId id);
+
+  struct SubmitOutcome {
+    QueryId id = -1;  // -1 iff rejected
+    AdmissionDecision decision = AdmissionDecision::kAdmitted;
+    double predicted_cost = 0;
+    std::string reason;  // set for queued / rejected
+  };
+  /// Admission-aware submit: never fails on policy grounds, reports the
+  /// decision instead. Validation errors still return a non-OK status.
+  Result<SubmitOutcome> SubmitWithOutcome(const QueryDescriptor& desc);
+
+  /// The admission controller (policy + cost model; see core/admission.h).
+  AdmissionController& admission() { return admission_; }
+  /// Queries waiting in the admission queue (control thread).
+  size_t NumQueuedQueries() const { return admission_queue_.size(); }
+
+  /// Cost metering (requires Options::meter_costs): per-query cost units
+  /// accumulated since the previous call — rows ingested, microseconds of
+  /// trigger CPU, and KiB of resident state. A recent-rate proxy shared by
+  /// whale detection and the admission model's live refinement (each call
+  /// feeds the observed shares back into the controller).
+  std::map<QueryId, int64_t> MeteredCosts();
 
   /// Flushes due session batches into the streams; returns the number of
   /// changelogs injected. Call regularly from the control thread.
@@ -180,6 +218,9 @@ class AStreamJob {
 
   QosMonitor& qos() { return qos_; }
   const SharedSession& session() const { return session_; }
+  /// The job's effective creation options (the isolation manager clones
+  /// them for a de-shared whale's dedicated job).
+  const Options& options() const { return options_; }
 
   /// Observability (see DESIGN.md "Observability"). The registry collects
   /// named counters/gauges/histograms plus per-query series; the trace
@@ -230,6 +271,13 @@ class AStreamJob {
   explicit AStreamJob(Options options);
 
   spe::TopologySpec BuildTopology();
+  /// Admits queued queries while headroom lasts (front of queue first, so
+  /// admission order is deterministic). Called from Pump().
+  void MaybeAdmitQueued();
+  /// Live fleet p99 event-time latency (ms) for admission decisions.
+  double LiveP99() const;
+  /// State-byte shares across the windowed operators (ops_mutex_).
+  std::map<QueryId, int64_t> ComputeStateShares() const;
   PushResult PushTo(int input, TimestampMs event_time, spe::Row row);
   /// Ships all buffered source tuples downstream as batches. Called before
   /// watermarks, markers, and shutdown — the batch-boundary rule.
@@ -244,12 +292,26 @@ class AStreamJob {
   obs::TraceSink trace_;
   SharedSession session_;
   QosMonitor qos_;
+  AdmissionController admission_;
+
+  // Admission queue: descriptors deferred by the controller, in submit
+  // order, with their pre-allocated ids (control thread only, like the
+  // source batch formers).
+  struct QueuedSubmit {
+    QueryId id = -1;
+    QueryDescriptor desc;
+  };
+  std::deque<QueuedSubmit> admission_queue_;
+  // Previous cumulative per-query meter readings (MeteredCosts deltas).
+  std::map<QueryId, int64_t> metered_prev_;
 
   // Facade-level cached metric pointers (lock-free recording).
   obs::Counter* m_push_accepted_ = nullptr;
   obs::Counter* m_push_clamped_ = nullptr;
   obs::Counter* m_push_backpressure_ = nullptr;
   obs::Counter* m_push_shutdown_ = nullptr;
+  obs::Counter* m_admission_rejected_ = nullptr;
+  obs::Counter* m_admission_queued_ = nullptr;
   obs::Histogram* m_deploy_latency_ = nullptr;
   // Per-stage `edge.<stage>.batch_size` histograms, indexed by stage;
   // recorded by the threaded runner's push observer.

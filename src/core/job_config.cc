@@ -37,6 +37,39 @@ Status ValidateJobOptions(const core::AStreamJob::Options& options) {
   if (options.first_checkpoint_id < 1) {
     return Status::InvalidArgument("first_checkpoint_id must be >= 1");
   }
+  const core::SloOptions& slo = options.slo;
+  if (slo.p99_event_latency_ms < 0) {
+    return Status::InvalidArgument("slo.p99_event_latency_ms must be >= 0");
+  }
+  if (slo.max_predicted_cost < 0 || slo.max_total_cost < 0) {
+    return Status::InvalidArgument("slo cost caps must be >= 0");
+  }
+  if (slo.whale_cost_fraction <= 0 || slo.whale_cost_fraction > 1) {
+    return Status::InvalidArgument(
+        "slo.whale_cost_fraction must be in (0, 1]");
+  }
+  if (slo.readmit_cost_fraction < 0 || slo.readmit_cost_fraction > 1) {
+    return Status::InvalidArgument(
+        "slo.readmit_cost_fraction must be in [0, 1]");
+  }
+  if (slo.whale_min_cost < 0) {
+    return Status::InvalidArgument("slo.whale_min_cost must be >= 0");
+  }
+  if (slo.enable_desharing && !slo.enable_admission) {
+    return Status::InvalidArgument(
+        "slo.enable_desharing requires slo.enable_admission "
+        "(de-sharing decisions read the metered cost model)");
+  }
+  if (slo.enable_admission && !options.enable_metrics) {
+    return Status::InvalidArgument(
+        "slo.enable_admission requires enable_metrics "
+        "(admission refines its cost model from metered series)");
+  }
+  if (options.meter_costs && !options.enable_metrics) {
+    return Status::InvalidArgument(
+        "meter_costs requires enable_metrics (costs are attributed "
+        "into per-query series)");
+  }
   return Status::OK();
 }
 

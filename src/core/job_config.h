@@ -133,6 +133,42 @@ class JobConfigBuilder {
     config_.job.share_arrangements = on;
     return *this;
   }
+  /// Per-query isolation (DESIGN.md §14) -----------------------------------
+  /// Full SLO policy in one go (admission, de-sharing, cost caps).
+  JobConfigBuilder& Slo(core::SloOptions slo) {
+    config_.job.slo = slo;
+    return *this;
+  }
+  /// Gate Submit through admission control (implies cost metering).
+  JobConfigBuilder& AdmissionControl(bool on) {
+    config_.job.slo.enable_admission = on;
+    return *this;
+  }
+  /// Fleet p99 event-latency target (ms); 0 disables the latency gate.
+  JobConfigBuilder& P99TargetMs(int64_t target_ms) {
+    config_.job.slo.p99_event_latency_ms = target_ms;
+    return *this;
+  }
+  /// Hard cap on concurrently admitted queries (0 = unlimited).
+  JobConfigBuilder& MaxActiveQueries(size_t max_active) {
+    config_.job.slo.max_active_queries = max_active;
+    return *this;
+  }
+  /// Reject any single query predicted costlier than this (0 = off).
+  JobConfigBuilder& MaxPredictedCost(double max_cost) {
+    config_.job.slo.max_predicted_cost = max_cost;
+    return *this;
+  }
+  /// Whale de-sharing (requires AdmissionControl(true)).
+  JobConfigBuilder& Desharing(bool on) {
+    config_.job.slo.enable_desharing = on;
+    return *this;
+  }
+  /// Per-query cost metering without admission enforcement.
+  JobConfigBuilder& MeterCosts(bool on) {
+    config_.job.meter_costs = on;
+    return *this;
+  }
   JobConfigBuilder& Shards(int shards) {
     config_.shards = shards;
     return *this;

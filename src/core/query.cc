@@ -107,6 +107,7 @@ void QueryDescriptor::Serialize(spe::StateWriter* writer) const {
   writer->WriteI64(static_cast<int64_t>(agg.kind));
   writer->WriteI64(agg.column);
   writer->WriteI64(join_depth);
+  writer->WriteI64(align_origin);
 }
 
 QueryDescriptor QueryDescriptor::Deserialize(spe::StateReader* reader) {
@@ -121,6 +122,7 @@ QueryDescriptor QueryDescriptor::Deserialize(spe::StateReader* reader) {
   d.agg.kind = static_cast<spe::AggKind>(reader->ReadI64());
   d.agg.column = static_cast<int>(reader->ReadI64());
   d.join_depth = static_cast<int>(reader->ReadI64());
+  d.align_origin = reader->ReadI64();
   return d;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/bitset.h"
+#include "common/clock.h"
 #include "spe/aggregate.h"
 #include "spe/row.h"
 #include "spe/state.h"
@@ -89,6 +90,13 @@ struct QueryDescriptor {
   spe::AggSpec agg;
   /// Number of chained join stages for kComplex (1..kMaxJoinDepth).
   int join_depth = 1;
+  /// Window-lattice anchor override (kMinTimestamp = unset). Normally a
+  /// query's windows are anchored at its creation-marker time; a query
+  /// re-admitted after de-sharing (DESIGN.md §14) must instead stay on the
+  /// lattice of its *original* creation so the dedicated pipeline's
+  /// windows and the shared plan's windows tile without overlap. When set,
+  /// the first window starts at AlignForward(marker, align_origin, slide).
+  TimestampMs align_origin = kMinTimestamp;
 
   bool HasWindow() const { return kind != QueryKind::kSelection; }
   bool HasJoin() const {

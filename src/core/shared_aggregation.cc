@@ -145,6 +145,11 @@ void SharedAggregation::AddToSession(SessionQuery* sq, spe::Value key,
 void SharedAggregation::IngestRecord(const spe::Record& record,
                                      const QuerySet& tags, SliceCursor* cursor,
                                      AggStore** cached_store) {
+  if (meter_costs()) {
+    tags.ForEachSetBit([&](size_t slot) {
+      if (obs::QuerySeries* s = SeriesForSlot(slot)) s->cost_rows.Add();
+    });
+  }
   // Session slots route to per-(query, key) session state.
   if (session_mask_.Any()) {
     (tags & session_mask_).ForEachSetBit([&](size_t slot) {
@@ -227,7 +232,13 @@ void SharedAggregation::RefreshArenaBytes() {
     auto slice = tracker().SliceByIndex(coldest_index);
     coldest_end = slice.has_value() ? slice->end : coldest_index;
   }
-  governor()->Update(this, resident, coldest_end);
+  // Read heat of the slice SpillOnce would pick (see SharedJoin): lets
+  // the governor spare this operator when a peer holds a colder slice.
+  int64_t victim_reads = 0;
+  if (access_aware_eviction() && coldest_index != AggArrangement::kNoVersion) {
+    arrange_.PickVictim(&victim_reads);
+  }
+  governor()->Update(this, resident, coldest_end, victim_reads);
 }
 
 void SharedAggregation::EnforceBudget() {

@@ -74,6 +74,7 @@ class SharedAggregation : public SharedWindowedOperator,
   void OnQueryCreated(const ActiveQuery& query) override;
   void OnQueryDeleted(const DrainingQuery& draining) override;
   void OnWatermarkTail(TimestampMs watermark, spe::Collector* out) override;
+  int64_t ResidentStateBytes() const override { return state_arena_bytes_; }
 
  private:
   /// Cached per-slot facts, rebuilt on every changelog.

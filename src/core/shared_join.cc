@@ -33,7 +33,23 @@ void SharedJoin::RefreshArenaBytes() {
     auto slice = tracker().SliceByIndex(coldest_index);
     coldest_end = slice.has_value() ? slice->end : coldest_index;
   }
-  governor()->Update(this, resident, coldest_end);
+  // Report the read heat of the slice SpillOnce would actually pick, so
+  // the governor's cross-operator ordering sees the same access signal
+  // (0 with access-awareness off — ordering stays coldest-end-first).
+  int64_t victim_reads = 0;
+  if (access_aware_eviction() && coldest_index != TupleArrangement::kNoVersion) {
+    int64_t r0 = 0, r1 = 0;
+    const int64_t v0 = sides_[0].PickVictim(&r0);
+    const int64_t v1 = sides_[1].PickVictim(&r1);
+    if (v0 == TupleArrangement::kNoVersion) {
+      victim_reads = v1 == TupleArrangement::kNoVersion ? 0 : r1;
+    } else if (v1 == TupleArrangement::kNoVersion) {
+      victim_reads = r0;
+    } else {
+      victim_reads = std::tie(r0, v0) <= std::tie(r1, v1) ? r0 : r1;
+    }
+  }
+  governor()->Update(this, resident, coldest_end, victim_reads);
 }
 
 void SharedJoin::EnforceBudget() {
@@ -84,6 +100,11 @@ void SharedJoin::ProcessRecord(int port, spe::Record record,
   QuerySet tags = record.tags & hosted_mask();
   ++bitset_ops_;
   if (tags.None()) return;
+  if (meter_costs()) {
+    tags.ForEachSetBit([&](size_t slot) {
+      if (obs::QuerySeries* s = SeriesForSlot(slot)) s->cost_rows.Add();
+    });
+  }
   const SliceInfo slice = tracker().SliceFor(record.event_time);
   sides_[port].StoreAt(slice.index, current_mode()).Insert(record.row, tags);
   RefreshArenaBytes();
@@ -116,6 +137,11 @@ void SharedJoin::ProcessBatch(int port, spe::RecordBatch& records,
     scratch_tags_ &= hosted_mask();
     ++ops;
     if (scratch_tags_.None()) continue;
+    if (meter_costs()) {
+      scratch_tags_.ForEachSetBit([&](size_t slot) {
+        if (obs::QuerySeries* s = SeriesForSlot(slot)) s->cost_rows.Add();
+      });
+    }
     if (cursor.Advance(tracker(), record.event_time) ||
         cached_store == nullptr) {
       cached_store =

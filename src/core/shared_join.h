@@ -60,6 +60,7 @@ class SharedJoin : public SharedWindowedOperator, public storage::SpillClient {
                       spe::Collector* out) override;
   void OnSlicesEvicted(const std::vector<int64_t>& indices) override;
   void OnModeSwitch(StoreMode mode) override;
+  int64_t ResidentStateBytes() const override { return state_arena_bytes_; }
 
  private:
   /// Memoized join of A-slice `a` with B-slice `b` (computed on first use).

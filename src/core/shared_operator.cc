@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cassert>
+#include <chrono>
 
 #include "common/logging.h"
+#include "core/window_math.h"
 
 namespace astream::core {
 
@@ -87,10 +89,18 @@ void SharedWindowedOperator::ApplyChangelog(const Changelog& log) {
     const ActiveQuery* q = table_.QueryAt(c.slot);
     if (q == nullptr || q->id != c.id || !config_.hosts(*q)) continue;
     if (q->desc.window.IsTimeWindow()) {
-      tracker_.AddQuery(q->slot, q->created_at, q->desc.window);
+      // Normally windows anchor at the creation marker; a re-admitted
+      // query (DESIGN.md §14) instead lands on the forward-aligned lattice
+      // of its original creation so the hand-back tiles without overlap.
+      TimestampMs anchor = q->created_at;
+      if (q->desc.align_origin != kMinTimestamp && q->desc.window.slide > 0) {
+        anchor = AlignForward(q->created_at, q->desc.align_origin,
+                              q->desc.window.slide);
+      }
+      tracker_.AddQuery(q->slot, anchor, q->desc.window);
       TriggerEntry entry;
-      entry.window_start = q->created_at;
-      entry.window_end = q->created_at + q->desc.window.length;
+      entry.window_start = anchor;
+      entry.window_end = anchor + q->desc.window.length;
       entry.slot = q->slot;
       entry.id = q->id;
       triggers_.Schedule(entry);
@@ -205,13 +215,52 @@ void SharedWindowedOperator::OnWatermark(TimestampMs watermark,
       group.push_back(due[j].tq);
       ++j;
     }
-    TriggerWindows(due[i].start, due[i].end, group, out);
+    if (meter_on_) {
+      // Bill the trigger's wall time evenly across the queries sharing
+      // this window evaluation (the shared computation is the point: each
+      // query pays 1/k of it).
+      const auto t0 = std::chrono::steady_clock::now();
+      TriggerWindows(due[i].start, due[i].end, group, out);
+      const int64_t nanos =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - t0)
+              .count();
+      const int64_t share =
+          std::max<int64_t>(1, nanos / static_cast<int64_t>(group.size()));
+      for (const TriggeredQuery& tq : group) {
+        if (obs::QuerySeries* s = SeriesForQuery(tq.query->id)) {
+          s->cost_cpu_nanos.Add(share);
+        }
+      }
+    } else {
+      TriggerWindows(due[i].start, due[i].end, group, out);
+    }
     i = j;
   }
   for (QueryId id : drained_done) draining_.erase(id);
 
   OnWatermarkTail(watermark, out);
   EvictExpired(watermark);
+}
+
+void SharedWindowedOperator::AppendStateShares(
+    std::map<QueryId, int64_t>* out) const {
+  const int64_t resident = ResidentStateBytes();
+  if (resident <= 0) return;
+  // Window span is the retention driver: a query's share of the arena is
+  // proportional to how much event time it forces the operator to keep.
+  std::vector<std::pair<QueryId, TimestampMs>> spans;
+  TimestampMs total = 0;
+  table_.ForEach([&](const ActiveQuery& q) {
+    if (config_.hosts(q) && q.desc.window.IsTimeWindow()) {
+      spans.emplace_back(q.id, q.desc.window.length);
+      total += q.desc.window.length;
+    }
+  });
+  if (total <= 0) return;
+  for (const auto& [id, span] : spans) {
+    (*out)[id] += resident * span / total;
+  }
 }
 
 TimestampMs SharedWindowedOperator::MaxWindowSpan() const {

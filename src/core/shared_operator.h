@@ -41,6 +41,11 @@ struct SharedOperatorConfig {
   /// disabled registry costs one branch per record.
   obs::MetricsRegistry* metrics = nullptr;
 
+  /// Per-query cost metering (DESIGN.md §14): attribute ingested rows,
+  /// trigger CPU time, and state bytes to the owning queries' series.
+  /// Off (the default), the meters cost one predicted branch per batch.
+  bool meter_costs = false;
+
   /// Out-of-core state (DESIGN.md §10). Both nullptr (the default) keeps
   /// every slice resident — the pre-storage behavior. When set, the
   /// operator registers as a spill client, reports its resident bytes
@@ -77,6 +82,8 @@ class SharedWindowedOperator : public spe::Operator {
   explicit SharedWindowedOperator(SharedOperatorConfig config)
       : config_(std::move(config)),
         metrics_on_(config_.metrics != nullptr && config_.metrics->enabled()),
+        meter_on_(config_.meter_costs && config_.metrics != nullptr &&
+                  config_.metrics->enabled()),
         series_cache_(config_.metrics) {
     tracker_.EnableFactorRewrite(config_.share_arrangements);
   }
@@ -94,6 +101,12 @@ class SharedWindowedOperator : public spe::Operator {
 
   /// Observability: slices currently alive / total created.
   size_t NumLiveSlices() const { return tracker_.NumSlices(); }
+
+  /// Cost metering: apportions this operator's resident state bytes
+  /// across its hosted time-windowed queries by window-span share (a
+  /// query retaining a 10x longer window owns 10x of the shared arena)
+  /// and adds the shares into `out`. No-op when nothing is resident.
+  void AppendStateShares(std::map<QueryId, int64_t>* out) const;
 
  protected:
   struct DrainingQuery {
@@ -144,6 +157,8 @@ class SharedWindowedOperator : public spe::Operator {
   /// the per-slot vector is rebuilt on every changelog so slot lookups
   /// never hash. Draining queries (slot reused) fall back to the id cache.
   bool metrics_on() const { return metrics_on_; }
+  /// One-branch guard for the per-record cost meters (off by default).
+  bool meter_costs() const { return meter_on_; }
   obs::QuerySeries* SeriesForSlot(size_t slot) {
     return slot < slot_series_.size() ? slot_series_[slot] : nullptr;
   }
@@ -162,6 +177,10 @@ class SharedWindowedOperator : public spe::Operator {
   bool access_aware_eviction() const {
     return config_.access_aware_eviction;
   }
+
+  /// Resident state bytes of the subclass (arena footprint) for the
+  /// AppendStateShares apportionment.
+  virtual int64_t ResidentStateBytes() const { return 0; }
 
   /// Serialization of the base state (call from subclass snapshots).
   void SerializeBase(spe::StateWriter* writer) const;
@@ -186,6 +205,7 @@ class SharedWindowedOperator : public spe::Operator {
   TimestampMs current_watermark_ = kMinTimestamp;
 
   bool metrics_on_ = false;
+  bool meter_on_ = false;
   obs::SeriesCache series_cache_;
   std::vector<obs::QuerySeries*> slot_series_;
 };

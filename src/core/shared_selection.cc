@@ -25,6 +25,7 @@ SharedSelection::SharedSelection(Config config)
   }
   if (config_.metrics != nullptr && config_.metrics->enabled()) {
     metrics_on_ = true;
+    meter_on_ = config_.meter_costs;
     const std::string prefix =
         config_.side == StreamSide::kA ? "selection.a." : "selection.b.";
     m_records_in_ = config_.metrics->GetCounter(prefix + "records_in");
@@ -36,6 +37,14 @@ SharedSelection::SharedSelection(Config config)
 
 void SharedSelection::RebuildIndex() {
   hosted_mask_ = table_.SlotsWhere(config_.hosts);
+  if (meter_on_) {
+    slot_series_.assign(table_.num_slots(), nullptr);
+    table_.ForEach([&](const ActiveQuery& q) {
+      if (config_.hosts(q)) {
+        slot_series_[q.slot] = config_.metrics->SeriesFor(q.id);
+      }
+    });
+  }
   index_.clear();
   if (!config_.use_predicate_index) return;
   std::map<Predicate, QuerySet> distinct;
@@ -106,6 +115,13 @@ void SharedSelection::ProcessRecord(int port, spe::Record record,
     m_records_in_->Add();
     m_records_out_->Add();
   }
+  if (meter_on_) {
+    tags.ForEachSetBit([&](size_t slot) {
+      if (slot < slot_series_.size() && slot_series_[slot] != nullptr) {
+        slot_series_[slot]->cost_rows.Add();
+      }
+    });
+  }
   out->EmitRecord(record.event_time, std::move(record.row),
                   std::move(tags));
 }
@@ -129,6 +145,7 @@ void SharedSelection::ProcessBatch(int port, spe::RecordBatch& records,
         ++dropped;
         continue;
       }
+      if (meter_on_) MeterMatchedRows();
       out->EmitRecord(record.event_time, std::move(record.row),
                       QuerySet(scratch_tags_));
     }
@@ -140,6 +157,7 @@ void SharedSelection::ProcessBatch(int port, spe::RecordBatch& records,
         ++dropped;
         continue;
       }
+      if (meter_on_) MeterMatchedRows();
       out->EmitRecord(record.event_time, std::move(record.row),
                       QuerySet(scratch_tags_));
     }

@@ -40,6 +40,11 @@ class SharedSelection : public spe::Operator {
     /// the hot-path budget; per-query emission is attributed at the router
     /// instead. nullptr or a disabled registry costs one branch per record.
     obs::MetricsRegistry* metrics = nullptr;
+    /// Cost metering (DESIGN.md §14) overrides the no-per-query-series
+    /// rule above: each matched query's `cost_rows` is bumped per tuple
+    /// (a walk of the tuple's set bits). Off by default — only isolation-
+    /// enabled jobs pay it.
+    bool meter_costs = false;
   };
 
   explicit SharedSelection(Config config);
@@ -76,6 +81,14 @@ class SharedSelection : public spe::Operator {
   /// Builds the tags into `tags`, reusing its capacity (batch hot path).
   void ComputeTagsInto(const spe::Row& row, QuerySet* tags) const;
   void RebuildIndex();
+  /// Bills one row to every query matched in scratch_tags_ (meter_costs).
+  void MeterMatchedRows() {
+    scratch_tags_.ForEachSetBit([&](size_t slot) {
+      if (slot < slot_series_.size() && slot_series_[slot] != nullptr) {
+        slot_series_[slot]->cost_rows.Add();
+      }
+    });
+  }
 
   Config config_;
   ActiveQueryTable table_;
@@ -97,9 +110,13 @@ class SharedSelection : public spe::Operator {
 
   // Cached registry pointers; recording is lock-free (see obs/metrics.h).
   bool metrics_on_ = false;
+  bool meter_on_ = false;
   obs::Counter* m_records_in_ = nullptr;
   obs::Counter* m_records_out_ = nullptr;
   obs::Counter* m_records_dropped_ = nullptr;
+  // Slot -> series for cost_rows attribution (meter_costs only); rebuilt
+  // on every changelog so the hot path never hashes.
+  std::vector<obs::QuerySeries*> slot_series_;
 };
 
 }  // namespace astream::core

@@ -6,15 +6,21 @@
 namespace astream::core {
 
 QueryId SharedSession::Submit(QueryDescriptor desc, TimestampMs now) {
+  const QueryId id = next_query_id_++;
+  SubmitWithId(id, std::move(desc), now);
+  return id;
+}
+
+void SharedSession::SubmitWithId(QueryId id, QueryDescriptor desc,
+                                 TimestampMs now) {
   Request r;
   r.create = true;
-  r.id = next_query_id_++;
+  r.id = id;
   r.desc = std::move(desc);
   r.enqueued_at = now;
   pending_creates_[r.id] = r.desc;
   if (!oldest_pending_since_.has_value()) oldest_pending_since_ = now;
   pending_.push_back(std::move(r));
-  return pending_.back().id;
 }
 
 Status SharedSession::Cancel(QueryId id, TimestampMs now) {
@@ -76,7 +82,7 @@ std::shared_ptr<const Changelog> SharedSession::MaybeFlush(TimestampMs now,
       a.slot = slots_.Acquire();
       a.created_at = log->time;
       a.desc = std::move(r.desc);
-      active_[a.id] = a.slot;
+      active_[a.id] = ActiveQuery{a.slot, a.created_at};
       pending_creates_.erase(a.id);
       log->created.push_back(std::move(a));
     } else {
@@ -84,7 +90,7 @@ std::shared_ptr<const Changelog> SharedSession::MaybeFlush(TimestampMs now,
       if (it == active_.end()) continue;  // already deleted
       QueryDeactivation d;
       d.id = r.id;
-      d.slot = it->second;
+      d.slot = it->second.slot;
       slots_.Release(d.slot);
       active_.erase(it);
       log->deleted.push_back(d);
@@ -131,9 +137,10 @@ void SharedSession::Serialize(spe::StateWriter* writer) const {
   writer->WriteI64(last_marker_time_);
   writer->WriteBool(advised_list_mode_);
   writer->WriteU64(active_.size());
-  for (const auto& [id, slot] : active_) {
+  for (const auto& [id, q] : active_) {
     writer->WriteI64(id);
-    writer->WriteI64(slot);
+    writer->WriteI64(q.slot);
+    writer->WriteI64(q.created_at);
   }
   writer->WriteU64(slots_.num_slots());
 }
@@ -154,7 +161,8 @@ Status SharedSession::Restore(spe::StateReader* reader) {
   for (uint64_t i = 0; i < n && reader->Ok(); ++i) {
     const QueryId id = reader->ReadI64();
     const int slot = static_cast<int>(reader->ReadI64());
-    active_[id] = slot;
+    const TimestampMs created_at = reader->ReadI64();
+    active_[id] = ActiveQuery{slot, created_at};
     used.insert(slot);
   }
   const uint64_t num_slots = reader->ReadU64();
@@ -174,11 +182,16 @@ Status SharedSession::Restore(spe::StateReader* reader) {
 std::vector<QueryId> SharedSession::ActiveIds() const {
   std::vector<QueryId> ids;
   ids.reserve(active_.size() + pending_creates_.size());
-  for (const auto& [id, slot] : active_) ids.push_back(id);
+  for (const auto& [id, q] : active_) ids.push_back(id);
   for (const auto& [id, desc] : pending_creates_) ids.push_back(id);
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   return ids;
+}
+
+TimestampMs SharedSession::CreatedAt(QueryId id) const {
+  auto it = active_.find(id);
+  return it == active_.end() ? kMinTimestamp : it->second.created_at;
 }
 
 }  // namespace astream::core

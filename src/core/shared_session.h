@@ -38,6 +38,14 @@ class SharedSession {
   /// query becomes live when its changelog is applied.
   QueryId Submit(QueryDescriptor desc, TimestampMs now);
 
+  /// Reserves the next query id without buffering a request. Admission
+  /// queueing (DESIGN.md §14) hands out the id at Submit time and buffers
+  /// the actual creation later, when headroom returns.
+  QueryId AllocateId() { return next_query_id_++; }
+
+  /// Buffers a creation request under a pre-allocated id (AllocateId()).
+  void SubmitWithId(QueryId id, QueryDescriptor desc, TimestampMs now);
+
   /// Buffers a deletion request. A query still waiting in the batch is
   /// simply dropped from it.
   Status Cancel(QueryId id, TimestampMs now);
@@ -66,6 +74,11 @@ class SharedSession {
   /// Ids of all currently active (deployed or pending-in-batch) queries.
   std::vector<QueryId> ActiveIds() const;
 
+  /// Creation-marker time of a flushed-or-deployed query (kMinTimestamp
+  /// when unknown). The de-sharing hand-back anchors the re-admitted
+  /// query's window lattice here.
+  TimestampMs CreatedAt(QueryId id) const;
+
   /// Checkpointing of the control plane: slot allocator, active map, id /
   /// epoch counters. Buffered (unflushed) requests are NOT persisted —
   /// they have not been acknowledged, so clients re-submit after recovery
@@ -81,10 +94,16 @@ class SharedSession {
     TimestampMs enqueued_at = 0;
   };
 
+  struct ActiveQuery {
+    int slot = -1;
+    TimestampMs created_at = kMinTimestamp;
+  };
+
   Config config_;
   std::deque<Request> pending_;
   SlotAllocator slots_;
-  std::map<QueryId, int> active_;  // deployed-or-flushed query -> slot
+  // Deployed-or-flushed query -> slot + creation-marker time.
+  std::map<QueryId, ActiveQuery> active_;
   std::map<QueryId, QueryDescriptor> pending_creates_;
   QueryId next_query_id_ = 1;
   int64_t next_epoch_ = 1;

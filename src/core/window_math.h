@@ -57,6 +57,17 @@ inline TimestampMs NextLatticeEdgeAfter(TimestampMs anchor,
   return t + period - FloorMod(t - anchor, period);
 }
 
+/// Earliest point of the lattice { s : s ≡ anchor (mod period) } at or
+/// after `t`. Used by the de-sharing hand-back (DESIGN.md §14): a whale
+/// re-admitted to the shared plan must land on its original window
+/// lattice so the dedicated pipeline's last window and the shared plan's
+/// first one tile exactly.
+inline TimestampMs AlignForward(TimestampMs t, TimestampMs anchor,
+                                TimestampMs period) {
+  const TimestampMs r = FloorMod(t - anchor, period);
+  return r == 0 ? t : t + period - r;
+}
+
 /// The cached-slice resolution pattern of the operators' hot paths:
 /// consecutive tuples overwhelmingly share a slice (sources are roughly
 /// time-ordered), so the slice lookup is hoisted out of the per-tuple loop

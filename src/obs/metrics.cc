@@ -127,6 +127,9 @@ MetricsRegistry::Snapshot MetricsRegistry::TakeSnapshot() const {
     qs.late_drops = q->late_drops.Value();
     qs.slices_reused = q->slices_reused.Value();
     qs.slices_computed = q->slices_computed.Value();
+    qs.cost_rows = q->cost_rows.Value();
+    qs.cost_cpu_nanos = q->cost_cpu_nanos.Value();
+    qs.cost_state_bytes = q->cost_state_bytes.Value();
     qs.event_latency_ms = q->event_latency_ms.TakeSnapshot();
     qs.deploy_latency_ms = q->deploy_latency_ms.TakeSnapshot();
     s.queries[id] = std::move(qs);
@@ -164,6 +167,9 @@ MetricsRegistry::Snapshot MergeSnapshots(
       into.late_drops += q.late_drops;
       into.slices_reused += q.slices_reused;
       into.slices_computed += q.slices_computed;
+      into.cost_rows += q.cost_rows;
+      into.cost_cpu_nanos += q.cost_cpu_nanos;
+      into.cost_state_bytes += q.cost_state_bytes;
       MergeInto(&into.event_latency_ms, q.event_latency_ms);
       MergeInto(&into.deploy_latency_ms, q.deploy_latency_ms);
     }

@@ -101,6 +101,16 @@ struct QuerySeries {
   Histogram event_latency_ms;
   /// Deploy latency of this query's create/delete requests (ms).
   Histogram deploy_latency_ms;
+  /// Cost metering (DESIGN.md §14): rows a shared operator processed on
+  /// this query's behalf (per set tag bit at ingest / per matched
+  /// predicate at the selection). Recorded only with Options::meter_costs.
+  Counter cost_rows;
+  /// CPU nanoseconds of window triggers attributed to this query (a
+  /// trigger shared by k queries bills each query 1/k of the wall time).
+  Counter cost_cpu_nanos;
+  /// Resident state bytes apportioned to this query by window-span share
+  /// of its operators' arenas. Refreshed by MetricsSnapshot().
+  Gauge cost_state_bytes;
   /// Set once, by whichever sink sees the query's first result.
   std::atomic<bool> first_result_seen{false};
 };
@@ -137,6 +147,9 @@ class MetricsRegistry {
     int64_t late_drops = 0;
     int64_t slices_reused = 0;
     int64_t slices_computed = 0;
+    int64_t cost_rows = 0;
+    int64_t cost_cpu_nanos = 0;
+    int64_t cost_state_bytes = 0;
     Histogram::Snapshot event_latency_ms;
     Histogram::Snapshot deploy_latency_ms;
   };

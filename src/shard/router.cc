@@ -21,7 +21,9 @@ int64_t SteadyNowMs() {
 ShardRouter::ShardRouter(JobConfig config)
     : config_(std::move(config)),
       clock_(config_.job.clock != nullptr ? config_.job.clock
-                                          : WallClock::Default()) {
+                                          : WallClock::Default()),
+      admission_(config_.job.slo),
+      router_metrics_(config_.job.enable_metrics) {
   plan_.store(std::make_shared<const ShardPlan>(
       ShardPlan::Uniform(config_.shards, config_.slots)));
   generations_.assign(static_cast<size_t>(config_.shards), 0);
@@ -53,6 +55,11 @@ std::unique_ptr<ShardRuntime> ShardRouter::MakeRuntime(
   opts.index = index;
   opts.generation = generation;
   opts.config = config_;
+  // Admission is enforced once, at the router: a shard-local gate could
+  // reject on one shard and admit on another, leaving the deployment
+  // half-registered. Per-query cost metering stays on in the shards (the
+  // merged snapshot carries the series).
+  opts.config.job.slo = core::SloOptions{};
   opts.restore_from = std::move(restore_from);
   return std::make_unique<ShardRuntime>(std::move(opts));
 }
@@ -105,6 +112,20 @@ Result<core::QueryId> ShardRouter::Submit(
     std::lock_guard<std::mutex> lock(poison_mu_);
     ASTREAM_RETURN_IF_ERROR(poisoned_);
   }
+  if (admission_.enabled()) {
+    const int64_t p99 =
+        qos_.TakeSnapshot().event_time_latency.Percentile(99);
+    const core::AdmissionController::Decision d = admission_.Decide(
+        desc, /*num_queued=*/0, static_cast<double>(p99));
+    if (d.action != core::AdmissionDecision::kAdmitted) {
+      // Reject-only at the router (no deployment-wide queue): a decision
+      // the single-job gate would merely defer is refused here.
+      if (router_metrics_.enabled()) {
+        router_metrics_.GetCounter("admission.rejected")->Add();
+      }
+      return Status::AdmissionRejected(d.reason);
+    }
+  }
   QuiesceAll();
   std::vector<std::pair<int, core::QueryId>> applied;
   core::QueryId first_id = -1;
@@ -129,7 +150,10 @@ Result<core::QueryId> ShardRouter::Submit(
       break;
     }
   }
-  if (failure.ok()) return first_id;
+  if (failure.ok()) {
+    admission_.OnAdmitted(first_id, desc);
+    return first_id;
+  }
   // Roll back every shard that accepted: the creation is still pending in
   // its session batch (the fan-out flushes nothing), so Cancel drops it
   // without a trace. A failed rollback leaves registries diverged — the
@@ -164,6 +188,7 @@ Status ShardRouter::Cancel(core::QueryId id) {
     Poison(poison);
     return poison;
   }
+  admission_.OnCancelled(id);
   return Status::OK();
 }
 
@@ -323,8 +348,13 @@ void ShardRouter::SetResultCallback(
 
 obs::MetricsRegistry::Snapshot ShardRouter::MetricsSnapshot() {
   std::vector<obs::MetricsRegistry::Snapshot> snapshots;
-  snapshots.reserve(shards_.size());
+  snapshots.reserve(shards_.size() + 1);
   for (auto& shard : shards_) snapshots.push_back(shard->MetricsSnapshot());
+  if (router_metrics_.enabled() && admission_.enabled()) {
+    router_metrics_.GetGauge("admission.active_queries")
+        ->Set(static_cast<int64_t>(admission_.num_admitted()));
+    snapshots.push_back(router_metrics_.TakeSnapshot());
+  }
   return obs::MergeSnapshots(snapshots);
 }
 

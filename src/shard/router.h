@@ -48,6 +48,12 @@ class ShardRouter {
   /// session batch) and ONE coherent status comes back — a query is never
   /// left half-registered. Divergent id assignment across shards is a
   /// consistency violation: rolled back and reported as Internal.
+  ///
+  /// With config.job.slo.enable_admission the router gates the fan-out
+  /// through its own deployment-wide admission controller — reject-only
+  /// (kAdmissionRejected): queueing would need a deployment-wide drain
+  /// protocol, a documented single-job-only feature. Shards themselves
+  /// run with admission stripped so the gate cannot double-fire.
   Result<core::QueryId> Submit(const core::QueryDescriptor& desc);
   /// Fans out to all shards. A validation failure on the first shard
   /// rejects cleanly (nothing applied anywhere); a divergent failure on a
@@ -108,6 +114,10 @@ class ShardRouter {
 
   JobConfig config_;
   Clock* clock_;
+  /// Deployment-wide admission gate (reject-only; see Submit). Counters
+  /// land in router_metrics_, merged into MetricsSnapshot().
+  core::AdmissionController admission_;
+  obs::MetricsRegistry router_metrics_;
   std::vector<std::unique_ptr<ShardRuntime>> shards_;
   /// Bumped per index on every rebuild (durable dir uniqueness).
   std::vector<int> generations_;

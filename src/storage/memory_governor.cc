@@ -54,23 +54,25 @@ void MemoryGovernor::Unregister(SpillClient* client) {
   if (it == clients_.end()) return;
   total_.fetch_sub(static_cast<int64_t>(it->second.resident),
                    std::memory_order_relaxed);
-  Reindex(it, INT64_MAX);
+  Reindex(it, INT64_MAX, 0);
   clients_.erase(it);
 }
 
 void MemoryGovernor::Reindex(std::map<SpillClient*, Entry>::iterator it,
-                             int64_t coldest_end) {
+                             int64_t coldest_end, int64_t victim_reads) {
   if (it->second.coldest_end != INT64_MAX) {
-    victims_.erase({it->second.coldest_end, it->first});
+    victims_.erase({it->second.victim_reads, it->second.coldest_end,
+                    it->first});
   }
   it->second.coldest_end = coldest_end;
+  it->second.victim_reads = victim_reads;
   if (coldest_end != INT64_MAX) {
-    victims_.insert({coldest_end, it->first});
+    victims_.insert({victim_reads, coldest_end, it->first});
   }
 }
 
 void MemoryGovernor::Update(SpillClient* client, size_t resident_bytes,
-                            int64_t coldest_end) {
+                            int64_t coldest_end, int64_t victim_reads) {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = clients_.find(client);
   if (it == clients_.end()) return;
@@ -78,7 +80,10 @@ void MemoryGovernor::Update(SpillClient* client, size_t resident_bytes,
                        static_cast<int64_t>(it->second.resident),
                    std::memory_order_relaxed);
   it->second.resident = resident_bytes;
-  if (coldest_end != it->second.coldest_end) Reindex(it, coldest_end);
+  if (coldest_end != it->second.coldest_end ||
+      victim_reads != it->second.victim_reads) {
+    Reindex(it, coldest_end, victim_reads);
+  }
 }
 
 void MemoryGovernor::Enforce(SpillClient* self) {
@@ -96,7 +101,7 @@ void MemoryGovernor::Enforce(SpillClient* self) {
         spill_self = true;
       } else if (total_.load(std::memory_order_relaxed) > budget_) {
         if (victims_.empty()) return;  // nothing spillable anywhere
-        SpillClient* coldest = victims_.begin()->second;
+        SpillClient* coldest = std::get<2>(*victims_.begin());
         if (coldest == self) {
           spill_self = true;
         } else {
@@ -114,7 +119,7 @@ void MemoryGovernor::Enforce(SpillClient* self) {
     if (spill_self && self->SpillOnce() == 0) {
       std::lock_guard<std::mutex> lock(mutex_);
       auto it = clients_.find(self);
-      if (it != clients_.end()) Reindex(it, INT64_MAX);
+      if (it != clients_.end()) Reindex(it, INT64_MAX, 0);
       return;
     }
   }

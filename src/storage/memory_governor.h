@@ -7,6 +7,7 @@
 #include <mutex>
 #include <set>
 #include <string>
+#include <tuple>
 #include <utility>
 
 namespace astream::storage {
@@ -64,6 +65,15 @@ class SpillClient {
 /// picks the globally coldest client: the caller spills itself inline;
 /// a colder peer is flagged and spills on its own next Enforce (SpillOnce
 /// always runs on the owning task thread, never under the governor lock).
+///
+/// With access-aware eviction the report also carries the trigger-read
+/// count of the client's would-be spill victim, and victim ordering
+/// becomes (victim_reads, coldest_end, client): an operator whose coldest
+/// slice a standing query re-reads every slide is spared while any peer
+/// holds a genuinely cold slice — the same read signal that feeds the
+/// per-operator `storage.reload_saves` gauge, applied across operators.
+/// With access-awareness off every report carries 0 reads and the order
+/// degenerates to the original coldest-end-first.
 class MemoryGovernor {
  public:
   /// budget_bytes <= 0 disables enforcement (accounting still runs).
@@ -72,11 +82,12 @@ class MemoryGovernor {
   void Register(SpillClient* client);
   void Unregister(SpillClient* client);
 
-  /// Reports a client's current resident bytes and the window end time of
-  /// its coldest (earliest-ending) slice; INT64_MAX when it has nothing
-  /// spillable.
+  /// Reports a client's current resident bytes, the window end time of
+  /// its coldest (earliest-ending) slice — INT64_MAX when it has nothing
+  /// spillable — and the recent trigger-read count of the slice its
+  /// SpillOnce would pick (0 when access-awareness is off).
   void Update(SpillClient* client, size_t resident_bytes,
-              int64_t coldest_end);
+              int64_t coldest_end, int64_t victim_reads = 0);
 
   /// Spills (via `self`) until the job is back under budget or `self` has
   /// nothing colder than its peers; flags a colder peer instead of
@@ -100,24 +111,26 @@ class MemoryGovernor {
   struct Entry {
     size_t resident = 0;
     int64_t coldest_end = INT64_MAX;
+    int64_t victim_reads = 0;
     bool spill_requested = false;
   };
 
-  /// Moves `it`'s position in the victim index to `coldest_end`.
-  /// Caller holds mutex_.
+  /// Moves `it`'s position in the victim index to (victim_reads,
+  /// coldest_end). Caller holds mutex_.
   void Reindex(std::map<SpillClient*, Entry>::iterator it,
-               int64_t coldest_end);
+               int64_t coldest_end, int64_t victim_reads);
 
   const int64_t budget_;
   const bool allow_spill_;
   std::atomic<int64_t> total_{0};
   mutable std::mutex mutex_;
   std::map<SpillClient*, Entry> clients_;
-  /// Victim index: (coldest_end, client) for every client with something
-  /// spillable, ordered — Enforce picks *victims_.begin() in O(log n)
-  /// instead of scanning all clients (the PR 5 linear scan ran once per
-  /// Enforce pass on the ingest path).
-  std::set<std::pair<int64_t, SpillClient*>> victims_;
+  /// Victim index: (victim_reads, coldest_end, client) for every client
+  /// with something spillable, ordered — Enforce picks *victims_.begin()
+  /// in O(log n) instead of scanning all clients (the PR 5 linear scan
+  /// ran once per Enforce pass on the ingest path). Least-read first, so
+  /// cross-operator choice spares slices standing queries keep re-reading.
+  std::set<std::tuple<int64_t, int64_t, SpillClient*>> victims_;
 };
 
 }  // namespace astream::storage

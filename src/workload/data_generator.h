@@ -1,6 +1,11 @@
 #ifndef ASTREAM_WORKLOAD_DATA_GENERATOR_H_
 #define ASTREAM_WORKLOAD_DATA_GENERATOR_H_
 
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "common/clock.h"
 #include "common/rng.h"
 #include "spe/row.h"
 
@@ -9,23 +14,40 @@ namespace astream::workload {
 /// Input tuple generation per Sec. 4.2.1: each tuple has a key column and
 /// `num_fields` payload fields. Keys round-robin (`key <- key++ % key_max`,
 /// balancing partitions); fields are uniform random in [0, fields_max).
+///
+/// The adversarial-tenant scenario suite (DESIGN.md §14) layers a skewed
+/// key mode on top: with `zipf_s > 0` keys are drawn from a Zipf
+/// distribution (rank 0 hottest, p(rank) ~ 1/(rank+1)^s) instead of the
+/// balanced round-robin — the hot-key tenant mixes that concentrate state
+/// and trigger work on a few groups.
 class DataGenerator {
  public:
   struct Config {
     spe::Value key_max = 1000;  // paper Sec. 4.4: 1000 distinct keys
     spe::Value fields_max = 1000;
     int num_fields = 5;  // paper: an array of size 5
+    /// Zipf exponent for key draws; 0 keeps the paper's round-robin keys.
+    double zipf_s = 0;
   };
 
   DataGenerator(Config config, uint64_t seed)
-      : config_(config), rng_(seed) {}
+      : config_(config), rng_(seed) {
+    if (config_.zipf_s > 0) {
+      // Inverse-CDF table over the (small) key domain, built once.
+      zipf_cdf_.reserve(static_cast<size_t>(config_.key_max));
+      double total = 0;
+      for (spe::Value k = 0; k < config_.key_max; ++k) {
+        total += 1.0 / std::pow(static_cast<double>(k + 1), config_.zipf_s);
+        zipf_cdf_.push_back(total);
+      }
+    }
+  }
 
   /// The next tuple: row = [key, f0, .., f{n-1}].
   spe::Row Next() {
     std::vector<spe::Value> values;
     values.reserve(1 + config_.num_fields);
-    values.push_back(next_key_);
-    next_key_ = (next_key_ + 1) % config_.key_max;
+    values.push_back(NextKey());
     for (int i = 0; i < config_.num_fields; ++i) {
       values.push_back(rng_.UniformInt(0, config_.fields_max - 1));
     }
@@ -35,9 +57,59 @@ class DataGenerator {
   const Config& config() const { return config_; }
 
  private:
+  spe::Value NextKey() {
+    if (zipf_cdf_.empty()) {
+      const spe::Value key = next_key_;
+      next_key_ = (next_key_ + 1) % config_.key_max;
+      return key;
+    }
+    const double u = rng_.UniformDouble() * zipf_cdf_.back();
+    const auto it =
+        std::upper_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+    return static_cast<spe::Value>(it - zipf_cdf_.begin());
+  }
+
   Config config_;
   Rng rng_;
   spe::Value next_key_ = 0;
+  std::vector<double> zipf_cdf_;
+};
+
+/// Event-time perturbation for the bursty / late / out-of-order mixes:
+/// given a monotone base time and the current watermark, produces the
+/// event time actually pushed. On-time rows may be shifted back by up to
+/// `ooo_max_ms` but never behind the watermark (out of order yet still
+/// processable); with probability `late_probability` a row is instead
+/// stamped `late_lag_ms` behind the watermark — the shared operators must
+/// drop and account it, never corrupt window state.
+class ArrivalPerturber {
+ public:
+  struct Config {
+    double ooo_probability = 0;
+    TimestampMs ooo_max_ms = 0;
+    double late_probability = 0;
+    TimestampMs late_lag_ms = 0;
+  };
+
+  ArrivalPerturber(Config config, uint64_t seed)
+      : config_(config), rng_(seed) {}
+
+  TimestampMs Perturb(TimestampMs base, TimestampMs watermark) {
+    if (config_.late_probability > 0 &&
+        rng_.Bernoulli(config_.late_probability) && watermark > 0) {
+      return std::max<TimestampMs>(0, watermark - config_.late_lag_ms);
+    }
+    if (config_.ooo_probability > 0 && config_.ooo_max_ms > 0 &&
+        rng_.Bernoulli(config_.ooo_probability)) {
+      const TimestampMs shift = rng_.UniformInt(1, config_.ooo_max_ms);
+      return std::max<TimestampMs>(watermark + 1, base - shift);
+    }
+    return base;
+  }
+
+ private:
+  Config config_;
+  Rng rng_;
 };
 
 }  // namespace astream::workload

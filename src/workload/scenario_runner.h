@@ -1,0 +1,135 @@
+#ifndef ASTREAM_WORKLOAD_SCENARIO_RUNNER_H_
+#define ASTREAM_WORKLOAD_SCENARIO_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "core/astream.h"
+#include "core/isolation.h"
+#include "workload/data_generator.h"
+#include "workload/query_generator.h"
+
+namespace astream::workload {
+
+/// Adversarial-tenant scenarios (DESIGN.md §14): one misbehaving tenant
+/// mixed into a fleet of well-behaved ones, driven deterministically on a
+/// ManualClock so the isolation machinery (metering, admission, whale
+/// de-sharing) can be asserted in tests and demonstrated in the scenario
+/// suite bench.
+///
+/// Latency proxy: wall-clock p99 is meaningless under a ManualClock, so
+/// the runner samples the *shared-plan work* executed per driver tick —
+/// the delta of CollectStats().bitset_ops + join_pairs_computed +
+/// selection_records_in on the PRIMARY job only (an ejected whale's
+/// dedicated job is deliberately excluded: its work no longer delays the
+/// minnows). Every count is deterministic in sync mode, so "the whale mix
+/// violates the minnow p99 budget without isolation and meets it with
+/// admission + de-sharing on" is an exact, replayable assertion.
+struct ScenarioSpec {
+  enum class Mix {
+    kChurnStorm,    // batch create/delete against tight admission caps
+    kZipfSkew,      // hot-key tenant concentrating state on few groups
+    kWhaleMinnows,  // one huge-window tenant amid small tumbling windows
+    kBurstyOoo,     // bursts + late + out-of-order arrivals
+  };
+  Mix mix = Mix::kWhaleMinnows;
+  uint64_t seed = 1;
+
+  /// Drive: `ticks = duration_ms / tick_ms` rounds; each pushes
+  /// `rows_per_tick` stream-A tuples and advances the watermark to
+  /// `now - watermark_lag_ms`.
+  TimestampMs duration_ms = 4000;
+  TimestampMs tick_ms = 50;
+  int rows_per_tick = 40;
+  TimestampMs watermark_lag_ms = 100;
+
+  /// Data shape (zipf_s > 0 = hot keys) and arrival perturbation.
+  DataGenerator::Config data;
+  ArrivalPerturber::Config arrival;
+  /// Every `burst_every_ticks`-th tick pushes `burst_multiplier` x rows
+  /// (0 = no bursts).
+  int burst_every_ticks = 0;
+  int burst_multiplier = 1;
+
+  /// Tenants: `minnows` small tumbling-window aggregations, plus one
+  /// whale (long overlapping window, pass-all predicate) when `whale`.
+  int minnows = 6;
+  TimestampMs minnow_window_ms = 400;
+  bool whale = false;
+  TimestampMs whale_window_ms = 3200;
+  TimestampMs whale_slide_ms = 100;
+  /// Churn: every `churn_period_ms`, cancel the oldest `churn_batch`
+  /// churned queries and submit `churn_batch` fresh ones (0 = no churn).
+  int churn_batch = 0;
+  TimestampMs churn_period_ms = 0;
+
+  /// Policy under test. `isolation` routes the job through an
+  /// IsolationManager and polls Maintain() every tick.
+  core::SloOptions slo;
+  bool isolation = false;
+  bool meter_costs = false;
+  int64_t memory_budget_bytes = -1;  // force-unlimited unless overridden
+
+  /// Minnow SLO: p99 over ticks of the shared-plan work proxy must stay
+  /// at or under this budget (0 = no assertion).
+  int64_t tick_work_p99_budget = 0;
+  /// Ticks excluded from the p99 (steady state only): the policy needs a
+  /// few metering rounds to detect and eject a whale, and an SLO is a
+  /// statement about the fleet once the policy has reacted. max/mean are
+  /// still reported over the full run.
+  int p99_warmup_ticks = 0;
+};
+
+struct ScenarioReport {
+  bool ok = false;          // ran to completion, job stayed healthy
+  bool slo_met = true;      // the tick-work p99 assertion specifically
+  std::string error;        // first failure when !ok
+
+  int64_t rows_pushed = 0;
+  int64_t outputs = 0;
+  int64_t late_drops = 0;
+
+  /// Shared-plan work proxy over ticks (see ScenarioSpec).
+  int64_t p99_tick_work = 0;
+  int64_t max_tick_work = 0;
+  double mean_tick_work = 0;
+  std::vector<int64_t> tick_work;
+
+  /// Admission / de-sharing outcomes.
+  int64_t submitted = 0;
+  int64_t admission_rejected = 0;
+  int64_t admission_queued = 0;
+  int64_t desharings = 0;
+  core::QueryId whale_id = -1;
+  bool whale_ejected = false;
+  int eject_tick = -1;  // first tick with a de-sharing observed
+
+  std::map<core::QueryId, int64_t> outputs_per_query;
+};
+
+/// Runs one ScenarioSpec to completion. Deterministic: same spec + seed =>
+/// same report (work counts, outputs, admission decisions).
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(ScenarioSpec spec) : spec_(std::move(spec)) {}
+
+  /// The canonical specs the suite bench and the tier-1 tests share.
+  /// Presets run with isolation OFF (the baseline); EnableIsolation turns
+  /// on the admission + de-sharing policy tuned for that preset.
+  static ScenarioSpec Preset(ScenarioSpec::Mix mix, uint64_t seed);
+  static void EnableIsolation(ScenarioSpec* spec);
+
+  Result<ScenarioReport> Run();
+
+  static const char* MixName(ScenarioSpec::Mix mix);
+
+ private:
+  ScenarioSpec spec_;
+};
+
+}  // namespace astream::workload
+
+#endif  // ASTREAM_WORKLOAD_SCENARIO_RUNNER_H_
