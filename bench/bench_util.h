@@ -74,6 +74,8 @@ inline std::function<core::QueryDescriptor()> QueryFactory(
         return gen->Join();
       case core::QueryKind::kComplex:
         return gen->Complex(3);
+      case core::QueryKind::kMultiJoin:
+        return gen->Multiway(3);
     }
     return gen->Selection();
   };
@@ -201,6 +203,8 @@ inline core::AStreamJob::TopologyKind TopologyFor(core::QueryKind kind) {
       return core::AStreamJob::TopologyKind::kComplex;
     case core::QueryKind::kSelection:
       return core::AStreamJob::TopologyKind::kAggregation;
+    case core::QueryKind::kMultiJoin:
+      return core::AStreamJob::TopologyKind::kMultiway;
   }
   return core::AStreamJob::TopologyKind::kAggregation;
 }

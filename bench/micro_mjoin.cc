@@ -1,0 +1,259 @@
+// Shared multiway join (DESIGN.md §15): cost of adding ad-hoc n-ary join
+// queries over one set of streams. With sharing on, every query over the
+// common {0,1,2} core rides ONE set of per-stream arrangements and ONE
+// materialized [0,1,2] sub-join chain (4-way queries attach and extend
+// it), so state bytes and probe CPU stay near-flat as the query count
+// grows 1 → 8. The per-query legs rebuild the cost sharing removes: one
+// dedicated job (own arrangements, own chains) per query. Outputs must
+// be identical (order-insensitive hash) between modes at every sweep
+// point — including against a no-share single-job reference leg.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "core/astream.h"
+#include "core/query_builder.h"
+#include "harness/report.h"
+
+namespace astream::bench {
+namespace {
+
+using core::AStreamJob;
+using core::QueryDescriptor;
+using spe::Row;
+using spe::Value;
+
+constexpr int kStreams = 4;
+constexpr int kKeys = 256;
+constexpr TimestampMs kWindow = 500;  // tumbling, shared by every query
+
+/// Tuples per stream; `ASTREAM_MJOIN_ROWS=<n>` shrinks the sweep (the
+/// verify.sh smoke leg runs a short pass).
+int RowsPerStream() {
+  const char* env = std::getenv("ASTREAM_MJOIN_ROWS");
+  if (env == nullptr || *env == '\0') return 16000;
+  const long v = std::strtol(env, nullptr, 10);
+  return v > 0 ? static_cast<int>(v) : 16000;
+}
+
+/// Query j: a 3-way join over the common {0,1,2} core (even j) or a
+/// 4-way join extending it with stream 3 (odd j), with a per-query
+/// predicate on stream 1 so the queries stay distinct.
+QueryDescriptor QueryAt(int j) {
+  auto b = core::QueryBuilder::MultiwayJoin();
+  b.Input(0).Input(1).Input(2);
+  if (j % 2 == 1) b.Input(3);
+  b.WhereStream(1, 1, core::CmpOp::kLt, 1000 - 60 * j);
+  b.TumblingWindow(kWindow);
+  auto q = b.Build();
+  if (!q.ok()) {
+    std::fprintf(stderr, "bad query %d: %s\n", j, q.status().ToString().c_str());
+    std::exit(1);
+  }
+  return *q;
+}
+
+struct RunStats {
+  double wall_s = 0;
+  int64_t rows_out = 0;
+  uint64_t out_hash = 0;
+  int64_t max_state_bytes = 0;
+  int64_t chains_reused = 0;
+  int64_t subjoins_attached = 0;
+  bool ok = false;
+};
+
+uint64_t HashRecord(TimestampMs event_time, const Row& row) {
+  uint64_t h = 0xcbf29ce484222325ULL ^ static_cast<uint64_t>(event_time);
+  for (size_t c = 0; c < row.NumColumns(); ++c) {
+    h ^= static_cast<uint64_t>(row.At(c)) + 0x9e3779b97f4a7c15ULL +
+         (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+enum class Mode { kShared, kNoShare, kPerQuery };
+
+/// One sweep point: `num_queries` n-ary joins over the same four
+/// streams. kShared/kNoShare run them in ONE job (sharing on/off);
+/// kPerQuery runs one dedicated job per query — the deploy-per-query
+/// baseline the paper's SC1 measures.
+RunStats RunOnce(int num_queries, Mode mode) {
+  const int kRows = RowsPerStream();
+  ManualClock clock;
+  const int num_jobs = mode == Mode::kPerQuery ? num_queries : 1;
+
+  RunStats stats;
+  auto sink = [&stats](core::QueryId, const spe::Record& r) {
+    ++stats.rows_out;
+    // Commutative combine: insensitive to emission and job order.
+    stats.out_hash += HashRecord(r.event_time, r.row);
+  };
+
+  std::vector<std::unique_ptr<AStreamJob>> jobs;
+  for (int k = 0; k < num_jobs; ++k) {
+    AStreamJob::Options options;
+    options.topology = AStreamJob::TopologyKind::kMultiway;
+    options.num_streams = kStreams;
+    options.parallelism = 1;
+    options.threaded = false;  // deterministic; measures probe CPU
+    options.clock = &clock;
+    // Batch all submits into ONE changelog (common origin).
+    options.session.batch_size = 1000;
+    options.session.max_timeout_ms = 1 << 30;
+    options.share_arrangements = mode == Mode::kShared;
+    auto job_or = AStreamJob::Create(options);
+    if (!job_or.ok()) return {};
+    jobs.push_back(std::move(job_or).value());
+    if (!jobs.back()->Start().ok()) return {};
+    jobs.back()->SetResultCallback(sink);
+  }
+
+  clock.SetMs(0);
+  for (int j = 0; j < num_queries; ++j) {
+    AStreamJob* job = jobs[mode == Mode::kPerQuery ? j : 0].get();
+    if (!job->Submit(QueryAt(j)).ok()) return {};
+  }
+  for (auto& job : jobs) job->Pump(true);
+
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < kRows; ++i) {
+    for (int s = 0; s < kStreams; ++s) {
+      const TimestampMs t = 2 + s + i * 4;
+      clock.SetMs(t);
+      const Row row{(i * 7 + s * 3) % kKeys, (i + 137 * s) % 1000};
+      for (auto& job : jobs) job->Push(s, t, row);
+    }
+    if (i % 500 == 499) {
+      const TimestampMs wm = 2 + i * 4 - 3 * kWindow;
+      for (auto& job : jobs) job->PushWatermark(wm);
+    }
+    if (i % 1000 == 999) {
+      int64_t bytes = 0;
+      for (auto& job : jobs) {
+        const auto snapshot = job->MetricsSnapshot();
+        const auto it = snapshot.gauges.find("state.arena_bytes");
+        if (it != snapshot.gauges.end()) bytes += it->second;
+      }
+      if (bytes > stats.max_state_bytes) stats.max_state_bytes = bytes;
+    }
+  }
+  for (auto& job : jobs) {
+    if (!job->FinishAndWait().ok()) return {};
+    const AStreamJob::OperatorStats op = job->CollectStats();
+    stats.chains_reused += op.mjoin_chains_reused;
+    stats.subjoins_attached += op.subjoins_attached;
+  }
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - start)
+                     .count();
+  stats.ok = true;
+  return stats;
+}
+
+/// Best-of-3 wall time; hashes and row counts must agree across repeats.
+RunStats RunBest(int num_queries, Mode mode) {
+  RunStats best;
+  for (int rep = 0; rep < 3; ++rep) {
+    const RunStats s = RunOnce(num_queries, mode);
+    if (!s.ok) return {};
+    if (rep > 0 && (s.out_hash != best.out_hash ||
+                    s.rows_out != best.rows_out)) {
+      return {};
+    }
+    if (rep == 0 || s.wall_s < best.wall_s) {
+      const uint64_t hash = rep == 0 ? s.out_hash : best.out_hash;
+      best = s;
+      best.out_hash = hash;
+    }
+  }
+  return best;
+}
+
+void Run() {
+  harness::PrintBanner(
+      "micro_mjoin — shared n-ary join vs per-query jobs",
+      "Sweep over N ad-hoc multiway joins (3-way over the common {0,1,2} "
+      "core; every other query extends to 4-way with stream 3). Shared: "
+      "one job, one set of per-stream arrangements, one materialized "
+      "[0,1,2] sub-join that later queries attach to. No-share: the same "
+      "job with the registry and chain memo disabled (the cascade "
+      "reference mode). Per-query: one dedicated job per query. Outputs "
+      "must be hash-identical across all three modes at every N.",
+      "sync multiway topology (4 streams), parallelism 1, 16k tuples per "
+      "stream (ASTREAM_MJOIN_ROWS overrides), 256 keys, tumbling 500ms, "
+      "watermark every 500 tuples");
+  harness::Table table({"queries", "mode", "tuples/s", "state KiB",
+                        "chains reused", "subjoins attached", "rows out",
+                        "output hash"});
+  bool hashes_match = true;
+  bool all_ok = true;
+  double shared8_wall = 0, perquery8_wall = 0;
+  int64_t shared8_bytes = 0, perquery8_bytes = 0;
+  const int kRows = RowsPerStream();
+  for (int n : {1, 2, 4, 8}) {
+    const RunStats shared = RunBest(n, Mode::kShared);
+    const RunStats noshare = RunBest(n, Mode::kNoShare);
+    const RunStats perquery = RunBest(n, Mode::kPerQuery);
+    if (!shared.ok || !noshare.ok || !perquery.ok) {
+      std::fprintf(stderr, "run failed for n=%d\n", n);
+      all_ok = false;
+      continue;
+    }
+    if (shared.out_hash != noshare.out_hash ||
+        shared.out_hash != perquery.out_hash ||
+        shared.rows_out != noshare.rows_out ||
+        shared.rows_out != perquery.rows_out) {
+      hashes_match = false;
+    }
+    if (n == 8) {
+      shared8_wall = shared.wall_s;
+      shared8_bytes = shared.max_state_bytes;
+      perquery8_wall = perquery.wall_s;
+      perquery8_bytes = perquery.max_state_bytes;
+    }
+    for (const auto& [label, s] :
+         {std::pair<const char*, const RunStats&>{"shared", shared},
+          std::pair<const char*, const RunStats&>{"no-share", noshare},
+          std::pair<const char*, const RunStats&>{"per-query", perquery}}) {
+      char rate[32], state[32], hash[32];
+      std::snprintf(rate, sizeof(rate), "%.0f",
+                    static_cast<double>(kRows) * kStreams / s.wall_s);
+      std::snprintf(state, sizeof(state), "%.0f",
+                    static_cast<double>(s.max_state_bytes) / 1024);
+      std::snprintf(hash, sizeof(hash), "%016llx",
+                    static_cast<unsigned long long>(s.out_hash));
+      table.AddRow({std::to_string(n), label, rate, state,
+                    std::to_string(s.chains_reused),
+                    std::to_string(s.subjoins_attached),
+                    std::to_string(s.rows_out), hash});
+    }
+  }
+  table.Print();
+  std::printf("outputs identical shared vs no-share vs per-query: %s\n",
+              hashes_match ? "yes" : "NO — MISMATCH");
+  if (perquery8_wall > 0 && perquery8_bytes > 0) {
+    const double cpu_ratio = shared8_wall / perquery8_wall;
+    const double state_ratio =
+        static_cast<double>(shared8_bytes) / perquery8_bytes;
+    std::printf(
+        "shared vs per-query at 8 queries: state %.2fx, wall %.2fx "
+        "(target: <= 0.5x both)\n",
+        state_ratio, cpu_ratio);
+  }
+  if (!hashes_match || !all_ok) std::exit(1);
+}
+
+}  // namespace
+}  // namespace astream::bench
+
+int main() {
+  astream::bench::BenchInit();
+  astream::bench::Run();
+  return 0;
+}

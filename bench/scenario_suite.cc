@@ -172,6 +172,16 @@ bool Run() {
     all_pass = all_pass && leg.pass;
   }
   table.Print();
+  // Engine-side admission.* counters per leg (the metrics-registry truth
+  // behind the queued/rejected columns above).
+  for (const Leg& leg : legs) {
+    if (leg.report.admission_metrics.empty()) continue;
+    std::string line = "admission counters [" + leg.label + "]:";
+    for (const auto& [name, value] : leg.report.admission_metrics) {
+      line += " " + name + "=" + std::to_string(value);
+    }
+    std::printf("%s\n", line.c_str());
+  }
   std::printf("minnow p99 work budget (60%% of baseline p99): %lld\n",
               static_cast<long long>(budget));
   std::printf("scenario suite: %s\n", all_pass ? "all legs pass"

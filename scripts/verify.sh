@@ -73,6 +73,20 @@ echo "== micro_arrange: smoke (N-spec sweep, shared vs per-query hashes) =="
 cmake --build build -j --target micro_arrange >/dev/null
 ./build/bench/micro_arrange
 
+echo "== multiway: n-ary join vs cascade reference (+ sub-join sharing) =="
+# The n-ary shared join must be invisible: fleets over 3-4 streams (with
+# churn, declared-order permutations, common {0,1,2} sub-joins)
+# byte-identical between sharing on, the cascade reference mode, the
+# offline evaluator, spill budgets, checkpoint/restore, and threaded.
+./build/tests/astream_tests \
+  --gtest_filter='JoinCostModelTest.*:SubJoinRegistryTest.*:MultiwayEquivalenceTest.*:QueryBuilder.Multiway*:*Mjoin*'
+
+echo "== micro_mjoin: smoke (1-8 query sweep, shared vs per-query hashes) =="
+# Exits nonzero if any sweep point's output hash diverges between the
+# shared, no-share, and per-query-job modes (short rows for the smoke).
+cmake --build build -j --target micro_mjoin >/dev/null
+ASTREAM_MJOIN_ROWS=4000 ./build/bench/micro_mjoin
+
 echo "== storage v2: loser-tree merge, compressed runs, compaction, v1 compat =="
 # Format v2 (per-block LZ) must round-trip byte-exactly, read PR 5-era v1
 # files, survive torn/corrupt compressed blocks, and fold runs without
@@ -151,6 +165,13 @@ else
   TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
     ./build-tsan/tests/astream_tests \
     --gtest_filter='*ThreadedHeterogeneous*:ArrangementEquivalenceTest.JoinFleetSharingOnOffIdentical'
+
+  echo "== tsan: n-ary multiway join (per-stream ingest vs trigger threads) =="
+  # Worker threads ingest four streams into per-port arrangements while
+  # trigger evaluation probes chains and the control thread churns plans.
+  TSAN_OPTIONS="halt_on_error=1 second_deadlock_stack=1" \
+    ./build-tsan/tests/astream_tests \
+    --gtest_filter='*ThreadedMultiway*:MultiwayEquivalenceTest.FleetSharingOnOffIdentical'
 fi
 
 if [[ "$SKIP_ASAN" == "1" ]]; then

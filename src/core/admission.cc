@@ -42,6 +42,14 @@ double AdmissionController::ShapeCost(const QueryDescriptor& desc) {
     case QueryKind::kComplex:
       return desc.join_depth * (2 + 2 * WindowOverlap(desc.window)) + 1 +
              WindowOverlap(desc.window);
+    case QueryKind::kMultiJoin: {
+      // N-ary fan-out: each probe step of the chain is one binary join's
+      // worth of pair computation, so an n-leg query costs n-1 join terms
+      // (degenerating to the kJoin shape at n = 2).
+      const double legs =
+          std::max<double>(2, static_cast<double>(desc.join_inputs.size()));
+      return (legs - 1) * (2 + 2 * WindowOverlap(desc.window));
+    }
   }
   return 1;
 }

@@ -355,6 +355,103 @@ spe::TopologySpec AStreamJob::BuildTopology() {
       stage_router_ = spec.AddStage(std::move(router));
       break;
     }
+    case TopologyKind::kMultiway: {
+      // DESIGN.md §15: one shared selection per external stream, feeding
+      // the n-ary shared join on port s. Stream 0's selection doubles as
+      // the host of plain selection queries (mirroring side A elsewhere).
+      const int streams = options_.num_streams;
+      std::vector<int> sel_stages;
+      for (int s = 0; s < streams; ++s) {
+        spe::StageSpec sel;
+        sel.name = "shared-selection-s" + std::to_string(s);
+        sel.parallelism = par;
+        sel.factory = [this, overhead,
+                       s](int) -> std::unique_ptr<spe::Operator> {
+          SharedSelection::Config cfg;
+          cfg.side = StreamSide::kA;
+          cfg.stream = s;
+          cfg.hosts = [s](const ActiveQuery& q) {
+            if (q.desc.kind == QueryKind::kMultiJoin) {
+              return q.desc.UsesStream(s);
+            }
+            return s == 0 && q.desc.kind == QueryKind::kSelection;
+          };
+          cfg.measure_overhead = overhead;
+          cfg.use_predicate_index = options_.use_predicate_index;
+          cfg.metrics = &metrics_;
+          cfg.meter_costs = options_.meter_costs;
+          auto op = std::make_unique<SharedSelection>(cfg);
+          {
+            std::lock_guard<std::mutex> lock(ops_mutex_);
+            selections_.push_back(op.get());
+          }
+          return op;
+        };
+        const int s_sel = spec.AddStage(std::move(sel));
+        sel_stages.push_back(s_sel);
+        inputs_.push_back(spec.AddExternalInput(
+            {"stream-" + std::to_string(s), s_sel, 0,
+             spe::Partitioning::kHash}));
+      }
+      input_a_ = inputs_[0];
+      input_b_ = inputs_.size() > 1 ? inputs_[1] : -1;
+
+      spe::StageSpec join;
+      join.name = "shared-multiway-join";
+      join.parallelism = par;
+      join.num_ports = streams;
+      join.factory = [this, shared_config,
+                      streams](int) -> std::unique_ptr<spe::Operator> {
+        auto op = std::make_unique<SharedMultiwayJoin>(
+            shared_config([](const ActiveQuery& q) {
+              return q.desc.kind == QueryKind::kMultiJoin;
+            }),
+            streams);
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          mjoins_.push_back(op.get());
+        }
+        return op;
+      };
+      for (int s = 0; s < streams; ++s) {
+        join.inputs.push_back({sel_stages[s], s, spe::Partitioning::kHash});
+      }
+      const int s_join = spec.AddStage(std::move(join));
+
+      spe::StageSpec router;
+      router.name = "router";
+      router.parallelism = par;
+      router.num_ports = 2;
+      router.is_sink = true;
+      router.factory = [this, overhead](int) -> std::unique_ptr<spe::Operator> {
+        RouterOperator::Config cfg;
+        cfg.num_ports = 2;
+        cfg.measure_overhead = overhead;
+        cfg.metrics = &metrics_;
+        cfg.trace = &trace_;
+        cfg.clock = clock_;
+        cfg.routes_raw = [](const ActiveQuery& q, int port) {
+          if (port == 0) return q.desc.kind == QueryKind::kSelection;
+          return q.desc.kind == QueryKind::kMultiJoin;
+        };
+        auto op = std::make_unique<RouterOperator>(std::move(cfg));
+        {
+          std::lock_guard<std::mutex> lock(ops_mutex_);
+          routers_.push_back(op.get());
+        }
+        return op;
+      };
+      router.inputs = {{sel_stages[0], 0, spe::Partitioning::kHash},
+                       {s_join, 1, spe::Partitioning::kHash}};
+      stage_router_ = spec.AddStage(std::move(router));
+      break;
+    }
+  }
+  if (inputs_.empty()) {
+    // Two-stream topologies: the generic Push(stream, ...) surface maps
+    // stream 0 -> A and stream 1 -> B.
+    inputs_.push_back(input_a_);
+    if (input_b_ >= 0) inputs_.push_back(input_b_);
   }
 
   total_instances_ = 0;
@@ -468,6 +565,15 @@ PushResult AStreamJob::PushB(TimestampMs event_time, spe::Row row) {
   return PushTo(input_b_, event_time, std::move(row));
 }
 
+PushResult AStreamJob::Push(int stream, TimestampMs event_time,
+                            spe::Row row) {
+  if (stream < 0 || stream >= static_cast<int>(inputs_.size())) {
+    if (m_push_shutdown_ != nullptr) m_push_shutdown_->Add();
+    return PushResult::kShutdown;
+  }
+  return PushTo(inputs_[stream], event_time, std::move(row));
+}
+
 PushResult AStreamJob::PushTo(int input, TimestampMs event_time,
                               spe::Row row) {
   if (input < 0 || !started_ || finished_ || runner_->Failed()) {
@@ -530,9 +636,8 @@ void AStreamJob::FlushSourceBatches() {
 
 void AStreamJob::PushWatermark(TimestampMs watermark) {
   FlushSourceBatches();
-  runner_->Push(input_a_, spe::StreamElement::MakeWatermark(watermark));
-  if (input_b_ >= 0) {
-    runner_->Push(input_b_, spe::StreamElement::MakeWatermark(watermark));
+  for (int input : inputs_) {
+    runner_->Push(input, spe::StreamElement::MakeWatermark(watermark));
   }
 }
 
@@ -570,6 +675,31 @@ Status AStreamJob::ValidateQuery(const QueryDescriptor& desc) const {
         if (desc.join_depth < 1 ||
             desc.join_depth > options_.max_join_stages) {
           return Status::InvalidArgument("join_depth out of range");
+        }
+      }
+      break;
+    case TopologyKind::kMultiway:
+      if (desc.kind != QueryKind::kSelection &&
+          desc.kind != QueryKind::kMultiJoin) {
+        return Status::InvalidArgument(
+            "multiway topology accepts selection/multijoin queries");
+      }
+      if (desc.kind == QueryKind::kMultiJoin) {
+        if (!desc.window.IsTimeWindow()) {
+          return Status::InvalidArgument(
+              "multiway joins require time windows");
+        }
+        if (desc.join_inputs.size() < 2 ||
+            desc.join_inputs.size() >
+                static_cast<size_t>(options_.num_streams)) {
+          return Status::InvalidArgument(
+              "multiway join needs 2..num_streams input legs");
+        }
+        for (const JoinInput& in : desc.join_inputs) {
+          if (in.stream < 0 || in.stream >= options_.num_streams) {
+            return Status::InvalidArgument(
+                "multiway join leg reads a stream the job does not have");
+          }
         }
       }
       break;
@@ -851,6 +981,21 @@ AStreamJob::OperatorStats AStreamJob::CollectStats() const {
     s.factor_reuses += fs.reuses;
     s.factor_fallbacks += fs.fallbacks;
   }
+  for (const SharedMultiwayJoin* m : mjoins_) {
+    s.bitset_ops += m->bitset_ops();
+    s.records_late += m->records_late();
+    s.state_arena_bytes += m->state_arena_bytes();
+    s.reload_saves += m->reload_saves();
+    s.mjoin_chains_computed += m->chains_computed();
+    s.mjoin_chains_reused += m->chains_reused();
+    // The chain memo is the multiway analogue of the join-pair memo.
+    s.arrange_memo_hits += m->chains_reused();
+    s.arrange_memo_misses += m->chains_computed();
+    const SubJoinRegistry::Stats& ss = m->registry().stats();
+    s.subjoins_built += ss.built;
+    s.subjoins_attached += ss.attached;
+    s.subjoin_nodes += static_cast<int64_t>(m->registry().NumNodes());
+  }
   for (const SharedAggregation* a : aggregations_) {
     s.bitset_ops += a->bitset_ops();
     s.records_late += a->records_late();
@@ -876,6 +1021,7 @@ std::map<QueryId, int64_t> AStreamJob::ComputeStateShares() const {
   std::map<QueryId, int64_t> shares;
   std::lock_guard<std::mutex> lock(ops_mutex_);
   for (const SharedJoin* j : joins_) j->AppendStateShares(&shares);
+  for (const SharedMultiwayJoin* m : mjoins_) m->AppendStateShares(&shares);
   for (const SharedAggregation* a : aggregations_) {
     a->AppendStateShares(&shares);
   }
@@ -955,6 +1101,18 @@ obs::MetricsRegistry::Snapshot AStreamJob::MetricsSnapshot() {
       metrics_.GetGauge("slicer.factor_rewrites")->Set(s.factor_rewrites);
       metrics_.GetGauge("slicer.factor_reuses")->Set(s.factor_reuses);
       metrics_.GetGauge("slicer.factor_fallbacks")->Set(s.factor_fallbacks);
+      if (options_.topology == TopologyKind::kMultiway) {
+        // Multiway sharing drill-down (DESIGN.md §15): chain-memo
+        // effectiveness and common-subexpression attachment.
+        metrics_.GetGauge("mjoin.chains_computed")
+            ->Set(s.mjoin_chains_computed);
+        metrics_.GetGauge("mjoin.chains_reused")
+            ->Set(s.mjoin_chains_reused);
+        metrics_.GetGauge("mjoin.subjoins_built")->Set(s.subjoins_built);
+        metrics_.GetGauge("mjoin.subjoins_attached")
+            ->Set(s.subjoins_attached);
+        metrics_.GetGauge("mjoin.subjoin_nodes")->Set(s.subjoin_nodes);
+      }
       metrics_.GetGauge("state.checkpoints_retained")
           ->Set(static_cast<int64_t>(store_->NumRetained()));
       if (governor_ != nullptr) {

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/admission.h"
+#include "core/multiway_join.h"
 #include "core/push_result.h"
 #include "core/qos.h"
 #include "core/query.h"
@@ -38,12 +39,16 @@ namespace astream::core {
 ///   5. FinishAndWait() or Stop().
 class AStreamJob {
  public:
-  /// The three shared-topology families (Sec. 4: aggregation queries, join
-  /// queries, and complex pipelines of n-ary joins + aggregation).
-  enum class TopologyKind { kAggregation, kJoin, kComplex };
+  /// The shared-topology families (Sec. 4: aggregation queries, join
+  /// queries, complex pipelines of cascaded joins + aggregation) plus the
+  /// flat n-ary multi-way join family over 2..5 streams (DESIGN.md §15).
+  enum class TopologyKind { kAggregation, kJoin, kComplex, kMultiway };
 
   struct Options {
     TopologyKind topology = TopologyKind::kAggregation;
+    /// External input streams (kMultiway only; 2..kMaxJoinDepth). Other
+    /// topologies keep their fixed stream count (A, or A + B).
+    int num_streams = 2;
     /// Instances per shared operator — the "cluster node" equivalent.
     int parallelism = 1;
     /// Threaded runner (benchmarks) vs. deterministic sync runner (tests).
@@ -125,14 +130,19 @@ class AStreamJob {
   Status Start();
 
   /// Data input (event-time order per stream). Stream B exists only for
-  /// join/complex topologies. Returns kBackpressure when the tuple was
-  /// refused (job not started / finished / cancelled; no stream B) and
+  /// join/complex/multiway topologies; streams 2.. only on kMultiway jobs
+  /// with that many streams. Returns kBackpressure when the tuple was
+  /// refused (job not started / finished / cancelled; no such stream) and
   /// kLateClamped when the event time was nudged onto the latest changelog
   /// marker (see PushResult).
+  PushResult Push(int stream, TimestampMs event_time, spe::Row row);
   PushResult PushA(TimestampMs event_time, spe::Row row);
   PushResult PushB(TimestampMs event_time, spe::Row row);
   /// Advances the watermark on all input streams.
   void PushWatermark(TimestampMs watermark);
+
+  /// Number of external input streams of this job's topology.
+  int NumInputStreams() const { return static_cast<int>(inputs_.size()); }
 
   /// Submits an ad-hoc query (must match the topology family). The query
   /// goes live when its changelog batch deploys. Fails with
@@ -255,6 +265,11 @@ class AStreamJob {
     int64_t factor_rewrites = 0;     // specs rewritten onto a new lattice
     int64_t factor_reuses = 0;       // specs attached to an existing lattice
     int64_t factor_fallbacks = 0;    // specs kept on exact per-query edges
+    int64_t mjoin_chains_computed = 0;  // multiway chain prefixes evaluated
+    int64_t mjoin_chains_reused = 0;    // multiway chain-memo hits
+    int64_t subjoins_built = 0;      // multiway plans with no reusable prefix
+    int64_t subjoins_attached = 0;   // plans attached to a materialized sub-join
+    int64_t subjoin_nodes = 0;       // live refcounted sub-join nodes
   };
   OperatorStats CollectStats() const;
 
@@ -333,16 +348,20 @@ class AStreamJob {
   std::unique_ptr<storage::Compactor> compactor_;
   std::unique_ptr<spe::Runner> runner_;
 
-  // Stage indices (filled by BuildTopology).
+  // Stage indices (filled by BuildTopology). `inputs_[s]` is the external
+  // input index of stream s; input_a_/input_b_ mirror entries 0/1 for the
+  // legacy shims.
   int stage_router_ = -1;
   int input_a_ = -1;
   int input_b_ = -1;
+  std::vector<int> inputs_;
   size_t total_instances_ = 0;
 
   // Raw operator pointers for stats; valid while runner_ lives.
   mutable std::mutex ops_mutex_;
   std::vector<SharedSelection*> selections_;
   std::vector<SharedJoin*> joins_;
+  std::vector<SharedMultiwayJoin*> mjoins_;
   std::vector<SharedAggregation*> aggregations_;
   std::vector<RouterOperator*> routers_;
 

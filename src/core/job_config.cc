@@ -16,6 +16,14 @@ Status ValidateJobOptions(const core::AStreamJob::Options& options) {
       options.max_join_stages > core::kMaxJoinDepth) {
     return Status::InvalidArgument("max_join_stages out of range");
   }
+  if (options.num_streams < 2 || options.num_streams > core::kMaxJoinDepth) {
+    return Status::InvalidArgument("num_streams out of range (2..5)");
+  }
+  if (options.num_streams != 2 &&
+      options.topology != core::AStreamJob::TopologyKind::kMultiway) {
+    return Status::InvalidArgument(
+        "num_streams > 2 requires the multiway topology");
+  }
   if (options.batch_size < 1) {
     return Status::InvalidArgument("batch_size must be >= 1");
   }
@@ -89,6 +97,12 @@ Result<JobConfig> JobConfig::Validated(JobConfig config) {
   if (!config.state_dir.empty() && !config.supervised) {
     return Status::InvalidArgument(
         "state_dir (durable shard checkpoints) requires supervised");
+  }
+  if (config.supervised &&
+      config.job.topology == core::AStreamJob::TopologyKind::kMultiway) {
+    return Status::InvalidArgument(
+        "supervised shards replay a two-stream source log; "
+        "multiway topologies are not supported supervised");
   }
   if (config.supervised && config.job.checkpoint_store != nullptr) {
     return Status::InvalidArgument(

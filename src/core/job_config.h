@@ -12,8 +12,9 @@ namespace astream {
 
 /// External input stream of a job. Replaces the hardwired PushA/PushB
 /// pair: `Client::Push(StreamId::kA, t, row)` is the generic surface, the
-/// old names survive as thin compat shims on the facade.
-enum class StreamId : int { kA = 0, kB = 1 };
+/// old names survive as thin compat shims on the facade. Streams kC..kE
+/// exist only on kMultiway topologies (Options::num_streams).
+enum class StreamId : int { kA = 0, kB = 1, kC = 2, kD = 3, kE = 4 };
 
 /// One validated configuration for a whole deployment: the per-shard
 /// engine options (core::AStreamJob::Options, which already embeds the
@@ -86,6 +87,11 @@ class JobConfigBuilder {
   }
   JobConfigBuilder& Parallelism(int parallelism) {
     config_.job.parallelism = parallelism;
+    return *this;
+  }
+  /// Number of external input streams (kMultiway topologies, 2..5).
+  JobConfigBuilder& NumStreams(int num_streams) {
+    config_.job.num_streams = num_streams;
     return *this;
   }
   JobConfigBuilder& Threaded(bool threaded) {

@@ -41,6 +41,8 @@ const char* QueryKindName(QueryKind kind) {
       return "join";
     case QueryKind::kComplex:
       return "complex";
+    case QueryKind::kMultiJoin:
+      return "multijoin";
   }
   return "?";
 }
@@ -65,6 +67,19 @@ std::string QueryDescriptor::ToString() const {
       s += select_b[i].ToString();
     }
     s += "}";
+  }
+  if (kind == QueryKind::kMultiJoin) {
+    s += " inputs=[";
+    for (size_t i = 0; i < join_inputs.size(); ++i) {
+      if (i > 0) s += ", ";
+      s += "s" + std::to_string(join_inputs[i].stream) + "{";
+      for (size_t j = 0; j < join_inputs[i].select.size(); ++j) {
+        if (j > 0) s += " AND ";
+        s += join_inputs[i].select[j].ToString();
+      }
+      s += "}";
+    }
+    s += "]";
   }
   return s;
 }
@@ -108,6 +123,13 @@ void QueryDescriptor::Serialize(spe::StateWriter* writer) const {
   writer->WriteI64(agg.column);
   writer->WriteI64(join_depth);
   writer->WriteI64(align_origin);
+  writer->WriteU64(join_inputs.size());
+  for (const JoinInput& in : join_inputs) {
+    writer->WriteI64(in.stream);
+    writer->WriteU64(in.key.size());
+    for (int k : in.key) writer->WriteI64(k);
+    SerializePredicates(in.select, writer);
+  }
 }
 
 QueryDescriptor QueryDescriptor::Deserialize(spe::StateReader* reader) {
@@ -123,6 +145,18 @@ QueryDescriptor QueryDescriptor::Deserialize(spe::StateReader* reader) {
   d.agg.column = static_cast<int>(reader->ReadI64());
   d.join_depth = static_cast<int>(reader->ReadI64());
   d.align_origin = reader->ReadI64();
+  const uint64_t inputs = reader->ReadU64();
+  for (uint64_t i = 0; i < inputs && reader->Ok(); ++i) {
+    JoinInput in;
+    in.stream = static_cast<int>(reader->ReadI64());
+    in.key.clear();
+    const uint64_t arity = reader->ReadU64();
+    for (uint64_t k = 0; k < arity && reader->Ok(); ++k) {
+      in.key.push_back(static_cast<int>(reader->ReadI64()));
+    }
+    in.select = DeserializePredicates(reader);
+    d.join_inputs.push_back(std::move(in));
+  }
   return d;
 }
 

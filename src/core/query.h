@@ -67,16 +67,31 @@ bool EvalConjunction(const std::vector<Predicate>& predicates,
                      const spe::Row& row);
 
 /// Query families supported by AStream (Sec. 1.3): selections, windowed
-/// aggregations, windowed joins, and complex pipelines of n-ary joins
-/// followed by an aggregation (Sec. 4.7).
+/// aggregations, windowed joins, complex pipelines of cascaded binary
+/// joins followed by an aggregation (Sec. 4.7), and flat n-ary multi-way
+/// joins over 2..kMaxJoinDepth distinct input streams (DESIGN.md §15).
 enum class QueryKind : uint8_t {
   kSelection,
   kAggregation,
   kJoin,
   kComplex,
+  kMultiJoin,
 };
 
 const char* QueryKindName(QueryKind kind);
+
+/// One input leg of a kMultiJoin query: which stream it reads, the join-key
+/// columns (all legs must agree on arity; the engine currently requires the
+/// key to be column 0, the row key), and per-leg selection predicates.
+struct JoinInput {
+  int stream = 0;
+  std::vector<int> key = {0};
+  std::vector<Predicate> select;
+
+  bool operator==(const JoinInput& o) const {
+    return stream == o.stream && key == o.key && select == o.select;
+  }
+};
 
 /// Full description of one user query. Immutable once submitted.
 struct QueryDescriptor {
@@ -97,6 +112,9 @@ struct QueryDescriptor {
   /// windows and the shared plan's windows tile without overlap. When set,
   /// the first window starts at AlignForward(marker, align_origin, slide).
   TimestampMs align_origin = kMinTimestamp;
+  /// Input legs of a kMultiJoin query, in the user's declared order (which
+  /// fixes the output column order). Empty for every other kind.
+  std::vector<JoinInput> join_inputs;
 
   bool HasWindow() const { return kind != QueryKind::kSelection; }
   bool HasJoin() const {
@@ -104,6 +122,22 @@ struct QueryDescriptor {
   }
   bool HasAgg() const {
     return kind == QueryKind::kAggregation || kind == QueryKind::kComplex;
+  }
+
+  /// True iff a kMultiJoin query reads `stream` on one of its legs (always
+  /// false for other kinds; their streams are fixed by the topology).
+  bool UsesStream(int stream) const {
+    for (const JoinInput& in : join_inputs) {
+      if (in.stream == stream) return true;
+    }
+    return false;
+  }
+  /// The leg reading `stream`, or nullptr.
+  const JoinInput* InputFor(int stream) const {
+    for (const JoinInput& in : join_inputs) {
+      if (in.stream == stream) return &in;
+    }
+    return nullptr;
   }
 
   std::string ToString() const;

@@ -12,6 +12,11 @@ void QueryBuilder::Fail(std::string error) {
 
 QueryBuilder& QueryBuilder::WhereA(int column, CmpOp op, spe::Value constant) {
   if (!status_.ok()) return *this;
+  if (desc_.kind == QueryKind::kMultiJoin) {
+    Fail("WhereA: multiway join queries filter per input leg "
+         "(use WhereStream)");
+    return *this;
+  }
   if (column < 0) {
     Fail("WhereA: column must be >= 0, got " + std::to_string(column));
     return *this;
@@ -32,6 +37,84 @@ QueryBuilder& QueryBuilder::WhereB(int column, CmpOp op, spe::Value constant) {
     return *this;
   }
   desc_.select_b.push_back(Predicate{column, op, constant});
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Input(int stream) {
+  return InputKeyed(stream, {0});
+}
+
+QueryBuilder& QueryBuilder::InputKeyed(int stream, std::vector<int> key) {
+  if (!status_.ok()) return *this;
+  if (desc_.kind != QueryKind::kMultiJoin) {
+    Fail(std::string("Input: only multiway join queries declare input "
+                     "legs (") +
+         QueryKindName(desc_.kind) + " query)");
+    return *this;
+  }
+  if (stream < 0 || stream >= kMaxJoinDepth) {
+    Fail("Input: stream must be in [0, " + std::to_string(kMaxJoinDepth) +
+         "), got " + std::to_string(stream));
+    return *this;
+  }
+  if (desc_.UsesStream(stream)) {
+    Fail("Input: duplicate input leg for stream " + std::to_string(stream) +
+         " (self-joins over one stream are not supported)");
+    return *this;
+  }
+  if (static_cast<int>(desc_.join_inputs.size()) >= kMaxJoinDepth) {
+    Fail("Input: at most " + std::to_string(kMaxJoinDepth) +
+         " input legs, got a " + std::to_string(kMaxJoinDepth + 1) + "th");
+    return *this;
+  }
+  if (key.empty()) {
+    Fail("Input: join key for stream " + std::to_string(stream) +
+         " must have at least one column");
+    return *this;
+  }
+  for (int column : key) {
+    if (column < 0) {
+      Fail("Input: join-key column must be >= 0, got " +
+           std::to_string(column));
+      return *this;
+    }
+  }
+  if (!desc_.join_inputs.empty() &&
+      key.size() != desc_.join_inputs.front().key.size()) {
+    Fail("Input: mismatched join-key arity for stream " +
+         std::to_string(stream) + ": got " + std::to_string(key.size()) +
+         " column(s), earlier legs declared " +
+         std::to_string(desc_.join_inputs.front().key.size()));
+    return *this;
+  }
+  JoinInput in;
+  in.stream = stream;
+  in.key = std::move(key);
+  desc_.join_inputs.push_back(std::move(in));
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::WhereStream(int stream, int column, CmpOp op,
+                                        spe::Value constant) {
+  if (!status_.ok()) return *this;
+  if (desc_.kind != QueryKind::kMultiJoin) {
+    Fail(std::string("WhereStream: only multiway join queries filter per "
+                     "input leg (") +
+         QueryKindName(desc_.kind) + " query)");
+    return *this;
+  }
+  if (column < 0) {
+    Fail("WhereStream: column must be >= 0, got " + std::to_string(column));
+    return *this;
+  }
+  for (JoinInput& in : desc_.join_inputs) {
+    if (in.stream == stream) {
+      in.select.push_back(Predicate{column, op, constant});
+      return *this;
+    }
+  }
+  Fail("WhereStream: no input leg declared for stream " +
+       std::to_string(stream) + " (call Input first)");
   return *this;
 }
 
@@ -121,6 +204,26 @@ Result<QueryDescriptor> QueryBuilder::Build() const {
         std::string("Build: ") + QueryKindName(desc_.kind) +
         " query needs a window (call TumblingWindow/SlidingWindow/"
         "SessionWindow)");
+  }
+  if (desc_.kind == QueryKind::kMultiJoin) {
+    if (desc_.join_inputs.size() < 2) {
+      return Status::InvalidArgument(
+          "Build: multiway join needs at least 2 input legs, got " +
+          std::to_string(desc_.join_inputs.size()));
+    }
+    if (desc_.window.IsTimeWindow() == false) {
+      return Status::InvalidArgument(
+          "Build: multiway join queries need a time window "
+          "(tumbling/sliding)");
+    }
+    for (const JoinInput& in : desc_.join_inputs) {
+      if (in.key != std::vector<int>{0}) {
+        return Status::InvalidArgument(
+            "Build: multiway join legs must key on the row key (column 0); "
+            "stream " + std::to_string(in.stream) +
+            " declared a different key");
+      }
+    }
   }
   return desc_;
 }

@@ -32,12 +32,26 @@ class QueryBuilder {
   }
   static QueryBuilder Join() { return QueryBuilder(QueryKind::kJoin); }
   static QueryBuilder Complex() { return QueryBuilder(QueryKind::kComplex); }
+  static QueryBuilder MultiwayJoin() {
+    return QueryBuilder(QueryKind::kMultiJoin);
+  }
 
   /// Adds `row[column] op constant` to the stream-A conjunction.
   QueryBuilder& WhereA(int column, CmpOp op, spe::Value constant);
   /// Adds `row[column] op constant` to the stream-B conjunction (join kinds
   /// only).
   QueryBuilder& WhereB(int column, CmpOp op, spe::Value constant);
+
+  /// Adds an input leg reading `stream` to a multiway join, keyed on the
+  /// row key (column 0). Legs are emitted in declaration order.
+  QueryBuilder& Input(int stream);
+  /// Same, with an explicit join-key column list. All legs must declare the
+  /// same key arity; the engine currently requires the key to be {0}.
+  QueryBuilder& InputKeyed(int stream, std::vector<int> key);
+  /// Adds `row[column] op constant` to the conjunction of the leg that
+  /// reads `stream` (the leg must have been declared already).
+  QueryBuilder& WhereStream(int stream, int column, CmpOp op,
+                            spe::Value constant);
 
   /// Sets the window of the aggregation / join stages.
   QueryBuilder& Window(const spe::WindowSpec& spec);

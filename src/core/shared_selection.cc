@@ -15,6 +15,8 @@ bool DefaultHosts(StreamSide side, const ActiveQuery& q) {
 
 }  // namespace
 
+const std::vector<Predicate> SharedSelection::kNoPredicates;
+
 SharedSelection::SharedSelection(Config config)
     : config_(std::move(config)) {
   if (!config_.hosts) {
@@ -27,7 +29,10 @@ SharedSelection::SharedSelection(Config config)
     metrics_on_ = true;
     meter_on_ = config_.meter_costs;
     const std::string prefix =
-        config_.side == StreamSide::kA ? "selection.a." : "selection.b.";
+        config_.stream >= 0
+            ? "selection.s" + std::to_string(config_.stream) + "."
+            : (config_.side == StreamSide::kA ? "selection.a."
+                                              : "selection.b.");
     m_records_in_ = config_.metrics->GetCounter(prefix + "records_in");
     m_records_out_ = config_.metrics->GetCounter(prefix + "records_out");
     m_records_dropped_ =

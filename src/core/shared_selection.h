@@ -22,6 +22,11 @@ class SharedSelection : public spe::Operator {
  public:
   struct Config {
     StreamSide side = StreamSide::kA;
+    /// Multiway topologies (DESIGN.md §15): when >= 0, this selection
+    /// serves external stream `stream` — a kMultiJoin query's predicates
+    /// come from its leg on that stream (other kinds fall back to the
+    /// side-based select_a/select_b). Counters use `selection.s<k>.*`.
+    int stream = -1;
     /// Which queries tag on this stream (e.g. side B only hosts queries
     /// with a join). Defaults: side A hosts all, side B hosts joins.
     std::function<bool(const ActiveQuery&)> hosts;
@@ -73,9 +78,17 @@ class SharedSelection : public spe::Operator {
 
  private:
   const std::vector<Predicate>& PredicatesOf(const ActiveQuery& q) const {
+    if (config_.stream >= 0 && q.desc.kind == QueryKind::kMultiJoin) {
+      if (const JoinInput* in = q.desc.InputFor(config_.stream)) {
+        return in->select;
+      }
+      return kNoPredicates;
+    }
     return config_.side == StreamSide::kA ? q.desc.select_a
                                           : q.desc.select_b;
   }
+
+  static const std::vector<Predicate> kNoPredicates;
 
   QuerySet ComputeTags(const spe::Row& row) const;
   /// Builds the tags into `tags`, reusing its capacity (batch hot path).

@@ -41,6 +41,11 @@ Result<std::shared_ptr<spe::Runner>> BaselineSut::BuildJob(
 
   int last_stage = -1;
   switch (desc.kind) {
+    case QueryKind::kMultiJoin:
+      // The Flink-style baseline is wired for the paper's two-stream
+      // workloads; micro_mjoin's per-query mode uses dedicated AStreamJobs.
+      return Status::InvalidArgument(
+          "baseline SUT does not build multiway-join jobs");
     case QueryKind::kSelection: {
       spe::StageSpec filter;
       filter.name = "filter";

@@ -156,6 +156,37 @@ RowMultiset EvaluateReference(const QueryLifecycle& query,
     return out;
   }
 
+  if (query.desc.kind == QueryKind::kMultiJoin) {
+    // Flat n-way join (DESIGN.md §15), written literally as the cascade of
+    // binary joins inside one window instance: filter each leg's stream by
+    // its predicates, then fold leg after leg in *declared* order joining
+    // on the row key. One output row per key-equal combination, columns in
+    // declared leg order, stamped window_end - 1.
+    std::vector<std::vector<TimedRow>> legs;
+    for (const core::JoinInput& in : query.desc.join_inputs) {
+      legs.push_back(MatchingRows(query, in.stream, in.select, events));
+    }
+    for (const TimeWindow& w : WindowInstances(query, max_data)) {
+      std::vector<Row> combos;
+      for (const TimedRow& r : legs[0]) {
+        if (w.Contains(r.time)) combos.push_back(r.row);
+      }
+      for (size_t leg = 1; leg < legs.size() && !combos.empty(); ++leg) {
+        std::vector<Row> next;
+        for (const Row& c : combos) {
+          for (const TimedRow& r : legs[leg]) {
+            if (!w.Contains(r.time)) continue;
+            if (c.key() != r.row.key()) continue;
+            next.push_back(Row::Concat(c, r.row));
+          }
+        }
+        combos = std::move(next);
+      }
+      for (const Row& c : combos) AddToMultiset(&out, w.end - 1, c);
+    }
+    return out;
+  }
+
   const auto rows_b =
       MatchingRows(query, 1, query.desc.select_b, events);
   const std::vector<TimeWindow> windows = WindowInstances(query, max_data);

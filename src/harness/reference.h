@@ -10,7 +10,7 @@ namespace astream::harness {
 
 /// One input tuple of the experiment, as fed to the engine.
 struct InputEvent {
-  int stream = 0;  // 0 = A, 1 = B
+  int stream = 0;  // 0 = A, 1 = B; 2.. = extra multiway streams
   TimestampMs time = 0;
   spe::Row row;
 };
@@ -49,7 +49,11 @@ void AddToMultiset(RowMultiset* set, TimestampMs event_time,
 ///    last + gap - 1); selection results keep the tuple's event time;
 ///  - complex queries cascade: n windowed self-keyed joins of (left, B),
 ///    then a windowed aggregation, every stage re-windowing by result
-///    event times.
+///    event times;
+///  - multiway joins are flat: within each window instance, one result row
+///    per key-equal combination of tuples (one per declared leg, leg
+///    predicates applied), columns in declared leg order, stamped
+///    window_end - 1 — a cascade of binary joins inside one window.
 RowMultiset EvaluateReference(const QueryLifecycle& query,
                               const std::vector<InputEvent>& events);
 

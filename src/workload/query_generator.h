@@ -2,6 +2,7 @@
 #define ASTREAM_WORKLOAD_QUERY_GENERATOR_H_
 
 #include <algorithm>
+#include <vector>
 
 #include "common/rng.h"
 #include "core/job_config.h"
@@ -115,6 +116,33 @@ class QueryGenerator {
     return *b.Build();
   }
 
+  /// DESIGN.md §15: an n-ary windowed join over a random subset of the
+  /// job's streams (2..num_streams legs, random declared order, per-leg
+  /// predicates).
+  core::QueryDescriptor Multiway(int num_streams) {
+    std::vector<int> streams(static_cast<size_t>(num_streams));
+    for (int s = 0; s < num_streams; ++s) streams[static_cast<size_t>(s)] = s;
+    // Partial Fisher-Yates on the job's own RNG (std::shuffle's draw
+    // sequence is unspecified across standard libraries).
+    const int legs = static_cast<int>(rng_.UniformInt(2, num_streams));
+    for (int i = 0; i < legs; ++i) {
+      const auto j = rng_.UniformInt(i, num_streams - 1);
+      std::swap(streams[static_cast<size_t>(i)],
+                streams[static_cast<size_t>(j)]);
+    }
+    auto b = core::QueryBuilder::MultiwayJoin();
+    for (int i = 0; i < legs; ++i) {
+      const int s = streams[static_cast<size_t>(i)];
+      b.Input(s);
+      for (int k = 0; k < config_.predicates_per_side; ++k) {
+        const core::Predicate p = RandomPredicate();
+        b.WhereStream(s, p.column, p.op, p.constant);
+      }
+    }
+    b.Window(RandomTimeWindow());
+    return *b.Build();
+  }
+
   /// A random query that the deployment described by `config` can host:
   /// the kind follows the configured topology (selections ride along on
   /// every topology; joins appear on kJoin, aggregations on kAggregation,
@@ -134,6 +162,9 @@ class QueryGenerator {
         if (roll == 2) return Join();
         return Complex(config.job.max_join_stages);
       }
+      case Topology::kMultiway:
+        return rng_.Bernoulli(0.25) ? Selection()
+                                    : Multiway(config.job.num_streams);
     }
     return Selection();
   }

@@ -306,6 +306,19 @@ Result<ScenarioReport> ScenarioRunner::Run() {
     report.desharings = iso->desharings();
     report.whale_ejected = report.desharings > 0;
   }
+  {
+    const auto snapshot = job->MetricsSnapshot();
+    for (const auto& [name, value] : snapshot.counters) {
+      if (name.rfind("admission.", 0) == 0) {
+        report.admission_metrics[name] = value;
+      }
+    }
+    for (const auto& [name, value] : snapshot.gauges) {
+      if (name.rfind("admission.", 0) == 0) {
+        report.admission_metrics[name] = value;
+      }
+    }
+  }
 
   if (!report.tick_work.empty()) {
     std::vector<int64_t> sorted = report.tick_work;

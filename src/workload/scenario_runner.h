@@ -107,6 +107,11 @@ struct ScenarioReport {
   bool whale_ejected = false;
   int eject_tick = -1;  // first tick with a de-sharing observed
 
+  /// Engine-side `admission.*` counters and gauges from the metrics
+  /// registry at end of run — the control-plane truth the per-submit
+  /// tallies above must agree with.
+  std::map<std::string, int64_t> admission_metrics;
+
   std::map<core::QueryId, int64_t> outputs_per_query;
 };
 

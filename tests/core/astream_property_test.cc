@@ -34,7 +34,11 @@ TEST_P(AdhocConsistencyProperty, EngineMatchesReference) {
       param.topology == Kind::kAggregation ? 0.25 : 0.0;
   workload::QueryGenerator qgen(qcfg, param.seed * 31 + 1);
 
-  E2EHarness h(param.topology, param.parallelism);
+  const int num_streams = param.topology == Kind::kMultiway ? 3 : 2;
+  E2EHarness h(param.topology, param.parallelism, StoreMode::kGrouped, true,
+               [num_streams](AStreamJob::Options* o) {
+                 o->num_streams = num_streams;
+               });
 
   auto make_query = [&]() -> QueryDescriptor {
     switch (param.topology) {
@@ -44,13 +48,21 @@ TEST_P(AdhocConsistencyProperty, EngineMatchesReference) {
         return rng.Bernoulli(0.2) ? qgen.Selection() : qgen.Join();
       case Kind::kComplex:
         return qgen.Complex(/*max_depth=*/3);
+      case Kind::kMultiway:
+        return rng.Bernoulli(0.2) ? qgen.Selection()
+                                  : qgen.Multiway(num_streams);
     }
     return qgen.Selection();
   };
 
   std::vector<QueryId> live;
   TimestampMs t = 0;
-  const int steps = param.topology == Kind::kComplex ? 120 : 250;
+  // Complex pipelines and n-ary joins blow up combinatorially; keep their
+  // randomized runs shorter than the linear-operator ones.
+  const int steps = param.topology == Kind::kComplex ||
+                            param.topology == Kind::kMultiway
+                        ? 120
+                        : 250;
   for (int step = 0; step < steps; ++step) {
     t += rng.UniformInt(1, 6);
     const double action = rng.UniformDouble();
@@ -75,7 +87,11 @@ TEST_P(AdhocConsistencyProperty, EngineMatchesReference) {
       for (int i = 0; i < n; ++i) {
         spe::Row row{rng.UniformInt(0, 4), rng.UniformInt(0, 99),
                      rng.UniformInt(0, 99)};
-        if (param.topology != Kind::kAggregation && rng.Bernoulli(0.5)) {
+        if (param.topology == Kind::kMultiway) {
+          h.Push(static_cast<int>(rng.UniformInt(0, num_streams - 1)), t,
+                 std::move(row));
+        } else if (param.topology != Kind::kAggregation &&
+                   rng.Bernoulli(0.5)) {
           h.PushB(t, std::move(row));
         } else {
           h.PushA(t, std::move(row));
@@ -101,6 +117,9 @@ std::string CaseName(
     case Kind::kComplex:
       kind = "Complex";
       break;
+    case Kind::kMultiway:
+      kind = "Mjoin";
+      break;
   }
   return kind + "P" + std::to_string(info.param.parallelism) + "Seed" +
          std::to_string(info.param.seed);
@@ -121,7 +140,10 @@ INSTANTIATE_TEST_SUITE_P(
         PropertyCase{Kind::kJoin, 4, 15},
         PropertyCase{Kind::kComplex, 1, 21},
         PropertyCase{Kind::kComplex, 1, 22},
-        PropertyCase{Kind::kComplex, 2, 23}),
+        PropertyCase{Kind::kComplex, 2, 23},
+        PropertyCase{Kind::kMultiway, 1, 31},
+        PropertyCase{Kind::kMultiway, 1, 32},
+        PropertyCase{Kind::kMultiway, 2, 33}),
     CaseName);
 
 }  // namespace

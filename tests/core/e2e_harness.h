@@ -97,6 +97,10 @@ class E2EHarness {
 
   void PushA(TimestampMs t, spe::Row row) { PushImpl(0, t, std::move(row)); }
   void PushB(TimestampMs t, spe::Row row) { PushImpl(1, t, std::move(row)); }
+  /// Generic stream push (kMultiway topologies: streams 0..num_streams-1).
+  void Push(int stream, TimestampMs t, spe::Row row) {
+    PushImpl(stream, t, std::move(row));
+  }
 
   void Watermark(TimestampMs t) {
     clock_.SetMs(t);
@@ -141,11 +145,7 @@ class E2EHarness {
     const TimestampMs effective =
         std::max(t, job_->session().last_marker_time());
     events_.push_back(harness::InputEvent{stream, effective, row});
-    if (stream == 0) {
-      job_->PushA(t, std::move(row));
-    } else {
-      job_->PushB(t, std::move(row));
-    }
+    job_->Push(stream, t, std::move(row));
   }
 
   ManualClock clock_;

@@ -1,0 +1,147 @@
+#include "core/join_graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "spe/state.h"
+
+namespace astream::core {
+namespace {
+
+using Chain = std::vector<int>;
+
+TEST(JoinCostModelTest, ColdStartFallsBackToAscendingStreamIds) {
+  JoinCostModel model(4);
+  EXPECT_FALSE(model.WarmedUp());
+  EXPECT_EQ(model.Order({3, 0, 2}), Chain({0, 2, 3}));
+  // Pending-but-unfolded observations below the threshold stay static.
+  model.ObserveInserts(3, 10);
+  model.Tick();
+  EXPECT_EQ(model.Order({3, 0, 2}), Chain({0, 2, 3}));
+}
+
+TEST(JoinCostModelTest, WarmedUpOrdersCheapestStreamFirst) {
+  JoinCostModel model(3);
+  // Stream 1 is the firehose, stream 2 is quiet, stream 0 in between.
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    model.ObserveInserts(0, 100);
+    model.ObserveInserts(1, 400);
+    model.ObserveInserts(2, 10);
+    model.Tick();
+  }
+  ASSERT_TRUE(model.WarmedUp());
+  EXPECT_LT(model.RateEstimate(2), model.RateEstimate(0));
+  EXPECT_LT(model.RateEstimate(0), model.RateEstimate(1));
+  EXPECT_EQ(model.Order({0, 1, 2}), Chain({2, 0, 1}));
+  EXPECT_EQ(model.Order({1, 2}), Chain({2, 1}));
+}
+
+TEST(JoinCostModelTest, TiesStayDeterministicByStreamId) {
+  JoinCostModel model(3);
+  for (int epoch = 0; epoch < 11; ++epoch) {
+    model.ObserveInserts(0, 50);
+    model.ObserveInserts(1, 50);
+    model.ObserveInserts(2, 50);
+    model.Tick();
+  }
+  ASSERT_TRUE(model.WarmedUp());
+  EXPECT_EQ(model.Order({2, 1, 0}), Chain({0, 1, 2}));
+}
+
+TEST(JoinCostModelTest, SerializeRestoreKeepsOrders) {
+  JoinCostModel model(3);
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    model.ObserveInserts(0, 300);
+    model.ObserveInserts(1, 20);
+    model.ObserveInserts(2, 700);
+    model.Tick();
+  }
+  spe::StateWriter writer;
+  model.Serialize(&writer);
+  spe::StateReader reader(writer.TakeBuffer());
+  JoinCostModel restored(3);
+  ASSERT_TRUE(restored.Restore(&reader).ok());
+  EXPECT_TRUE(restored.WarmedUp());
+  EXPECT_EQ(restored.Order({0, 1, 2}), model.Order({0, 1, 2}));
+}
+
+TEST(SubJoinRegistryTest, FirstChainBuildsEveryPrefix) {
+  SubJoinRegistry reg;
+  EXPECT_EQ(reg.AcquireFor(0, {2, 0, 1}), Chain({2, 0, 1}));
+  EXPECT_EQ(reg.stats().built, 1);
+  EXPECT_EQ(reg.stats().attached, 0);
+  EXPECT_EQ(reg.NumNodes(), 2u);  // [2,0] and [2,0,1]
+  EXPECT_EQ(reg.NodeRefs({2, 0}), 1);
+  EXPECT_EQ(reg.NodeRefs({2, 0, 1}), 1);
+}
+
+TEST(SubJoinRegistryTest, AttachesToLongestContainedSubJoin) {
+  SubJoinRegistry reg;
+  reg.AcquireFor(0, {0, 1, 2});
+  // Same stream set → identical chain, refcounts bump.
+  EXPECT_EQ(reg.AcquireFor(1, {0, 1, 2}), Chain({0, 1, 2}));
+  EXPECT_EQ(reg.stats().attached, 1);
+  EXPECT_EQ(reg.NodeRefs({0, 1, 2}), 2);
+  // Superset query rides the whole existing chain and extends it.
+  EXPECT_EQ(reg.AcquireFor(2, {0, 1, 2, 3}), Chain({0, 1, 2, 3}));
+  EXPECT_EQ(reg.stats().attached, 2);
+  EXPECT_EQ(reg.NodeRefs({0, 1}), 3);
+  EXPECT_EQ(reg.NodeRefs({0, 1, 2, 3}), 1);
+  // Disjoint-prefix query builds its own chain.
+  EXPECT_EQ(reg.AcquireFor(3, {3, 4}), Chain({3, 4}));
+  EXPECT_EQ(reg.stats().built, 2);
+}
+
+TEST(SubJoinRegistryTest, AttachOverridesCostOrderPrefix) {
+  SubJoinRegistry reg;
+  reg.AcquireFor(0, {1, 2});
+  // The new query's cost model would probe 2 first, but the materialized
+  // [1,2] sub-join is reused and extended — sharing wins over the solo
+  // cost estimate.
+  EXPECT_EQ(reg.AcquireFor(1, {2, 1, 0}), Chain({1, 2, 0}));
+  EXPECT_EQ(reg.NodeRefs({1, 2}), 2);
+  EXPECT_EQ(reg.NodeRefs({1, 2, 0}), 1);
+}
+
+TEST(SubJoinRegistryTest, ReleaseOnCancelDropsNodesAtZero) {
+  SubJoinRegistry reg;
+  reg.AcquireFor(0, {0, 1, 2});
+  reg.AcquireFor(1, {0, 1});
+  reg.Release(0);
+  // Slot 1 still holds [0,1]; the 3-deep extension is gone.
+  EXPECT_EQ(reg.NodeRefs({0, 1}), 1);
+  EXPECT_EQ(reg.NodeRefs({0, 1, 2}), 0);
+  EXPECT_EQ(reg.NumSlots(), 1u);
+  reg.Release(1);
+  EXPECT_EQ(reg.NumNodes(), 0u);
+  EXPECT_EQ(reg.NumSlots(), 0u);
+  // Double release is a no-op.
+  reg.Release(1);
+  EXPECT_EQ(reg.NumNodes(), 0u);
+}
+
+TEST(SubJoinRegistryTest, SerializeRestoreRebuildsNodesFromSlots) {
+  SubJoinRegistry reg;
+  reg.AcquireFor(0, {0, 1, 2});
+  reg.AcquireFor(1, {0, 1, 2, 3});
+  reg.AcquireFor(2, {2, 4});
+  spe::StateWriter writer;
+  reg.Serialize(&writer);
+  spe::StateReader reader(writer.TakeBuffer());
+  SubJoinRegistry restored;
+  ASSERT_TRUE(restored.Restore(&reader).ok());
+  EXPECT_EQ(restored.NumSlots(), reg.NumSlots());
+  EXPECT_EQ(restored.NumNodes(), reg.NumNodes());
+  for (int slot : {0, 1, 2}) {
+    ASSERT_NE(restored.ChainFor(slot), nullptr) << slot;
+    EXPECT_EQ(*restored.ChainFor(slot), *reg.ChainFor(slot)) << slot;
+  }
+  EXPECT_EQ(restored.NodeRefs({0, 1}), reg.NodeRefs({0, 1}));
+  EXPECT_EQ(restored.NodeRefs({0, 1, 2}), reg.NodeRefs({0, 1, 2}));
+  EXPECT_EQ(restored.stats().built, reg.stats().built);
+  EXPECT_EQ(restored.stats().attached, reg.stats().attached);
+}
+
+}  // namespace
+}  // namespace astream::core

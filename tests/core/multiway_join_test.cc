@@ -1,0 +1,267 @@
+// Multiway-join equivalence (DESIGN.md §15): the n-ary shared join —
+// per-stream arrangements, cost-ordered probe chains, and common
+// sub-join attachment — must be invisible in the results. A fleet of
+// 3- and 4-way queries over one set of streams (with churn) is run with
+// sharing on, sharing off (the cascade-equivalent reference mode), under
+// a 256 KiB spill budget, across a checkpoint/restore crash, and
+// threaded — every leg must produce per-query outputs byte-identical to
+// the offline cascade-of-binary reference evaluator and to each other.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "core/astream.h"
+#include "core/query_builder.h"
+#include "harness/reference.h"
+#include "tests/core/e2e_harness.h"
+
+namespace astream::core {
+namespace {
+
+using harness::RowMultiset;
+using spe::Row;
+using Kind = AStreamJob::TopologyKind;
+using OptionsMutator = std::function<void(AStreamJob::Options*)>;
+
+QueryDescriptor MJoin(std::vector<int> legs, spe::WindowSpec window) {
+  auto b = QueryBuilder::MultiwayJoin();
+  for (int s : legs) b.Input(s);
+  b.Window(window);
+  auto q = b.Build();
+  EXPECT_TRUE(q.ok()) << q.status().ToString();
+  return *q;
+}
+
+OptionsMutator Multiway(int streams, bool share,
+                        const OptionsMutator& extra = {}) {
+  return [streams, share, extra](AStreamJob::Options* o) {
+    o->num_streams = streams;
+    o->share_arrangements = share;
+    if (extra) extra(o);
+  };
+}
+
+/// The multiway fleet over four streams: two 3-way queries sharing the
+/// {0,1,2} core (one with a per-leg predicate), a 4-way query whose
+/// declared leg order differs from its probe chain (it attaches to the
+/// shared [0,1,2] sub-join and extends it), a 2-way query on a different
+/// window spec that drains mid-stream, and a late joiner. Every run
+/// verifies against the offline cascade reference; the returned outputs
+/// let callers also compare runs against each other byte for byte.
+std::map<QueryId, RowMultiset> RunMultiwayFleet(
+    const OptionsMutator& mutate, int cols = 2, int64_t* spills = nullptr,
+    AStreamJob::OperatorStats* stats = nullptr) {
+  E2EHarness h(Kind::kMultiway, 1, StoreMode::kGrouped, true, mutate);
+  h.Submit(MJoin({0, 1, 2}, spe::WindowSpec::Tumbling(60)), 0);
+  {
+    auto q = QueryBuilder::MultiwayJoin()
+                 .Input(0)
+                 .Input(1)
+                 .Input(2)
+                 .WhereStream(2, 1, CmpOp::kGe, 10)
+                 .TumblingWindow(60)
+                 .Build();
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    h.Submit(*q, 0);
+  }
+  // Declared order 3,0,1,2 ≠ the cold-start probe order [0,1,2,3]: the
+  // output permutation path is exercised on every trigger.
+  h.Submit(MJoin({3, 0, 1, 2}, spe::WindowSpec::Tumbling(60)), 0);
+  const QueryId doomed =
+      h.Submit(MJoin({1, 2}, spe::WindowSpec::Sliding(60, 30)), 0);
+  h.Flush(0);
+
+  auto make_row = [&](int key, int val) {
+    std::vector<spe::Value> values(static_cast<size_t>(cols), val);
+    values[0] = key;
+    return Row(std::move(values));
+  };
+  for (int i = 0; i < 60; ++i) {  // up to t ≈ 240
+    for (int s = 0; s < 4; ++s) {
+      h.Push(s, 2 + s + i * 4, make_row(i % 3, i + 100 * s));
+    }
+  }
+  h.Watermark(150);
+  h.Delete(doomed, 250);  // churn: the 2-way query drains mid-stream
+  h.Create(MJoin({2, 3}, spe::WindowSpec::Tumbling(60)), 255);
+  for (int i = 0; i < 30; ++i) {
+    for (int s = 0; s < 4; ++s) {
+      h.Push(s, 260 + s + i * 4, make_row(i % 3, i + 100 * s + 7));
+    }
+  }
+  h.Watermark(500);
+  if (spills != nullptr) {
+    const auto snapshot = h.job()->MetricsSnapshot();
+    const auto it = snapshot.histograms.find("storage.spill_ms");
+    *spills = it == snapshot.histograms.end() ? 0 : it->second.count;
+  }
+  if (stats != nullptr) *stats = h.job()->CollectStats();
+  h.FinishAndVerify();
+  return h.outputs();
+}
+
+TEST(MultiwayEquivalenceTest, FleetSharingOnOffIdentical) {
+  AStreamJob::OperatorStats on_stats;
+  const auto on =
+      RunMultiwayFleet(Multiway(4, true), 2, nullptr, &on_stats);
+  // The sharing machinery actually engaged: the second 3-way query and
+  // the 4-way query attached to the materialized [0,1,2] sub-join, and
+  // trigger evaluation reused memoized chain prefixes.
+  EXPECT_GT(on_stats.subjoins_built, 0);
+  EXPECT_GE(on_stats.subjoins_attached, 2);
+  EXPECT_GT(on_stats.mjoin_chains_computed, 0);
+  EXPECT_GT(on_stats.mjoin_chains_reused, 0);
+
+  AStreamJob::OperatorStats off_stats;
+  const auto off =
+      RunMultiwayFleet(Multiway(4, false), 2, nullptr, &off_stats);
+  EXPECT_EQ(off_stats.subjoins_attached, 0);  // registry disabled end to end
+  EXPECT_EQ(on, off);
+  ASSERT_FALSE(on.empty());
+  // Every query produced rows — the fleet isn't trivially empty.
+  for (const auto& [id, rows] : on) {
+    EXPECT_FALSE(rows.empty()) << "query " << id;
+  }
+}
+
+TEST(MultiwayEquivalenceTest, SpillBudgetKeepsOutputsIdentical) {
+  // Wide tuples (~2 KiB each) against a small budget force the per-stream
+  // arrangements to shed slices (and the chain memo to be released)
+  // mid-run; outputs must not move.
+  const int kCols = 256;
+  const auto unbudgeted = RunMultiwayFleet(Multiway(4, true), kCols);
+  int64_t spills = 0;
+  const auto budgeted = RunMultiwayFleet(
+      Multiway(4, true,
+               [](AStreamJob::Options* o) {
+                 o->storage.memory_budget_bytes = 256 << 10;
+               }),
+      kCols, &spills);
+  EXPECT_EQ(unbudgeted, budgeted);
+  EXPECT_GT(spills, 0) << "budget never engaged — widen the rows";
+}
+
+// --- Checkpoint/restore: n-ary state round-trips the run-file format ----
+
+std::map<QueryId, RowMultiset> RunMultiwayWithOptionalCrash(bool crash) {
+  ManualClock clock;
+  auto make_job = [&clock] {
+    AStreamJob::Options options;
+    options.topology = Kind::kMultiway;
+    options.num_streams = 3;
+    options.parallelism = 1;
+    options.threaded = false;
+    options.clock = &clock;
+    options.session.batch_size = 1;
+    options.share_arrangements = true;
+    return std::move(AStreamJob::Create(options)).value();
+  };
+  std::map<QueryId, RowMultiset> outputs;
+  auto sink = [&outputs](QueryId id, const spe::Record& record) {
+    harness::AddToMultiset(&outputs[id], record.event_time, record.row);
+  };
+
+  auto job = make_job();
+  EXPECT_TRUE(job->Start().ok());
+  job->SetResultCallback(sink);
+  clock.SetMs(0);
+  EXPECT_TRUE(
+      job->Submit(MJoin({0, 1, 2}, spe::WindowSpec::Tumbling(60))).ok());
+  EXPECT_TRUE(
+      job->Submit(MJoin({1, 2}, spe::WindowSpec::Sliding(60, 30))).ok());
+  job->Pump(true);
+
+  auto push_range = [&](AStreamJob* j, int from, int to) {
+    for (int i = from; i < to; ++i) {
+      for (int s = 0; s < 3; ++s) {
+        const TimestampMs t = 2 + s + i * 4;
+        clock.SetMs(t);
+        j->Push(s, t, Row{i % 4, i + 10 * s});
+      }
+      if (i % 20 == 19) j->PushWatermark(2 + i * 4 - 10);
+    }
+  };
+  push_range(job.get(), 0, 50);
+
+  if (crash) {
+    const int64_t cp = job->TriggerCheckpoint();
+    auto snap = job->checkpoints().Get(cp);
+    EXPECT_NE(snap, nullptr);
+    EXPECT_TRUE(snap->complete);
+    const spe::CheckpointStore::Checkpoint checkpoint = *snap;
+    job->Stop();  // crash: post-barrier state is lost
+
+    job = make_job();
+    EXPECT_TRUE(job->Start().ok());
+    EXPECT_TRUE(job->RestoreFrom(checkpoint).ok());
+    job->SetResultCallback(sink);
+  }
+
+  push_range(job.get(), 50, 100);
+  clock.SetMs(600);
+  job->PushWatermark(600);
+  EXPECT_TRUE(job->FinishAndWait().ok());
+  return outputs;
+}
+
+TEST(MultiwayEquivalenceTest, CheckpointRestoreRoundTripsJoinState) {
+  const auto uninterrupted = RunMultiwayWithOptionalCrash(false);
+  const auto recovered = RunMultiwayWithOptionalCrash(true);
+  EXPECT_EQ(uninterrupted, recovered);
+  ASSERT_FALSE(uninterrupted.empty());
+}
+
+// --- Threaded: the n-ary operator under real concurrency ----------------
+// (Name is the TSan filter anchor: *ThreadedMultiway*.)
+
+std::map<QueryId, RowMultiset> RunThreadedMultiway(bool threaded, int par) {
+  ManualClock clock;
+  AStreamJob::Options options;
+  options.topology = Kind::kMultiway;
+  options.num_streams = 3;
+  options.parallelism = par;
+  options.threaded = threaded;
+  options.clock = &clock;
+  options.session.batch_size = 1;
+  options.share_arrangements = true;
+  auto job = std::move(AStreamJob::Create(options)).value();
+  EXPECT_TRUE(job->Start().ok());
+  std::mutex mutex;
+  std::map<QueryId, RowMultiset> outputs;
+  job->SetResultCallback([&](QueryId id, const spe::Record& record) {
+    std::lock_guard<std::mutex> lock(mutex);
+    harness::AddToMultiset(&outputs[id], record.event_time, record.row);
+  });
+  clock.SetMs(0);
+  EXPECT_TRUE(
+      job->Submit(MJoin({0, 1, 2}, spe::WindowSpec::Tumbling(60))).ok());
+  EXPECT_TRUE(
+      job->Submit(MJoin({0, 2}, spe::WindowSpec::Tumbling(60))).ok());
+  job->Pump(true);
+  for (int i = 0; i < 120; ++i) {
+    for (int s = 0; s < 3; ++s) {
+      const TimestampMs t = 2 + s + i * 4;
+      clock.SetMs(t);
+      job->Push(s, t, Row{i % 5, i + 10 * s});
+    }
+    if (i % 30 == 29) job->PushWatermark(2 + i * 4 - 10);
+  }
+  clock.SetMs(700);
+  job->PushWatermark(700);
+  EXPECT_TRUE(job->FinishAndWait().ok());
+  std::lock_guard<std::mutex> lock(mutex);
+  return outputs;
+}
+
+TEST(MultiwayEquivalenceTest, ThreadedMultiwayFleetMatchesSync) {
+  const auto sync = RunThreadedMultiway(false, 2);
+  const auto threaded = RunThreadedMultiway(true, 2);
+  EXPECT_EQ(sync, threaded);
+  ASSERT_FALSE(sync.empty());
+}
+
+}  // namespace
+}  // namespace astream::core

@@ -149,6 +149,114 @@ TEST(QueryBuilder, StatusAccessorLetsCallersBailEarly) {
   EXPECT_FALSE(builder.status().ok());
 }
 
+TEST(QueryBuilder, MultiwayJoinHappyPath) {
+  const auto q = QueryBuilder::MultiwayJoin()
+                     .Input(0)
+                     .Input(2)
+                     .Input(1)
+                     .WhereStream(2, 1, CmpOp::kLt, 50)
+                     .TumblingWindow(500)
+                     .Build();
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->kind, QueryKind::kMultiJoin);
+  ASSERT_EQ(q->join_inputs.size(), 3u);
+  // Declared leg order is preserved (it fixes output column order).
+  EXPECT_EQ(q->join_inputs[0].stream, 0);
+  EXPECT_EQ(q->join_inputs[1].stream, 2);
+  EXPECT_EQ(q->join_inputs[2].stream, 1);
+  EXPECT_TRUE(q->join_inputs[0].select.empty());
+  ASSERT_EQ(q->join_inputs[1].select.size(), 1u);
+  EXPECT_EQ(q->join_inputs[1].select[0].column, 1);
+  EXPECT_TRUE(q->UsesStream(2));
+  EXPECT_FALSE(q->UsesStream(3));
+  ASSERT_NE(q->InputFor(1), nullptr);
+  EXPECT_EQ(q->InputFor(4), nullptr);
+}
+
+TEST(QueryBuilder, MultiwayDuplicateLegFails) {
+  const auto q = QueryBuilder::MultiwayJoin()
+                     .Input(0)
+                     .Input(0)
+                     .TumblingWindow(500)
+                     .Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().ToString().find("duplicate input leg"),
+            std::string::npos)
+      << q.status().ToString();
+}
+
+TEST(QueryBuilder, MultiwaySelfReferentialAndOutOfRangeStreamsFail) {
+  EXPECT_FALSE(QueryBuilder::MultiwayJoin().Input(-1).Build().ok());
+  EXPECT_FALSE(
+      QueryBuilder::MultiwayJoin().Input(kMaxJoinDepth).Build().ok());
+}
+
+TEST(QueryBuilder, MultiwayMismatchedKeyArityFails) {
+  const auto q = QueryBuilder::MultiwayJoin()
+                     .InputKeyed(0, {0})
+                     .InputKeyed(1, {0, 1})
+                     .TumblingWindow(500)
+                     .Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().ToString().find("mismatched join-key arity"),
+            std::string::npos)
+      << q.status().ToString();
+}
+
+TEST(QueryBuilder, MultiwayNeedsTwoLegsAndTimeWindow) {
+  const auto one_leg =
+      QueryBuilder::MultiwayJoin().Input(0).TumblingWindow(500).Build();
+  ASSERT_FALSE(one_leg.ok());
+  EXPECT_NE(one_leg.status().ToString().find("at least 2 input legs"),
+            std::string::npos);
+  const auto session = QueryBuilder::MultiwayJoin()
+                           .Input(0)
+                           .Input(1)
+                           .SessionWindow(300)
+                           .Build();
+  EXPECT_FALSE(session.ok());
+}
+
+TEST(QueryBuilder, MultiwayRejectsSideBasedPredicatesAndStrayLegs) {
+  // WhereA on a multiway query points at the per-leg surface instead.
+  const auto a = QueryBuilder::MultiwayJoin()
+                     .Input(0)
+                     .Input(1)
+                     .WhereA(1, CmpOp::kLt, 5)
+                     .TumblingWindow(500)
+                     .Build();
+  ASSERT_FALSE(a.ok());
+  EXPECT_NE(a.status().ToString().find("WhereStream"), std::string::npos);
+  // WhereStream before the leg exists, Input on a non-multiway kind.
+  EXPECT_FALSE(QueryBuilder::MultiwayJoin()
+                   .Input(0)
+                   .WhereStream(1, 0, CmpOp::kLt, 5)
+                   .Build()
+                   .ok());
+  EXPECT_FALSE(QueryBuilder::Join().Input(0).Build().ok());
+}
+
+TEST(QueryBuilder, MultiwayDescriptorSerializationRoundTrips) {
+  const auto q = QueryBuilder::MultiwayJoin()
+                     .Input(1)
+                     .Input(3)
+                     .Input(0)
+                     .WhereStream(3, 2, CmpOp::kGe, 7)
+                     .SlidingWindow(1000, 500)
+                     .Build();
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  spe::StateWriter writer;
+  q->Serialize(&writer);
+  spe::StateReader reader(writer.TakeBuffer());
+  const QueryDescriptor restored = QueryDescriptor::Deserialize(&reader);
+  EXPECT_EQ(restored.kind, q->kind);
+  EXPECT_EQ(restored.join_inputs, q->join_inputs);
+  ASSERT_EQ(restored.join_inputs.size(), 3u);
+  EXPECT_EQ(restored.join_inputs[1].stream, 3);
+  ASSERT_EQ(restored.join_inputs[1].select.size(), 1u);
+  EXPECT_EQ(restored.join_inputs[1].select[0].constant, 7);
+}
+
 TEST(QueryBuilder, BuiltDescriptorIsSubmittable) {
   // The builder's output must satisfy the engine-side validator too.
   AStreamJob::Options options;

@@ -2,8 +2,19 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "spe/state.h"
+
 namespace astream::core {
 namespace {
+
+spe::WindowSpec Window(TimestampMs length, TimestampMs slide) {
+  spe::WindowSpec w;
+  w.length = length;
+  w.slide = slide;
+  return w;
+}
 
 TEST(SlotAllocatorTest, GrowsWhenNoFreeSlots) {
   SlotAllocator alloc;
@@ -45,6 +56,96 @@ TEST(SlotAllocatorTest, PaperFig3cSequence) {
   const int q3 = alloc.Acquire();
   EXPECT_EQ(q3, q2);
   EXPECT_EQ(alloc.num_slots(), 2u);
+}
+
+TEST(FactorRegistryTest, AcquireForRegistersOwnGcdFactor) {
+  FactorRegistry reg;
+  // 45/10 → g = 5, bound 2*5 >= 10 holds; anchor = origin mod 5.
+  const auto fw = reg.AcquireFor(0, 1002, Window(45, 10));
+  ASSERT_TRUE(fw.has_value());
+  EXPECT_EQ(fw->period, 5);
+  EXPECT_EQ(fw->anchor, 2);
+  EXPECT_EQ(reg.NumLattices(), 1u);
+  EXPECT_EQ(reg.stats().rewrites, 1);
+  EXPECT_EQ(reg.stats().reuses, 0);
+}
+
+TEST(FactorRegistryTest, AcquireForReusesCompatibleLattice) {
+  FactorRegistry reg;
+  // Slot 0 registers the g=10 lattice; slot 1's own factor is g=20 (40/20),
+  // which tiles onto the existing period-10 lattice (10 | 20, congruent
+  // anchor, 2*10 >= 20) — one shared lattice, refcount 2.
+  const auto first = reg.AcquireFor(0, 0, Window(30, 10));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->period, 10);
+  const auto second = reg.AcquireFor(1, 0, Window(40, 20));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->period, 10);  // rode the coarser existing lattice
+  EXPECT_EQ(reg.NumLattices(), 1u);
+  EXPECT_EQ(reg.NumRegistered(), 2u);
+  EXPECT_EQ(reg.stats().rewrites, 1);
+  EXPECT_EQ(reg.stats().reuses, 1);
+  ASSERT_TRUE(reg.FactorOf(1).has_value());
+  EXPECT_EQ(*reg.FactorOf(0), *reg.FactorOf(1));
+}
+
+TEST(FactorRegistryTest, CostBoundRejectsDenseLattices) {
+  FactorRegistry reg;
+  // 7/3 → g = 1, 2*1 < 3: the rewrite would triple edge density.
+  EXPECT_FALSE(reg.AcquireFor(0, 0, Window(7, 3)).has_value());
+  EXPECT_EQ(reg.NumLattices(), 0u);
+  EXPECT_EQ(reg.stats().fallbacks, 1);
+  // Release of a fallback slot is a no-op.
+  reg.Release(0);
+  EXPECT_EQ(reg.NumRegistered(), 0u);
+}
+
+TEST(FactorRegistryTest, ReleaseOnCancelDropsLatticeAtZeroRefs) {
+  FactorRegistry reg;
+  ASSERT_TRUE(reg.AcquireFor(0, 0, Window(30, 10)).has_value());
+  ASSERT_TRUE(reg.AcquireFor(1, 0, Window(40, 20)).has_value());
+  EXPECT_EQ(reg.NumLattices(), 1u);
+  reg.Release(0);  // one rider remains — lattice survives
+  EXPECT_EQ(reg.NumLattices(), 1u);
+  EXPECT_EQ(reg.NumRegistered(), 1u);
+  reg.Release(1);  // last rider gone — lattice dropped
+  EXPECT_EQ(reg.NumLattices(), 0u);
+  EXPECT_EQ(reg.NumRegistered(), 0u);
+}
+
+TEST(FactorRegistryTest, DeterministicBySlotOrderSurvivesRestore) {
+  // Registrations enumerate slot-ascending regardless of acquire order,
+  // and a serialize → restore roundtrip rebuilds the identical lattice
+  // refcounts and per-slot assignments.
+  FactorRegistry reg;
+  ASSERT_TRUE(reg.AcquireFor(3, 0, Window(30, 10)).has_value());
+  ASSERT_TRUE(reg.AcquireFor(1, 5, Window(20, 5)).has_value());
+  ASSERT_TRUE(reg.AcquireFor(2, 0, Window(40, 20)).has_value());
+
+  spe::StateWriter writer;
+  reg.Serialize(&writer);
+  spe::StateReader reader(writer.TakeBuffer());
+  FactorRegistry restored;
+  ASSERT_TRUE(restored.Restore(&reader).ok());
+
+  EXPECT_EQ(restored.NumLattices(), reg.NumLattices());
+  EXPECT_EQ(restored.NumRegistered(), reg.NumRegistered());
+  for (int slot : {1, 2, 3}) {
+    ASSERT_TRUE(restored.FactorOf(slot).has_value()) << slot;
+    EXPECT_EQ(*restored.FactorOf(slot), *reg.FactorOf(slot)) << slot;
+  }
+  EXPECT_EQ(restored.stats().rewrites, reg.stats().rewrites);
+  EXPECT_EQ(restored.stats().reuses, reg.stats().reuses);
+  // Lattice enumeration (the slicer's edge-source order) is identical.
+  std::vector<std::pair<TimestampMs, TimestampMs>> before;
+  std::vector<std::pair<TimestampMs, TimestampMs>> after;
+  reg.ForEachLattice([&](TimestampMs a, TimestampMs p) {
+    before.emplace_back(a, p);
+  });
+  restored.ForEachLattice([&](TimestampMs a, TimestampMs p) {
+    after.emplace_back(a, p);
+  });
+  EXPECT_EQ(before, after);
 }
 
 }  // namespace
